@@ -1,0 +1,82 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``test_*`` module regenerates one table or figure of the paper's
+evaluation section.  Since this reproduction runs on synthetic replicas and
+pure Python, absolute numbers differ from the paper; what each bench
+reports — and what :mod:`EXPERIMENTS.md` records — is the *shape*: who
+wins, by roughly what factor, and where the crossovers fall.
+
+The helpers here render paper-style text tables into the pytest output
+(shown with ``-s`` and in the captured-call summary on failure) and append
+them to ``benchmarks/results/`` so EXPERIMENTS.md can cite a concrete run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Dataset scale factor (env ``REPRO_BENCH_SCALE``, default 1.0)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_query_count() -> int:
+    """Queries per dataset (env ``REPRO_BENCH_QUERIES``, default 6).
+
+    The paper uses 20 per dataset; 6 keeps the default suite inside a few
+    minutes of pure-Python runtime.  Set ``REPRO_BENCH_QUERIES=20`` for the
+    full workload.
+    """
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "6"))
+
+
+def timed(fn: Callable[[], object]) -> tuple[float, object]:
+    """Run ``fn`` once, returning (elapsed seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return (time.perf_counter() - start, result)
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table with aligned columns."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    all_rows = [list(header)] + text_rows
+    widths = [max(len(r[c]) for r in all_rows) for c in range(len(header))]
+    lines = []
+    for i, row in enumerate(all_rows):
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def emit(title: str, body: str) -> None:
+    """Print a report block and persist it under benchmarks/results/."""
+    block = f"\n=== {title} ===\n{body}\n"
+    print(block)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = (
+        title.lower()
+        .replace(" ", "_")
+        .replace("/", "-")
+        .replace("(", "")
+        .replace(")", "")
+    )
+    path = RESULTS_DIR / f"{slug}.txt"
+    path.write_text(block.lstrip("\n"))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    product = 1.0
+    for value in positives:
+        product *= value
+    return product ** (1.0 / len(positives))

@@ -1,0 +1,49 @@
+"""Session-scoped fixtures shared by the benchmark suite.
+
+Every bench sees the same replica datasets and query workloads, built once
+per session, so cross-bench comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import bench_query_count, bench_scale  # noqa: E402
+
+from repro.datasets import (  # noqa: E402
+    BENCHMARK_DATASETS,
+    QueryWorkload,
+    generate_queries,
+    make_case_study,
+    make_dataset,
+)
+
+DATASET_NAMES = tuple(BENCHMARK_DATASETS)  # bayc, prosper, ctu13, btc2011
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """name -> TemporalFlowNetwork at the configured bench scale."""
+    scale = bench_scale()
+    return {name: make_dataset(name, scale=scale) for name in DATASET_NAMES}
+
+
+@pytest.fixture(scope="session")
+def workloads(datasets) -> dict[str, QueryWorkload]:
+    """name -> QueryWorkload of non-trivial (s, t) pairs (paper Section 6.1)."""
+    count = bench_query_count()
+    return {
+        name: generate_queries(network, count=count, seed=648)
+        for name, network in datasets.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The Section-6.3 case-study dataset (planted ground truth)."""
+    return make_case_study(scale=min(1.0, bench_scale()))

@@ -1,0 +1,64 @@
+"""Ablation — Observation-2 capacity pruning on/off.
+
+DESIGN.md calls out the pruning rule as one of BFQ+'s two ingredients;
+this ablation quantifies it: same answers, fewer Maxflow runs, and (on
+the pruning-friendly dense dataset) lower runtime.
+"""
+
+import pytest
+from _harness import emit, format_table, timed
+
+from repro import find_bursting_flow
+
+
+@pytest.mark.parametrize("dataset_name", ("prosper", "ctu13"))
+def test_ablation_observation2_pruning(dataset_name, datasets, workloads, benchmark):
+    network = datasets[dataset_name]
+    workload = workloads[dataset_name]
+    delta = workload.delta_for(0.03)
+
+    def run_all():
+        rows = []
+        for index, (source, sink) in enumerate(workload, start=1):
+            on_seconds, on = timed(
+                lambda: find_bursting_flow(
+                    network, source=source, sink=sink, delta=delta,
+                    algorithm="bfq+", use_pruning=True,
+                )
+            )
+            off_seconds, off = timed(
+                lambda: find_bursting_flow(
+                    network, source=source, sink=sink, delta=delta,
+                    algorithm="bfq+", use_pruning=False,
+                )
+            )
+            assert on.density == pytest.approx(off.density)
+            rows.append(
+                (
+                    f"Q{index}",
+                    on.stats.pruned_intervals,
+                    on.stats.maxflow_runs,
+                    off.stats.maxflow_runs,
+                    f"{on_seconds * 1000:.1f}ms",
+                    f"{off_seconds * 1000:.1f}ms",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        f"Ablation - Observation 2 pruning ({dataset_name})",
+        format_table(
+            ("query", "pruned", "mf-runs (on)", "mf-runs (off)", "time on", "time off"),
+            rows,
+        ),
+    )
+    # Pruning strictly reduces (or keeps) the number of Maxflow runs.
+    for row in rows:
+        assert row[2] <= row[3]
+    if dataset_name == "prosper":
+        # The dense dataset is where Observation 2 reliably fires; on the
+        # hub-skewed CTU replica the random workload may never hit a
+        # prunable extension (reported, not asserted).
+        total_pruned = sum(row[1] for row in rows)
+        assert total_pruned >= 1, "expected pruning to fire on prosper"

@@ -1,0 +1,43 @@
+"""Baseline — NetworkX Maxflow backend inside BFQ.
+
+The reproduction-calibration note says "networkx [is] available but slow
+for large networks".  This bench runs the same BFQ candidate sweep with
+(i) our resumable Dinic and (ii) NetworkX's preflow-push via
+``maximum_flow_value``, verifying equal answers and reporting the runtime
+ratio per query.
+"""
+
+from _harness import emit, format_table, timed
+
+from repro import BurstingFlowQuery, bfq
+from repro.baselines import networkx_bfq
+
+
+def test_baseline_networkx_backend(datasets, workloads, benchmark):
+    network = datasets["bayc"]
+    workload = workloads["bayc"]
+    delta = workload.delta_for(0.03)
+    pairs = list(workload)[:4]
+
+    def run_all():
+        rows = []
+        for index, (source, sink) in enumerate(pairs, start=1):
+            query = BurstingFlowQuery(source, sink, delta)
+            ours_seconds, ours = timed(lambda: bfq(network, query))
+            nx_seconds, theirs = timed(lambda: networkx_bfq(network, query))
+            assert abs(ours.density - theirs.density) < 1e-6
+            rows.append(
+                (
+                    f"Q{index}",
+                    f"{ours_seconds * 1000:.1f}ms",
+                    f"{nx_seconds * 1000:.1f}ms",
+                    f"{nx_seconds / max(ours_seconds, 1e-9):.1f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "Baseline - bespoke Dinic vs NetworkX inside BFQ (bayc)",
+        format_table(("query", "dinic BFQ", "networkx BFQ", "nx/dinic"), rows),
+    )

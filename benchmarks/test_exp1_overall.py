@@ -1,0 +1,101 @@
+"""EXP-1 / Figure 9 — overall runtimes of BFQ, BFQ+, BFQ* per query.
+
+For each replica dataset and each workload query, all three solutions run
+at the paper's default delta (3% of |T|).  The per-query runtimes are the
+Figure-9 series; the asserted *shape* is the paper's headline: the
+incremental solutions never lose badly to BFQ, and win clearly in
+aggregate on the dense dataset (Prosper).
+"""
+
+import pytest
+from _harness import emit, format_table, geometric_mean, timed
+
+from repro import find_bursting_flow
+
+ALGORITHMS = ("bfq", "bfq+", "bfq*")
+
+#: Collected rows: dataset -> list of (query label, {algo: seconds}, density).
+_RESULTS: dict[str, list] = {}
+
+
+@pytest.mark.parametrize("dataset_name", ("bayc", "prosper", "ctu13", "btc2011"))
+def test_exp1_runtimes(dataset_name, datasets, workloads, benchmark):
+    network = datasets[dataset_name]
+    workload = workloads[dataset_name]
+    delta = workload.delta_for(0.03)
+    rows = []
+
+    def run_all():
+        collected = []
+        # Warm up interpreter caches so the first measured query is not
+        # penalised by one-off import/alloc costs.
+        warm_source, warm_sink = next(iter(workload))
+        find_bursting_flow(
+            network, source=warm_source, sink=warm_sink, delta=delta,
+            algorithm="bfq*",
+        )
+        for index, (source, sink) in enumerate(workload, start=1):
+            times = {}
+            densities = {}
+            for algorithm in ALGORITHMS:
+                seconds, result = timed(
+                    lambda a=algorithm: find_bursting_flow(
+                        network, source=source, sink=sink, delta=delta,
+                        algorithm=a,
+                    )
+                )
+                times[algorithm] = seconds
+                densities[algorithm] = result.density
+            spread = max(densities.values()) - min(densities.values())
+            assert spread < 1e-6, "solutions disagree"
+            collected.append((f"Q{index}", times, densities["bfq"]))
+        return collected
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    _RESULTS[dataset_name] = rows
+
+    table_rows = [
+        (
+            label,
+            *(f"{times[a] * 1000:.1f}ms" for a in ALGORITHMS),
+            f"{density:.2f}",
+        )
+        for label, times, density in rows
+    ]
+    totals = {a: sum(times[a] for _, times, __ in rows) for a in ALGORITHMS}
+    table_rows.append(
+        ("TOTAL", *(f"{totals[a] * 1000:.1f}ms" for a in ALGORITHMS), "")
+    )
+    emit(
+        f"EXP-1 Figure 9 ({dataset_name}) delta={delta}",
+        format_table(("query", *ALGORITHMS, "density"), table_rows),
+    )
+
+    # Shape assertions (paper Section 6.2, EXP-1):
+    # the incremental solutions never lose badly per query (x3 leaves
+    # room for single-run timing noise on sub-millisecond queries)...
+    for label, times, _ in rows:
+        assert times["bfq+"] <= times["bfq"] * 3.0 + 0.05, (label, times)
+    # ...and in aggregate BFQ+ is at worst noise-level slower than BFQ
+    # (the queries here run in single-digit milliseconds; the *strong*
+    # aggregate claim is asserted on prosper, where the work is real).
+    assert totals["bfq+"] <= totals["bfq"] * 1.5 + 0.1
+    if dataset_name == "prosper":
+        assert totals["bfq+"] * 2 < totals["bfq"], totals
+
+
+def test_exp1_prosper_speedup_summary(datasets, workloads, benchmark):
+    """The dense dataset is where incremental computation pays the most."""
+    if "prosper" not in _RESULTS:
+        pytest.skip("run after the prosper EXP-1 case")
+    rows = _RESULTS["prosper"]
+    ratios = [times["bfq"] / max(times["bfq+"], 1e-9) for _, times, __ in rows]
+    mean_speedup = benchmark.pedantic(
+        lambda: geometric_mean(ratios), rounds=1, iterations=1
+    )
+    emit(
+        "EXP-1 speedup summary (prosper)",
+        f"geometric-mean BFQ/BFQ+ speedup over {len(rows)} queries: "
+        f"{mean_speedup:.2f}x (paper reports up to 5x)",
+    )
+    assert mean_speedup > 1.5

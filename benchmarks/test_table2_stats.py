@@ -1,0 +1,29 @@
+"""Table 2 — statistics of the four benchmark datasets.
+
+Regenerates the paper's dataset-statistics table for the synthetic
+replicas and checks the shape relations that matter for the algorithms
+(prosper densest / fewest timestamps, ctu13 most degree-skewed, btc2011
+sparsest).
+"""
+
+from _harness import emit
+
+from repro.temporal import format_stats_table, network_stats
+
+
+def test_table2_dataset_statistics(datasets, benchmark):
+    stats = benchmark.pedantic(
+        lambda: {name: network_stats(net) for name, net in datasets.items()},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Table 2 - dataset statistics", format_stats_table(stats))
+
+    prosper = stats["prosper"]
+    for name, other in stats.items():
+        if name == "prosper":
+            continue
+        assert prosper.avg_degree > other.avg_degree
+        assert prosper.num_timestamps < other.num_timestamps
+    assert stats["ctu13"].stddev_degree == max(s.stddev_degree for s in stats.values())
+    assert stats["btc2011"].avg_degree == min(s.avg_degree for s in stats.values())

@@ -1,0 +1,83 @@
+"""Table 4 / Appendix A — classical Maxflow solver comparison.
+
+The paper summarises solver complexities in Table 4; this bench provides
+the empirical counterpart on growing random flow networks, plus the
+LP-scaling observation from the related work ([27]: "LP cannot handle
+temporal networks with more than 10K edges ... efficiently"): the LP
+solver's runtime grows much faster than Dinic's with network size.
+"""
+
+import random
+
+import pytest
+from _harness import emit, format_table, timed
+
+from repro.flownet import FlowNetwork, SOLVERS
+
+SIZES = (100, 400, 1600, 3200)
+EDGE_FACTOR = 4
+
+
+def random_network(num_nodes: int, seed: int) -> FlowNetwork:
+    rng = random.Random(seed)
+    net = FlowNetwork()
+    for i in range(num_nodes):
+        net.add_node(i)
+    for _ in range(num_nodes * EDGE_FACTOR):
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u != v:
+            net.add_edge(u, v, float(rng.randint(1, 50)))
+    return net
+
+
+def test_table4_solver_comparison(benchmark):
+    def run_all():
+        grid = {}
+        values = {}
+        for size in SIZES:
+            net = random_network(size, seed=size)
+            for name, solver in SOLVERS.items():
+                seconds, run = timed(lambda s=solver: s(net.clone(), 0, 1))
+                grid[(size, name)] = seconds
+                values.setdefault(size, set()).add(round(run.value, 6))
+        return grid, values
+
+    grid, values = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # All solvers agree on every size.
+    for size, answer_set in values.items():
+        assert len(answer_set) == 1, f"solvers disagree at |V|={size}"
+
+    rows = [
+        (
+            f"|V|={size}, |E|~{size * EDGE_FACTOR}",
+            *(f"{grid[(size, name)] * 1000:.1f}ms" for name in SOLVERS),
+        )
+        for size in SIZES
+    ]
+    emit(
+        "Table 4 - maxflow solver comparison",
+        format_table(("network", *SOLVERS), rows),
+    )
+
+    # The LP baseline scales far worse than Dinic (the [27] observation).
+    lp_growth = grid[(SIZES[-1], "lp")] / max(grid[(SIZES[0], "lp")], 1e-9)
+    dinic_growth = grid[(SIZES[-1], "dinic")] / max(grid[(SIZES[0], "dinic")], 1e-9)
+    emit(
+        "Table 4 - LP vs Dinic scaling",
+        f"runtime growth {SIZES[0]} -> {SIZES[-1]} nodes: "
+        f"LP {lp_growth:.1f}x vs Dinic {dinic_growth:.1f}x",
+    )
+    assert grid[(SIZES[-1], "lp")] > grid[(SIZES[-1], "dinic")]
+
+
+@pytest.mark.parametrize("name", list(SOLVERS))
+def test_table4_individual_solver_benchmarks(name, benchmark):
+    """Per-solver pytest-benchmark entries (the comparison table rows)."""
+    net = random_network(400, seed=400)
+    solver = SOLVERS[name]
+    value = benchmark.pedantic(
+        lambda: solver(net.clone(), 0, 1).value, rounds=3, iterations=1
+    )
+    assert value >= 0

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Fraud detection on a transaction network (the paper's Section 6.3).
+
+Builds the case-study replica — a payment network with a *planted*
+laundering burst (a large volume moved through mule chains inside a short
+window) and a benign heavy-but-slow flow — then sweeps delta-BFlow queries
+over suspicious and normal account pairs, exactly as the paper's case study
+does, and prints a Table-3-style report.
+
+The contrast with plain temporal Maxflow is also shown: the whole-horizon
+maximum flow between the benign pair is just as large as between the
+suspects — only the *density* (delta-BFlow) separates them.
+
+Run:  python examples/fraud_detection.py
+"""
+
+from repro.anomaly import BurstDetector, format_case_study_table
+from repro.baselines import temporal_maxflow
+from repro.datasets import make_case_study
+
+
+def main() -> None:
+    dataset = make_case_study(scale=0.5)
+    network = dataset.network
+    horizon = network.num_timestamps
+    deltas = [max(1, round(horizon * f)) for f in (0.03, 0.06, 0.09)]
+    print(
+        f"transaction network: |V|={network.num_nodes} "
+        f"|E_T|={network.num_edges} |T|={horizon}; deltas={deltas}"
+    )
+
+    planted = dataset.planted[0]
+    print(
+        f"ground truth: {planted.volume:.0f} units moved "
+        f"{planted.source} -> {planted.sink} inside {planted.interval} "
+        f"(density {planted.density:.0f})"
+    )
+
+    detector = BurstDetector(network)
+    sources = dataset.suspicious_sources + dataset.benign_sources[:3]
+    sinks = dataset.suspicious_sinks + dataset.benign_sinks[:3]
+    report = detector.scan(sources, sinks, deltas)
+
+    print(f"\nscanned {len(report.findings)} (source, sink, delta) queries")
+    print(f"flagged {len(report.flagged)} outliers:")
+    for finding in report.flagged:
+        print(
+            f"  {finding.source} -> {finding.sink}  delta={finding.delta}  "
+            f"density={finding.density:,.1f}  interval={finding.interval}"
+        )
+
+    suspect = (dataset.suspicious_sources[0], dataset.suspicious_sinks[0])
+    benign = (dataset.benign_sources[0], dataset.benign_sinks[0])
+    q1 = [report.finding_for(*suspect, d) for d in deltas]
+    q2 = [report.finding_for(*benign, d) for d in deltas]
+    print("\nTable-3-style report:")
+    print(
+        format_case_study_table(
+            [("Q1 (suspects)", [f for f in q1 if f]),
+             ("Q2 (benign)", [f for f in q2 if f])]
+        )
+    )
+
+    # The evidence trail (the paper's Figure-1 red transfer chains): how
+    # the flagged volume actually moved.
+    from repro import BurstingFlowQuery
+    from repro.core import bursting_flow_trails
+
+    trails = bursting_flow_trails(
+        network, BurstingFlowQuery(*suspect, deltas[0])
+    )
+    print("\nmoney trail of the flagged burst:")
+    for trail in trails.trails[:5]:
+        print(f"  {trail.describe()}")
+
+    # Why density, not raw flow: whole-horizon Maxflow can't tell them apart.
+    mf_suspect = temporal_maxflow(network, *suspect)
+    mf_benign = temporal_maxflow(network, *benign)
+    print(
+        f"\nwhole-horizon temporal Maxflow: suspects={mf_suspect.value:,.0f} "
+        f"vs benign={mf_benign.value:,.0f} — nearly identical; only the "
+        f"delta-BFlow density exposes the burst."
+    )
+
+    assert report.flagged, "expected the planted burst to be flagged"
+    top = report.flagged[0]
+    assert (top.source, top.sink) == suspect, "suspects should rank first"
+
+
+if __name__ == "__main__":
+    main()

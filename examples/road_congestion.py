@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Congestion detection on a road network.
+
+The paper's introduction motivates delta-BFlow with "detecting ... the
+congestion by the maximum average traffic flow in a road network".  This
+example builds a small grid road network where each temporal edge is a road
+segment's vehicle throughput during one 5-minute tick, injects a rush-hour
+surge from a residential zone towards the business district, and uses a
+delta-BFlow query to locate the time window of densest traffic between the
+two zones.
+
+Run:  python examples/road_congestion.py
+"""
+
+import random
+
+from repro import TemporalFlowNetworkBuilder, find_bursting_flow
+
+GRID = 4  # 4x4 intersections
+TICKS = 72  # one simulated day of 5-minute ticks (6 hours shown)
+RUSH_START, RUSH_END = 30, 38  # the rush-hour window
+
+
+def tick_to_clock(tick: int) -> str:
+    minutes = 6 * 60 + (tick - 1) * 5  # start the day at 06:00
+    return f"{minutes // 60:02d}:{minutes % 60:02d}"
+
+
+def main() -> None:
+    rng = random.Random(42)
+    builder = TemporalFlowNetworkBuilder()
+
+    def junction(i: int, j: int) -> str:
+        return f"J{i}{j}"
+
+    # Background traffic: every eastbound/southbound segment carries a
+    # trickle of vehicles at random ticks.
+    for i in range(GRID):
+        for j in range(GRID):
+            for di, dj in ((0, 1), (1, 0)):
+                ni, nj = i + di, j + dj
+                if ni >= GRID or nj >= GRID:
+                    continue
+                for _ in range(6):
+                    tick = rng.randint(1, TICKS)
+                    builder.edge(
+                        junction(i, j),
+                        junction(ni, nj),
+                        tau=tick,
+                        capacity=float(rng.randint(5, 20)),
+                    )
+
+    # Rush hour: heavy flows along the two main diagonal corridors from the
+    # residential corner J00 to the business corner J33.
+    for tick in range(RUSH_START, RUSH_END + 1):
+        for path in (
+            ["J00", "J01", "J11", "J12", "J22", "J23", "J33"],
+            ["J00", "J10", "J11", "J21", "J22", "J32", "J33"],
+        ):
+            offset = 0
+            for u, v in zip(path, path[1:]):
+                builder.edge(u, v, tau=min(TICKS, tick + offset), capacity=120.0)
+                offset += 1
+
+    network = builder.build()
+    delta = 4  # at least 20 minutes of sustained congestion
+
+    result = find_bursting_flow(
+        network, source="J00", sink="J33", delta=delta, algorithm="bfq*"
+    )
+    assert result.interval is not None
+    lo, hi = result.interval
+    print(
+        f"densest traffic J00 -> J33: {result.density:.0f} vehicles/tick "
+        f"between {tick_to_clock(lo)} and {tick_to_clock(hi)} "
+        f"(ticks {lo}-{hi}, total {result.flow_value:.0f} vehicles)"
+    )
+
+    corridor_ticks = 6  # ticks a rush-hour platoon needs to cross the grid
+    overlap = not (hi < RUSH_START or lo > RUSH_END + corridor_ticks)
+    assert overlap, "the congestion window should overlap the rush hour"
+
+    # Show how the minimum-duration filter changes the picture: a larger
+    # delta smooths out short spikes.
+    for d in (2, 4, 8, 16):
+        r = find_bursting_flow(network, source="J00", sink="J33", delta=d)
+        window = "-"
+        if r.interval:
+            window = f"{tick_to_clock(r.interval[0])}-{tick_to_clock(r.interval[1])}"
+        print(f"  delta={d:2d} ticks: density={r.density:7.1f}  window={window}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""The paper's full deployment pipeline, end to end.
+
+The paper stores its transaction data in a graph database and answers all
+delta-BFlow queries after a *one-off export* ("we have also ported our
+implementation on top of a Neo4j backend ... all the evaluated delta-BFlow
+queries can be answered by a one-off data export").  This example walks
+that exact pipeline on the embedded store:
+
+1. ingest a day of payments into a durable :class:`repro.store.GraphStore`
+   (crash-safe append-only log);
+2. reopen the store from disk (simulating a separate analysis process);
+3. export the most recent slice — the case study analyses "the
+   transactions having the largest 1% of timestamps";
+4. run a delta-BFlow scan over suspect accounts, reporting intervals in
+   original wall-clock times.
+
+Run:  python examples/store_pipeline.py
+"""
+
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from repro.anomaly import BurstDetector
+from repro.store import GraphStore
+
+SUSPECTS = ("acct_907", "acct_913")
+DAY_START = 1_700_000_000  # an epoch morning
+
+
+def ingest(path: Path) -> None:
+    rng = random.Random(11)
+    accounts = [f"acct_{i}" for i in range(900, 960)]
+    with GraphStore(path) as store:
+        for node in accounts:
+            store.add_node(node, kind="retail")
+        store.add_node(SUSPECTS[0], kind="retail", flagged=True)
+        store.add_node(SUSPECTS[1], kind="retail", flagged=True)
+        # Background: all-day small payments.
+        for _ in range(2500):
+            u, v = rng.sample(accounts, 2)
+            store.add_relationship(
+                u, v,
+                tau=DAY_START + rng.randint(0, 86_400),
+                amount=round(rng.uniform(5, 80), 2),
+            )
+        # The burst: 25k moved suspect->mules->suspect in ~8 minutes,
+        # placed in the most recent part of the day.
+        burst_start = DAY_START + 85_000
+        for chain in range(3):
+            mule = f"mule_{chain}"
+            store.add_relationship(
+                SUSPECTS[0], mule, tau=burst_start + chain * 60,
+                amount=25_000 / 3, label="suspicious",
+            )
+            store.add_relationship(
+                mule, SUSPECTS[1], tau=burst_start + 240 + chain * 60,
+                amount=25_000 / 3, label="suspicious",
+            )
+        store.flush()
+
+
+def analyse(path: Path) -> None:
+    with GraphStore(path) as store:
+        print(
+            f"store reopened: {store.num_nodes} accounts, "
+            f"{store.num_relationships} transfers"
+        )
+        # The case-study slice: most recent 10% of transfer timestamps.
+        cut = store.timestamp_quantile(0.90)
+        started = time.perf_counter()
+        network, codec = store.export_network(tau_lo=cut)
+        export_seconds = time.perf_counter() - started
+        print(
+            f"one-off export of the freshest 10%: |E_T|={network.num_edges} "
+            f"|T|={network.num_timestamps} in {export_seconds * 1000:.0f}ms "
+            f"(the paper's largest export took 396s at 28M edges)"
+        )
+
+        delta = max(1, round(network.num_timestamps * 0.03))
+        detector = BurstDetector(network)
+        sinks = [SUSPECTS[1], "acct_905", "acct_906"]
+        sources = [SUSPECTS[0], "acct_910", "acct_911"]
+        report = detector.scan(sources, sinks, [delta])
+        print(f"scan: {len(report.findings)} queries, {len(report.flagged)} flagged")
+        for finding in report.flagged:
+            lo, hi = codec.decode_interval(finding.interval)
+            print(
+                f"  FLAGGED {finding.source} -> {finding.sink}: "
+                f"density {finding.density:,.0f} during "
+                f"[{time.strftime('%H:%M:%S', time.gmtime(lo))}, "
+                f"{time.strftime('%H:%M:%S', time.gmtime(hi))}] UTC"
+            )
+        assert report.flagged, "the planted burst should be flagged"
+        top = report.flagged[0]
+        assert (top.source, top.sink) == SUSPECTS
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "payments.log"
+        ingest(path)
+        size_kb = path.stat().st_size / 1024
+        print(f"ingested day into {path.name} ({size_kb:.0f} KiB on disk)")
+        analyse(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+Kept so `pip install -e .` works on minimal offline environments where the
+`wheel` package (needed for PEP 660 editable installs) is unavailable:
+`pip install -e . --no-build-isolation --no-use-pep517` falls back to the
+legacy `setup.py develop` path through this file.  All project metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

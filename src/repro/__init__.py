@@ -1,0 +1,60 @@
+"""repro — bursting flow queries on large temporal flow networks.
+
+A from-scratch reproduction of *Bursting Flow Query on Large Temporal Flow
+Networks* (SIGMOD 2025): the delta-BFlow problem, the BFQ / BFQ+ / BFQ*
+solutions, the classical-Maxflow substrate they run on, dataset replicas,
+and an anomaly-detection case study.
+
+Quickstart::
+
+    from repro import TemporalFlowNetworkBuilder, find_bursting_flow
+
+    network = (
+        TemporalFlowNetworkBuilder()
+        .edge("s", "a", tau=1, capacity=4.0)
+        .edge("a", "t", tau=2, capacity=4.0)
+        .edge("s", "t", tau=5, capacity=1.0)
+        .build()
+    )
+    result = find_bursting_flow(network, source="s", sink="t", delta=1)
+    print(result.density, result.interval)
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    DEFAULT_ALGORITHM,
+    BurstingFlowQuery,
+    BurstingFlowResult,
+    bfq,
+    bfq_plus,
+    bfq_star,
+    find_bursting_flow,
+)
+from repro.temporal import (
+    TemporalEdge,
+    TemporalFlowNetwork,
+    TemporalFlowNetworkBuilder,
+    load_edge_list,
+    load_jsonl,
+    network_stats,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "find_bursting_flow",
+    "bfq",
+    "bfq_plus",
+    "bfq_star",
+    "ALGORITHMS",
+    "DEFAULT_ALGORITHM",
+    "BurstingFlowQuery",
+    "BurstingFlowResult",
+    "TemporalEdge",
+    "TemporalFlowNetwork",
+    "TemporalFlowNetworkBuilder",
+    "load_edge_list",
+    "load_jsonl",
+    "network_stats",
+]

@@ -1,0 +1,298 @@
+"""Command-line interface.
+
+The subcommands mirror the library's main entry points::
+
+    repro-bfq stats      edges.csv
+    repro-bfq query      edges.csv --source alice --sink dave --delta 3
+    repro-bfq scan       edges.csv --sources a,b --sinks x,y --delta-fractions 0.03,0.06
+    repro-bfq trail      edges.csv --source alice --sink dave --delta 3
+    repro-bfq profile    edges.csv --source alice --sink dave
+    repro-bfq hunt       edges.csv --delta 10
+    repro-bfq self-check
+
+Edge lists are CSV/TSV (``u,v,tau,capacity``, header optional) or JSON
+lines; ``--compact-timestamps`` renumbers raw event times into dense
+sequence numbers (results are translated back on output).
+
+Installed as the ``repro-bfq`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.anomaly import BurstDetector, format_finding_interval
+from repro.core import BurstingFlowQuery, find_bursting_flow
+from repro.exceptions import ReproError
+from repro.temporal import (
+    format_stats_table,
+    load_edge_list,
+    load_jsonl,
+    network_stats,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the repro-bfq argument parser (one sub-parser per command)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bfq",
+        description="delta-bursting-flow queries on temporal flow networks",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_input_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("edges", type=Path, help="edge list (CSV/TSV/JSONL)")
+        sub.add_argument(
+            "--compact-timestamps",
+            action="store_true",
+            help="renumber raw event times into dense sequence numbers",
+        )
+
+    stats = subparsers.add_parser("stats", help="print Table-2 statistics")
+    add_input_arguments(stats)
+
+    query = subparsers.add_parser("query", help="answer one delta-BFlow query")
+    add_input_arguments(query)
+    query.add_argument("--source", required=True)
+    query.add_argument("--sink", required=True)
+    query.add_argument("--delta", type=int, required=True)
+    query.add_argument(
+        "--algorithm",
+        default="bfq*",
+        choices=["bfq", "bfq+", "bfq*"],
+        help="which solution to run (default: bfq*)",
+    )
+
+    scan = subparsers.add_parser(
+        "scan", help="sweep queries over source/sink sets (case-study mode)"
+    )
+    add_input_arguments(scan)
+    scan.add_argument("--sources", required=True, help="comma-separated node ids")
+    scan.add_argument("--sinks", required=True, help="comma-separated node ids")
+    scan.add_argument(
+        "--delta-fractions",
+        default="0.03,0.06,0.09",
+        help="deltas as fractions of |T| (default: the paper's 3%%/6%%/9%%)",
+    )
+    scan.add_argument("--top", type=int, default=10, help="findings to print")
+
+    trail = subparsers.add_parser(
+        "trail", help="decompose the bursting flow into transfer trails"
+    )
+    add_input_arguments(trail)
+    trail.add_argument("--source", required=True)
+    trail.add_argument("--sink", required=True)
+    trail.add_argument("--delta", type=int, required=True)
+    trail.add_argument("--top", type=int, default=10, help="trails to print")
+
+    profile = subparsers.add_parser(
+        "profile", help="delta sensitivity: density vs minimum duration"
+    )
+    add_input_arguments(profile)
+    profile.add_argument("--source", required=True)
+    profile.add_argument("--sink", required=True)
+    profile.add_argument(
+        "--deltas", default=None,
+        help="comma-separated deltas (default: geometric ladder 1,2,4,...)",
+    )
+
+    hunt = subparsers.add_parser(
+        "hunt", help="suspect-free burst hunting (screen nodes, then confirm)"
+    )
+    add_input_arguments(hunt)
+    hunt.add_argument("--delta", type=int, required=True)
+    hunt.add_argument("--top-sources", type=int, default=5)
+    hunt.add_argument("--top-sinks", type=int, default=5)
+    hunt.add_argument("--min-volume", type=float, default=0.0)
+
+    subparsers.add_parser(
+        "self-check", help="run installation health invariants"
+    )
+    return parser
+
+
+def _load(path: Path, compact: bool):
+    loader = load_jsonl if path.suffix.lower() in (".jsonl", ".ndjson") else load_edge_list
+    loaded = loader(path, compact_timestamps=compact)
+    if compact:
+        return loaded  # (network, codec)
+    return loaded, None
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    network, _ = _load(args.edges, args.compact_timestamps)
+    print(format_stats_table({args.edges.name: network_stats(network)}))
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    network, codec = _load(args.edges, args.compact_timestamps)
+    started = time.perf_counter()
+    result = find_bursting_flow(
+        network,
+        BurstingFlowQuery(args.source, args.sink, args.delta),
+        algorithm=args.algorithm,
+    )
+    elapsed = time.perf_counter() - started
+    if not result.found:
+        print(
+            f"no bursting flow from {args.source} to {args.sink} "
+            f"with delta={args.delta}"
+        )
+        return 1
+    interval = result.interval
+    shown = codec.decode_interval(interval) if codec else interval
+    print(f"density          : {result.density:,.4f}")
+    print(f"flow value       : {result.flow_value:,.4f}")
+    print(f"bursting interval: [{shown[0]}, {shown[1]}]")
+    print(
+        f"({result.stats.candidates_enumerated} candidates, "
+        f"{result.stats.maxflow_runs} maxflow runs, "
+        f"{result.stats.pruned_intervals} pruned, {elapsed:.3f}s)"
+    )
+    return 0
+
+
+def _run_scan(args: argparse.Namespace) -> int:
+    network, codec = _load(args.edges, args.compact_timestamps)
+    horizon = network.num_timestamps
+    deltas = sorted(
+        {
+            max(1, round(horizon * float(fraction)))
+            for fraction in args.delta_fractions.split(",")
+        }
+    )
+    detector = BurstDetector(network)
+    report = detector.scan(
+        args.sources.split(","), args.sinks.split(","), deltas
+    )
+    print(f"scanned {len(report.findings)} (source, sink, delta) queries")
+    print(f"flagged {len(report.flagged)} outliers")
+    header = f"{'source':<16} {'sink':<16} {'delta':>6} {'density':>14}  interval"
+    print(header)
+    print("-" * len(header))
+    for finding in report.top(args.top):
+        marker = " *FLAGGED*" if finding in report.flagged else ""
+        print(
+            f"{str(finding.source):<16} {str(finding.sink):<16} "
+            f"{finding.delta:>6} {finding.density:>14,.2f}  "
+            f"{format_finding_interval(finding, codec)}{marker}"
+        )
+    return 0
+
+
+def _run_trail(args: argparse.Namespace) -> int:
+    from repro.core import bursting_flow_trails
+
+    network, codec = _load(args.edges, args.compact_timestamps)
+    report = bursting_flow_trails(
+        network, BurstingFlowQuery(args.source, args.sink, args.delta)
+    )
+    if not report.found:
+        print(
+            f"no bursting flow from {args.source} to {args.sink} "
+            f"with delta={args.delta}"
+        )
+        return 1
+    lo, hi = report.interval
+    shown = codec.decode_interval((lo, hi)) if codec else (lo, hi)
+    print(
+        f"bursting flow: {report.flow_value:,.2f} units at density "
+        f"{report.density:,.2f} during [{shown[0]}, {shown[1]}]"
+    )
+    print(f"{len(report.trails)} trails (largest first):")
+    for trail in report.trails[: args.top]:
+        print(f"  {trail.describe()}")
+    if len(report.trails) > args.top:
+        print(f"  ... and {len(report.trails) - args.top} more")
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    from repro.core import density_profile, suggest_delta
+
+    network, _codec = _load(args.edges, args.compact_timestamps)
+    deltas = None
+    if args.deltas:
+        deltas = [int(d) for d in args.deltas.split(",")]
+    profile = density_profile(network, args.source, args.sink, deltas)
+    if not profile:
+        print("no evaluable deltas for this network")
+        return 1
+    print(f"{'delta':>8} {'density':>14} {'flow':>12}  interval")
+    for point in profile:
+        print(
+            f"{point.delta:>8} {point.density:>14,.3f} "
+            f"{point.flow_value:>12,.2f}  {point.interval}"
+        )
+    knee = suggest_delta(profile)
+    if knee is not None:
+        print(f"suggested delta: {knee.delta} (density {knee.density:,.3f})")
+    return 0
+
+
+def _run_hunt(args: argparse.Namespace) -> int:
+    from repro.anomaly import hunt_bursts
+    from repro.anomaly.report import format_finding_interval
+
+    network, codec = _load(args.edges, args.compact_timestamps)
+    report = hunt_bursts(
+        network,
+        delta=args.delta,
+        top_sources=args.top_sources,
+        top_sinks=args.top_sinks,
+        min_volume=args.min_volume,
+    )
+    print(
+        f"screened to {args.top_sources} emitters x {args.top_sinks} "
+        f"collectors; {len(report.findings)} confirmations, "
+        f"{len(report.flagged)} flagged"
+    )
+    for finding in report.top(10):
+        marker = " *FLAGGED*" if finding in report.flagged else ""
+        print(
+            f"  {finding.source} -> {finding.sink}: "
+            f"density {finding.density:,.2f} during "
+            f"{format_finding_interval(finding, codec)}{marker}"
+        )
+    return 0
+
+
+def _run_self_check(args: argparse.Namespace) -> int:
+    from repro.verify import self_check
+
+    for check, outcome in self_check().items():
+        print(f"{check:<24} OK  ({outcome})")
+    return 0
+
+
+_HANDLERS = {
+    "stats": _run_stats,
+    "query": _run_query,
+    "scan": _run_scan,
+    "trail": _run_trail,
+    "profile": _run_profile,
+    "hunt": _run_hunt,
+    "self-check": _run_self_check,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

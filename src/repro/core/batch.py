@@ -1,0 +1,80 @@
+"""Batch query evaluation.
+
+Applications like the case study issue many delta-BFlow queries over one
+network (the S x T sweep).  :func:`answer_many` evaluates a batch with:
+
+* optional multiprocessing fan-out (queries are embarrassingly parallel);
+* deterministic result ordering (input order), whatever the scheduling;
+* shared validation and a single algorithm resolution.
+
+Worker processes re-import the network via fork inheritance; on platforms
+without fork (or when ``processes=None``), the batch runs sequentially —
+results are identical either way, which the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.core.engine import find_bursting_flow, get_algorithm
+from repro.core.query import BurstingFlowQuery, BurstingFlowResult
+from repro.temporal.network import TemporalFlowNetwork
+
+# Globals used by fork-based workers (set once per batch in the parent).
+_WORKER_NETWORK: TemporalFlowNetwork | None = None
+_WORKER_ALGORITHM: str = "bfq*"
+
+
+def answer_many(
+    network: TemporalFlowNetwork,
+    queries: Iterable[BurstingFlowQuery],
+    *,
+    algorithm: str = "bfq*",
+    processes: int | None = None,
+) -> list[BurstingFlowResult]:
+    """Answer a batch of queries; results align with the input order.
+
+    Args:
+        network: the shared temporal flow network.
+        queries: the batch (materialised internally).
+        algorithm: delta-BFlow solution for every query.
+        processes: worker processes; ``None`` or ``1`` runs sequentially;
+            ``0`` means ``os.cpu_count()``.
+    """
+    get_algorithm(algorithm)  # fail fast on unknown names
+    batch: Sequence[BurstingFlowQuery] = list(queries)
+    for query in batch:
+        query.validate_against(network)
+    if not batch:
+        return []
+    if processes == 0:
+        processes = os.cpu_count() or 1
+    if processes is None or processes <= 1 or len(batch) == 1:
+        return [
+            find_bursting_flow(network, query, algorithm=algorithm)
+            for query in batch
+        ]
+    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX fallback
+        return [
+            find_bursting_flow(network, query, algorithm=algorithm)
+            for query in batch
+        ]
+
+    global _WORKER_NETWORK, _WORKER_ALGORITHM
+    _WORKER_NETWORK = network
+    _WORKER_ALGORITHM = algorithm
+    try:
+        with ProcessPoolExecutor(max_workers=min(processes, len(batch))) as pool:
+            results = list(pool.map(_answer_one, batch))
+    finally:
+        _WORKER_NETWORK = None
+    return results
+
+
+def _answer_one(query: BurstingFlowQuery) -> BurstingFlowResult:
+    assert _WORKER_NETWORK is not None, "worker started outside answer_many"
+    return find_bursting_flow(
+        _WORKER_NETWORK, query, algorithm=_WORKER_ALGORITHM
+    )

@@ -1,0 +1,224 @@
+"""BFQ* — incremental Maxflow of both cases (Algorithm 3).
+
+BFQ* adds the *deletion case* on top of BFQ+.  The minimal window
+``[tau_s', tau_s' + delta]`` for the next starting timestamp ``tau_s'`` is
+not rebuilt from scratch; it is derived from the running state for the
+current ``tau_s`` by:
+
+1. snapshotting the state the moment the insertion sweep for ``tau_s``
+   passes ``tau_s' + delta`` (the zig-zag of Figure 5(c)), extending the
+   snapshot's end to exactly ``tau_s' + delta``;
+2. *advancing the start* of the snapshot to ``tau_s'`` — timestamp
+   injection, boundary-flow withdrawal through a virtual node and a reverse
+   Dinic run, and prefix retirement (Lemma 4/5); and
+3. resuming Dinic on the result to obtain ``MF[tau_s', tau_s' + delta]``.
+
+The snapshot then becomes the running state for the ``tau_s'`` iteration,
+and the insertion sweep for the current ``tau_s`` continues unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.bfq_plus import _BestRecord, _evaluate_corner
+from repro.core.incremental import IncrementalTransformedNetwork
+from repro.core.intervals import CandidatePlan, enumerate_candidates
+from repro.core.query import (
+    BurstingFlowQuery,
+    BurstingFlowResult,
+    IntervalSample,
+    QueryStats,
+)
+from repro.temporal.edge import Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+
+def bfq_star(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    *,
+    use_pruning: bool = True,
+) -> BurstingFlowResult:
+    """Answer ``query`` with BFQ* (insertion + deletion incremental Maxflow).
+
+    Args:
+        network: the temporal flow network.
+        query: the delta-BFlow query.
+        use_pruning: apply Observation 2 during the insertion sweeps.
+    """
+    query.validate_against(network)
+    stats = QueryStats()
+    plan: CandidatePlan = enumerate_candidates(
+        network, query.source, query.sink, query.delta
+    )
+    best = _BestRecord()
+
+    if plan.starts:
+        _zigzag(network, query, plan, best, stats, use_pruning=use_pruning)
+    _evaluate_corner(network, query, plan, best, stats)
+
+    return BurstingFlowResult(
+        density=best.density,
+        interval=best.interval,
+        flow_value=best.value,
+        stats=stats,
+    )
+
+
+def _zigzag(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    plan: CandidatePlan,
+    best: _BestRecord,
+    stats: QueryStats,
+    *,
+    use_pruning: bool,
+) -> None:
+    """The Figure 5(c) evaluation pattern over all starting timestamps."""
+    delta = plan.delta
+    first_start = plan.starts[0]
+    state = _fresh_minimal_state(network, query, first_start, delta, best, stats)
+
+    for position, tau_s in enumerate(plan.starts):
+        next_start = (
+            plan.starts[position + 1] if position + 1 < len(plan.starts) else None
+        )
+        successor: IncrementalTransformedNetwork | None = None
+
+        flow_value = state.flow_value()
+        pending_sink_capacity = 0.0
+        for tau_e_next in plan.endings_for(tau_s):
+            if (
+                next_start is not None
+                and successor is None
+                and tau_e_next >= next_start + delta
+            ):
+                successor = _branch_for_next_start(
+                    state, next_start, delta, best, stats
+                )
+            stats.candidates_enumerated += 1
+            t0 = time.perf_counter()
+            pending_sink_capacity += network.sink_capacity_in_window(
+                query.sink, state.tau_e + 1, tau_e_next
+            )
+            state.extend_end(tau_e_next)
+            t1 = time.perf_counter()
+            stats.incremental_insertions += 1
+
+            upper_bound = flow_value + pending_sink_capacity
+            if use_pruning and upper_bound < best.density * (tau_e_next - tau_s):
+                stats.pruned_intervals += 1
+                stats.record_sample(
+                    IntervalSample(
+                        interval=(tau_s, tau_e_next),
+                        network_size=state.num_nodes,
+                        mode="pruned",
+                        maxflow_seconds=0.0,
+                        transform_seconds=t1 - t0,
+                        flow_value=flow_value,
+                    )
+                )
+                continue
+            run = state.run_maxflow()
+            t2 = time.perf_counter()
+            stats.maxflow_runs += 1
+            stats.augmenting_paths += run.augmenting_paths
+            flow_value = state.flow_value()
+            pending_sink_capacity = 0.0
+            stats.record_sample(
+                IntervalSample(
+                    interval=(tau_s, tau_e_next),
+                    network_size=state.num_nodes,
+                    mode="maxflow+",
+                    maxflow_seconds=t2 - t1,
+                    transform_seconds=t1 - t0,
+                    flow_value=flow_value,
+                )
+            )
+            best.offer(flow_value, tau_s, tau_e_next)
+
+        if next_start is None:
+            break
+        if successor is None:
+            # The sweep never reached next_start + delta (or had no endings
+            # at all): derive the successor from the current state instead.
+            successor = _branch_for_next_start(state, next_start, delta, best, stats)
+        state = successor
+
+
+def _fresh_minimal_state(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    tau_s: Timestamp,
+    delta: int,
+    best: _BestRecord,
+    stats: QueryStats,
+) -> IncrementalTransformedNetwork:
+    """Build and solve the very first minimal window (Lines 3-5)."""
+    stats.candidates_enumerated += 1
+    t0 = time.perf_counter()
+    state = IncrementalTransformedNetwork(
+        network, query.source, query.sink, tau_s, tau_s + delta
+    )
+    t1 = time.perf_counter()
+    run = state.run_maxflow()
+    t2 = time.perf_counter()
+    stats.maxflow_runs += 1
+    stats.augmenting_paths += run.augmenting_paths
+    flow_value = state.flow_value()
+    stats.record_sample(
+        IntervalSample(
+            interval=(tau_s, tau_s + delta),
+            network_size=state.num_nodes,
+            mode="dinic",
+            maxflow_seconds=t2 - t1,
+            transform_seconds=t1 - t0,
+            flow_value=flow_value,
+        )
+    )
+    best.offer(flow_value, tau_s, tau_s + delta)
+    return state
+
+
+def _branch_for_next_start(
+    state: IncrementalTransformedNetwork,
+    next_start: Timestamp,
+    delta: int,
+    best: _BestRecord,
+    stats: QueryStats,
+) -> IncrementalTransformedNetwork:
+    """Lines 9-13: snapshot, shrink to ``[next_start, next_start + delta]``.
+
+    Clones the running state, extends the clone's end to exactly
+    ``next_start + delta`` when needed, withdraws the pre-``next_start``
+    flow (IncreMaxFlow-), and resumes Dinic for the minimal window of the
+    next starting timestamp.
+    """
+    stats.candidates_enumerated += 1
+    t0 = time.perf_counter()
+    successor = state.clone()
+    target_end = next_start + delta
+    if successor.tau_e < target_end:
+        successor.extend_end(target_end)
+        stats.incremental_insertions += 1
+    successor.advance_start(next_start)
+    t1 = time.perf_counter()
+    stats.incremental_deletions += 1
+    run = successor.run_maxflow()
+    t2 = time.perf_counter()
+    stats.maxflow_runs += 1
+    stats.augmenting_paths += run.augmenting_paths
+    flow_value = successor.flow_value()
+    stats.record_sample(
+        IntervalSample(
+            interval=(next_start, target_end),
+            network_size=successor.num_nodes,
+            mode="maxflow-",
+            maxflow_seconds=t2 - t1,
+            transform_seconds=t1 - t0,
+            flow_value=flow_value,
+        )
+    )
+    best.offer(flow_value, next_start, target_end)
+    return successor

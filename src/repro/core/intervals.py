@@ -1,0 +1,145 @@
+"""Candidate interval enumeration (Section 4.2, Lemma 2).
+
+Instead of the ``O(|T|^2)`` possible windows, a delta-BFlow query only
+needs:
+
+* the length-delta windows ``[tau, tau + delta]`` for every ``tau`` in
+  ``Ti(s)`` — these cover all optima whose supporting *core interval* is
+  shorter than delta; when ``tau + delta`` overshoots the horizon, the
+  window is clamped to ``[T_max - delta, T_max]`` (footnote 4's corner
+  case); and
+* the windows ``[tau_s, tau_e]`` with ``tau_s in Ti(s)``,
+  ``tau_e in Ti(t)`` and ``tau_e - tau_s > delta`` — a superset of the
+  core intervals longer than delta (Observation 1: a core interval starts
+  at an out-edge of ``s`` and ends at an in-edge of ``t``).
+
+That is ``O(d^2)`` candidates with ``d = max(|Ti(s)|, |Ti(t)|)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.exceptions import InvalidQueryError
+from repro.temporal.edge import NodeId, Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class CandidatePlan:
+    """The enumeration plan for one query.
+
+    Attributes:
+        starts: ascending starting timestamps ``tau_s`` whose minimal window
+            ``[tau_s, tau_s + delta]`` fits the horizon.
+        sink_stamps: ascending ``Ti(t)`` — ending timestamps for windows
+            longer than delta.
+        corner: the clamped window ``[T_max - delta, T_max]`` when some
+            ``tau in Ti(s)`` overshoots the horizon, else ``None``.
+        delta: the query's delta.
+        t_max: the horizon (largest timestamp in ``T``).
+    """
+
+    starts: tuple[Timestamp, ...]
+    sink_stamps: tuple[Timestamp, ...]
+    corner: tuple[Timestamp, Timestamp] | None
+    delta: int
+    t_max: Timestamp
+
+    def endings_for(self, tau_s: Timestamp) -> Iterator[Timestamp]:
+        """Ascending ``tau_e in Ti(t)`` with ``tau_e > tau_s + delta``."""
+        threshold = tau_s + self.delta
+        for tau_e in self.sink_stamps:
+            if tau_e > threshold:
+                yield tau_e
+
+    def intervals(self) -> Iterator[tuple[Timestamp, Timestamp]]:
+        """All candidate intervals in BFQ evaluation order."""
+        for tau_s in self.starts:
+            yield (tau_s, tau_s + self.delta)
+            for tau_e in self.endings_for(tau_s):
+                yield (tau_s, tau_e)
+        if self.corner is not None:
+            yield self.corner
+
+    def count(self) -> int:
+        """Total number of candidate intervals."""
+        return sum(1 for _ in self.intervals())
+
+
+def enumerate_candidates(
+    network: TemporalFlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    delta: int,
+) -> CandidatePlan:
+    """Build the ``O(d^2)`` candidate plan of Lemma 2 for one query.
+
+    Raises:
+        InvalidQueryError: if delta is not a positive integer or the
+            endpoints are missing from the network.
+    """
+    if not isinstance(delta, int) or isinstance(delta, bool) or delta < 1:
+        raise InvalidQueryError(f"delta must be a positive int, got {delta!r}")
+    for node in (source, sink):
+        if node not in network:
+            raise InvalidQueryError(f"query node {node!r} not in network")
+    ti_s: Sequence[Timestamp] = network.ti(source, source, sink)
+    ti_t: Sequence[Timestamp] = network.ti(sink, source, sink)
+    if not ti_s or not ti_t:
+        # Source never emits or sink never receives: no flow possible.
+        return CandidatePlan((), (), None, delta, network.t_max)
+    t_max = network.t_max
+    t_min = network.t_min
+    if t_max - t_min < delta:
+        # No window of length >= delta fits the horizon at all.
+        return CandidatePlan((), (), None, delta, t_max)
+    starts = tuple(tau for tau in ti_s if tau + delta <= t_max)
+    overshoot = len(starts) < len(ti_s)
+    corner: tuple[Timestamp, Timestamp] | None = None
+    if overshoot and (t_max - delta) not in set(starts):
+        corner = (t_max - delta, t_max)
+    return CandidatePlan(
+        starts=starts,
+        sink_stamps=tuple(ti_t),
+        corner=corner,
+        delta=delta,
+        t_max=t_max,
+    )
+
+
+def is_core_interval(
+    network: TemporalFlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    tau_s: Timestamp,
+    tau_e: Timestamp,
+) -> bool:
+    """Decide whether ``[tau_s, tau_e]`` is a *core interval* (Section 4.2).
+
+    A window is core when its Maxflow strictly exceeds the Maxflow of every
+    proper subwindow.  By monotonicity it suffices to compare against the
+    two windows obtained by trimming one boundary step inward.  This is a
+    test/diagnostic helper, not on the query hot path.
+    """
+    from repro.flownet.algorithms.dinic import dinic  # local: avoid cycle
+    from repro.core.transform import build_transformed_network
+
+    def window_value(lo: Timestamp, hi: Timestamp) -> float:
+        if hi < lo:
+            return 0.0
+        transformed = build_transformed_network(network, source, sink, lo, hi)
+        return dinic(
+            transformed.flow_network,
+            transformed.source_index,
+            transformed.sink_index,
+        ).value
+
+    full = window_value(tau_s, tau_e)
+    if full <= 0:
+        return False
+    return (
+        full > window_value(tau_s + 1, tau_e)
+        and full > window_value(tau_s, tau_e - 1)
+    )

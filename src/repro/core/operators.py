@@ -1,0 +1,169 @@
+"""The flow-network operators of Section 5: ``⊎``, ``\\``, ``Δ`` and ``N(P)``.
+
+The incremental algorithms (BFQ+/BFQ*) realise these operators directly as
+in-place mutations of the live residual network for speed.  This module
+provides the *declarative* counterparts on plain capacity maps, for three
+purposes:
+
+* unit/property tests of the operator algebra (e.g. that combining and
+  subtracting round-trips, Example 7's withdrawal identity);
+* documentation — the code here matches the paper's definitions line by
+  line;
+* cross-checking the in-place implementations on small networks.
+
+A flow network is represented as a :class:`CapacityMap`: a dict from
+directed edges (pairs of hashable labels) to capacities.  Nodes are
+implicit (the endpoints of the edges).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.exceptions import GraphError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+CapacityMap = dict[Edge, float]
+
+
+def combine(a: Mapping[Edge, float], b: Mapping[Edge, float]) -> CapacityMap:
+    """The ``⊎`` operator: union with capacity merging on common edges.
+
+    ``C(e) = C_a(e) + C_b(e)`` on common edges, and the sole operand's
+    capacity elsewhere.  Infinite capacities absorb addition.
+    """
+    result: CapacityMap = dict(a)
+    for edge, capacity in b.items():
+        if edge in result:
+            result[edge] = result[edge] + capacity
+        else:
+            result[edge] = capacity
+    return result
+
+
+def subtract(a: Mapping[Edge, float], b: Mapping[Edge, float]) -> CapacityMap:
+    """The ``\\`` operator: reduce common-edge capacities of ``a`` by ``b``.
+
+    Edges of ``a`` not in ``b`` keep their capacity; common edges keep
+    ``C_a - C_b`` (edges whose capacity drops to zero or below are removed,
+    matching the residual-network convention that zero-capacity edges do
+    not exist); edges only in ``b`` do not appear.
+
+    Raises:
+        GraphError: if a common edge would go *strictly* negative beyond
+            floating tolerance — the paper's operator is only applied when
+            ``b``'s capacities are dominated by ``a``'s.
+    """
+    result: CapacityMap = {}
+    for edge, capacity in a.items():
+        reduction = b.get(edge, 0.0)
+        if math.isinf(capacity):
+            result[edge] = capacity
+            continue
+        remaining = capacity - reduction
+        if remaining < -1e-9:
+            raise GraphError(
+                f"subtract would make edge {edge!r} negative ({remaining})"
+            )
+        if remaining > 1e-12:
+            result[edge] = remaining
+    return result
+
+
+def inject_timestamp(
+    capacities: Mapping[Edge, float], tau: int
+) -> CapacityMap:
+    """The timestamp-injection operator ``Δ_tau`` on a transformed network.
+
+    Edge labels must be transformed nodes ``(node, timestamp)``.  Every
+    *hold* edge ``(<u, a>, <u, b>)`` with ``a < tau < b`` (or the reverse
+    residual orientation ``b < tau < a``) is replaced by the two edges
+    through the new node ``<u, tau>``, each keeping the original capacity.
+    Edges of nodes that already have a ``<u, tau>`` node are untouched.
+    """
+    nodes_with_tau = {
+        node for (tail, head) in capacities for (node, stamp) in (tail, head)
+        if stamp == tau
+    }
+    result: CapacityMap = {}
+    for (tail, head), capacity in capacities.items():
+        (u, a), (v, b) = tail, head
+        spans = u == v and (a < tau < b or b < tau < a) and u not in nodes_with_tau
+        if not spans:
+            result[(tail, head)] = capacity
+            continue
+        middle = (u, tau)
+        result[(tail, middle)] = _merge_parallel(result, (tail, middle), capacity)
+        result[(middle, head)] = _merge_parallel(result, (middle, head), capacity)
+    return result
+
+
+def _merge_parallel(result: CapacityMap, edge: Edge, capacity: float) -> float:
+    existing = result.get(edge, 0.0)
+    if math.isinf(capacity) or math.isinf(existing):
+        return math.inf
+    return existing + capacity
+
+
+def augmenting_flow_network(
+    paths: Iterable[tuple[Sequence[Node], float]],
+) -> CapacityMap:
+    """``N(P)`` — the augmenting flow network of a set of paths (Def. 3).
+
+    Each element of ``paths`` is ``(node sequence, Flow(p))``.  For every
+    directed edge ``(u, v)`` touched by some path in either direction,
+    ``C'(u, v)`` is the total flow of paths traversing ``(u, v)`` minus the
+    total flow of paths traversing ``(v, u)`` — so combining ``N(P)`` with a
+    residual network *withdraws* the paths' flow (Example 7).
+    """
+    result: CapacityMap = {}
+    for nodes, flow in paths:
+        if flow < 0:
+            raise GraphError(f"augmenting path flow must be >= 0, got {flow}")
+        for i in range(len(nodes) - 1):
+            u, v = nodes[i], nodes[i + 1]
+            result[(u, v)] = result.get((u, v), 0.0) + flow
+            result[(v, u)] = result.get((v, u), 0.0) - flow
+    return result
+
+
+def residual_of(
+    capacities: Mapping[Edge, float], flow: Mapping[Edge, float]
+) -> CapacityMap:
+    """The residual network of a capacity map w.r.t. a flow (Section 3.1).
+
+    ``C_f(u, v) = C(u, v) - f(u, v)`` and ``C_f(v, u) = f(u, v)``; edges of
+    zero residual capacity are omitted.
+    """
+    result: CapacityMap = {}
+    for (u, v), capacity in capacities.items():
+        routed = flow.get((u, v), 0.0)
+        if routed < -1e-9 or (not math.isinf(capacity) and routed > capacity + 1e-9):
+            raise GraphError(
+                f"flow {routed} on edge ({u!r}, {v!r}) violates capacity {capacity}"
+            )
+        forward = capacity if math.isinf(capacity) else capacity - routed
+        if forward > 1e-12:
+            result[(u, v)] = result.get((u, v), 0.0) + forward
+        if routed > 1e-12:
+            result[(v, u)] = result.get((v, u), 0.0) + routed
+    return result
+
+
+def capacity_map_of(flow_network) -> CapacityMap:
+    """Snapshot a live :class:`~repro.flownet.network.FlowNetwork`'s residual
+    capacities as a :class:`CapacityMap` (labels as nodes).
+
+    Zero-capacity arcs are omitted, matching the residual convention.
+    Retired endpoints are skipped.
+    """
+    result: CapacityMap = {}
+    for tail in flow_network.active_indices():
+        for arc in flow_network.arcs_of(tail):
+            if flow_network.is_retired(arc.head) or arc.cap <= 1e-12:
+                continue
+            edge = (flow_network.label_of(tail), flow_network.label_of(arc.head))
+            result[edge] = _merge_parallel(result, edge, arc.cap)
+    return result

@@ -1,0 +1,47 @@
+"""Synthetic datasets, Table-2 replicas, and query workloads."""
+
+from repro.datasets.queries import (
+    DEFAULT_DELTA_FRACTION,
+    QueryWorkload,
+    generate_queries,
+)
+from repro.datasets.registry import (
+    BENCHMARK_DATASETS,
+    make_case_study,
+    make_dataset,
+)
+from repro.datasets.replicas import (
+    CaseStudyDataset,
+    bayc_like,
+    btc2011_like,
+    ctu13_like,
+    grab_like,
+    prosper_like,
+)
+from repro.datasets.synthetic import (
+    PlantedBurst,
+    bursty_network,
+    heavy_tailed_network,
+    planted_burst,
+    uniform_network,
+)
+
+__all__ = [
+    "uniform_network",
+    "heavy_tailed_network",
+    "bursty_network",
+    "planted_burst",
+    "PlantedBurst",
+    "btc2011_like",
+    "ctu13_like",
+    "prosper_like",
+    "bayc_like",
+    "grab_like",
+    "CaseStudyDataset",
+    "BENCHMARK_DATASETS",
+    "make_dataset",
+    "make_case_study",
+    "generate_queries",
+    "QueryWorkload",
+    "DEFAULT_DELTA_FRACTION",
+]

@@ -1,0 +1,51 @@
+"""Named dataset registry.
+
+Central lookup used by the benchmark suite and the examples so every
+consumer builds the exact same replica for a given name / scale / seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.replicas import (
+    CaseStudyDataset,
+    bayc_like,
+    btc2011_like,
+    ctu13_like,
+    grab_like,
+    prosper_like,
+)
+from repro.exceptions import DatasetError
+from repro.temporal.network import TemporalFlowNetwork
+
+#: The paper's four benchmark datasets, in Table-2 order.
+BENCHMARK_DATASETS: dict[str, Callable[..., TemporalFlowNetwork]] = {
+    "bayc": bayc_like,
+    "prosper": prosper_like,
+    "ctu13": ctu13_like,
+    "btc2011": btc2011_like,
+}
+
+
+def make_dataset(
+    name: str, *, scale: float = 1.0, seed: int | None = None
+) -> TemporalFlowNetwork:
+    """Build a benchmark replica by name (``bayc``/``prosper``/``ctu13``/``btc2011``).
+
+    Raises:
+        DatasetError: for unknown names.
+    """
+    try:
+        factory = BENCHMARK_DATASETS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARK_DATASETS))
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}") from None
+    if seed is None:
+        return factory(scale=scale)
+    return factory(scale=scale, seed=seed)
+
+
+def make_case_study(*, scale: float = 1.0, seed: int = 648) -> CaseStudyDataset:
+    """Build the Section-6.3 case-study dataset (planted ground truth)."""
+    return grab_like(scale=scale, seed=seed)

@@ -1,0 +1,111 @@
+"""Enumerating *all* bursting intervals of a delta-BFlow.
+
+Algorithm 1 returns one bursting interval, but the paper notes that "all
+the bursting intervals can be obtained with minor modifications" and
+footnote 13 describes how length-delta optima slide: when the optimal
+density is supported by a core interval ``[a, b]`` shorter than delta,
+every window ``[tau, tau + delta]`` with ``b - delta <= tau <= a`` attains
+the same density.
+
+:func:`find_all_bursting_intervals` implements those modifications: it
+evaluates the Lemma-2 candidate set, keeps *every* candidate achieving the
+maximum density (within a relative tolerance), and expands each length-
+delta winner into its full sliding range by probing how far the window can
+shift while preserving the Maxflow value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.intervals import enumerate_candidates
+from repro.core.query import BurstingFlowQuery
+from repro.core.transform import build_transformed_network
+from repro.flownet.algorithms.dinic import dinic
+from repro.temporal.edge import Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+_RELATIVE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class AllIntervalsResult:
+    """Optimal density plus every bursting interval attaining it."""
+
+    density: float
+    intervals: tuple[tuple[Timestamp, Timestamp], ...]
+    flow_value: float
+
+    @property
+    def found(self) -> bool:
+        """Whether any positive-density bursting interval exists."""
+        return bool(self.intervals) and self.density > 0
+
+
+def find_all_bursting_intervals(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+) -> AllIntervalsResult:
+    """All bursting intervals of the delta-BFlow for ``query``.
+
+    Intervals are reported in ascending ``(tau_s, tau_e)`` order.  Two
+    candidates count as ties when their densities differ by at most a
+    relative ``1e-9``.
+    """
+    query.validate_against(network)
+    plan = enumerate_candidates(network, query.source, query.sink, query.delta)
+
+    def window_value(lo: Timestamp, hi: Timestamp) -> float:
+        transformed = build_transformed_network(
+            network, query.source, query.sink, lo, hi
+        )
+        return dinic(
+            transformed.flow_network,
+            transformed.source_index,
+            transformed.sink_index,
+        ).value
+
+    evaluated: dict[tuple[Timestamp, Timestamp], float] = {}
+    best_density = 0.0
+    for lo, hi in plan.intervals():
+        value = evaluated.setdefault((lo, hi), window_value(lo, hi))
+        best_density = max(best_density, value / (hi - lo))
+    if best_density <= 0:
+        return AllIntervalsResult(0.0, (), 0.0)
+
+    tolerance = best_density * _RELATIVE_TOLERANCE
+    winners: set[tuple[Timestamp, Timestamp]] = set()
+    best_value = 0.0
+    for (lo, hi), value in evaluated.items():
+        if value / (hi - lo) >= best_density - tolerance:
+            winners.add((lo, hi))
+            best_value = value
+
+    # Footnote 13: slide each length-delta winner left/right while its
+    # Maxflow value is preserved.
+    expanded: set[tuple[Timestamp, Timestamp]] = set(winners)
+    t_min, t_max = network.t_min, network.t_max
+    for lo, hi in winners:
+        if hi - lo != query.delta:
+            continue
+        target = evaluated[(lo, hi)]
+        shift = lo - 1
+        while shift >= t_min and _matches(window_value(shift, shift + query.delta), target):
+            expanded.add((shift, shift + query.delta))
+            shift -= 1
+        shift = lo + 1
+        while (
+            shift + query.delta <= t_max
+            and _matches(window_value(shift, shift + query.delta), target)
+        ):
+            expanded.add((shift, shift + query.delta))
+            shift += 1
+
+    ordered = tuple(sorted(expanded))
+    return AllIntervalsResult(
+        density=best_density, intervals=ordered, flow_value=best_value
+    )
+
+
+def _matches(value: float, target: float) -> bool:
+    return abs(value - target) <= max(1.0, abs(target)) * _RELATIVE_TOLERANCE

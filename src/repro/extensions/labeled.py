@@ -1,0 +1,121 @@
+"""Labeled delta-BFlow queries (the paper's future-work item i).
+
+Section 7 proposes "finding labeled delta-BFlow in temporal flow networks
+having keywords on the temporal edges".  This extension implements the
+natural semantics: every temporal edge may carry a set of labels
+(keywords), and a labeled query restricts the flow to edges whose labels
+satisfy a predicate (by default: at least one required label present).
+
+The implementation projects the labeled network onto the admissible edge
+set and answers the query with the ordinary BFQ* machinery — the
+projection preserves all delta-BFlow semantics because removing edges is
+the only difference between the labeled and unlabeled problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.engine import find_bursting_flow
+from repro.core.query import BurstingFlowQuery, BurstingFlowResult
+from repro.exceptions import InvalidQueryError
+from repro.temporal.edge import NodeId, TemporalEdge, Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+LabelSet = frozenset[str]
+
+
+@dataclass
+class LabeledTemporalFlowNetwork:
+    """A temporal flow network whose edges carry keyword labels.
+
+    Thin wrapper: the underlying :class:`TemporalFlowNetwork` holds the
+    merged capacities; ``labels`` maps each ``(u, v, tau)`` triple to its
+    label set (edges added without labels get the empty set).
+    """
+
+    network: TemporalFlowNetwork = field(default_factory=TemporalFlowNetwork)
+    labels: dict[tuple[NodeId, NodeId, Timestamp], LabelSet] = field(
+        default_factory=dict
+    )
+
+    def add_edge(
+        self,
+        u: NodeId,
+        v: NodeId,
+        tau: Timestamp,
+        capacity: float,
+        labels: Iterable[str] = (),
+    ) -> None:
+        """Insert a labeled temporal edge (labels merge on duplicates)."""
+        self.network.add_edge(TemporalEdge(u, v, tau, capacity))
+        key = (u, v, tau)
+        existing = self.labels.get(key, frozenset())
+        self.labels[key] = existing | frozenset(labels)
+
+    def labels_of(self, u: NodeId, v: NodeId, tau: Timestamp) -> LabelSet:
+        """The label set of one temporal edge (empty when unlabeled)."""
+        return self.labels.get((u, v, tau), frozenset())
+
+    def project(
+        self, predicate: Callable[[LabelSet], bool]
+    ) -> TemporalFlowNetwork:
+        """The sub-network of edges whose label sets satisfy ``predicate``.
+
+        Query endpoints always exist in the projection (isolated if none of
+        their edges qualify), so downstream queries fail soft (empty
+        result) rather than hard (unknown node).
+        """
+        projected = TemporalFlowNetwork()
+        for edge in self.network.edges():
+            if predicate(self.labels_of(edge.u, edge.v, edge.tau)):
+                projected.add_edge(edge)
+        for node in self.network.nodes:
+            projected.add_node(node)
+        return projected
+
+
+def find_labeled_bursting_flow(
+    labeled: LabeledTemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    *,
+    required_labels: Iterable[str] = (),
+    mode: str = "any",
+    algorithm: str = "bfq*",
+) -> BurstingFlowResult:
+    """Answer a delta-BFlow query restricted to label-admissible edges.
+
+    Args:
+        labeled: the labeled temporal flow network.
+        query: the delta-BFlow query.
+        required_labels: the keyword set the flow may use.
+        mode: ``"any"`` — an edge qualifies if it carries at least one
+            required label; ``"all"`` — it must carry every required
+            label; ``"subset"`` — its labels must all be required ones
+            (unlabeled edges qualify).
+        algorithm: which delta-BFlow solution answers the projected query.
+
+    Raises:
+        InvalidQueryError: for an unknown ``mode``.
+    """
+    required = frozenset(required_labels)
+    if mode == "any":
+        predicate = lambda labels: bool(labels & required)  # noqa: E731
+    elif mode == "all":
+        predicate = lambda labels: required <= labels  # noqa: E731
+    elif mode == "subset":
+        predicate = lambda labels: labels <= required  # noqa: E731
+    else:
+        raise InvalidQueryError(
+            f"unknown label mode {mode!r}; use 'any', 'all' or 'subset'"
+        )
+    if not required and mode in ("any", "all"):
+        # "any of nothing" admits nothing; "all of nothing" admits all.
+        if mode == "any":
+            return BurstingFlowResult(0.0, None, 0.0)
+        predicate = lambda labels: True  # noqa: E731
+    projected = labeled.project(predicate)
+    if projected.num_edges == 0:
+        return BurstingFlowResult(0.0, None, 0.0)
+    return find_bursting_flow(projected, query, algorithm=algorithm)

@@ -1,0 +1,59 @@
+"""Classical flow-network substrate: residual graphs and Maxflow solvers."""
+
+from repro.flownet.algorithms import (
+    capacity_scaling,
+    RESUMABLE_SOLVERS,
+    SOLVERS,
+    MaxflowRun,
+    dinic,
+    dinic_flat,
+    edmonds_karp,
+    ford_fulkerson,
+    get_solver,
+    lp_maxflow,
+    push_relabel,
+    solve_max_flow,
+)
+from repro.flownet.dynamic import DynamicMaxflow
+from repro.flownet.mincut import MinCut, min_cut
+from repro.flownet.rewrite import (
+    RewriteReport,
+    has_antiparallel_edges,
+    split_antiparallel_edges,
+)
+from repro.flownet.network import Arc, EdgeKind, EdgeRef, FlowNetwork
+from repro.flownet.residual import (
+    decompose_into_paths,
+    extract_flow,
+    flow_value_at,
+    validate_classical_flow,
+)
+
+__all__ = [
+    "Arc",
+    "EdgeKind",
+    "EdgeRef",
+    "FlowNetwork",
+    "MaxflowRun",
+    "MinCut",
+    "min_cut",
+    "dinic",
+    "dinic_flat",
+    "capacity_scaling",
+    "DynamicMaxflow",
+    "RewriteReport",
+    "has_antiparallel_edges",
+    "split_antiparallel_edges",
+    "edmonds_karp",
+    "ford_fulkerson",
+    "push_relabel",
+    "lp_maxflow",
+    "SOLVERS",
+    "RESUMABLE_SOLVERS",
+    "get_solver",
+    "solve_max_flow",
+    "extract_flow",
+    "flow_value_at",
+    "validate_classical_flow",
+    "decompose_into_paths",
+]

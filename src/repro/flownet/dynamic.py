@@ -1,0 +1,184 @@
+"""Single-edge incremental Maxflow on classical networks ([18]/[28]-style).
+
+The related-work section discusses incremental Maxflow for *dynamic flow
+networks* — Kumar & Gupta [28] (push-relabel based) and Greco et al. [18]
+(augmenting-path based) maintain a Maxflow under insertion or deletion of a
+single edge.  The paper points out these "cannot be adopted directly" for
+temporal flows (the time constraint changes whole window structures, not
+single edges); this module implements the augmenting-path variant so the
+claim can be examined empirically and so the substrate is complete.
+
+:class:`DynamicMaxflow` maintains a Maxflow from a fixed source to a fixed
+sink under:
+
+* :meth:`insert_edge` — add an edge, then augment from the current
+  residual state (only the new augmenting paths are searched: Lemma-3-like
+  reuse);
+* :meth:`delete_edge` — remove an edge.  Any flow it carried is first
+  *withdrawn*: the flow is cancelled along a source→tail residual-flow
+  path and a head→sink one (found by walking backwards along routed flow),
+  then the network re-augments.  This mirrors [18]'s
+  cancel-and-reaugment strategy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import GraphError
+from repro.flownet.algorithms.dinic import dinic
+from repro.flownet.network import FLOW_EPSILON, EdgeRef, FlowNetwork
+
+
+class DynamicMaxflow:
+    """Maintains a Maxflow under single-edge insertions and deletions."""
+
+    def __init__(self, network: FlowNetwork, source: int, sink: int) -> None:
+        if source == sink:
+            raise GraphError("source and sink must differ")
+        self.network = network
+        self.source = source
+        self.sink = sink
+        self._value = dinic(network, source, sink).value
+        self._augment_runs = 1
+
+    @property
+    def value(self) -> float:
+        """The current Maxflow value."""
+        return self._value
+
+    @property
+    def augment_runs(self) -> int:
+        """How many Dinic invocations the lifetime has cost."""
+        return self._augment_runs
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, tail: int, head: int, capacity: float) -> EdgeRef:
+        """Add an edge and restore Maxflow incrementally.
+
+        Returns the new edge's handle.  Cost: one resumed Dinic run that
+        only finds augmenting paths through the new edge.
+        """
+        ref = self.network.add_edge(tail, head, capacity)
+        gained = dinic(self.network, self.source, self.sink).value
+        self._augment_runs += 1
+        self._value += gained
+        return ref
+
+    def increase_capacity(self, ref: EdgeRef, extra: float) -> None:
+        """Raise an edge's capacity and restore Maxflow incrementally."""
+        if extra < 0:
+            raise GraphError(f"capacity increase must be >= 0, got {extra}")
+        forward = self.network.forward_arc(ref)
+        if not math.isinf(forward.cap):
+            forward.cap += extra
+        gained = dinic(self.network, self.source, self.sink).value
+        self._augment_runs += 1
+        self._value += gained
+
+    def delete_edge(self, ref: EdgeRef) -> float:
+        """Remove an edge, withdrawing its flow; returns the new Maxflow.
+
+        The edge is neutralised (both residual directions zeroed) rather
+        than physically removed, keeping other handles stable.
+        """
+        routed = self.network.flow_on(ref)
+        forward = self.network.forward_arc(ref)
+        reverse = self.network.reverse_arc(ref)
+        if routed > FLOW_EPSILON:
+            self._withdraw_through(ref, routed)
+        forward.cap = 0.0
+        reverse.cap = 0.0
+        gained = dinic(self.network, self.source, self.sink).value
+        self._augment_runs += 1
+        self._value += gained
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _withdraw_through(self, ref: EdgeRef, amount: float) -> None:
+        """Cancel ``amount`` units of flow routed through ``ref``.
+
+        Following [18]: push ``amount`` units backwards from the edge's
+        tail to the source along reverse-residual arcs of routed flow, and
+        backwards from the sink to the edge's head likewise; then cancel
+        the edge's own flow.  Decrements the maintained value.
+        """
+        tail = ref.tail
+        head = self.network.forward_arc(ref).head
+        cancelled_left = self._cancel_path(self.source, tail, amount)
+        cancelled_right = self._cancel_path(head, self.sink, amount)
+        if (
+            abs(cancelled_left - amount) > 1e-6
+            or abs(cancelled_right - amount) > 1e-6
+        ):
+            raise GraphError(
+                "withdrawal failed to cancel the full flow through the edge"
+            )
+        self.network.push_on(ref, -amount)
+        self._value -= amount
+
+    def _cancel_path(self, from_node: int, to_node: int, amount: float) -> float:
+        """Cancel ``amount`` units along routed-flow paths from_node→to_node.
+
+        Works on the *flow* graph (edges with positive routed flow),
+        repeatedly tracing a path and decreasing the flow along it.  By
+        flow decomposition such paths exist whenever ``amount`` units of
+        the current flow traverse both endpoints in this order.
+        """
+        if from_node == to_node:
+            return amount  # the edge touches the endpoint directly
+        remaining = amount
+        while remaining > FLOW_EPSILON:
+            path = self._trace_flow_path(from_node, to_node)
+            if not path:
+                break
+            bottleneck = min(
+                self.network.arcs_of(arc.head)[arc.rev].cap
+                for _, arc in path
+            )
+            cancel = min(bottleneck, remaining)
+            for _, arc in path:
+                partner = self.network.arcs_of(arc.head)[arc.rev]
+                if not math.isinf(arc.cap):
+                    arc.cap += cancel
+                partner.cap -= cancel
+            remaining -= cancel
+        return amount - remaining
+
+    def _trace_flow_path(self, from_node: int, to_node: int):
+        """DFS over edges carrying positive flow; returns [(tail, arc)]."""
+        if from_node == to_node:
+            return []
+        adj = self.network._adj  # noqa: SLF001
+        retired = self.network._retired  # noqa: SLF001
+        seen = {from_node}
+        stack: list[tuple[int, int]] = [(from_node, 0)]
+        path: list[tuple[int, object]] = []
+        while stack:
+            node, pos = stack[-1]
+            arcs = adj[node]
+            if pos >= len(arcs):
+                stack.pop()
+                if path:
+                    path.pop()
+                continue
+            stack[-1] = (node, pos + 1)
+            arc = arcs[pos]
+            if not arc.forward:
+                continue
+            routed = adj[arc.head][arc.rev].cap
+            if routed <= FLOW_EPSILON:
+                continue
+            other = arc.head
+            if other in seen or retired[other]:
+                continue
+            path.append((node, arc))
+            if other == to_node:
+                return path
+            seen.add(other)
+            stack.append((other, 0))
+        return None

@@ -1,0 +1,100 @@
+"""Antiparallel-edge rewrite (the paper's footnote 2).
+
+Classical residual-network formalisms assume that a flow network never
+contains both ``(u, v)`` and ``(v, u)``.  Footnote 2 describes the standard
+fix: "we can revise the flow network N by removing (v, u) and then
+creating a new node w and two edges (v, w), (w, u) such that
+C(v, w) = C(w, u) = C(v, u)".
+
+Our arc-based :class:`~repro.flownet.network.FlowNetwork` does **not**
+need this rewrite (each edge owns its own arc pair), but the utility is
+provided for interoperability — e.g. when exporting a network to a solver
+or formalism that does assume antiparallel-freeness — and to validate that
+the rewrite preserves Maxflow values, which the test-suite checks against
+the unrewritten network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flownet.network import EdgeKind, FlowNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class RewriteReport:
+    """What :func:`split_antiparallel_edges` did."""
+
+    rewritten: FlowNetwork
+    split_count: int
+    helper_nodes: tuple[object, ...]
+
+
+def has_antiparallel_edges(network: FlowNetwork) -> bool:
+    """Whether any pair of nodes is connected in both directions."""
+    seen: set[tuple[int, int]] = set()
+    for tail, arc in network.iter_edges():
+        if network.is_retired(tail) or network.is_retired(arc.head):
+            continue
+        if (arc.head, tail) in seen:
+            return True
+        seen.add((tail, arc.head))
+    return False
+
+
+def split_antiparallel_edges(network: FlowNetwork) -> RewriteReport:
+    """Return an equivalent network without antiparallel edge pairs.
+
+    For every ordered pair ``(u, v)`` that also has a ``(v, u)`` edge, the
+    ``(v, u)`` direction is re-routed through a fresh helper node ``w``:
+    ``v -> w -> u`` with both legs carrying the original capacity.
+    Parallel edges in the *same* direction are merged first (capacity
+    summation), matching the classical single-edge-per-pair model.
+
+    The input network must carry no flow (the rewrite is a modelling
+    transformation, not a residual operation).
+
+    Returns:
+        A :class:`RewriteReport` with the new network (labels preserved;
+        helper nodes labelled ``("__split__", u, v, k)``).
+    """
+    merged: dict[tuple[object, object], float] = {}
+    for tail, arc in network.iter_edges():
+        if network.is_retired(tail) or network.is_retired(arc.head):
+            continue
+        key = (network.label_of(tail), network.label_of(arc.head))
+        routed = network.arcs_of(arc.head)[arc.rev].cap
+        if routed > 1e-12:
+            raise ValueError("split_antiparallel_edges requires a flow-free network")
+        capacity = arc.cap
+        merged[key] = merged.get(key, 0.0) + capacity
+
+    rewritten = FlowNetwork()
+    for index in network.active_indices():
+        rewritten.add_node(network.label_of(index))
+
+    helper_nodes: list[object] = []
+    split_count = 0
+    processed: set[tuple[object, object]] = set()
+    for (u, v), capacity in sorted(merged.items(), key=lambda kv: str(kv[0])):
+        if (u, v) in processed:
+            continue
+        reverse_capacity = merged.get((v, u))
+        if reverse_capacity is None:
+            rewritten.add_edge_labeled(u, v, capacity, kind=EdgeKind.PLAIN)
+            processed.add((u, v))
+            continue
+        # Keep (u, v) direct; re-route (v, u) through a helper node.
+        rewritten.add_edge_labeled(u, v, capacity, kind=EdgeKind.PLAIN)
+        helper = ("__split__", str(v), str(u), split_count)
+        rewritten.add_edge_labeled(v, helper, reverse_capacity, kind=EdgeKind.PLAIN)
+        rewritten.add_edge_labeled(helper, u, reverse_capacity, kind=EdgeKind.PLAIN)
+        helper_nodes.append(helper)
+        split_count += 1
+        processed.add((u, v))
+        processed.add((v, u))
+    return RewriteReport(
+        rewritten=rewritten,
+        split_count=split_count,
+        helper_nodes=tuple(helper_nodes),
+    )

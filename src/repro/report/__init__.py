@@ -1,0 +1,5 @@
+"""Figure-style reporting: series containers, CSV export, ASCII plots."""
+
+from repro.report.series import FigureData, Series, summarise_ratios
+
+__all__ = ["FigureData", "Series", "summarise_ratios"]

@@ -1,0 +1,147 @@
+"""Figure-style series: the data behind the paper's plots.
+
+The benchmark harness regenerates the paper's figures as *series* —
+ordered (x, y) points per labelled line.  This module gives those series a
+proper type with CSV export (for external plotting) and quick ASCII
+rendering (for terminal inspection), so EXPERIMENTS.md can cite both the
+numbers and their shape.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+
+@dataclass(slots=True)
+class Series:
+    """One labelled line of a figure."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one (x, y) point."""
+        self.points.append((float(x), float(y)))
+
+    def sorted_points(self) -> list[tuple[float, float]]:
+        """The points in ascending-x order."""
+        return sorted(self.points)
+
+    @property
+    def ys(self) -> list[float]:
+        """The y values, in insertion order."""
+        return [y for _, y in self.points]
+
+    def speedup_over(self, other: "Series") -> list[tuple[float, float]]:
+        """Pointwise x-aligned ratio ``other.y / self.y`` (self the faster)."""
+        mine = dict(self.points)
+        ratios = []
+        for x, y in other.sorted_points():
+            if x in mine and mine[x] > 0:
+                ratios.append((x, y / mine[x]))
+        return ratios
+
+
+@dataclass(slots=True)
+class FigureData:
+    """A figure: several series over a shared x axis."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+
+    def new_series(self, label: str) -> Series:
+        """Create, register and return a new labelled series."""
+        line = Series(label)
+        self.series.append(line)
+        return line
+
+    def get(self, label: str) -> Series:
+        """Look a series up by label (KeyError when absent)."""
+        for line in self.series:
+            if line.label == label:
+                return line
+        raise KeyError(label)
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Long-format CSV (series,x,y); optionally written to ``path``."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(["series", self.x_label, self.y_label])
+        for line in self.series:
+            for x, y in line.sorted_points():
+                writer.writerow([line.label, x, y])
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def to_ascii(self, *, width: int = 60, height: int = 12) -> str:
+        """A quick ASCII scatter of all series (log-y when spread is wide)."""
+        points = [
+            (x, y, index)
+            for index, line in enumerate(self.series)
+            for x, y in line.points
+        ]
+        if not points:
+            return f"{self.title}\n(no data)"
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        y_positive = [y for y in ys if y > 0]
+        log_scale = (
+            bool(y_positive)
+            and min(y_positive) > 0
+            and max(y_positive) / min(y_positive) > 100
+        )
+
+        def y_transform(value: float) -> float:
+            if log_scale and value > 0:
+                return math.log10(value)
+            return value
+
+        tys = [y_transform(y) for y in ys]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(tys), max(tys)
+        x_span = x_hi - x_lo or 1.0
+        y_span = y_hi - y_lo or 1.0
+        grid = [[" "] * width for _ in range(height)]
+        markers = "ox+*#@%&"
+        for x, y, index in points:
+            column = int((x - x_lo) / x_span * (width - 1))
+            row = int((y_transform(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][column] = markers[index % len(markers)]
+        legend = "  ".join(
+            f"{markers[i % len(markers)]}={line.label}"
+            for i, line in enumerate(self.series)
+        )
+        scale_note = " (log y)" if log_scale else ""
+        body = "\n".join("|" + "".join(row) for row in grid)
+        return (
+            f"{self.title}{scale_note}\n{body}\n+{'-' * width}\n"
+            f"x: {self.x_label} [{x_lo:g}, {x_hi:g}]  "
+            f"y: {self.y_label}\n{legend}"
+        )
+
+
+def summarise_ratios(ratios: Sequence[float]) -> dict[str, float]:
+    """Min / geometric-mean / max of a ratio series (speedup summaries)."""
+    positives = [r for r in ratios if r > 0]
+    if not positives:
+        return {"min": 0.0, "geomean": 0.0, "max": 0.0}
+    product = 1.0
+    for ratio in positives:
+        product *= ratio
+    return {
+        "min": min(positives),
+        "geomean": product ** (1.0 / len(positives)),
+        "max": max(positives),
+    }

@@ -1,0 +1,35 @@
+"""Agent-based payment-economy simulation with labelled fraud injection.
+
+The substrate behind realistic fraud-detection demos: a background economy
+(salaries, purchases, settlements, P2P) plus classic laundering typologies
+(smurfing, layering, round-tripping) with exact ground truth.
+"""
+
+from repro.simulation.economy import (
+    Accounts,
+    EconomyConfig,
+    PaymentEvent,
+    build_accounts,
+    simulate_economy,
+)
+from repro.simulation.fraud import (
+    FraudGroundTruth,
+    inject_layering,
+    inject_round_tripping,
+    inject_smurfing,
+)
+from repro.simulation.scenario import SimulatedScenario, simulate_scenario
+
+__all__ = [
+    "EconomyConfig",
+    "Accounts",
+    "PaymentEvent",
+    "build_accounts",
+    "simulate_economy",
+    "FraudGroundTruth",
+    "inject_smurfing",
+    "inject_layering",
+    "inject_round_tripping",
+    "SimulatedScenario",
+    "simulate_scenario",
+]

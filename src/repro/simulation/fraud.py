@@ -1,0 +1,193 @@
+"""Labelled fraud-scenario injectors.
+
+Each injector appends events realising a classic laundering typology to a
+payment stream and returns exact ground truth — the (source, sink) pair, the
+time window, and the moved volume — which is what the detection tests and
+benchmarks score against.
+
+Typologies (all produce genuine temporal flows of the stated volume, so a
+delta-BFlow query over the window must recover at least that value):
+
+* **smurfing** (structuring): the volume is split into many sub-threshold
+  slices, each routed through its own throwaway account;
+* **layering**: the volume moves through several layers of intermediaries
+  with splits and merges between layers;
+* **round-tripping**: the *same* funds cycle between two colluding
+  accounts to fake turnover — each direction of the cycle carries the full
+  per-lap amount repeatedly inside a short window.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import DatasetError
+from repro.simulation.economy import PaymentEvent
+
+
+@dataclass(frozen=True, slots=True)
+class FraudGroundTruth:
+    """What a scenario injected (the label the detector must recover)."""
+
+    kind: str
+    source: str
+    sink: str
+    window: tuple[int, int]
+    volume: float
+    accomplices: tuple[str, ...]
+
+    @property
+    def density(self) -> float:
+        """Ground-truth density: volume over window length."""
+        lo, hi = self.window
+        return self.volume / max(1, hi - lo)
+
+
+def inject_smurfing(
+    events: list[PaymentEvent],
+    source: str,
+    sink: str,
+    *,
+    volume: float,
+    num_smurfs: int,
+    window: tuple[int, int],
+    seed: int,
+) -> FraudGroundTruth:
+    """Structuring: split ``volume`` across ``num_smurfs`` mule accounts."""
+    lo, hi = _check_window(window, minimum_length=2)
+    if num_smurfs < 1:
+        raise DatasetError("need at least one smurf")
+    rng = random.Random(seed)
+    slice_amount = volume / num_smurfs
+    smurfs = tuple(f"smurf_{source}_{i:02d}" for i in range(num_smurfs))
+    midpoint = (lo + hi) // 2
+    for i, smurf in enumerate(smurfs):
+        deposit_tick = rng.randint(lo, max(lo, midpoint - 1))
+        payout_tick = rng.randint(min(hi, midpoint + 1), hi)
+        if payout_tick <= deposit_tick:
+            payout_tick = min(hi, deposit_tick + 1)
+        events.append((source, smurf, deposit_tick, round(slice_amount, 2)))
+        events.append((smurf, sink, payout_tick, round(slice_amount, 2)))
+    events.sort(key=lambda event: event[2])
+    return FraudGroundTruth(
+        kind="smurfing",
+        source=source,
+        sink=sink,
+        window=window,
+        volume=round(slice_amount, 2) * num_smurfs,
+        accomplices=smurfs,
+    )
+
+
+def inject_layering(
+    events: list[PaymentEvent],
+    source: str,
+    sink: str,
+    *,
+    volume: float,
+    depth: int,
+    width: int,
+    window: tuple[int, int],
+    seed: int,
+) -> FraudGroundTruth:
+    """Layering: ``depth`` layers of ``width`` intermediaries with shuffles.
+
+    Every layer fully forwards what it received, with the split across the
+    next layer re-randomised — the classic audit-trail obfuscation.
+    """
+    lo, hi = _check_window(window, minimum_length=depth + 1)
+    if depth < 1 or width < 1:
+        raise DatasetError("layering needs depth >= 1 and width >= 1")
+    rng = random.Random(seed)
+    layers = [
+        tuple(f"layer_{source}_{level}_{i}" for i in range(width))
+        for level in range(depth)
+    ]
+    ticks = sorted(rng.sample(range(lo, hi + 1), depth + 1))
+
+    def random_split(total: float, parts: int) -> list[float]:
+        cuts = sorted(rng.uniform(0.2, 0.8) for _ in range(parts - 1))
+        shares = []
+        previous = 0.0
+        for cut in cuts + [1.0]:
+            shares.append(total * (cut - previous))
+            previous = cut
+        return shares
+
+    # Source -> first layer.
+    holdings = {}
+    for account, share in zip(layers[0], random_split(volume, width)):
+        events.append((source, account, ticks[0], round(share, 2)))
+        holdings[account] = round(share, 2)
+    # Layer -> layer.
+    for level in range(1, depth):
+        new_holdings: dict[str, float] = {a: 0.0 for a in layers[level]}
+        for account, amount in holdings.items():
+            for receiver, share in zip(
+                layers[level], random_split(amount, width)
+            ):
+                share = round(share, 2)
+                if share <= 0:
+                    continue
+                events.append((account, receiver, ticks[level], share))
+                new_holdings[receiver] += share
+        holdings = {a: v for a, v in new_holdings.items() if v > 0}
+    # Last layer -> sink.
+    for account, amount in holdings.items():
+        events.append((account, sink, ticks[depth], round(amount, 2)))
+    events.sort(key=lambda event: event[2])
+    moved = sum(v for v in holdings.values())
+    accomplices = tuple(a for layer in layers for a in layer)
+    return FraudGroundTruth(
+        kind="layering",
+        source=source,
+        sink=sink,
+        window=window,
+        volume=round(moved, 2),
+        accomplices=accomplices,
+    )
+
+
+def inject_round_tripping(
+    events: list[PaymentEvent],
+    a: str,
+    b: str,
+    *,
+    lap_amount: float,
+    laps: int,
+    window: tuple[int, int],
+    seed: int,
+) -> FraudGroundTruth:
+    """Round-tripping: the same funds cycle ``a -> b -> a`` repeatedly.
+
+    Each direction carries ``lap_amount * laps`` in total, so a delta-BFlow
+    query for either direction sees a dense flow even though no net value
+    moved — exactly the fake-turnover pattern.
+    """
+    lo, hi = _check_window(window, minimum_length=2 * laps)
+    if laps < 1:
+        raise DatasetError("need at least one lap")
+    rng = random.Random(seed)
+    ticks = sorted(rng.sample(range(lo, hi + 1), 2 * laps))
+    for lap in range(laps):
+        events.append((a, b, ticks[2 * lap], round(lap_amount, 2)))
+        events.append((b, a, ticks[2 * lap + 1], round(lap_amount, 2)))
+    events.sort(key=lambda event: event[2])
+    return FraudGroundTruth(
+        kind="round-tripping",
+        source=a,
+        sink=b,
+        window=window,
+        volume=round(lap_amount, 2) * laps,
+        accomplices=(),
+    )
+
+
+def _check_window(window: tuple[int, int], *, minimum_length: int) -> tuple[int, int]:
+    lo, hi = window
+    if hi - lo < minimum_length:
+        raise DatasetError(
+            f"window {window} too short (needs length >= {minimum_length})"
+        )
+    return lo, hi

@@ -1,0 +1,116 @@
+"""Scenario assembly: economy + injected frauds -> network + ground truth."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.simulation.economy import (
+    Accounts,
+    EconomyConfig,
+    PaymentEvent,
+    simulate_economy,
+)
+from repro.simulation.fraud import (
+    FraudGroundTruth,
+    inject_layering,
+    inject_round_tripping,
+    inject_smurfing,
+)
+from repro.temporal.network import TemporalFlowNetwork
+
+
+@dataclass(slots=True)
+class SimulatedScenario:
+    """A complete simulation: the network plus exact labels."""
+
+    network: TemporalFlowNetwork
+    events: list[PaymentEvent]
+    accounts: Accounts
+    frauds: list[FraudGroundTruth] = field(default_factory=list)
+
+    @property
+    def fraud_pairs(self) -> list[tuple[str, str]]:
+        """The injected (source, sink) pairs, in injection order."""
+        return [(fraud.source, fraud.sink) for fraud in self.frauds]
+
+    def benign_pairs(self, count: int, *, seed: int = 0) -> list[tuple[str, str]]:
+        """Random consumer->merchant pairs not involved in any fraud."""
+        rng = random.Random(seed)
+        tainted = {
+            node
+            for fraud in self.frauds
+            for node in (fraud.source, fraud.sink, *fraud.accomplices)
+        }
+        clean_consumers = [c for c in self.accounts.consumers if c not in tainted]
+        clean_merchants = [m for m in self.accounts.merchants if m not in tainted]
+        pairs = []
+        while len(pairs) < count and clean_consumers and clean_merchants:
+            pair = (rng.choice(clean_consumers), rng.choice(clean_merchants))
+            if pair not in pairs:
+                pairs.append(pair)
+        return pairs
+
+
+def simulate_scenario(
+    *,
+    config: EconomyConfig | None = None,
+    seed: int = 0,
+    with_smurfing: bool = True,
+    with_layering: bool = True,
+    with_round_tripping: bool = False,
+) -> SimulatedScenario:
+    """One-call scenario: a background economy with labelled frauds on top.
+
+    Fraud endpoints are fresh accounts (mirroring shell companies) so the
+    ground truth is unambiguous; windows are placed in the final third of
+    the horizon, where the case study focuses ("the most recent periods").
+    """
+    config = config or EconomyConfig()
+    events, accounts = simulate_economy(config, seed=seed)
+    frauds: list[FraudGroundTruth] = []
+    horizon = config.horizon
+    late = int(horizon * 0.7)
+
+    if with_smurfing:
+        frauds.append(
+            inject_smurfing(
+                events,
+                "shell_alpha",
+                "shell_beta",
+                volume=60_000.0,
+                num_smurfs=8,
+                window=(late, late + max(6, horizon // 50)),
+                seed=seed + 1,
+            )
+        )
+    if with_layering:
+        frauds.append(
+            inject_layering(
+                events,
+                "shell_gamma",
+                "shell_delta",
+                volume=45_000.0,
+                depth=3,
+                width=3,
+                window=(late + horizon // 20, late + horizon // 20 + max(8, horizon // 40)),
+                seed=seed + 2,
+            )
+        )
+    if with_round_tripping:
+        frauds.append(
+            inject_round_tripping(
+                events,
+                "shell_eps",
+                "shell_zeta",
+                lap_amount=9_000.0,
+                laps=4,
+                window=(late + horizon // 10, late + horizon // 10 + max(10, horizon // 30)),
+                seed=seed + 3,
+            )
+        )
+
+    network = TemporalFlowNetwork.from_tuples(events)
+    return SimulatedScenario(
+        network=network, events=events, accounts=accounts, frauds=frauds
+    )

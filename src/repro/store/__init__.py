@@ -1,0 +1,11 @@
+"""Embedded temporal graph store (the paper's Neo4j-backend role).
+
+Transactions land durably as they happen; analysis performs a one-off
+export into a :class:`~repro.temporal.network.TemporalFlowNetwork` and
+answers delta-BFlow queries memory-resident.
+"""
+
+from repro.store.graph_store import GraphStore, StoredRelationship
+from repro.store.log import AppendLog
+
+__all__ = ["GraphStore", "StoredRelationship", "AppendLog"]

@@ -1,0 +1,317 @@
+"""An embedded temporal property-graph store.
+
+Plays the role Neo4j plays in the paper's deployment: transactions land in
+a durable store as they happen; analysis exports a temporal flow network
+*once* and answers every delta-BFlow query memory-resident ("all the
+evaluated delta-BFlow queries can be answered by a one-off data export").
+
+Capabilities (deliberately scoped to what the paper's pipeline needs):
+
+* nodes with a free-form property dict;
+* directed *temporal* relationships ``(u, v, tau)`` with an ``amount`` and
+  optional properties (labels, currency, ...);
+* durability through an append-only JSON-lines log with crash-tolerant
+  replay and compaction;
+* secondary indexes: by timestamp (range scans) and by endpoint
+  (per-account ledgers);
+* the one-off export: :meth:`export_network` produces a
+  :class:`~repro.temporal.network.TemporalFlowNetwork` (optionally
+  filtered to a time range / predicate) plus a timestamp codec when
+  compaction is requested.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Mapping
+
+from repro.exceptions import DatasetError, UnknownNodeError
+from repro.store.log import AppendLog
+from repro.temporal.builder import TemporalFlowNetworkBuilder, TimestampCodec
+from repro.temporal.network import TemporalFlowNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class StoredRelationship:
+    """One temporal relationship as stored."""
+
+    rel_id: int
+    u: str
+    v: str
+    tau: float
+    amount: float
+    properties: Mapping[str, object] = field(default_factory=dict)
+
+
+class GraphStore:
+    """An embedded, optionally durable temporal graph store.
+
+    Args:
+        path: log file for durability; ``None`` keeps the store in memory
+            only.
+        fsync: fsync the log on every flush (durability vs speed).
+    """
+
+    def __init__(self, path: str | Path | None = None, *, fsync: bool = False) -> None:
+        self._log = AppendLog(path, fsync=fsync) if path is not None else None
+        self._nodes: dict[str, dict] = {}
+        self._rels: dict[int, StoredRelationship] = {}
+        self._next_rel_id = 1
+        # Indexes.
+        self._by_tau: list[tuple[float, int]] = []  # sorted (tau, rel_id)
+        self._out: dict[str, list[int]] = defaultdict(list)
+        self._in: dict[str, list[int]] = defaultdict(list)
+        if self._log is not None:
+            self._replay()
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str, **properties) -> None:
+        """Create or update a node (properties merge)."""
+        node_id = str(node_id)
+        merged = {**self._nodes.get(node_id, {}), **properties}
+        self._nodes[node_id] = merged
+        self._journal({"op": "node", "id": node_id, "props": merged})
+
+    def add_relationship(
+        self,
+        u: str,
+        v: str,
+        tau: float,
+        amount: float,
+        **properties,
+    ) -> int:
+        """Record a transfer ``u -> v`` of ``amount`` at time ``tau``.
+
+        Endpoints are auto-created.  Returns the relationship id.
+
+        Raises:
+            DatasetError: for non-positive amounts or ``u == v``.
+        """
+        u, v = str(u), str(v)
+        if u == v:
+            raise DatasetError(f"self transfer not allowed: {u!r}")
+        if amount <= 0:
+            raise DatasetError(f"amount must be positive, got {amount}")
+        for node in (u, v):
+            if node not in self._nodes:
+                self.add_node(node)
+        rel_id = self._next_rel_id
+        record = StoredRelationship(
+            rel_id=rel_id, u=u, v=v, tau=float(tau), amount=float(amount),
+            properties=dict(properties),
+        )
+        self._apply_relationship(record)
+        self._journal(
+            {
+                "op": "rel",
+                "id": rel_id,
+                "u": u,
+                "v": v,
+                "tau": float(tau),
+                "amount": float(amount),
+                "props": dict(properties),
+            }
+        )
+        return rel_id
+
+    def flush(self) -> None:
+        """Flush the durability log (no-op for in-memory stores)."""
+        if self._log is not None:
+            self._log.flush()
+
+    def compact(self) -> None:
+        """Rewrite the log to the minimal record set for the live state."""
+        if self._log is None:
+            return
+        self._log.compact(self._canonical_records())
+
+    def close(self) -> None:
+        """Flush and close the durability log."""
+        if self._log is not None:
+            self._log.close()
+
+    def __enter__(self) -> "GraphStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of stored nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_relationships(self) -> int:
+        """Number of stored relationships."""
+        return len(self._rels)
+
+    def node(self, node_id: str) -> Mapping[str, object]:
+        """A node's property dict (UnknownNodeError when absent)."""
+        try:
+            return self._nodes[str(node_id)]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def has_node(self, node_id: str) -> bool:
+        """Whether the node exists in the store."""
+        return str(node_id) in self._nodes
+
+    def relationship(self, rel_id: int) -> StoredRelationship:
+        """Look a relationship up by id (DatasetError when absent)."""
+        try:
+            return self._rels[rel_id]
+        except KeyError:
+            raise DatasetError(f"unknown relationship id {rel_id}") from None
+
+    def relationships(self) -> Iterator[StoredRelationship]:
+        """All relationships in insertion order."""
+        return iter(sorted(self._rels.values(), key=lambda r: r.rel_id))
+
+    def relationships_between(
+        self, tau_lo: float, tau_hi: float
+    ) -> Iterator[StoredRelationship]:
+        """Relationships with ``tau_lo <= tau <= tau_hi`` in time order."""
+        lo = bisect.bisect_left(self._by_tau, (tau_lo, -1))
+        hi = bisect.bisect_right(self._by_tau, (tau_hi, float("inf")))
+        for _, rel_id in self._by_tau[lo:hi]:
+            yield self._rels[rel_id]
+
+    def outgoing(self, node_id: str) -> Iterator[StoredRelationship]:
+        """A node's out-ledger, in insertion order."""
+        self.node(node_id)
+        for rel_id in self._out.get(str(node_id), []):
+            yield self._rels[rel_id]
+
+    def incoming(self, node_id: str) -> Iterator[StoredRelationship]:
+        """A node's in-ledger, in insertion order."""
+        self.node(node_id)
+        for rel_id in self._in.get(str(node_id), []):
+            yield self._rels[rel_id]
+
+    def total_volume(self, node_id: str, *, direction: str = "out") -> float:
+        """Sum of transfer amounts leaving/entering a node."""
+        ledger = self.outgoing if direction == "out" else self.incoming
+        return sum(rel.amount for rel in ledger(node_id))
+
+    # ------------------------------------------------------------------
+    # The one-off export
+    # ------------------------------------------------------------------
+    def export_network(
+        self,
+        *,
+        tau_lo: float | None = None,
+        tau_hi: float | None = None,
+        predicate: Callable[[StoredRelationship], bool] | None = None,
+        compact_timestamps: bool = True,
+    ) -> tuple[TemporalFlowNetwork, TimestampCodec | None]:
+        """Export the store as a temporal flow network (the paper's step).
+
+        Args:
+            tau_lo / tau_hi: optional inclusive time range (the case study
+                exports "the transactions having the largest 1% of
+                timestamps"; callers compute the cut and pass it here).
+            predicate: optional relationship filter (e.g. by label).
+            compact_timestamps: renumber event times into dense sequence
+                numbers 1..n and return the codec (the paper's convention).
+
+        Returns:
+            ``(network, codec)``; ``codec`` is ``None`` when
+            ``compact_timestamps`` is false (then raw times must already be
+            integers).
+        """
+        builder = TemporalFlowNetworkBuilder()
+        if tau_lo is None and tau_hi is None:
+            selected: Iterator[StoredRelationship] = self.relationships()
+        else:
+            lo = tau_lo if tau_lo is not None else float("-inf")
+            hi = tau_hi if tau_hi is not None else float("inf")
+            selected = self.relationships_between(lo, hi)
+        exported = 0
+        for rel in selected:
+            if predicate is not None and not predicate(rel):
+                continue
+            builder.edge(rel.u, rel.v, rel.tau, rel.amount)
+            exported += 1
+        if exported == 0:
+            return (TemporalFlowNetwork(), TimestampCodec([]) if compact_timestamps else None)
+        if compact_timestamps:
+            network, codec = builder.build_compacted()
+            return (network, codec)
+        return (builder.build(), None)
+
+    def timestamp_quantile(self, fraction: float) -> float:
+        """The time below which ``fraction`` of relationships fall.
+
+        Used to reproduce the case study's "largest 1% of timestamps"
+        export: ``store.timestamp_quantile(0.99)`` is the cut.
+        """
+        if not self._by_tau:
+            raise DatasetError("store has no relationships")
+        if not 0.0 <= fraction <= 1.0:
+            raise DatasetError(f"fraction must be in [0, 1], got {fraction}")
+        index = min(
+            len(self._by_tau) - 1, int(fraction * len(self._by_tau))
+        )
+        return self._by_tau[index][0]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _apply_relationship(self, record: StoredRelationship) -> None:
+        self._rels[record.rel_id] = record
+        bisect.insort(self._by_tau, (record.tau, record.rel_id))
+        self._out[record.u].append(record.rel_id)
+        self._in[record.v].append(record.rel_id)
+        self._next_rel_id = max(self._next_rel_id, record.rel_id + 1)
+
+    def _journal(self, record: dict) -> None:
+        if self._log is not None:
+            self._log.append(record)
+
+    def _replay(self) -> None:
+        assert self._log is not None
+        for record in self._log.replay():
+            op = record.get("op")
+            if op == "node":
+                self._nodes[record["id"]] = dict(record.get("props", {}))
+            elif op == "rel":
+                self._apply_relationship(
+                    StoredRelationship(
+                        rel_id=int(record["id"]),
+                        u=record["u"],
+                        v=record["v"],
+                        tau=float(record["tau"]),
+                        amount=float(record["amount"]),
+                        properties=dict(record.get("props", {})),
+                    )
+                )
+            else:
+                raise DatasetError(f"unknown log op: {op!r}")
+
+    def _canonical_records(self) -> list[dict]:
+        records: list[dict] = [
+            {"op": "node", "id": node_id, "props": props}
+            for node_id, props in sorted(self._nodes.items())
+        ]
+        for rel in self.relationships():
+            records.append(
+                {
+                    "op": "rel",
+                    "id": rel.rel_id,
+                    "u": rel.u,
+                    "v": rel.v,
+                    "tau": rel.tau,
+                    "amount": rel.amount,
+                    "props": dict(rel.properties),
+                }
+            )
+        return records

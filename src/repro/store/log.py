@@ -1,0 +1,104 @@
+"""Append-only event log — the durability layer of the graph store.
+
+The paper keeps its transaction data in a graph database (Neo4j) and
+answers delta-BFlow queries memory-resident after a one-off export.  This
+package reproduces that architecture with an embedded store; the log is
+its write-ahead substrate: every mutation is one JSON line, fsync-able,
+replayable, and cheap to tail.
+
+Records are dicts with an ``op`` field; the log itself is schema-agnostic
+(the :class:`~repro.store.graph_store.GraphStore` defines the op set).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.exceptions import DatasetError
+
+
+class AppendLog:
+    """A JSON-lines append-only log with replay and compaction support."""
+
+    def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._records_appended = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Append one record (one JSON line)."""
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        self._handle.write(line)
+        self._handle.write("\n")
+        self._records_appended += 1
+
+    def flush(self) -> None:
+        """Flush buffered writes (and fsync when configured)."""
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Flush and close the underlying file handle."""
+        self.flush()
+        self._handle.close()
+
+    def __enter__(self) -> "AppendLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def records_appended(self) -> int:
+        """Records appended through *this* handle (not total on disk)."""
+        return self._records_appended
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def replay(self) -> Iterator[dict]:
+        """Yield every record currently on disk, oldest first.
+
+        Raises:
+            DatasetError: on a corrupt (non-JSON) line, reporting its
+                number.  A *trailing* partial line — the signature of a
+                crash mid-write — is tolerated and skipped.
+        """
+        self.flush()
+        with self.path.open(encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                yield json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                if number == len(lines) and not line.endswith("\n"):
+                    return  # torn trailing write: ignore
+                raise DatasetError(
+                    f"{self.path}:{number}: corrupt log record: {exc}"
+                ) from exc
+
+    def compact(self, records: Iterator[dict] | list[dict]) -> None:
+        """Atomically replace the log's contents with ``records``."""
+        self.flush()
+        tmp_path = self.path.with_suffix(self.path.suffix + ".compact")
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+                handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(tmp_path, self.path)
+        self._handle = self.path.open("a", encoding="utf-8")

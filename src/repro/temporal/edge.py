@@ -1,0 +1,68 @@
+"""Temporal edge primitives.
+
+A temporal flow network is a multiset of :class:`TemporalEdge` values.  Each
+edge is a directed interaction ``(u, v, tau)`` carrying a positive capacity,
+e.g. a money transfer of a given amount at a given time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.exceptions import InvalidCapacityError, InvalidEdgeError
+
+NodeId = Hashable
+Timestamp = int
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalEdge:
+    """A directed temporal edge ``u -> v`` at timestamp ``tau``.
+
+    Attributes:
+        u: tail (origin) node.
+        v: head (destination) node.
+        tau: integer timestamp of the interaction.  The paper normalises
+            timestamps to consecutive sequence numbers; the loaders in
+            :mod:`repro.temporal.io` perform that compaction, so ``tau`` is
+            expected (but not required) to be small and dense.
+        capacity: positive, finite amount that can flow along this edge
+            (e.g. the transaction amount).
+    """
+
+    u: NodeId
+    v: NodeId
+    tau: Timestamp
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise InvalidEdgeError(f"self loop not allowed: {self.u!r} at tau={self.tau}")
+        if not isinstance(self.tau, int):
+            raise InvalidEdgeError(f"timestamp must be an int, got {self.tau!r}")
+        validate_capacity(self.capacity)
+
+    def reversed(self) -> "TemporalEdge":
+        """Return the edge with tail and head swapped (same time/capacity)."""
+        return TemporalEdge(self.v, self.u, self.tau, self.capacity)
+
+    def key(self) -> tuple[NodeId, NodeId, Timestamp]:
+        """The ``(u, v, tau)`` triple identifying this interaction."""
+        return (self.u, self.v, self.tau)
+
+
+def validate_capacity(capacity: float) -> float:
+    """Validate that ``capacity`` is a positive finite number.
+
+    Returns the capacity unchanged, for use in fluent call sites.
+
+    Raises:
+        InvalidCapacityError: if the capacity is non-positive, NaN or inf.
+    """
+    if not isinstance(capacity, (int, float)) or isinstance(capacity, bool):
+        raise InvalidCapacityError(capacity)
+    if math.isnan(capacity) or math.isinf(capacity) or capacity <= 0:
+        raise InvalidCapacityError(capacity)
+    return capacity

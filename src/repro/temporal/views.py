@@ -1,0 +1,132 @@
+"""Sub-network and transformation utilities for temporal flow networks.
+
+Small, composable operations used across the library (the bursting-core
+baseline restricts to node-induced windows, the labeled extension projects
+edge subsets, examples slice time ranges) and useful to downstream users
+assembling analysis pipelines.
+
+All functions return *new* networks; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.exceptions import UnknownNodeError
+from repro.temporal.edge import NodeId, TemporalEdge, Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+
+def window_subnetwork(
+    network: TemporalFlowNetwork,
+    tau_lo: Timestamp,
+    tau_hi: Timestamp,
+    *,
+    keep_nodes: bool = False,
+) -> TemporalFlowNetwork:
+    """Edges with timestamps in the inclusive window ``[tau_lo, tau_hi]``.
+
+    Args:
+        keep_nodes: also register every node of the original network (even
+            those left isolated), so queries against fixed endpoints fail
+            soft instead of raising.
+    """
+    result = TemporalFlowNetwork()
+    for edge in network.edges_in_window(tau_lo, tau_hi):
+        result.add_edge(edge)
+    if keep_nodes:
+        for node in network.nodes:
+            result.add_node(node)
+    return result
+
+
+def node_induced_subnetwork(
+    network: TemporalFlowNetwork,
+    nodes: Iterable[NodeId],
+    *,
+    keep_nodes: bool = True,
+) -> TemporalFlowNetwork:
+    """Edges whose *both* endpoints belong to ``nodes``."""
+    member = set(nodes)
+    result = TemporalFlowNetwork()
+    for edge in network.edges():
+        if edge.u in member and edge.v in member:
+            result.add_edge(edge)
+    if keep_nodes:
+        for node in member:
+            if network.has_node(node):
+                result.add_node(node)
+    return result
+
+
+def filter_edges(
+    network: TemporalFlowNetwork,
+    predicate: Callable[[TemporalEdge], bool],
+) -> TemporalFlowNetwork:
+    """The sub-network of edges satisfying ``predicate`` (nodes preserved)."""
+    result = TemporalFlowNetwork()
+    for edge in network.edges():
+        if predicate(edge):
+            result.add_edge(edge)
+    for node in network.nodes:
+        result.add_node(node)
+    return result
+
+
+def relabel_nodes(
+    network: TemporalFlowNetwork,
+    mapping: Callable[[NodeId], NodeId] | dict,
+) -> TemporalFlowNetwork:
+    """A copy with every node passed through ``mapping``.
+
+    Dict mappings may be partial (unmapped nodes keep their labels).
+
+    Raises:
+        UnknownNodeError: if the mapping merges two distinct nodes into
+            one (that would silently change flow semantics).
+    """
+    if isinstance(mapping, dict):
+        translate = lambda node: mapping.get(node, node)  # noqa: E731
+    else:
+        translate = mapping
+    images: dict[NodeId, NodeId] = {}
+    for node in network.nodes:
+        image = translate(node)
+        images[node] = image
+    if len(set(images.values())) != len(images):
+        raise UnknownNodeError("relabel mapping merges distinct nodes")
+    result = TemporalFlowNetwork()
+    for edge in network.edges():
+        result.add_edge(
+            TemporalEdge(images[edge.u], images[edge.v], edge.tau, edge.capacity)
+        )
+    for node in network.nodes:
+        result.add_node(images[node])
+    return result
+
+
+def merge_networks(
+    a: TemporalFlowNetwork, b: TemporalFlowNetwork
+) -> TemporalFlowNetwork:
+    """The union of two networks (shared ``(u, v, tau)`` capacities sum)."""
+    result = TemporalFlowNetwork()
+    for network in (a, b):
+        for edge in network.edges():
+            result.add_edge(edge)
+        for node in network.nodes:
+            result.add_node(node)
+    return result
+
+
+def shift_timestamps(
+    network: TemporalFlowNetwork, offset: int
+) -> TemporalFlowNetwork:
+    """A copy with every timestamp moved by ``offset`` ticks."""
+    result = TemporalFlowNetwork()
+    for edge in network.edges():
+        result.add_edge(
+            TemporalEdge(edge.u, edge.v, edge.tau + offset, edge.capacity)
+        )
+    for node in network.nodes:
+        result.add_node(node)
+    return result

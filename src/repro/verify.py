@@ -1,0 +1,138 @@
+"""Installation self-check.
+
+``python -c "import repro.verify as v; v.self_check()"`` (or
+``repro-bfq`` users calling :func:`self_check` programmatically) runs a
+battery of fast, deterministic invariants that certify the install:
+
+1. the paper's Figure-2 Maxflow (= 7) across every solver;
+2. agreement of BFQ / BFQ+ / BFQ* with the naive oracle on seeded random
+   temporal networks;
+3. a Lemma-1 round trip (transformed Maxflow -> valid temporal flow);
+4. the streaming monitor vs the offline answer on a seeded stream.
+
+Raises :class:`repro.exceptions.ReproError` on the first failed check;
+returns a dict of check names to human-readable outcomes otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import naive_bfq
+from repro.core import (
+    BurstingFlowQuery,
+    build_transformed_network,
+    find_bursting_flow,
+)
+from repro.core.transform import extract_temporal_flow
+from repro.exceptions import ReproError
+from repro.extensions import StreamingBurstMonitor
+from repro.flownet import SOLVERS, FlowNetwork, dinic
+from repro.temporal import TemporalEdge, TemporalFlowNetwork, validate_temporal_flow
+
+
+class SelfCheckError(ReproError):
+    """A self-check invariant failed — the installation is unhealthy."""
+
+
+def self_check(*, seed: int = 20240705, trials: int = 10) -> dict[str, str]:
+    """Run all checks; returns check-name -> outcome summary."""
+    outcomes = {}
+    outcomes["figure2_maxflow"] = _check_figure2()
+    outcomes["oracle_agreement"] = _check_oracle_agreement(seed, trials)
+    outcomes["lemma1_round_trip"] = _check_lemma1(seed)
+    outcomes["streaming_equivalence"] = _check_streaming(seed)
+    return outcomes
+
+
+def _check_figure2() -> str:
+    edges = [
+        ("s", "v1", 3.0), ("s", "v2", 4.0), ("v1", "v3", 3.0),
+        ("v2", "v3", 4.0), ("v3", "v4", 2.0), ("v3", "v5", 5.0),
+        ("v4", "t", 2.0), ("v5", "t", 5.0),
+    ]
+    for name, solver in SOLVERS.items():
+        network = FlowNetwork()
+        for u, v, capacity in edges:
+            network.add_edge_labeled(u, v, capacity)
+        value = solver(network, network.index_of("s"), network.index_of("t")).value
+        if abs(value - 7.0) > 1e-6:
+            raise SelfCheckError(
+                f"solver {name!r} got {value} on Figure 2 (expected 7)"
+            )
+    return f"{len(SOLVERS)} solvers agree (Maxflow = 7)"
+
+
+def _random_network(rng: random.Random) -> TemporalFlowNetwork:
+    nodes = [f"n{i}" for i in range(rng.randint(3, 6))]
+    horizon = rng.randint(3, 9)
+    network = TemporalFlowNetwork()
+    for _ in range(rng.randint(5, 18)):
+        u, v = rng.sample(nodes, 2)
+        network.add_edge(
+            TemporalEdge(u, v, rng.randint(1, horizon), float(rng.randint(1, 9)))
+        )
+    network.add_node("n0")
+    network.add_node("n1")
+    return network
+
+
+def _check_oracle_agreement(seed: int, trials: int) -> str:
+    rng = random.Random(seed)
+    checked = 0
+    for _ in range(trials):
+        network = _random_network(rng)
+        delta = rng.randint(1, 3)
+        query = BurstingFlowQuery("n0", "n1", delta)
+        oracle = naive_bfq(network, query).density
+        for algorithm in ("bfq", "bfq+", "bfq*"):
+            answer = find_bursting_flow(network, query, algorithm=algorithm)
+            if abs(answer.density - oracle) > 1e-7:
+                raise SelfCheckError(
+                    f"{algorithm} disagrees with the oracle "
+                    f"({answer.density} vs {oracle})"
+                )
+        checked += 1
+    return f"{checked} random networks, 3 algorithms vs oracle"
+
+
+def _check_lemma1(seed: int) -> str:
+    rng = random.Random(seed + 1)
+    network = _random_network(rng)
+    transformed = build_transformed_network(
+        network, "n0", "n1", network.t_min, network.t_max
+    )
+    value = dinic(
+        transformed.flow_network,
+        transformed.source_index,
+        transformed.sink_index,
+    ).value
+    flow = extract_temporal_flow(transformed)
+    validate_temporal_flow(network, flow)
+    if abs(flow.flow_value() - value) > 1e-6:
+        raise SelfCheckError("Lemma-1 round trip lost flow value")
+    return f"temporal flow of value {value:g} validated"
+
+
+def _check_streaming(seed: int) -> str:
+    rng = random.Random(seed + 2)
+    nodes = [f"n{i}" for i in range(5)]
+    events = []
+    for _ in range(30):
+        u, v = rng.sample(nodes, 2)
+        events.append((u, v, rng.randint(1, 12), float(rng.randint(1, 9))))
+    events.sort(key=lambda e: e[2])
+    monitor = StreamingBurstMonitor("n0", "n1", 2)
+    monitor.observe_batch(events)
+    record = monitor.finalize()
+    offline = find_bursting_flow(
+        TemporalFlowNetwork.from_tuples(events), source="n0", sink="n1", delta=2
+    )
+    if abs(record.density - offline.density) > 1e-7:
+        raise SelfCheckError("streaming monitor disagrees with offline answer")
+    return f"stream of {len(events)} events matches offline"
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    for check, outcome in self_check().items():
+        print(f"{check:<24} OK  ({outcome})")

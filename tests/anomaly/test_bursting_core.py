@@ -1,0 +1,100 @@
+"""Tests for the bursting-core baseline and the paper's contrast argument."""
+
+import pytest
+
+from repro import find_bursting_flow
+from repro.anomaly import BurstingCore, core_flow_value, find_bursting_cores
+from repro.exceptions import InvalidQueryError
+from repro.temporal import TemporalFlowNetwork
+
+
+def chatty_clique(value: float) -> list[tuple[str, str, int, float]]:
+    """A 4-clique exchanging many tiny transfers inside [10, 12]."""
+    members = ["c0", "c1", "c2", "c3"]
+    edges = []
+    tau = 10
+    for i, u in enumerate(members):
+        for v in members[i + 1 :]:
+            edges.append((u, v, tau, value))
+            edges.append((v, u, tau + 1, value))
+            tau = 10 + (tau - 9) % 3
+    return edges
+
+
+@pytest.fixture
+def contrast_network() -> TemporalFlowNetwork:
+    """The paper's two counterexamples in one network:
+
+    * a huge-value bursting *flow* along a low-degree path (never in a
+      core), and
+    * a chatty clique of near-zero-value transfers (a core with almost no
+      flow).
+    """
+    edges = [
+        # The bursting flow: 1000 units through a 3-hop path in [20, 23].
+        ("s", "m1", 20, 1000.0),
+        ("m1", "m2", 21, 1000.0),
+        ("m2", "t", 23, 1000.0),
+    ]
+    edges += chatty_clique(value=0.5)
+    return TemporalFlowNetwork.from_tuples(edges)
+
+
+class TestCoreMining:
+    def test_clique_is_a_core(self, contrast_network):
+        cores = find_bursting_cores(contrast_network, l_threshold=3, delta=3)
+        assert cores, "the chatty clique should form a bursting core"
+        clique_cores = [c for c in cores if "c0" in c]
+        assert clique_cores
+        assert {"c0", "c1", "c2", "c3"} <= set(clique_cores[0].nodes)
+
+    def test_path_nodes_not_in_cores(self, contrast_network):
+        cores = find_bursting_cores(contrast_network, l_threshold=3, delta=3)
+        for core in cores:
+            for node in ("s", "m1", "m2", "t"):
+                assert node not in core
+
+    def test_parameter_validation(self, contrast_network):
+        with pytest.raises(InvalidQueryError):
+            find_bursting_cores(contrast_network, l_threshold=0, delta=3)
+        with pytest.raises(InvalidQueryError):
+            find_bursting_cores(contrast_network, l_threshold=3, delta=0)
+
+    def test_empty_network(self):
+        assert find_bursting_cores(TemporalFlowNetwork(), 2, 2) == []
+
+    def test_threshold_monotonicity(self, contrast_network):
+        low = find_bursting_cores(contrast_network, l_threshold=2, delta=3)
+        high = find_bursting_cores(contrast_network, l_threshold=5, delta=3)
+        low_nodes = set().union(*(c.nodes for c in low)) if low else set()
+        high_nodes = set().union(*(c.nodes for c in high)) if high else set()
+        assert high_nodes <= low_nodes
+
+    def test_core_object_api(self):
+        core = BurstingCore((1, 4), frozenset({"a", "b"}), 2)
+        assert "a" in core
+        assert core.size == 2
+
+
+class TestPaperContrastArgument:
+    """Related work, on [33]: 'there can be bursting flows in a non-core
+    subgraph, whereas there can be bursting cores with small flow values'."""
+
+    def test_bursting_flow_lives_outside_every_core(self, contrast_network):
+        result = find_bursting_flow(
+            contrast_network, source="s", sink="t", delta=2
+        )
+        assert result.density >= 1000.0 / 3.0
+        cores = find_bursting_cores(contrast_network, l_threshold=3, delta=3)
+        flow_nodes = {"s", "m1", "m2", "t"}
+        for core in cores:
+            assert not (flow_nodes & set(core.nodes))
+
+    def test_bursting_core_carries_negligible_flow(self, contrast_network):
+        cores = find_bursting_cores(contrast_network, l_threshold=3, delta=3)
+        clique_core = next(c for c in cores if "c0" in c)
+        value = core_flow_value(contrast_network, clique_core, "c0", "c3")
+        burst = find_bursting_flow(
+            contrast_network, source="s", sink="t", delta=2
+        )
+        assert value < burst.flow_value / 100

@@ -1,0 +1,34 @@
+"""Tests for the Table-3-style report rendering."""
+
+from repro.anomaly import ScanFinding, format_case_study_table, format_finding_interval
+from repro.temporal import TimestampCodec
+
+
+def finding(delta: int, density: float, interval) -> ScanFinding:
+    return ScanFinding("s", "t", delta, density, interval, density * 10)
+
+
+class TestFormatting:
+    def test_plain_interval(self):
+        assert format_finding_interval(finding(1, 2.0, (3, 9))) == "[3, 9]"
+
+    def test_missing_interval(self):
+        assert format_finding_interval(finding(1, 0.0, None)) == "-"
+
+    def test_codec_decodes_to_wall_clock(self):
+        codec = TimestampCodec([100.5, 200.0, 300.0])
+        text = format_finding_interval(finding(1, 2.0, (1, 3)), codec)
+        assert text == "[100.5, 300.0]"
+
+    def test_table_layout(self):
+        table = format_case_study_table(
+            [
+                ("Q1", [finding(3, 26275.0, (10, 40)), finding(6, 22140.0, (10, 70))]),
+                ("Q2", [finding(3, 74120.0, (5, 90))]),
+            ]
+        )
+        lines = table.splitlines()
+        assert "query" in lines[0] and "density" in lines[0]
+        assert len(lines) == 2 + 3  # header + rule + three rows
+        assert "26,275.0" in table
+        assert "Q2" in table

@@ -1,0 +1,88 @@
+"""Tests for the earliest-arrival flow baselines."""
+
+import pytest
+
+from repro.baselines import (
+    arrival_profile,
+    earliest_arrival_time,
+    max_flow_by_deadline,
+)
+from repro.exceptions import InvalidQueryError
+from repro.temporal import TemporalFlowNetwork
+
+
+@pytest.fixture
+def staged() -> TemporalFlowNetwork:
+    """Flow arrives at t in stages: 2 units by tau=3, 3 more by tau=7."""
+    return TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "a", 1, 5.0),
+            ("a", "t", 3, 2.0),
+            ("a", "t", 7, 3.0),
+            ("s", "b", 8, 4.0),
+            ("b", "t", 9, 4.0),
+        ]
+    )
+
+
+class TestEarliestArrivalTime:
+    def test_first_possible_arrival(self, staged):
+        assert earliest_arrival_time(staged, "s", "t") == 3
+
+    def test_unreachable(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 1, 1.0), ("b", "t", 2, 1.0)]
+        )
+        assert earliest_arrival_time(network, "s", "t") is None
+
+    def test_unknown_nodes_rejected(self, staged):
+        with pytest.raises(InvalidQueryError):
+            earliest_arrival_time(staged, "s", "ghost")
+
+
+class TestMaxFlowByDeadline:
+    def test_staged_deadlines(self, staged):
+        assert max_flow_by_deadline(staged, "s", "t", 2) == 0.0
+        assert max_flow_by_deadline(staged, "s", "t", 3) == pytest.approx(2.0)
+        assert max_flow_by_deadline(staged, "s", "t", 7) == pytest.approx(5.0)
+        assert max_flow_by_deadline(staged, "s", "t", 9) == pytest.approx(9.0)
+
+    def test_deadline_before_horizon(self, staged):
+        assert max_flow_by_deadline(staged, "s", "t", 0) == 0.0
+
+    def test_monotone_in_deadline(self, staged):
+        values = [
+            max_flow_by_deadline(staged, "s", "t", deadline)
+            for deadline in range(1, 10)
+        ]
+        assert values == sorted(values)
+
+
+class TestArrivalProfile:
+    def test_profile_steps(self, staged):
+        profile = arrival_profile(staged, "s", "t")
+        assert profile == [
+            (3, pytest.approx(2.0)),
+            (7, pytest.approx(5.0)),
+            (9, pytest.approx(9.0)),
+        ]
+
+    def test_profile_matches_pointwise_deadlines(self, staged):
+        for stamp, value in arrival_profile(staged, "s", "t"):
+            assert value == pytest.approx(
+                max_flow_by_deadline(staged, "s", "t", stamp)
+            )
+
+    def test_sink_without_in_edges(self):
+        network = TemporalFlowNetwork.from_tuples([("t", "s", 1, 1.0)])
+        assert arrival_profile(network, "s", "t") == []
+
+    def test_contrast_with_bursting_flow(self, staged):
+        """Earliest-arrival optimises *when*, delta-BFlow *how dense*:
+        the earliest arrival is at tau=3, but the densest window is the
+        late 4-unit burst [8, 9]."""
+        from repro import find_bursting_flow
+
+        burst = find_bursting_flow(staged, source="s", sink="t", delta=1)
+        assert burst.interval == (8, 9)
+        assert earliest_arrival_time(staged, "s", "t") == 3

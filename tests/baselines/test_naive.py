@@ -1,0 +1,38 @@
+"""Tests for the naive O(|T|^2) oracle."""
+
+import pytest
+
+from repro import BurstingFlowQuery, bfq
+from repro.baselines import naive_bfq
+from repro.temporal import TemporalFlowNetwork
+
+
+class TestNaive:
+    def test_matches_bfq_on_burst(self, burst_network):
+        query = BurstingFlowQuery("s", "t", 2)
+        assert naive_bfq(burst_network, query).density == pytest.approx(
+            bfq(burst_network, query).density
+        )
+
+    def test_enumerates_all_windows(self, chain_network):
+        # T = 1..3, delta = 1: windows (1,2) (1,3) (2,3) -> 3 candidates.
+        result = naive_bfq(chain_network, BurstingFlowQuery("s", "t", 1))
+        assert result.stats.candidates_enumerated == 3
+
+    def test_delta_longer_than_horizon(self, chain_network):
+        result = naive_bfq(chain_network, BurstingFlowQuery("s", "t", 9))
+        assert not result.found
+
+    def test_window_budget_guard(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", tau, 1.0) for tau in range(1, 60)]
+            + [("a", "t", tau, 1.0) for tau in range(1, 60)]
+        )
+        with pytest.raises(ValueError, match="max_windows"):
+            naive_bfq(network, BurstingFlowQuery("s", "t", 1), max_windows=10)
+
+    def test_budget_disabled(self, chain_network):
+        result = naive_bfq(
+            chain_network, BurstingFlowQuery("s", "t", 1), max_windows=None
+        )
+        assert result.found

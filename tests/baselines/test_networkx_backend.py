@@ -1,0 +1,59 @@
+"""Tests for the NetworkX cross-check backend."""
+
+import pytest
+
+from repro import BurstingFlowQuery, bfq
+from repro.baselines import networkx_bfq, networkx_maxflow_value, to_networkx
+from repro.core import build_transformed_network
+from repro.flownet import dinic
+from repro.temporal import TemporalFlowNetwork
+
+
+class TestConversion:
+    def test_transformed_network_round_trip(self, burst_network):
+        transformed = build_transformed_network(burst_network, "s", "t", 1, 28)
+        graph = to_networkx(transformed)
+        assert graph.number_of_nodes() == transformed.num_nodes
+        # Hold edges have no capacity attribute (unbounded in networkx).
+        unbounded = [
+            (u, v) for u, v, data in graph.edges(data=True) if "capacity" not in data
+        ]
+        assert unbounded, "expected unbounded hold edges"
+
+    def test_maxflow_value_agrees_with_dinic(self, burst_network):
+        transformed = build_transformed_network(burst_network, "s", "t", 1, 28)
+        nx_value = networkx_maxflow_value(transformed)
+        our_value = dinic(
+            transformed.flow_network,
+            transformed.source_index,
+            transformed.sink_index,
+        ).value
+        assert nx_value == pytest.approx(our_value)
+
+
+class TestNetworkxBfq:
+    def test_agrees_with_bfq(self, burst_network):
+        query = BurstingFlowQuery("s", "t", 2)
+        ours = bfq(burst_network, query)
+        theirs = networkx_bfq(burst_network, query)
+        assert theirs.density == pytest.approx(ours.density)
+        assert theirs.interval == ours.interval
+
+    def test_agrees_on_random_networks(self):
+        from tests.conftest import random_temporal_network
+
+        for seed in range(12):
+            network = random_temporal_network(seed)
+            if "n0" not in network or "n1" not in network:
+                continue
+            query = BurstingFlowQuery("n0", "n1", 1)
+            ours = bfq(network, query)
+            theirs = networkx_bfq(network, query)
+            assert theirs.density == pytest.approx(ours.density), f"seed {seed}"
+
+    def test_empty_answer(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 1, 1.0), ("b", "t", 2, 1.0)]
+        )
+        result = networkx_bfq(network, BurstingFlowQuery("s", "t", 1))
+        assert not result.found

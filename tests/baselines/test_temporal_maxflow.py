@@ -1,0 +1,62 @@
+"""Tests for the whole-horizon temporal Maxflow baselines."""
+
+import pytest
+
+from repro.baselines import greedy_transfer_flow, temporal_maxflow
+from repro.temporal import TemporalFlowNetwork
+
+
+class TestExactTemporalMaxflow:
+    def test_simple_chain(self, chain_network):
+        result = temporal_maxflow(chain_network, "s", "t")
+        assert result.value == pytest.approx(5.0)
+        assert result.interval == (1, 3)
+        assert result.density == pytest.approx(5.0 / 2.0)
+
+    def test_burst_network_totals_everything(self, burst_network):
+        result = temporal_maxflow(burst_network, "s", "t")
+        assert result.value == pytest.approx(950.0)  # 900 burst + 20 + 30
+
+    def test_misses_burstiness(self, burst_network):
+        """The related-work contrast: whole-horizon Maxflow has a tiny
+        density even though a huge burst exists."""
+        from repro import find_bursting_flow
+
+        horizon = temporal_maxflow(burst_network, "s", "t")
+        burst = find_bursting_flow(burst_network, source="s", sink="t", delta=2)
+        assert burst.density > 5 * horizon.density
+
+
+class TestGreedyTransfer:
+    def test_chain_fully_transfers(self, chain_network):
+        result = greedy_transfer_flow(chain_network, "s", "t")
+        assert result.value == pytest.approx(5.0)
+
+    def test_lower_bounds_exact(self, burst_network):
+        greedy = greedy_transfer_flow(burst_network, "s", "t")
+        exact = temporal_maxflow(burst_network, "s", "t")
+        assert greedy.value <= exact.value + 1e-9
+
+    def test_greedy_can_be_suboptimal(self):
+        """Greedy pushes everything down a dead end and loses value."""
+        network = TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "a", 1, 5.0),
+                ("a", "dead", 2, 5.0),  # greedy drains a's value here
+                ("a", "t", 3, 5.0),
+            ]
+        )
+        greedy = greedy_transfer_flow(network, "s", "t")
+        exact = temporal_maxflow(network, "s", "t")
+        assert exact.value == pytest.approx(5.0)
+        assert greedy.value < exact.value
+
+    def test_value_never_leaves_sink(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "t", 1, 5.0),
+                ("t", "x", 2, 5.0),
+            ]
+        )
+        result = greedy_transfer_flow(network, "s", "t")
+        assert result.value == pytest.approx(5.0)

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.flownet import FlowNetwork
+from repro.temporal import TemporalEdge, TemporalFlowNetwork
+
+
+@pytest.fixture
+def figure2_network() -> FlowNetwork:
+    """The classical flow network of the paper's Figure 2 (Maxflow = 7)."""
+    network = FlowNetwork()
+    for u, v, capacity in [
+        ("s", "v1", 3.0),
+        ("s", "v2", 4.0),
+        ("v1", "v3", 3.0),
+        ("v2", "v3", 4.0),
+        ("v3", "v4", 2.0),
+        ("v3", "v5", 5.0),
+        ("v4", "t", 2.0),
+        ("v5", "t", 5.0),
+    ]:
+        network.add_edge_labeled(u, v, capacity)
+    return network
+
+
+@pytest.fixture
+def burst_network() -> TemporalFlowNetwork:
+    """A tiny temporal network with one unambiguous burst.
+
+    900 units travel s -> {a, b} -> t inside [10, 13]; background drip of
+    20-30 units trickles over the rest of the horizon [1, 28].
+    """
+    return TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "a", 10, 500.0),
+            ("s", "b", 10, 400.0),
+            ("a", "t", 12, 500.0),
+            ("b", "t", 13, 400.0),
+            ("s", "a", 2, 20.0),
+            ("a", "t", 5, 20.0),
+            ("s", "c", 20, 30.0),
+            ("c", "t", 28, 30.0),
+        ]
+    )
+
+
+@pytest.fixture
+def chain_network() -> TemporalFlowNetwork:
+    """A single 3-hop chain: s -> a (tau 1) -> b (tau 2) -> t (tau 3)."""
+    return TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "a", 1, 5.0),
+            ("a", "b", 2, 5.0),
+            ("b", "t", 3, 5.0),
+        ]
+    )
+
+
+def random_temporal_network(
+    seed: int,
+    *,
+    max_nodes: int = 8,
+    max_edges: int = 24,
+    max_time: int = 12,
+) -> TemporalFlowNetwork:
+    """Small random temporal network for cross-checking algorithms."""
+    rng = random.Random(seed)
+    nodes = [f"n{i}" for i in range(rng.randint(3, max_nodes))]
+    network = TemporalFlowNetwork()
+    for _ in range(rng.randint(4, max_edges)):
+        u, v = rng.sample(nodes, 2)
+        network.add_edge(
+            TemporalEdge(u, v, rng.randint(1, max_time), float(rng.randint(1, 9)))
+        )
+    return network

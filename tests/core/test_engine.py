@@ -1,0 +1,62 @@
+"""Tests for the engine façade."""
+
+import pytest
+
+from repro import BurstingFlowQuery, find_bursting_flow
+from repro.core import ALGORITHMS, DEFAULT_ALGORITHM, get_algorithm
+from repro.exceptions import InvalidQueryError
+
+
+class TestDispatch:
+    def test_registry_contains_all_three(self):
+        assert set(ALGORITHMS) == {"bfq", "bfq+", "bfq*"}
+        assert DEFAULT_ALGORITHM in ALGORITHMS
+
+    def test_get_algorithm_case_insensitive(self):
+        assert get_algorithm("BFQ*") is ALGORITHMS["bfq*"]
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(InvalidQueryError, match="unknown algorithm"):
+            get_algorithm("magic")
+
+    def test_query_object_form(self, burst_network):
+        result = find_bursting_flow(
+            burst_network, BurstingFlowQuery("s", "t", 2)
+        )
+        assert result.density == pytest.approx(300.0)
+
+    def test_keyword_form(self, burst_network):
+        result = find_bursting_flow(burst_network, source="s", sink="t", delta=2)
+        assert result.density == pytest.approx(300.0)
+
+    def test_missing_parameters_rejected(self, burst_network):
+        with pytest.raises(InvalidQueryError):
+            find_bursting_flow(burst_network, source="s", delta=2)
+
+    def test_both_forms_rejected(self, burst_network):
+        with pytest.raises(InvalidQueryError):
+            find_bursting_flow(
+                burst_network,
+                BurstingFlowQuery("s", "t", 2),
+                source="s",
+            )
+
+    def test_kwargs_forwarded(self, burst_network):
+        result = find_bursting_flow(
+            burst_network,
+            source="s",
+            sink="t",
+            delta=2,
+            algorithm="bfq+",
+            use_pruning=False,
+        )
+        assert result.stats.pruned_intervals == 0
+
+    def test_all_algorithms_agree_through_facade(self, burst_network):
+        densities = {
+            name: find_bursting_flow(
+                burst_network, source="s", sink="t", delta=2, algorithm=name
+            ).density
+            for name in ALGORITHMS
+        }
+        assert max(densities.values()) - min(densities.values()) < 1e-9

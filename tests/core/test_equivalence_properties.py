@@ -1,0 +1,146 @@
+"""Property-based equivalence tests — the heart of the reproduction.
+
+On random temporal flow networks, hypothesis checks:
+
+* **Lemma 2 / algorithm agreement:** BFQ, BFQ+ and BFQ* (with and without
+  pruning) all report the same optimal density as the naive ``O(|T|^2)``
+  enumeration.
+* **Lemma 1:** the Maxflow of a transformed window converts back into a
+  *valid* temporal flow (capacity, conservation, time constraint) with the
+  same value, and no temporal flow can exceed it (via the naive oracle).
+* **Monotonicity:** widening a window never decreases its Maxflow; growing
+  delta never increases the optimal density.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BurstingFlowQuery, bfq, bfq_plus, bfq_star
+from repro.baselines import naive_bfq
+from repro.core import build_transformed_network
+from repro.core.transform import extract_temporal_flow
+from repro.flownet import dinic
+from repro.temporal import TemporalEdge, TemporalFlowNetwork, validate_temporal_flow
+
+TOLERANCE = 1e-7
+
+
+@st.composite
+def temporal_networks(draw) -> TemporalFlowNetwork:
+    num_nodes = draw(st.integers(min_value=3, max_value=7))
+    horizon = draw(st.integers(min_value=2, max_value=9))
+    num_edges = draw(st.integers(min_value=3, max_value=18))
+    network = TemporalFlowNetwork()
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        v = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        if u == v:
+            continue
+        tau = draw(st.integers(min_value=1, max_value=horizon))
+        capacity = float(draw(st.integers(min_value=1, max_value=9)))
+        network.add_edge(TemporalEdge(f"n{u}", f"n{v}", tau, capacity))
+    # Guarantee both query endpoints exist.
+    network.add_node("n0")
+    network.add_node("n1")
+    if not network.num_edges:
+        network.add_edge(TemporalEdge("n0", "n1", 1, 1.0))
+    return network
+
+
+def queries(network: TemporalFlowNetwork, draw_delta: int) -> BurstingFlowQuery:
+    horizon = network.t_max - network.t_min if network.num_edges else 1
+    delta = max(1, min(draw_delta, max(1, horizon)))
+    return BurstingFlowQuery("n0", "n1", delta)
+
+
+@settings(max_examples=50, deadline=None)
+@given(temporal_networks(), st.integers(min_value=1, max_value=5))
+def test_all_solutions_match_naive_oracle(network, raw_delta):
+    query = queries(network, raw_delta)
+    oracle = naive_bfq(network, query)
+    for algorithm in (bfq, bfq_plus, bfq_star):
+        result = algorithm(network, query)
+        assert abs(result.density - oracle.density) < TOLERANCE, (
+            f"{algorithm.__name__} disagrees with the naive oracle"
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(temporal_networks(), st.integers(min_value=1, max_value=5))
+def test_pruning_never_changes_the_answer(network, raw_delta):
+    query = queries(network, raw_delta)
+    with_pruning = bfq_plus(network, query, use_pruning=True)
+    without = bfq_plus(network, query, use_pruning=False)
+    assert abs(with_pruning.density - without.density) < TOLERANCE
+    star_with = bfq_star(network, query, use_pruning=True)
+    star_without = bfq_star(network, query, use_pruning=False)
+    assert abs(star_with.density - star_without.density) < TOLERANCE
+    assert abs(with_pruning.density - star_with.density) < TOLERANCE
+
+
+@settings(max_examples=50, deadline=None)
+@given(temporal_networks())
+def test_lemma1_transformed_maxflow_is_a_valid_temporal_flow(network):
+    tau_s, tau_e = network.t_min, network.t_max
+    if tau_e <= tau_s:
+        return
+    transformed = build_transformed_network(network, "n0", "n1", tau_s, tau_e)
+    value = dinic(
+        transformed.flow_network,
+        transformed.source_index,
+        transformed.sink_index,
+    ).value
+    temporal_flow = extract_temporal_flow(transformed)
+    validate_temporal_flow(network, temporal_flow)
+    assert abs(temporal_flow.flow_value() - value) < 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(temporal_networks(), st.integers(min_value=1, max_value=4))
+def test_window_monotonicity(network, shrink):
+    tau_s, tau_e = network.t_min, network.t_max
+    if tau_e - tau_s < shrink + 1:
+        return
+
+    def window_value(lo, hi):
+        transformed = build_transformed_network(network, "n0", "n1", lo, hi)
+        return dinic(
+            transformed.flow_network,
+            transformed.source_index,
+            transformed.sink_index,
+        ).value
+
+    wide = window_value(tau_s, tau_e)
+    narrow = window_value(tau_s + shrink, tau_e)
+    assert narrow <= wide + TOLERANCE
+    narrow_right = window_value(tau_s, tau_e - shrink)
+    assert narrow_right <= wide + TOLERANCE
+
+
+@settings(max_examples=30, deadline=None)
+@given(temporal_networks())
+def test_density_antitone_in_delta(network):
+    horizon = network.t_max - network.t_min
+    if horizon < 2:
+        return
+    query_small = BurstingFlowQuery("n0", "n1", 1)
+    query_large = BurstingFlowQuery("n0", "n1", 2)
+    small = bfq_star(network, query_small)
+    large = bfq_star(network, query_large)
+    assert large.density <= small.density + TOLERANCE
+
+
+@settings(max_examples=30, deadline=None)
+@given(temporal_networks(), st.integers(min_value=1, max_value=4))
+def test_reported_interval_satisfies_constraints(network, raw_delta):
+    query = queries(network, raw_delta)
+    result = bfq_star(network, query)
+    if result.interval is None:
+        assert result.density == 0.0
+        return
+    lo, hi = result.interval
+    assert hi - lo >= query.delta
+    assert lo >= network.t_min - query.delta  # corner clamp lower bound
+    assert hi <= network.t_max
+    assert result.density == pytest.approx(result.flow_value / (hi - lo))

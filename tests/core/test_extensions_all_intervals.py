@@ -1,0 +1,89 @@
+"""Tests for enumerating all bursting intervals."""
+
+import pytest
+
+from repro import BurstingFlowQuery, find_bursting_flow
+from repro.extensions import find_all_bursting_intervals
+from repro.temporal import TemporalFlowNetwork
+
+
+class TestAllIntervals:
+    def test_single_winner(self, burst_network):
+        result = find_all_bursting_intervals(
+            burst_network, BurstingFlowQuery("s", "t", 2)
+        )
+        assert result.found
+        assert result.density == pytest.approx(300.0)
+        assert (10, 13) in result.intervals
+
+    def test_density_matches_single_answer(self, burst_network):
+        query = BurstingFlowQuery("s", "t", 2)
+        single = find_bursting_flow(burst_network, query)
+        all_of_them = find_all_bursting_intervals(burst_network, query)
+        assert all_of_them.density == pytest.approx(single.density)
+        assert single.interval in all_of_them.intervals
+
+    def test_sliding_windows_expand(self):
+        """Footnote 13: a core interval shorter than delta is attained by
+        every delta-window containing it."""
+        network = TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "a", 5, 10.0),
+                ("a", "t", 6, 10.0),
+                ("s", "x", 1, 1.0),
+                ("x", "t", 9, 1.0),
+            ]
+        )
+        # Core interval [5, 6] has length 1 < delta=3: windows [3,6]..[5,8]
+        # all carry the same 10 units.
+        result = find_all_bursting_intervals(
+            network, BurstingFlowQuery("s", "t", 3)
+        )
+        assert result.density == pytest.approx(10.0 / 3.0)
+        for lo in (3, 4, 5):
+            assert (lo, lo + 3) in result.intervals
+
+    def test_every_reported_interval_attains_density(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "a", 2, 4.0),
+                ("a", "t", 3, 4.0),
+                ("s", "b", 6, 4.0),
+                ("b", "t", 7, 4.0),
+            ]
+        )
+        query = BurstingFlowQuery("s", "t", 1)
+        result = find_all_bursting_intervals(network, query)
+        from repro.core import build_transformed_network
+        from repro.flownet import dinic
+
+        for lo, hi in result.intervals:
+            transformed = build_transformed_network(network, "s", "t", lo, hi)
+            value = dinic(
+                transformed.flow_network,
+                transformed.source_index,
+                transformed.sink_index,
+            ).value
+            assert value / (hi - lo) == pytest.approx(result.density)
+
+    def test_symmetric_bursts_both_reported(self):
+        # Two identical bursts at different times: both intervals tie.
+        network = TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "a", 2, 4.0),
+                ("a", "t", 3, 4.0),
+                ("s", "b", 6, 4.0),
+                ("b", "t", 7, 4.0),
+            ]
+        )
+        result = find_all_bursting_intervals(network, BurstingFlowQuery("s", "t", 1))
+        assert (2, 3) in result.intervals
+        assert (6, 7) in result.intervals
+
+    def test_no_flow(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 1, 1.0), ("b", "t", 2, 1.0)]
+        )
+        result = find_all_bursting_intervals(network, BurstingFlowQuery("s", "t", 1))
+        assert not result.found
+        assert result.intervals == ()

@@ -1,0 +1,118 @@
+"""Tests for candidate-interval enumeration (Section 4.2, Lemma 2)."""
+
+import pytest
+
+from repro.core import enumerate_candidates, is_core_interval
+from repro.exceptions import InvalidQueryError
+from repro.temporal import TemporalFlowNetwork
+
+
+@pytest.fixture
+def network() -> TemporalFlowNetwork:
+    return TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "a", 1, 3.0),
+            ("s", "a", 4, 2.0),
+            ("a", "t", 2, 2.0),
+            ("a", "t", 6, 5.0),
+            ("s", "t", 8, 1.0),
+        ]
+    )
+    # Ti(s) = [1, 4, 8]; Ti(t) = [2, 6, 8]; T = 1..8
+
+
+class TestPlanShape:
+    def test_starts_are_ti_s(self, network):
+        plan = enumerate_candidates(network, "s", "t", 2)
+        assert plan.starts == (1, 4)  # 8 + 2 > 8 overshoots
+        assert plan.sink_stamps == (2, 6, 8)
+        assert plan.corner == (6, 8)
+
+    def test_no_corner_when_everything_fits(self, network):
+        plan = enumerate_candidates(network, "s", "t", 2)
+        assert plan.corner is not None
+        # delta=7: only start 1 fits; corner [1, 8] would duplicate the
+        # start window [1, 1+7], so it is deduped.
+        plan7 = enumerate_candidates(network, "s", "t", 7)
+        assert plan7.starts == (1,)
+        assert plan7.corner is None
+
+    def test_endings_strictly_beyond_minimal_window(self, network):
+        plan = enumerate_candidates(network, "s", "t", 2)
+        assert list(plan.endings_for(1)) == [6, 8]
+        assert list(plan.endings_for(4)) == [8]
+
+    def test_intervals_in_bfq_order(self, network):
+        plan = enumerate_candidates(network, "s", "t", 2)
+        intervals = list(plan.intervals())
+        assert intervals == [
+            (1, 3), (1, 6), (1, 8),
+            (4, 6), (4, 8),
+            (6, 8),  # corner
+        ]
+        assert plan.count() == 6
+
+    def test_candidate_count_is_o_d_squared(self, network):
+        plan = enumerate_candidates(network, "s", "t", 1)
+        d = network.query_degree("s", "t")
+        assert plan.count() <= d * (d + 1) + 1
+
+    def test_delta_longer_than_horizon_yields_empty_plan(self, network):
+        plan = enumerate_candidates(network, "s", "t", 8)
+        assert plan.starts == ()
+        assert plan.corner is None
+        assert list(plan.intervals()) == []
+
+    def test_source_without_out_edges_yields_empty_plan(self):
+        network = TemporalFlowNetwork.from_tuples([("a", "s", 1, 1.0), ("a", "t", 2, 1.0)])
+        plan = enumerate_candidates(network, "s", "t", 1)
+        assert list(plan.intervals()) == []
+
+    def test_bad_delta_rejected(self, network):
+        with pytest.raises(InvalidQueryError):
+            enumerate_candidates(network, "s", "t", 0)
+
+    def test_unknown_node_rejected(self, network):
+        with pytest.raises(InvalidQueryError):
+            enumerate_candidates(network, "s", "ghost", 1)
+
+
+class TestCoreIntervals:
+    def test_known_core_interval(self):
+        # All flow lives inside [2, 4]; trimming either side loses value.
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 2, 3.0), ("a", "t", 4, 3.0), ("s", "t", 9, 1.0)]
+        )
+        assert is_core_interval(network, "s", "t", 2, 4)
+
+    def test_loose_interval_is_not_core(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 2, 3.0), ("a", "t", 4, 3.0), ("s", "t", 9, 1.0)]
+        )
+        # [1, 5] strictly contains the core interval: same value, not core.
+        assert not is_core_interval(network, "s", "t", 1, 5)
+
+    def test_zero_flow_interval_is_not_core(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 2, 3.0), ("a", "t", 4, 3.0)]
+        )
+        assert not is_core_interval(network, "s", "t", 5, 7)
+
+    def test_observation1_core_interval_endpoints(self):
+        """Observation 1: a core interval starts in TiStamp_out(s) and ends
+        in TiStamp_in(t) — verified exhaustively on a small network."""
+        network = TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "a", 2, 3.0),
+                ("a", "b", 3, 2.0),
+                ("b", "t", 5, 2.0),
+                ("s", "t", 7, 1.0),
+            ]
+        )
+        out_s = set(network.tistamp_out("s"))
+        in_t = set(network.tistamp_in("t"))
+        for lo in range(1, 8):
+            for hi in range(lo + 1, 9):
+                if is_core_interval(network, "s", "t", lo, hi):
+                    assert lo in out_s
+                    assert hi in in_t

@@ -1,0 +1,167 @@
+"""Tests for the Section-5 operator algebra (⊎, \\, Δ, N(P)).
+
+Includes a line-by-line reproduction of the paper's Example 7: combining
+the augmenting flow network N(P) with the residual network N_f restores
+the original network's capacities (plus zero-capacity leftovers).
+"""
+
+import math
+
+import pytest
+
+from repro.core.operators import (
+    augmenting_flow_network,
+    capacity_map_of,
+    combine,
+    inject_timestamp,
+    residual_of,
+    subtract,
+)
+from repro.exceptions import GraphError
+from repro.flownet import FlowNetwork, dinic
+
+
+class TestCombine:
+    def test_disjoint_union(self):
+        assert combine({("a", "b"): 2.0}, {("b", "c"): 3.0}) == {
+            ("a", "b"): 2.0,
+            ("b", "c"): 3.0,
+        }
+
+    def test_common_edges_sum(self):
+        assert combine({("a", "b"): 2.0}, {("a", "b"): 3.0}) == {("a", "b"): 5.0}
+
+    def test_infinite_absorbs(self):
+        out = combine({("a", "b"): math.inf}, {("a", "b"): 3.0})
+        assert math.isinf(out[("a", "b")])
+
+    def test_negative_entries_allowed_for_withdrawal(self):
+        # N(P) carries negative capacities by design.
+        out = combine({("a", "b"): 2.0}, {("a", "b"): -2.0})
+        assert out[("a", "b")] == 0.0
+
+
+class TestSubtract:
+    def test_common_edges_reduced(self):
+        assert subtract({("a", "b"): 5.0}, {("a", "b"): 2.0}) == {("a", "b"): 3.0}
+
+    def test_left_only_edges_kept(self):
+        assert subtract({("a", "b"): 5.0}, {("x", "y"): 2.0}) == {("a", "b"): 5.0}
+
+    def test_right_only_edges_ignored(self):
+        assert subtract({}, {("x", "y"): 2.0}) == {}
+
+    def test_zeroed_edges_removed(self):
+        assert subtract({("a", "b"): 2.0}, {("a", "b"): 2.0}) == {}
+
+    def test_overdraw_raises(self):
+        with pytest.raises(GraphError):
+            subtract({("a", "b"): 1.0}, {("a", "b"): 2.0})
+
+    def test_infinite_left_operand_survives(self):
+        out = subtract({("a", "b"): math.inf}, {("a", "b"): 5.0})
+        assert math.isinf(out[("a", "b")])
+
+    def test_combine_subtract_round_trip(self):
+        a = {("a", "b"): 2.0, ("b", "c"): 4.0}
+        b = {("b", "c"): 1.0, ("c", "d"): 7.0}
+        merged = combine(a, b)
+        assert subtract(merged, b) == a
+
+
+class TestInjectTimestamp:
+    def test_split_spanning_hold_edge(self):
+        caps = {(("u", 1), ("u", 5)): math.inf}
+        out = inject_timestamp(caps, 3)
+        assert math.isinf(out[(("u", 1), ("u", 3))])
+        assert math.isinf(out[(("u", 3), ("u", 5))])
+        assert (("u", 1), ("u", 5)) not in out
+
+    def test_reverse_orientation_also_split(self):
+        caps = {(("u", 5), ("u", 1)): 2.0}  # residual back-edge
+        out = inject_timestamp(caps, 3)
+        assert out[(("u", 5), ("u", 3))] == 2.0
+        assert out[(("u", 3), ("u", 1))] == 2.0
+
+    def test_nodes_already_having_the_stamp_untouched(self):
+        caps = {
+            (("u", 1), ("u", 5)): 2.0,
+            (("u", 3), ("v", 3)): 1.0,  # u already has a tau=3 node
+        }
+        out = inject_timestamp(caps, 3)
+        assert out[(("u", 1), ("u", 5))] == 2.0
+
+    def test_non_spanning_edges_untouched(self):
+        caps = {(("u", 1), ("u", 2)): 2.0, (("u", 1), ("v", 1)): 3.0}
+        assert inject_timestamp(caps, 3) == caps
+
+
+class TestAugmentingFlowNetwork:
+    def test_single_path(self):
+        n_p = augmenting_flow_network([(("s", "a", "t"), 2.0)])
+        assert n_p[("s", "a")] == 2.0
+        assert n_p[("a", "s")] == -2.0
+
+    def test_opposite_paths_cancel(self):
+        n_p = augmenting_flow_network(
+            [(("s", "a"), 2.0), (("a", "s"), 2.0)]
+        )
+        assert n_p[("s", "a")] == 0.0
+        assert n_p[("a", "s")] == 0.0
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(GraphError):
+            augmenting_flow_network([(("s", "a"), -1.0)])
+
+    def test_example7_withdrawal_identity(self, figure2_network):
+        """Example 7: N(P) ⊎ N_f equals the original network N (modulo
+        zero-capacity leftovers)."""
+        original = capacity_map_of(figure2_network)
+        s = figure2_network.index_of("s")
+        t = figure2_network.index_of("t")
+        dinic(figure2_network, s, t)
+        residual = capacity_map_of(figure2_network)
+        # The path set P: the flow decomposition of the Maxflow (equivalent
+        # to the augmenting paths by definition of N(P)).
+        from repro.flownet import decompose_into_paths
+
+        decomposition = [
+            (tuple(figure2_network.label_of(i) for i in path), amount)
+            for path, amount in decompose_into_paths(figure2_network, s, t)
+        ]
+        n_p = augmenting_flow_network(decomposition)
+        restored = combine(n_p, residual)
+        for edge, capacity in original.items():
+            assert restored.get(edge, 0.0) == pytest.approx(capacity)
+        # Any extra edges must have zero capacity (the blue dashed edges of
+        # Figure 7(b)).
+        for edge, capacity in restored.items():
+            if edge not in original:
+                assert capacity == pytest.approx(0.0)
+
+
+class TestResidualOf:
+    def test_residual_definition(self):
+        caps = {("a", "b"): 5.0}
+        res = residual_of(caps, {("a", "b"): 2.0})
+        assert res == {("a", "b"): 3.0, ("b", "a"): 2.0}
+
+    def test_flow_violating_capacity_rejected(self):
+        with pytest.raises(GraphError):
+            residual_of({("a", "b"): 1.0}, {("a", "b"): 2.0})
+
+    def test_saturated_edge_disappears_forward(self):
+        res = residual_of({("a", "b"): 2.0}, {("a", "b"): 2.0})
+        assert ("a", "b") not in res
+        assert res[("b", "a")] == 2.0
+
+
+class TestCapacityMapOf:
+    def test_snapshot_skips_retired(self):
+        net = FlowNetwork()
+        net.add_edge_labeled("a", "b", 5.0)
+        net.add_edge_labeled("dead", "b", 5.0)
+        net.retire_label("dead")
+        snap = capacity_map_of(net)
+        assert ("dead", "b") not in snap
+        assert snap[("a", "b")] == 5.0

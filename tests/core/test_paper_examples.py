@@ -1,0 +1,133 @@
+"""Reproductions of the paper's worked examples (Examples 2, 5-8).
+
+These tests pin the implementation to the concrete numbers the paper walks
+through, wherever the running example is fully specified in the text.
+"""
+
+import pytest
+
+from repro import BurstingFlowQuery, bfq, bfq_plus, bfq_star
+from repro.core import IncrementalTransformedNetwork, enumerate_candidates
+from repro.flownet import dinic
+from repro.temporal import TemporalFlowNetwork
+
+
+class TestExample2Figure2:
+    """Example 2: flows, residual networks and Maxflow on Figure 2."""
+
+    def test_maxflow_is_seven(self, figure2_network):
+        s, t = figure2_network.index_of("s"), figure2_network.index_of("t")
+        assert dinic(figure2_network, s, t).value == pytest.approx(7.0)
+
+    def test_dinic_finds_blocking_flow_in_one_phase(self, figure2_network):
+        """Example 2 (Dinic walk-through): the first level graph already
+        carries the full Maxflow via three augmenting paths; the second
+        BFS finds no more augmenting paths."""
+        s, t = figure2_network.index_of("s"), figure2_network.index_of("t")
+        run = dinic(figure2_network, s, t, track_paths=True)
+        assert run.phases == 1
+        assert run.augmenting_paths == 3
+        assert sum(len(p) for p in run.paths) == 3 * 5  # all length-4 paths
+
+    def test_augmenting_path_on_residual(self, figure2_network):
+        """Figure 2(b)-(d): after routing the suboptimal flow f (|f| = 5),
+        exactly one augmenting path of value 2 remains."""
+        net = figure2_network
+        refs = {}
+        for tail, arc in net.iter_edges():
+            refs[(net.label_of(tail), net.label_of(arc.head))] = (tail, arc)
+        # f: 3 units s->v1->v3->v5->t, 2 units s->v2->v3->v4->t.
+        for u, v, amount in [
+            ("s", "v1", 3.0), ("v1", "v3", 3.0), ("v3", "v5", 3.0), ("v5", "t", 3.0),
+            ("s", "v2", 2.0), ("v2", "v3", 2.0), ("v3", "v4", 2.0), ("v4", "t", 2.0),
+        ]:
+            tail, arc = refs[(u, v)]
+            arc.cap -= amount
+            net.arcs_of(arc.head)[arc.rev].cap += amount
+        s, t = net.index_of("s"), net.index_of("t")
+        run = dinic(net, s, t, track_paths=True)
+        assert run.value == pytest.approx(2.0)
+        assert run.augmenting_paths == 1
+        # The paper's path: s -> v2 -> v3 -> v5 -> t.
+        labels = [net.label_of(i) for i in run.paths[0]]
+        assert labels == ["s", "v2", "v3", "v5", "t"]
+
+
+@pytest.fixture
+def example_temporal() -> TemporalFlowNetwork:
+    """A fully specified analogue of the paper's Figure 3 running example.
+
+    T = [1..6]; engineered so that (like the paper's network):
+    * MF[1, 3] = 3, MF[1, 4] = 5 and the 2-BFlow has density 5/3 on [1, 4];
+    * extending [1, 3] -> [1, 4] adds an augmenting path of value 2
+      (Example 6's insertion case);
+    * [3, 4] is a core interval with MF[3, 4] = 2;
+    * the sink's capacity during (4, 6] is tiny (1.0), so Observation 2
+      prunes MF[1, 6] exactly as Example 6 shows.
+    """
+    return TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "v1", 1, 3.0),
+            ("v1", "t", 3, 3.0),
+            ("s", "v2", 3, 2.0),
+            ("v2", "v3", 4, 2.0),
+            ("v3", "t", 4, 2.0),
+            ("s", "v4", 5, 1.0),
+            ("v4", "t", 6, 1.0),
+        ]
+    )
+
+
+class TestExample5Bfq:
+    def test_window_values(self, example_temporal):
+        state = IncrementalTransformedNetwork(example_temporal, "s", "t", 1, 3)
+        state.run_maxflow()
+        assert state.flow_value() == pytest.approx(3.0)
+        state.extend_end(4)
+        state.run_maxflow()
+        assert state.flow_value() == pytest.approx(5.0)
+
+    def test_two_bflow_density(self, example_temporal):
+        for algorithm in (bfq, bfq_plus, bfq_star):
+            result = algorithm(example_temporal, BurstingFlowQuery("s", "t", 2))
+            assert result.density == pytest.approx(5.0 / 3.0)
+            assert result.interval == (1, 4)
+
+    def test_candidate_enumeration_covers_core_interval(self, example_temporal):
+        plan = enumerate_candidates(example_temporal, "s", "t", 2)
+        assert (1, 4) in set(plan.intervals())
+
+
+class TestExample6InsertionCase:
+    def test_incremental_gain_is_two(self, example_temporal):
+        state = IncrementalTransformedNetwork(example_temporal, "s", "t", 1, 3)
+        first = state.run_maxflow()
+        assert first.value == pytest.approx(3.0)
+        state.extend_end(4)
+        second = state.run_maxflow()
+        assert second.value == pytest.approx(2.0)  # only the new path
+
+    def test_observation2_prunes_the_long_window(self, example_temporal):
+        """|MF[1,4]| + sink capacity in (4,6] = 5 + 1 < (5/3) * (6-1)."""
+        result = bfq_plus(example_temporal, BurstingFlowQuery("s", "t", 2))
+        pruned = [s for s in result.stats.samples if s.mode == "pruned"]
+        assert any(s.interval == (1, 6) for s in pruned)
+
+
+class TestExample8DeletionCase:
+    def test_withdrawal_from_shrinking_start(self, example_temporal):
+        state = IncrementalTransformedNetwork(example_temporal, "s", "t", 1, 4)
+        state.run_maxflow()
+        assert state.flow_value() == pytest.approx(5.0)
+        withdrawn = state.advance_start(3)
+        # The 3 units that left s at tau=1 (arriving at t by tau=3) vanish.
+        assert withdrawn == pytest.approx(3.0)
+        state.extend_end(5)
+        state.run_maxflow()
+        assert state.flow_value() == pytest.approx(2.0)  # MF[3, 5] = 2
+
+    def test_bfq_star_zigzag_matches(self, example_temporal):
+        star = bfq_star(example_temporal, BurstingFlowQuery("s", "t", 2))
+        base = bfq(example_temporal, BurstingFlowQuery("s", "t", 2))
+        assert star.density == pytest.approx(base.density)
+        assert star.stats.incremental_deletions >= 1

@@ -1,0 +1,60 @@
+"""Tests for query/result types."""
+
+import pytest
+
+from repro.core import BurstingFlowQuery, BurstingFlowResult
+from repro.core.query import IntervalSample, QueryStats
+from repro.exceptions import InvalidQueryError
+from repro.temporal import TemporalFlowNetwork
+
+
+class TestBurstingFlowQuery:
+    def test_valid_query(self):
+        q = BurstingFlowQuery("s", "t", 3)
+        assert (q.source, q.sink, q.delta) == ("s", "t", 3)
+
+    def test_source_equals_sink_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            BurstingFlowQuery("s", "s", 3)
+
+    @pytest.mark.parametrize("delta", [0, -1, 1.5, "3", True])
+    def test_bad_delta_rejected(self, delta):
+        with pytest.raises(InvalidQueryError):
+            BurstingFlowQuery("s", "t", delta)
+
+    def test_validate_against_network(self):
+        network = TemporalFlowNetwork.from_tuples([("s", "t", 1, 1.0)])
+        BurstingFlowQuery("s", "t", 1).validate_against(network)
+        with pytest.raises(InvalidQueryError):
+            BurstingFlowQuery("s", "ghost", 1).validate_against(network)
+
+
+class TestQueryStats:
+    def test_record_sample_accumulates_time(self):
+        stats = QueryStats()
+        stats.record_sample(
+            IntervalSample((1, 3), 10, "dinic", 0.5, 0.25, 4.0)
+        )
+        stats.record_sample(
+            IntervalSample((1, 5), 12, "maxflow+", 0.5, 0.25, 6.0)
+        )
+        assert stats.maxflow_seconds == pytest.approx(1.0)
+        assert stats.transform_seconds == pytest.approx(0.5)
+        assert stats.total_seconds == pytest.approx(1.5)
+        assert len(stats.samples) == 2
+
+
+class TestBurstingFlowResult:
+    def test_found(self):
+        assert BurstingFlowResult(2.0, (1, 3), 4.0).found
+        assert not BurstingFlowResult(0.0, None, 0.0).found
+
+    def test_binary_record(self):
+        result = BurstingFlowResult(2.5, (1, 3), 5.0)
+        assert result.binary_record() == (2.5, (1, 3))
+
+    def test_better_than(self):
+        a = BurstingFlowResult(2.0, (1, 3), 4.0)
+        b = BurstingFlowResult(1.0, (1, 5), 4.0)
+        assert a.better_than(b)
+        assert not b.better_than(a)

@@ -1,0 +1,117 @@
+"""Tests for flow-trail decomposition and delta profiling."""
+
+import pytest
+
+from repro import BurstingFlowQuery
+from repro.core.profile import density_profile, suggest_delta
+from repro.core.trails import bursting_flow_trails, trails_for_interval
+from repro.exceptions import InvalidQueryError
+from repro.temporal import TemporalFlow, TemporalFlowNetwork, validate_temporal_flow
+
+
+class TestTrails:
+    def test_burst_trails(self, burst_network):
+        report = bursting_flow_trails(burst_network, BurstingFlowQuery("s", "t", 2))
+        assert report.found
+        assert report.density == pytest.approx(300.0)
+        assert sum(t.amount for t in report.trails) == pytest.approx(
+            report.flow_value
+        )
+        # Two mule chains: via a (500) and via b (400), largest first.
+        assert report.trails[0].amount == pytest.approx(500.0)
+        assert report.trails[0].nodes == ("s", "a", "t")
+        assert report.trails[1].nodes == ("s", "b", "t")
+
+    def test_hops_are_time_respecting(self, burst_network):
+        report = bursting_flow_trails(burst_network, BurstingFlowQuery("s", "t", 2))
+        for trail in report.trails:
+            taus = [hop.tau for hop in trail.hops]
+            assert taus == sorted(taus)
+            lo, hi = report.interval
+            assert lo <= trail.start and trail.end <= hi
+
+    def test_each_trail_is_a_valid_temporal_flow(self, burst_network):
+        report = bursting_flow_trails(burst_network, BurstingFlowQuery("s", "t", 2))
+        lo, hi = report.interval
+        for trail in report.trails:
+            flow = TemporalFlow("s", "t", lo, hi)
+            for hop in trail.hops:
+                flow.set_value(hop.u, hop.v, hop.tau, hop.amount)
+            validate_temporal_flow(burst_network, flow)
+
+    def test_describe(self, chain_network):
+        report = bursting_flow_trails(chain_network, BurstingFlowQuery("s", "t", 1))
+        line = report.trails[0].describe()
+        assert "s -@1-> a -@2-> b -@3-> t" in line
+        assert "(5 units)" in line
+
+    def test_no_flow_no_trails(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 1, 1.0), ("b", "t", 2, 1.0)]
+        )
+        report = bursting_flow_trails(network, BurstingFlowQuery("s", "t", 1))
+        assert not report.found
+        assert report.trails == ()
+
+    def test_trails_for_specific_interval(self, burst_network):
+        trails = trails_for_interval(burst_network, "s", "t", 1, 28)
+        assert sum(t.amount for t in trails) == pytest.approx(950.0)
+
+    def test_reversed_interval_rejected(self, burst_network):
+        with pytest.raises(InvalidQueryError):
+            trails_for_interval(burst_network, "s", "t", 9, 3)
+
+    def test_waiting_collapsed_into_hops(self):
+        # Value waits at 'a' from tau=1 to tau=9: still a two-hop trail.
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 1, 2.0), ("a", "t", 9, 2.0)]
+        )
+        trails = trails_for_interval(network, "s", "t", 1, 9)
+        assert len(trails) == 1
+        assert [hop.tau for hop in trails[0].hops] == [1, 9]
+
+
+class TestDensityProfile:
+    def test_profile_is_antitone(self, burst_network):
+        profile = density_profile(burst_network, "s", "t")
+        densities = [p.density for p in profile]
+        assert densities == sorted(densities, reverse=True)
+        assert profile[0].delta == 1
+
+    def test_explicit_deltas(self, burst_network):
+        profile = density_profile(burst_network, "s", "t", deltas=[2, 10])
+        assert [p.delta for p in profile] == [2, 10]
+        assert profile[0].density == pytest.approx(300.0)
+        assert profile[1].density == pytest.approx(90.0)
+
+    def test_out_of_range_deltas_skipped(self, burst_network):
+        profile = density_profile(burst_network, "s", "t", deltas=[0, 2, 999])
+        assert [p.delta for p in profile] == [2]
+
+    def test_unknown_node_rejected(self, burst_network):
+        with pytest.raises(InvalidQueryError):
+            density_profile(burst_network, "s", "ghost")
+
+
+class TestSuggestDelta:
+    def test_knee_keeps_most_of_the_burst(self, burst_network):
+        profile = density_profile(
+            burst_network, "s", "t", deltas=[1, 2, 3, 6, 12, 24]
+        )
+        knee = suggest_delta(profile, max_drop=0.5)
+        assert knee is not None
+        # The burst spans 3 ticks; at delta 6 the density halves-ish, at 12
+        # it collapses. The knee must not run past the collapse.
+        assert knee.delta <= 6
+
+    def test_no_positive_density(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 1, 1.0), ("b", "t", 5, 1.0)]
+        )
+        profile = density_profile(network, "s", "t")
+        assert suggest_delta(profile) is None
+
+    def test_bad_max_drop(self, burst_network):
+        profile = density_profile(burst_network, "s", "t", deltas=[1])
+        with pytest.raises(InvalidQueryError):
+            suggest_delta(profile, max_drop=0.0)

@@ -1,0 +1,168 @@
+"""Tests for the network transformation (Section 4.1, Lemma 1)."""
+
+import math
+
+import pytest
+
+from repro.core import build_transformed_network
+from repro.core.transform import reachable_edges
+from repro.exceptions import InvalidIntervalError
+from repro.flownet import EdgeKind, dinic
+from repro.temporal import TemporalFlowNetwork
+
+
+@pytest.fixture
+def simple() -> TemporalFlowNetwork:
+    return TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "a", 1, 3.0),
+            ("a", "t", 2, 2.0),
+            ("a", "t", 4, 5.0),
+            ("s", "t", 3, 1.0),
+        ]
+    )
+
+
+def maxflow_of(transformed) -> float:
+    return dinic(
+        transformed.flow_network,
+        transformed.source_index,
+        transformed.sink_index,
+    ).value
+
+
+class TestStructure:
+    def test_source_and_sink_boundary_nodes_exist(self, simple):
+        transformed = build_transformed_network(simple, "s", "t", 1, 4)
+        fn = transformed.flow_network
+        assert fn.has_node(("s", 1))
+        assert fn.has_node(("t", 4))
+        assert transformed.source_index == fn.index_of(("s", 1))
+        assert transformed.sink_index == fn.index_of(("t", 4))
+
+    def test_capacity_edges_match_temporal_edges(self, simple):
+        transformed = build_transformed_network(simple, "s", "t", 1, 4)
+        fn = transformed.flow_network
+        capacity_edges = {
+            (fn.label_of(tail), fn.label_of(arc.head)): arc.cap
+            for tail, arc in fn.iter_edges()
+            if arc.kind is EdgeKind.CAPACITY
+        }
+        assert capacity_edges[(("s", 1), ("a", 1))] == 3.0
+        assert capacity_edges[(("a", 2), ("t", 2))] == 2.0
+        assert capacity_edges[(("s", 3), ("t", 3))] == 1.0
+
+    def test_hold_edges_are_infinite_and_time_ordered(self, simple):
+        transformed = build_transformed_network(simple, "s", "t", 1, 4)
+        fn = transformed.flow_network
+        for tail, arc in fn.iter_edges():
+            if arc.kind is not EdgeKind.HOLD:
+                continue
+            (u, tau_a) = fn.label_of(tail)
+            (v, tau_b) = fn.label_of(arc.head)
+            assert u == v
+            assert tau_a < tau_b
+            assert math.isinf(arc.cap)
+
+    def test_reversed_window_rejected(self, simple):
+        with pytest.raises(InvalidIntervalError):
+            build_transformed_network(simple, "s", "t", 4, 3)
+
+    def test_instantaneous_window_allowed(self, simple):
+        # MF[3, 3] captures the direct s->t transfer at tau=3.
+        transformed = build_transformed_network(simple, "s", "t", 3, 3)
+        assert maxflow_of(transformed) == pytest.approx(1.0)
+
+    def test_unreachable_edges_pruned(self):
+        # The b->c edge fires before anything can reach b.
+        network = TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "a", 3, 1.0),
+                ("b", "c", 1, 1.0),
+                ("a", "b", 4, 1.0),
+            ]
+        )
+        transformed = build_transformed_network(network, "s", "c", 1, 4)
+        fn = transformed.flow_network
+        assert not fn.has_node(("c", 1))  # pruned with the b->c edge
+
+    def test_sink_out_edges_not_materialised(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "t", 1, 1.0),
+                ("t", "x", 2, 9.0),  # out of the sink: useless for s-t flow
+            ]
+        )
+        transformed = build_transformed_network(network, "s", "t", 1, 2)
+        assert not transformed.flow_network.has_node(("x", 2))
+
+
+class TestMaxflowOnWindows:
+    def test_full_window(self, simple):
+        transformed = build_transformed_network(simple, "s", "t", 1, 4)
+        assert maxflow_of(transformed) == pytest.approx(4.0)
+
+    def test_narrow_window_limits_flow(self, simple):
+        transformed = build_transformed_network(simple, "s", "t", 1, 2)
+        assert maxflow_of(transformed) == pytest.approx(2.0)
+
+    def test_window_excluding_source_edge(self, simple):
+        transformed = build_transformed_network(simple, "s", "t", 2, 4)
+        # s's only remaining emission is the tau=3 direct edge.
+        assert maxflow_of(transformed) == pytest.approx(1.0)
+
+    def test_storage_across_time(self):
+        # 5 units leave s at tau=1 but can only drain 2+3 at tau 3 and 7.
+        network = TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "a", 1, 5.0),
+                ("a", "t", 3, 2.0),
+                ("a", "t", 7, 3.0),
+            ]
+        )
+        transformed = build_transformed_network(network, "s", "t", 1, 7)
+        assert maxflow_of(transformed) == pytest.approx(5.0)
+
+    def test_time_ordering_enforced(self):
+        # a receives at tau=5 but the out edge fired at tau=2: no flow.
+        network = TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "a", 5, 5.0),
+                ("a", "t", 2, 5.0),
+            ]
+        )
+        transformed = build_transformed_network(network, "s", "t", 1, 6)
+        assert maxflow_of(transformed) == 0.0
+
+    def test_flow_value_accessor(self, simple):
+        transformed = build_transformed_network(simple, "s", "t", 1, 4)
+        assert transformed.flow_value() == 0.0
+        value = maxflow_of(transformed)
+        assert transformed.flow_value() == pytest.approx(value)
+
+
+class TestReachableEdges:
+    def test_same_timestamp_cascade(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 2, 1.0), ("a", "b", 2, 1.0), ("b", "t", 2, 1.0)]
+        )
+        included = reachable_edges(network, "s", 1, 3)
+        assert len(included) == 3
+
+    def test_arrival_labels_extended_in_place(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 1, 1.0), ("a", "b", 5, 1.0)]
+        )
+        arrival: dict = {}
+        reachable_edges(network, "s", 1, 3, arrival=arrival)
+        assert arrival["a"] == 1.0
+        assert "b" not in arrival
+        reachable_edges(network, "s", 4, 6, arrival=arrival)
+        assert arrival["b"] == 5.0
+
+    def test_window_filter(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 1, 1.0), ("s", "b", 9, 1.0)]
+        )
+        included = reachable_edges(network, "s", 1, 5)
+        assert [(u, v) for u, v, _, __ in included] == [("s", "a")]

@@ -1,0 +1,145 @@
+"""Tests for the Table-2 replicas, the registry and workload generation."""
+
+import pytest
+
+from repro.datasets import (
+    BENCHMARK_DATASETS,
+    generate_queries,
+    make_case_study,
+    make_dataset,
+)
+from repro.exceptions import DatasetError
+from repro.temporal import network_stats
+from repro.temporal.reachability import min_temporal_hops
+
+
+class TestRegistry:
+    def test_all_four_datasets_present(self):
+        assert set(BENCHMARK_DATASETS) == {"bayc", "prosper", "ctu13", "btc2011"}
+
+    def test_make_dataset_case_insensitive(self):
+        network = make_dataset("BAYC", scale=0.2)
+        assert network.num_nodes > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            make_dataset("enron")
+
+    def test_deterministic(self):
+        a = make_dataset("ctu13", scale=0.2)
+        b = make_dataset("ctu13", scale=0.2)
+        assert sorted(e.key() for e in a.edges()) == sorted(
+            e.key() for e in b.edges()
+        )
+
+    def test_scale_shrinks(self):
+        small = make_dataset("btc2011", scale=0.1)
+        large = make_dataset("btc2011", scale=0.5)
+        assert small.num_edges < large.num_edges
+
+
+class TestReplicaShapes:
+    """The Table-2 *shape* relations that drive algorithm behaviour."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return {
+            name: network_stats(make_dataset(name, scale=0.5))
+            for name in BENCHMARK_DATASETS
+        }
+
+    def test_prosper_is_densest(self, stats):
+        prosper = stats["prosper"]
+        for name, other in stats.items():
+            if name != "prosper":
+                assert prosper.avg_degree > other.avg_degree
+
+    def test_prosper_has_fewest_timestamps(self, stats):
+        prosper = stats["prosper"]
+        for name, other in stats.items():
+            if name != "prosper":
+                assert prosper.num_timestamps < other.num_timestamps
+
+    def test_ctu13_has_largest_degree_skew(self, stats):
+        ctu = stats["ctu13"]
+        for name, other in stats.items():
+            if name != "ctu13":
+                assert ctu.stddev_degree > other.stddev_degree
+
+    def test_btc2011_is_sparse(self, stats):
+        assert stats["btc2011"].avg_degree < 8
+
+
+class TestCaseStudy:
+    def test_ground_truth_present(self):
+        dataset = make_case_study(scale=0.3)
+        assert dataset.planted
+        burst = dataset.planted[0]
+        assert burst.source in dataset.suspicious_sources
+        assert burst.sink in dataset.suspicious_sinks
+        assert burst.volume > 0
+        assert dataset.network.has_node(burst.source)
+
+    def test_benign_nodes_exist(self):
+        dataset = make_case_study(scale=0.3)
+        for node in dataset.benign_sources + dataset.benign_sinks:
+            assert dataset.network.has_node(node)
+
+
+class TestQueryWorkload:
+    @pytest.fixture(scope="class")
+    def workload_setup(self):
+        network = make_dataset("ctu13", scale=0.5)
+        return network, generate_queries(network, count=6, seed=3)
+
+    def test_requested_count(self, workload_setup):
+        _, workload = workload_setup
+        assert len(workload) == 6
+
+    def test_pairs_are_non_trivial(self, workload_setup):
+        network, workload = workload_setup
+        for source, sink in workload:
+            hops = min_temporal_hops(network, source, sink)
+            assert hops is not None and hops >= 3
+
+    def test_pairs_unique(self, workload_setup):
+        _, workload = workload_setup
+        assert len(set(workload.pairs)) == len(workload.pairs)
+
+    def test_deterministic(self):
+        network = make_dataset("bayc", scale=0.5)
+        a = generate_queries(network, count=4, seed=9)
+        b = generate_queries(network, count=4, seed=9)
+        assert a.pairs == b.pairs
+
+    def test_delta_for_fractions(self, workload_setup):
+        network, workload = workload_setup
+        assert workload.delta_for(0.03) == max(
+            1, round(network.num_timestamps * 0.03)
+        )
+        assert workload.delta_for(0.09) >= workload.delta_for(0.03)
+
+    def test_impossible_count_raises(self):
+        from repro.temporal import TemporalFlowNetwork
+
+        tiny = TemporalFlowNetwork.from_tuples([("a", "b", 1, 1.0)])
+        with pytest.raises(DatasetError):
+            generate_queries(tiny, count=5, seed=0, max_attempts=50)
+
+
+class TestDeletionHeavyWorkloads:
+    def test_min_source_stamps_respected(self):
+        network = make_dataset("prosper", scale=0.6)
+        workload = generate_queries(
+            network, count=4, seed=11, min_source_stamps=5
+        )
+        for source, _sink in workload:
+            assert len(network.tistamp_out(source)) >= 5
+
+    def test_unsatisfiable_constraint_raises(self):
+        network = make_dataset("bayc", scale=0.2)
+        with pytest.raises(DatasetError):
+            generate_queries(
+                network, count=3, seed=1, min_source_stamps=10_000,
+                max_attempts=100,
+            )

@@ -1,0 +1,118 @@
+"""Tests for the synthetic generators."""
+
+import pytest
+
+from repro.datasets import (
+    bursty_network,
+    heavy_tailed_network,
+    planted_burst,
+    uniform_network,
+)
+from repro.exceptions import DatasetError
+from repro.temporal import network_stats
+
+
+class TestUniform:
+    def test_deterministic_given_seed(self):
+        a = uniform_network(20, 50, 30, seed=7)
+        b = uniform_network(20, 50, 30, seed=7)
+        assert sorted(e.key() for e in a.edges()) == sorted(
+            e.key() for e in b.edges()
+        )
+
+    def test_different_seeds_differ(self):
+        a = uniform_network(20, 50, 30, seed=7)
+        b = uniform_network(20, 50, 30, seed=8)
+        assert sorted(e.key() for e in a.edges()) != sorted(
+            e.key() for e in b.edges()
+        )
+
+    def test_capacity_range_respected(self):
+        network = uniform_network(10, 40, 10, seed=1, capacity_range=(2.0, 3.0))
+        for edge in network.edges():
+            assert 2.0 <= edge.capacity <= 3.0 * 40  # merged duplicates
+
+    def test_size_validation(self):
+        with pytest.raises(DatasetError):
+            uniform_network(1, 5, 5, seed=0)
+        with pytest.raises(DatasetError):
+            uniform_network(5, 0, 5, seed=0)
+        with pytest.raises(DatasetError):
+            uniform_network(5, 5, 0, seed=0)
+
+
+class TestHeavyTailed:
+    def test_skew_exceeds_uniform(self):
+        uniform = uniform_network(200, 1200, 50, seed=3)
+        skewed = heavy_tailed_network(200, 1200, 50, seed=3, hub_bias=0.85)
+        assert (
+            network_stats(skewed).stddev_degree
+            > network_stats(uniform).stddev_degree * 1.5
+        )
+
+    def test_hub_bias_validation(self):
+        with pytest.raises(DatasetError):
+            heavy_tailed_network(10, 10, 10, seed=0, hub_bias=1.5)
+
+    def test_positive_capacities(self):
+        network = heavy_tailed_network(30, 100, 20, seed=5)
+        assert all(edge.capacity > 0 for edge in network.edges())
+
+
+class TestBursty:
+    def test_edges_cluster_in_bursts(self):
+        network = bursty_network(
+            50, 2000, 1000, seed=9, num_bursts=3,
+            burst_width_fraction=0.01, burst_edge_fraction=0.7,
+        )
+        counts = {}
+        for edge in network.edges():
+            counts[edge.tau] = counts.get(edge.tau, 0) + 1
+        top_density = max(counts.values())
+        mean_density = sum(counts.values()) / len(counts)
+        assert top_density > 5 * mean_density
+
+
+class TestPlantedBurst:
+    def test_burst_is_a_real_temporal_flow(self):
+        network = uniform_network(30, 60, 200, seed=4)
+        record = planted_burst(
+            network, "n0", "n1", seed=11, interval=(50, 70),
+            volume=999.0, hops=3, num_mule_chains=2,
+        )
+        from repro import find_bursting_flow
+
+        result = find_bursting_flow(
+            network, source="n0", sink="n1", delta=1, algorithm="bfq*"
+        )
+        # The planted volume must be routable inside the planted window.
+        assert result.flow_value >= record.volume - 1e-6 or (
+            result.density >= record.volume / (70 - 50) - 1e-6
+        )
+        lo, hi = result.interval
+        assert lo >= 50 - 1 and hi <= 200
+
+    def test_interval_too_short_rejected(self):
+        network = uniform_network(10, 20, 100, seed=4)
+        with pytest.raises(DatasetError, match="too short"):
+            planted_burst(
+                network, "n0", "n1", seed=1, interval=(10, 12),
+                volume=10.0, hops=3,
+            )
+
+    def test_non_positive_volume_rejected(self):
+        network = uniform_network(10, 20, 100, seed=4)
+        with pytest.raises(DatasetError, match="volume"):
+            planted_burst(
+                network, "n0", "n1", seed=1, interval=(10, 30), volume=0.0
+            )
+
+    def test_mule_nodes_are_fresh(self):
+        network = uniform_network(10, 20, 100, seed=4)
+        before = set(network.nodes)
+        planted_burst(
+            network, "n0", "n1", seed=1, interval=(10, 30), volume=10.0
+        )
+        new_nodes = set(network.nodes) - before
+        assert new_nodes
+        assert all(str(node).startswith("mule_") for node in new_nodes)

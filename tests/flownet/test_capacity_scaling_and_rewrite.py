@@ -1,0 +1,125 @@
+"""Tests for capacity-scaling Maxflow and the footnote-2 rewrite."""
+
+import random
+
+import pytest
+
+from repro.flownet import (
+    FlowNetwork,
+    capacity_scaling,
+    dinic,
+    has_antiparallel_edges,
+    split_antiparallel_edges,
+)
+
+
+class TestCapacityScaling:
+    def test_figure2(self, figure2_network):
+        s, t = figure2_network.index_of("s"), figure2_network.index_of("t")
+        assert capacity_scaling(figure2_network, s, t).value == pytest.approx(7.0)
+
+    def test_matches_dinic_on_random_networks(self):
+        rng = random.Random(99)
+        for _ in range(25):
+            net = FlowNetwork()
+            n = rng.randint(4, 10)
+            for i in range(n):
+                net.add_node(i)
+            for _ in range(rng.randint(4, 30)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v:
+                    net.add_edge(u, v, float(rng.randint(1, 100)))
+            expected = dinic(net.clone(), 0, 1).value
+            assert capacity_scaling(net, 0, 1).value == pytest.approx(expected)
+
+    def test_resumable(self, figure2_network):
+        s, t = figure2_network.index_of("s"), figure2_network.index_of("t")
+        first = capacity_scaling(figure2_network, s, t)
+        second = capacity_scaling(figure2_network, s, t)
+        assert first.value == pytest.approx(7.0)
+        assert second.value == 0.0
+
+    def test_fractional_capacities(self):
+        net = FlowNetwork()
+        net.add_edge_labeled("s", "a", 0.75)
+        net.add_edge_labeled("a", "t", 0.5)
+        run = capacity_scaling(net, net.index_of("s"), net.index_of("t"))
+        assert run.value == pytest.approx(0.5)
+
+    def test_empty_network(self):
+        net = FlowNetwork()
+        net.add_node("s")
+        net.add_node("t")
+        assert capacity_scaling(net, 0, 1).value == 0.0
+
+    def test_uses_fewer_augmentations_than_plain_ff_on_zigzag(self):
+        """The classic pathological network: plain FF can need ~2C paths,
+        scaling needs O(log C)."""
+        from repro.flownet import ford_fulkerson
+
+        capacity = 512.0
+        net = FlowNetwork()
+        net.add_edge_labeled("s", "a", capacity)
+        net.add_edge_labeled("s", "b", capacity)
+        net.add_edge_labeled("a", "b", 1.0)
+        net.add_edge_labeled("a", "t", capacity)
+        net.add_edge_labeled("b", "t", capacity)
+        s, t = net.index_of("s"), net.index_of("t")
+        scaled = capacity_scaling(net.clone(), s, t)
+        plain = ford_fulkerson(net.clone(), s, t)
+        assert scaled.value == pytest.approx(plain.value) == 2 * capacity
+        assert scaled.augmenting_paths <= plain.augmenting_paths
+
+
+class TestAntiparallelRewrite:
+    def test_detection(self):
+        net = FlowNetwork()
+        net.add_edge_labeled("a", "b", 1.0)
+        assert not has_antiparallel_edges(net)
+        net.add_edge_labeled("b", "a", 1.0)
+        assert has_antiparallel_edges(net)
+
+    def test_rewrite_removes_antiparallel_pairs(self):
+        net = FlowNetwork()
+        net.add_edge_labeled("s", "t", 5.0)
+        net.add_edge_labeled("t", "s", 3.0)
+        report = split_antiparallel_edges(net)
+        assert report.split_count == 1
+        assert not has_antiparallel_edges(report.rewritten)
+        assert len(report.helper_nodes) == 1
+
+    def test_maxflow_preserved(self):
+        rng = random.Random(5)
+        for _ in range(15):
+            net = FlowNetwork()
+            n = rng.randint(4, 8)
+            for i in range(n):
+                net.add_node(i)
+            for _ in range(rng.randint(6, 24)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v:
+                    net.add_edge(u, v, float(rng.randint(1, 20)))
+            original = dinic(net.clone(), 0, 1).value
+            report = split_antiparallel_edges(net)
+            rewritten = report.rewritten
+            value = dinic(
+                rewritten, rewritten.index_of(0), rewritten.index_of(1)
+            ).value
+            assert value == pytest.approx(original)
+
+    def test_parallel_same_direction_edges_merged(self):
+        net = FlowNetwork()
+        net.add_edge_labeled("a", "b", 2.0)
+        net.add_edge_labeled("a", "b", 3.0)
+        report = split_antiparallel_edges(net)
+        assert report.rewritten.num_edges == 1
+        ref = next(
+            (tail, arc) for tail, arc in report.rewritten.iter_edges()
+        )
+        assert ref[1].cap == 5.0
+
+    def test_flow_carrying_network_rejected(self, figure2_network):
+        s, t = figure2_network.index_of("s"), figure2_network.index_of("t")
+        dinic(figure2_network, s, t)
+        with pytest.raises(ValueError, match="flow-free"):
+            split_antiparallel_edges(figure2_network)

@@ -1,0 +1,129 @@
+"""Tests for single-edge incremental Maxflow (the [18]/[28] baseline)."""
+
+import random
+
+import pytest
+
+from repro.flownet import DynamicMaxflow, FlowNetwork, dinic
+
+
+def fresh_figure2() -> FlowNetwork:
+    net = FlowNetwork()
+    for u, v, capacity in [
+        ("s", "v1", 3.0), ("s", "v2", 4.0), ("v1", "v3", 3.0),
+        ("v2", "v3", 4.0), ("v3", "v4", 2.0), ("v3", "v5", 5.0),
+        ("v4", "t", 2.0), ("v5", "t", 5.0),
+    ]:
+        net.add_edge_labeled(u, v, capacity)
+    return net
+
+
+class TestInsertion:
+    def test_initial_value(self):
+        net = fresh_figure2()
+        dyn = DynamicMaxflow(net, net.index_of("s"), net.index_of("t"))
+        assert dyn.value == pytest.approx(7.0)
+
+    def test_insert_opens_new_capacity(self):
+        net = fresh_figure2()
+        dyn = DynamicMaxflow(net, net.index_of("s"), net.index_of("t"))
+        # Open a new corridor: v3 gains 4 units of drain and 4 of supply,
+        # lifting the Maxflow from 7 to 11 (s emits 3+4+4, t absorbs 2+5+4).
+        dyn.insert_edge(net.index_of("v3"), net.index_of("t"), 4.0)
+        dyn.insert_edge(net.index_of("s"), net.index_of("v3"), 4.0)
+        assert dyn.value == pytest.approx(11.0)
+
+    def test_insert_useless_edge_changes_nothing(self):
+        net = fresh_figure2()
+        dyn = DynamicMaxflow(net, net.index_of("s"), net.index_of("t"))
+        dyn.insert_edge(net.index_of("v4"), net.index_of("v5"), 9.0)
+        assert dyn.value == pytest.approx(7.0)
+
+    def test_increase_capacity(self):
+        net = FlowNetwork()
+        bottleneck = net.add_edge_labeled("s", "a", 2.0)
+        net.add_edge_labeled("a", "t", 5.0)
+        dyn = DynamicMaxflow(net, net.index_of("s"), net.index_of("t"))
+        assert dyn.value == pytest.approx(2.0)
+        dyn.increase_capacity(bottleneck, 3.0)
+        assert dyn.value == pytest.approx(5.0)
+
+
+class TestDeletion:
+    def test_delete_bottleneck_edge(self):
+        net = fresh_figure2()
+        dyn = DynamicMaxflow(net, net.index_of("s"), net.index_of("t"))
+        # Remove v3 -> v5 (carries 5): flow must drop to 2.
+        ref = _find_edge(net, "v3", "v5")
+        assert dyn.delete_edge(ref) == pytest.approx(2.0)
+
+    def test_delete_with_rerouting(self):
+        # Deleting one path lets flow reroute through the other.
+        net = FlowNetwork()
+        net.add_edge_labeled("s", "a", 5.0)
+        net.add_edge_labeled("a", "t", 5.0)
+        net.add_edge_labeled("s", "b", 5.0)
+        net.add_edge_labeled("b", "t", 5.0)
+        net.add_edge_labeled("a", "b", 5.0)
+        dyn = DynamicMaxflow(net, net.index_of("s"), net.index_of("t"))
+        assert dyn.value == pytest.approx(10.0)
+        ref = _find_edge(net, "a", "t")
+        # a's 5 units can detour via b? b->t already carries 5 -> drops to 5.
+        assert dyn.delete_edge(ref) == pytest.approx(5.0)
+
+    def test_delete_unused_edge(self):
+        net = fresh_figure2()
+        dyn = DynamicMaxflow(net, net.index_of("s"), net.index_of("t"))
+        net2 = fresh_figure2()
+        ref = net.add_edge(net.index_of("v5"), net.index_of("v4"), 1.0)
+        assert dyn.value == pytest.approx(7.0)
+        assert dyn.delete_edge(ref) == pytest.approx(7.0)
+        assert net2.num_edges == 8  # sanity: untouched twin
+
+    def test_randomised_against_recompute(self):
+        rng = random.Random(31)
+        for trial in range(12):
+            net = FlowNetwork()
+            n = rng.randint(4, 8)
+            for i in range(n):
+                net.add_node(i)
+            edges = []  # (u, v, capacity, ref)
+            for _ in range(rng.randint(6, 20)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v:
+                    capacity = float(rng.randint(1, 9))
+                    edges.append((u, v, capacity, net.add_edge(u, v, capacity)))
+            if not edges:
+                continue
+            dyn = DynamicMaxflow(net, 0, 1)
+            rng.shuffle(edges)
+            alive = list(edges)
+            for _ in range(min(3, len(edges))):
+                u, v, capacity, ref = alive.pop()
+                dyn.delete_edge(ref)
+                fresh = FlowNetwork()
+                for i in range(n):
+                    fresh.add_node(i)
+                for (au, av, acap, _ref) in alive:
+                    fresh.add_edge(au, av, acap)
+                expected = dinic(fresh, 0, 1).value
+                assert dyn.value == pytest.approx(expected), f"trial {trial}"
+
+    def test_augment_runs_tracked(self):
+        net = fresh_figure2()
+        dyn = DynamicMaxflow(net, net.index_of("s"), net.index_of("t"))
+        before = dyn.augment_runs
+        dyn.insert_edge(net.index_of("s"), net.index_of("v3"), 1.0)
+        assert dyn.augment_runs == before + 1
+
+
+def _find_edge(net: FlowNetwork, u: str, v: str):
+    from repro.flownet import EdgeRef
+
+    tail = net.index_of(u)
+    for pos, arc in enumerate(net.arcs_of(tail)):
+        if arc.forward and arc.head == net.index_of(v):
+            return EdgeRef(tail, pos)
+    raise AssertionError(f"edge {u}->{v} not found")
+
+

@@ -1,0 +1,91 @@
+"""Tests for flow extraction, validation, decomposition and min-cut."""
+
+import pytest
+
+from repro.exceptions import FlowValidationError
+from repro.flownet import (
+    FlowNetwork,
+    decompose_into_paths,
+    dinic,
+    extract_flow,
+    flow_value_at,
+    min_cut,
+    validate_classical_flow,
+)
+
+
+class TestExtractFlow:
+    def test_extract_after_dinic(self, figure2_network):
+        s, t = figure2_network.index_of("s"), figure2_network.index_of("t")
+        dinic(figure2_network, s, t)
+        flows = extract_flow(figure2_network)
+        out_of_s = sum(v for (tail, _), v in flows.items() if tail == s)
+        assert out_of_s == pytest.approx(7.0)
+
+    def test_empty_before_any_flow(self, figure2_network):
+        assert extract_flow(figure2_network) == {}
+
+    def test_retired_nodes_excluded(self):
+        net = FlowNetwork()
+        ref = net.add_edge_labeled("a", "b", 5.0)
+        net.push_on(ref, 3.0)
+        net.retire_label("a")
+        assert extract_flow(net) == {}
+
+
+class TestValidation:
+    def test_valid_maxflow_passes(self, figure2_network):
+        s, t = figure2_network.index_of("s"), figure2_network.index_of("t")
+        dinic(figure2_network, s, t)
+        value = validate_classical_flow(figure2_network, s, t)
+        assert value == pytest.approx(7.0)
+        assert flow_value_at(figure2_network, s) == pytest.approx(7.0)
+
+    def test_conservation_violation_detected(self):
+        net = FlowNetwork()
+        r1 = net.add_edge_labeled("s", "a", 5.0)
+        net.add_edge_labeled("a", "t", 5.0)
+        net.push_on(r1, 2.0)  # 'a' holds 2 units illegally
+        with pytest.raises(FlowValidationError, match="conservation"):
+            validate_classical_flow(net, net.index_of("s"), net.index_of("t"))
+
+
+class TestDecomposition:
+    def test_paths_sum_to_value(self, figure2_network):
+        s, t = figure2_network.index_of("s"), figure2_network.index_of("t")
+        dinic(figure2_network, s, t)
+        paths = decompose_into_paths(figure2_network, s, t)
+        assert sum(amount for _, amount in paths) == pytest.approx(7.0)
+        for path, amount in paths:
+            assert path[0] == s and path[-1] == t
+            assert amount > 0
+
+    def test_no_flow_no_paths(self, figure2_network):
+        s, t = figure2_network.index_of("s"), figure2_network.index_of("t")
+        assert decompose_into_paths(figure2_network, s, t) == []
+
+
+class TestMinCut:
+    def test_mincut_equals_maxflow(self, figure2_network):
+        s, t = figure2_network.index_of("s"), figure2_network.index_of("t")
+        value = dinic(figure2_network, s, t).value
+        cut = min_cut(figure2_network, s, t)
+        assert cut.capacity == pytest.approx(value)
+        assert s in cut.source_side
+        assert t not in cut.source_side
+
+    def test_cut_edges_cross_partition(self, figure2_network):
+        s, t = figure2_network.index_of("s"), figure2_network.index_of("t")
+        dinic(figure2_network, s, t)
+        cut = min_cut(figure2_network, s, t)
+        for tail, head in cut.edges:
+            assert tail in cut.source_side
+            assert head not in cut.source_side
+
+    def test_disconnected_cut_is_zero(self):
+        net = FlowNetwork()
+        net.add_edge_labeled("s", "a", 5.0)
+        net.add_node("t")
+        s, t = net.index_of("s"), net.index_of("t")
+        dinic(net, s, t)
+        assert min_cut(net, s, t).capacity == 0.0

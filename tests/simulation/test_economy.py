@@ -1,0 +1,110 @@
+"""Tests for the payment-economy simulator."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.simulation import EconomyConfig, build_accounts, simulate_economy
+
+
+@pytest.fixture(scope="module")
+def small_economy():
+    config = EconomyConfig(
+        num_consumers=20, num_merchants=5, num_corporates=2,
+        days=5, ticks_per_day=96,
+    )
+    events, accounts = simulate_economy(config, seed=7)
+    return config, events, accounts
+
+
+class TestConfig:
+    def test_horizon(self):
+        config = EconomyConfig(days=3, ticks_per_day=100)
+        assert config.horizon == 300
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            EconomyConfig(num_consumers=0)
+        with pytest.raises(DatasetError):
+            EconomyConfig(days=0)
+        with pytest.raises(DatasetError):
+            EconomyConfig(ticks_per_day=2)
+
+
+class TestAccounts:
+    def test_population(self, small_economy):
+        config, _, accounts = small_economy
+        assert len(accounts.consumers) == config.num_consumers
+        assert len(accounts.merchants) == config.num_merchants
+        assert len(accounts.corporates) == config.num_corporates
+        assert len(accounts.all()) == 27
+
+    def test_roles_disjoint(self, small_economy):
+        _, __, accounts = small_economy
+        roles = [set(accounts.consumers), set(accounts.merchants), set(accounts.corporates)]
+        for i, a in enumerate(roles):
+            for b in roles[i + 1 :]:
+                assert not (a & b)
+
+
+class TestEvents:
+    def test_time_ordered_and_in_horizon(self, small_economy):
+        config, events, _ = small_economy
+        ticks = [tick for _, __, tick, ___ in events]
+        assert ticks == sorted(ticks)
+        assert min(ticks) >= 1
+        assert max(ticks) <= config.horizon
+
+    def test_amounts_positive(self, small_economy):
+        _, events, __ = small_economy
+        assert all(amount > 0 for _, __, ___, amount in events)
+
+    def test_deterministic(self, small_economy):
+        config, events, _ = small_economy
+        again, _ = simulate_economy(config, seed=7)
+        assert events == again
+
+    def test_seed_changes_stream(self, small_economy):
+        config, events, _ = small_economy
+        other, _ = simulate_economy(config, seed=8)
+        assert events != other
+
+    def test_salaries_on_paydays_only(self, small_economy):
+        config, events, accounts = small_economy
+        corporates = set(accounts.corporates)
+        salary_days = {
+            (tick - 1) // config.ticks_per_day
+            for payer, payee, tick, amount in events
+            if payer in corporates and payee in set(accounts.consumers)
+        }
+        # payday_every_days=5 over 5 days -> only day index 4.
+        assert salary_days == {4}
+
+    def test_merchants_settle_to_corporates(self, small_economy):
+        _, events, accounts = small_economy
+        merchants = set(accounts.merchants)
+        corporates = set(accounts.corporates)
+        settlements = [
+            event for event in events
+            if event[0] in merchants and event[1] in corporates
+        ]
+        assert settlements
+        # Settlement sweeps happen at the end of a day.
+        config = small_economy[0]
+        for _, __, tick, ___ in settlements:
+            assert (tick - 1) % config.ticks_per_day >= config.ticks_per_day - 5
+
+    def test_purchases_cluster_at_peaks(self, small_economy):
+        config, events, accounts = small_economy
+        consumers = set(accounts.consumers)
+        merchants = set(accounts.merchants)
+        fractions = [
+            ((tick - 1) % config.ticks_per_day) / config.ticks_per_day
+            for payer, payee, tick, _ in events
+            if payer in consumers and payee in merchants
+        ]
+        assert fractions
+        near_peak = [
+            f for f in fractions
+            if any(abs(f - peak) < 0.15 for peak in config.shopping_peaks)
+        ]
+        assert len(near_peak) > 0.5 * len(fractions)

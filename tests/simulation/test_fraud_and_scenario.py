@@ -1,0 +1,169 @@
+"""Tests for fraud injectors and full-scenario assembly."""
+
+import pytest
+
+from repro import find_bursting_flow
+from repro.exceptions import DatasetError
+from repro.simulation import (
+    EconomyConfig,
+    inject_layering,
+    inject_round_tripping,
+    inject_smurfing,
+    simulate_scenario,
+)
+from repro.temporal import TemporalFlowNetwork
+
+
+class TestSmurfing:
+    def test_volume_moves_inside_window(self):
+        events = []
+        truth = inject_smurfing(
+            events, "src", "dst", volume=10_000.0, num_smurfs=5,
+            window=(100, 120), seed=1,
+        )
+        network = TemporalFlowNetwork.from_tuples(events)
+        result = find_bursting_flow(network, source="src", sink="dst", delta=1)
+        assert result.flow_value == pytest.approx(truth.volume)
+        lo, hi = result.interval
+        assert 100 <= lo and hi <= 120
+
+    def test_slices_routed_through_distinct_smurfs(self):
+        events = []
+        truth = inject_smurfing(
+            events, "src", "dst", volume=9_000.0, num_smurfs=3,
+            window=(10, 30), seed=2,
+        )
+        assert len(truth.accomplices) == 3
+        payees = {payee for _, payee, __, ___ in events if _ == "src"}
+        assert payees == set(truth.accomplices)
+
+    def test_window_validation(self):
+        with pytest.raises(DatasetError, match="too short"):
+            inject_smurfing(
+                [], "s", "d", volume=1.0, num_smurfs=1, window=(5, 6), seed=0
+            )
+
+    def test_ground_truth_density(self):
+        events = []
+        truth = inject_smurfing(
+            events, "src", "dst", volume=10_000.0, num_smurfs=4,
+            window=(0, 20), seed=3,
+        )
+        assert truth.density == pytest.approx(truth.volume / 20)
+
+
+class TestLayering:
+    def test_conservation_through_layers(self):
+        events = []
+        truth = inject_layering(
+            events, "src", "dst", volume=30_000.0, depth=3, width=3,
+            window=(50, 90), seed=4,
+        )
+        outflow = sum(a for payer, _, __, a in events if payer == "src")
+        inflow = sum(a for _, payee, __, a in events if payee == "dst")
+        assert outflow == pytest.approx(inflow, rel=1e-3)
+        assert truth.volume == pytest.approx(inflow, rel=1e-3)
+
+    def test_flow_query_recovers_volume(self):
+        events = []
+        truth = inject_layering(
+            events, "src", "dst", volume=30_000.0, depth=2, width=2,
+            window=(50, 90), seed=5,
+        )
+        network = TemporalFlowNetwork.from_tuples(events)
+        result = find_bursting_flow(network, source="src", sink="dst", delta=1)
+        assert result.flow_value == pytest.approx(truth.volume, rel=1e-3)
+
+    def test_layer_timestamps_strictly_ordered(self):
+        events = []
+        inject_layering(
+            events, "src", "dst", volume=1_000.0, depth=3, width=2,
+            window=(0, 40), seed=6,
+        )
+        # Hops out of the source precede hops into the sink.
+        src_ticks = [t for payer, _, t, __ in events if payer == "src"]
+        dst_ticks = [t for _, payee, t, __ in events if payee == "dst"]
+        assert max(src_ticks) < min(dst_ticks)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DatasetError):
+            inject_layering(
+                [], "s", "d", volume=1.0, depth=0, width=2, window=(0, 40), seed=0
+            )
+
+
+class TestRoundTripping:
+    def test_both_directions_carry_volume(self):
+        from repro.baselines import temporal_maxflow
+
+        events = []
+        truth = inject_round_tripping(
+            events, "a", "b", lap_amount=5_000.0, laps=3,
+            window=(10, 40), seed=7,
+        )
+        network = TemporalFlowNetwork.from_tuples(events)
+        # Over the whole horizon each direction turned over the full volume.
+        forward = temporal_maxflow(network, "a", "b")
+        backward = temporal_maxflow(network, "b", "a")
+        assert forward.value == pytest.approx(truth.volume)
+        assert backward.value > 0
+        # The bursting query sees at least one dense lap in each direction.
+        burst = find_bursting_flow(network, source="a", sink="b", delta=1)
+        assert burst.flow_value >= 5_000.0 - 1e-6
+
+    def test_lap_count_checked(self):
+        with pytest.raises(DatasetError):
+            inject_round_tripping(
+                [], "a", "b", lap_amount=1.0, laps=0, window=(0, 10), seed=0
+            )
+
+
+class TestScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        config = EconomyConfig(
+            num_consumers=25, num_merchants=6, num_corporates=2,
+            days=4, ticks_per_day=96,
+        )
+        return simulate_scenario(config=config, seed=9, with_round_tripping=True)
+
+    def test_ground_truth_present(self, scenario):
+        kinds = {fraud.kind for fraud in scenario.frauds}
+        assert kinds == {"smurfing", "layering", "round-tripping"}
+
+    def test_fraud_densities_dominate_benign(self, scenario):
+        delta = max(1, scenario.network.num_timestamps // 50)
+        fraud_densities = []
+        for fraud in scenario.frauds:
+            result = find_bursting_flow(
+                scenario.network, source=fraud.source, sink=fraud.sink,
+                delta=delta,
+            )
+            fraud_densities.append(result.density)
+        benign_densities = []
+        for s, t in scenario.benign_pairs(3, seed=2):
+            result = find_bursting_flow(
+                scenario.network, source=s, sink=t, delta=delta
+            )
+            benign_densities.append(result.density)
+        assert min(fraud_densities) > 10 * max(benign_densities + [0.01])
+
+    def test_benign_pairs_exclude_accomplices(self, scenario):
+        tainted = {
+            node
+            for fraud in scenario.frauds
+            for node in (fraud.source, fraud.sink, *fraud.accomplices)
+        }
+        for s, t in scenario.benign_pairs(5, seed=3):
+            assert s not in tainted and t not in tainted
+
+    def test_deterministic(self, scenario):
+        config = EconomyConfig(
+            num_consumers=25, num_merchants=6, num_corporates=2,
+            days=4, ticks_per_day=96,
+        )
+        again = simulate_scenario(config=config, seed=9, with_round_tripping=True)
+        assert again.events == scenario.events
+        assert [f.window for f in again.frauds] == [
+            f.window for f in scenario.frauds
+        ]

@@ -1,0 +1,155 @@
+"""Tests for the embedded graph store and its one-off export."""
+
+import pytest
+
+from repro import find_bursting_flow
+from repro.exceptions import DatasetError, UnknownNodeError
+from repro.store import GraphStore
+
+
+@pytest.fixture
+def populated() -> GraphStore:
+    store = GraphStore()
+    store.add_node("alice", country="SG")
+    store.add_relationship("alice", "bob", tau=1000.5, amount=250.0, label="wire")
+    store.add_relationship("bob", "carol", tau=1030.0, amount=240.0)
+    store.add_relationship("alice", "carol", tau=1060.0, amount=10.0)
+    return store
+
+
+class TestMutations:
+    def test_counts(self, populated):
+        assert populated.num_nodes == 3
+        assert populated.num_relationships == 3
+
+    def test_auto_created_endpoints(self, populated):
+        assert populated.has_node("bob")
+        assert populated.node("bob") == {}
+
+    def test_node_properties_merge(self, populated):
+        populated.add_node("alice", risk="high")
+        assert populated.node("alice") == {"country": "SG", "risk": "high"}
+
+    def test_unknown_node_raises(self, populated):
+        with pytest.raises(UnknownNodeError):
+            populated.node("mallory")
+
+    def test_self_transfer_rejected(self, populated):
+        with pytest.raises(DatasetError, match="self transfer"):
+            populated.add_relationship("alice", "alice", tau=1, amount=5.0)
+
+    def test_non_positive_amount_rejected(self, populated):
+        with pytest.raises(DatasetError, match="positive"):
+            populated.add_relationship("alice", "bob", tau=1, amount=0.0)
+
+    def test_relationship_lookup(self, populated):
+        rel = populated.relationship(1)
+        assert (rel.u, rel.v, rel.amount) == ("alice", "bob", 250.0)
+        with pytest.raises(DatasetError):
+            populated.relationship(99)
+
+
+class TestIndexes:
+    def test_time_range_scan(self, populated):
+        taus = [r.tau for r in populated.relationships_between(1010, 1070)]
+        assert taus == [1030.0, 1060.0]
+
+    def test_ledgers(self, populated):
+        assert [r.v for r in populated.outgoing("alice")] == ["bob", "carol"]
+        assert [r.u for r in populated.incoming("carol")] == ["bob", "alice"]
+
+    def test_total_volume(self, populated):
+        assert populated.total_volume("alice") == pytest.approx(260.0)
+        assert populated.total_volume("carol", direction="in") == pytest.approx(250.0)
+
+    def test_timestamp_quantile(self, populated):
+        assert populated.timestamp_quantile(0.0) == 1000.5
+        assert populated.timestamp_quantile(1.0) == 1060.0
+        with pytest.raises(DatasetError):
+            populated.timestamp_quantile(2.0)
+
+
+class TestExport:
+    def test_one_off_export_with_compaction(self, populated):
+        network, codec = populated.export_network()
+        assert network.num_edges == 3
+        assert list(network.timestamps) == [1, 2, 3]
+        assert codec.decode(1) == 1000.5
+
+    def test_export_supports_queries_end_to_end(self, populated):
+        network, codec = populated.export_network()
+        result = find_bursting_flow(network, source="alice", sink="carol", delta=1)
+        assert result.found
+        lo, hi = result.interval
+        raw_lo, raw_hi = codec.decode_interval((lo, hi))
+        assert raw_lo >= 1000.5 and raw_hi <= 1060.0
+
+    def test_time_filtered_export(self, populated):
+        network, _ = populated.export_network(tau_lo=1010.0)
+        assert network.num_edges == 2
+
+    def test_quantile_driven_export_like_case_study(self):
+        store = GraphStore()
+        for i in range(100):
+            store.add_relationship(f"u{i}", f"v{i}", tau=float(i), amount=1.0)
+        cut = store.timestamp_quantile(0.99)
+        network, _ = store.export_network(tau_lo=cut)
+        assert network.num_edges <= 2  # only the top 1% of timestamps
+
+    def test_predicate_export(self, populated):
+        network, _ = populated.export_network(
+            predicate=lambda rel: rel.properties.get("label") == "wire"
+        )
+        assert network.num_edges == 1
+
+    def test_empty_export(self):
+        network, codec = GraphStore().export_network()
+        assert network.num_edges == 0
+        assert len(codec) == 0
+
+
+class TestDurability:
+    def test_replay_restores_state(self, tmp_path):
+        path = tmp_path / "store.log"
+        with GraphStore(path) as store:
+            store.add_node("alice", risk="low")
+            store.add_relationship("alice", "bob", tau=5.0, amount=9.0)
+        with GraphStore(path) as revived:
+            assert revived.num_nodes == 2
+            assert revived.node("alice") == {"risk": "low"}
+            rel = revived.relationship(1)
+            assert (rel.u, rel.v, rel.tau, rel.amount) == ("alice", "bob", 5.0, 9.0)
+
+    def test_rel_ids_continue_after_replay(self, tmp_path):
+        path = tmp_path / "store.log"
+        with GraphStore(path) as store:
+            first = store.add_relationship("a", "b", tau=1, amount=1.0)
+        with GraphStore(path) as revived:
+            second = revived.add_relationship("b", "c", tau=2, amount=1.0)
+        assert second == first + 1
+
+    def test_compaction_shrinks_log(self, tmp_path):
+        path = tmp_path / "store.log"
+        with GraphStore(path) as store:
+            for _ in range(5):
+                store.add_node("alice", counter=_)
+            store.add_relationship("alice", "bob", tau=1, amount=1.0)
+            store.flush()
+            before = path.stat().st_size
+            store.compact()
+            after = path.stat().st_size
+        assert after < before
+        with GraphStore(path) as revived:
+            assert revived.num_relationships == 1
+
+    def test_export_after_replay_matches(self, tmp_path):
+        path = tmp_path / "store.log"
+        with GraphStore(path) as store:
+            store.add_relationship("a", "b", tau=10.0, amount=2.0)
+            store.add_relationship("b", "c", tau=20.0, amount=2.0)
+            original, _ = store.export_network()
+        with GraphStore(path) as revived:
+            replayed, _ = revived.export_network()
+        assert sorted(e.key() for e in original.edges()) == sorted(
+            e.key() for e in replayed.edges()
+        )

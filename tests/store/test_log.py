@@ -1,0 +1,67 @@
+"""Tests for the append-only log."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.store import AppendLog
+
+
+class TestAppendAndReplay:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.log"
+        with AppendLog(path) as log:
+            log.append({"op": "a", "x": 1})
+            log.append({"op": "b", "y": [1, 2]})
+        with AppendLog(path) as log:
+            assert list(log.replay()) == [
+                {"op": "a", "x": 1},
+                {"op": "b", "y": [1, 2]},
+            ]
+
+    def test_records_appended_counter(self, tmp_path):
+        with AppendLog(tmp_path / "l.log") as log:
+            assert log.records_appended == 0
+            log.append({"op": "a"})
+            assert log.records_appended == 1
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "l.log"
+        path.write_text('{"op":"a"}\n\n{"op":"b"}\n')
+        with AppendLog(path) as log:
+            assert [r["op"] for r in log.replay()] == ["a", "b"]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "l.log"
+        path.write_text('{"op":"a"}\nnot-json\n{"op":"b"}\n')
+        with AppendLog(path) as log, pytest.raises(DatasetError, match="corrupt"):
+            list(log.replay())
+
+    def test_torn_trailing_write_tolerated(self, tmp_path):
+        path = tmp_path / "l.log"
+        path.write_text('{"op":"a"}\n{"op":"b"')  # crash mid-write
+        with AppendLog(path) as log:
+            assert [r["op"] for r in log.replay()] == ["a"]
+
+    def test_parent_directory_created(self, tmp_path):
+        path = tmp_path / "nested" / "deep" / "l.log"
+        with AppendLog(path) as log:
+            log.append({"op": "a"})
+        assert path.exists()
+
+
+class TestCompaction:
+    def test_compact_replaces_contents(self, tmp_path):
+        path = tmp_path / "l.log"
+        with AppendLog(path) as log:
+            for i in range(10):
+                log.append({"op": "x", "i": i})
+            log.compact([{"op": "x", "i": 9}])
+            assert list(log.replay()) == [{"op": "x", "i": 9}]
+
+    def test_appends_work_after_compaction(self, tmp_path):
+        path = tmp_path / "l.log"
+        with AppendLog(path) as log:
+            log.append({"op": "a"})
+            log.compact([{"op": "a"}])
+            log.append({"op": "b"})
+            assert [r["op"] for r in log.replay()] == ["a", "b"]

@@ -1,0 +1,87 @@
+"""Unit tests for the network builder and the timestamp codec."""
+
+import pytest
+
+from repro.exceptions import InvalidTimestampError
+from repro.temporal import TemporalFlowNetworkBuilder, TimestampCodec
+
+
+class TestBuilder:
+    def test_fluent_build(self):
+        network = (
+            TemporalFlowNetworkBuilder()
+            .edge("a", "b", tau=1, capacity=2.0)
+            .edge("b", "c", tau=2, capacity=3.0)
+            .build()
+        )
+        assert network.num_edges == 2
+        assert network.capacity("a", "b", 1) == 2.0
+
+    def test_edges_bulk(self):
+        network = (
+            TemporalFlowNetworkBuilder()
+            .edges([("a", "b", 1, 2.0), ("b", "c", 2, 3.0)])
+            .build()
+        )
+        assert network.num_edges == 2
+
+    def test_node_registers_isolated_node(self):
+        network = TemporalFlowNetworkBuilder().node("ghost").build()
+        assert network.has_node("ghost")
+
+    def test_integer_valued_float_timestamps_accepted(self):
+        network = TemporalFlowNetworkBuilder().edge("a", "b", tau=3.0, capacity=1.0).build()
+        assert network.capacity("a", "b", 3) == 1.0
+
+    def test_fractional_timestamp_rejected_without_compaction(self):
+        builder = TemporalFlowNetworkBuilder().edge("a", "b", tau=3.5, capacity=1.0)
+        with pytest.raises(InvalidTimestampError):
+            builder.build()
+
+    def test_build_compacted_renumbers_timestamps(self):
+        network, codec = (
+            TemporalFlowNetworkBuilder()
+            .edge("a", "b", tau=1_600_000_000.5, capacity=1.0)
+            .edge("b", "c", tau=1_600_000_900.0, capacity=1.0)
+            .edge("a", "c", tau=1_600_000_000.5, capacity=1.0)
+            .build_compacted()
+        )
+        assert network.num_timestamps == 2
+        assert list(network.timestamps) == [1, 2]
+        assert codec.decode(1) == 1_600_000_000.5
+        assert codec.encode(1_600_000_900.0) == 2
+
+
+class TestTimestampCodec:
+    def test_round_trip(self):
+        codec = TimestampCodec([10.0, 20.0, 35.0])
+        for seq, raw in ((1, 10.0), (2, 20.0), (3, 35.0)):
+            assert codec.encode(raw) == seq
+            assert codec.decode(seq) == raw
+
+    def test_decode_interval(self):
+        codec = TimestampCodec([10.0, 20.0, 35.0])
+        assert codec.decode_interval((1, 3)) == (10.0, 35.0)
+
+    def test_len(self):
+        assert len(TimestampCodec([1.0, 2.0])) == 2
+
+    def test_unknown_event_time_raises(self):
+        codec = TimestampCodec([10.0])
+        with pytest.raises(InvalidTimestampError):
+            codec.encode(11.0)
+
+    def test_out_of_range_sequence_raises(self):
+        codec = TimestampCodec([10.0])
+        with pytest.raises(InvalidTimestampError):
+            codec.decode(2)
+        with pytest.raises(InvalidTimestampError):
+            codec.decode(0)
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(InvalidTimestampError):
+            TimestampCodec([3.0, 1.0])
+
+    def test_duplicate_input_rejected(self):
+        with pytest.raises(InvalidTimestampError):
+            TimestampCodec([1.0, 1.0])

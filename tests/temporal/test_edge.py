@@ -1,0 +1,63 @@
+"""Unit tests for temporal edge primitives."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidCapacityError, InvalidEdgeError
+from repro.temporal import TemporalEdge
+from repro.temporal.edge import validate_capacity
+
+
+class TestTemporalEdge:
+    def test_basic_construction(self):
+        edge = TemporalEdge("a", "b", 3, 7.5)
+        assert edge.u == "a"
+        assert edge.v == "b"
+        assert edge.tau == 3
+        assert edge.capacity == 7.5
+
+    def test_key_is_identifying_triple(self):
+        assert TemporalEdge("a", "b", 3, 7.5).key() == ("a", "b", 3)
+
+    def test_reversed_swaps_endpoints_only(self):
+        edge = TemporalEdge("a", "b", 3, 7.5)
+        rev = edge.reversed()
+        assert (rev.u, rev.v, rev.tau, rev.capacity) == ("b", "a", 3, 7.5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidEdgeError):
+            TemporalEdge("a", "a", 1, 1.0)
+
+    def test_non_integer_timestamp_rejected(self):
+        with pytest.raises(InvalidEdgeError):
+            TemporalEdge("a", "b", 1.5, 1.0)
+
+    def test_frozen(self):
+        edge = TemporalEdge("a", "b", 1, 1.0)
+        with pytest.raises(AttributeError):
+            edge.capacity = 2.0
+
+    def test_hashable_and_equal_by_value(self):
+        assert TemporalEdge("a", "b", 1, 2.0) == TemporalEdge("a", "b", 1, 2.0)
+        assert len({TemporalEdge("a", "b", 1, 2.0), TemporalEdge("a", "b", 1, 2.0)}) == 1
+
+    def test_integer_node_ids_allowed(self):
+        edge = TemporalEdge(1, 2, 3, 4.0)
+        assert edge.key() == (1, 2, 3)
+
+
+class TestValidateCapacity:
+    @pytest.mark.parametrize("bad", [0, -1, -0.5, math.nan, math.inf, -math.inf])
+    def test_rejects_non_positive_and_non_finite(self, bad):
+        with pytest.raises(InvalidCapacityError):
+            validate_capacity(bad)
+
+    @pytest.mark.parametrize("bad", [True, "3", None, [1.0]])
+    def test_rejects_non_numbers(self, bad):
+        with pytest.raises(InvalidCapacityError):
+            validate_capacity(bad)
+
+    @pytest.mark.parametrize("good", [1, 0.001, 1e12])
+    def test_accepts_positive_finite(self, good):
+        assert validate_capacity(good) == good

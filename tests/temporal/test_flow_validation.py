@@ -1,0 +1,129 @@
+"""Tests for temporal flows and the Eq. 3/4 validators."""
+
+import pytest
+
+from repro.exceptions import FlowValidationError
+from repro.temporal import TemporalFlow, TemporalFlowNetwork, validate_temporal_flow
+
+
+@pytest.fixture
+def diamond() -> TemporalFlowNetwork:
+    """s -> {a, b} -> t with staggered timestamps."""
+    return TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "a", 1, 4.0),
+            ("s", "b", 2, 3.0),
+            ("a", "t", 3, 4.0),
+            ("b", "t", 4, 3.0),
+        ]
+    )
+
+
+def make_flow(values, tau_s=1, tau_e=4) -> TemporalFlow:
+    flow = TemporalFlow("s", "t", tau_s, tau_e)
+    for (u, v, tau), value in values.items():
+        flow.set_value(u, v, tau, value)
+    return flow
+
+
+class TestTemporalFlowContainer:
+    def test_flow_value_counts_source_emission(self, diamond):
+        flow = make_flow(
+            {
+                ("s", "a", 1): 2.0,
+                ("a", "t", 3): 2.0,
+            }
+        )
+        assert flow.flow_value() == 2.0
+
+    def test_density(self):
+        flow = make_flow({("s", "a", 1): 3.0, ("a", "t", 3): 3.0}, tau_s=1, tau_e=4)
+        assert flow.density() == pytest.approx(1.0)
+
+    def test_density_of_degenerate_interval_raises(self):
+        flow = make_flow({}, tau_s=2, tau_e=2)
+        with pytest.raises(FlowValidationError):
+            flow.density()
+
+    def test_set_value_zero_removes_entry(self):
+        flow = make_flow({("s", "a", 1): 2.0})
+        flow.set_value("s", "a", 1, 0.0)
+        assert ("s", "a", 1) not in flow.values
+
+    def test_negative_value_rejected(self):
+        flow = TemporalFlow("s", "t", 1, 4)
+        with pytest.raises(FlowValidationError):
+            flow.set_value("s", "a", 1, -1.0)
+
+    def test_interval_properties(self):
+        flow = TemporalFlow("s", "t", 2, 7)
+        assert flow.interval == (2, 7)
+        assert flow.interval_length == 5
+
+
+class TestValidators:
+    def test_valid_flow_passes(self, diamond):
+        flow = make_flow(
+            {
+                ("s", "a", 1): 4.0,
+                ("s", "b", 2): 3.0,
+                ("a", "t", 3): 4.0,
+                ("b", "t", 4): 3.0,
+            }
+        )
+        validate_temporal_flow(diamond, flow)
+
+    def test_capacity_violation(self, diamond):
+        flow = make_flow({("s", "a", 1): 5.0, ("a", "t", 3): 5.0})
+        with pytest.raises(FlowValidationError, match="capacity"):
+            validate_temporal_flow(diamond, flow)
+
+    def test_flow_on_nonexistent_edge_is_capacity_violation(self, diamond):
+        flow = make_flow({("s", "t", 1): 1.0})
+        with pytest.raises(FlowValidationError, match="capacity"):
+            validate_temporal_flow(diamond, flow)
+
+    def test_conservation_violation(self, diamond):
+        # a receives 4 but forwards only 2.
+        flow = make_flow({("s", "a", 1): 4.0, ("a", "t", 3): 2.0})
+        with pytest.raises(FlowValidationError):
+            validate_temporal_flow(diamond, flow)
+
+    def test_time_constraint_violation(self):
+        # a forwards at tau=1 what it only receives at tau=3.
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 3, 2.0), ("a", "t", 1, 2.0)]
+        )
+        flow = make_flow({("s", "a", 3): 2.0, ("a", "t", 1): 2.0}, tau_s=1, tau_e=3)
+        with pytest.raises(FlowValidationError, match="time constraint"):
+            validate_temporal_flow(network, flow)
+
+    def test_flow_outside_window_rejected(self, diamond):
+        flow = make_flow(
+            {("s", "a", 1): 1.0, ("a", "t", 3): 1.0}, tau_s=2, tau_e=4
+        )
+        with pytest.raises(FlowValidationError, match="outside"):
+            validate_temporal_flow(diamond, flow)
+
+    def test_degenerate_window_rejected(self, diamond):
+        flow = make_flow({}, tau_s=4, tau_e=4)
+        with pytest.raises(FlowValidationError):
+            validate_temporal_flow(diamond, flow)
+
+    def test_value_mismatch_detected_in_strict_mode(self, diamond):
+        # Source emits 4 but the sink only absorbs 2: node 'a' both breaks
+        # conservation and the strict source/sink agreement.
+        flow = make_flow({("s", "a", 1): 4.0, ("a", "t", 3): 2.0})
+        with pytest.raises(FlowValidationError):
+            validate_temporal_flow(diamond, flow, strict=True)
+
+    def test_empty_flow_is_valid(self, diamond):
+        validate_temporal_flow(diamond, make_flow({}))
+
+    def test_storage_at_node_is_allowed(self):
+        # Value waits at 'a' between tau=1 and tau=5 — legal.
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 1, 2.0), ("a", "t", 5, 2.0)]
+        )
+        flow = make_flow({("s", "a", 1): 2.0, ("a", "t", 5): 2.0}, tau_s=1, tau_e=5)
+        validate_temporal_flow(network, flow)

@@ -1,0 +1,101 @@
+"""Tests for edge-list loading/saving."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.temporal import (
+    TemporalFlowNetwork,
+    load_edge_list,
+    load_jsonl,
+    save_edge_list,
+    save_jsonl,
+)
+
+
+@pytest.fixture
+def sample() -> TemporalFlowNetwork:
+    return TemporalFlowNetwork.from_tuples(
+        [
+            ("alice", "bob", 1, 250.0),
+            ("bob", "carol", 3, 100.5),
+            ("alice", "carol", 3, 42.0),
+        ]
+    )
+
+
+def same_edges(a: TemporalFlowNetwork, b: TemporalFlowNetwork) -> bool:
+    return sorted((e.u, e.v, e.tau, e.capacity) for e in a.edges()) == sorted(
+        (e.u, e.v, e.tau, e.capacity) for e in b.edges()
+    )
+
+
+class TestCsvRoundTrip:
+    def test_csv(self, sample, tmp_path):
+        path = tmp_path / "edges.csv"
+        save_edge_list(sample, path)
+        loaded = load_edge_list(path)
+        assert same_edges(sample, loaded)
+
+    def test_tsv_delimiter_inferred(self, sample, tmp_path):
+        path = tmp_path / "edges.tsv"
+        save_edge_list(sample, path)
+        assert "\t" in path.read_text().splitlines()[1]
+        loaded = load_edge_list(path)
+        assert same_edges(sample, loaded)
+
+    def test_header_optional(self, tmp_path):
+        path = tmp_path / "noheader.csv"
+        path.write_text("x,y,1,5.0\ny,z,2,6.0\n")
+        loaded = load_edge_list(path)
+        assert loaded.num_edges == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("u,v,tau,capacity\nx,y,1,5.0\n\n\ny,z,2,6.0\n")
+        assert load_edge_list(path).num_edges == 2
+
+    def test_short_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,1\n")
+        with pytest.raises(DatasetError, match="expected 4 fields"):
+            load_edge_list(path)
+
+    def test_non_numeric_capacity_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y,1,abc\n")
+        with pytest.raises(DatasetError, match="not a number"):
+            load_edge_list(path)
+
+    def test_compact_timestamps(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("u,v,tau,capacity\nx,y,1000,5.0\ny,z,5000,6.0\n")
+        network, codec = load_edge_list(path, compact_timestamps=True)
+        assert list(network.timestamps) == [1, 2]
+        assert codec.decode(2) == 5000.0
+
+
+class TestJsonlRoundTrip:
+    def test_jsonl(self, sample, tmp_path):
+        path = tmp_path / "edges.jsonl"
+        save_jsonl(sample, path)
+        loaded = load_jsonl(path)
+        assert same_edges(sample, loaded)
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"u": "x"\n')
+        with pytest.raises(DatasetError, match="invalid JSON"):
+            load_jsonl(path)
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"u": "x", "v": "y", "tau": 1}\n')
+        with pytest.raises(DatasetError, match="must have"):
+            load_jsonl(path)
+
+    def test_jsonl_compacted(self, sample, tmp_path):
+        path = tmp_path / "edges.jsonl"
+        save_jsonl(sample, path)
+        network, codec = load_jsonl(path, compact_timestamps=True)
+        assert network.num_timestamps == 2
+        assert codec.decode(1) == 1

@@ -1,0 +1,103 @@
+"""Tests for temporal reachability / earliest arrival."""
+
+import pytest
+
+from repro.exceptions import UnknownNodeError
+from repro.temporal import (
+    TemporalFlowNetwork,
+    earliest_arrival,
+    is_temporally_reachable,
+    min_temporal_hops,
+    reachable_set,
+)
+
+
+@pytest.fixture
+def timeline() -> TemporalFlowNetwork:
+    """Edges whose ordering matters: b is only reachable the "long way"."""
+    return TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "a", 5, 1.0),
+            ("a", "b", 3, 1.0),  # too early: a is reached at 5
+            ("a", "c", 6, 1.0),
+            ("c", "b", 8, 1.0),
+            ("b", "t", 9, 1.0),
+        ]
+    )
+
+
+class TestEarliestArrival:
+    def test_respects_time_order(self, timeline):
+        arrival = earliest_arrival(timeline, "s")
+        assert arrival["a"] == 5
+        assert arrival["c"] == 6
+        assert arrival["b"] == 8  # via c, not via the tau=3 edge
+        assert arrival["t"] == 9
+
+    def test_source_arrival_is_departure_time(self, timeline):
+        arrival = earliest_arrival(timeline, "s", depart_at=4)
+        assert arrival["s"] == 4
+
+    def test_departure_after_edges_blocks_them(self, timeline):
+        arrival = earliest_arrival(timeline, "s", depart_at=6)
+        assert "a" not in arrival  # the tau=5 edge already left
+
+    def test_horizon_bound(self, timeline):
+        arrival = earliest_arrival(timeline, "s", until=7)
+        assert "b" not in arrival and "t" not in arrival
+        assert arrival["c"] == 6
+
+    def test_unknown_source_raises(self, timeline):
+        with pytest.raises(UnknownNodeError):
+            earliest_arrival(timeline, "zzz")
+
+    def test_same_timestamp_chaining(self):
+        # s->a and a->b both at tau=2: value may hop twice in one instant.
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 2, 1.0), ("a", "b", 2, 1.0)]
+        )
+        arrival = earliest_arrival(network, "s")
+        assert arrival["b"] == 2
+
+
+class TestReachability:
+    def test_reachable(self, timeline):
+        assert is_temporally_reachable(timeline, "s", "t")
+
+    def test_not_reachable_backwards(self, timeline):
+        assert not is_temporally_reachable(timeline, "t", "s")
+
+    def test_window_restriction(self, timeline):
+        assert not is_temporally_reachable(timeline, "s", "t", tau_e=8)
+
+    def test_reachable_set(self, timeline):
+        assert reachable_set(timeline, "s") == {"s", "a", "b", "c", "t"}
+        assert reachable_set(timeline, "c") == {"c", "b", "t"}
+
+
+class TestMinHops:
+    def test_hop_count(self, timeline):
+        assert min_temporal_hops(timeline, "s", "t") == 4  # s-a-c-b-t
+
+    def test_direct_edge_is_one_hop(self):
+        network = TemporalFlowNetwork.from_tuples([("s", "t", 1, 1.0)])
+        assert min_temporal_hops(network, "s", "t") == 1
+
+    def test_unreachable_returns_none(self, timeline):
+        assert min_temporal_hops(timeline, "t", "s") is None
+
+    def test_time_invalid_shortcut_ignored(self):
+        # s-x-t is 2 hops but time-inverted; the valid path has 3 hops.
+        network = TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "x", 5, 1.0),
+                ("x", "t", 2, 1.0),  # earlier than arrival at x
+                ("s", "a", 1, 1.0),
+                ("a", "b", 2, 1.0),
+                ("b", "t", 3, 1.0),
+            ]
+        )
+        assert min_temporal_hops(network, "s", "t") == 3
+
+    def test_window_restricts_hops(self, timeline):
+        assert min_temporal_hops(timeline, "s", "t", tau_e=8) is None

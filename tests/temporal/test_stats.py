@@ -1,0 +1,69 @@
+"""Tests for the Table-2 statistics module."""
+
+import math
+
+import pytest
+
+from repro.temporal import TemporalFlowNetwork, format_stats_table, network_stats
+from repro.temporal.stats import _fmt_count
+
+
+class TestNetworkStats:
+    def test_basic_columns(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("a", "b", 1, 2.0), ("b", "c", 2, 3.0), ("a", "c", 2, 4.0)]
+        )
+        stats = network_stats(network)
+        assert stats.num_nodes == 3
+        assert stats.num_edges == 3
+        assert stats.num_timestamps == 2
+        assert stats.avg_degree == 2.0  # 2|E|/|V| = 6/3
+        assert stats.total_capacity == 9.0
+
+    def test_stddev_zero_for_regular_graph(self):
+        # Directed triangle: every node has degree exactly 2.
+        network = TemporalFlowNetwork.from_tuples(
+            [("a", "b", 1, 1.0), ("b", "c", 1, 1.0), ("c", "a", 1, 1.0)]
+        )
+        stats = network_stats(network)
+        assert stats.stddev_degree == 0.0
+        assert stats.max_degree == 2
+
+    def test_stddev_of_star(self):
+        # Hub with 4 spokes: degrees [4, 1, 1, 1, 1].
+        network = TemporalFlowNetwork.from_tuples(
+            [("hub", f"n{i}", i + 1, 1.0) for i in range(4)]
+        )
+        stats = network_stats(network)
+        degrees = [4, 1, 1, 1, 1]
+        mean = sum(degrees) / 5
+        expected = math.sqrt(sum((d - mean) ** 2 for d in degrees) / 5)
+        assert stats.stddev_degree == pytest.approx(expected)
+        assert stats.max_degree == 4
+
+    def test_empty_network(self):
+        stats = network_stats(TemporalFlowNetwork())
+        assert stats.num_nodes == 0
+        assert stats.avg_degree == 0.0
+
+    def test_as_row_order(self):
+        network = TemporalFlowNetwork.from_tuples([("a", "b", 1, 1.0)])
+        row = network_stats(network).as_row()
+        assert row[:3] == (2, 1, 1)
+
+
+class TestFormatting:
+    def test_table_contains_all_datasets(self):
+        network = TemporalFlowNetwork.from_tuples([("a", "b", 1, 1.0)])
+        stats = network_stats(network)
+        table = format_stats_table({"demo1": stats, "demo2": stats})
+        assert "demo1" in table and "demo2" in table
+        assert "Avg. degree" in table
+
+    def test_fmt_count_paper_style(self):
+        assert _fmt_count(999) == "999"
+        assert _fmt_count(1_259) == "1,259"
+        assert _fmt_count(21_000) == "21K"
+        assert _fmt_count(54_400) == "54.4K"
+        assert _fmt_count(3_300_000) == "3.30M"
+        assert _fmt_count(2_000_000) == "2M"

@@ -1,0 +1,106 @@
+"""Tests for sub-network views and transformations."""
+
+import pytest
+
+from repro import find_bursting_flow
+from repro.exceptions import UnknownNodeError
+from repro.temporal import TemporalFlowNetwork
+from repro.temporal.views import (
+    filter_edges,
+    merge_networks,
+    node_induced_subnetwork,
+    relabel_nodes,
+    shift_timestamps,
+    window_subnetwork,
+)
+
+
+@pytest.fixture
+def sample() -> TemporalFlowNetwork:
+    return TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "a", 1, 3.0),
+            ("a", "t", 4, 3.0),
+            ("s", "b", 6, 2.0),
+            ("b", "t", 8, 2.0),
+        ]
+    )
+
+
+class TestWindowSubnetwork:
+    def test_slices_edges(self, sample):
+        sliced = window_subnetwork(sample, 1, 4)
+        assert sliced.num_edges == 2
+        assert sliced.capacity("a", "t", 4) == 3.0
+        assert not sliced.has_node("b")
+
+    def test_keep_nodes(self, sample):
+        sliced = window_subnetwork(sample, 1, 4, keep_nodes=True)
+        assert sliced.has_node("b")
+
+    def test_original_untouched(self, sample):
+        window_subnetwork(sample, 1, 4)
+        assert sample.num_edges == 4
+
+
+class TestNodeInduced:
+    def test_both_endpoints_required(self, sample):
+        induced = node_induced_subnetwork(sample, ["s", "a", "t"])
+        assert induced.num_edges == 2
+        assert induced.capacity("s", "b", 6) == 0.0
+
+    def test_nonexistent_members_ignored(self, sample):
+        induced = node_induced_subnetwork(sample, ["s", "ghost"])
+        assert induced.num_edges == 0
+        assert not induced.has_node("ghost")
+
+
+class TestFilterEdges:
+    def test_predicate(self, sample):
+        heavy = filter_edges(sample, lambda edge: edge.capacity >= 3.0)
+        assert heavy.num_edges == 2
+        assert heavy.has_node("b")  # nodes preserved
+
+
+class TestRelabel:
+    def test_dict_mapping_partial(self, sample):
+        renamed = relabel_nodes(sample, {"s": "source"})
+        assert renamed.has_node("source")
+        assert renamed.capacity("source", "a", 1) == 3.0
+        assert renamed.has_node("t")
+
+    def test_callable_mapping(self, sample):
+        renamed = relabel_nodes(sample, lambda node: f"x_{node}")
+        assert renamed.has_node("x_s")
+        assert renamed.num_edges == 4
+
+    def test_merging_mapping_rejected(self, sample):
+        with pytest.raises(UnknownNodeError):
+            relabel_nodes(sample, {"a": "t"})
+
+    def test_queries_survive_relabelling(self, sample):
+        renamed = relabel_nodes(sample, lambda node: f"n_{node}")
+        before = find_bursting_flow(sample, source="s", sink="t", delta=2)
+        after = find_bursting_flow(renamed, source="n_s", sink="n_t", delta=2)
+        assert after.density == pytest.approx(before.density)
+        assert after.interval == before.interval
+
+
+class TestMergeAndShift:
+    def test_merge_sums_shared_capacity(self, sample):
+        other = TemporalFlowNetwork.from_tuples([("s", "a", 1, 2.0)])
+        merged = merge_networks(sample, other)
+        assert merged.capacity("s", "a", 1) == 5.0
+        assert merged.num_edges == 4
+
+    def test_shift_preserves_answers(self, sample):
+        shifted = shift_timestamps(sample, 100)
+        before = find_bursting_flow(sample, source="s", sink="t", delta=2)
+        after = find_bursting_flow(shifted, source="s", sink="t", delta=2)
+        assert after.density == pytest.approx(before.density)
+        lo, hi = after.interval
+        assert (lo - 100, hi - 100) == before.interval
+
+    def test_negative_shift(self, sample):
+        shifted = shift_timestamps(sample, -1)
+        assert shifted.t_min == 0

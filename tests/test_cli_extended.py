@@ -1,0 +1,106 @@
+"""Tests for the trail / profile / self-check CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.temporal import TemporalFlowNetwork, save_edge_list
+
+
+@pytest.fixture
+def edges_csv(tmp_path):
+    network = TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "a", 10, 500.0),
+            ("s", "b", 10, 400.0),
+            ("a", "t", 12, 500.0),
+            ("b", "t", 13, 400.0),
+            ("s", "a", 2, 20.0),
+            ("a", "t", 5, 20.0),
+        ]
+    )
+    path = tmp_path / "edges.csv"
+    save_edge_list(network, path)
+    return path
+
+
+class TestTrail:
+    def test_prints_trails(self, edges_csv, capsys):
+        code = main(
+            [
+                "trail", str(edges_csv),
+                "--source", "s", "--sink", "t", "--delta", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trails (largest first)" in out
+        assert "s -@10-> a -@12-> t" in out
+        assert "(500 units)" in out
+
+    def test_top_limits_output(self, edges_csv, capsys):
+        main(
+            [
+                "trail", str(edges_csv),
+                "--source", "s", "--sink", "t", "--delta", "2",
+                "--top", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "... and 1 more" in out
+
+    def test_no_flow(self, edges_csv, capsys):
+        code = main(
+            [
+                "trail", str(edges_csv),
+                "--source", "t", "--sink", "s", "--delta", "1",
+            ]
+        )
+        assert code == 1
+
+
+class TestProfile:
+    def test_default_ladder(self, edges_csv, capsys):
+        code = main(
+            ["profile", str(edges_csv), "--source", "s", "--sink", "t"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delta" in out and "density" in out
+        assert "suggested delta" in out
+
+    def test_explicit_deltas(self, edges_csv, capsys):
+        code = main(
+            [
+                "profile", str(edges_csv),
+                "--source", "s", "--sink", "t", "--deltas", "2,10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "300" in out  # density at delta=2
+
+
+class TestSelfCheck:
+    def test_runs_clean(self, capsys):
+        assert main(["self-check"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 4
+
+
+class TestHunt:
+    def test_hunt_finds_planted_burst(self, tmp_path, capsys):
+        from repro.datasets import uniform_network, planted_burst
+
+        network = uniform_network(30, 150, 300, seed=12, capacity_range=(1.0, 15.0))
+        planted_burst(
+            network, "n2", "n3", seed=13, interval=(100, 115),
+            volume=40_000.0,
+        )
+        path = tmp_path / "hunt.csv"
+        save_edge_list(network, path)
+        code = main(["hunt", str(path), "--delta", "15", "--top-sources", "3",
+                     "--top-sinks", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n2 -> n3" in out
+        assert "screened" in out

@@ -1,0 +1,44 @@
+"""Integration: every example script must run clean end-to-end.
+
+Examples double as executable documentation and as acceptance tests — each
+contains its own assertions about the expected outcome (burst found,
+suspects flagged, streaming matches offline, ...).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=EXAMPLES_DIR.parent,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed\nstdout:\n{completed.stdout}\n"
+        f"stderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_every_example_is_covered():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "fraud_detection",
+        "road_congestion",
+        "algorithm_comparison",
+        "streaming_monitor",
+        "store_pipeline",
+        "aml_simulation",
+    } <= names

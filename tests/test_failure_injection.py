@@ -1,0 +1,117 @@
+"""Failure injection: corrupt inputs and broken invariants must fail loudly.
+
+A reproduction library is only trustworthy if it refuses to return answers
+from inconsistent state.  These tests poke the guard rails.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import (
+    DatasetError,
+    FlowValidationError,
+    GraphError,
+    InvalidQueryError,
+    ReproError,
+)
+from repro.store import GraphStore
+from repro.temporal import TemporalFlowNetwork
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc_type in (
+            DatasetError,
+            FlowValidationError,
+            GraphError,
+            InvalidQueryError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_catching_the_base_class_works(self, burst_network):
+        from repro import find_bursting_flow
+
+        with pytest.raises(ReproError):
+            find_bursting_flow(burst_network, source="s", sink="s", delta=1)
+
+
+class TestStoreLogCorruption:
+    def test_unknown_op_rejected_on_replay(self, tmp_path):
+        path = tmp_path / "store.log"
+        path.write_text(json.dumps({"op": "explode"}) + "\n")
+        with pytest.raises(DatasetError, match="unknown log op"):
+            GraphStore(path)
+
+    def test_mid_file_corruption_rejected(self, tmp_path):
+        path = tmp_path / "store.log"
+        good = json.dumps({"op": "node", "id": "a", "props": {}})
+        path.write_text(f"{good}\ngarbage-line\n{good}\n")
+        with pytest.raises(DatasetError, match="corrupt"):
+            GraphStore(path)
+
+    def test_trailing_torn_write_recovers(self, tmp_path):
+        path = tmp_path / "store.log"
+        good = json.dumps(
+            {"op": "rel", "id": 1, "u": "a", "v": "b", "tau": 1.0,
+             "amount": 2.0, "props": {}}
+        )
+        path.write_text(f"{good}\n{{\"op\": \"rel\", \"id\"")  # torn
+        store = GraphStore(path)
+        assert store.num_relationships == 1
+
+
+class TestResidualGuards:
+    def test_negative_withdrawal_rejected(self, figure2_network):
+        from repro.flownet.network import EdgeRef
+
+        ref = EdgeRef(0, 0)  # first edge; carries no flow yet
+        with pytest.raises(GraphError):
+            figure2_network.push_on(ref, -1.0)
+
+    def test_overdrawn_push_rejected(self, figure2_network):
+        from repro.flownet.network import EdgeRef
+
+        ref = EdgeRef(0, 0)
+        capacity = figure2_network.edge_capacity(ref)
+        with pytest.raises(GraphError):
+            figure2_network.push_on(ref, capacity + 1.0)
+
+
+class TestDegenerateQueries:
+    def test_single_timestamp_network(self):
+        network = TemporalFlowNetwork.from_tuples([("s", "t", 4, 3.0)])
+        from repro import find_bursting_flow
+
+        result = find_bursting_flow(network, source="s", sink="t", delta=1)
+        # Horizon length is zero: no window of length >= 1 exists.
+        assert not result.found
+
+    def test_isolated_endpoints(self):
+        network = TemporalFlowNetwork.from_tuples([("a", "b", 1, 1.0), ("b", "c", 5, 1.0)])
+        network.add_node("s")
+        network.add_node("t")
+        from repro import find_bursting_flow
+
+        result = find_bursting_flow(network, source="s", sink="t", delta=1)
+        assert not result.found
+
+    def test_enormous_capacities_stay_exact(self):
+        big = 2.0**50
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 1, big), ("a", "t", 2, big)]
+        )
+        from repro import find_bursting_flow
+
+        result = find_bursting_flow(network, source="s", sink="t", delta=1)
+        assert result.flow_value == big
+
+    def test_many_parallel_edges_merge(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "t", 2, 1.0)] * 50 + [("s", "x", 1, 1.0)]
+        )
+        assert network.capacity("s", "t", 2) == 50.0
+        from repro import find_bursting_flow
+
+        result = find_bursting_flow(network, source="s", sink="t", delta=1)
+        assert result.flow_value == pytest.approx(50.0)

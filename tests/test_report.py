@@ -1,0 +1,71 @@
+"""Tests for the figure-reporting module."""
+
+import pytest
+
+from repro.report import FigureData, Series, summarise_ratios
+
+
+@pytest.fixture
+def figure() -> FigureData:
+    figure = FigureData("Fig. X", "queries", "runtime (ms)")
+    bfq = figure.new_series("bfq")
+    plus = figure.new_series("bfq+")
+    for i, (slow, fast) in enumerate([(10.0, 5.0), (20.0, 4.0), (30.0, 6.0)]):
+        bfq.add(i, slow)
+        plus.add(i, fast)
+    return figure
+
+
+class TestSeries:
+    def test_sorted_points(self):
+        line = Series("s")
+        line.add(3, 1.0)
+        line.add(1, 2.0)
+        assert line.sorted_points() == [(1.0, 2.0), (3.0, 1.0)]
+
+    def test_speedup_over(self, figure):
+        plus = figure.get("bfq+")
+        bfq = figure.get("bfq")
+        ratios = dict(plus.speedup_over(bfq))
+        assert ratios[0.0] == pytest.approx(2.0)
+        assert ratios[1.0] == pytest.approx(5.0)
+
+    def test_get_unknown_series(self, figure):
+        with pytest.raises(KeyError):
+            figure.get("nope")
+
+
+class TestExports:
+    def test_csv_long_format(self, figure, tmp_path):
+        path = tmp_path / "fig.csv"
+        text = figure.to_csv(path)
+        assert text.splitlines()[0] == "series,queries,runtime (ms)"
+        assert len(text.splitlines()) == 1 + 6
+        assert path.read_text() == text
+
+    def test_ascii_contains_legend_and_markers(self, figure):
+        art = figure.to_ascii(width=30, height=8)
+        assert "o=bfq" in art and "x=bfq+" in art
+        assert "Fig. X" in art
+        assert "o" in art.splitlines()[2] or "o" in art
+
+    def test_ascii_log_scale_kicks_in(self):
+        figure = FigureData("log", "x", "y")
+        line = figure.new_series("wide")
+        line.add(0, 1.0)
+        line.add(1, 100000.0)
+        assert "(log y)" in figure.to_ascii()
+
+    def test_ascii_empty(self):
+        assert "(no data)" in FigureData("e", "x", "y").to_ascii()
+
+
+class TestSummaries:
+    def test_summarise_ratios(self):
+        summary = summarise_ratios([2.0, 8.0])
+        assert summary["min"] == 2.0
+        assert summary["max"] == 8.0
+        assert summary["geomean"] == pytest.approx(4.0)
+
+    def test_summarise_empty(self):
+        assert summarise_ratios([]) == {"min": 0.0, "geomean": 0.0, "max": 0.0}

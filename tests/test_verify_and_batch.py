@@ -1,0 +1,74 @@
+"""Tests for the self-check module and the batch query engine."""
+
+import pytest
+
+from repro import BurstingFlowQuery, find_bursting_flow
+from repro.core.batch import answer_many
+from repro.exceptions import InvalidQueryError
+from repro.verify import SelfCheckError, self_check
+
+
+class TestSelfCheck:
+    def test_all_checks_pass(self):
+        outcomes = self_check(trials=4)
+        assert set(outcomes) == {
+            "figure2_maxflow",
+            "oracle_agreement",
+            "lemma1_round_trip",
+            "streaming_equivalence",
+        }
+        for outcome in outcomes.values():
+            assert outcome  # every check reports a summary
+
+    def test_deterministic(self):
+        assert self_check(trials=3) == self_check(trials=3)
+
+    def test_error_type_exists(self):
+        assert issubclass(SelfCheckError, Exception)
+
+
+class TestBatch:
+    @pytest.fixture
+    def queries(self):
+        return [
+            BurstingFlowQuery("s", "t", 2),
+            BurstingFlowQuery("s", "t", 5),
+            BurstingFlowQuery("s", "t", 10),
+        ]
+
+    def test_sequential_matches_individual(self, burst_network, queries):
+        batch = answer_many(burst_network, queries)
+        for query, result in zip(queries, batch):
+            single = find_bursting_flow(burst_network, query)
+            assert result.density == pytest.approx(single.density)
+            assert result.interval == single.interval
+
+    def test_parallel_matches_sequential(self, burst_network, queries):
+        sequential = answer_many(burst_network, queries, processes=None)
+        parallel = answer_many(burst_network, queries, processes=2)
+        assert [r.density for r in parallel] == pytest.approx(
+            [r.density for r in sequential]
+        )
+        assert [r.interval for r in parallel] == [r.interval for r in sequential]
+
+    def test_result_order_is_input_order(self, burst_network, queries):
+        results = answer_many(burst_network, queries, processes=2)
+        # Densities are antitone in delta, so order is verifiable.
+        densities = [r.density for r in results]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_empty_batch(self, burst_network):
+        assert answer_many(burst_network, []) == []
+
+    def test_unknown_algorithm_fails_fast(self, burst_network, queries):
+        with pytest.raises(InvalidQueryError):
+            answer_many(burst_network, queries, algorithm="wizardry")
+
+    def test_invalid_query_fails_before_any_work(self, burst_network):
+        bad = [BurstingFlowQuery("s", "ghost", 2)]
+        with pytest.raises(InvalidQueryError):
+            answer_many(burst_network, bad)
+
+    def test_cpu_count_sentinel(self, burst_network, queries):
+        results = answer_many(burst_network, queries, processes=0)
+        assert len(results) == len(queries)
