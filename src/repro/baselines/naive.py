@@ -15,9 +15,9 @@ from repro.core.query import (
     IntervalSample,
     QueryStats,
 )
+from repro.core.record import BestRecord
 from repro.core.transform import build_transformed_network
 from repro.flownet.algorithms.dinic import dinic
-from repro.temporal.edge import Timestamp
 from repro.temporal.network import TemporalFlowNetwork
 
 
@@ -41,10 +41,10 @@ def naive_bfq(
     """
     query.validate_against(network)
     stats = QueryStats()
-    best_density = 0.0
-    best_interval: tuple[Timestamp, Timestamp] | None = None
-    best_value = 0.0
+    best = BestRecord()
 
+    if network.num_timestamps == 0:
+        return BurstingFlowResult(0.0, None, 0.0, stats)
     t_min = network.t_min
     t_max = network.t_max
     horizon = t_max - t_min
@@ -83,15 +83,11 @@ def naive_bfq(
                     flow_value=run.value,
                 )
             )
-            density = run.value / (tau_e - tau_s)
-            if density > best_density:
-                best_density = density
-                best_interval = (tau_s, tau_e)
-                best_value = run.value
+            best.offer(run.value, tau_s, tau_e)
 
     return BurstingFlowResult(
-        density=best_density,
-        interval=best_interval,
-        flow_value=best_value,
+        density=best.density,
+        interval=best.interval,
+        flow_value=best.value,
         stats=stats,
     )

@@ -25,8 +25,8 @@ from repro.core.query import (
     IntervalSample,
     QueryStats,
 )
+from repro.core.record import BestRecord
 from repro.core.transform import TransformedNetwork, build_transformed_network
-from repro.temporal.edge import Timestamp
 from repro.temporal.network import TemporalFlowNetwork
 
 
@@ -76,9 +76,7 @@ def networkx_bfq(
     query.validate_against(network)
     stats = QueryStats()
     plan = enumerate_candidates(network, query.source, query.sink, query.delta)
-    best_density = 0.0
-    best_interval: tuple[Timestamp, Timestamp] | None = None
-    best_value = 0.0
+    best = BestRecord()
     for tau_s, tau_e in plan.intervals():
         stats.candidates_enumerated += 1
         transformed = build_transformed_network(
@@ -96,14 +94,10 @@ def networkx_bfq(
                 flow_value=value,
             )
         )
-        density = value / (tau_e - tau_s)
-        if density > best_density:
-            best_density = density
-            best_interval = (tau_s, tau_e)
-            best_value = value
+        best.offer(value, tau_s, tau_e)
     return BurstingFlowResult(
-        density=best_density,
-        interval=best_interval,
-        flow_value=best_value,
+        density=best.density,
+        interval=best.interval,
+        flow_value=best.value,
         stats=stats,
     )

@@ -8,6 +8,7 @@ The subcommands mirror the library's main entry points::
     repro-bfq trail      edges.csv --source alice --sink dave --delta 3
     repro-bfq profile    edges.csv --source alice --sink dave
     repro-bfq hunt       edges.csv --delta 10
+    repro-bfq fuzz       --trials 200 --seed 0
     repro-bfq self-check
 
 Edge lists are CSV/TSV (``u,v,tau,capacity``, header optional) or JSON
@@ -108,6 +109,50 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--top-sources", type=int, default=5)
     hunt.add_argument("--top-sinks", type=int, default=5)
     hunt.add_argument("--min-volume", type=float, default=0.0)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing: all backends + flow certificates",
+    )
+    fuzz.add_argument("--trials", type=int, default=100, help="cases to run")
+    fuzz.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    fuzz.add_argument(
+        "--generators",
+        default=None,
+        help="comma-separated generator subset (default: all registered)",
+    )
+    fuzz.add_argument(
+        "--backends",
+        default=None,
+        help="comma-separated backend subset of bfq,bfq+,bfq*,naive,networkx",
+    )
+    fuzz.add_argument(
+        "--no-certify",
+        action="store_true",
+        help="skip flow-certificate checking (differential diff only)",
+    )
+    fuzz.add_argument(
+        "--no-pruning-check",
+        action="store_true",
+        help="skip the pruning-on vs pruning-off invariance check",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing cases as generated, without minimisation",
+    )
+    fuzz.add_argument(
+        "--dump-dir",
+        type=Path,
+        default=None,
+        help="write failing reproducers there as JSON fixtures",
+    )
+    fuzz.add_argument(
+        "--max-failures",
+        type=int,
+        default=5,
+        help="detailed failure reports to print (default: 5)",
+    )
 
     subparsers.add_parser(
         "self-check", help="run installation health invariants"
@@ -262,6 +307,53 @@ def _run_hunt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from repro.oracle import fuzz
+
+    backends = None
+    if args.backends is not None:
+        from repro.oracle import BACKENDS
+
+        backends = tuple(
+            name.strip() for name in args.backends.split(",") if name.strip()
+        )
+        unknown = [name for name in backends if name not in BACKENDS]
+        if unknown:
+            raise ReproError(
+                f"unknown backends {unknown!r}; known: {', '.join(BACKENDS)}"
+            )
+
+    started = time.perf_counter()
+    report = fuzz(
+        trials=args.trials,
+        seed=args.seed,
+        generators=args.generators,
+        backends=backends,
+        certify=not args.no_certify,
+        check_pruning=not args.no_pruning_check,
+        shrink=not args.no_shrink,
+        dump_dir=args.dump_dir,
+    )
+    elapsed = time.perf_counter() - started
+    print(report.summary())
+    print(f"({elapsed:.2f}s)")
+    if report.ok:
+        return 0
+    for failure in report.failures[: args.max_failures]:
+        shown = failure.shrunk if failure.shrunk is not None else failure.outcome.case
+        print(f"\ntrial {failure.trial}: {failure.outcome.describe()}")
+        if failure.shrunk is not None:
+            print(f"  shrunk to {shown.describe()}")
+            for edge in shown.edges:
+                print(f"    edge {edge!r}")
+        if failure.fixture_path is not None:
+            print(f"  fixture: {failure.fixture_path}")
+    remaining = len(report.failures) - args.max_failures
+    if remaining > 0:
+        print(f"\n... and {remaining} more failing trials")
+    return 1
+
+
 def _run_self_check(args: argparse.Namespace) -> int:
     from repro.verify import self_check
 
@@ -277,6 +369,7 @@ _HANDLERS = {
     "trail": _run_trail,
     "profile": _run_profile,
     "hunt": _run_hunt,
+    "fuzz": _run_fuzz,
     "self-check": _run_self_check,
 }
 

@@ -19,6 +19,12 @@ from repro.core.query import (
     IntervalSample,
     QueryStats,
 )
+from repro.core.record import (
+    DENSITY_EPSILON,
+    PRUNING_EPSILON,
+    BestRecord,
+    should_prune,
+)
 from repro.core.trails import (
     FlowTrail,
     TrailHop,
@@ -53,6 +59,10 @@ __all__ = [
     "BurstingFlowResult",
     "QueryStats",
     "IntervalSample",
+    "BestRecord",
+    "should_prune",
+    "DENSITY_EPSILON",
+    "PRUNING_EPSILON",
     "CandidatePlan",
     "enumerate_candidates",
     "is_core_interval",

@@ -20,9 +20,9 @@ from repro.core.query import (
     IntervalSample,
     QueryStats,
 )
+from repro.core.record import BestRecord
 from repro.core.transform import build_transformed_network
 from repro.flownet.algorithms.registry import get_solver
-from repro.temporal.edge import Timestamp
 from repro.temporal.network import TemporalFlowNetwork
 
 
@@ -47,9 +47,7 @@ def bfq(
         network, query.source, query.sink, query.delta
     )
 
-    best_density = 0.0
-    best_interval: tuple[Timestamp, Timestamp] | None = None
-    best_value = 0.0
+    best = BestRecord()
 
     for tau_s, tau_e in plan.intervals():
         stats.candidates_enumerated += 1
@@ -76,15 +74,11 @@ def bfq(
                 flow_value=run.value,
             )
         )
-        density = run.value / (tau_e - tau_s)
-        if density > best_density:
-            best_density = density
-            best_interval = (tau_s, tau_e)
-            best_value = run.value
+        best.offer(run.value, tau_s, tau_e)
 
     return BurstingFlowResult(
-        density=best_density,
-        interval=best_interval,
-        flow_value=best_value,
+        density=best.density,
+        interval=best.interval,
+        flow_value=best.value,
         stats=stats,
     )

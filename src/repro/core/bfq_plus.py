@@ -26,31 +26,15 @@ from repro.core.query import (
     IntervalSample,
     QueryStats,
 )
+from repro.core.record import BestRecord, should_prune
 from repro.core.transform import build_transformed_network
 from repro.flownet.algorithms.dinic import dinic
 from repro.temporal.edge import Timestamp
 from repro.temporal.network import TemporalFlowNetwork
 
-
-class _BestRecord:
-    """Mutable (density, interval, value) record shared by the BFQ+ sweep."""
-
-    __slots__ = ("density", "interval", "value")
-
-    def __init__(self) -> None:
-        self.density = 0.0
-        self.interval: tuple[Timestamp, Timestamp] | None = None
-        self.value = 0.0
-
-    def offer(
-        self, value: float, tau_s: Timestamp, tau_e: Timestamp
-    ) -> None:
-        """Update the record if this candidate's density is higher."""
-        density = value / (tau_e - tau_s)
-        if density > self.density:
-            self.density = density
-            self.interval = (tau_s, tau_e)
-            self.value = value
+#: Backwards-compatible alias — the record now lives in repro.core.record
+#: so that all five backends share one canonical tie-break.
+_BestRecord = BestRecord
 
 
 def bfq_plus(
@@ -72,7 +56,7 @@ def bfq_plus(
     plan: CandidatePlan = enumerate_candidates(
         network, query.source, query.sink, query.delta
     )
-    best = _BestRecord()
+    best = BestRecord()
 
     for tau_s in plan.starts:
         _sweep_endings(
@@ -93,7 +77,7 @@ def _sweep_endings(
     query: BurstingFlowQuery,
     plan: CandidatePlan,
     tau_s: Timestamp,
-    best: _BestRecord,
+    best: BestRecord,
     stats: QueryStats,
     *,
     use_pruning: bool,
@@ -137,7 +121,7 @@ def _sweep_endings(
         stats.incremental_insertions += 1
 
         upper_bound = flow_value + pending_sink_capacity
-        if use_pruning and upper_bound < best.density * (tau_e_next - tau_s):
+        if use_pruning and should_prune(upper_bound, best.density, tau_e_next - tau_s):
             stats.pruned_intervals += 1
             stats.record_sample(
                 IntervalSample(
@@ -174,7 +158,7 @@ def _evaluate_corner(
     network: TemporalFlowNetwork,
     query: BurstingFlowQuery,
     plan: CandidatePlan,
-    best: _BestRecord,
+    best: BestRecord,
     stats: QueryStats,
 ) -> None:
     """Footnote-4 corner case: the clamped window ``[T_max - delta, T_max]``."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 
-from repro.core.bfq_plus import _BestRecord, _evaluate_corner
+from repro.core.bfq_plus import _evaluate_corner
 from repro.core.incremental import IncrementalTransformedNetwork
 from repro.core.intervals import CandidatePlan, enumerate_candidates
 from repro.core.query import (
@@ -30,6 +30,7 @@ from repro.core.query import (
     IntervalSample,
     QueryStats,
 )
+from repro.core.record import BestRecord, should_prune
 from repro.temporal.edge import Timestamp
 from repro.temporal.network import TemporalFlowNetwork
 
@@ -52,7 +53,7 @@ def bfq_star(
     plan: CandidatePlan = enumerate_candidates(
         network, query.source, query.sink, query.delta
     )
-    best = _BestRecord()
+    best = BestRecord()
 
     if plan.starts:
         _zigzag(network, query, plan, best, stats, use_pruning=use_pruning)
@@ -70,7 +71,7 @@ def _zigzag(
     network: TemporalFlowNetwork,
     query: BurstingFlowQuery,
     plan: CandidatePlan,
-    best: _BestRecord,
+    best: BestRecord,
     stats: QueryStats,
     *,
     use_pruning: bool,
@@ -107,7 +108,9 @@ def _zigzag(
             stats.incremental_insertions += 1
 
             upper_bound = flow_value + pending_sink_capacity
-            if use_pruning and upper_bound < best.density * (tau_e_next - tau_s):
+            if use_pruning and should_prune(
+                upper_bound, best.density, tau_e_next - tau_s
+            ):
                 stats.pruned_intervals += 1
                 stats.record_sample(
                     IntervalSample(
@@ -152,7 +155,7 @@ def _fresh_minimal_state(
     query: BurstingFlowQuery,
     tau_s: Timestamp,
     delta: int,
-    best: _BestRecord,
+    best: BestRecord,
     stats: QueryStats,
 ) -> IncrementalTransformedNetwork:
     """Build and solve the very first minimal window (Lines 3-5)."""
@@ -185,7 +188,7 @@ def _branch_for_next_start(
     state: IncrementalTransformedNetwork,
     next_start: Timestamp,
     delta: int,
-    best: _BestRecord,
+    best: BestRecord,
     stats: QueryStats,
 ) -> IncrementalTransformedNetwork:
     """Lines 9-13: snapshot, shrink to ``[next_start, next_start + delta]``.

@@ -89,7 +89,9 @@ def enumerate_candidates(
     ti_t: Sequence[Timestamp] = network.ti(sink, source, sink)
     if not ti_s or not ti_t:
         # Source never emits or sink never receives: no flow possible.
-        return CandidatePlan((), (), None, delta, network.t_max)
+        # (An edgeless network has no horizon at all; report t_max as 0.)
+        t_max = network.t_max if network.num_timestamps else 0
+        return CandidatePlan((), (), None, delta, t_max)
     t_max = network.t_max
     t_min = network.t_min
     if t_max - t_min < delta:

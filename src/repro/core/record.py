@@ -1,0 +1,115 @@
+"""Canonical best-answer bookkeeping shared by every delta-BFlow backend.
+
+All five backends (BFQ, BFQ+, BFQ*, the naive oracle, the NetworkX-backed
+baseline) enumerate candidate intervals and keep the best one seen.  For
+differential testing they must agree not only on the optimal *density* but
+on the reported *interval*, so ties have to be broken identically and
+independently of enumeration order.  The canonical rule is:
+
+1. strictly higher density wins;
+2. among density ties: the earlier ``tau_s`` wins;
+3. among density ties with equal ``tau_s``: the shorter interval wins.
+
+Density "ties" are decided with a small *relative* tolerance
+(:data:`DENSITY_EPSILON`) so that float-summation-order noise between the
+from-scratch and incremental Maxflow paths (~1e-16 per operation) cannot
+flip the comparison.
+
+The Observation-2 pruning bound lives here too.  Pruning must never drop a
+candidate that could still *tie* the best record — otherwise BFQ+/BFQ*
+(pruning on) could report a different interval than BFQ, which evaluates
+every candidate.  :func:`should_prune` therefore requires the upper bound
+to fall short of the target by a margin (:data:`PRUNING_EPSILON`, scaled by
+the target and the window length) that is strictly wider than the
+tie-detection window above.
+"""
+
+from __future__ import annotations
+
+from repro.temporal.edge import Timestamp
+
+#: Relative tolerance for treating two candidate densities as equal.
+#: Real ties on well-behaved (e.g. dyadic) capacities are bitwise exact;
+#: this only needs to absorb float-order noise between backends.
+DENSITY_EPSILON = 1e-12
+
+#: Relative slack subtracted from the Observation-2 pruning target.
+#: Deliberately three orders of magnitude wider than DENSITY_EPSILON:
+#: a candidate pruned under this rule is provably *outside* the density
+#: tie window, so pruning can never change the canonical answer.
+PRUNING_EPSILON = 1e-9
+
+
+def should_prune(
+    upper_bound: float, best_density: float, length: int
+) -> bool:
+    """Observation-2 test: can ``upper_bound`` still reach the best density?
+
+    Args:
+        upper_bound: known flow value plus all sink capacity added since it
+            was last recomputed (an upper bound on the candidate's Maxflow).
+        best_density: density of the current best record.
+        length: candidate interval length ``tau_e - tau_s``.
+
+    Returns:
+        True when the candidate provably cannot beat *or tie* the best
+        record and the incremental Maxflow run may be skipped.
+    """
+    target = best_density * length
+    return upper_bound < target - PRUNING_EPSILON * max(1.0, target, length)
+
+
+class BestRecord:
+    """Mutable (density, interval, value) record under the canonical rule.
+
+    The outcome of offering any fixed set of candidates is independent of
+    the order they are offered in, which is what lets BFQ (ascending
+    start/end), BFQ+ (per-start sweeps) and BFQ* (the Figure-5(c) zig-zag)
+    report byte-identical answers.
+    """
+
+    __slots__ = ("density", "interval", "value")
+
+    def __init__(self) -> None:
+        self.density = 0.0
+        self.interval: tuple[Timestamp, Timestamp] | None = None
+        self.value = 0.0
+
+    def offer(
+        self, value: float, tau_s: Timestamp, tau_e: Timestamp
+    ) -> bool:
+        """Consider one candidate; returns True when it becomes the best."""
+        length = tau_e - tau_s
+        if length <= 0:
+            return False
+        density = value / length
+        if density <= 0.0:
+            return False
+        if self.interval is None:
+            self._accept(density, value, tau_s, tau_e)
+            return True
+        scale = DENSITY_EPSILON * max(1.0, self.density, density)
+        if density > self.density + scale:
+            self._accept(density, value, tau_s, tau_e)
+            return True
+        if density < self.density - scale:
+            return False
+        # Density tie: earlier start, then shorter interval.
+        cur_s, cur_e = self.interval
+        if (tau_s, tau_e - tau_s) < (cur_s, cur_e - cur_s):
+            self._accept(density, value, tau_s, tau_e)
+            return True
+        return False
+
+    def _accept(
+        self, density: float, value: float, tau_s: Timestamp, tau_e: Timestamp
+    ) -> None:
+        self.density = density
+        self.interval = (tau_s, tau_e)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BestRecord(density={self.density!r}, interval={self.interval!r}, "
+            f"value={self.value!r})"
+        )

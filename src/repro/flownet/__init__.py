@@ -15,7 +15,7 @@ from repro.flownet.algorithms import (
     solve_max_flow,
 )
 from repro.flownet.dynamic import DynamicMaxflow
-from repro.flownet.mincut import MinCut, min_cut
+from repro.flownet.mincut import MinCut, certify_maxflow, min_cut
 from repro.flownet.rewrite import (
     RewriteReport,
     has_antiparallel_edges,
@@ -37,6 +37,7 @@ __all__ = [
     "MaxflowRun",
     "MinCut",
     "min_cut",
+    "certify_maxflow",
     "dinic",
     "dinic_flat",
     "capacity_scaling",

@@ -55,6 +55,43 @@ def min_cut(network: FlowNetwork, source: int, sink: int) -> MinCut:
     )
 
 
+def certify_maxflow(
+    network: FlowNetwork,
+    source: int,
+    sink: int,
+    value: float,
+    *,
+    eps: float = 1e-7,
+) -> list[str]:
+    """Max-flow/min-cut optimality witness for a computed flow.
+
+    Must be called on the residual state left behind by a Maxflow run.
+    Checks that the residual cut actually separates ``source`` from
+    ``sink`` and that its capacity equals ``value`` (within ``eps``,
+    relative) — together these certify that ``value`` is *maximal*, not
+    just feasible.
+
+    Returns:
+        A list of human-readable problems; empty when the certificate holds.
+    """
+    issues: list[str] = []
+    cut = min_cut(network, source, sink)
+    if source not in cut.source_side:
+        issues.append("min-cut witness: source missing from its own side")
+    if sink in cut.source_side:
+        issues.append(
+            "min-cut witness: sink still residually reachable from source "
+            "(the flow is not maximal)"
+        )
+    scale = max(1.0, abs(value), abs(cut.capacity))
+    if not math.isfinite(cut.capacity) or abs(cut.capacity - value) > eps * scale:
+        issues.append(
+            f"min-cut witness: cut capacity {cut.capacity!r} != flow value "
+            f"{value!r}"
+        )
+    return issues
+
+
 def _residual_reachable(network: FlowNetwork, source: int) -> set[int]:
     adj = network._adj  # noqa: SLF001
     retired = network._retired  # noqa: SLF001

@@ -1,0 +1,64 @@
+"""Differential fuzzing oracle and flow-certificate checker.
+
+The correctness substrate every performance PR regresses against:
+
+* :mod:`repro.oracle.generators` — adversarial random-network generators
+  (parallel temporal multi-edges, hold-chain-heavy timelines, dense sink
+  fan-in, fractional capacities, disconnected phases);
+* :mod:`repro.oracle.runner` — the differential runner: BFQ / BFQ+ / BFQ*
+  / naive / NetworkX on the same query, diffing density, flow value and
+  interval (after tie-break normalization), with pruning on and off;
+* :mod:`repro.oracle.certificate` — flow-certificate checking: re-derive
+  the Maxflow, re-validate the temporal flow axioms, confirm maximality
+  with a min-cut witness;
+* :mod:`repro.oracle.shrink` — minimisation of failing cases into small
+  JSON fixtures (:mod:`repro.oracle.cases`).
+
+Entry points: ``repro-bfq fuzz`` on the command line, :func:`fuzz` and
+:func:`run_differential` from code, and ``verify.self_check`` which
+delegates its oracle-agreement check here.
+"""
+
+from repro.oracle.cases import CaseLibrary, FuzzCase, dump_case, load_case
+from repro.oracle.certificate import (
+    CERTIFICATE_EPSILON,
+    CertificateReport,
+    check_certificate,
+)
+from repro.oracle.generators import GENERATORS, resolve_generators
+from repro.oracle.runner import (
+    AGREEMENT_EPSILON,
+    BACKENDS,
+    PLAN_BACKENDS,
+    BackendRecord,
+    DifferentialOutcome,
+    Disagreement,
+    FuzzFailure,
+    FuzzReport,
+    fuzz,
+    run_differential,
+)
+from repro.oracle.shrink import shrink_case
+
+__all__ = [
+    "FuzzCase",
+    "CaseLibrary",
+    "dump_case",
+    "load_case",
+    "CertificateReport",
+    "check_certificate",
+    "CERTIFICATE_EPSILON",
+    "GENERATORS",
+    "resolve_generators",
+    "BACKENDS",
+    "PLAN_BACKENDS",
+    "AGREEMENT_EPSILON",
+    "BackendRecord",
+    "Disagreement",
+    "DifferentialOutcome",
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz",
+    "run_differential",
+    "shrink_case",
+]

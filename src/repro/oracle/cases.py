@@ -1,0 +1,132 @@
+"""Serializable fuzz cases: a temporal network plus one delta-BFlow query.
+
+A :class:`FuzzCase` is the unit the oracle operates on — generators emit
+them, the differential runner executes them, the shrinker minimises them,
+and failing cases are dumped as JSON fixtures that tests (or a later
+debugging session) can reload verbatim with :func:`load_case`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.query import BurstingFlowQuery
+from repro.temporal.edge import NodeId, Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+#: One raw temporal edge as stored in a case: (u, v, tau, capacity).
+EdgeTuple = tuple[NodeId, NodeId, Timestamp, float]
+
+
+@dataclass(frozen=True, slots=True)
+class FuzzCase:
+    """One differential-testing input: edges + (source, sink, delta).
+
+    Attributes:
+        edges: the raw temporal edges (duplicates merge by capacity, like
+            :meth:`TemporalFlowNetwork.add_edge`).
+        source / sink / delta: the query triple.
+        generator: name of the generator that produced the case (or
+            ``"shrunk"`` / ``"fixture"`` for derived cases).
+        seed: the fuzz seed the case came from, when known.
+    """
+
+    edges: tuple[EdgeTuple, ...]
+    source: NodeId
+    sink: NodeId
+    delta: int
+    generator: str = "manual"
+    seed: int | None = None
+
+    def network(self) -> TemporalFlowNetwork:
+        """Materialise the temporal flow network (endpoints always present)."""
+        network = TemporalFlowNetwork.from_tuples(self.edges)
+        network.add_node(self.source)
+        network.add_node(self.sink)
+        return network
+
+    def query(self) -> BurstingFlowQuery:
+        """Materialise the query object."""
+        return BurstingFlowQuery(self.source, self.sink, self.delta)
+
+    @property
+    def num_edges(self) -> int:
+        """Raw (pre-merge) edge count — the shrinker's progress measure."""
+        return len(self.edges)
+
+    def with_edges(self, edges: Iterable[EdgeTuple]) -> "FuzzCase":
+        """A copy with a different edge multiset (used while shrinking)."""
+        return replace(self, edges=tuple(edges))
+
+    def describe(self) -> str:
+        """One-line summary for logs and failure reports."""
+        return (
+            f"{self.generator}: |E|={self.num_edges} "
+            f"query=({self.source!r}, {self.sink!r}, delta={self.delta})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "edges": [list(edge) for edge in self.edges],
+            "source": self.source,
+            "sink": self.sink,
+            "delta": self.delta,
+            "generator": self.generator,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FuzzCase":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            edges=tuple(
+                (u, v, int(tau), float(capacity))
+                for u, v, tau, capacity in payload["edges"]
+            ),
+            source=payload["source"],
+            sink=payload["sink"],
+            delta=int(payload["delta"]),
+            generator=payload.get("generator", "fixture"),
+            seed=payload.get("seed"),
+        )
+
+
+def dump_case(case: FuzzCase, path: Path | str) -> Path:
+    """Write a case as a JSON fixture; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(case.to_dict(), indent=2) + "\n")
+    return path
+
+
+def load_case(path: Path | str) -> FuzzCase:
+    """Load a JSON fixture written by :func:`dump_case`."""
+    return FuzzCase.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass(slots=True)
+class CaseLibrary:
+    """A directory of dumped reproducers (``repro-bfq fuzz --dump-dir``)."""
+
+    directory: Path
+    written: list[Path] = field(default_factory=list)
+
+    def add(self, case: FuzzCase, label: str) -> Path:
+        """Dump ``case`` under a stable, collision-free filename."""
+        name = f"{label}.json"
+        path = self.directory / name
+        counter = 1
+        while path.exists():
+            counter += 1
+            path = self.directory / f"{label}-{counter}.json"
+        dump_case(case, path)
+        self.written.append(path)
+        return path
+
+    def load_all(self) -> list[FuzzCase]:
+        """Reload every fixture in the directory (sorted for determinism)."""
+        return [load_case(p) for p in sorted(self.directory.glob("*.json"))]

@@ -1,0 +1,164 @@
+"""Flow-certificate checking for claimed delta-BFlow optima.
+
+A backend's answer is a *claim*: "the optimal density is D, achieved by a
+flow of value V on the interval [tau_s, tau_e]".  :func:`check_certificate`
+re-derives everything from first principles:
+
+1. rebuild the transformed network for the claimed interval from scratch
+   and recompute its Maxflow — the claimed value must match;
+2. extract the temporal flow (Lemma 1, constructive direction) and
+   re-validate the capacity, conservation and Eq.-4 time constraints with
+   :func:`repro.temporal.flow.validate_temporal_flow`;
+3. confirm *maximality* with a min-cut witness
+   (:func:`repro.flownet.mincut.certify_maxflow`): the residual cut must
+   separate source from sink and its capacity must equal the flow value.
+
+"No flow exists" claims (``interval is None``) are certified by sweeping
+the Lemma-2 candidate plan and checking every window's Maxflow is zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.intervals import enumerate_candidates
+from repro.core.query import BurstingFlowQuery, BurstingFlowResult
+from repro.core.transform import build_transformed_network, extract_temporal_flow
+from repro.exceptions import ReproError
+from repro.flownet.algorithms.dinic import dinic
+from repro.flownet.mincut import certify_maxflow
+from repro.temporal.flow import validate_temporal_flow
+from repro.temporal.network import TemporalFlowNetwork
+
+#: Relative tolerance for value/density agreement between a claim and the
+#: recomputed ground truth.
+CERTIFICATE_EPSILON = 1e-9
+
+
+@dataclass(slots=True)
+class CertificateReport:
+    """Outcome of certifying one claimed optimum.
+
+    Attributes:
+        issues: human-readable violations (empty means the claim holds).
+        recomputed_value: the from-scratch Maxflow of the claimed interval
+            (``None`` for no-flow claims).
+    """
+
+    issues: list[str] = field(default_factory=list)
+    recomputed_value: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the certificate holds."""
+        return not self.issues
+
+
+def check_certificate(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    result: BurstingFlowResult,
+    *,
+    eps: float = CERTIFICATE_EPSILON,
+) -> CertificateReport:
+    """Certify one backend's claimed answer against first principles."""
+    if result.interval is None:
+        return _certify_no_flow(network, query, result, eps)
+    return _certify_optimum(network, query, result, eps)
+
+
+def _close(a: float, b: float, eps: float) -> bool:
+    return abs(a - b) <= eps * max(1.0, abs(a), abs(b))
+
+
+def _certify_optimum(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    result: BurstingFlowResult,
+    eps: float,
+) -> CertificateReport:
+    report = CertificateReport()
+    tau_s, tau_e = result.interval
+    length = tau_e - tau_s
+    if length < query.delta:
+        report.issues.append(
+            f"claimed interval [{tau_s}, {tau_e}] is shorter than "
+            f"delta={query.delta}"
+        )
+        return report
+
+    transformed = build_transformed_network(
+        network, query.source, query.sink, tau_s, tau_e
+    )
+    run = dinic(
+        transformed.flow_network,
+        transformed.source_index,
+        transformed.sink_index,
+    )
+    report.recomputed_value = run.value
+
+    if not _close(run.value, result.flow_value, eps):
+        report.issues.append(
+            f"claimed flow value {result.flow_value!r} != recomputed "
+            f"Maxflow {run.value!r} on [{tau_s}, {tau_e}]"
+        )
+    if not _close(result.density, result.flow_value / length, eps):
+        report.issues.append(
+            f"claimed density {result.density!r} inconsistent with claimed "
+            f"value {result.flow_value!r} over length {length}"
+        )
+
+    # Lemma-1 round trip: the classical flow must convert into a valid
+    # temporal flow of the same value.
+    flow = extract_temporal_flow(transformed)
+    try:
+        validate_temporal_flow(network, flow)
+    except ReproError as exc:
+        report.issues.append(f"temporal-flow validation failed: {exc}")
+    if not _close(flow.flow_value(), run.value, max(eps, 1e-7)):
+        report.issues.append(
+            f"extracted temporal flow has value {flow.flow_value()!r}, "
+            f"Maxflow was {run.value!r}"
+        )
+
+    # Maximality witness: residual min cut.
+    report.issues.extend(
+        certify_maxflow(
+            transformed.flow_network,
+            transformed.source_index,
+            transformed.sink_index,
+            run.value,
+        )
+    )
+    return report
+
+
+def _certify_no_flow(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    result: BurstingFlowResult,
+    eps: float,
+) -> CertificateReport:
+    report = CertificateReport()
+    if result.density > eps or result.flow_value > eps:
+        report.issues.append(
+            f"no-flow claim carries positive density/value "
+            f"({result.density!r}, {result.flow_value!r})"
+        )
+    plan = enumerate_candidates(network, query.source, query.sink, query.delta)
+    for tau_s, tau_e in plan.intervals():
+        transformed = build_transformed_network(
+            network, query.source, query.sink, tau_s, tau_e
+        )
+        run = dinic(
+            transformed.flow_network,
+            transformed.source_index,
+            transformed.sink_index,
+        )
+        if run.value > eps:
+            report.issues.append(
+                f"no-flow claim refuted: window [{tau_s}, {tau_e}] carries "
+                f"flow {run.value!r}"
+            )
+            break
+    return report

@@ -1,0 +1,224 @@
+"""Adversarial random-case generators for the differential oracle.
+
+Each generator targets a failure mode the plain uniform sampler of
+``verify`` almost never exercises:
+
+* :func:`parallel_multiedges` — duplicated ``(u, v, tau)`` triples (the
+  capacity-merge path) plus parallel edges at neighbouring timestamps;
+* :func:`hold_chains` — long transfer chains where every node carries many
+  timeline stamps, stressing hold-edge construction, timestamp injection
+  and the Lemma-4/5 boundary withdrawal;
+* :func:`sink_fanin` — many emitters converging on the sink inside short
+  clusters, stressing ``sink_capacity_in_window`` and Observation-2
+  pruning at the density boundary;
+* :func:`fractional_capacities` — dyadic fractional capacities (multiples
+  of 1/64, exactly representable in binary floating point) so that exact
+  density ties *do* occur and the canonical tie-break is really exercised;
+* :func:`disconnected_phases` — two activity phases separated by a dead
+  gap, frequently yielding zero-flow answers, empty candidate plans and
+  the footnote-4 corner window.
+
+All generators keep networks small (|V| <= 8, |T| <= 12) so the naive
+``O(|T|^2)`` oracle stays cheap, and draw every random choice from the
+supplied ``random.Random`` so a fuzz run is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping
+
+from repro.exceptions import ReproError
+from repro.oracle.cases import EdgeTuple, FuzzCase
+
+#: A generator maps an RNG to a fuzz case.
+CaseGenerator = Callable[[random.Random], FuzzCase]
+
+
+def _capacity(rng: random.Random, *, fractional: bool = False) -> float:
+    """A well-behaved capacity: small int, or a dyadic fraction (k/64)."""
+    if fractional:
+        return rng.randint(1, 512) / 64.0
+    return float(rng.randint(1, 9))
+
+
+def uniform(rng: random.Random) -> FuzzCase:
+    """Baseline sampler: uniformly random edges (the old verify shape)."""
+    nodes = [f"n{i}" for i in range(rng.randint(3, 6))]
+    horizon = rng.randint(3, 9)
+    edges: list[EdgeTuple] = []
+    for _ in range(rng.randint(5, 18)):
+        u, v = rng.sample(nodes, 2)
+        edges.append((u, v, rng.randint(1, horizon), _capacity(rng)))
+    return FuzzCase(
+        edges=tuple(edges),
+        source="n0",
+        sink="n1",
+        delta=rng.randint(1, 3),
+        generator="uniform",
+    )
+
+
+def parallel_multiedges(rng: random.Random) -> FuzzCase:
+    """Duplicate (u, v, tau) triples and tight parallel timestamp bundles."""
+    nodes = [f"n{i}" for i in range(rng.randint(3, 5))]
+    horizon = rng.randint(4, 8)
+    edges: list[EdgeTuple] = []
+    for _ in range(rng.randint(4, 9)):
+        u, v = rng.sample(nodes, 2)
+        tau = rng.randint(1, horizon)
+        # The same temporal edge several times: merging must sum capacity.
+        for _ in range(rng.randint(2, 4)):
+            edges.append((u, v, tau, _capacity(rng)))
+        # And a parallel burst at the neighbouring timestamps.
+        for offset in (-1, 1):
+            if rng.random() < 0.5 and 1 <= tau + offset <= horizon:
+                edges.append((u, v, tau + offset, _capacity(rng)))
+    rng.shuffle(edges)
+    return FuzzCase(
+        edges=tuple(edges),
+        source="n0",
+        sink="n1",
+        delta=rng.randint(1, 3),
+        generator="parallel_multiedges",
+    )
+
+
+def hold_chains(rng: random.Random) -> FuzzCase:
+    """Long chains with hold-heavy timelines (many stamps per node)."""
+    length = rng.randint(3, 5)
+    chain = ["s"] + [f"c{i}" for i in range(length - 1)] + ["t"]
+    horizon = rng.randint(8, 12)
+    edges: list[EdgeTuple] = []
+    for hop in range(len(chain) - 1):
+        u, v = chain[hop], chain[hop + 1]
+        # Several transfer opportunities per hop, so every chain node has a
+        # long timeline of stamps and value must *wait* between hops.
+        for _ in range(rng.randint(2, 4)):
+            tau = rng.randint(1 + hop, horizon)
+            edges.append((u, v, tau, _capacity(rng)))
+    # A few chords that skip ahead in the chain.
+    for _ in range(rng.randint(0, 3)):
+        i, j = sorted(rng.sample(range(len(chain)), 2))
+        if i == j:
+            continue
+        edges.append(
+            (chain[i], chain[j], rng.randint(1, horizon), _capacity(rng))
+        )
+    return FuzzCase(
+        edges=tuple(edges),
+        source="s",
+        sink="t",
+        delta=rng.randint(1, 4),
+        generator="hold_chains",
+    )
+
+
+def sink_fanin(rng: random.Random) -> FuzzCase:
+    """Dense sink fan-in: many emitters, clustered arrival stamps."""
+    emitters = [f"e{i}" for i in range(rng.randint(3, 6))]
+    horizon = rng.randint(6, 10)
+    cluster_at = rng.randint(2, horizon - 1)
+    edges: list[EdgeTuple] = []
+    for emitter in emitters:
+        # Source feeds every emitter early...
+        edges.append(("s", emitter, rng.randint(1, cluster_at), _capacity(rng)))
+        # ...and the emitters pile into the sink inside a tight cluster,
+        # with stragglers elsewhere on the horizon.
+        for _ in range(rng.randint(1, 3)):
+            tau = min(horizon, cluster_at + rng.randint(0, 1))
+            edges.append((emitter, "t", tau, _capacity(rng)))
+        if rng.random() < 0.5:
+            edges.append((emitter, "t", rng.randint(1, horizon), _capacity(rng)))
+    return FuzzCase(
+        edges=tuple(edges),
+        source="s",
+        sink="t",
+        delta=rng.randint(1, 3),
+        generator="sink_fanin",
+    )
+
+
+def fractional_capacities(rng: random.Random) -> FuzzCase:
+    """Dyadic fractional capacities — exact float sums, real density ties."""
+    nodes = [f"n{i}" for i in range(rng.randint(3, 6))]
+    horizon = rng.randint(4, 9)
+    edges: list[EdgeTuple] = []
+    for _ in range(rng.randint(6, 16)):
+        u, v = rng.sample(nodes, 2)
+        edges.append(
+            (u, v, rng.randint(1, horizon), _capacity(rng, fractional=True))
+        )
+    # Mirror a few edges one delta later with identical capacity: the same
+    # flow value then recurs at several intervals, forcing tie-breaks.
+    delta = rng.randint(1, 3)
+    for u, v, tau, capacity in list(edges)[: rng.randint(1, 4)]:
+        if tau + delta <= horizon:
+            edges.append((u, v, tau + delta, capacity))
+    return FuzzCase(
+        edges=tuple(edges),
+        source="n0",
+        sink="n1",
+        delta=delta,
+        generator="fractional_capacities",
+    )
+
+
+def disconnected_phases(rng: random.Random) -> FuzzCase:
+    """Two activity phases split by a dead gap; often no flow at all."""
+    nodes = [f"n{i}" for i in range(rng.randint(4, 6))]
+    phase1 = (1, rng.randint(2, 4))
+    gap = rng.randint(2, 4)
+    phase2_start = phase1[1] + gap
+    phase2 = (phase2_start, phase2_start + rng.randint(1, 3))
+    edges: list[EdgeTuple] = []
+    for lo, hi in (phase1, phase2):
+        for _ in range(rng.randint(2, 6)):
+            u, v = rng.sample(nodes, 2)
+            edges.append((u, v, rng.randint(lo, hi), _capacity(rng)))
+    if rng.random() < 0.3:
+        # Occasionally a single bridge edge inside the gap.
+        u, v = rng.sample(nodes, 2)
+        edges.append((u, v, phase1[1] + 1, _capacity(rng)))
+    return FuzzCase(
+        edges=tuple(edges),
+        source="n0",
+        sink="n1",
+        # Deltas sometimes longer than either phase: the optimum must then
+        # span the gap (or not exist), hitting the corner-window logic.
+        delta=rng.randint(1, phase2[1] - 1),
+        generator="disconnected_phases",
+    )
+
+
+#: Registry of all generators, keyed by the name used on the CLI.
+GENERATORS: Mapping[str, CaseGenerator] = {
+    "uniform": uniform,
+    "parallel_multiedges": parallel_multiedges,
+    "hold_chains": hold_chains,
+    "sink_fanin": sink_fanin,
+    "fractional_capacities": fractional_capacities,
+    "disconnected_phases": disconnected_phases,
+}
+
+
+def resolve_generators(names: str | None) -> dict[str, CaseGenerator]:
+    """Resolve a comma-separated generator list (``None`` means all).
+
+    Raises:
+        ReproError: for unknown generator names.
+    """
+    if names is None:
+        return dict(GENERATORS)
+    selected: dict[str, CaseGenerator] = {}
+    for name in names.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in GENERATORS:
+            known = ", ".join(sorted(GENERATORS))
+            raise ReproError(f"unknown generator {name!r}; known: {known}")
+        selected[name] = GENERATORS[name]
+    if not selected:
+        raise ReproError("no generators selected")
+    return selected

@@ -1,0 +1,139 @@
+"""Shrinking failing fuzz cases to minimal reproducers.
+
+A failing differential case found on an 18-edge random network is a poor
+debugging artifact; the same failure on 3 edges with delta=1 is a fixture.
+:func:`shrink_case` applies a delta-debugging-style loop:
+
+1. **ddmin over edges** — try dropping halves, then quarters, ... then
+   single edges, keeping any reduction that still fails;
+2. **delta reduction** — try successively smaller query deltas;
+3. **capacity simplification** — try rounding capacities to small
+   integers (1 when possible), which makes reproducers readable.
+
+The failure predicate is supplied by the caller (typically "the
+differential runner still reports the same disagreement kind"), so the
+shrinker never misattributes a *different* failure mode to the original.
+Every candidate evaluation re-runs the full differential, so shrinking is
+only attempted on the small networks the generators emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Sequence
+
+from repro.oracle.cases import EdgeTuple, FuzzCase
+
+#: Hard cap on predicate evaluations per shrink (differentials are cheap
+#: on generator-sized cases but not free).
+DEFAULT_BUDGET = 400
+
+
+def shrink_case(
+    case: FuzzCase,
+    still_failing: Callable[[FuzzCase], bool],
+    *,
+    budget: int = DEFAULT_BUDGET,
+) -> FuzzCase:
+    """Minimise ``case`` while ``still_failing`` keeps returning True.
+
+    Returns the smallest reproducer found (possibly ``case`` itself when
+    nothing could be removed).  The result is always a failing case.
+    """
+    spent = 0
+
+    def check(candidate: FuzzCase) -> bool:
+        nonlocal spent
+        if spent >= budget:
+            return False
+        spent += 1
+        try:
+            return still_failing(candidate)
+        except Exception:  # noqa: BLE001 - a crashing candidate is not kept
+            return False
+
+    best = case
+    best = _shrink_edges(best, check)
+    best = _shrink_delta(best, check)
+    best = _shrink_capacities(best, check)
+    # Capacity simplification sometimes unlocks further edge removal.
+    best = _shrink_edges(best, check)
+    # Canonical edge order for the dumped fixture — kept only when the
+    # reordered case still reproduces (edge order can matter to a bug).
+    canonical = replace(best, edges=_sorted_edges(best.edges), generator="shrunk")
+    if canonical.edges != best.edges and not check(canonical):
+        canonical = replace(best, generator="shrunk")
+    return canonical
+
+
+def _shrink_edges(
+    case: FuzzCase, check: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Classic ddmin: remove ever-smaller chunks of the edge list."""
+    edges: list[EdgeTuple] = list(case.edges)
+    chunk = max(1, len(edges) // 2)
+    while chunk >= 1 and edges:
+        removed_any = False
+        start = 0
+        while start < len(edges):
+            candidate_edges = edges[:start] + edges[start + chunk:]
+            if not candidate_edges:
+                start += chunk
+                continue
+            candidate = case.with_edges(candidate_edges)
+            if check(candidate):
+                edges = candidate_edges
+                removed_any = True
+                # Do not advance: the next chunk slid into this position.
+            else:
+                start += chunk
+        if chunk == 1 and not removed_any:
+            break
+        if not removed_any:
+            chunk //= 2
+    return case.with_edges(edges)
+
+
+def _shrink_delta(
+    case: FuzzCase, check: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Try smaller deltas (greedily down to 1)."""
+    best = case
+    for delta in range(best.delta - 1, 0, -1):
+        candidate = FuzzCase(
+            edges=best.edges,
+            source=best.source,
+            sink=best.sink,
+            delta=delta,
+            generator=best.generator,
+            seed=best.seed,
+        )
+        if check(candidate):
+            best = candidate
+        else:
+            break
+    return best
+
+
+def _shrink_capacities(
+    case: FuzzCase, check: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    """Round capacities to small integers edge by edge (1 when possible)."""
+    best = case
+    for index in range(len(best.edges)):
+        u, v, tau, capacity = best.edges[index]
+        for simpler in (1.0, float(round(capacity))):
+            if simpler == capacity or simpler <= 0:
+                continue
+            edges = list(best.edges)
+            edges[index] = (u, v, tau, simpler)
+            candidate = best.with_edges(edges)
+            if check(candidate):
+                best = candidate
+                break
+    return best
+
+
+def _sorted_edges(edges: Sequence[EdgeTuple]) -> tuple[EdgeTuple, ...]:
+    """Stable canonical edge order for dumped fixtures."""
+    return tuple(sorted(edges, key=lambda e: (e[2], str(e[0]), str(e[1]))))

@@ -53,6 +53,9 @@ class TemporalFlowNetwork:
         self._out_adj: dict[NodeId, dict[Timestamp, list[NodeId]]] = defaultdict(dict)
         self._nodes: set[NodeId] = set()
         self._timestamps: list[Timestamp] = []
+        # Per-node in-capacity prefix sums aligned with _in_stamps[v]:
+        #   _in_prefix[v][i] = total capacity into v at _in_stamps[v][:i].
+        self._in_prefix: dict[NodeId, list[float]] = {}
         self._stamps_dirty = False
         for edge in edges:
             self.add_edge(edge)
@@ -75,6 +78,9 @@ class TemporalFlowNetwork:
         key = edge.key()
         if key in self._capacity:
             self._capacity[key] += edge.capacity
+            # Structure is unchanged but the in-capacity prefix sums are
+            # now stale; _refresh_indexes rebuilds them.
+            self._stamps_dirty = True
         else:
             self._capacity[key] = edge.capacity
             self._edges_at[edge.tau].append((edge.u, edge.v))
@@ -99,7 +105,28 @@ class TemporalFlowNetwork:
             stamps.sort()
             _dedupe_sorted(stamps)
         self._timestamps = sorted(self._edges_at)
+        self._rebuild_in_prefix()
         self._stamps_dirty = False
+
+    def _rebuild_in_prefix(self) -> None:
+        """Recompute the per-node in-capacity prefix sums.
+
+        One pass over the capacity map groups in-capacity per (node, tau);
+        the prefix arrays then let :meth:`sink_capacity_in_window` answer
+        any window with two bisects instead of scanning every edge at every
+        in-stamp (the BFQ+/BFQ* inner-loop hot path).
+        """
+        per_node: dict[NodeId, dict[Timestamp, float]] = defaultdict(dict)
+        for (_, v, tau), capacity in self._capacity.items():
+            stamps = per_node[v]
+            stamps[tau] = stamps.get(tau, 0.0) + capacity
+        prefix: dict[NodeId, list[float]] = {}
+        for v, per_tau in per_node.items():
+            sums = [0.0]
+            for tau in self._in_stamps[v]:
+                sums.append(sums[-1] + per_tau[tau])
+            prefix[v] = sums
+        self._in_prefix = prefix
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -291,7 +318,25 @@ class TemporalFlowNetwork:
 
         This is the quantity used by the Observation-2 pruning rule:
         ``sum_{tau in [tau_lo, tau_hi]} sum_u C_T(u, t, tau)``.
+
+        Answered from the per-node in-capacity prefix sums maintained by
+        :meth:`_refresh_indexes` — two bisects instead of a scan over every
+        edge at every in-stamp.
         """
+        self._require_node(sink)
+        self._refresh_indexes()
+        stamps = self._in_stamps.get(sink, [])
+        sums = self._in_prefix.get(sink)
+        if not stamps or sums is None:
+            return 0.0
+        lo = bisect.bisect_left(stamps, tau_lo)
+        hi = bisect.bisect_right(stamps, tau_hi)
+        return sums[hi] - sums[lo]
+
+    def _sink_capacity_in_window_scan(
+        self, sink: NodeId, tau_lo: Timestamp, tau_hi: Timestamp
+    ) -> float:
+        """Reference O(edges-at-tau) implementation, kept for equality tests."""
         self._require_node(sink)
         self._refresh_indexes()
         stamps = self._in_stamps.get(sink, [])

@@ -5,8 +5,9 @@
 battery of fast, deterministic invariants that certify the install:
 
 1. the paper's Figure-2 Maxflow (= 7) across every solver;
-2. agreement of BFQ / BFQ+ / BFQ* with the naive oracle on seeded random
-   temporal networks;
+2. the differential oracle (:mod:`repro.oracle`): every backend — BFQ,
+   BFQ+, BFQ*, naive, NetworkX — on seeded adversarial networks, with
+   flow-certificate checking and pruning on/off invariance;
 3. a Lemma-1 round trip (transformed Maxflow -> valid temporal flow);
 4. the streaming monitor vs the offline answer on a seeded stream.
 
@@ -18,12 +19,7 @@ from __future__ import annotations
 
 import random
 
-from repro.baselines import naive_bfq
-from repro.core import (
-    BurstingFlowQuery,
-    build_transformed_network,
-    find_bursting_flow,
-)
+from repro.core import build_transformed_network, find_bursting_flow
 from repro.core.transform import extract_temporal_flow
 from repro.exceptions import ReproError
 from repro.extensions import StreamingBurstMonitor
@@ -78,22 +74,19 @@ def _random_network(rng: random.Random) -> TemporalFlowNetwork:
 
 
 def _check_oracle_agreement(seed: int, trials: int) -> str:
-    rng = random.Random(seed)
-    checked = 0
-    for _ in range(trials):
-        network = _random_network(rng)
-        delta = rng.randint(1, 3)
-        query = BurstingFlowQuery("n0", "n1", delta)
-        oracle = naive_bfq(network, query).density
-        for algorithm in ("bfq", "bfq+", "bfq*"):
-            answer = find_bursting_flow(network, query, algorithm=algorithm)
-            if abs(answer.density - oracle) > 1e-7:
-                raise SelfCheckError(
-                    f"{algorithm} disagrees with the oracle "
-                    f"({answer.density} vs {oracle})"
-                )
-        checked += 1
-    return f"{checked} random networks, 3 algorithms vs oracle"
+    from repro.oracle import fuzz
+
+    report = fuzz(trials=trials, seed=seed, shrink=False)
+    if not report.ok:
+        raise SelfCheckError(
+            f"differential oracle: {len(report.failures)} of {report.trials} "
+            f"trials failed; first failure:\n"
+            f"{report.failures[0].outcome.describe()}"
+        )
+    return (
+        f"{report.trials} adversarial cases x {len(report.backends)} backends "
+        f"+ certificates"
+    )
 
 
 def _check_lemma1(seed: int) -> str:

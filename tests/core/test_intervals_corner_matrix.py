@@ -1,0 +1,164 @@
+"""Corner-case matrix for ``enumerate_candidates`` (Section 4.2, Lemma 2).
+
+Every corner is asserted two ways: structurally (the plan has the expected
+shape) and semantically, against the naive ``O(|T|^2)`` scan over every
+window — the plan must reach the same optimal density, and under the
+canonical tie-break the same record wherever the optimum lies on the plan.
+"""
+
+import pytest
+
+from repro.baselines.naive import naive_bfq
+from repro.core import BurstingFlowQuery, enumerate_candidates
+from repro.core.bfq import bfq
+from repro.core.record import BestRecord
+from repro.core.transform import build_transformed_network
+from repro.flownet.algorithms.dinic import dinic
+from repro.temporal import TemporalFlowNetwork
+
+
+def _exhaustive_scan(network, source, sink, delta):
+    """Independent O(|T|^2) reference: every window, canonical tie-break."""
+    best = BestRecord()
+    if network.num_timestamps == 0:
+        return best
+    t_min, t_max = network.t_min, network.t_max
+    for tau_s in range(t_min, t_max - delta + 1):
+        for tau_e in range(tau_s + delta, t_max + 1):
+            transformed = build_transformed_network(
+                network, source, sink, tau_s, tau_e
+            )
+            value = dinic(
+                transformed.flow_network,
+                transformed.source_index,
+                transformed.sink_index,
+            ).value
+            best.offer(value, tau_s, tau_e)
+    return best
+
+
+def _assert_plan_matches_scan(network, source, sink, delta):
+    scan = _exhaustive_scan(network, source, sink, delta)
+    query = BurstingFlowQuery(source, sink, delta)
+    plan_answer = bfq(network, query)
+    naive_answer = naive_bfq(network, query)
+    assert plan_answer.density == pytest.approx(scan.density, rel=1e-9, abs=1e-12)
+    assert naive_answer.density == pytest.approx(scan.density, rel=1e-9, abs=1e-12)
+    assert naive_answer.interval == scan.interval
+    return plan_answer, scan
+
+
+class TestEveryStartOvershooting:
+    """All of Ti(s) lands within delta of the horizon: only the clamped
+    corner window [T_max - delta, T_max] can carry flow."""
+
+    def _network(self):
+        return TemporalFlowNetwork.from_tuples(
+            [
+                ("x", "y", 1, 1.0),  # stretches the horizon leftward
+                ("s", "a", 7, 3.0),
+                ("a", "t", 8, 3.0),
+            ]
+        )
+
+    def test_plan_shape(self):
+        network = self._network()
+        plan = enumerate_candidates(network, "s", "t", 3)
+        assert plan.starts == ()  # 7 + 3 > 8: every start overshoots
+        assert plan.corner == (5, 8)
+        assert list(plan.intervals()) == [(5, 8)]
+
+    def test_matches_exhaustive_scan(self):
+        network = self._network()
+        answer, scan = _assert_plan_matches_scan(network, "s", "t", 3)
+        assert answer.interval == (5, 8)
+        assert scan.density == answer.density
+
+
+class TestCornerCollidingWithExistingStart:
+    """T_max - delta is itself in Ti(s): the corner would duplicate the
+    minimal window of that start and must be deduped from the plan."""
+
+    def _network(self):
+        return TemporalFlowNetwork.from_tuples(
+            [
+                ("s", "a", 5, 2.0),  # 5 = T_max - delta: fits exactly
+                ("a", "t", 6, 2.0),
+                ("s", "b", 7, 9.0),  # 7 + 3 > 8: overshoots
+                ("b", "t", 8, 9.0),
+                ("x", "y", 1, 1.0),
+            ]
+        )
+
+    def test_plan_shape(self):
+        network = self._network()
+        plan = enumerate_candidates(network, "s", "t", 3)
+        assert 5 in plan.starts
+        assert plan.corner is None  # (5, 8) already covered by start 5
+        intervals = list(plan.intervals())
+        assert intervals.count((5, 8)) == 1
+
+    def test_matches_exhaustive_scan(self):
+        network = self._network()
+        answer, _ = _assert_plan_matches_scan(network, "s", "t", 3)
+        assert answer.interval == (5, 8)
+
+
+class TestHorizonShorterThanDelta:
+    """t_max - t_min < delta: no admissible window exists at all."""
+
+    def _network(self):
+        return TemporalFlowNetwork.from_tuples(
+            [("s", "a", 3, 2.0), ("a", "t", 4, 2.0)]
+        )
+
+    def test_plan_is_empty(self):
+        network = self._network()
+        plan = enumerate_candidates(network, "s", "t", 4)
+        assert plan.starts == ()
+        assert plan.corner is None
+        assert list(plan.intervals()) == []
+
+    def test_matches_exhaustive_scan(self):
+        network = self._network()
+        answer, scan = _assert_plan_matches_scan(network, "s", "t", 4)
+        assert answer.interval is None
+        assert scan.interval is None
+
+    def test_exact_fit_still_admissible(self):
+        # Boundary partner: t_max - t_min == delta is NOT the corner case.
+        network = self._network()
+        answer, _ = _assert_plan_matches_scan(network, "s", "t", 1)
+        assert answer.interval == (3, 4)
+
+
+class TestEmptyTiSets:
+    """Ti(s) or Ti(t) empty: no flow can leave s / reach t."""
+
+    def test_source_never_emits(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("a", "s", 2, 2.0), ("a", "t", 3, 2.0)]
+        )
+        plan = enumerate_candidates(network, "s", "t", 1)
+        assert list(plan.intervals()) == []
+        answer, scan = _assert_plan_matches_scan(network, "s", "t", 1)
+        assert answer.interval is None and scan.interval is None
+
+    def test_sink_never_receives(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "a", 2, 2.0), ("t", "a", 3, 2.0)]
+        )
+        plan = enumerate_candidates(network, "s", "t", 1)
+        assert list(plan.intervals()) == []
+        answer, scan = _assert_plan_matches_scan(network, "s", "t", 1)
+        assert answer.interval is None and scan.interval is None
+
+    def test_isolated_endpoints_in_edgeless_network(self):
+        network = TemporalFlowNetwork()
+        network.add_node("s")
+        network.add_node("t")
+        plan = enumerate_candidates(network, "s", "t", 1)
+        assert list(plan.intervals()) == []
+        assert plan.t_max == 0
+        answer = bfq(network, BurstingFlowQuery("s", "t", 1))
+        assert answer.interval is None

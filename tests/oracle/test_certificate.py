@@ -1,0 +1,105 @@
+"""Flow-certificate checker tests: honest claims pass, corrupted ones fail."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.bfq import bfq
+from repro.core.query import BurstingFlowQuery, BurstingFlowResult
+from repro.oracle.certificate import check_certificate
+from repro.oracle.generators import GENERATORS
+from repro.temporal import TemporalFlowNetwork
+
+
+def _honest_claim():
+    network = TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "a", 1, 3.0),
+            ("a", "t", 2, 2.0),
+            ("s", "b", 2, 4.0),
+            ("b", "t", 3, 4.0),
+            ("a", "t", 5, 5.0),
+        ]
+    )
+    query = BurstingFlowQuery("s", "t", 1)
+    return network, query, bfq(network, query)
+
+
+class TestHonestClaims:
+    def test_bfq_answer_certifies(self):
+        network, query, result = _honest_claim()
+        report = check_certificate(network, query, result)
+        assert report.ok, report.issues
+        assert report.recomputed_value == pytest.approx(result.flow_value)
+
+    def test_no_flow_claim_certifies(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("a", "s", 1, 2.0), ("t", "a", 2, 2.0)]
+        )
+        query = BurstingFlowQuery("s", "t", 1)
+        result = bfq(network, query)
+        assert result.interval is None
+        report = check_certificate(network, query, result)
+        assert report.ok, report.issues
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_generator_cases_certify(self, name):
+        rng = random.Random(hash(name) & 0xFFFF)
+        for _ in range(5):
+            case = GENERATORS[name](rng)
+            network, query = case.network(), case.query()
+            result = bfq(network, query)
+            report = check_certificate(network, query, result)
+            assert report.ok, (case.describe(), report.issues)
+
+
+class TestCorruptedClaims:
+    def test_inflated_flow_value_rejected(self):
+        network, query, result = _honest_claim()
+        lie = dataclasses.replace(
+            result,
+            flow_value=result.flow_value + 1.0,
+            density=(result.flow_value + 1.0)
+            / (result.interval[1] - result.interval[0]),
+        )
+        report = check_certificate(network, query, lie)
+        assert not report.ok
+        assert any("recomputed" in issue for issue in report.issues)
+
+    def test_inconsistent_density_rejected(self):
+        network, query, result = _honest_claim()
+        lie = dataclasses.replace(result, density=result.density * 3)
+        report = check_certificate(network, query, lie)
+        assert not report.ok
+        assert any("density" in issue for issue in report.issues)
+
+    def test_shifted_interval_rejected(self):
+        network, query, result = _honest_claim()
+        lo, hi = result.interval
+        lie = dataclasses.replace(result, interval=(lo + 1, hi + 1))
+        report = check_certificate(network, query, lie)
+        assert not report.ok
+
+    def test_interval_shorter_than_delta_rejected(self):
+        network, query, result = _honest_claim()
+        query5 = BurstingFlowQuery("s", "t", 5)
+        report = check_certificate(network, query5, result)
+        assert not report.ok
+        assert any("shorter than" in issue for issue in report.issues)
+
+    def test_bogus_no_flow_claim_refuted(self):
+        network, query, _ = _honest_claim()
+        lie = BurstingFlowResult(density=0.0, interval=None, flow_value=0.0)
+        report = check_certificate(network, query, lie)
+        assert not report.ok
+        assert any("refuted" in issue for issue in report.issues)
+
+    def test_no_flow_claim_with_positive_density_rejected(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("a", "s", 1, 2.0), ("t", "a", 2, 2.0)]
+        )
+        query = BurstingFlowQuery("s", "t", 1)
+        lie = BurstingFlowResult(density=1.0, interval=None, flow_value=1.0)
+        report = check_certificate(network, query, lie)
+        assert not report.ok

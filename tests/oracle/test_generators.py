@@ -1,0 +1,81 @@
+"""Adversarial-generator tests: shape, determinism, target features."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.oracle.generators import GENERATORS, resolve_generators
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestEveryGenerator:
+    def test_deterministic_given_seed(self, name):
+        a = GENERATORS[name](random.Random(42))
+        b = GENERATORS[name](random.Random(42))
+        assert a == b
+
+    def test_case_is_materialisable(self, name):
+        rng = random.Random(7)
+        for _ in range(10):
+            case = GENERATORS[name](rng)
+            network = case.network()
+            assert case.source in network and case.sink in network
+            assert case.delta >= 1
+            assert case.generator == name
+            # Small enough for the naive O(|T|^2) oracle.
+            assert network.num_timestamps <= 16
+            query = case.query()
+            query.validate_against(network)
+
+
+class TestTargetedFeatures:
+    def test_parallel_multiedges_really_duplicates(self):
+        rng = random.Random(1)
+        case = GENERATORS["parallel_multiedges"](rng)
+        triples = [(u, v, tau) for (u, v, tau, _) in case.edges]
+        assert len(triples) > len(set(triples))  # the capacity-merge path
+
+    def test_fractional_capacities_are_dyadic(self):
+        rng = random.Random(2)
+        case = GENERATORS["fractional_capacities"](rng)
+        for _, _, _, capacity in case.edges:
+            assert (capacity * 64) == int(capacity * 64)
+
+    def test_disconnected_phases_leaves_a_gap(self):
+        rng = random.Random(3)
+        # At least one sampled case has a timestamp gap of >= 2.
+        for _ in range(10):
+            case = GENERATORS["disconnected_phases"](rng)
+            stamps = sorted({tau for (_, _, tau, _) in case.edges})
+            gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+            if gaps and max(gaps) >= 2:
+                return
+        pytest.fail("no dead gap in 10 disconnected_phases samples")
+
+    def test_hold_chains_have_multi_stamp_timelines(self):
+        rng = random.Random(4)
+        case = GENERATORS["hold_chains"](rng)
+        network = case.network()
+        stamps_per_node = [
+            len(network.tistamp_out("s")),
+            len(network.tistamp_in("t")),
+        ]
+        assert max(stamps_per_node) >= 2
+
+
+class TestResolveGenerators:
+    def test_none_selects_all(self):
+        assert resolve_generators(None).keys() == GENERATORS.keys()
+
+    def test_subset(self):
+        selected = resolve_generators("uniform, sink_fanin")
+        assert set(selected) == {"uniform", "sink_fanin"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError, match="unknown generator"):
+            resolve_generators("uniform,bogus")
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ReproError, match="no generators"):
+            resolve_generators(" , ")

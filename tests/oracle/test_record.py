@@ -1,0 +1,194 @@
+"""Canonical tie-break (BestRecord) and pruning-epsilon regression tests."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import find_bursting_flow
+from repro.core.bfq_plus import bfq_plus
+from repro.core.bfq_star import bfq_star
+from repro.core.query import BurstingFlowQuery
+from repro.core.record import (
+    DENSITY_EPSILON,
+    PRUNING_EPSILON,
+    BestRecord,
+    should_prune,
+)
+from repro.temporal import TemporalFlowNetwork
+
+
+class TestCanonicalTieBreak:
+    def test_higher_density_wins(self):
+        best = BestRecord()
+        best.offer(2.0, 1, 3)  # density 1.0
+        assert best.offer(3.0, 5, 7)  # density 1.5
+        assert best.interval == (5, 7)
+
+    def test_density_tie_earlier_start_wins(self):
+        best = BestRecord()
+        best.offer(2.0, 5, 7)  # density 1.0
+        assert best.offer(2.0, 1, 3)  # same density, earlier start
+        assert best.interval == (1, 3)
+        # ...and the later start never displaces the earlier one.
+        assert not best.offer(2.0, 5, 7)
+        assert best.interval == (1, 3)
+
+    def test_density_tie_same_start_shorter_wins(self):
+        best = BestRecord()
+        best.offer(4.0, 1, 5)  # density 1.0 over length 4
+        assert best.offer(2.0, 1, 3)  # density 1.0 over length 2
+        assert best.interval == (1, 3)
+        assert not best.offer(4.0, 1, 5)
+
+    def test_zero_value_candidates_never_win(self):
+        best = BestRecord()
+        assert not best.offer(0.0, 1, 3)
+        assert best.interval is None
+        assert best.density == 0.0
+
+    def test_degenerate_interval_rejected(self):
+        best = BestRecord()
+        assert not best.offer(1.0, 3, 3)
+        assert best.interval is None
+
+    def test_near_tie_within_epsilon_resolves_by_interval(self):
+        # Two densities differing by float-summation noise (far below the
+        # DENSITY_EPSILON window) must behave as an exact tie.
+        best = BestRecord()
+        noisy = 1.0 + DENSITY_EPSILON / 100
+        best.offer(noisy * 2, 5, 7)
+        assert best.offer(2.0, 1, 3)  # "lower" density but within the window
+        assert best.interval == (1, 3)
+
+    def test_order_independence(self):
+        """The outcome of offering a candidate set must not depend on order."""
+        candidates = [
+            (2.0, 1, 3),  # density 1.0
+            (2.0, 5, 7),  # density 1.0 (tie, later start)
+            (4.0, 1, 5),  # density 1.0 (tie, same start, longer)
+            (1.5, 2, 4),  # density 0.75
+            (3.0, 6, 8),  # density 1.5 (winner)
+            (3.0, 4, 6),  # density 1.5 (tie, earlier start -> canonical)
+        ]
+        results = set()
+        for perm in itertools.permutations(candidates):
+            best = BestRecord()
+            for value, tau_s, tau_e in perm:
+                best.offer(value, tau_s, tau_e)
+            results.add((best.density, best.interval, best.value))
+        assert len(results) == 1
+        ((_, interval, _),) = results
+        assert interval == (4, 6)
+
+    def test_order_independence_random(self):
+        rng = random.Random(20260806)
+        for _ in range(50):
+            candidates = [
+                (
+                    rng.randint(1, 8) / 4.0 * rng.randint(1, 4),
+                    tau_s := rng.randint(1, 6),
+                    tau_s + rng.randint(1, 4),
+                )
+                for _ in range(rng.randint(1, 8))
+            ]
+            baseline = None
+            for perm in itertools.permutations(candidates):
+                best = BestRecord()
+                for value, tau_s, tau_e in perm:
+                    best.offer(value, tau_s, tau_e)
+                outcome = (best.density, best.interval, best.value)
+                if baseline is None:
+                    baseline = outcome
+                assert outcome == baseline
+
+
+class TestPruningEpsilon:
+    def test_exact_tie_is_not_pruned(self):
+        # upper bound exactly equals best * length: the candidate can still
+        # tie, so Observation 2 must keep it.
+        assert not should_prune(1.6, 0.8, 2)
+
+    def test_float_noise_below_target_is_not_pruned(self):
+        # 0.1 + 0.7 = 0.7999999999999999 in binary floating point: a
+        # mathematically exact tie whose computed upper bound dips below
+        # the target by ~1e-16.  The raw comparison pruned this.
+        upper = 0.1 + 0.7
+        target_density, length = 0.8, 1
+        assert upper < target_density * length  # the old, buggy test fired
+        assert not should_prune(upper, target_density, length)
+
+    def test_clearly_dominated_candidate_is_pruned(self):
+        assert should_prune(1.0, 0.8, 2)
+        assert should_prune(1.6 - 1e-6, 0.8, 2)
+
+    def test_epsilon_ordering(self):
+        # Pruning slack must be strictly wider than the density tie window,
+        # otherwise a pruned candidate could still have tied the record.
+        assert PRUNING_EPSILON > DENSITY_EPSILON
+
+
+def _boundary_network() -> TemporalFlowNetwork:
+    """Capacities chosen so the Observation-2 bound lands exactly on a tie.
+
+    Window [1, 2] carries 0.9 (density 0.9, the early best).  Extending to
+    [1, 3] adds sink capacity 0.2 + 0.7; through the prefix-sum window
+    query that pending capacity computes to 0.8999999999999998, so the
+    upper bound 0.9 + pending sits a hair *below* the target
+    0.9 * 2 = 1.8 — yet mathematically [1, 3] carries exactly 1.8, a
+    legitimate density tie that Observation 2 must not prune.
+    """
+    return TemporalFlowNetwork.from_tuples(
+        [
+            ("s", "a", 1, 0.9),
+            ("a", "t", 2, 0.9),
+            ("s", "b", 1, 0.2),
+            ("b", "t", 3, 0.2),
+            ("s", "c", 1, 0.7),
+            ("c", "t", 3, 0.7),
+        ]
+    )
+
+
+class TestPruningBoundaryRegression:
+    """End-to-end regression for the raw-float Observation-2 comparison."""
+
+    def test_float_pattern_is_as_designed(self):
+        network = _boundary_network()
+        pending = network.sink_capacity_in_window("t", 3, 3)
+        # Mathematically 0.9; the float computation dips just below, so the
+        # raw Observation-2 comparison (upper < best * length) fires.
+        assert pending < 0.9
+        assert 0.9 + pending < 0.9 * 2
+
+    @pytest.mark.parametrize("algorithm", [bfq_plus, bfq_star])
+    def test_pruning_does_not_change_the_record(self, algorithm):
+        network = _boundary_network()
+        query = BurstingFlowQuery("s", "t", 1)
+        pruned = algorithm(network, query, use_pruning=True)
+        unpruned = algorithm(network, query, use_pruning=False)
+        assert pruned.density == unpruned.density
+        assert pruned.interval == unpruned.interval
+        # Canonical tie-break: [1, 2] and [1, 3] tie at density 0.9; the
+        # shorter window at the same start wins.
+        assert pruned.interval == (1, 2)
+
+    def test_boundary_candidate_is_evaluated_not_pruned(self):
+        network = _boundary_network()
+        query = BurstingFlowQuery("s", "t", 1)
+        result = bfq_plus(network, query, use_pruning=True)
+        # The epsilon guard must keep the [1, 3] tie alive even though the
+        # raw comparison says "prune".
+        assert result.stats.pruned_intervals == 0
+
+    def test_all_algorithms_agree_on_boundary_network(self):
+        network = _boundary_network()
+        query = BurstingFlowQuery("s", "t", 1)
+        records = {
+            name: (
+                (r := find_bursting_flow(network, query, algorithm=name)).density,
+                r.interval,
+            )
+            for name in ("bfq", "bfq+", "bfq*")
+        }
+        assert len(set(records.values())) == 1, records

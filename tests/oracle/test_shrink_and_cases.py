@@ -1,0 +1,113 @@
+"""Shrinker and case-fixture tests."""
+
+import json
+import random
+
+from repro.oracle.cases import CaseLibrary, FuzzCase, dump_case, load_case
+from repro.oracle.generators import GENERATORS
+from repro.oracle.shrink import shrink_case
+
+
+def _big_case() -> FuzzCase:
+    return GENERATORS["uniform"](random.Random(11))
+
+
+class TestCases:
+    def test_round_trip(self, tmp_path):
+        case = _big_case()
+        path = dump_case(case, tmp_path / "case.json")
+        reloaded = load_case(path)
+        assert reloaded == case
+
+    def test_dump_creates_parent_directories(self, tmp_path):
+        case = _big_case()
+        path = dump_case(case, tmp_path / "deep" / "nested" / "case.json")
+        assert path.exists()
+        assert json.loads(path.read_text())["edges"]
+
+    def test_network_always_contains_endpoints(self):
+        case = FuzzCase(edges=(), source="s", sink="t", delta=1)
+        network = case.network()
+        assert "s" in network and "t" in network
+
+    def test_library_avoids_collisions(self, tmp_path):
+        library = CaseLibrary(tmp_path)
+        case = _big_case()
+        first = library.add(case, "repro")
+        second = library.add(case, "repro")
+        assert first != second
+        assert len(library.load_all()) == 2
+
+
+class TestShrink:
+    def test_result_still_fails(self):
+        case = _big_case()
+        target = case.edges[0]
+
+        def still_failing(candidate: FuzzCase) -> bool:
+            return target in candidate.edges
+
+        shrunk = shrink_case(case, still_failing)
+        assert still_failing(shrunk)
+        assert shrunk.generator == "shrunk"
+
+    def test_reduces_to_the_single_relevant_edge(self):
+        case = _big_case()
+        target = case.edges[3]
+
+        def still_failing(candidate: FuzzCase) -> bool:
+            return target in candidate.edges
+
+        shrunk = shrink_case(case, still_failing)
+        assert shrunk.num_edges == 1
+        assert shrunk.edges[0] == target
+
+    def test_delta_is_minimised(self):
+        case = FuzzCase(
+            edges=(("s", "t", 1, 2.0), ("s", "t", 5, 2.0)),
+            source="s",
+            sink="t",
+            delta=4,
+        )
+
+        def still_failing(candidate: FuzzCase) -> bool:
+            return candidate.num_edges >= 1
+
+        shrunk = shrink_case(case, still_failing)
+        assert shrunk.delta == 1
+
+    def test_capacities_are_simplified(self):
+        case = FuzzCase(
+            edges=(("s", "t", 1, 7.25),),
+            source="s",
+            sink="t",
+            delta=1,
+        )
+
+        def still_failing(candidate: FuzzCase) -> bool:
+            return candidate.num_edges == 1
+
+        shrunk = shrink_case(case, still_failing)
+        assert shrunk.edges[0][3] == 1.0
+
+    def test_budget_stops_early(self):
+        case = _big_case()
+        calls = []
+
+        def still_failing(candidate: FuzzCase) -> bool:
+            calls.append(1)
+            return True
+
+        shrink_case(case, still_failing, budget=5)
+        assert len(calls) <= 5
+
+    def test_crashing_predicate_counts_as_not_failing(self):
+        case = _big_case()
+
+        def touchy(candidate: FuzzCase) -> bool:
+            if candidate.num_edges < case.num_edges:
+                raise RuntimeError("boom")
+            return True
+
+        shrunk = shrink_case(case, touchy)
+        assert shrunk.num_edges == case.num_edges

@@ -1,0 +1,74 @@
+"""Prefix-sum ``sink_capacity_in_window`` vs the reference edge scan."""
+
+import random
+
+import pytest
+
+from repro.temporal import TemporalEdge, TemporalFlowNetwork
+
+from tests.conftest import random_temporal_network
+
+
+def _all_windows(network):
+    if network.num_timestamps == 0:
+        return [(0, 0)]
+    lo, hi = network.t_min, network.t_max
+    windows = [
+        (a, b) for a in range(lo - 1, hi + 2) for b in range(a, hi + 2)
+    ]
+    windows.append((hi + 5, hi + 9))  # fully out of range
+    return windows
+
+
+class TestPrefixMatchesScan:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_integer_capacities_exact_equality(self, seed):
+        network = random_temporal_network(seed)
+        for node in list(network.nodes):
+            for tau_lo, tau_hi in _all_windows(network):
+                assert network.sink_capacity_in_window(
+                    node, tau_lo, tau_hi
+                ) == network._sink_capacity_in_window_scan(node, tau_lo, tau_hi)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fractional_capacities_close(self, seed):
+        # Non-dyadic capacities: the prefix subtraction and the scan may
+        # associate additions differently, so allow float-noise slack.
+        rng = random.Random(seed)
+        network = TemporalFlowNetwork()
+        nodes = [f"n{i}" for i in range(4)]
+        for _ in range(24):
+            u, v = rng.sample(nodes, 2)
+            network.add_edge(
+                TemporalEdge(u, v, rng.randint(1, 8), rng.randint(1, 99) / 10)
+            )
+        for node in nodes:
+            for tau_lo, tau_hi in _all_windows(network):
+                fast = network.sink_capacity_in_window(node, tau_lo, tau_hi)
+                slow = network._sink_capacity_in_window_scan(node, tau_lo, tau_hi)
+                assert fast == pytest.approx(slow, rel=1e-12, abs=1e-12)
+
+    def test_parallel_edge_merge_invalidates_prefix(self):
+        # Adding capacity to an existing (u, v, tau) key must mark the
+        # prefix sums dirty, not leave a stale total behind.
+        network = TemporalFlowNetwork.from_tuples(
+            [("a", "t", 2, 3.0), ("b", "t", 4, 5.0)]
+        )
+        assert network.sink_capacity_in_window("t", 1, 9) == 8.0
+        network.add_edge(TemporalEdge("a", "t", 2, 2.0))  # merges into 5.0
+        assert network.sink_capacity_in_window("t", 1, 9) == 10.0
+        assert network._sink_capacity_in_window_scan("t", 1, 9) == 10.0
+
+    def test_node_with_no_in_edges(self):
+        network = TemporalFlowNetwork.from_tuples([("s", "t", 3, 1.0)])
+        assert network.sink_capacity_in_window("s", 1, 9) == 0.0
+        assert network._sink_capacity_in_window_scan("s", 1, 9) == 0.0
+
+    def test_empty_and_inverted_windows(self):
+        network = TemporalFlowNetwork.from_tuples(
+            [("s", "t", 3, 2.0), ("s", "t", 7, 4.0)]
+        )
+        assert network.sink_capacity_in_window("t", 4, 6) == 0.0
+        assert network.sink_capacity_in_window("t", 6, 4) == 0.0
+        assert network.sink_capacity_in_window("t", 3, 3) == 2.0
+        assert network.sink_capacity_in_window("t", 3, 7) == 6.0
