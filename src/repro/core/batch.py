@@ -7,32 +7,53 @@ network (the S x T sweep).  :func:`answer_many` evaluates a batch with:
 * deterministic result ordering (input order), whatever the scheduling;
 * shared validation and a single algorithm resolution.
 
-Worker processes re-import the network via fork inheritance; on platforms
-without fork (or when ``processes=None``), the batch runs sequentially —
-results are identical either way, which the test-suite asserts.
+Worker processes receive the network and the algorithm name through the
+pool's ``initializer``/``initargs`` rather than fork-inherited module
+globals, so every start method (``fork``, ``forkserver``, ``spawn``)
+produces identical results — the test-suite asserts this against the
+sequential path for each available method.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
 
-from repro.core.engine import find_bursting_flow, get_algorithm
+from repro.core.engine import DEFAULT_ALGORITHM, find_bursting_flow, get_algorithm
 from repro.core.query import BurstingFlowQuery, BurstingFlowResult
 from repro.temporal.network import TemporalFlowNetwork
 
-# Globals used by fork-based workers (set once per batch in the parent).
+# Per-worker state, set by _init_worker in each pool process.  The parent
+# process never assigns these: state travels through initargs (pickled for
+# spawn/forkserver, inherited-then-overwritten for fork), which is what
+# makes the three start methods equivalent.
 _WORKER_NETWORK: TemporalFlowNetwork | None = None
-_WORKER_ALGORITHM: str = "bfq*"
+_WORKER_ALGORITHM: str = DEFAULT_ALGORITHM
+
+
+def _init_worker(network: TemporalFlowNetwork, algorithm: str) -> None:
+    """Pool initializer: install the batch's shared state in this worker."""
+    global _WORKER_NETWORK, _WORKER_ALGORITHM
+    _WORKER_NETWORK = network
+    _WORKER_ALGORITHM = algorithm
+
+
+def _reset_worker_state() -> None:
+    """Restore module defaults (also runs in the parent after the batch)."""
+    global _WORKER_NETWORK, _WORKER_ALGORITHM
+    _WORKER_NETWORK = None
+    _WORKER_ALGORITHM = DEFAULT_ALGORITHM
 
 
 def answer_many(
     network: TemporalFlowNetwork,
     queries: Iterable[BurstingFlowQuery],
     *,
-    algorithm: str = "bfq*",
+    algorithm: str = DEFAULT_ALGORITHM,
     processes: int | None = None,
+    mp_context: str | None = None,
 ) -> list[BurstingFlowResult]:
     """Answer a batch of queries; results align with the input order.
 
@@ -42,6 +63,9 @@ def answer_many(
         algorithm: delta-BFlow solution for every query.
         processes: worker processes; ``None`` or ``1`` runs sequentially;
             ``0`` means ``os.cpu_count()``.
+        mp_context: multiprocessing start method for the worker pool
+            (``"fork"``, ``"forkserver"`` or ``"spawn"``); ``None`` uses
+            the platform default.  Ignored for sequential runs.
     """
     get_algorithm(algorithm)  # fail fast on unknown names
     batch: Sequence[BurstingFlowQuery] = list(queries)
@@ -56,21 +80,22 @@ def answer_many(
             find_bursting_flow(network, query, algorithm=algorithm)
             for query in batch
         ]
-    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX fallback
-        return [
-            find_bursting_flow(network, query, algorithm=algorithm)
-            for query in batch
-        ]
 
-    global _WORKER_NETWORK, _WORKER_ALGORITHM
-    _WORKER_NETWORK = network
-    _WORKER_ALGORITHM = algorithm
+    context = multiprocessing.get_context(mp_context)
     try:
-        with ProcessPoolExecutor(max_workers=min(processes, len(batch))) as pool:
-            results = list(pool.map(_answer_one, batch))
+        with ProcessPoolExecutor(
+            max_workers=min(processes, len(batch)),
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(network, algorithm),
+        ) as pool:
+            return list(pool.map(_answer_one, batch))
     finally:
-        _WORKER_NETWORK = None
-    return results
+        # With fork, workers inherit whatever the parent's module state
+        # happens to be at submit time; keeping the parent's copy pristine
+        # guarantees a concurrent or subsequent batch can't leak its
+        # algorithm (or network) into this one.
+        _reset_worker_state()
 
 
 def _answer_one(query: BurstingFlowQuery) -> BurstingFlowResult:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 
-from repro.core.incremental import IncrementalTransformedNetwork
+from repro.core.incremental import DEFAULT_KERNEL, IncrementalTransformedNetwork
 from repro.core.intervals import CandidatePlan, enumerate_candidates
 from repro.core.query import (
     BurstingFlowQuery,
@@ -42,6 +42,7 @@ def bfq_plus(
     query: BurstingFlowQuery,
     *,
     use_pruning: bool = True,
+    kernel: str = DEFAULT_KERNEL,
 ) -> BurstingFlowResult:
     """Answer ``query`` with BFQ+ (insertion-case incremental Maxflow).
 
@@ -50,6 +51,9 @@ def bfq_plus(
         query: the delta-BFlow query.
         use_pruning: apply Observation 2 (on by default; EXP-2 disables it
             to isolate the incremental speedup).
+        kernel: maxflow kernel for the incremental state (``"persistent"``
+            runs the flat-array Dinic on a maintained CSR residual arena;
+            ``"object"`` is the Arc-walking engine).
     """
     query.validate_against(network)
     stats = QueryStats()
@@ -60,7 +64,14 @@ def bfq_plus(
 
     for tau_s in plan.starts:
         _sweep_endings(
-            network, query, plan, tau_s, best, stats, use_pruning=use_pruning
+            network,
+            query,
+            plan,
+            tau_s,
+            best,
+            stats,
+            use_pruning=use_pruning,
+            kernel=kernel,
         )
     _evaluate_corner(network, query, plan, best, stats)
 
@@ -81,13 +92,14 @@ def _sweep_endings(
     stats: QueryStats,
     *,
     use_pruning: bool,
+    kernel: str = DEFAULT_KERNEL,
 ) -> None:
     """Lines 4-11 of Algorithm 2 for one fixed ``tau_s``."""
     tau_e = tau_s + plan.delta
     stats.candidates_enumerated += 1
     t0 = time.perf_counter()
     state = IncrementalTransformedNetwork(
-        network, query.source, query.sink, tau_s, tau_e
+        network, query.source, query.sink, tau_s, tau_e, kernel=kernel
     )
     t1 = time.perf_counter()
     run = state.run_maxflow()
@@ -135,7 +147,7 @@ def _sweep_endings(
             )
             continue
 
-        run = state.run_maxflow()
+        run = state.run_maxflow(value_bound=pending_sink_capacity)
         t2 = time.perf_counter()
         stats.maxflow_runs += 1
         stats.augmenting_paths += run.augmenting_paths

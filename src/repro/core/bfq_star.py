@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 
 from repro.core.bfq_plus import _evaluate_corner
-from repro.core.incremental import IncrementalTransformedNetwork
+from repro.core.incremental import DEFAULT_KERNEL, IncrementalTransformedNetwork
 from repro.core.intervals import CandidatePlan, enumerate_candidates
 from repro.core.query import (
     BurstingFlowQuery,
@@ -40,6 +40,7 @@ def bfq_star(
     query: BurstingFlowQuery,
     *,
     use_pruning: bool = True,
+    kernel: str = DEFAULT_KERNEL,
 ) -> BurstingFlowResult:
     """Answer ``query`` with BFQ* (insertion + deletion incremental Maxflow).
 
@@ -47,6 +48,8 @@ def bfq_star(
         network: the temporal flow network.
         query: the delta-BFlow query.
         use_pruning: apply Observation 2 during the insertion sweeps.
+        kernel: maxflow kernel for the incremental states (``"persistent"``
+            or ``"object"``; see :mod:`repro.core.incremental`).
     """
     query.validate_against(network)
     stats = QueryStats()
@@ -56,7 +59,9 @@ def bfq_star(
     best = BestRecord()
 
     if plan.starts:
-        _zigzag(network, query, plan, best, stats, use_pruning=use_pruning)
+        _zigzag(
+            network, query, plan, best, stats, use_pruning=use_pruning, kernel=kernel
+        )
     _evaluate_corner(network, query, plan, best, stats)
 
     return BurstingFlowResult(
@@ -75,11 +80,14 @@ def _zigzag(
     stats: QueryStats,
     *,
     use_pruning: bool,
+    kernel: str = DEFAULT_KERNEL,
 ) -> None:
     """The Figure 5(c) evaluation pattern over all starting timestamps."""
     delta = plan.delta
     first_start = plan.starts[0]
-    state = _fresh_minimal_state(network, query, first_start, delta, best, stats)
+    state = _fresh_minimal_state(
+        network, query, first_start, delta, best, stats, kernel=kernel
+    )
 
     for position, tau_s in enumerate(plan.starts):
         next_start = (
@@ -123,7 +131,7 @@ def _zigzag(
                     )
                 )
                 continue
-            run = state.run_maxflow()
+            run = state.run_maxflow(value_bound=pending_sink_capacity)
             t2 = time.perf_counter()
             stats.maxflow_runs += 1
             stats.augmenting_paths += run.augmenting_paths
@@ -157,12 +165,14 @@ def _fresh_minimal_state(
     delta: int,
     best: BestRecord,
     stats: QueryStats,
+    *,
+    kernel: str = DEFAULT_KERNEL,
 ) -> IncrementalTransformedNetwork:
     """Build and solve the very first minimal window (Lines 3-5)."""
     stats.candidates_enumerated += 1
     t0 = time.perf_counter()
     state = IncrementalTransformedNetwork(
-        network, query.source, query.sink, tau_s, tau_s + delta
+        network, query.source, query.sink, tau_s, tau_s + delta, kernel=kernel
     )
     t1 = time.perf_counter()
     run = state.run_maxflow()

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Protocol
 
+from repro.baselines.naive import naive_bfq
 from repro.core.bfq import bfq
 from repro.core.bfq_plus import bfq_plus
 from repro.core.bfq_star import bfq_star
@@ -32,10 +33,26 @@ class BurstingFlowAlgorithm(Protocol):
         ...
 
 
+def _networkx_bfq(
+    network: TemporalFlowNetwork, query: BurstingFlowQuery, **kwargs
+) -> BurstingFlowResult:
+    """Lazy wrapper so the engine works without networkx installed."""
+    try:
+        from repro.baselines.networkx_backend import networkx_bfq
+    except ImportError:
+        raise InvalidQueryError(
+            "algorithm 'networkx' requires the optional networkx package"
+        ) from None
+    return networkx_bfq(network, query, **kwargs)
+
+
 ALGORITHMS: dict[str, Callable[..., BurstingFlowResult]] = {
     "bfq": bfq,
     "bfq+": bfq_plus,
     "bfq*": bfq_star,
+    # Reference baselines — exact but slow; for cross-checks and benchmarks.
+    "naive": naive_bfq,
+    "networkx": _networkx_bfq,
 }
 
 #: The default (fastest exact) solution.
@@ -76,7 +93,9 @@ def find_bursting_flow(
         network: the temporal flow network to query.
         query: a prepared query object (mutually exclusive with keywords).
         source / sink / delta: inline query parameters.
-        algorithm: ``"bfq"``, ``"bfq+"`` or ``"bfq*"`` (default).
+        algorithm: ``"bfq"``, ``"bfq+"``, ``"bfq*"`` (default), or a
+            reference baseline — ``"naive"`` (brute-force window
+            enumeration) or ``"networkx"`` (BFQ with NetworkX Maxflow).
         **kwargs: forwarded to the algorithm (e.g. ``use_pruning=False``
             for the incremental solutions, ``solver="push-relabel"`` for
             BFQ).

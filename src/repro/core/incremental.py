@@ -35,6 +35,7 @@ import math
 from repro.exceptions import GraphError, InvalidIntervalError
 from repro.flownet.algorithms.base import MaxflowRun
 from repro.flownet.algorithms.dinic import dinic
+from repro.flownet.algorithms.dinic_flat_persistent import dinic_flat_persistent
 from repro.flownet.network import EdgeKind, EdgeRef, FlowNetwork
 from repro.core.transform import TransformedNetwork, reachable_edges
 from repro.temporal.edge import NodeId, Timestamp
@@ -42,6 +43,14 @@ from repro.temporal.network import TemporalFlowNetwork
 
 #: Tolerance when asserting complete withdrawal of boundary-crossing flow.
 _WITHDRAW_TOLERANCE = 1e-6
+
+#: Maxflow kernel driving the incremental moves.  ``"persistent"`` runs the
+#: array-only resumable Dinic on the attached CSR residual arena (built
+#: lazily on the first run, maintained incrementally afterwards);
+#: ``"object"`` is the pre-arena engine walking ``Arc`` objects.
+DEFAULT_KERNEL = "persistent"
+
+_KNOWN_KERNELS = ("persistent", "object")
 
 
 class IncrementalTransformedNetwork:
@@ -54,9 +63,16 @@ class IncrementalTransformedNetwork:
         sink: NodeId,
         tau_s: Timestamp,
         tau_e: Timestamp,
+        *,
+        kernel: str = DEFAULT_KERNEL,
     ) -> None:
         if tau_e <= tau_s:
             raise InvalidIntervalError(f"window [{tau_s}, {tau_e}] is degenerate")
+        if kernel not in _KNOWN_KERNELS:
+            raise ValueError(
+                f"unknown maxflow kernel {kernel!r}; known: {', '.join(_KNOWN_KERNELS)}"
+            )
+        self.kernel = kernel
         self.temporal = temporal
         self.source = source
         self.sink = sink
@@ -116,9 +132,28 @@ class IncrementalTransformedNetwork:
             total += network.flow_on(ref)
         return total
 
-    def run_maxflow(self) -> MaxflowRun:
-        """Resume Dinic on the current residual state (Lemma 3 / Lemma 4)."""
-        return dinic(self.network, self.source_index, self.sink_index)
+    def run_maxflow(self, *, value_bound: float | None = None) -> MaxflowRun:
+        """Resume Dinic on the current residual state (Lemma 3 / Lemma 4).
+
+        ``value_bound`` optionally caps how much this run can possibly add
+        (Observation 2: sink capacity inserted since the last computed
+        Maxflow).  The persistent kernel uses it to certify maximality
+        without its final failed BFS; the object kernel ignores it, staying
+        exactly the pre-persistent engine for comparison purposes.
+        """
+        return self._run_kernel(
+            self.source_index, self.sink_index, value_bound=value_bound
+        )
+
+    def _run_kernel(
+        self, source: int, sink: int, *, value_bound: float | None = None
+    ) -> MaxflowRun:
+        """Dispatch a resumable Dinic run to the configured kernel."""
+        if self.kernel == "persistent":
+            return dinic_flat_persistent(
+                self.network, source, sink, value_bound=value_bound
+            )
+        return dinic(self.network, source, sink)
 
     def clone(self) -> "IncrementalTransformedNetwork":
         """Deep copy of the state (BFQ*'s mid-sweep snapshot).
@@ -130,6 +165,7 @@ class IncrementalTransformedNetwork:
         the subtracted prefix simply no longer exists in the new network).
         """
         other = IncrementalTransformedNetwork.__new__(IncrementalTransformedNetwork)
+        other.kernel = self.kernel
         other.temporal = self.temporal
         other.source = self.source
         other.sink = self.sink
@@ -236,7 +272,7 @@ class IncrementalTransformedNetwork:
 
         withdrawn = 0.0
         if virtual_index is not None:
-            run = dinic(self.network, self.sink_index, virtual_index)
+            run = self._run_kernel(self.sink_index, virtual_index)
             withdrawn = run.value
             if abs(withdrawn - total_crossing) > _WITHDRAW_TOLERANCE * max(
                 1.0, total_crossing
@@ -331,10 +367,7 @@ class IncrementalTransformedNetwork:
             old_ref = self._hold_into.pop((node, after))
             routed = self.network.flow_on(old_ref)
             # Disable the spanning edge entirely (capacity and flow to 0).
-            forward = self.network.forward_arc(old_ref)
-            reverse = self.network.reverse_arc(old_ref)
-            forward.cap = 0.0
-            reverse.cap = 0.0
+            self.network.disable_edge(old_ref)
 
             middle_label = (node, tau)
             self.network.add_node(middle_label)

@@ -7,6 +7,7 @@ from repro.flownet.algorithms import (
     MaxflowRun,
     dinic,
     dinic_flat,
+    dinic_flat_persistent,
     edmonds_karp,
     ford_fulkerson,
     get_solver,
@@ -23,6 +24,7 @@ from repro.flownet.rewrite import (
 )
 from repro.flownet.network import Arc, EdgeKind, EdgeRef, FlowNetwork
 from repro.flownet.residual import (
+    ResidualArena,
     decompose_into_paths,
     extract_flow,
     flow_value_at,
@@ -34,12 +36,14 @@ __all__ = [
     "EdgeKind",
     "EdgeRef",
     "FlowNetwork",
+    "ResidualArena",
     "MaxflowRun",
     "MinCut",
     "min_cut",
     "certify_maxflow",
     "dinic",
     "dinic_flat",
+    "dinic_flat_persistent",
     "capacity_scaling",
     "DynamicMaxflow",
     "RewriteReport",

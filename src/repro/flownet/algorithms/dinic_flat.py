@@ -7,12 +7,20 @@ list indexing, and writes the updated residual capacities back.
 
 Semantics are identical to ``dinic`` — including resumability, since the
 flatten/write-back round-trips the residual state.  **Measured honestly:**
-on CPython 3.11 the two are at parity (slotted attribute access is as fast
-as list indexing, and the O(|E|) flatten is pure overhead for light runs),
-so ``dinic`` remains the default everywhere.  The flat layout is retained
-because it is the natural starting point for array-backend experiments
-(PyPy, numpy/numba) and doubles as a third independent Dinic
-implementation in the solver-agreement property tests.
+on CPython 3.11 a *per-run* flatten buys nothing (slotted attribute access
+is as fast as list indexing, and the O(|E|) flatten/write-back is pure
+overhead for light runs), so this variant is at parity with ``dinic`` and
+is not the default.  What does pay is making the flat arrays *persistent*:
+:func:`~repro.flownet.algorithms.dinic_flat_persistent.dinic_flat_persistent`
+keeps them alive across runs in a
+:class:`~repro.flownet.residual.ResidualArena` and adds sink-rooted levels,
+and on the EXP-3 incremental-maxflow workload (BENCH_PR2.json: btc2011 /
+ctu13 / prosper, BFQ+ and BFQ*) that cuts aggregate maxflow time from
+4.45 s to 2.08 s — a measured 2.1x over the object walker, with ctu13 at
+1.6-1.9x and prosper at 2.1-2.3x (btc2011's windows are too small to
+amortise anything; it stays within ~1 ms of parity).  This per-run variant
+is retained as the bridge between the two designs and as a third
+independent Dinic implementation in the solver-agreement property tests.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ def dinic_flat(network: FlowNetwork, source: int, sink: int) -> MaxflowRun:
     """Run Dinic on a flattened copy of the residual state."""
     if source == sink:
         return MaxflowRun(value=0.0)
+    network.detach_arena()  # the write-back bypasses the arena hooks
     adj = network._adj  # noqa: SLF001
     retired = network._retired  # noqa: SLF001
     n = len(adj)

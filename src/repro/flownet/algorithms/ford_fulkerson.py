@@ -22,6 +22,7 @@ def ford_fulkerson(network: FlowNetwork, source: int, sink: int) -> MaxflowRun:
     """Augment along arbitrary (DFS-first) residual paths until none remain."""
     if source == sink:
         return MaxflowRun(value=0.0)
+    network.detach_arena()  # writes Arc.cap directly; a stale mirror is worse than none
     adj = network._adj  # noqa: SLF001 - hot path
     retired = network._retired  # noqa: SLF001
     total = 0.0

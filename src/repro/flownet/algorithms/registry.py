@@ -15,6 +15,7 @@ from repro.flownet.algorithms.base import MaxflowRun, MaxflowSolver
 from repro.flownet.algorithms.capacity_scaling import capacity_scaling
 from repro.flownet.algorithms.dinic import dinic
 from repro.flownet.algorithms.dinic_flat import dinic_flat
+from repro.flownet.algorithms.dinic_flat_persistent import dinic_flat_persistent
 from repro.flownet.algorithms.edmonds_karp import edmonds_karp
 from repro.flownet.algorithms.ford_fulkerson import ford_fulkerson
 from repro.flownet.algorithms.lp import lp_maxflow
@@ -24,6 +25,7 @@ from repro.flownet.network import FlowNetwork
 SOLVERS: dict[str, MaxflowSolver] = {
     "dinic": dinic,
     "dinic-flat": dinic_flat,
+    "dinic-flat-persistent": dinic_flat_persistent,
     "edmonds-karp": edmonds_karp,
     "ford-fulkerson": ford_fulkerson,
     "capacity-scaling": capacity_scaling,
@@ -34,7 +36,14 @@ SOLVERS: dict[str, MaxflowSolver] = {
 #: Solvers that mutate the residual state in place and can be re-invoked to
 #: find only the missing augmenting paths — a requirement of BFQ+/BFQ*.
 RESUMABLE_SOLVERS: frozenset[str] = frozenset(
-    {"dinic", "dinic-flat", "edmonds-karp", "ford-fulkerson", "capacity-scaling"}
+    {
+        "dinic",
+        "dinic-flat",
+        "dinic-flat-persistent",
+        "edmonds-karp",
+        "ford-fulkerson",
+        "capacity-scaling",
+    }
 )
 
 

@@ -106,6 +106,34 @@ class FlowNetwork:
         self._index_of: dict[Label, int] = {}
         self._retired: list[bool] = []
         self._num_edges = 0
+        self._arena = None
+
+    # ------------------------------------------------------------------
+    # Residual arena (persistent CSR mirror)
+    # ------------------------------------------------------------------
+    @property
+    def arena(self):
+        """The attached :class:`~repro.flownet.residual.ResidualArena`."""
+        return self._arena
+
+    def attach_arena(self, arena) -> None:
+        """Attach a flat residual mirror; mutation hooks keep it in sync.
+
+        Structural growth is journaled lazily (``add_edge`` records the
+        endpoints; the arena catches up at the next kernel entry), while
+        capacity changes and retirements are applied eagerly.  The arena
+        stays synchronised only while every capacity change goes through
+        this class's API (:meth:`add_edge`, :meth:`push_on`,
+        :meth:`set_capacity`, :meth:`disable_edge`, :meth:`clear_flow`) or
+        through the persistent kernel.  Solvers that write ``Arc.cap``
+        directly must call :meth:`detach_arena` first — the in-place
+        object-graph solvers do so defensively.
+        """
+        self._arena = arena
+
+    def detach_arena(self) -> None:
+        """Drop the attached arena (it will be rebuilt on next kernel use)."""
+        self._arena = None
 
     # ------------------------------------------------------------------
     # Nodes
@@ -120,6 +148,8 @@ class FlowNetwork:
         self._labels.append(label)
         self._retired.append(False)
         self._index_of[label] = index
+        # No arena hook: an attached arena discovers new nodes by length
+        # during its next sync().
         return index
 
     def has_node(self, label: Label) -> bool:
@@ -155,6 +185,8 @@ class FlowNetwork:
     def retire_node(self, index: int) -> None:
         """Mark a node as deleted; traversals will skip it."""
         self._retired[index] = True
+        if self._arena is not None:
+            self._arena.on_retire_node(index)
 
     def retire_label(self, label: Label) -> None:
         """Retire a node by label."""
@@ -195,9 +227,30 @@ class FlowNetwork:
             raise GraphError(f"self loop at node index {tail}")
         fwd_pos = len(self._adj[tail])
         rev_pos = len(self._adj[head])
-        self._adj[tail].append(Arc(head, capacity, rev_pos, True, kind, meta))
-        self._adj[head].append(Arc(tail, 0.0, fwd_pos, False, kind, meta))
+        forward = Arc(head, capacity, rev_pos, True, kind, meta)
+        reverse = Arc(tail, 0.0, fwd_pos, False, kind, meta)
+        self._adj[tail].append(forward)
+        self._adj[head].append(reverse)
         self._num_edges += 1
+        arena = self._arena
+        if arena is not None:
+            # Journal only; the arena mirrors the batch at kernel entry.
+            dirty = arena.dirty
+            dirty.append(tail)
+            dirty.append(head)
+            if arena.cut_closed and capacity > 0:
+                # Does the new arc pierce the recorded sink-side cut (head
+                # inside T, tail outside)?  Indices beyond the level array
+                # are nodes added after the certificate — outside T by
+                # construction.
+                level = arena.level
+                n_level = len(level)
+                if (
+                    head < n_level
+                    and level[head] >= 0
+                    and not (tail < n_level and level[tail] >= 0)
+                ):
+                    arena.cut_closed = False
         return EdgeRef(tail, fwd_pos)
 
     def add_edge_labeled(
@@ -255,6 +308,23 @@ class FlowNetwork:
         if not math.isinf(forward.cap):
             forward.cap -= amount
         reverse.cap += amount
+        arena = self._arena
+        if arena is not None:
+            arena.on_edge_caps_changed(ref.tail, ref.index)
+            if arena.cut_closed:
+                # A push opens residual capacity in one direction: residual
+                # head -> tail for amount > 0, tail -> head for amount < 0.
+                # Invalidate the cut certificate if that arc *enters* the
+                # recorded sink side T from outside.
+                level = arena.level
+                n_level = len(level)
+                tail_in = ref.tail < n_level and level[ref.tail] >= 0
+                head_in = forward.head < n_level and level[forward.head] >= 0
+                if amount > 0:
+                    if tail_in and not head_in:
+                        arena.cut_closed = False
+                elif head_in and not tail_in:
+                    arena.cut_closed = False
 
     def set_capacity(self, ref: EdgeRef, capacity: float) -> None:
         """Reset an edge's capacity, preserving currently routed flow."""
@@ -265,6 +335,24 @@ class FlowNetwork:
                 f"new capacity {capacity} is below routed flow {routed}"
             )
         forward.cap = capacity - routed if not math.isinf(capacity) else math.inf
+        arena = self._arena
+        if arena is not None:
+            arena.on_edge_caps_changed(ref.tail, ref.index)
+            # A capacity raise can open a residual arc out of S; this call
+            # is rare, so invalidate without checking endpoints.
+            arena.cut_closed = False
+
+    def disable_edge(self, ref: EdgeRef) -> None:
+        """Zero both residual directions of an edge (capacity *and* flow).
+
+        Used by timestamp injection (the spanning hold edge is replaced by
+        its two halves) and by single-edge deletion in
+        :class:`~repro.flownet.dynamic.DynamicMaxflow`.
+        """
+        self.forward_arc(ref).cap = 0.0
+        self.reverse_arc(ref).cap = 0.0
+        if self._arena is not None:
+            self._arena.on_edge_caps_changed(ref.tail, ref.index)
 
     def iter_edges(self) -> Iterator[tuple[int, Arc]]:
         """Iterate (tail index, forward arc) for every edge."""
@@ -305,6 +393,8 @@ class FlowNetwork:
                     if not math.isinf(arc.cap):
                         arc.cap += reverse.cap
                     reverse.cap = 0.0
+        if self._arena is not None:
+            self._arena.resync()
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -312,6 +402,7 @@ class FlowNetwork:
     def clone(self) -> "FlowNetwork":
         """Deep copy of the full residual state (labels, arcs, retirements)."""
         other = FlowNetwork.__new__(FlowNetwork)
+        other._arena = None  # arenas hold arc references; never shared
         other._labels = list(self._labels)
         other._index_of = dict(self._index_of)
         other._retired = list(self._retired)
@@ -336,6 +427,7 @@ class FlowNetwork:
         node.
         """
         other = FlowNetwork.__new__(FlowNetwork)
+        other._arena = None
         node_map: dict[int, int] = {}
         other._labels = []
         other._index_of = {}

@@ -8,9 +8,15 @@ from repro.exceptions import InvalidQueryError
 
 
 class TestDispatch:
-    def test_registry_contains_all_three(self):
-        assert set(ALGORITHMS) == {"bfq", "bfq+", "bfq*"}
+    def test_registry_contains_all_five(self):
+        assert set(ALGORITHMS) == {"bfq", "bfq+", "bfq*", "naive", "networkx"}
+        assert DEFAULT_ALGORITHM == "bfq*"
         assert DEFAULT_ALGORITHM in ALGORITHMS
+
+    def test_unknown_algorithm_error_lists_baselines(self):
+        with pytest.raises(InvalidQueryError, match="naive") as excinfo:
+            get_algorithm("magic")
+        assert "networkx" in str(excinfo.value)
 
     def test_get_algorithm_case_insensitive(self):
         assert get_algorithm("BFQ*") is ALGORITHMS["bfq*"]

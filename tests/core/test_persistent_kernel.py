@@ -1,0 +1,150 @@
+"""Property tests for the persistent residual arena inside the engine.
+
+The incremental engine's ``kernel="persistent"`` path keeps a flat residual
+arena alive across ``extend_end`` / ``advance_start`` / ``run_maxflow``
+calls.  Hypothesis drives random operation sequences against a twin engine
+running the pre-persistent object-graph kernel and asserts, after every
+step:
+
+* the two kernels agree on the flow value (the *assignments* may differ —
+  both are maximum flows);
+* the arena still mirrors the object graph exactly (structure, residual
+  capacities, levels never out of range) — ``ResidualArena.mirrors`` is a
+  byte-level comparison of every parallel array against the adjacency
+  lists.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import IncrementalTransformedNetwork
+from repro.temporal import TemporalEdge, TemporalFlowNetwork
+
+TOLERANCE = 1e-7
+
+
+@st.composite
+def temporal_networks(draw) -> TemporalFlowNetwork:
+    num_nodes = draw(st.integers(min_value=3, max_value=7))
+    horizon = draw(st.integers(min_value=4, max_value=12))
+    num_edges = draw(st.integers(min_value=4, max_value=20))
+    network = TemporalFlowNetwork()
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        v = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        if u == v:
+            continue
+        tau = draw(st.integers(min_value=1, max_value=horizon))
+        capacity = float(draw(st.integers(min_value=1, max_value=9)))
+        network.add_edge(TemporalEdge(f"n{u}", f"n{v}", tau, capacity))
+    network.add_node("n0")
+    network.add_node("n1")
+    if not network.num_edges:
+        network.add_edge(TemporalEdge("n0", "n1", 1, 1.0))
+    return network
+
+
+def _twins(network, tau_s, tau_e):
+    persistent = IncrementalTransformedNetwork(
+        network, "n0", "n1", tau_s, tau_e, kernel="persistent"
+    )
+    reference = IncrementalTransformedNetwork(
+        network, "n0", "n1", tau_s, tau_e, kernel="object"
+    )
+    return persistent, reference
+
+
+def _check_step(persistent, reference):
+    assert persistent.flow_value() == pytest.approx(
+        reference.flow_value(), abs=TOLERANCE
+    )
+    arena = persistent.network.arena
+    if arena is not None:  # attached lazily on the first kernel run
+        assert arena.mirrors(persistent.network)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    temporal_networks(),
+    st.data(),
+)
+def test_operation_sequences_keep_twins_equivalent(network, data):
+    """Random extend/advance/run interleavings: value + mirror invariants."""
+    t_min, t_max = network.t_min, network.t_max
+    if t_max - t_min < 2:
+        return
+    tau_s = t_min
+    tau_e = data.draw(
+        st.integers(min_value=tau_s + 1, max_value=min(tau_s + 4, t_max)),
+        label="initial tau_e",
+    )
+    persistent, reference = _twins(network, tau_s, tau_e)
+    persistent.run_maxflow()
+    reference.run_maxflow()
+    _check_step(persistent, reference)
+
+    for _ in range(data.draw(st.integers(min_value=1, max_value=4), label="steps")):
+        can_extend = persistent.tau_e < t_max
+        can_advance = persistent.tau_e - persistent.tau_s > 1
+        options = ["run"]
+        if can_extend:
+            options.append("extend")
+        if can_advance:
+            options.append("advance")
+        op = data.draw(st.sampled_from(options), label="op")
+        if op == "extend":
+            new_tau_e = data.draw(
+                st.integers(min_value=persistent.tau_e + 1, max_value=t_max),
+                label="new tau_e",
+            )
+            persistent.extend_end(new_tau_e)
+            reference.extend_end(new_tau_e)
+        elif op == "advance":
+            new_tau_s = data.draw(
+                st.integers(
+                    min_value=persistent.tau_s + 1,
+                    max_value=persistent.tau_e - 1,
+                ),
+                label="new tau_s",
+            )
+            persistent.advance_start(new_tau_s)
+            reference.advance_start(new_tau_s)
+        persistent.run_maxflow()
+        reference.run_maxflow()
+        _check_step(persistent, reference)
+
+
+@settings(max_examples=40, deadline=None)
+@given(temporal_networks())
+def test_value_bound_run_matches_unbounded_twin(network):
+    """Bounded runs (Observation 2) must not under-report the Maxflow."""
+    t_min, t_max = network.t_min, network.t_max
+    if t_max - t_min < 2:
+        return
+    persistent, reference = _twins(network, t_min, t_min + 1)
+    persistent.run_maxflow()
+    reference.run_maxflow()
+    for new_tau_e in range(t_min + 2, t_max + 1):
+        pending = network.sink_capacity_in_window(
+            "n1", persistent.tau_e + 1, new_tau_e
+        )
+        persistent.extend_end(new_tau_e)
+        reference.extend_end(new_tau_e)
+        persistent.run_maxflow(value_bound=pending)
+        reference.run_maxflow()
+        _check_step(persistent, reference)
+
+
+def test_unknown_kernel_rejected(burst_network):
+    with pytest.raises(ValueError, match="kernel"):
+        IncrementalTransformedNetwork(
+            burst_network, "s", "t", 0, 2, kernel="quantum"
+        )
+
+
+def test_clone_preserves_kernel(burst_network):
+    state = IncrementalTransformedNetwork(
+        burst_network, "s", "t", 0, 2, kernel="object"
+    )
+    assert state.clone().kernel == "object"

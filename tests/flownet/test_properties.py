@@ -2,7 +2,7 @@
 
 Invariants checked on random networks:
 
-* all five solvers report the same Maxflow value;
+* all registered solvers report the same Maxflow value;
 * Maxflow equals min-cut capacity (strong duality);
 * the extracted flow satisfies the flow axioms;
 * path decomposition reconstructs the value.
@@ -16,6 +16,7 @@ from repro.flownet import (
     decompose_into_paths,
     dinic,
     dinic_flat,
+    dinic_flat_persistent,
     edmonds_karp,
     ford_fulkerson,
     lp_maxflow,
@@ -51,6 +52,10 @@ def test_all_solvers_agree(net: FlowNetwork):
     source, sink = 0, 1
     reference = dinic(net.clone(), source, sink).value
     assert abs(dinic_flat(net.clone(), source, sink).value - reference) < TOLERANCE
+    assert (
+        abs(dinic_flat_persistent(net.clone(), source, sink).value - reference)
+        < TOLERANCE
+    )
     assert abs(edmonds_karp(net.clone(), source, sink).value - reference) < TOLERANCE
     assert abs(ford_fulkerson(net.clone(), source, sink).value - reference) < TOLERANCE
     assert abs(push_relabel(net.clone(), source, sink).value - reference) < TOLERANCE
@@ -92,3 +97,21 @@ def test_resumability_matches_one_shot(net: FlowNetwork, extra_cap: int):
     net.add_edge(net.num_nodes - 1, 1, float(extra_cap))
     resumed = first + dinic(net, source, sink).value
     assert abs(resumed - one_shot) < TOLERANCE
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_flow_networks(), st.integers(min_value=2, max_value=8))
+def test_persistent_resumability_matches_one_shot(net: FlowNetwork, extra_cap: int):
+    """Same as above, but resuming through the persistent arena kernel."""
+    source, sink = 0, 1
+    final = net.clone()
+    final.add_edge(0, net.num_nodes - 1, float(extra_cap))
+    final.add_edge(net.num_nodes - 1, 1, float(extra_cap))
+    one_shot = dinic(final.clone(), source, sink).value
+
+    first = dinic_flat_persistent(net, source, sink).value
+    net.add_edge(0, net.num_nodes - 1, float(extra_cap))
+    net.add_edge(net.num_nodes - 1, 1, float(extra_cap))
+    resumed = first + dinic_flat_persistent(net, source, sink).value
+    assert abs(resumed - one_shot) < TOLERANCE
+    assert net.arena is not None and net.arena.mirrors(net)

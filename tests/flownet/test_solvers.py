@@ -18,6 +18,7 @@ from repro.flownet import (
     FlowNetwork,
     dinic,
     dinic_flat,
+    dinic_flat_persistent,
     edmonds_karp,
     ford_fulkerson,
     get_solver,
@@ -26,8 +27,16 @@ from repro.flownet import (
     solve_max_flow,
 )
 
-ALL_SOLVERS = [dinic, dinic_flat, edmonds_karp, ford_fulkerson, push_relabel, lp_maxflow]
-MUTATING_SOLVERS = [dinic, dinic_flat, edmonds_karp, ford_fulkerson]
+ALL_SOLVERS = [
+    dinic,
+    dinic_flat,
+    dinic_flat_persistent,
+    edmonds_karp,
+    ford_fulkerson,
+    push_relabel,
+    lp_maxflow,
+]
+MUTATING_SOLVERS = [dinic, dinic_flat, dinic_flat_persistent, edmonds_karp, ford_fulkerson]
 
 
 def st(net: FlowNetwork) -> tuple[int, int]:
@@ -141,7 +150,14 @@ class TestDinicSpecifics:
 
 class TestRegistry:
     def test_known_names(self):
-        for name in ("dinic", "edmonds-karp", "ford-fulkerson", "push-relabel", "lp"):
+        for name in (
+            "dinic",
+            "dinic-flat-persistent",
+            "edmonds-karp",
+            "ford-fulkerson",
+            "push-relabel",
+            "lp",
+        ):
             assert callable(get_solver(name))
 
     def test_unknown_name_raises(self):

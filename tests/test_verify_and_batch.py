@@ -1,9 +1,13 @@
 """Tests for the self-check module and the batch query engine."""
 
+import multiprocessing
+
 import pytest
 
 from repro import BurstingFlowQuery, find_bursting_flow
+from repro.core import batch as batch_module
 from repro.core.batch import answer_many
+from repro.core.engine import DEFAULT_ALGORITHM
 from repro.exceptions import InvalidQueryError
 from repro.verify import SelfCheckError, self_check
 
@@ -72,3 +76,26 @@ class TestBatch:
     def test_cpu_count_sentinel(self, burst_network, queries):
         results = answer_many(burst_network, queries, processes=0)
         assert len(results) == len(queries)
+
+    @pytest.mark.parametrize("method", ["fork", "forkserver", "spawn"])
+    def test_start_methods_match_sequential(self, burst_network, queries, method):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable on this platform")
+        sequential = answer_many(burst_network, queries, processes=None)
+        parallel = answer_many(
+            burst_network, queries, processes=2, mp_context=method
+        )
+        assert [r.density for r in parallel] == pytest.approx(
+            [r.density for r in sequential]
+        )
+        assert [r.interval for r in parallel] == [r.interval for r in sequential]
+
+    def test_algorithm_does_not_leak_between_batches(self, burst_network, queries):
+        # Regression: a parallel batch used to leave its algorithm in the
+        # module globals, so a later fork-based batch could inherit it.
+        answer_many(burst_network, queries, processes=2, algorithm="bfq+")
+        assert batch_module._WORKER_ALGORITHM == DEFAULT_ALGORITHM
+        assert batch_module._WORKER_NETWORK is None
+        with pytest.raises(InvalidQueryError):
+            answer_many(burst_network, queries, processes=2, algorithm="nope")
+        assert batch_module._WORKER_ALGORITHM == DEFAULT_ALGORITHM
