@@ -1,0 +1,132 @@
+"""CI smoke test for the delta-BFlow query service.
+
+Boots a :class:`repro.service.BurstingFlowService` on a small Table-2
+replica, fires a concurrent burst of TCP clients at it (plus a streaming
+append in the middle), diffs every served answer against the sequential
+engine, and writes the server's metrics snapshot for upload as a build
+artifact.  Exit code 0 means every check held.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py \
+        [--snapshot service_metrics.json] [--scale 0.25] [--queries 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import threading
+from pathlib import Path
+
+from repro.core.engine import find_bursting_flow
+from repro.core.query import BurstingFlowQuery
+from repro.datasets.queries import generate_queries
+from repro.datasets.registry import make_dataset
+from repro.service import BurstingFlowService, ServiceClient
+
+QUERY_SEED = 648
+DELTA_FRACTION = 0.03
+
+
+def run_smoke(
+    *, dataset: str = "ctu13", scale: float = 0.25, query_count: int = 6
+) -> dict:
+    """One full smoke pass; returns the server's metrics snapshot."""
+    network = make_dataset(dataset, scale=scale)
+    workload = generate_queries(network, count=query_count, seed=QUERY_SEED)
+    delta = workload.delta_for(DELTA_FRACTION)
+    specs = [(s, t, delta) for s, t in workload.pairs]
+
+    async def scenario():
+        service = BurstingFlowService(network, default_timeout=600.0,
+                                      max_timeout=600.0)
+        host, port = await service.start("127.0.0.1", 0)
+        loop = asyncio.get_running_loop()
+        served: dict[int, tuple] = {}
+        served_lock = threading.Lock()
+
+        def one_client(index, spec):
+            source, sink, query_delta = spec
+            with ServiceClient(host, port, timeout=600.0) as client:
+                reply = client.query(source, sink, query_delta)
+                with served_lock:
+                    served[index] = (
+                        reply.density, reply.interval, reply.flow_value
+                    )
+
+        try:
+            # Concurrent burst: every query in flight at once.
+            await asyncio.gather(
+                *(
+                    loop.run_in_executor(None, one_client, index, spec)
+                    for index, spec in enumerate(specs)
+                )
+            )
+            # A streaming append must bump the epoch and invalidate.
+            epoch_before = service.network.epoch
+            nodes = list(network.nodes)[:2]
+            tau = network.t_max
+
+            def do_append():
+                with ServiceClient(host, port, timeout=600.0) as client:
+                    return client.append([(nodes[0], nodes[1], tau, 1.0)])
+
+            ack = await loop.run_in_executor(None, do_append)
+            assert ack.epoch > epoch_before, "append did not bump the epoch"
+            return served, service.snapshot()
+        finally:
+            await service.stop()
+
+    served, snapshot = asyncio.run(scenario())
+
+    failures = []
+    for index, (source, sink, query_delta) in enumerate(specs):
+        fresh = find_bursting_flow(
+            network, BurstingFlowQuery(source, sink, query_delta)
+        )
+        expected = (fresh.density, fresh.interval, fresh.flow_value)
+        if served[index] != expected:
+            failures.append(
+                {"query": [source, sink, query_delta],
+                 "served": list(served[index]), "expected": list(expected)}
+            )
+    if failures:
+        raise AssertionError(
+            f"concurrent service diverged from sequential: {failures[:3]}"
+        )
+    assert snapshot["requests"]["query"] == len(specs)
+    assert snapshot["errors"] == {}
+    assert snapshot["appended_edges"] >= 1
+    return snapshot
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--snapshot",
+        type=Path,
+        default=Path("service_metrics.json"),
+        help="where to write the metrics snapshot artifact",
+    )
+    parser.add_argument("--dataset", default="ctu13")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--queries", type=int, default=6)
+    args = parser.parse_args(argv)
+
+    snapshot = run_smoke(
+        dataset=args.dataset, scale=args.scale, query_count=args.queries
+    )
+    args.snapshot.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(
+        f"service smoke OK: {snapshot['requests']['query']} concurrent "
+        f"queries == sequential; epoch {snapshot['network']['epoch']}, "
+        f"snapshot -> {args.snapshot}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

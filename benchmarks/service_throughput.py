@@ -1,0 +1,276 @@
+"""Throughput/latency harness for the delta-BFlow query service.
+
+Boots a :class:`repro.service.BurstingFlowService`, fires an EXP-1-style
+workload (Table-2 replica dataset + ``generate_queries``, delta = 3 % of
+the horizon) from closed-loop TCP clients, and writes ``BENCH_PR3.json``
+(see docs/benchmarks.md for the schema).  Two phases over the identical
+query list:
+
+* **cold** — the cache is empty; every query is a full engine solve;
+* **warm** — the same workload again; every query is a cache hit.
+
+The harness asserts the PR's acceptance bar itself: the warm phase must
+be at least 10x faster than cold on median latency, and every served
+answer must be exactly equal (density, interval, flow value) to a
+sequential :func:`repro.core.engine.find_bursting_flow`.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_throughput.py \
+        --output BENCH_PR3.json [--dataset prosper] [--scale 1.0] \
+        [--queries 12] [--clients 4] [--warm-passes 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.engine import find_bursting_flow
+from repro.core.query import BurstingFlowQuery
+from repro.datasets.queries import generate_queries
+from repro.datasets.registry import make_dataset
+from repro.service import BurstingFlowService, ServiceClient
+from repro.service.metrics import LatencyHistogram
+
+#: Same workload seed and delta fraction as the EXP benchmarks.
+QUERY_SEED = 648
+DELTA_FRACTION = 0.03
+#: The acceptance bar: warm-cache median latency vs cold.
+REQUIRED_WARM_SPEEDUP = 10.0
+
+
+def _run_clients(host, port, specs, clients):
+    """Closed-loop client threads; returns (replies, histogram, wall_s)."""
+    import threading
+
+    histogram = LatencyHistogram()
+    histogram_lock = threading.Lock()
+    replies: dict[int, tuple] = {}
+    shards = [specs[i::clients] for i in range(clients)]
+
+    def one_client(shard):
+        with ServiceClient(host, port, timeout=600.0) as client:
+            for index, (source, sink, delta) in shard:
+                started = time.perf_counter()
+                reply = client.query(source, sink, delta)
+                elapsed = time.perf_counter() - started
+                with histogram_lock:
+                    histogram.observe(elapsed)
+                    replies[index] = (
+                        reply.density, reply.interval, reply.flow_value,
+                        reply.cached,
+                    )
+
+    threads = [
+        threading.Thread(target=one_client, args=(shard,))
+        for shard in shards if shard
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    return replies, histogram, wall
+
+
+def _phase_report(specs, histogram, wall_s):
+    snapshot = histogram.snapshot()
+    return {
+        "requests": len(specs),
+        "errors": 0,
+        "wall_s": round(wall_s, 6),
+        "qps": round(len(specs) / wall_s, 3) if wall_s else None,
+        "latency_ms": {
+            "p50": snapshot["p50_ms"],
+            "p95": snapshot["p95_ms"],
+            "p99": snapshot["p99_ms"],
+            "mean": snapshot["mean_ms"],
+        },
+    }
+
+
+def run_benchmark(
+    *,
+    dataset: str = "prosper",
+    scale: float = 1.0,
+    query_count: int = 12,
+    clients: int = 4,
+    warm_passes: int = 3,
+    processes: int | None = None,
+) -> dict:
+    """Run both phases against a live service; returns the report."""
+    network = make_dataset(dataset, scale=scale)
+    workload = generate_queries(network, count=query_count, seed=QUERY_SEED)
+    delta = workload.delta_for(DELTA_FRACTION)
+    unique_specs = list(
+        enumerate((s, t, delta) for s, t in workload.pairs)
+    )
+    warm_specs = [
+        (pass_index * len(unique_specs) + index, spec)
+        for pass_index in range(warm_passes)
+        for index, spec in unique_specs
+    ]
+
+    async def serve_and_measure():
+        service = BurstingFlowService(
+            network,
+            processes=processes,
+            max_pending=max(64, clients * 4),
+            default_timeout=600.0,
+            max_timeout=600.0,
+        )
+        host, port = await service.start("127.0.0.1", 0)
+        loop = asyncio.get_running_loop()
+        try:
+            cold = await loop.run_in_executor(
+                None, _run_clients, host, port, unique_specs, clients
+            )
+            warm = await loop.run_in_executor(
+                None, _run_clients, host, port, warm_specs, clients
+            )
+            return cold, warm, service.snapshot()
+        finally:
+            await service.stop()
+
+    (cold_replies, cold_hist, cold_wall), (
+        warm_replies, warm_hist, warm_wall
+    ), snapshot = asyncio.run(serve_and_measure())
+
+    # Every served answer must equal a fresh sequential solve exactly.
+    mismatches = []
+    for index, (source, sink, query_delta) in unique_specs:
+        fresh = find_bursting_flow(
+            network, BurstingFlowQuery(source, sink, query_delta)
+        )
+        expected = (fresh.density, fresh.interval, fresh.flow_value)
+        for phase, replies in (("cold", cold_replies), ("warm", warm_replies)):
+            served = replies[index][:3]
+            if served != expected:
+                mismatches.append(
+                    {"phase": phase, "query": [source, sink, query_delta],
+                     "served": list(served), "expected": list(expected)}
+                )
+    if mismatches:
+        raise AssertionError(
+            f"service diverged from the sequential engine: {mismatches[:3]}"
+        )
+    if any(cached for *_, cached in cold_replies.values()):
+        raise AssertionError("cold phase unexpectedly hit the cache")
+    if not all(cached for *_, cached in warm_replies.values()):
+        raise AssertionError("warm phase unexpectedly missed the cache")
+
+    cold_p50 = cold_hist.quantile(0.5)
+    warm_p50 = warm_hist.quantile(0.5)
+    p50_ratio = cold_p50 / max(warm_p50, 1e-9)
+    qps_ratio = (
+        (len(warm_specs) / warm_wall) / max(len(unique_specs) / cold_wall, 1e-9)
+    )
+    if p50_ratio < REQUIRED_WARM_SPEEDUP:
+        raise AssertionError(
+            f"warm cache p50 speedup {p50_ratio:.1f}x is below the "
+            f"required {REQUIRED_WARM_SPEEDUP:.0f}x"
+        )
+
+    return {
+        "benchmark": "service-throughput-cold-vs-warm",
+        "metric": (
+            "closed-loop client latency and QPS against a live "
+            "BurstingFlowService; cold = empty cache, warm = identical "
+            "workload repeated (cache hits)"
+        ),
+        "config": {
+            "dataset": dataset,
+            "scale": scale,
+            "queries": len(unique_specs),
+            "query_seed": QUERY_SEED,
+            "delta_fraction": DELTA_FRACTION,
+            "delta": delta,
+            "clients": clients,
+            "warm_passes": warm_passes,
+            "engine": "inline-threads" if processes in (None, 1)
+            else f"process-pool:{processes}",
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "timestamp_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+        },
+        "phases": {
+            "cold": _phase_report(unique_specs, cold_hist, cold_wall),
+            "warm": _phase_report(warm_specs, warm_hist, warm_wall),
+        },
+        "cache": snapshot["cache"],
+        "speedup": {
+            "p50_ratio": round(p50_ratio, 3),
+            "qps_ratio": round(qps_ratio, 3),
+            "required_p50_ratio": REQUIRED_WARM_SPEEDUP,
+        },
+        "equivalence": {
+            "checked": 2 * len(unique_specs),
+            "identical": True,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_PR3.json"),
+        help="where to write the JSON report (default: ./BENCH_PR3.json)",
+    )
+    parser.add_argument("--dataset", default="prosper")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--queries", type=int, default=12)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--warm-passes", type=int, default=3)
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="engine worker processes (default: inline threads)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        dataset=args.dataset,
+        scale=args.scale,
+        query_count=args.queries,
+        clients=args.clients,
+        warm_passes=args.warm_passes,
+        processes=args.processes,
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    for phase in ("cold", "warm"):
+        numbers = report["phases"][phase]
+        latency = numbers["latency_ms"]
+        print(
+            f"{phase:>5}: {numbers['requests']:4d} requests"
+            f"  qps {numbers['qps']:10.1f}"
+            f"  p50 {latency['p50']:9.3f}ms"
+            f"  p95 {latency['p95']:9.3f}ms"
+            f"  p99 {latency['p99']:9.3f}ms"
+        )
+    speedup = report["speedup"]
+    print(
+        f"warm vs cold: p50 {speedup['p50_ratio']:.1f}x"
+        f"  qps {speedup['qps_ratio']:.1f}x"
+        f"  (required {speedup['required_p50_ratio']:.0f}x)"
+        f"  -> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ The subcommands mirror the library's main entry points::
     repro-bfq profile    edges.csv --source alice --sink dave
     repro-bfq hunt       edges.csv --delta 10
     repro-bfq fuzz       --trials 200 --seed 0
+    repro-bfq serve      edges.csv --port 7461 --processes 4
     repro-bfq self-check
 
 Edge lists are CSV/TSV (``u,v,tau,capacity``, header optional) or JSON
@@ -67,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["bfq", "bfq+", "bfq*"],
         help="which solution to run (default: bfq*)",
     )
+    query.add_argument(
+        "--kernel",
+        default=None,
+        choices=["persistent", "object"],
+        help="maxflow kernel for bfq+/bfq* (default: persistent)",
+    )
 
     scan = subparsers.add_parser(
         "scan", help="sweep queries over source/sink sets (case-study mode)"
@@ -80,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="deltas as fractions of |T| (default: the paper's 3%%/6%%/9%%)",
     )
     scan.add_argument("--top", type=int, default=10, help="findings to print")
+    scan.add_argument(
+        "--kernel",
+        default=None,
+        choices=["persistent", "object"],
+        help="maxflow kernel for the bfq* sweep (default: persistent)",
+    )
 
     trail = subparsers.add_parser(
         "trail", help="decompose the bursting flow into transfer trails"
@@ -124,7 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--backends",
         default=None,
-        help="comma-separated backend subset of bfq,bfq+,bfq*,naive,networkx",
+        help=(
+            "comma-separated backend subset of "
+            "bfq,bfq+,bfq*,naive,networkx,service"
+        ),
     )
     fuzz.add_argument(
         "--no-certify",
@@ -154,6 +170,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="detailed failure reports to print (default: 5)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="boot the concurrent delta-BFlow query service (TCP/HTTP)",
+    )
+    add_input_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7461, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--algorithm",
+        default="bfq*",
+        choices=["bfq", "bfq+", "bfq*"],
+        help="default solution for requests that name none",
+    )
+    serve.add_argument(
+        "--kernel",
+        default=None,
+        choices=["persistent", "object"],
+        help="default maxflow kernel for bfq+/bfq*",
+    )
+    serve.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help=(
+            "engine worker processes (0 = cpu count; default: in-process "
+            "threads)"
+        ),
+    )
+    serve.add_argument(
+        "--mp-context",
+        default=None,
+        choices=["fork", "forkserver", "spawn"],
+        help="start method for the worker pool",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=4096, help="result-cache entries"
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="result-cache TTL in seconds (default: no expiry)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission bound on in-flight requests (overload beyond)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="default per-request deadline in seconds",
+    )
+    serve.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=None,
+        help="stop after this many seconds (smoke tests; default: forever)",
+    )
+
     subparsers.add_parser(
         "self-check", help="run installation health invariants"
     )
@@ -181,6 +261,7 @@ def _run_query(args: argparse.Namespace) -> int:
         network,
         BurstingFlowQuery(args.source, args.sink, args.delta),
         algorithm=args.algorithm,
+        kernel=args.kernel,
     )
     elapsed = time.perf_counter() - started
     if not result.found:
@@ -211,7 +292,7 @@ def _run_scan(args: argparse.Namespace) -> int:
             for fraction in args.delta_fractions.split(",")
         }
     )
-    detector = BurstDetector(network)
+    detector = BurstDetector(network, kernel=args.kernel)
     report = detector.scan(
         args.sources.split(","), args.sinks.split(","), deltas
     )
@@ -354,6 +435,53 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import BurstingFlowService
+
+    network, _codec = _load(args.edges, args.compact_timestamps)
+
+    async def _serve() -> int:
+        service = BurstingFlowService(
+            network,
+            algorithm=args.algorithm,
+            kernel=args.kernel,
+            processes=args.processes,
+            mp_context=args.mp_context,
+            cache_capacity=args.cache_capacity,
+            cache_ttl=args.cache_ttl,
+            max_pending=args.max_pending,
+            default_timeout=args.timeout,
+        )
+        host, port = await service.start(args.host, args.port)
+        workers = (
+            "inline threads"
+            if args.processes in (None, 1)
+            else f"{args.processes or 'auto'} processes"
+        )
+        print(
+            f"serving delta-BFlow queries on {host}:{port} "
+            f"(algorithm {args.algorithm}, {workers}, epoch {network.epoch})"
+        )
+        print("endpoints: NDJSON-TCP, GET /metrics, GET /healthz, POST /query")
+        try:
+            if args.serve_seconds is not None:
+                await asyncio.sleep(args.serve_seconds)
+            else:
+                await service.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await service.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
+
+
 def _run_self_check(args: argparse.Namespace) -> int:
     from repro.verify import self_check
 
@@ -370,6 +498,7 @@ _HANDLERS = {
     "profile": _run_profile,
     "hunt": _run_hunt,
     "fuzz": _run_fuzz,
+    "serve": _run_serve,
     "self-check": _run_self_check,
 }
 

@@ -5,7 +5,10 @@ network (the S x T sweep).  :func:`answer_many` evaluates a batch with:
 
 * optional multiprocessing fan-out (queries are embarrassingly parallel);
 * deterministic result ordering (input order), whatever the scheduling;
-* shared validation and a single algorithm resolution.
+* shared validation and a single algorithm resolution;
+* worker-death recovery: a :class:`BrokenProcessPool` (OOM-killed or
+  crashed worker) rebuilds the pool once and resubmits only the queries
+  that had not finished, instead of losing the whole batch.
 
 Worker processes receive the network and the algorithm name through the
 pool's ``initializer``/``initargs`` rather than fork-inherited module
@@ -18,7 +21,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Sequence
 
 from repro.core.engine import DEFAULT_ALGORITHM, find_bursting_flow, get_algorithm
@@ -82,20 +86,43 @@ def answer_many(
         ]
 
     context = multiprocessing.get_context(mp_context)
+    results: list[BurstingFlowResult | None] = [None] * len(batch)
+    pending = list(range(len(batch)))
+    rebuilt = False
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(processes, len(batch)),
-            mp_context=context,
-            initializer=_init_worker,
-            initargs=(network, algorithm),
-        ) as pool:
-            return list(pool.map(_answer_one, batch))
+        while pending:
+            futures: dict[int, Future] = {}
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(processes, len(pending)),
+                    mp_context=context,
+                    initializer=_init_worker,
+                    initargs=(network, algorithm),
+                ) as pool:
+                    for index in pending:
+                        futures[index] = pool.submit(_answer_one, batch[index])
+                    for index, future in futures.items():
+                        results[index] = future.result()
+                pending = []
+            except BrokenProcessPool:
+                # A worker died (OOM-killed, segfaulted C extension, ...).
+                # Harvest everything that finished before the crash and
+                # rebuild the pool once for the remainder; a second crash
+                # is systemic and propagates to the caller.
+                if rebuilt:
+                    raise
+                rebuilt = True
+                for index, future in futures.items():
+                    if future.done() and future.exception() is None:
+                        results[index] = future.result()
+                pending = [i for i in pending if results[i] is None]
     finally:
         # With fork, workers inherit whatever the parent's module state
         # happens to be at submit time; keeping the parent's copy pristine
         # guarantees a concurrent or subsequent batch can't leak its
         # algorithm (or network) into this one.
         _reset_worker_state()
+    return results  # type: ignore[return-value]  # every slot is filled
 
 
 def _answer_one(query: BurstingFlowQuery) -> BurstingFlowResult:

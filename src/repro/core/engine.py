@@ -58,6 +58,10 @@ ALGORITHMS: dict[str, Callable[..., BurstingFlowResult]] = {
 #: The default (fastest exact) solution.
 DEFAULT_ALGORITHM = "bfq*"
 
+#: Algorithms whose incremental state accepts a ``kernel=`` choice
+#: (``"persistent"`` flat-array Dinic vs the ``"object"`` graph kernel).
+KERNEL_ALGORITHMS = frozenset({"bfq+", "bfq*"})
+
 
 def get_algorithm(name: str) -> Callable[..., BurstingFlowResult]:
     """Resolve a delta-BFlow algorithm by name (case-insensitive).
@@ -82,6 +86,7 @@ def find_bursting_flow(
     sink: NodeId | None = None,
     delta: int | None = None,
     algorithm: str = DEFAULT_ALGORITHM,
+    kernel: str | None = None,
     **kwargs,
 ) -> BurstingFlowResult:
     """Find the delta-BFlow for a query.
@@ -96,6 +101,9 @@ def find_bursting_flow(
         algorithm: ``"bfq"``, ``"bfq+"``, ``"bfq*"`` (default), or a
             reference baseline — ``"naive"`` (brute-force window
             enumeration) or ``"networkx"`` (BFQ with NetworkX Maxflow).
+        kernel: maxflow kernel for the incremental solutions —
+            ``"persistent"`` (flat-array, default) or ``"object"``; only
+            valid with ``algorithm`` in ``"bfq+"``/``"bfq*"``.
         **kwargs: forwarded to the algorithm (e.g. ``use_pruning=False``
             for the incremental solutions, ``solver="push-relabel"`` for
             BFQ).
@@ -114,4 +122,12 @@ def find_bursting_flow(
         raise InvalidQueryError(
             "pass either a query object or keywords, not both"
         )
+    if kernel is not None:
+        if algorithm.lower() not in KERNEL_ALGORITHMS:
+            raise InvalidQueryError(
+                f"kernel={kernel!r} only applies to "
+                f"{', '.join(sorted(KERNEL_ALGORITHMS))}; "
+                f"algorithm {algorithm!r} has no incremental state"
+            )
+        kwargs["kernel"] = kernel
     return get_algorithm(algorithm)(network, query, **kwargs)

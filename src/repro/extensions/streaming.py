@@ -152,10 +152,23 @@ class StreamingBurstMonitor:
         return len(self._windows)
 
     @property
+    def epoch(self) -> int:
+        """Mutation epoch of the underlying network.
+
+        Every observed edge bumps it, so it is a fingerprint of the
+        stream prefix seen so far — the same counter
+        :class:`repro.service.BurstingFlowService` keys its result
+        cache on, which lets a monitor's answers be correlated with
+        (and safely cached alongside) served query results.
+        """
+        return self.network.epoch
+
+    @property
     def stats(self) -> dict[str, int]:
         """Instrumentation counters (windows, maxflow runs, prunes)."""
         return {
             "live_windows": len(self._windows),
+            "epoch": self.network.epoch,
             "maxflow_runs": self._maxflow_runs,
             "pruned_evaluations": self._pruned,
         }

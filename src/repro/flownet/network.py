@@ -107,6 +107,15 @@ class FlowNetwork:
         self._retired: list[bool] = []
         self._num_edges = 0
         self._arena = None
+        # Monotone mutation counter, bumped by the same hooks that journal
+        # into an attached arena (structure and capacity changes alike).
+        # Lets observers fingerprint a network state without diffing arcs.
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotone mutation counter; bumps on any structural/capacity change."""
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Residual arena (persistent CSR mirror)
@@ -148,6 +157,7 @@ class FlowNetwork:
         self._labels.append(label)
         self._retired.append(False)
         self._index_of[label] = index
+        self._epoch += 1
         # No arena hook: an attached arena discovers new nodes by length
         # during its next sync().
         return index
@@ -185,6 +195,7 @@ class FlowNetwork:
     def retire_node(self, index: int) -> None:
         """Mark a node as deleted; traversals will skip it."""
         self._retired[index] = True
+        self._epoch += 1
         if self._arena is not None:
             self._arena.on_retire_node(index)
 
@@ -232,6 +243,7 @@ class FlowNetwork:
         self._adj[tail].append(forward)
         self._adj[head].append(reverse)
         self._num_edges += 1
+        self._epoch += 1
         arena = self._arena
         if arena is not None:
             # Journal only; the arena mirrors the batch at kernel entry.
@@ -308,6 +320,7 @@ class FlowNetwork:
         if not math.isinf(forward.cap):
             forward.cap -= amount
         reverse.cap += amount
+        self._epoch += 1
         arena = self._arena
         if arena is not None:
             arena.on_edge_caps_changed(ref.tail, ref.index)
@@ -335,6 +348,7 @@ class FlowNetwork:
                 f"new capacity {capacity} is below routed flow {routed}"
             )
         forward.cap = capacity - routed if not math.isinf(capacity) else math.inf
+        self._epoch += 1
         arena = self._arena
         if arena is not None:
             arena.on_edge_caps_changed(ref.tail, ref.index)
@@ -351,6 +365,7 @@ class FlowNetwork:
         """
         self.forward_arc(ref).cap = 0.0
         self.reverse_arc(ref).cap = 0.0
+        self._epoch += 1
         if self._arena is not None:
             self._arena.on_edge_caps_changed(ref.tail, ref.index)
 
@@ -393,6 +408,7 @@ class FlowNetwork:
                     if not math.isinf(arc.cap):
                         arc.cap += reverse.cap
                     reverse.cap = 0.0
+        self._epoch += 1
         if self._arena is not None:
             self._arena.resync()
 
@@ -403,6 +419,7 @@ class FlowNetwork:
         """Deep copy of the full residual state (labels, arcs, retirements)."""
         other = FlowNetwork.__new__(FlowNetwork)
         other._arena = None  # arenas hold arc references; never shared
+        other._epoch = self._epoch
         other._labels = list(self._labels)
         other._index_of = dict(self._index_of)
         other._retired = list(self._retired)
@@ -428,6 +445,7 @@ class FlowNetwork:
         """
         other = FlowNetwork.__new__(FlowNetwork)
         other._arena = None
+        other._epoch = self._epoch
         node_map: dict[int, int] = {}
         other._labels = []
         other._index_of = {}

@@ -6,8 +6,9 @@ The correctness substrate every performance PR regresses against:
   (parallel temporal multi-edges, hold-chain-heavy timelines, dense sink
   fan-in, fractional capacities, disconnected phases);
 * :mod:`repro.oracle.runner` — the differential runner: BFQ / BFQ+ / BFQ*
-  / naive / NetworkX on the same query, diffing density, flow value and
-  interval (after tie-break normalization), with pruning on and off;
+  / naive / NetworkX / the full :mod:`repro.service` serve path on the
+  same query, diffing density, flow value and interval (after tie-break
+  normalization), with pruning on and off;
 * :mod:`repro.oracle.certificate` — flow-certificate checking: re-derive
   the Maxflow, re-validate the temporal flow axioms, confirm maximality
   with a min-cut witness;

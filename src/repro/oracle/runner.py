@@ -1,8 +1,11 @@
-"""The differential runner: five backends, one query, zero tolerance.
+"""The differential runner: six backends, one query, zero tolerance.
 
 For each :class:`~repro.oracle.cases.FuzzCase` the runner executes every
-registered backend (BFQ, BFQ+, BFQ*, the naive ``O(|T|^2)`` oracle and the
-NetworkX-backed baseline) on the same query and diffs the answers:
+registered backend (BFQ, BFQ+, BFQ*, the naive ``O(|T|^2)`` oracle, the
+NetworkX-backed baseline, and the ``service`` backend that round-trips
+the query through the full serialize → cache → worker → deserialize
+serving path of :mod:`repro.service`) on the same query and diffs the
+answers:
 
 * **density** — all backends must agree within a relative epsilon;
 * **flow value** — must match the density on the reported interval;
@@ -38,6 +41,7 @@ from repro.core.query import BurstingFlowResult
 from repro.oracle.cases import CaseLibrary, FuzzCase
 from repro.oracle.certificate import check_certificate
 from repro.oracle.generators import CaseGenerator, resolve_generators
+from repro.service.backend import service_bfq
 from repro.temporal.edge import Timestamp
 
 #: Relative tolerance for cross-backend density/value agreement.  Wider
@@ -52,11 +56,16 @@ BACKENDS: Mapping[str, Callable[..., BurstingFlowResult]] = {
     "bfq*": bfq_star,
     "naive": naive_bfq,
     "networkx": networkx_bfq,
+    # The full serve path (protocol encode -> admission -> cache -> engine
+    # worker -> protocol decode), run twice so the replay also proves the
+    # result cache returns byte-identical answers.
+    "service": service_bfq,
 }
 
 #: Backends that enumerate exactly the Lemma-2 candidate plan and must
-#: therefore agree on the interval byte-for-byte.
-PLAN_BACKENDS: tuple[str, ...] = ("bfq", "bfq+", "bfq*", "networkx")
+#: therefore agree on the interval byte-for-byte.  The service backend
+#: wraps BFQ*, so its interval is canonical too.
+PLAN_BACKENDS: tuple[str, ...] = ("bfq", "bfq+", "bfq*", "networkx", "service")
 
 #: Backends supporting ``use_pruning`` (checked on *and* off).
 PRUNABLE_BACKENDS: tuple[str, ...] = ("bfq+", "bfq*")

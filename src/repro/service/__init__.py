@@ -1,0 +1,79 @@
+"""repro.service — a concurrent delta-BFlow query service.
+
+The serving layer over :func:`repro.core.engine.find_bursting_flow`:
+an asyncio server (stdlib only) that answers versioned JSON requests
+over NDJSON-TCP and HTTP, with
+
+* an **epoch-keyed LRU+TTL result cache** invalidated exactly by the
+  network's mutation hooks (streaming appends bump the epoch);
+* **admission control** — bounded in-flight work, deadline propagation,
+  typed ``overloaded`` load shedding, worker-crash recovery;
+* **metrics** — counters and latency histograms behind ``/metrics``.
+
+Quickstart::
+
+    from repro.service import BurstingFlowService, ServiceClient
+
+    service = BurstingFlowService(network, processes=4)
+    host, port = await service.start("127.0.0.1", 0)
+
+    with ServiceClient(host, port) as client:
+        reply = client.query("alice", "mallory", delta=5)
+
+or from a shell: ``repro-bfq serve edges.csv --port 7461``.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.backend import ServiceBackendError, service_bfq
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    AppendReply,
+    AppendRequest,
+    DeadlineExceededError,
+    ErrorReply,
+    MetricsReply,
+    MetricsRequest,
+    OverloadedError,
+    PingRequest,
+    PongReply,
+    ProtocolError,
+    QueryReply,
+    QueryRequest,
+    RemoteServiceError,
+    parse_reply,
+    parse_request,
+)
+from repro.service.server import BurstingFlowService
+from repro.service.workers import InlineEngine, ProcessEnginePool
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AdmissionController",
+    "AppendReply",
+    "AppendRequest",
+    "BurstingFlowService",
+    "DeadlineExceededError",
+    "ErrorReply",
+    "InlineEngine",
+    "LatencyHistogram",
+    "MetricsReply",
+    "MetricsRequest",
+    "OverloadedError",
+    "PingRequest",
+    "PongReply",
+    "ProcessEnginePool",
+    "ProtocolError",
+    "QueryReply",
+    "QueryRequest",
+    "RemoteServiceError",
+    "ResultCache",
+    "ServiceBackendError",
+    "ServiceClient",
+    "ServiceMetrics",
+    "parse_reply",
+    "parse_request",
+    "service_bfq",
+]

@@ -1,0 +1,104 @@
+"""Admission control: bounded in-flight work, deadlines, load shedding.
+
+The service never queues unboundedly.  :class:`AdmissionController`
+tracks the number of admitted (in-flight) requests; when the bound is
+reached, further requests are *shed immediately* with a typed
+``overloaded`` reply instead of waiting — the client owns the retry
+policy (the ``retry_after_ms`` hint scales with the depth of the queue,
+a crude but monotone congestion signal).
+
+Deadlines propagate: each admitted request gets an absolute deadline
+``now + min(requested timeout, max_timeout)`` and every later stage
+(cache lookup, worker wait) charges against it via :meth:`remaining`, so
+a request that spent its budget queued behind a slow solve fails with a
+typed ``timeout`` rather than occupying a worker for an answer nobody is
+waiting for.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.service.protocol import DeadlineExceededError, OverloadedError
+
+
+class AdmissionController:
+    """Bounded admission with deadline bookkeeping.
+
+    Args:
+        max_pending: maximum admitted (in-flight) requests; further
+            requests are shed with :class:`OverloadedError`.
+        default_timeout: per-request budget (seconds) when the request
+            does not carry its own ``timeout``.
+        max_timeout: hard ceiling on any requested budget.
+        clock: injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = 64,
+        default_timeout: float = 30.0,
+        max_timeout: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if default_timeout <= 0 or max_timeout <= 0:
+            raise ValueError("timeouts must be positive seconds")
+        self.max_pending = max_pending
+        self.default_timeout = min(default_timeout, max_timeout)
+        self.max_timeout = max_timeout
+        self._clock = clock
+        self._inflight = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    @property
+    def inflight(self) -> int:
+        """Currently admitted requests (= the queue-depth gauge)."""
+        return self._inflight
+
+    def admit(self) -> None:
+        """Take one admission slot.
+
+        Raises:
+            OverloadedError: the bound is reached; carries a
+                ``retry_after_ms`` hint proportional to the queue depth.
+        """
+        if self._inflight >= self.max_pending:
+            self.shed_total += 1
+            raise OverloadedError(
+                f"admission queue full ({self._inflight}/{self.max_pending} "
+                f"in flight)",
+                retry_after_ms=25 * (1 + self._inflight),
+            )
+        self._inflight += 1
+        self.admitted_total += 1
+
+    def release(self) -> None:
+        """Return one admission slot."""
+        if self._inflight <= 0:
+            raise RuntimeError("release() without a matching admit()")
+        self._inflight -= 1
+
+    def deadline_for(self, requested_timeout: float | None) -> float:
+        """The absolute (monotonic-clock) deadline for a new request."""
+        budget = (
+            self.default_timeout
+            if requested_timeout is None
+            else min(requested_timeout, self.max_timeout)
+        )
+        return self._clock() + budget
+
+    def remaining(self, deadline: float) -> float:
+        """Seconds left until ``deadline``.
+
+        Raises:
+            DeadlineExceededError: the deadline already passed.
+        """
+        left = deadline - self._clock()
+        if left <= 0:
+            raise DeadlineExceededError("request deadline exceeded")
+        return left

@@ -1,0 +1,123 @@
+"""Blocking NDJSON-over-TCP client for the delta-BFlow query service.
+
+:class:`ServiceClient` is the reference client: one socket, one request
+in flight at a time, typed exceptions for typed errors.  It is what the
+throughput benchmark's closed-loop workers, the CI smoke job and the CLI
+examples use; anything that can speak newline-delimited JSON (netcat
+included) interoperates.
+
+    with ServiceClient(host, port) as client:
+        reply = client.query("alice", "mallory", delta=5)
+        print(reply.density, reply.interval, reply.cached)
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Iterable
+
+from repro.service.protocol import (
+    AppendReply,
+    AppendRequest,
+    MetricsRequest,
+    PingRequest,
+    ProtocolError,
+    QueryReply,
+    QueryRequest,
+    Reply,
+    Request,
+    encode,
+    parse_reply,
+    raise_for_error,
+    request_payload,
+)
+from repro.temporal.edge import NodeId, Timestamp
+
+
+class ServiceClient:
+    """A blocking client for one service connection.
+
+    Args:
+        host / port: the service address.
+        timeout: socket timeout (seconds) for connect and replies.
+
+    Raises (from the request methods):
+        OverloadedError: the server shed the request.
+        DeadlineExceededError: the server timed the request out.
+        ProtocolError: the request was rejected as invalid.
+        RemoteServiceError: the server reported an internal failure.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def request(self, request: Request) -> Reply:
+        """Send one request and block for its reply (errors raised typed)."""
+        self._file.write(encode(request_payload(request)))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("connection closed by server")
+        return raise_for_error(parse_reply(line))
+
+    def query(
+        self,
+        source: NodeId,
+        sink: NodeId,
+        delta: int,
+        *,
+        algorithm: str | None = None,
+        kernel: str | None = None,
+        timeout: float | None = None,
+    ) -> QueryReply:
+        """Answer one delta-BFlow query."""
+        reply = self.request(
+            QueryRequest(
+                id=f"q{next(self._ids)}",
+                source=source,
+                sink=sink,
+                delta=delta,
+                algorithm=algorithm,
+                kernel=kernel,
+                timeout=timeout,
+            )
+        )
+        assert isinstance(reply, QueryReply)
+        return reply
+
+    def append(
+        self, edges: Iterable[tuple[NodeId, NodeId, Timestamp, float]]
+    ) -> AppendReply:
+        """Stream new edges into the served network."""
+        reply = self.request(
+            AppendRequest(id=f"a{next(self._ids)}", edges=tuple(edges))
+        )
+        assert isinstance(reply, AppendReply)
+        return reply
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's metrics snapshot."""
+        reply = self.request(MetricsRequest(id=f"m{next(self._ids)}"))
+        return dict(reply.snapshot)  # type: ignore[union-attr]
+
+    def ping(self) -> int:
+        """Liveness probe; returns the current network epoch."""
+        reply = self.request(PingRequest(id=f"p{next(self._ids)}"))
+        return reply.epoch  # type: ignore[union-attr]
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

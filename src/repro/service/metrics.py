@@ -1,0 +1,246 @@
+"""Service observability: counters, gauges and latency histograms.
+
+:class:`ServiceMetrics` is the one instrument panel the server updates on
+every request.  It is deliberately dependency-free and cheap — a lock,
+a few ints and bounded deques — so it can sit on the hot path.  The
+JSON-able :meth:`ServiceMetrics.snapshot` feeds three consumers:
+
+* the ``GET /metrics`` endpoint and the ``op: "metrics"`` NDJSON request;
+* the benchmark harness (``benchmarks/service_throughput.py``), which
+  derives its cache-hit-rate and latency columns from it;
+* the CI service-smoke job, which uploads it as a build artifact.
+
+Latency quantiles are computed over a sliding window of the most recent
+:data:`WINDOW` observations per histogram (exact order statistics, not
+bucketed sketches — at service request rates the sort is negligible and
+the numbers are honest).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Iterable
+
+#: Sliding-window size per latency histogram.
+WINDOW = 4096
+
+
+class Counter:
+    """A monotone counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, in-flight requests)."""
+
+    __slots__ = ("value", "high_water")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.high_water = 0
+
+    def set(self, value: int) -> None:
+        """Record the current value, tracking the high-water mark."""
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+
+class LatencyHistogram:
+    """Exact sliding-window latency quantiles plus lifetime totals."""
+
+    __slots__ = ("count", "total_seconds", "_window")
+
+    def __init__(self, window: int = WINDOW) -> None:
+        self.count = 0
+        self.total_seconds = 0.0
+        self._window: deque[float] = deque(maxlen=window)
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        self.count += 1
+        self.total_seconds += seconds
+        self._window.append(seconds)
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile (0..1) over the sliding window, or None."""
+        if not self._window:
+            return None
+        ordered = sorted(self._window)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def snapshot(self) -> dict[str, Any]:
+        """count / mean / p50 / p95 / p99, milliseconds."""
+        ordered = sorted(self._window)
+
+        def pick(q: float) -> float | None:
+            if not ordered:
+                return None
+            index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+            return round(ordered[index] * 1000.0, 6)
+
+        mean = self.total_seconds / self.count if self.count else None
+        return {
+            "count": self.count,
+            "mean_ms": round(mean * 1000.0, 6) if mean is not None else None,
+            "p50_ms": pick(0.50),
+            "p95_ms": pick(0.95),
+            "p99_ms": pick(0.99),
+        }
+
+
+class ServiceMetrics:
+    """Every counter the delta-BFlow service maintains.
+
+    Thread-safe: the event loop, worker completion callbacks and the
+    (synchronous) oracle backend all update it under one lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests: dict[str, Counter] = {}
+        self.errors: dict[str, Counter] = {}
+        self.cache_hits = Counter()
+        self.cache_misses = Counter()
+        self.cache_invalidated = Counter()
+        self.shed = Counter()
+        self.timeouts = Counter()
+        self.worker_restarts = Counter()
+        self.appended_edges = Counter()
+        self.queue_depth = Gauge()
+        #: Per-algorithm solve latency (cache misses; full engine runs).
+        self.solve_latency: dict[str, LatencyHistogram] = {}
+        #: End-to-end latency of cache hits (lookup + serialization).
+        self.hit_latency = LatencyHistogram()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def count_request(self, op: str) -> None:
+        """One request of the given op arrived."""
+        with self._lock:
+            self.requests.setdefault(op, Counter()).inc()
+
+    def count_error(self, kind: str) -> None:
+        """One typed error reply of the given kind was sent."""
+        with self._lock:
+            self.errors.setdefault(kind, Counter()).inc()
+            if kind == "overloaded":
+                self.shed.inc()
+            elif kind == "timeout":
+                self.timeouts.inc()
+
+    def observe_solve(self, algorithm: str, seconds: float) -> None:
+        """One full engine solve completed (cache miss path)."""
+        with self._lock:
+            self.solve_latency.setdefault(algorithm, LatencyHistogram()).observe(
+                seconds
+            )
+
+    def observe_hit(self, seconds: float) -> None:
+        """One request was served from the result cache."""
+        with self._lock:
+            self.hit_latency.observe(seconds)
+            self.cache_hits.inc()
+
+    def observe_miss(self) -> None:
+        """One query had to go to the engine workers."""
+        with self._lock:
+            self.cache_misses.inc()
+
+    def observe_invalidated(self, entries: int) -> None:
+        """An append invalidated ``entries`` cached answers."""
+        with self._lock:
+            self.cache_invalidated.inc(entries)
+
+    def observe_append(self, edges: int) -> None:
+        """One append of ``edges`` edges was applied."""
+        with self._lock:
+            self.appended_edges.inc(edges)
+
+    def observe_restart(self) -> None:
+        """A broken worker pool was rebuilt."""
+        with self._lock:
+            self.worker_restarts.inc()
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Record the number of admitted in-flight requests."""
+        with self._lock:
+            self.queue_depth.set(depth)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """hits / (hits + misses), or None before the first query."""
+        total = self.cache_hits.value + self.cache_misses.value
+        if total == 0:
+            return None
+        return self.cache_hits.value / total
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able point-in-time view of every metric.
+
+        Schema (documented in ``docs/service.md``)::
+
+            {"requests": {op: count}, "errors": {kind: count},
+             "cache": {"hits": .., "misses": .., "hit_rate": ..,
+                       "invalidated": ..},
+             "queue": {"depth": .., "high_water": .., "shed": ..},
+             "timeouts": .., "worker_restarts": .., "appended_edges": ..,
+             "latency": {"cache_hit": {histogram},
+                         "solve": {algorithm: {histogram}}}}
+
+        where ``{histogram}`` is ``{"count", "mean_ms", "p50_ms",
+        "p95_ms", "p99_ms"}``.
+        """
+        with self._lock:
+            return {
+                "requests": {op: c.value for op, c in sorted(self.requests.items())},
+                "errors": {kind: c.value for kind, c in sorted(self.errors.items())},
+                "cache": {
+                    "hits": self.cache_hits.value,
+                    "misses": self.cache_misses.value,
+                    "hit_rate": self.cache_hit_rate,
+                    "invalidated": self.cache_invalidated.value,
+                },
+                "queue": {
+                    "depth": self.queue_depth.value,
+                    "high_water": self.queue_depth.high_water,
+                    "shed": self.shed.value,
+                },
+                "timeouts": self.timeouts.value,
+                "worker_restarts": self.worker_restarts.value,
+                "appended_edges": self.appended_edges.value,
+                "latency": {
+                    "cache_hit": self.hit_latency.snapshot(),
+                    "solve": {
+                        algorithm: histogram.snapshot()
+                        for algorithm, histogram in sorted(
+                            self.solve_latency.items()
+                        )
+                    },
+                },
+            }
+
+
+def merge_latencies(histograms: Iterable[LatencyHistogram]) -> LatencyHistogram:
+    """Pool several histograms into one (used by the benchmark harness)."""
+    merged = LatencyHistogram()
+    for histogram in histograms:
+        merged.count += histogram.count
+        merged.total_seconds += histogram.total_seconds
+        for value in histogram._window:  # noqa: SLF001 - same module family
+            merged._window.append(value)
+    return merged

@@ -1,0 +1,439 @@
+"""Versioned JSON wire protocol of the delta-BFlow query service.
+
+One request or reply per message.  Over raw TCP, messages are
+newline-delimited JSON objects (NDJSON); over HTTP, the same objects
+travel as request/response bodies (see :mod:`repro.service.server` for
+the endpoint map).  Every message carries the protocol version ``v`` and
+an opaque correlation ``id`` that the server echoes back, so clients may
+pipeline requests on one connection.
+
+Requests (``op`` selects the type)::
+
+    {"v": 1, "id": "q1", "op": "query", "source": "s", "sink": "t",
+     "delta": 3, "algorithm": "bfq*", "kernel": "persistent",
+     "timeout": 5.0}
+    {"v": 1, "id": "a1", "op": "append",
+     "edges": [["s", "t", 7, 2.5], ...]}
+    {"v": 1, "id": "m1", "op": "metrics"}
+    {"v": 1, "id": "p1", "op": "ping"}
+
+Replies are either ``{"ok": true, ...}`` payloads or typed errors
+``{"ok": false, "error": {"kind": ..., "message": ...}}``.  The error
+kinds are a closed set (:data:`ERROR_KINDS`); ``"overloaded"`` is the
+load-shedding response required by admission control and carries a
+``retry_after_ms`` hint.
+
+Densities and flow values round-trip exactly: Python's ``json`` emits
+``repr``-exact doubles, so a served answer compares equal (``==``) to the
+in-process :func:`repro.core.engine.find_bursting_flow` answer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.exceptions import ReproError
+from repro.temporal.edge import NodeId, Timestamp
+
+#: The one protocol version this build speaks.
+PROTOCOL_VERSION = 1
+
+#: Closed set of typed error kinds.
+ERROR_OVERLOADED = "overloaded"
+ERROR_TIMEOUT = "timeout"
+ERROR_INVALID = "invalid"
+ERROR_UNSUPPORTED_VERSION = "unsupported_version"
+ERROR_INTERNAL = "internal"
+ERROR_KINDS = frozenset(
+    {
+        ERROR_OVERLOADED,
+        ERROR_TIMEOUT,
+        ERROR_INVALID,
+        ERROR_UNSUPPORTED_VERSION,
+        ERROR_INTERNAL,
+    }
+)
+
+
+class ProtocolError(ReproError):
+    """A malformed or unsupported message.
+
+    Attributes:
+        kind: the typed error kind to report back
+            (``"invalid"`` or ``"unsupported_version"``).
+    """
+
+    def __init__(self, message: str, *, kind: str = ERROR_INVALID) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class OverloadedError(ReproError):
+    """The server shed this request (admission queue full)."""
+
+    def __init__(self, message: str, *, retry_after_ms: int = 100) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class DeadlineExceededError(ReproError):
+    """The request's deadline expired before an answer was produced."""
+
+
+class RemoteServiceError(ReproError):
+    """Client-side surfacing of a server-reported ``internal`` error."""
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class QueryRequest:
+    """One delta-BFlow query: ``op: "query"``."""
+
+    id: str
+    source: NodeId
+    sink: NodeId
+    delta: int
+    algorithm: str | None = None
+    kernel: str | None = None
+    timeout: float | None = None
+
+    op = "query"
+
+
+@dataclass(frozen=True, slots=True)
+class AppendRequest:
+    """A streaming edge append: ``op: "append"``."""
+
+    id: str
+    edges: tuple[tuple[NodeId, NodeId, Timestamp, float], ...]
+
+    op = "append"
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsRequest:
+    """A metrics-snapshot request: ``op: "metrics"``."""
+
+    id: str
+
+    op = "metrics"
+
+
+@dataclass(frozen=True, slots=True)
+class PingRequest:
+    """A liveness/epoch probe: ``op: "ping"``."""
+
+    id: str
+
+    op = "ping"
+
+
+Request = QueryRequest | AppendRequest | MetricsRequest | PingRequest
+
+
+# ----------------------------------------------------------------------
+# Replies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class QueryReply:
+    """A served delta-BFlow answer."""
+
+    id: str
+    density: float
+    interval: tuple[Timestamp, Timestamp] | None
+    flow_value: float
+    cached: bool
+    epoch: int
+    elapsed_ms: float
+
+    ok = True
+
+    @property
+    def found(self) -> bool:
+        """Whether a positive-density bursting flow exists."""
+        return self.interval is not None and self.density > 0
+
+
+@dataclass(frozen=True, slots=True)
+class AppendReply:
+    """Acknowledgement of a streaming append."""
+
+    id: str
+    appended: int
+    epoch: int
+    invalidated: int
+
+    ok = True
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsReply:
+    """A point-in-time metrics snapshot."""
+
+    id: str
+    snapshot: Mapping[str, Any]
+
+    ok = True
+
+
+@dataclass(frozen=True, slots=True)
+class PongReply:
+    """Liveness acknowledgement with the current network epoch."""
+
+    id: str
+    epoch: int
+
+    ok = True
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorReply:
+    """A typed failure (:data:`ERROR_KINDS`)."""
+
+    id: str
+    kind: str
+    message: str
+    retry_after_ms: int | None = None
+
+    ok = False
+
+
+Reply = QueryReply | AppendReply | MetricsReply | PongReply | ErrorReply
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def _require(payload: Mapping[str, Any], key: str) -> Any:
+    try:
+        return payload[key]
+    except KeyError:
+        raise ProtocolError(f"missing required field {key!r}") from None
+
+
+def _check_node(value: Any, key: str) -> NodeId:
+    if not isinstance(value, (str, int)) or isinstance(value, bool):
+        raise ProtocolError(
+            f"{key} must be a string or integer node id, got {value!r}"
+        )
+    return value
+
+
+def parse_request(raw: bytes | str | Mapping[str, Any]) -> Request:
+    """Decode one request message (bytes/str line or a parsed mapping).
+
+    Raises:
+        ProtocolError: malformed JSON, wrong version, unknown op, bad
+            field types — with ``kind`` set for the typed error reply.
+    """
+    if isinstance(raw, (bytes, bytearray, str)):
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"malformed JSON: {exc}") from None
+    else:
+        payload = raw
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"request must be a JSON object, got {payload!r}")
+
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks v{PROTOCOL_VERSION})",
+            kind=ERROR_UNSUPPORTED_VERSION,
+        )
+    request_id = payload.get("id", "")
+    if not isinstance(request_id, str):
+        raise ProtocolError(f"id must be a string, got {request_id!r}")
+    op = _require(payload, "op")
+
+    if op == "query":
+        delta = _require(payload, "delta")
+        if not isinstance(delta, int) or isinstance(delta, bool) or delta < 1:
+            raise ProtocolError(f"delta must be a positive int, got {delta!r}")
+        algorithm = payload.get("algorithm")
+        if algorithm is not None and not isinstance(algorithm, str):
+            raise ProtocolError(f"algorithm must be a string, got {algorithm!r}")
+        kernel = payload.get("kernel")
+        if kernel is not None and not isinstance(kernel, str):
+            raise ProtocolError(f"kernel must be a string, got {kernel!r}")
+        timeout = payload.get("timeout")
+        if timeout is not None:
+            if not isinstance(timeout, (int, float)) or isinstance(timeout, bool) or timeout <= 0:
+                raise ProtocolError(
+                    f"timeout must be a positive number of seconds, got {timeout!r}"
+                )
+            timeout = float(timeout)
+        return QueryRequest(
+            id=request_id,
+            source=_check_node(_require(payload, "source"), "source"),
+            sink=_check_node(_require(payload, "sink"), "sink"),
+            delta=delta,
+            algorithm=algorithm,
+            kernel=kernel,
+            timeout=timeout,
+        )
+    if op == "append":
+        raw_edges = _require(payload, "edges")
+        if not isinstance(raw_edges, Sequence) or isinstance(raw_edges, (str, bytes)):
+            raise ProtocolError(f"edges must be an array, got {raw_edges!r}")
+        edges = []
+        for position, item in enumerate(raw_edges):
+            if not isinstance(item, Sequence) or len(item) != 4:
+                raise ProtocolError(
+                    f"edges[{position}] must be [u, v, tau, capacity], got {item!r}"
+                )
+            u, v, tau, capacity = item
+            if not isinstance(tau, int) or isinstance(tau, bool):
+                raise ProtocolError(
+                    f"edges[{position}] timestamp must be an int, got {tau!r}"
+                )
+            if not isinstance(capacity, (int, float)) or isinstance(capacity, bool):
+                raise ProtocolError(
+                    f"edges[{position}] capacity must be a number, got {capacity!r}"
+                )
+            edges.append(
+                (
+                    _check_node(u, f"edges[{position}].u"),
+                    _check_node(v, f"edges[{position}].v"),
+                    tau,
+                    float(capacity),
+                )
+            )
+        return AppendRequest(id=request_id, edges=tuple(edges))
+    if op == "metrics":
+        return MetricsRequest(id=request_id)
+    if op == "ping":
+        return PingRequest(id=request_id)
+    raise ProtocolError(f"unknown op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def request_payload(request: Request) -> dict[str, Any]:
+    """The JSON-able dict form of a request (client side)."""
+    payload: dict[str, Any] = {"v": PROTOCOL_VERSION, "id": request.id, "op": request.op}
+    if isinstance(request, QueryRequest):
+        payload.update(source=request.source, sink=request.sink, delta=request.delta)
+        if request.algorithm is not None:
+            payload["algorithm"] = request.algorithm
+        if request.kernel is not None:
+            payload["kernel"] = request.kernel
+        if request.timeout is not None:
+            payload["timeout"] = request.timeout
+    elif isinstance(request, AppendRequest):
+        payload["edges"] = [list(edge) for edge in request.edges]
+    return payload
+
+
+def reply_payload(reply: Reply) -> dict[str, Any]:
+    """The JSON-able dict form of a reply (server side)."""
+    payload: dict[str, Any] = {"v": PROTOCOL_VERSION, "id": reply.id, "ok": reply.ok}
+    if isinstance(reply, QueryReply):
+        payload["result"] = {
+            "density": reply.density,
+            "interval": list(reply.interval) if reply.interval is not None else None,
+            "flow_value": reply.flow_value,
+            "cached": reply.cached,
+            "epoch": reply.epoch,
+            "elapsed_ms": reply.elapsed_ms,
+        }
+    elif isinstance(reply, AppendReply):
+        payload["result"] = {
+            "appended": reply.appended,
+            "epoch": reply.epoch,
+            "invalidated": reply.invalidated,
+        }
+    elif isinstance(reply, MetricsReply):
+        payload["result"] = dict(reply.snapshot)
+    elif isinstance(reply, PongReply):
+        payload["result"] = {"epoch": reply.epoch}
+    elif isinstance(reply, ErrorReply):
+        error: dict[str, Any] = {"kind": reply.kind, "message": reply.message}
+        if reply.retry_after_ms is not None:
+            error["retry_after_ms"] = reply.retry_after_ms
+        payload["error"] = error
+    return payload
+
+
+def encode(payload: Mapping[str, Any]) -> bytes:
+    """Serialize one message as an NDJSON line (trailing newline included)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def parse_reply(raw: bytes | str | Mapping[str, Any]) -> Reply:
+    """Decode one reply message (client side).
+
+    Raises:
+        ProtocolError: malformed JSON or a reply shape this client does
+            not understand.
+    """
+    if isinstance(raw, (bytes, bytearray, str)):
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"malformed JSON reply: {exc}") from None
+    else:
+        payload = raw
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"reply must be a JSON object, got {payload!r}")
+    reply_id = payload.get("id", "")
+    if payload.get("ok"):
+        result = payload.get("result")
+        if not isinstance(result, Mapping):
+            raise ProtocolError(f"ok reply without result object: {payload!r}")
+        if "density" in result:
+            interval = result.get("interval")
+            return QueryReply(
+                id=reply_id,
+                density=float(result["density"]),
+                interval=tuple(interval) if interval is not None else None,
+                flow_value=float(result["flow_value"]),
+                cached=bool(result.get("cached", False)),
+                epoch=int(result.get("epoch", 0)),
+                elapsed_ms=float(result.get("elapsed_ms", 0.0)),
+            )
+        if "appended" in result:
+            return AppendReply(
+                id=reply_id,
+                appended=int(result["appended"]),
+                epoch=int(result["epoch"]),
+                invalidated=int(result.get("invalidated", 0)),
+            )
+        if tuple(result) == ("epoch",):
+            return PongReply(id=reply_id, epoch=int(result["epoch"]))
+        return MetricsReply(id=reply_id, snapshot=dict(result))
+    error = payload.get("error")
+    if not isinstance(error, Mapping) or "kind" not in error:
+        raise ProtocolError(f"error reply without typed error object: {payload!r}")
+    return ErrorReply(
+        id=reply_id,
+        kind=str(error["kind"]),
+        message=str(error.get("message", "")),
+        retry_after_ms=error.get("retry_after_ms"),
+    )
+
+
+def raise_for_error(reply: Reply) -> Reply:
+    """Raise the matching typed exception for an :class:`ErrorReply`.
+
+    Returns the reply unchanged when it is not an error, so the call can
+    be chained: ``raise_for_error(parse_reply(line))``.
+    """
+    if not isinstance(reply, ErrorReply):
+        return reply
+    if reply.kind == ERROR_OVERLOADED:
+        raise OverloadedError(
+            reply.message, retry_after_ms=reply.retry_after_ms or 100
+        )
+    if reply.kind == ERROR_TIMEOUT:
+        raise DeadlineExceededError(reply.message)
+    if reply.kind in (ERROR_INVALID, ERROR_UNSUPPORTED_VERSION):
+        raise ProtocolError(reply.message, kind=reply.kind)
+    raise RemoteServiceError(f"[{reply.kind}] {reply.message}")

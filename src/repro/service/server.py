@@ -1,0 +1,497 @@
+"""The asyncio delta-BFlow query server.
+
+:class:`BurstingFlowService` owns one live
+:class:`~repro.temporal.network.TemporalFlowNetwork` and serves
+versioned-JSON requests against it (see :mod:`repro.service.protocol`)
+over two transports on the *same* listening port:
+
+* **NDJSON over TCP** — one JSON object per line, pipelined replies in
+  request order (the primary, lowest-overhead transport;
+  :class:`repro.service.client.ServiceClient` speaks it);
+* **HTTP/1.1** — ``POST /query``, ``POST /append`` (JSON request body),
+  ``GET /metrics`` (snapshot), ``GET /healthz``.  The transport is
+  sniffed from the first bytes of the connection.
+
+The request path layers the three production concerns of this module's
+package: the epoch-keyed :class:`~repro.service.cache.ResultCache`
+(streaming appends bump the network epoch, so stale answers can never be
+served), :class:`~repro.service.admission.AdmissionController` (bounded
+in-flight work, absolute deadlines, typed ``overloaded`` shedding) and
+:class:`~repro.service.metrics.ServiceMetrics` (counters plus latency
+histograms, exposed via ``/metrics``).
+
+Consistency model: queries take a shared (reader) lock, appends take the
+exclusive (writer) lock.  The network epoch is therefore stable for the
+whole of any query's execution, every answer is computed on — and cached
+under — exactly one network state, and a served answer is always equal
+to a fresh :func:`repro.core.engine.find_bursting_flow` on that state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from contextlib import asynccontextmanager
+from typing import Any, AsyncIterator
+
+from repro.core.engine import (
+    DEFAULT_ALGORITHM,
+    KERNEL_ALGORITHMS,
+    get_algorithm,
+)
+from repro.core.query import BurstingFlowQuery
+from repro.exceptions import ReproError
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    ERROR_INTERNAL,
+    ERROR_INVALID,
+    ERROR_OVERLOADED,
+    ERROR_TIMEOUT,
+    AppendReply,
+    AppendRequest,
+    DeadlineExceededError,
+    ErrorReply,
+    MetricsReply,
+    MetricsRequest,
+    OverloadedError,
+    PingRequest,
+    PongReply,
+    ProtocolError,
+    QueryReply,
+    QueryRequest,
+    Reply,
+    Request,
+    encode,
+    parse_request,
+    reply_payload,
+)
+from repro.service.workers import InlineEngine, ProcessEnginePool
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.network import TemporalFlowNetwork
+
+#: Kernels the service accepts on the wire.
+KNOWN_KERNELS = frozenset({"persistent", "object"})
+
+
+class _ReadWriteLock:
+    """Many concurrent readers (queries) or one writer (append)."""
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writing = False
+        self._writers_waiting = 0
+
+    @asynccontextmanager
+    async def read(self) -> AsyncIterator[None]:
+        async with self._cond:
+            # Writer priority: an append waiting for the lock blocks new
+            # queries, otherwise a steady query stream starves appends.
+            while self._writing or self._writers_waiting:
+                await self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._readers -= 1
+                self._cond.notify_all()
+
+    @asynccontextmanager
+    async def write(self) -> AsyncIterator[None]:
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    await self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+class BurstingFlowService:
+    """A concurrent delta-BFlow query service over one live network.
+
+    Args:
+        network: the temporal flow network to serve (appends mutate it).
+        algorithm: default solution when requests do not name one.
+        kernel: default maxflow kernel for the incremental solutions.
+        processes: engine parallelism.  ``None`` or ``1`` solves on
+            threads against the live network (:class:`InlineEngine`);
+            ``>= 2`` (or ``0`` = cpu count) uses an epoch-aware process
+            pool (:class:`ProcessEnginePool`).
+        mp_context: start method for the process pool.
+        cache_capacity / cache_ttl: result-cache sizing (TTL in seconds,
+            ``None`` = no expiry; correctness never depends on the TTL —
+            epoch keying already invalidates on append).
+        max_pending: admission bound on in-flight requests.
+        default_timeout / max_timeout: per-request deadline budget.
+    """
+
+    def __init__(
+        self,
+        network: TemporalFlowNetwork,
+        *,
+        algorithm: str = DEFAULT_ALGORITHM,
+        kernel: str | None = None,
+        processes: int | None = None,
+        mp_context: str | None = None,
+        cache_capacity: int = 4096,
+        cache_ttl: float | None = None,
+        max_pending: int = 64,
+        default_timeout: float = 30.0,
+        max_timeout: float = 300.0,
+    ) -> None:
+        get_algorithm(algorithm)  # fail fast on unknown defaults
+        if kernel is not None and kernel not in KNOWN_KERNELS:
+            raise ReproError(
+                f"unknown kernel {kernel!r}; known: {', '.join(sorted(KNOWN_KERNELS))}"
+            )
+        self.network = network
+        self.algorithm = algorithm
+        self.kernel = kernel
+        self.metrics = ServiceMetrics()
+        self.cache = ResultCache(cache_capacity, ttl=cache_ttl)
+        self.admission = AdmissionController(
+            max_pending=max_pending,
+            default_timeout=default_timeout,
+            max_timeout=max_timeout,
+        )
+        self._lock = _ReadWriteLock()
+        if processes is None or processes == 1:
+            self.engine: InlineEngine | ProcessEnginePool = InlineEngine(
+                network, threads=2
+            )
+        else:
+            self.engine = ProcessEnginePool(
+                network,
+                processes=processes,
+                mp_context=mp_context,
+                on_restart=self.metrics.observe_restart,
+            )
+        # Build the lazy indexes before the first concurrent read.
+        if network.num_edges:
+            _ = network.timestamps
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------
+    # Programmatic entry points (the oracle backend and tests use these)
+    # ------------------------------------------------------------------
+    async def handle_request(self, request: Request) -> Reply:
+        """Dispatch one parsed request to its handler."""
+        self.metrics.count_request(request.op)
+        if isinstance(request, QueryRequest):
+            reply = await self._handle_query(request)
+        elif isinstance(request, AppendRequest):
+            reply = await self._handle_append(request)
+        elif isinstance(request, MetricsRequest):
+            reply = MetricsReply(id=request.id, snapshot=self.snapshot())
+        elif isinstance(request, PingRequest):
+            reply = PongReply(id=request.id, epoch=self.network.epoch)
+        else:  # pragma: no cover - parse_request is exhaustive
+            reply = ErrorReply(request.id, ERROR_INVALID, "unknown request type")
+        if isinstance(reply, ErrorReply):
+            self.metrics.count_error(reply.kind)
+        return reply
+
+    async def handle_raw(self, line: bytes | str) -> bytes:
+        """Full serve path for one wire message: parse → handle → encode."""
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.metrics.count_error(exc.kind)
+            return encode(
+                reply_payload(ErrorReply("", exc.kind, str(exc)))
+            )
+        reply = await self.handle_request(request)
+        return encode(reply_payload(reply))
+
+    def snapshot(self) -> dict[str, Any]:
+        """The metrics snapshot, extended with cache and network facts."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache_detail"] = self.cache.snapshot()
+        snapshot["network"] = {
+            "epoch": self.network.epoch,
+            "nodes": self.network.num_nodes,
+            "edges": self.network.num_edges,
+        }
+        snapshot["admission"] = {
+            "max_pending": self.admission.max_pending,
+            "inflight": self.admission.inflight,
+            "admitted_total": self.admission.admitted_total,
+            "shed_total": self.admission.shed_total,
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request: QueryRequest) -> Reply:
+        started = time.perf_counter()
+        algorithm = (request.algorithm or self.algorithm).lower()
+        kernel = request.kernel if request.kernel is not None else self.kernel
+        try:
+            get_algorithm(algorithm)
+            if kernel is not None:
+                if kernel not in KNOWN_KERNELS:
+                    raise ReproError(
+                        f"unknown kernel {kernel!r}; "
+                        f"known: {', '.join(sorted(KNOWN_KERNELS))}"
+                    )
+                if algorithm not in KERNEL_ALGORITHMS:
+                    kernel = None  # baselines have no incremental state
+            query = BurstingFlowQuery(request.source, request.sink, request.delta)
+        except ReproError as exc:
+            return ErrorReply(request.id, ERROR_INVALID, str(exc))
+
+        try:
+            self.admission.admit()
+        except OverloadedError as exc:
+            return ErrorReply(
+                request.id,
+                ERROR_OVERLOADED,
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
+            )
+        self.metrics.set_queue_depth(self.admission.inflight)
+        try:
+            deadline = self.admission.deadline_for(request.timeout)
+            async with self._lock.read():
+                epoch = self.network.epoch
+                key = (
+                    epoch,
+                    request.source,
+                    request.sink,
+                    request.delta,
+                    algorithm,
+                    kernel,
+                )
+                answer = self.cache.get(key)
+                if answer is not None:
+                    density, interval, flow_value = answer
+                    elapsed = time.perf_counter() - started
+                    self.metrics.observe_hit(elapsed)
+                    return QueryReply(
+                        id=request.id,
+                        density=density,
+                        interval=interval,
+                        flow_value=flow_value,
+                        cached=True,
+                        epoch=epoch,
+                        elapsed_ms=elapsed * 1000.0,
+                    )
+                self.metrics.observe_miss()
+                try:
+                    query.validate_against(self.network)
+                    remaining = self.admission.remaining(deadline)
+                    density, interval, flow_value = await asyncio.wait_for(
+                        self.engine.answer(
+                            request.source,
+                            request.sink,
+                            request.delta,
+                            algorithm,
+                            kernel,
+                        ),
+                        timeout=remaining,
+                    )
+                except (asyncio.TimeoutError, DeadlineExceededError):
+                    return ErrorReply(
+                        request.id, ERROR_TIMEOUT, "request deadline exceeded"
+                    )
+                except ReproError as exc:
+                    return ErrorReply(request.id, ERROR_INVALID, str(exc))
+                except Exception as exc:  # noqa: BLE001 - report, don't crash
+                    return ErrorReply(
+                        request.id,
+                        ERROR_INTERNAL,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                self.cache.put(key, (density, interval, flow_value))
+                solve_elapsed = time.perf_counter() - started
+                self.metrics.observe_solve(algorithm, solve_elapsed)
+                return QueryReply(
+                    id=request.id,
+                    density=density,
+                    interval=interval,
+                    flow_value=flow_value,
+                    cached=False,
+                    epoch=epoch,
+                    elapsed_ms=solve_elapsed * 1000.0,
+                )
+        finally:
+            self.admission.release()
+            self.metrics.set_queue_depth(self.admission.inflight)
+
+    async def _handle_append(self, request: AppendRequest) -> Reply:
+        async with self._lock.write():
+            try:
+                for u, v, tau, capacity in request.edges:
+                    self.network.add_edge(TemporalEdge(u, v, tau, capacity))
+            except ReproError as exc:
+                # Edges before the failing one are already in; surface the
+                # new epoch so the client can resynchronise.
+                self.cache.purge_epochs_below(self.network.epoch)
+                return ErrorReply(request.id, ERROR_INVALID, str(exc))
+            finally:
+                if self.network.num_edges:
+                    # Rebuild the lazy indexes while we hold the writer
+                    # lock so concurrent readers never mutate them.
+                    _ = self.network.timestamps
+                self.engine.mark_stale()
+            epoch = self.network.epoch
+            invalidated = self.cache.purge_epochs_below(epoch)
+        self.metrics.observe_append(len(request.edges))
+        self.metrics.observe_invalidated(invalidated)
+        return AppendReply(
+            id=request.id,
+            appended=len(request.edges),
+            epoch=epoch,
+            invalidated=invalidated,
+        )
+
+    # ------------------------------------------------------------------
+    # TCP / HTTP front end
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``start`` must have been called)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the listener and the engine backend."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.engine.close()
+
+    async def __aenter__(self) -> "BurstingFlowService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            head = first.split(b" ", 1)[0]
+            if head in (b"GET", b"POST", b"HEAD", b"PUT", b"DELETE"):
+                await self._serve_http(first, reader, writer)
+                return
+            # NDJSON: the sniffed line is already the first request.
+            line = first
+            while line:
+                if line.strip():
+                    writer.write(await self.handle_raw(line))
+                    await writer.drain()
+                line = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            except asyncio.CancelledError:
+                # stop() closed the listener while this connection was
+                # draining; the transport is already gone.
+                pass
+
+    async def _serve_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            method, target, _ = request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            _http_respond(writer, 400, {"error": "malformed request line"})
+            await writer.drain()
+            return
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    _http_respond(writer, 400, {"error": "bad Content-Length"})
+                    await writer.drain()
+                    return
+        body = await reader.readexactly(content_length) if content_length else b""
+
+        if method == "GET" and target in ("/metrics", "/metrics/"):
+            self.metrics.count_request("metrics")
+            _http_respond(writer, 200, self.snapshot())
+        elif method == "GET" and target in ("/healthz", "/healthz/"):
+            _http_respond(writer, 200, {"ok": True, "epoch": self.network.epoch})
+        elif method == "POST" and target in ("/query", "/append", "/query/", "/append/"):
+            payload = json.loads(await self.handle_raw(body))
+            status = 200 if payload.get("ok") else _http_status(payload)
+            _http_respond(writer, status, payload)
+        else:
+            _http_respond(
+                writer,
+                404,
+                {"error": f"no route {method} {target}"},
+            )
+        await writer.drain()
+
+
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _http_status(payload: dict[str, Any]) -> int:
+    kind = (payload.get("error") or {}).get("kind")
+    if kind == ERROR_OVERLOADED:
+        return 429
+    if kind == ERROR_TIMEOUT:
+        return 408
+    if kind == ERROR_INTERNAL:
+        return 500
+    return 400
+
+
+def _http_respond(
+    writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)

@@ -1,0 +1,230 @@
+"""Engine execution backends for the query service.
+
+Two interchangeable backends answer ``(s, t, delta)`` queries for the
+server; both expose the same ``await answer(...)`` coroutine returning
+the raw ``(density, interval, flow_value)`` triple:
+
+* :class:`ProcessEnginePool` — a :class:`~concurrent.futures.
+  ProcessPoolExecutor` whose workers receive the shared network through
+  ``initializer``/``initargs`` with an explicit ``mp_context``, the exact
+  pattern :func:`repro.core.batch.answer_many` uses (every start method
+  produces identical results).  The pool is **epoch-aware**: streaming
+  appends bump the network epoch, and the next query transparently
+  rebuilds the pool so workers never answer from a stale snapshot.  A
+  :class:`BrokenProcessPool` (crashed/OOM-killed worker) is survived by
+  rebuilding the pool once and resubmitting.
+
+* :class:`InlineEngine` — a small thread pool running the solver on the
+  *live* network object.  This is the default for modest deployments and
+  for the differential-oracle backend: no pickling, no worker processes,
+  and the server's reader/writer lock already serialises appends against
+  in-flight queries.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable
+
+from repro.core.engine import find_bursting_flow
+from repro.core.query import BurstingFlowQuery
+from repro.temporal.edge import NodeId, Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+#: A raw engine answer: (density, interval, flow_value).
+RawAnswer = tuple[float, "tuple[Timestamp, Timestamp] | None", float]
+
+# Per-worker state, installed by _init_service_worker in each pool
+# process (initargs travel pickled for spawn/forkserver).
+_WORKER_NETWORK: TemporalFlowNetwork | None = None
+
+
+def _init_service_worker(network: TemporalFlowNetwork) -> None:
+    """Pool initializer: install the service's network in this worker."""
+    global _WORKER_NETWORK
+    _WORKER_NETWORK = network
+    # Build the lazy timestamp indexes once per worker instead of on the
+    # first query it happens to receive.
+    _ = network.timestamps
+
+
+def _solve_one(
+    source: NodeId,
+    sink: NodeId,
+    delta: int,
+    algorithm: str,
+    kernel: str | None,
+) -> RawAnswer:
+    """Worker task: one full engine solve on the installed network."""
+    assert _WORKER_NETWORK is not None, "worker started outside the service"
+    result = find_bursting_flow(
+        _WORKER_NETWORK,
+        BurstingFlowQuery(source, sink, delta),
+        algorithm=algorithm,
+        kernel=kernel,
+    )
+    return (result.density, result.interval, result.flow_value)
+
+
+class ProcessEnginePool:
+    """Epoch-aware process-pool engine backend with crash recovery.
+
+    Args:
+        network: the live network; re-shipped to workers whenever its
+            epoch moves (the server guarantees the epoch is stable while
+            answers are in flight via its reader/writer lock).
+        processes: worker process count; ``0`` means ``os.cpu_count()``.
+        mp_context: multiprocessing start method (``"fork"``,
+            ``"forkserver"``, ``"spawn"``) or ``None`` for the platform
+            default.
+        on_restart: callback invoked whenever a broken pool is rebuilt.
+    """
+
+    def __init__(
+        self,
+        network: TemporalFlowNetwork,
+        *,
+        processes: int = 2,
+        mp_context: str | None = None,
+        on_restart: Callable[[], None] | None = None,
+    ) -> None:
+        if processes == 0:
+            processes = os.cpu_count() or 1
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self._network = network
+        self._processes = processes
+        self._context = multiprocessing.get_context(mp_context)
+        self._on_restart = on_restart
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_epoch = -1
+        self._rebuild_lock = asyncio.Lock()
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    def _build_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self._processes,
+            mp_context=self._context,
+            initializer=_init_service_worker,
+            initargs=(self._network,),
+        )
+
+    async def _ensure_fresh(self) -> ProcessPoolExecutor:
+        """The current pool, rebuilt if the network epoch moved."""
+        if self._pool is not None and self._pool_epoch == self._network.epoch:
+            return self._pool
+        async with self._rebuild_lock:
+            if self._pool is None or self._pool_epoch != self._network.epoch:
+                old = self._pool
+                self._pool = self._build_pool()
+                self._pool_epoch = self._network.epoch
+                if old is not None:
+                    old.shutdown(wait=False, cancel_futures=True)
+        return self._pool
+
+    async def answer(
+        self,
+        source: NodeId,
+        sink: NodeId,
+        delta: int,
+        algorithm: str,
+        kernel: str | None,
+    ) -> RawAnswer:
+        """Solve one query on a worker; survives one pool crash."""
+        pool = await self._ensure_fresh()
+        task = (source, sink, delta, algorithm, kernel)
+        try:
+            return await asyncio.wrap_future(pool.submit(_solve_one, *task))
+        except BrokenProcessPool:
+            # A worker died mid-solve.  Rebuild once and resubmit; a
+            # second crash on the same query is systemic and propagates.
+            async with self._rebuild_lock:
+                if self._pool is pool:
+                    self._pool = self._build_pool()
+                    self._pool_epoch = self._network.epoch
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    self.restarts += 1
+                    if self._on_restart is not None:
+                        self._on_restart()
+                fresh = self._pool
+            return await asyncio.wrap_future(fresh.submit(_solve_one, *task))
+
+    def mark_stale(self) -> None:
+        """Force a rebuild before the next answer (appends call this)."""
+        self._pool_epoch = -1
+
+    def close(self) -> None:
+        """Shut the pool down."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+class InlineEngine:
+    """Thread-pool engine backend solving on the live network.
+
+    The server's reader/writer lock guarantees no append mutates the
+    network while answers are in flight, and forces the lazy timestamp
+    indexes after each append — so concurrent solves only ever *read*.
+    """
+
+    def __init__(
+        self,
+        network: TemporalFlowNetwork,
+        *,
+        threads: int = 2,
+        on_restart: Callable[[], None] | None = None,
+    ) -> None:
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self._network = network
+        self._pool = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-service"
+        )
+        self.restarts = 0
+
+    async def answer(
+        self,
+        source: NodeId,
+        sink: NodeId,
+        delta: int,
+        algorithm: str,
+        kernel: str | None,
+    ) -> RawAnswer:
+        """Solve one query on a worker thread."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool,
+            lambda: _solve_inline(
+                self._network, source, sink, delta, algorithm, kernel
+            ),
+        )
+
+    def mark_stale(self) -> None:
+        """No-op: inline solves always see the live network."""
+
+    def close(self) -> None:
+        """Shut the thread pool down."""
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _solve_inline(
+    network: TemporalFlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    delta: int,
+    algorithm: str,
+    kernel: str | None,
+) -> RawAnswer:
+    result = find_bursting_flow(
+        network,
+        BurstingFlowQuery(source, sink, delta),
+        algorithm=algorithm,
+        kernel=kernel,
+    )
+    return (result.density, result.interval, result.flow_value)

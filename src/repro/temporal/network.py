@@ -57,6 +57,12 @@ class TemporalFlowNetwork:
         #   _in_prefix[v][i] = total capacity into v at _in_stamps[v][:i].
         self._in_prefix: dict[NodeId, list[float]] = {}
         self._stamps_dirty = False
+        # Monotone mutation counter.  Bumped at exactly the points that set
+        # _stamps_dirty (the hooks the residual arena's dirty journal also
+        # rides on), so observers — the service result cache above all —
+        # can fingerprint a network state as (id, epoch) and invalidate on
+        # append without scanning edges.
+        self._epoch = 0
         for edge in edges:
             self.add_edge(edge)
 
@@ -88,12 +94,29 @@ class TemporalFlowNetwork:
             self._out_stamps[edge.u].append(edge.tau)
             self._in_stamps[edge.v].append(edge.tau)
             self._stamps_dirty = True
+        self._epoch += 1
         self._nodes.add(edge.u)
         self._nodes.add(edge.v)
 
     def add_node(self, node: NodeId) -> None:
         """Register an isolated node (rarely needed; edges register nodes)."""
+        if node not in self._nodes:
+            self._epoch += 1
         self._nodes.add(node)
+
+    @property
+    def epoch(self) -> int:
+        """Monotone mutation counter (0 for an empty, untouched network).
+
+        Every :meth:`add_edge` (including capacity merges) and every new
+        :meth:`add_node` bumps it, so two reads of ``epoch`` bracketing any
+        sequence of operations detect whether the network changed in
+        between.  Cached delta-BFlow answers keyed by
+        ``(epoch, s, t, delta, algorithm)`` therefore can never be served
+        stale: a streaming append moves the epoch and all earlier entries
+        miss.
+        """
+        return self._epoch
 
     def _refresh_indexes(self) -> None:
         if not self._stamps_dirty:

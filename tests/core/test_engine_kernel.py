@@ -1,0 +1,83 @@
+"""Tests for the ``kernel=`` plumbing through the engine front door."""
+
+import pytest
+
+from repro import BurstingFlowQuery, find_bursting_flow
+from repro.anomaly import BurstDetector
+from repro.core.engine import KERNEL_ALGORITHMS
+from repro.exceptions import InvalidQueryError
+
+
+class TestEngineKernelPlumbing:
+    def test_kernel_algorithms_are_the_incremental_pair(self):
+        assert KERNEL_ALGORITHMS == {"bfq+", "bfq*"}
+
+    @pytest.mark.parametrize("algorithm", sorted(KERNEL_ALGORITHMS))
+    @pytest.mark.parametrize("kernel", ["persistent", "object"])
+    def test_both_kernels_give_identical_answers(
+        self, burst_network, algorithm, kernel
+    ):
+        baseline = find_bursting_flow(
+            burst_network, BurstingFlowQuery("s", "t", 2), algorithm="bfq"
+        )
+        result = find_bursting_flow(
+            burst_network,
+            BurstingFlowQuery("s", "t", 2),
+            algorithm=algorithm,
+            kernel=kernel,
+        )
+        assert result.density == pytest.approx(baseline.density)
+        assert result.interval == baseline.interval
+
+    @pytest.mark.parametrize("algorithm", ["bfq", "naive"])
+    def test_kernel_rejected_for_non_incremental_algorithms(
+        self, burst_network, algorithm
+    ):
+        with pytest.raises(InvalidQueryError, match="kernel"):
+            find_bursting_flow(
+                burst_network,
+                BurstingFlowQuery("s", "t", 2),
+                algorithm=algorithm,
+                kernel="persistent",
+            )
+
+    def test_unknown_kernel_propagates_from_solver(self, burst_network):
+        with pytest.raises(Exception, match="kernel"):
+            find_bursting_flow(
+                burst_network,
+                BurstingFlowQuery("s", "t", 2),
+                algorithm="bfq*",
+                kernel="cuda",
+            )
+
+    def test_kernel_none_is_the_default_path(self, burst_network):
+        default = find_bursting_flow(
+            burst_network, BurstingFlowQuery("s", "t", 2), algorithm="bfq*"
+        )
+        explicit = find_bursting_flow(
+            burst_network,
+            BurstingFlowQuery("s", "t", 2),
+            algorithm="bfq*",
+            kernel="persistent",
+        )
+        assert (default.density, default.interval) == (
+            explicit.density, explicit.interval
+        )
+
+
+class TestDetectorKernelPlumbing:
+    def test_scan_matches_across_kernels(self, burst_network):
+        reports = {
+            kernel: BurstDetector(burst_network, kernel=kernel).scan(
+                ["s"], ["t"], [2, 5]
+            )
+            for kernel in ("persistent", "object")
+        }
+        persistent, object_ = reports["persistent"], reports["object"]
+        assert len(persistent.findings) == len(object_.findings)
+        for a, b in zip(persistent.findings, object_.findings):
+            assert a.density == pytest.approx(b.density)
+            assert a.interval == b.interval
+
+    def test_default_kernel_is_none(self, burst_network):
+        assert BurstDetector(burst_network).kernel is None

@@ -1,0 +1,215 @@
+"""Tests for the result cache, admission controller and metrics."""
+
+import pytest
+
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache
+from repro.service.metrics import (
+    LatencyHistogram,
+    ServiceMetrics,
+    merge_latencies,
+)
+from repro.service.protocol import DeadlineExceededError, OverloadedError
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+KEY = (3, "s", "t", 2, "bfq*", None)
+ANSWER = (300.0, (10, 13), 900.0)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get(KEY) is None
+        cache.put(KEY, ANSWER)
+        assert cache.get(KEY) == ANSWER
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put((1,), "a")
+        cache.put((2,), "b")
+        cache.get((1,))  # bump (1,) to most-recent
+        cache.put((3,), "c")  # evicts (2,)
+        assert cache.get((2,)) is None
+        assert cache.get((1,)) == "a"
+        assert cache.get((3,)) == "c"
+        assert cache.evictions == 1
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl=10.0, clock=clock)
+        cache.put(KEY, ANSWER)
+        clock.advance(9.9)
+        assert cache.get(KEY) == ANSWER
+        clock.advance(0.2)
+        assert cache.get(KEY) is None
+        assert cache.expirations == 1
+
+    def test_purge_epochs_below_drops_only_stale(self):
+        cache = ResultCache(capacity=8)
+        cache.put((1, "s", "t", 2), "old")
+        cache.put((2, "s", "t", 2), "older-still-stale")
+        cache.put((3, "s", "t", 2), "fresh")
+        dropped = cache.purge_epochs_below(3)
+        assert dropped == 2
+        assert cache.invalidations == 2
+        assert len(cache) == 1
+        assert cache.get((3, "s", "t", 2)) == "fresh"
+
+    def test_clear_counts_invalidations(self):
+        cache = ResultCache(capacity=4)
+        cache.put(KEY, ANSWER)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+
+    def test_snapshot_schema(self):
+        cache = ResultCache(capacity=4)
+        cache.put(KEY, ANSWER)
+        cache.get(KEY)
+        snapshot = cache.snapshot()
+        assert snapshot["size"] == 1
+        assert snapshot["hits"] == 1
+        assert snapshot["hit_rate"] == 1.0
+
+    def test_rejects_bad_sizing(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+        with pytest.raises(ValueError):
+            ResultCache(capacity=1, ttl=0)
+
+
+class TestAdmissionController:
+    def test_sheds_typed_overloaded_when_full(self):
+        admission = AdmissionController(max_pending=2)
+        admission.admit()
+        admission.admit()
+        with pytest.raises(OverloadedError) as excinfo:
+            admission.admit()
+        assert excinfo.value.retry_after_ms > 0
+        assert admission.shed_total == 1
+        assert admission.inflight == 2
+
+    def test_release_reopens_admission(self):
+        admission = AdmissionController(max_pending=1)
+        admission.admit()
+        admission.release()
+        admission.admit()  # does not raise
+        assert admission.admitted_total == 2
+
+    def test_release_without_admit_is_a_bug(self):
+        admission = AdmissionController(max_pending=1)
+        with pytest.raises(RuntimeError):
+            admission.release()
+
+    def test_retry_hint_grows_with_depth(self):
+        shallow = AdmissionController(max_pending=1)
+        deep = AdmissionController(max_pending=16)
+        shallow.admit()
+        for _ in range(16):
+            deep.admit()
+        with pytest.raises(OverloadedError) as few:
+            shallow.admit()
+        with pytest.raises(OverloadedError) as many:
+            deep.admit()
+        assert many.value.retry_after_ms > few.value.retry_after_ms
+
+    def test_deadline_uses_default_budget(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_pending=1, default_timeout=5.0, clock=clock
+        )
+        assert admission.deadline_for(None) == pytest.approx(clock.now + 5.0)
+
+    def test_deadline_caps_requested_budget(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_pending=1, max_timeout=10.0, clock=clock
+        )
+        assert admission.deadline_for(999.0) == pytest.approx(clock.now + 10.0)
+
+    def test_remaining_charges_the_clock(self):
+        clock = FakeClock()
+        admission = AdmissionController(max_pending=1, clock=clock)
+        deadline = admission.deadline_for(2.0)
+        clock.advance(1.5)
+        assert admission.remaining(deadline) == pytest.approx(0.5)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError):
+            admission.remaining(deadline)
+
+
+class TestLatencyHistogram:
+    def test_quantiles_over_window(self):
+        histogram = LatencyHistogram()
+        for value in range(1, 101):
+            histogram.observe(value / 1000.0)
+        assert histogram.count == 100
+        assert histogram.quantile(0.5) == pytest.approx(0.051, abs=2e-3)
+        assert histogram.quantile(0.99) == pytest.approx(0.100, abs=2e-3)
+
+    def test_empty_quantile_is_none(self):
+        assert LatencyHistogram().quantile(0.5) is None
+        assert LatencyHistogram().snapshot()["p50_ms"] is None
+
+    def test_window_is_bounded(self):
+        histogram = LatencyHistogram(window=4)
+        for value in (1.0, 1.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 9.0  # old values rolled out
+        assert histogram.count == 8  # lifetime count still exact
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.observe(0.010)
+        b.observe(0.030)
+        merged = merge_latencies([a, b])
+        assert merged.count == 2
+        assert merged.total_seconds == pytest.approx(0.040)
+
+
+class TestServiceMetrics:
+    def test_snapshot_schema(self):
+        metrics = ServiceMetrics()
+        metrics.count_request("query")
+        metrics.observe_miss()
+        metrics.observe_solve("bfq*", 0.004)
+        metrics.count_request("query")
+        metrics.observe_hit(0.0001)
+        metrics.count_error("overloaded")
+        metrics.count_error("timeout")
+        metrics.observe_append(3)
+        metrics.observe_invalidated(2)
+        metrics.observe_restart()
+        metrics.set_queue_depth(5)
+        metrics.set_queue_depth(1)
+
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"]["query"] == 2
+        assert snapshot["errors"]["overloaded"] == 1
+        assert snapshot["cache"]["hits"] == 1
+        assert snapshot["cache"]["misses"] == 1
+        assert snapshot["cache"]["hit_rate"] == 0.5
+        assert snapshot["cache"]["invalidated"] == 2
+        assert snapshot["queue"] == {"depth": 1, "high_water": 5, "shed": 1}
+        assert snapshot["timeouts"] == 1
+        assert snapshot["worker_restarts"] == 1
+        assert snapshot["appended_edges"] == 3
+        solve = snapshot["latency"]["solve"]["bfq*"]
+        assert solve["count"] == 1
+        assert solve["p50_ms"] == pytest.approx(4.0)
+        assert snapshot["latency"]["cache_hit"]["count"] == 1
+
+    def test_hit_rate_none_before_first_query(self):
+        assert ServiceMetrics().cache_hit_rate is None

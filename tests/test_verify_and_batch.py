@@ -99,3 +99,89 @@ class TestBatch:
         with pytest.raises(InvalidQueryError):
             answer_many(burst_network, queries, processes=2, algorithm="nope")
         assert batch_module._WORKER_ALGORITHM == DEFAULT_ALGORITHM
+
+
+class TestBatchCrashRecovery:
+    """answer_many survives one BrokenProcessPool and resubmits the rest."""
+
+    @pytest.fixture
+    def queries(self):
+        return [
+            BurstingFlowQuery("s", "t", 2),
+            BurstingFlowQuery("s", "t", 5),
+            BurstingFlowQuery("s", "t", 10),
+            BurstingFlowQuery("s", "t", 3),
+        ]
+
+    @pytest.fixture
+    def crash_once_algorithm(self, tmp_path):
+        """Register an algorithm whose first worker call kills the worker.
+
+        The sentinel file makes the crash one-shot: the first solve writes
+        it and hard-exits the worker process (breaking the pool); every
+        retry finds it and answers normally.  Requires the fork start
+        method so the children inherit the registry entry.
+        """
+        import os
+
+        from repro.core import engine as engine_module
+
+        sentinel = tmp_path / "crashed-once"
+
+        def suicide_bfq(network, query, **kwargs):
+            if not sentinel.exists():
+                sentinel.write_text("boom")
+                os._exit(1)
+            return find_bursting_flow(network, query)
+
+        engine_module.ALGORITHMS["crash-once"] = suicide_bfq
+        try:
+            yield "crash-once"
+        finally:
+            del engine_module.ALGORITHMS["crash-once"]
+
+    def test_recovers_from_one_broken_pool(
+        self, burst_network, queries, crash_once_algorithm
+    ):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        results = answer_many(
+            burst_network,
+            queries,
+            processes=2,
+            algorithm=crash_once_algorithm,
+            mp_context="fork",
+        )
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            expected = find_bursting_flow(burst_network, query)
+            assert result.density == pytest.approx(expected.density)
+            assert result.interval == expected.interval
+
+    def test_second_crash_propagates(self, burst_network, queries, tmp_path):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        import os
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.core import engine as engine_module
+
+        def always_dies(network, query, **kwargs):
+            os._exit(1)
+
+        engine_module.ALGORITHMS["always-dies"] = always_dies
+        try:
+            with pytest.raises(BrokenProcessPool):
+                answer_many(
+                    burst_network,
+                    queries,
+                    processes=2,
+                    algorithm="always-dies",
+                    mp_context="fork",
+                )
+        finally:
+            del engine_module.ALGORITHMS["always-dies"]
+        # Worker bookkeeping is reset even on the failure path.
+        assert batch_module._WORKER_NETWORK is None
+        assert batch_module._WORKER_ALGORITHM == DEFAULT_ALGORITHM
