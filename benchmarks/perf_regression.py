@@ -1,25 +1,35 @@
-"""Perf-regression harness for the persistent residual kernel.
+"""Perf-regression harness for the engine's kernel and transform choices.
 
-Reruns the EXP-3 incremental-maxflow workload (the per-candidate-interval
-``maxflow_seconds`` samples of BFQ+/BFQ* sweeps) under both engine kernels:
+Two experiments, selected with ``--experiment``:
 
-* ``object`` — the pre-persistent engine: Dinic resumed by walking the
-  ``Arc`` object graph (what every release before the persistent arena
-  shipped);
-* ``persistent`` — the flat CSR arena kernel with sink-rooted levels,
-  lazy journal sync, the Observation-2 maximality bound and the min-cut
-  certificate.
+* ``kernel`` (EXP-3 regression, writes ``BENCH_PR2.json`` by default) —
+  reruns the incremental-maxflow workload (the per-candidate-interval
+  ``maxflow_seconds`` samples of BFQ+/BFQ* sweeps) under both engine
+  kernels: ``object`` (Dinic resumed by walking the ``Arc`` object graph)
+  vs ``persistent`` (the flat CSR arena kernel).
 
-Kernels are interleaved within each repetition and the per-configuration
-minimum across repetitions is kept, which cancels machine drift without
-favouring either side.  The JSON written to ``--output`` records the raw
-numbers (see docs/benchmarks.md for the schema); CI's bench-smoke step
-runs a reduced configuration of this script and uploads the artifact.
+* ``transform`` (EXP-4 regression, writes ``BENCH_PR4.json`` by default) —
+  times full end-to-end queries under both window transforms: ``object``
+  (every candidate window rebuilt through ``build_transformed_network`` /
+  per-extension reachability sweeps) vs ``skeleton`` (one compiled
+  :class:`~repro.core.skeleton.WindowSkeleton` per query, candidates
+  materialised as binary-searched array slices into detached residual
+  arenas).  BFQ is the headline (it rebuilds every window, so the
+  transform dominates); BFQ+/BFQ* are included to show the skeleton is
+  never a regression for the incremental solutions.
+
+Configurations are interleaved within each repetition and the
+per-configuration minimum across repetitions is kept, which cancels
+machine drift without favouring either side.  The JSON written to
+``--output`` records the raw numbers (see docs/benchmarks.md for the
+schemas); CI's bench-smoke step runs a reduced configuration of this
+script and uploads the artifact.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_regression.py \
-        --output BENCH_PR2.json [--scale 1.0] [--queries 6] [--reps 3]
+        [--experiment kernel|transform] [--output FILE.json] \
+        [--scale 1.0] [--queries 6] [--reps 3]
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro.core.bfq import bfq
 from repro.core.bfq_plus import bfq_plus
 from repro.core.bfq_star import bfq_star
 from repro.core.query import BurstingFlowQuery
@@ -135,13 +146,114 @@ def run_benchmark(
     }
 
 
+#: EXP-4 transform comparison: skeleton slicing vs object-graph rebuilds.
+TRANSFORMS = ("object", "skeleton")
+TRANSFORM_ALGORITHMS = {"bfq": bfq, "bfq_plus": bfq_plus, "bfq_star": bfq_star}
+
+
+def _run_transform_workload(algorithm, network, queries, transform):
+    """One full end-to-end sweep; returns wall seconds."""
+    wall_start = time.perf_counter()
+    for query in queries:
+        algorithm(network, query, transform=transform)
+    return time.perf_counter() - wall_start
+
+
+def run_transform_benchmark(
+    *,
+    datasets=DATASETS,
+    scale: float = 1.0,
+    query_count: int = 6,
+    reps: int = 3,
+) -> dict:
+    """Compare both window transforms end-to-end; returns the report."""
+    configs = []
+    for name in datasets:
+        network = make_dataset(name, scale=scale)
+        workload = generate_queries(network, count=query_count, seed=QUERY_SEED)
+        delta = workload.delta_for(DELTA_FRACTION)
+        queries = [
+            BurstingFlowQuery(source=s, sink=t, delta=delta)
+            for s, t in workload.pairs
+        ]
+        for algo_name, algorithm in TRANSFORM_ALGORITHMS.items():
+            best = {t: None for t in TRANSFORMS}
+            for _ in range(reps):
+                for transform in TRANSFORMS:  # interleaved
+                    wall = _run_transform_workload(
+                        algorithm, network, queries, transform
+                    )
+                    if best[transform] is None or wall < best[transform]:
+                        best[transform] = wall
+            configs.append(
+                {
+                    "dataset": name,
+                    "algorithm": algo_name,
+                    "delta": delta,
+                    "num_queries": len(queries),
+                    "transforms": {
+                        t: {"wall_s": best[t]} for t in TRANSFORMS
+                    },
+                    "speedup_wall": best["object"]
+                    / max(best["skeleton"], 1e-12),
+                }
+            )
+
+    bfq_configs = [c for c in configs if c["algorithm"] == "bfq"]
+    total = {
+        transform: sum(
+            c["transforms"][transform]["wall_s"] for c in bfq_configs
+        )
+        for transform in TRANSFORMS
+    }
+    return {
+        "benchmark": "exp4-window-transform-regression",
+        "metric": (
+            "end-to-end wall seconds per query sweep (min over interleaved "
+            "repetitions); aggregate speedup is over the BFQ configs, where "
+            "the per-window transform dominates"
+        ),
+        "baseline": "object (per-window object-graph rebuild)",
+        "candidate": "skeleton (compiled per-query WindowSkeleton slices)",
+        "config": {
+            "datasets": list(datasets),
+            "scale": scale,
+            "queries_per_dataset": query_count,
+            "query_seed": QUERY_SEED,
+            "delta_fraction": DELTA_FRACTION,
+            "reps": reps,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "timestamp_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+        },
+        "configs": configs,
+        "aggregate": {
+            "bfq_object_wall_s": total["object"],
+            "bfq_skeleton_wall_s": total["skeleton"],
+            "speedup": total["object"] / max(total["skeleton"], 1e-12),
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--experiment",
+        default="kernel",
+        choices=["kernel", "transform"],
+        help="kernel: EXP-3 object-vs-persistent; transform: EXP-4 "
+        "object-vs-skeleton (default: kernel)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
-        default=Path("BENCH_PR2.json"),
-        help="where to write the JSON report (default: ./BENCH_PR2.json)",
+        default=None,
+        help="where to write the JSON report (default: ./BENCH_PR2.json "
+        "for kernel, ./BENCH_PR4.json for transform)",
     )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--queries", type=int, default=6)
@@ -153,6 +265,34 @@ def main(argv=None) -> int:
         choices=list(DATASETS),
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = Path(
+            "BENCH_PR2.json" if args.experiment == "kernel" else "BENCH_PR4.json"
+        )
+
+    if args.experiment == "transform":
+        report = run_transform_benchmark(
+            datasets=tuple(args.datasets),
+            scale=args.scale,
+            query_count=args.queries,
+            reps=args.reps,
+        )
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        for config in report["configs"]:
+            transforms = config["transforms"]
+            print(
+                f"{config['dataset']:>8} {config['algorithm']:<9}"
+                f" object {transforms['object']['wall_s'] * 1e3:8.1f}ms"
+                f" skeleton {transforms['skeleton']['wall_s'] * 1e3:8.1f}ms"
+                f" speedup {config['speedup_wall']:.2f}x"
+            )
+        aggregate = report["aggregate"]
+        print(
+            f"aggregate (bfq): {aggregate['bfq_object_wall_s'] * 1e3:.0f}ms ->"
+            f" {aggregate['bfq_skeleton_wall_s'] * 1e3:.0f}ms"
+            f" = {aggregate['speedup']:.2f}x ({args.output})"
+        )
+        return 0
 
     report = run_benchmark(
         datasets=tuple(args.datasets),

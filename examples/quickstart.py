@@ -50,6 +50,24 @@ def main() -> None:
             f"pruned={r.stats.pruned_intervals}"
         )
 
+    # The transform knob: "skeleton" (default) compiles the network once
+    # per query and slices candidate windows out of flat arrays;
+    # "object" rebuilds a transformed FlowNetwork per window — slower,
+    # but the reference the skeleton is differentially tested against.
+    # Same answers, different time; PhaseBreakdown shows where it went.
+    from repro.core import PhaseBreakdown
+
+    for transform in ("skeleton", "object"):
+        r = find_bursting_flow(network, query, algorithm="bfq", transform=transform)
+        phases = PhaseBreakdown.from_stats(r.stats)
+        print(f"  transform={transform:<9} density={r.density:.1f}  {phases.format()}")
+
+    # BFQ's candidate windows are independent, so they can be sharded
+    # across a process pool.  Only pays off when individual windows are
+    # expensive (large networks); answers match the sequential run.
+    r = find_bursting_flow(network, query, algorithm="bfq", parallel_windows=2)
+    print(f"  parallel_windows=2 density={r.density:.1f} interval={r.interval}")
+
 
 if __name__ == "__main__":
     main()

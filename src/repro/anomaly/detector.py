@@ -22,6 +22,7 @@ from statistics import median
 from typing import Iterable, Sequence
 
 from repro.core.engine import find_bursting_flow
+from repro.core.profile import PhaseBreakdown
 from repro.core.query import BurstingFlowQuery
 from repro.exceptions import InvalidQueryError
 from repro.temporal.edge import NodeId, Timestamp
@@ -53,6 +54,9 @@ class ScanReport:
 
     findings: list[ScanFinding]
     flagged: list[ScanFinding] = field(default_factory=list)
+    #: Where the sweep's engine time went (transform vs maxflow vs prune),
+    #: accumulated over every answered query.
+    phases: PhaseBreakdown = field(default_factory=PhaseBreakdown)
 
     def top(self, count: int = 10) -> list[ScanFinding]:
         """The ``count`` highest-density findings."""
@@ -82,6 +86,8 @@ class BurstDetector:
             paper's case study does).
         kernel: maxflow kernel for the incremental solutions
             (``"persistent"``/``"object"``); ``None`` keeps the default.
+        transform: window-transform strategy (``"skeleton"``/``"object"``);
+            ``None`` keeps the default.
         outlier_score: modified z-score above which a finding is flagged.
         max_interval_fraction: a flagged burst must additionally be shorter
             than this fraction of the horizon (benign heavy flows are heavy
@@ -94,6 +100,7 @@ class BurstDetector:
         *,
         algorithm: str = "bfq*",
         kernel: str | None = None,
+        transform: str | None = None,
         outlier_score: float = 3.5,
         max_interval_fraction: float = 0.2,
     ) -> None:
@@ -105,6 +112,7 @@ class BurstDetector:
         self.network = network
         self.algorithm = algorithm
         self.kernel = kernel
+        self.transform = transform
         self.outlier_score = outlier_score
         self.max_interval_fraction = max_interval_fraction
 
@@ -121,6 +129,7 @@ class BurstDetector:
         from the network, but user-provided suspect lists may be stale).
         """
         findings: list[ScanFinding] = []
+        phases = PhaseBreakdown()
         for source in sources:
             for sink in sinks:
                 if source == sink:
@@ -133,7 +142,9 @@ class BurstDetector:
                         BurstingFlowQuery(source, sink, delta),
                         algorithm=self.algorithm,
                         kernel=self.kernel,
+                        transform=self.transform,
                     )
+                    phases.add(result.stats)
                     findings.append(
                         ScanFinding(
                             source=source,
@@ -144,7 +155,9 @@ class BurstDetector:
                             flow_value=result.flow_value,
                         )
                     )
-        return ScanReport(findings=findings, flagged=self._flag(findings))
+        return ScanReport(
+            findings=findings, flagged=self._flag(findings), phases=phases
+        )
 
     def _flag(self, findings: list[ScanFinding]) -> list[ScanFinding]:
         positives = [f for f in findings if f.density > 0]

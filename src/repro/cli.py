@@ -74,6 +74,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["persistent", "object"],
         help="maxflow kernel for bfq+/bfq* (default: persistent)",
     )
+    query.add_argument(
+        "--transform",
+        default=None,
+        choices=["skeleton", "object"],
+        help="window transform (default: skeleton — compiled per-query index)",
+    )
+    query.add_argument(
+        "--parallel-windows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard bfq candidate windows over N processes (0 = all cores)",
+    )
+    query.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the transform/maxflow/prune phase breakdown",
+    )
 
     scan = subparsers.add_parser(
         "scan", help="sweep queries over source/sink sets (case-study mode)"
@@ -92,6 +110,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=["persistent", "object"],
         help="maxflow kernel for the bfq* sweep (default: persistent)",
+    )
+    scan.add_argument(
+        "--transform",
+        default=None,
+        choices=["skeleton", "object"],
+        help="window transform for the sweep (default: skeleton)",
+    )
+    scan.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the sweep's transform/maxflow/prune phase breakdown",
     )
 
     trail = subparsers.add_parser(
@@ -262,8 +291,14 @@ def _run_query(args: argparse.Namespace) -> int:
         BurstingFlowQuery(args.source, args.sink, args.delta),
         algorithm=args.algorithm,
         kernel=args.kernel,
+        transform=args.transform,
+        parallel_windows=args.parallel_windows,
     )
     elapsed = time.perf_counter() - started
+    if args.profile:
+        from repro.core.profile import PhaseBreakdown
+
+        print(f"phases           : {PhaseBreakdown.from_stats(result.stats).format()}")
     if not result.found:
         print(
             f"no bursting flow from {args.source} to {args.sink} "
@@ -292,11 +327,15 @@ def _run_scan(args: argparse.Namespace) -> int:
             for fraction in args.delta_fractions.split(",")
         }
     )
-    detector = BurstDetector(network, kernel=args.kernel)
+    detector = BurstDetector(
+        network, kernel=args.kernel, transform=args.transform
+    )
     report = detector.scan(
         args.sources.split(","), args.sinks.split(","), deltas
     )
     print(f"scanned {len(report.findings)} (source, sink, delta) queries")
+    if args.profile:
+        print(f"phases: {report.phases.format()}")
     print(f"flagged {len(report.flagged)} outliers")
     header = f"{'source':<16} {'sink':<16} {'delta':>6} {'density':>14}  interval"
     print(header)

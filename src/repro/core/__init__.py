@@ -1,6 +1,6 @@
 """The paper's core contribution: delta-BFlow queries and their solutions."""
 
-from repro.core.batch import answer_many
+from repro.core.batch import answer_many, bfq_parallel
 from repro.core.bfq import bfq
 from repro.core.bfq_plus import bfq_plus
 from repro.core.bfq_star import bfq_star
@@ -11,7 +11,19 @@ from repro.core.engine import (
     get_algorithm,
 )
 from repro.core.incremental import IncrementalTransformedNetwork
-from repro.core.profile import ProfilePoint, density_profile, suggest_delta
+from repro.core.profile import (
+    PhaseBreakdown,
+    ProfilePoint,
+    density_profile,
+    suggest_delta,
+)
+from repro.core.skeleton import (
+    DEFAULT_TRANSFORM,
+    KNOWN_TRANSFORMS,
+    SkeletonWindow,
+    WindowSkeleton,
+    validate_transform,
+)
 from repro.core.intervals import CandidatePlan, enumerate_candidates, is_core_interval
 from repro.core.query import (
     BurstingFlowQuery,
@@ -41,9 +53,16 @@ from repro.core.transform import (
 __all__ = [
     "bfq",
     "answer_many",
+    "bfq_parallel",
     "density_profile",
     "suggest_delta",
+    "PhaseBreakdown",
     "ProfilePoint",
+    "WindowSkeleton",
+    "SkeletonWindow",
+    "DEFAULT_TRANSFORM",
+    "KNOWN_TRANSFORMS",
+    "validate_transform",
     "bursting_flow_trails",
     "trails_for_interval",
     "FlowTrail",

@@ -26,7 +26,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Sequence
 
 from repro.core.engine import DEFAULT_ALGORITHM, find_bursting_flow, get_algorithm
-from repro.core.query import BurstingFlowQuery, BurstingFlowResult
+from repro.core.query import BurstingFlowQuery, BurstingFlowResult, QueryStats
 from repro.temporal.network import TemporalFlowNetwork
 
 # Per-worker state, set by _init_worker in each pool process.  The parent
@@ -129,4 +129,178 @@ def _answer_one(query: BurstingFlowQuery) -> BurstingFlowResult:
     assert _WORKER_NETWORK is not None, "worker started outside answer_many"
     return find_bursting_flow(
         _WORKER_NETWORK, query, algorithm=_WORKER_ALGORITHM
+    )
+
+
+# ----------------------------------------------------------------------
+# parallel_windows: shard one BFQ query's candidate windows
+# ----------------------------------------------------------------------
+# Same initializer/initargs discipline as answer_many.  Each worker holds
+# the network, query and transform choice, plus a lazily compiled
+# WindowSkeleton (one per process, reused by every chunk it evaluates).
+_WINDOW_NETWORK: TemporalFlowNetwork | None = None
+_WINDOW_QUERY: BurstingFlowQuery | None = None
+_WINDOW_SOLVER: str = "dinic"
+_WINDOW_TRANSFORM: str | None = None
+_WINDOW_SKELETON = None
+
+
+def _init_window_worker(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    solver: str,
+    transform: str,
+) -> None:
+    """Pool initializer for the per-window fan-out."""
+    global _WINDOW_NETWORK, _WINDOW_QUERY, _WINDOW_SOLVER
+    global _WINDOW_TRANSFORM, _WINDOW_SKELETON
+    _WINDOW_NETWORK = network
+    _WINDOW_QUERY = query
+    _WINDOW_SOLVER = solver
+    _WINDOW_TRANSFORM = transform
+    _WINDOW_SKELETON = None
+
+
+def _reset_window_worker_state() -> None:
+    """Restore module defaults (also runs in the parent after the query)."""
+    global _WINDOW_NETWORK, _WINDOW_QUERY, _WINDOW_SOLVER
+    global _WINDOW_TRANSFORM, _WINDOW_SKELETON
+    _WINDOW_NETWORK = None
+    _WINDOW_QUERY = None
+    _WINDOW_SOLVER = "dinic"
+    _WINDOW_TRANSFORM = None
+    _WINDOW_SKELETON = None
+
+
+def _evaluate_window_chunk(intervals: list[tuple]) -> "QueryStats":
+    """Evaluate one chunk of candidate windows in a worker process.
+
+    Returns the chunk's :class:`QueryStats` (its samples carry every
+    per-window flow value); the parent re-derives the best record from the
+    samples, which is order-independent by the canonical tie-break.
+    """
+    from repro.core.bfq import evaluate_windows
+    from repro.core.record import BestRecord
+    from repro.core.skeleton import WindowSkeleton
+
+    global _WINDOW_SKELETON
+    assert _WINDOW_NETWORK is not None, "worker started outside bfq_parallel"
+    assert _WINDOW_QUERY is not None
+    if _WINDOW_TRANSFORM == "skeleton" and _WINDOW_SKELETON is None:
+        _WINDOW_SKELETON = WindowSkeleton(
+            _WINDOW_NETWORK, _WINDOW_QUERY.source, _WINDOW_QUERY.sink
+        )
+    stats = QueryStats()
+    evaluate_windows(
+        _WINDOW_NETWORK,
+        _WINDOW_QUERY,
+        intervals,
+        BestRecord(),
+        stats,
+        solver=_WINDOW_SOLVER,
+        transform=_WINDOW_TRANSFORM or "skeleton",
+        skeleton=_WINDOW_SKELETON,
+    )
+    return stats
+
+
+def bfq_parallel(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    *,
+    processes: int,
+    solver: str = "dinic",
+    transform: str | None = None,
+    mp_context: str | None = None,
+) -> BurstingFlowResult:
+    """BFQ with candidate windows sharded across worker processes.
+
+    BFQ's windows are evaluated independently (no state flows between
+    them), and :class:`~repro.core.record.BestRecord`'s canonical
+    tie-break is order-independent — so splitting the plan into contiguous
+    chunks and merging per-window results reproduces the sequential
+    answer exactly, samples in plan order and all.
+
+    Args:
+        processes: worker processes; ``0`` means ``os.cpu_count()``;
+            ``<= 1`` falls back to sequential :func:`~repro.core.bfq.bfq`.
+        solver / transform: forwarded to the per-window evaluation.
+        mp_context: multiprocessing start method (as in
+            :func:`answer_many`).
+    """
+    from repro.core.bfq import bfq
+    from repro.core.intervals import enumerate_candidates
+    from repro.core.record import BestRecord
+    from repro.core.skeleton import DEFAULT_TRANSFORM, validate_transform
+
+    transform = validate_transform(transform or DEFAULT_TRANSFORM)
+    query.validate_against(network)
+    if processes == 0:
+        processes = os.cpu_count() or 1
+    plan = enumerate_candidates(network, query.source, query.sink, query.delta)
+    intervals = list(plan.intervals())
+    if processes <= 1 or len(intervals) <= 1:
+        return bfq(network, query, solver=solver, transform=transform)
+
+    workers = min(processes, len(intervals))
+    # Contiguous chunks keep each worker's skeleton slices cache-friendly
+    # (consecutive windows share a start index).
+    chunk_bounds = [
+        (len(intervals) * w // workers, len(intervals) * (w + 1) // workers)
+        for w in range(workers)
+    ]
+    chunks = [intervals[lo:hi] for lo, hi in chunk_bounds if hi > lo]
+
+    context = multiprocessing.get_context(mp_context)
+    chunk_stats: list[QueryStats | None] = [None] * len(chunks)
+    pending = list(range(len(chunks)))
+    rebuilt = False
+    try:
+        while pending:
+            futures: dict[int, Future] = {}
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending)),
+                    mp_context=context,
+                    initializer=_init_window_worker,
+                    initargs=(network, query, solver, transform),
+                ) as pool:
+                    for index in pending:
+                        futures[index] = pool.submit(
+                            _evaluate_window_chunk, chunks[index]
+                        )
+                    for index, future in futures.items():
+                        chunk_stats[index] = future.result()
+                pending = []
+            except BrokenProcessPool:
+                if rebuilt:
+                    raise
+                rebuilt = True
+                for index, future in futures.items():
+                    if future.done() and future.exception() is None:
+                        chunk_stats[index] = future.result()
+                pending = [i for i in pending if chunk_stats[i] is None]
+    finally:
+        _reset_window_worker_state()
+
+    # Merge: fold every per-window flow value through one BestRecord (the
+    # canonical tie-break makes the fold order irrelevant) and concatenate
+    # stats in chunk order, which is plan order.
+    best = BestRecord()
+    stats = QueryStats()
+    for part in chunk_stats:
+        assert part is not None  # every chunk resolved or we raised
+        stats.candidates_enumerated += part.candidates_enumerated
+        stats.maxflow_runs += part.maxflow_runs
+        stats.augmenting_paths += part.augmenting_paths
+        stats.pruned_intervals += part.pruned_intervals
+        stats.prune_seconds += part.prune_seconds
+        for sample in part.samples:
+            stats.record_sample(sample)
+            best.offer(sample.flow_value, *sample.interval)
+    return BurstingFlowResult(
+        density=best.density,
+        interval=best.interval,
+        flow_value=best.value,
+        stats=stats,
     )

@@ -1,9 +1,23 @@
 """BFQ — the practical delta-BFlow solution (Algorithm 1).
 
 BFQ enumerates the ``O(d^2)`` candidate intervals of Lemma 2 and, for each
-one, transforms the temporal flow network from scratch and runs a classical
-Maxflow solver (Dinic by default) on the transformed network.  The best
-density seen, together with its interval, is the query answer.
+one, transforms the temporal flow network and runs a classical Maxflow
+solver on the transformed network.  The best density seen, together with
+its interval, is the query answer.
+
+Two transform strategies are supported (``transform=``):
+
+* ``"skeleton"`` (default) — compile the network once per query into a
+  :class:`~repro.core.skeleton.WindowSkeleton` and slice every candidate
+  window directly into a detached residual arena that the flat Dinic
+  kernel consumes natively; no per-window ``FlowNetwork`` object graph is
+  built at all.  With a non-Dinic ``solver=``, each window goes through
+  the skeleton's ``to_flow_network()`` escape hatch — still amortising the
+  per-window reachability sweep.
+* ``"object"`` — the original per-window
+  :func:`~repro.core.transform.build_transformed_network` construction,
+  retained for differential testing (the oracle pins its reference BFQ
+  backend to it).
 
 This is the paper's baseline; BFQ+ and BFQ* produce identical answers
 faster by reusing work across candidate intervals.
@@ -12,6 +26,7 @@ faster by reusing work across candidate intervals.
 from __future__ import annotations
 
 import time
+from typing import Iterable
 
 from repro.core.intervals import CandidatePlan, enumerate_candidates
 from repro.core.query import (
@@ -21,8 +36,10 @@ from repro.core.query import (
     QueryStats,
 )
 from repro.core.record import BestRecord
+from repro.core.skeleton import DEFAULT_TRANSFORM, WindowSkeleton, validate_transform
 from repro.core.transform import build_transformed_network
 from repro.flownet.algorithms.registry import get_solver
+from repro.temporal.edge import Timestamp
 from repro.temporal.network import TemporalFlowNetwork
 
 
@@ -31,6 +48,7 @@ def bfq(
     query: BurstingFlowQuery,
     *,
     solver: str = "dinic",
+    transform: str = DEFAULT_TRANSFORM,
 ) -> BurstingFlowResult:
     """Answer ``query`` with the from-scratch BFQ algorithm.
 
@@ -39,42 +57,27 @@ def bfq(
         query: the delta-BFlow query ``(s, t, delta)``.
         solver: name of the Maxflow solver to use per candidate interval
             (any entry of :data:`repro.flownet.algorithms.SOLVERS`).
+        transform: ``"skeleton"`` (compile once, slice per window — the
+            default) or ``"object"`` (per-window object-graph rebuild).
     """
     query.validate_against(network)
-    solve = get_solver(solver)
+    transform = validate_transform(transform)
+    get_solver(solver)  # fail fast on unknown solver names
     stats = QueryStats()
     plan: CandidatePlan = enumerate_candidates(
         network, query.source, query.sink, query.delta
     )
 
     best = BestRecord()
-
-    for tau_s, tau_e in plan.intervals():
-        stats.candidates_enumerated += 1
-        t0 = time.perf_counter()
-        transformed = build_transformed_network(
-            network, query.source, query.sink, tau_s, tau_e
-        )
-        t1 = time.perf_counter()
-        run = solve(
-            transformed.flow_network,
-            transformed.source_index,
-            transformed.sink_index,
-        )
-        t2 = time.perf_counter()
-        stats.maxflow_runs += 1
-        stats.augmenting_paths += run.augmenting_paths
-        stats.record_sample(
-            IntervalSample(
-                interval=(tau_s, tau_e),
-                network_size=transformed.num_nodes,
-                mode="dinic",
-                maxflow_seconds=t2 - t1,
-                transform_seconds=t1 - t0,
-                flow_value=run.value,
-            )
-        )
-        best.offer(run.value, tau_s, tau_e)
+    evaluate_windows(
+        network,
+        query,
+        plan.intervals(),
+        best,
+        stats,
+        solver=solver,
+        transform=transform,
+    )
 
     return BurstingFlowResult(
         density=best.density,
@@ -82,3 +85,80 @@ def bfq(
         flow_value=best.value,
         stats=stats,
     )
+
+
+def evaluate_windows(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    intervals: Iterable[tuple[Timestamp, Timestamp]],
+    best: BestRecord,
+    stats: QueryStats,
+    *,
+    solver: str = "dinic",
+    transform: str = DEFAULT_TRANSFORM,
+    skeleton: WindowSkeleton | None = None,
+) -> None:
+    """Evaluate candidate windows independently, folding into ``best``.
+
+    This is BFQ's inner loop, factored out so the ``parallel_windows=``
+    mode (:func:`repro.core.batch.bfq_parallel`) can run disjoint chunks
+    of one plan in worker processes — window evaluations share no state,
+    and :class:`~repro.core.record.BestRecord`'s canonical tie-break is
+    order-independent, so any partition merges to the sequential answer.
+
+    Args:
+        skeleton: a pre-compiled :class:`WindowSkeleton` to reuse (workers
+            compile one per process); compiled lazily when ``None`` and
+            ``transform="skeleton"``.
+    """
+    solve = get_solver(solver)
+    use_arena = transform == "skeleton" and solver == "dinic"
+    for tau_s, tau_e in intervals:
+        stats.candidates_enumerated += 1
+        t0 = time.perf_counter()
+        if transform == "skeleton":
+            if skeleton is None:
+                # Lazy compile: charged to the first window's transform
+                # time (it replaces that window's reachability sweep).
+                skeleton = WindowSkeleton(network, query.source, query.sink)
+            window = skeleton.materialize(tau_s, tau_e)
+            if use_arena:
+                t1 = time.perf_counter()
+                run = window.maxflow()
+                t2 = time.perf_counter()
+                size = window.num_nodes
+            else:
+                transformed = window.to_flow_network()
+                t1 = time.perf_counter()
+                run = solve(
+                    transformed.flow_network,
+                    transformed.source_index,
+                    transformed.sink_index,
+                )
+                t2 = time.perf_counter()
+                size = transformed.num_nodes
+        else:
+            transformed = build_transformed_network(
+                network, query.source, query.sink, tau_s, tau_e
+            )
+            t1 = time.perf_counter()
+            run = solve(
+                transformed.flow_network,
+                transformed.source_index,
+                transformed.sink_index,
+            )
+            t2 = time.perf_counter()
+            size = transformed.num_nodes
+        stats.maxflow_runs += 1
+        stats.augmenting_paths += run.augmenting_paths
+        stats.record_sample(
+            IntervalSample(
+                interval=(tau_s, tau_e),
+                network_size=size,
+                mode="dinic",
+                maxflow_seconds=t2 - t1,
+                transform_seconds=t1 - t0,
+                flow_value=run.value,
+            )
+        )
+        best.offer(run.value, tau_s, tau_e)

@@ -12,6 +12,13 @@ computed Maxflow cannot beat the current best density, the run is skipped.
 The structural extension itself still happens (it is cheap and later
 extensions build on it); a per-start ``pending`` accumulator keeps the
 pruning bound correct across consecutively pruned candidates.
+
+With ``transform="skeleton"`` (the default) one
+:class:`~repro.core.skeleton.WindowSkeleton` is compiled per query and
+shared by every per-start incremental state, replacing all per-extension
+reachability sweeps with binary-searched slices of the compiled per-start
+index; ``transform="object"`` keeps the original per-extension
+``reachable_edges`` path for differential testing.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.core.query import (
     QueryStats,
 )
 from repro.core.record import BestRecord, should_prune
+from repro.core.skeleton import DEFAULT_TRANSFORM, WindowSkeleton, validate_transform
 from repro.core.transform import build_transformed_network
 from repro.flownet.algorithms.dinic import dinic
 from repro.temporal.edge import Timestamp
@@ -43,6 +51,7 @@ def bfq_plus(
     *,
     use_pruning: bool = True,
     kernel: str = DEFAULT_KERNEL,
+    transform: str = DEFAULT_TRANSFORM,
 ) -> BurstingFlowResult:
     """Answer ``query`` with BFQ+ (insertion-case incremental Maxflow).
 
@@ -54,13 +63,22 @@ def bfq_plus(
         kernel: maxflow kernel for the incremental state (``"persistent"``
             runs the flat-array Dinic on a maintained CSR residual arena;
             ``"object"`` is the Arc-walking engine).
+        transform: edge-inclusion backend — ``"skeleton"`` (one compiled
+            per-query index, default) or ``"object"`` (per-extension
+            reachability sweeps).
     """
     query.validate_against(network)
+    transform = validate_transform(transform)
     stats = QueryStats()
     plan: CandidatePlan = enumerate_candidates(
         network, query.source, query.sink, query.delta
     )
     best = BestRecord()
+    skeleton: WindowSkeleton | None = None
+    if transform == "skeleton" and (plan.starts or plan.corner is not None):
+        t0 = time.perf_counter()
+        skeleton = WindowSkeleton(network, query.source, query.sink)
+        stats.transform_seconds += time.perf_counter() - t0
 
     for tau_s in plan.starts:
         _sweep_endings(
@@ -72,8 +90,12 @@ def bfq_plus(
             stats,
             use_pruning=use_pruning,
             kernel=kernel,
+            transform=transform,
+            skeleton=skeleton,
         )
-    _evaluate_corner(network, query, plan, best, stats)
+    _evaluate_corner(
+        network, query, plan, best, stats, transform=transform, skeleton=skeleton
+    )
 
     return BurstingFlowResult(
         density=best.density,
@@ -93,13 +115,22 @@ def _sweep_endings(
     *,
     use_pruning: bool,
     kernel: str = DEFAULT_KERNEL,
+    transform: str = DEFAULT_TRANSFORM,
+    skeleton: WindowSkeleton | None = None,
 ) -> None:
     """Lines 4-11 of Algorithm 2 for one fixed ``tau_s``."""
     tau_e = tau_s + plan.delta
     stats.candidates_enumerated += 1
     t0 = time.perf_counter()
     state = IncrementalTransformedNetwork(
-        network, query.source, query.sink, tau_s, tau_e, kernel=kernel
+        network,
+        query.source,
+        query.sink,
+        tau_s,
+        tau_e,
+        kernel=kernel,
+        transform=transform,
+        skeleton=skeleton,
     )
     t1 = time.perf_counter()
     run = state.run_maxflow()
@@ -128,8 +159,10 @@ def _sweep_endings(
         pending_sink_capacity += network.sink_capacity_in_window(
             query.sink, state.tau_e + 1, tau_e_next
         )
+        tp = time.perf_counter()
         state.extend_end(tau_e_next)
         t1 = time.perf_counter()
+        stats.prune_seconds += tp - t0
         stats.incremental_insertions += 1
 
         upper_bound = flow_value + pending_sink_capacity
@@ -141,7 +174,7 @@ def _sweep_endings(
                     network_size=state.num_nodes,
                     mode="pruned",
                     maxflow_seconds=0.0,
-                    transform_seconds=t1 - t0,
+                    transform_seconds=t1 - tp,
                     flow_value=flow_value,
                 )
             )
@@ -159,7 +192,7 @@ def _sweep_endings(
                 network_size=state.num_nodes,
                 mode="maxflow+",
                 maxflow_seconds=t2 - t1,
-                transform_seconds=t1 - t0,
+                transform_seconds=t1 - tp,
                 flow_value=flow_value,
             )
         )
@@ -172,29 +205,43 @@ def _evaluate_corner(
     plan: CandidatePlan,
     best: BestRecord,
     stats: QueryStats,
+    *,
+    transform: str = DEFAULT_TRANSFORM,
+    skeleton: WindowSkeleton | None = None,
 ) -> None:
     """Footnote-4 corner case: the clamped window ``[T_max - delta, T_max]``."""
     if plan.corner is None:
         return
     tau_s, tau_e = plan.corner
     stats.candidates_enumerated += 1
-    t0 = time.perf_counter()
-    transformed = build_transformed_network(
-        network, query.source, query.sink, tau_s, tau_e
-    )
-    t1 = time.perf_counter()
-    run = dinic(
-        transformed.flow_network,
-        transformed.source_index,
-        transformed.sink_index,
-    )
-    t2 = time.perf_counter()
+    if transform == "skeleton":
+        t0 = time.perf_counter()
+        if skeleton is None:
+            skeleton = WindowSkeleton(network, query.source, query.sink)
+        window = skeleton.materialize(tau_s, tau_e)
+        t1 = time.perf_counter()
+        run = window.maxflow()
+        t2 = time.perf_counter()
+        size = window.num_nodes
+    else:
+        t0 = time.perf_counter()
+        transformed = build_transformed_network(
+            network, query.source, query.sink, tau_s, tau_e
+        )
+        t1 = time.perf_counter()
+        run = dinic(
+            transformed.flow_network,
+            transformed.source_index,
+            transformed.sink_index,
+        )
+        t2 = time.perf_counter()
+        size = transformed.num_nodes
     stats.maxflow_runs += 1
     stats.augmenting_paths += run.augmenting_paths
     stats.record_sample(
         IntervalSample(
             interval=(tau_s, tau_e),
-            network_size=transformed.num_nodes,
+            network_size=size,
             mode="dinic",
             maxflow_seconds=t2 - t1,
             transform_seconds=t1 - t0,

@@ -15,6 +15,12 @@ current ``tau_s`` by:
 
 The snapshot then becomes the running state for the ``tau_s'`` iteration,
 and the insertion sweep for the current ``tau_s`` continues unchanged.
+
+As in BFQ+, ``transform="skeleton"`` (default) compiles one
+:class:`~repro.core.skeleton.WindowSkeleton` per query, shared by the
+running state and every snapshot it spawns — extensions after an
+``advance_start`` slice the per-start index of the *new* start instead of
+rebuilding arrival labels over the live graph.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.core.query import (
     QueryStats,
 )
 from repro.core.record import BestRecord, should_prune
+from repro.core.skeleton import DEFAULT_TRANSFORM, WindowSkeleton, validate_transform
 from repro.temporal.edge import Timestamp
 from repro.temporal.network import TemporalFlowNetwork
 
@@ -41,6 +48,7 @@ def bfq_star(
     *,
     use_pruning: bool = True,
     kernel: str = DEFAULT_KERNEL,
+    transform: str = DEFAULT_TRANSFORM,
 ) -> BurstingFlowResult:
     """Answer ``query`` with BFQ* (insertion + deletion incremental Maxflow).
 
@@ -50,19 +58,37 @@ def bfq_star(
         use_pruning: apply Observation 2 during the insertion sweeps.
         kernel: maxflow kernel for the incremental states (``"persistent"``
             or ``"object"``; see :mod:`repro.core.incremental`).
+        transform: edge-inclusion backend — ``"skeleton"`` (one compiled
+            per-query index, default) or ``"object"``.
     """
     query.validate_against(network)
+    transform = validate_transform(transform)
     stats = QueryStats()
     plan: CandidatePlan = enumerate_candidates(
         network, query.source, query.sink, query.delta
     )
     best = BestRecord()
+    skeleton: WindowSkeleton | None = None
+    if transform == "skeleton" and (plan.starts or plan.corner is not None):
+        t0 = time.perf_counter()
+        skeleton = WindowSkeleton(network, query.source, query.sink)
+        stats.transform_seconds += time.perf_counter() - t0
 
     if plan.starts:
         _zigzag(
-            network, query, plan, best, stats, use_pruning=use_pruning, kernel=kernel
+            network,
+            query,
+            plan,
+            best,
+            stats,
+            use_pruning=use_pruning,
+            kernel=kernel,
+            transform=transform,
+            skeleton=skeleton,
         )
-    _evaluate_corner(network, query, plan, best, stats)
+    _evaluate_corner(
+        network, query, plan, best, stats, transform=transform, skeleton=skeleton
+    )
 
     return BurstingFlowResult(
         density=best.density,
@@ -81,12 +107,22 @@ def _zigzag(
     *,
     use_pruning: bool,
     kernel: str = DEFAULT_KERNEL,
+    transform: str = DEFAULT_TRANSFORM,
+    skeleton: WindowSkeleton | None = None,
 ) -> None:
     """The Figure 5(c) evaluation pattern over all starting timestamps."""
     delta = plan.delta
     first_start = plan.starts[0]
     state = _fresh_minimal_state(
-        network, query, first_start, delta, best, stats, kernel=kernel
+        network,
+        query,
+        first_start,
+        delta,
+        best,
+        stats,
+        kernel=kernel,
+        transform=transform,
+        skeleton=skeleton,
     )
 
     for position, tau_s in enumerate(plan.starts):
@@ -111,8 +147,10 @@ def _zigzag(
             pending_sink_capacity += network.sink_capacity_in_window(
                 query.sink, state.tau_e + 1, tau_e_next
             )
+            tp = time.perf_counter()
             state.extend_end(tau_e_next)
             t1 = time.perf_counter()
+            stats.prune_seconds += tp - t0
             stats.incremental_insertions += 1
 
             upper_bound = flow_value + pending_sink_capacity
@@ -126,7 +164,7 @@ def _zigzag(
                         network_size=state.num_nodes,
                         mode="pruned",
                         maxflow_seconds=0.0,
-                        transform_seconds=t1 - t0,
+                        transform_seconds=t1 - tp,
                         flow_value=flow_value,
                     )
                 )
@@ -143,7 +181,7 @@ def _zigzag(
                     network_size=state.num_nodes,
                     mode="maxflow+",
                     maxflow_seconds=t2 - t1,
-                    transform_seconds=t1 - t0,
+                    transform_seconds=t1 - tp,
                     flow_value=flow_value,
                 )
             )
@@ -167,12 +205,21 @@ def _fresh_minimal_state(
     stats: QueryStats,
     *,
     kernel: str = DEFAULT_KERNEL,
+    transform: str = DEFAULT_TRANSFORM,
+    skeleton: WindowSkeleton | None = None,
 ) -> IncrementalTransformedNetwork:
     """Build and solve the very first minimal window (Lines 3-5)."""
     stats.candidates_enumerated += 1
     t0 = time.perf_counter()
     state = IncrementalTransformedNetwork(
-        network, query.source, query.sink, tau_s, tau_s + delta, kernel=kernel
+        network,
+        query.source,
+        query.sink,
+        tau_s,
+        tau_s + delta,
+        kernel=kernel,
+        transform=transform,
+        skeleton=skeleton,
     )
     t1 = time.perf_counter()
     run = state.run_maxflow()
@@ -206,7 +253,8 @@ def _branch_for_next_start(
     Clones the running state, extends the clone's end to exactly
     ``next_start + delta`` when needed, withdraws the pre-``next_start``
     flow (IncreMaxFlow-), and resumes Dinic for the minimal window of the
-    next starting timestamp.
+    next starting timestamp.  The clone shares the query's compiled
+    skeleton, so the extension slices the per-start index directly.
     """
     stats.candidates_enumerated += 1
     t0 = time.perf_counter()

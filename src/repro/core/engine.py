@@ -19,6 +19,7 @@ from repro.core.bfq import bfq
 from repro.core.bfq_plus import bfq_plus
 from repro.core.bfq_star import bfq_star
 from repro.core.query import BurstingFlowQuery, BurstingFlowResult
+from repro.core.skeleton import KNOWN_TRANSFORMS
 from repro.exceptions import InvalidQueryError
 from repro.temporal.edge import NodeId
 from repro.temporal.network import TemporalFlowNetwork
@@ -62,6 +63,10 @@ DEFAULT_ALGORITHM = "bfq*"
 #: (``"persistent"`` flat-array Dinic vs the ``"object"`` graph kernel).
 KERNEL_ALGORITHMS = frozenset({"bfq+", "bfq*"})
 
+#: Algorithms that accept a ``transform=`` choice (``"skeleton"`` compiled
+#: per-query window index vs the ``"object"`` per-window rebuild).
+TRANSFORM_ALGORITHMS = frozenset({"bfq", "bfq+", "bfq*"})
+
 
 def get_algorithm(name: str) -> Callable[..., BurstingFlowResult]:
     """Resolve a delta-BFlow algorithm by name (case-insensitive).
@@ -87,6 +92,8 @@ def find_bursting_flow(
     delta: int | None = None,
     algorithm: str = DEFAULT_ALGORITHM,
     kernel: str | None = None,
+    transform: str | None = None,
+    parallel_windows: int | None = None,
     **kwargs,
 ) -> BurstingFlowResult:
     """Find the delta-BFlow for a query.
@@ -104,6 +111,17 @@ def find_bursting_flow(
         kernel: maxflow kernel for the incremental solutions —
             ``"persistent"`` (flat-array, default) or ``"object"``; only
             valid with ``algorithm`` in ``"bfq+"``/``"bfq*"``.
+        transform: window-transform strategy — ``"skeleton"`` (compile the
+            query's window skeleton once and slice candidates into
+            detached residual arenas; the default) or ``"object"``
+            (per-window object-graph rebuild); only valid with
+            ``algorithm`` in ``"bfq"``/``"bfq+"``/``"bfq*"``.
+        parallel_windows: shard BFQ's independent candidate windows over
+            this many worker processes (``0`` means ``os.cpu_count()``).
+            Only valid with ``algorithm="bfq"`` — BFQ+/BFQ* chain state
+            across windows and cannot shard.  ``None`` (default) runs
+            sequentially; worth it only when per-window Maxflow dominates
+            (large dense windows), since workers re-pickle the network.
         **kwargs: forwarded to the algorithm (e.g. ``use_pruning=False``
             for the incremental solutions, ``solver="push-relabel"`` for
             BFQ).
@@ -130,4 +148,29 @@ def find_bursting_flow(
                 f"algorithm {algorithm!r} has no incremental state"
             )
         kwargs["kernel"] = kernel
+    if transform is not None:
+        if algorithm.lower() not in TRANSFORM_ALGORITHMS:
+            raise InvalidQueryError(
+                f"transform={transform!r} only applies to "
+                f"{', '.join(sorted(TRANSFORM_ALGORITHMS))}; "
+                f"algorithm {algorithm!r} has no window transform"
+            )
+        if transform.lower() not in KNOWN_TRANSFORMS:
+            raise InvalidQueryError(
+                f"unknown transform {transform!r}; "
+                f"known: {', '.join(KNOWN_TRANSFORMS)}"
+            )
+        kwargs["transform"] = transform.lower()
+    if parallel_windows is not None:
+        if algorithm.lower() != "bfq":
+            raise InvalidQueryError(
+                f"parallel_windows only applies to algorithm 'bfq' "
+                f"(candidate windows are independent there); "
+                f"algorithm {algorithm!r} chains state across windows"
+            )
+        from repro.core.batch import bfq_parallel  # local: avoid cycle
+
+        return bfq_parallel(
+            network, query, processes=parallel_windows, **kwargs
+        )
     return get_algorithm(algorithm)(network, query, **kwargs)

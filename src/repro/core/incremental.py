@@ -37,6 +37,7 @@ from repro.flownet.algorithms.base import MaxflowRun
 from repro.flownet.algorithms.dinic import dinic
 from repro.flownet.algorithms.dinic_flat_persistent import dinic_flat_persistent
 from repro.flownet.network import EdgeKind, EdgeRef, FlowNetwork
+from repro.core.skeleton import DEFAULT_TRANSFORM, WindowSkeleton, validate_transform
 from repro.core.transform import TransformedNetwork, reachable_edges
 from repro.temporal.edge import NodeId, Timestamp
 from repro.temporal.network import TemporalFlowNetwork
@@ -65,6 +66,8 @@ class IncrementalTransformedNetwork:
         tau_e: Timestamp,
         *,
         kernel: str = DEFAULT_KERNEL,
+        transform: str = DEFAULT_TRANSFORM,
+        skeleton: WindowSkeleton | None = None,
     ) -> None:
         if tau_e <= tau_s:
             raise InvalidIntervalError(f"window [{tau_s}, {tau_e}] is degenerate")
@@ -73,6 +76,20 @@ class IncrementalTransformedNetwork:
                 f"unknown maxflow kernel {kernel!r}; known: {', '.join(_KNOWN_KERNELS)}"
             )
         self.kernel = kernel
+        self.transform = validate_transform(transform)
+        # Edge-inclusion backend.  ``"skeleton"`` answers every
+        # _include_window from the compiled per-start reachability index
+        # (shared across all of a query's states — BFQ+/BFQ* pass one in);
+        # ``"object"`` runs reachable_edges per extension and maintains
+        # the arrival-label dict.
+        if self.transform == "skeleton":
+            self._skeleton = (
+                skeleton
+                if skeleton is not None
+                else WindowSkeleton(temporal, source, sink)
+            )
+        else:
+            self._skeleton = None
         self.temporal = temporal
         self.source = source
         self.sink = sink
@@ -166,6 +183,8 @@ class IncrementalTransformedNetwork:
         """
         other = IncrementalTransformedNetwork.__new__(IncrementalTransformedNetwork)
         other.kernel = self.kernel
+        other.transform = self.transform
+        other._skeleton = self._skeleton  # compiled index; safely shared
         other.temporal = self.temporal
         other.source = self.source
         other.sink = self.sink
@@ -286,7 +305,15 @@ class IncrementalTransformedNetwork:
         self.tau_s = new_tau_s
         self._ensure_timeline_node(self.source, new_tau_s)
         self._sync_endpoints()
-        self._rebuild_arrival()
+        if self._skeleton is None:
+            self._rebuild_arrival()
+        # Skeleton mode needs no arrival rebuild: later extensions slice
+        # the per-start index of the *new* tau_s, a from-scratch temporal
+        # reachability.  That can be a superset of the live-graph labels
+        # the object path rebuilds (edges enabled only through dropped
+        # sink-out edges reappear), but such edges have no inflow in the
+        # materialised graph and cannot change any Maxflow value — the
+        # differential suite pins value equality across both modes.
         return withdrawn
 
     # ------------------------------------------------------------------
@@ -300,9 +327,18 @@ class IncrementalTransformedNetwork:
         """Materialise reachable edges with timestamps in [tau_lo, tau_hi]."""
         if tau_hi < tau_lo:
             return
-        included = reachable_edges(
-            self.temporal, self.source, tau_lo, tau_hi, arrival=self._arrival
-        )
+        if self._skeleton is not None:
+            # The compiled per-start index: the same included-edge list, in
+            # the same order, as the reachable_edges call below — any
+            # window's inclusion set is a stamp-range slice of the current
+            # start's index (arrival labels only depend on earlier stamps).
+            included = self._skeleton.included_between(
+                self.tau_s, tau_lo, tau_hi
+            )
+        else:
+            included = reachable_edges(
+                self.temporal, self.source, tau_lo, tau_hi, arrival=self._arrival
+            )
         for u, v, tau, capacity in included:
             if u == self.sink or v == self.source:
                 continue  # cannot carry s-t flow (see transform.assemble)

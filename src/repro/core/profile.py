@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.engine import find_bursting_flow
-from repro.core.query import BurstingFlowQuery
+from repro.core.query import BurstingFlowQuery, QueryStats
 from repro.exceptions import InvalidQueryError
 from repro.temporal.edge import NodeId, Timestamp
 from repro.temporal.network import TemporalFlowNetwork
@@ -34,6 +34,70 @@ class ProfilePoint:
     density: float
     interval: tuple[Timestamp, Timestamp] | None
     flow_value: float
+
+
+@dataclass(slots=True)
+class PhaseBreakdown:
+    """Where a query (or a sweep of queries) spent its time.
+
+    The three phases partition the engine's measured work:
+
+    * ``transform`` — compiling the window skeleton / building or
+      extending transformed networks (structure, not flow);
+    * ``maxflow`` — Dinic runs, incremental or from scratch;
+    * ``prune`` — computing the Observation-2 sink-capacity bounds.
+
+    Accumulable: :meth:`add` folds further :class:`QueryStats` in, so a
+    scan or a service can keep one running breakdown per algorithm.
+    """
+
+    transform_seconds: float = 0.0
+    maxflow_seconds: float = 0.0
+    prune_seconds: float = 0.0
+    queries: int = 0
+
+    @classmethod
+    def from_stats(cls, stats: QueryStats) -> "PhaseBreakdown":
+        """The breakdown of one answered query."""
+        breakdown = cls()
+        breakdown.add(stats)
+        return breakdown
+
+    def add(self, stats: QueryStats) -> None:
+        """Fold one more answered query's stats into the breakdown."""
+        phases = stats.phase_seconds()
+        self.transform_seconds += phases["transform"]
+        self.maxflow_seconds += phases["maxflow"]
+        self.prune_seconds += phases["prune"]
+        self.queries += 1
+
+    @property
+    def total_seconds(self) -> float:
+        """Measured time across all phases."""
+        return self.transform_seconds + self.maxflow_seconds + self.prune_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-able phase totals (seconds), plus the query count."""
+        return {
+            "transform_seconds": self.transform_seconds,
+            "maxflow_seconds": self.maxflow_seconds,
+            "prune_seconds": self.prune_seconds,
+            "total_seconds": self.total_seconds,
+            "queries": self.queries,
+        }
+
+    def format(self) -> str:
+        """One human line: ``transform 12.3ms (40%) | maxflow ... | ...``."""
+        total = self.total_seconds
+        parts = []
+        for name, seconds in (
+            ("transform", self.transform_seconds),
+            ("maxflow", self.maxflow_seconds),
+            ("prune", self.prune_seconds),
+        ):
+            share = f" ({seconds / total:.0%})" if total > 0 else ""
+            parts.append(f"{name} {seconds * 1000.0:,.1f}ms{share}")
+        return " | ".join(parts)
 
 
 def density_profile(

@@ -83,12 +83,26 @@ class QueryStats:
     augmenting_paths: int = 0
     transform_seconds: float = 0.0
     maxflow_seconds: float = 0.0
+    #: Time spent computing Observation-2 pruning bounds (sink-capacity
+    #: window sums and the prune decision) — kept out of transform time so
+    #: the phase breakdown attributes each second to the work that caused
+    #: it.
+    prune_seconds: float = 0.0
     samples: list[IntervalSample] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
-        """Transform plus Maxflow time."""
-        return self.transform_seconds + self.maxflow_seconds
+        """Transform plus Maxflow plus pruning time."""
+        return self.transform_seconds + self.maxflow_seconds + self.prune_seconds
+
+    def phase_seconds(self) -> dict[str, float]:
+        """The phase breakdown as a plain dict (feeds ``--profile`` and
+        the service ``/metrics`` snapshot)."""
+        return {
+            "transform": self.transform_seconds,
+            "maxflow": self.maxflow_seconds,
+            "prune": self.prune_seconds,
+        }
 
     def record_sample(self, sample: IntervalSample) -> None:
         """Append a per-interval sample, accumulating its timings."""

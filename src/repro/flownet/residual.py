@@ -133,6 +133,40 @@ class ResidualArena:
         self.cut_closed = False
         self.cut_sink = -1
 
+    @classmethod
+    def detached(
+        cls,
+        heads: list[int],
+        caps: list[float],
+        rev: list[int],
+        slots: list[list[int]],
+    ) -> "ResidualArena":
+        """An arena over caller-built flat arrays, owned by no network.
+
+        This is the transform compiler's entry point
+        (:meth:`repro.core.skeleton.WindowSkeleton.materialize`): the
+        candidate window is assembled straight into ``heads`` / ``caps`` /
+        ``rev`` / ``slots`` and the kernel runs on it without any
+        :class:`FlowNetwork` behind it.  ``arcs`` is ``None`` — there are
+        no ``Arc`` objects to write back to — and the kernel skips its
+        write-back accordingly.  Mutation hooks (:meth:`sync` and friends)
+        must not be used on a detached arena.
+        """
+        arena = cls.__new__(cls)
+        n = len(slots)
+        arena.heads = heads
+        arena.caps = caps
+        arena.rev = rev
+        arena.arcs = None  # type: ignore[assignment]
+        arena.slots = slots
+        arena.level = [ARENA_UNREACHED] * n
+        arena.iters = [0] * n
+        arena.stale_labels = []
+        arena.dirty = []
+        arena.cut_closed = False
+        arena.cut_sink = -1
+        return arena
+
     # ------------------------------------------------------------------
     # Batch catch-up (invoked by the kernel at entry)
     # ------------------------------------------------------------------

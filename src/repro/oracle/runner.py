@@ -1,15 +1,17 @@
-"""The differential runner: six backends, one query, zero tolerance.
+"""The differential runner: seven backends, one query, zero tolerance.
 
 For each :class:`~repro.oracle.cases.FuzzCase` the runner executes every
-registered backend (BFQ, BFQ+, BFQ*, the naive ``O(|T|^2)`` oracle, the
-NetworkX-backed baseline, and the ``service`` backend that round-trips
-the query through the full serialize → cache → worker → deserialize
-serving path of :mod:`repro.service`) on the same query and diffs the
-answers:
+registered backend (``bfq`` pinned to the object-graph transform,
+``bfq-skel`` — BFQ pinned to the compiled-skeleton transform, so every
+trial also cross-checks the transform compiler — BFQ+, BFQ*, the naive
+``O(|T|^2)`` oracle, the NetworkX-backed baseline, and the ``service``
+backend that round-trips the query through the full serialize → cache →
+worker → deserialize serving path of :mod:`repro.service`) on the same
+query and diffs the answers:
 
 * **density** — all backends must agree within a relative epsilon;
 * **flow value** — must match the density on the reported interval;
-* **interval** — the four Lemma-2 plan-based backends must report the
+* **interval** — the Lemma-2 plan-based backends must report the
   *byte-identical* interval under the canonical tie-break of
   :mod:`repro.core.record`.  The naive oracle enumerates *all* windows, a
   strict superset of the plan, so an equal-density window outside the plan
@@ -49,9 +51,24 @@ from repro.temporal.edge import Timestamp
 #: orders) but far below anything an off-by-one bug could produce.
 AGREEMENT_EPSILON = 1e-9
 
-#: All differential backends, in execution order.
+def _bfq_object(network, query, **kwargs) -> BurstingFlowResult:
+    """BFQ pinned to the per-window object-graph transform."""
+    return bfq(network, query, transform="object", **kwargs)
+
+
+def _bfq_skeleton(network, query, **kwargs) -> BurstingFlowResult:
+    """BFQ pinned to the compiled-skeleton transform (arena slicing)."""
+    return bfq(network, query, transform="skeleton", **kwargs)
+
+
+#: All differential backends, in execution order.  ``bfq`` is pinned to
+#: the object transform and ``bfq-skel`` to the skeleton transform, so
+#: every fuzz case cross-checks the compiled window skeleton against the
+#: original per-window rebuild; ``bfq+``/``bfq*`` run the default
+#: (skeleton) transform through the incremental engine.
 BACKENDS: Mapping[str, Callable[..., BurstingFlowResult]] = {
-    "bfq": bfq,
+    "bfq": _bfq_object,
+    "bfq-skel": _bfq_skeleton,
     "bfq+": bfq_plus,
     "bfq*": bfq_star,
     "naive": naive_bfq,
@@ -65,7 +82,14 @@ BACKENDS: Mapping[str, Callable[..., BurstingFlowResult]] = {
 #: Backends that enumerate exactly the Lemma-2 candidate plan and must
 #: therefore agree on the interval byte-for-byte.  The service backend
 #: wraps BFQ*, so its interval is canonical too.
-PLAN_BACKENDS: tuple[str, ...] = ("bfq", "bfq+", "bfq*", "networkx", "service")
+PLAN_BACKENDS: tuple[str, ...] = (
+    "bfq",
+    "bfq-skel",
+    "bfq+",
+    "bfq*",
+    "networkx",
+    "service",
+)
 
 #: Backends supporting ``use_pruning`` (checked on *and* off).
 PRUNABLE_BACKENDS: tuple[str, ...] = ("bfq+", "bfq*")

@@ -122,6 +122,9 @@ class ServiceMetrics:
         self.solve_latency: dict[str, LatencyHistogram] = {}
         #: End-to-end latency of cache hits (lookup + serialization).
         self.hit_latency = LatencyHistogram()
+        #: Per-algorithm cumulative engine phase seconds
+        #: ({algorithm: {"transform": .., "maxflow": .., "prune": ..}}).
+        self.phase_seconds: dict[str, dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -146,6 +149,13 @@ class ServiceMetrics:
             self.solve_latency.setdefault(algorithm, LatencyHistogram()).observe(
                 seconds
             )
+
+    def observe_phases(self, algorithm: str, phases: dict[str, float]) -> None:
+        """Fold one solve's engine phase breakdown into the totals."""
+        with self._lock:
+            slot = self.phase_seconds.setdefault(algorithm, {})
+            for phase, seconds in phases.items():
+                slot[phase] = slot.get(phase, 0.0) + seconds
 
     def observe_hit(self, seconds: float) -> None:
         """One request was served from the result cache."""
@@ -200,7 +210,9 @@ class ServiceMetrics:
              "queue": {"depth": .., "high_water": .., "shed": ..},
              "timeouts": .., "worker_restarts": .., "appended_edges": ..,
              "latency": {"cache_hit": {histogram},
-                         "solve": {algorithm: {histogram}}}}
+                         "solve": {algorithm: {histogram}}},
+             "phases": {algorithm: {"transform": s, "maxflow": s,
+                                    "prune": s}}}
 
         where ``{histogram}`` is ``{"count", "mean_ms", "p50_ms",
         "p95_ms", "p99_ms"}``.
@@ -231,6 +243,13 @@ class ServiceMetrics:
                             self.solve_latency.items()
                         )
                     },
+                },
+                "phases": {
+                    algorithm: {
+                        phase: round(seconds, 6)
+                        for phase, seconds in sorted(slot.items())
+                    }
+                    for algorithm, slot in sorted(self.phase_seconds.items())
                 },
             }
 

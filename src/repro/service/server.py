@@ -293,7 +293,7 @@ class BurstingFlowService:
                 try:
                     query.validate_against(self.network)
                     remaining = self.admission.remaining(deadline)
-                    density, interval, flow_value = await asyncio.wait_for(
+                    answer = await asyncio.wait_for(
                         self.engine.answer(
                             request.source,
                             request.sink,
@@ -315,9 +315,16 @@ class BurstingFlowService:
                         ERROR_INTERNAL,
                         f"{type(exc).__name__}: {exc}",
                     )
+                # Engines return (density, interval, flow_value) plus an
+                # optional trailing phase-seconds dict; unpack defensively
+                # so a custom engine backend without phases still works.
+                density, interval, flow_value = answer[:3]
+                phases = answer[3] if len(answer) > 3 else None
                 self.cache.put(key, (density, interval, flow_value))
                 solve_elapsed = time.perf_counter() - started
                 self.metrics.observe_solve(algorithm, solve_elapsed)
+                if phases:
+                    self.metrics.observe_phases(algorithm, phases)
                 return QueryReply(
                     id=request.id,
                     density=density,

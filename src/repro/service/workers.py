@@ -35,8 +35,13 @@ from repro.core.query import BurstingFlowQuery
 from repro.temporal.edge import NodeId, Timestamp
 from repro.temporal.network import TemporalFlowNetwork
 
-#: A raw engine answer: (density, interval, flow_value).
-RawAnswer = tuple[float, "tuple[Timestamp, Timestamp] | None", float]
+#: A raw engine answer: (density, interval, flow_value, phase_seconds).
+#: The trailing phase dict ({"transform": .., "maxflow": .., "prune": ..})
+#: feeds the service's per-algorithm phase metrics; consumers that only
+#: need the answer unpack ``answer[:3]``.
+RawAnswer = tuple[
+    float, "tuple[Timestamp, Timestamp] | None", float, dict[str, float]
+]
 
 # Per-worker state, installed by _init_service_worker in each pool
 # process (initargs travel pickled for spawn/forkserver).
@@ -67,7 +72,12 @@ def _solve_one(
         algorithm=algorithm,
         kernel=kernel,
     )
-    return (result.density, result.interval, result.flow_value)
+    return (
+        result.density,
+        result.interval,
+        result.flow_value,
+        result.stats.phase_seconds(),
+    )
 
 
 class ProcessEnginePool:
@@ -227,4 +237,9 @@ def _solve_inline(
         algorithm=algorithm,
         kernel=kernel,
     )
-    return (result.density, result.interval, result.flow_value)
+    return (
+        result.density,
+        result.interval,
+        result.flow_value,
+        result.stats.phase_seconds(),
+    )

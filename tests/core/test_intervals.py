@@ -57,6 +57,32 @@ class TestPlanShape:
         d = network.query_degree("s", "t")
         assert plan.count() <= d * (d + 1) + 1
 
+    @pytest.mark.parametrize("delta", [1, 2, 3, 5, 7])
+    def test_count_equals_iterator_length(self, network, delta):
+        """Regression: the O(d log d) bisect count must equal the O(d^2)
+        iterator — for every delta, corner case included."""
+        plan = enumerate_candidates(network, "s", "t", delta)
+        assert plan.count() == sum(1 for _ in plan.intervals())
+
+    def test_count_equals_iterator_length_random(self):
+        import random
+
+        from repro.temporal import TemporalEdge
+
+        rng = random.Random(7)
+        for _ in range(25):
+            network = TemporalFlowNetwork()
+            network.add_node("s")
+            network.add_node("t")
+            for _ in range(rng.randint(3, 30)):
+                u, v = rng.sample(["s", "t", "a", "b", "c"], 2)
+                network.add_edge(
+                    TemporalEdge(u, v, rng.randint(1, 15), float(rng.randint(1, 5)))
+                )
+            for delta in (1, 2, 4, 9):
+                plan = enumerate_candidates(network, "s", "t", delta)
+                assert plan.count() == sum(1 for _ in plan.intervals())
+
     def test_delta_longer_than_horizon_yields_empty_plan(self, network):
         plan = enumerate_candidates(network, "s", "t", 8)
         assert plan.starts == ()

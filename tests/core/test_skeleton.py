@@ -1,0 +1,243 @@
+"""Differential tests for the transform compiler (``core/skeleton.py``).
+
+The skeleton path must be *indistinguishable* from the object-graph
+transform: same node set, same Maxflow value, certificates that hold, and
+identical end-to-end answers from every algorithm under both transforms.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BurstingFlowQuery, bfq, bfq_plus, bfq_star, find_bursting_flow
+from repro.core import enumerate_candidates
+from repro.core.bfq_plus import bfq_plus as bfq_plus_direct
+from repro.core.skeleton import (
+    DEFAULT_TRANSFORM,
+    KNOWN_TRANSFORMS,
+    WindowSkeleton,
+    validate_transform,
+)
+from repro.core.transform import build_transformed_network, reachable_edges
+from repro.exceptions import GraphError, InvalidIntervalError
+from repro.flownet import dinic
+from repro.flownet.mincut import certify_maxflow
+from repro.temporal import TemporalEdge, TemporalFlowNetwork
+
+TOLERANCE = 1e-9
+
+
+def random_network(seed: int, nodes: int = 6, edges: int = 20, horizon: int = 12):
+    rng = random.Random(seed)
+    network = TemporalFlowNetwork()
+    network.add_node("n0")
+    network.add_node("n1")
+    for _ in range(edges):
+        u = rng.randrange(nodes)
+        v = rng.randrange(nodes)
+        if u == v:
+            continue
+        network.add_edge(
+            TemporalEdge(
+                f"n{u}", f"n{v}", rng.randint(1, horizon), float(rng.randint(1, 9))
+            )
+        )
+    return network
+
+
+def candidate_windows(network, source="n0", sink="n1", delta=2):
+    plan = enumerate_candidates(network, source, sink, delta)
+    return list(plan.intervals())
+
+
+class TestValidateTransform:
+    def test_known_names(self):
+        assert validate_transform("skeleton") == "skeleton"
+        assert validate_transform("object") == "object"
+        assert validate_transform("SKELETON") == "skeleton"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown transform"):
+            validate_transform("quantum")
+
+    def test_default_is_known(self):
+        assert DEFAULT_TRANSFORM in KNOWN_TRANSFORMS
+
+
+class TestWindowEquality:
+    """materialize() vs build_transformed_network, window by window."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_same_nodes_value_and_certificate(self, seed):
+        network = random_network(seed)
+        skeleton = WindowSkeleton(network, "n0", "n1")
+        for tau_s, tau_e in candidate_windows(network):
+            window = skeleton.materialize(tau_s, tau_e)
+            reference = build_transformed_network(network, "n0", "n1", tau_s, tau_e)
+            assert window.num_nodes == reference.num_nodes
+            assert window.num_edges == reference.num_edges
+
+            run = window.maxflow()
+            ref_run = dinic(
+                reference.flow_network,
+                reference.source_index,
+                reference.sink_index,
+            )
+            assert abs(run.value - ref_run.value) < TOLERANCE
+            assert abs(window.flow_value() - ref_run.value) < TOLERANCE
+
+            # The residual state the object-graph Dinic left behind must
+            # certify the value the arena kernel computed.
+            assert (
+                certify_maxflow(
+                    reference.flow_network,
+                    reference.source_index,
+                    reference.sink_index,
+                    run.value,
+                )
+                == []
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_to_flow_network_is_byte_identical(self, seed):
+        network = random_network(seed, edges=15)
+        skeleton = WindowSkeleton(network, "n0", "n1")
+        for tau_s, tau_e in candidate_windows(network)[:6]:
+            rebuilt = skeleton.materialize(tau_s, tau_e).to_flow_network()
+            reference = build_transformed_network(network, "n0", "n1", tau_s, tau_e)
+            assert list(rebuilt.flow_network.labels()) == list(
+                reference.flow_network.labels()
+            )
+            assert rebuilt.source_index == reference.source_index
+            assert rebuilt.sink_index == reference.sink_index
+            assert rebuilt.num_edges == reference.num_edges
+
+    def test_reversed_window_raises(self):
+        network = random_network(0)
+        skeleton = WindowSkeleton(network, "n0", "n1")
+        with pytest.raises(InvalidIntervalError):
+            skeleton.materialize(5, 3)
+
+
+class TestLazySweep:
+    """The resumable per-start index equals reachable_edges on any range."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_included_matches_reachable_edges(self, seed):
+        network = random_network(seed)
+        skeleton = WindowSkeleton(network, "n0", "n1")
+        t_min, t_max = network.t_min, network.t_max
+        for tau_s in range(t_min, t_max):
+            # Ask for growing prefixes, exercising the resume path.
+            arrival = {}
+            previous_hi = tau_s - 1
+            for hi in range(tau_s, t_max + 1):
+                expected = list(
+                    reachable_edges(
+                        network, "n0", previous_hi + 1, hi, arrival=arrival
+                    )
+                )
+                got = list(skeleton.included_between(tau_s, previous_hi + 1, hi))
+                assert got == expected
+                previous_hi = hi
+
+    def test_epoch_guard_fires_after_mutation(self):
+        network = random_network(1)
+        skeleton = WindowSkeleton(network, "n0", "n1")
+        skeleton.materialize(network.t_min, network.t_max)
+        network.add_edge(TemporalEdge("n0", "n1", network.t_max, 1.0))
+        with pytest.raises(GraphError, match="mutated after skeleton compile"):
+            skeleton.materialize(network.t_min, network.t_max)
+
+
+class TestAlgorithmEquality:
+    """End-to-end: every algorithm agrees across both transforms."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("algorithm", [bfq, bfq_plus, bfq_star])
+    def test_skeleton_matches_object(self, seed, algorithm):
+        network = random_network(seed, edges=25)
+        query = BurstingFlowQuery("n0", "n1", 2)
+        with_skeleton = algorithm(network, query, transform="skeleton")
+        with_object = algorithm(network, query, transform="object")
+        assert abs(with_skeleton.density - with_object.density) < TOLERANCE
+        assert with_skeleton.interval == with_object.interval
+        assert abs(with_skeleton.flow_value - with_object.flow_value) < TOLERANCE
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_skeleton_without_pruning_matches(self, seed):
+        network = random_network(seed + 100)
+        query = BurstingFlowQuery("n0", "n1", 3)
+        pruned = bfq_plus_direct(network, query, transform="skeleton")
+        unpruned = bfq_plus_direct(
+            network, query, transform="skeleton", use_pruning=False
+        )
+        assert abs(pruned.density - unpruned.density) < TOLERANCE
+        assert pruned.interval == unpruned.interval
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_property_skeleton_matches_object(self, seed, delta):
+        network = random_network(seed, nodes=5, edges=16, horizon=8)
+        query = BurstingFlowQuery("n0", "n1", delta)
+        for algorithm in (bfq, bfq_plus, bfq_star):
+            with_skeleton = algorithm(network, query, transform="skeleton")
+            with_object = algorithm(network, query, transform="object")
+            assert abs(with_skeleton.density - with_object.density) < TOLERANCE
+            assert with_skeleton.interval == with_object.interval
+
+
+class TestEngineDispatch:
+    def test_transform_forwarded(self, burst_network):
+        query = BurstingFlowQuery("s", "t", 2)
+        for transform in KNOWN_TRANSFORMS:
+            result = find_bursting_flow(
+                burst_network, query, algorithm="bfq", transform=transform
+            )
+            assert result.found
+
+    def test_transform_rejected_for_baselines(self, burst_network):
+        from repro.exceptions import InvalidQueryError
+
+        with pytest.raises(InvalidQueryError, match="transform"):
+            find_bursting_flow(
+                burst_network,
+                BurstingFlowQuery("s", "t", 2),
+                algorithm="naive",
+                transform="skeleton",
+            )
+
+    def test_parallel_windows_rejected_for_incremental(self, burst_network):
+        from repro.exceptions import InvalidQueryError
+
+        with pytest.raises(InvalidQueryError, match="parallel_windows"):
+            find_bursting_flow(
+                burst_network,
+                BurstingFlowQuery("s", "t", 2),
+                algorithm="bfq*",
+                parallel_windows=2,
+            )
+
+    def test_parallel_windows_matches_sequential(self, burst_network):
+        query = BurstingFlowQuery("s", "t", 2)
+        sequential = find_bursting_flow(burst_network, query, algorithm="bfq")
+        parallel = find_bursting_flow(
+            burst_network, query, algorithm="bfq", parallel_windows=2
+        )
+        assert parallel.density == sequential.density
+        assert parallel.interval == sequential.interval
+        assert parallel.flow_value == sequential.flow_value
+        assert (
+            parallel.stats.candidates_enumerated
+            == sequential.stats.candidates_enumerated
+        )
+        assert [s.interval for s in parallel.stats.samples] == [
+            s.interval for s in sequential.stats.samples
+        ]

@@ -474,4 +474,4 @@ class TestProcessEngineMode:
 
         answer, restarts = run(scenario())
         assert restarts == 1
-        assert answer == fresh_answer(burst_network, "s", "t", 2)
+        assert answer[:3] == fresh_answer(burst_network, "s", "t", 2)
