@@ -1,0 +1,187 @@
+"""CI smoke test for the replicated delta-BFlow cluster.
+
+Boots a 2-replica :class:`repro.cluster.ClusterCoordinator` (process
+replicas — the real deployment shape) on a small Table-2 replica, fires
+a concurrent burst of TCP clients at the coordinator with a streaming
+append in the middle, diffs every served answer against the sequential
+engine, and writes the cluster-wide metrics snapshot for upload as a
+build artifact.  Exit code 0 means every check held.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/cluster_smoke.py \
+        [--snapshot cluster_metrics.json] [--scale 0.25] [--queries 6] \
+        [--replicas 2] [--replica-mode process|inline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.cluster import (
+    ClusterCoordinator,
+    InlineReplica,
+    ProcessReplica,
+    seed_log,
+)
+from repro.cluster.replication import network_edges
+from repro.core.engine import find_bursting_flow
+from repro.core.query import BurstingFlowQuery
+from repro.datasets.queries import generate_queries
+from repro.datasets.registry import make_dataset
+from repro.service import ServiceClient
+from repro.store.log import AppendLog
+
+QUERY_SEED = 648
+DELTA_FRACTION = 0.03
+
+
+def run_smoke(
+    *,
+    dataset: str = "ctu13",
+    scale: float = 0.25,
+    query_count: int = 6,
+    replicas: int = 2,
+    replica_mode: str = "process",
+) -> dict:
+    """One full smoke pass; returns the cluster-wide metrics snapshot."""
+    network = make_dataset(dataset, scale=scale)
+    workload = generate_queries(network, count=query_count, seed=QUERY_SEED)
+    delta = workload.delta_for(DELTA_FRACTION)
+    specs = [(s, t, delta) for s, t in workload.pairs]
+
+    async def scenario(log_path):
+        replica_cls = (
+            ProcessReplica if replica_mode == "process" else InlineReplica
+        )
+        handles = [
+            replica_cls(f"r{i}", log_path) for i in range(replicas)
+        ]
+        coordinator = ClusterCoordinator(log_path, handles)
+        host, port = await coordinator.start("127.0.0.1", 0)
+        loop = asyncio.get_running_loop()
+        served: dict[int, tuple] = {}
+        served_lock = threading.Lock()
+
+        def one_client(index, spec):
+            source, sink, query_delta = spec
+            with ServiceClient(host, port, timeout=600.0) as client:
+                reply = client.query(source, sink, query_delta)
+                with served_lock:
+                    served[index] = (
+                        reply.density, reply.interval, reply.flow_value
+                    )
+
+        try:
+            # Concurrent burst: every query in flight at once.
+            await asyncio.gather(
+                *(
+                    loop.run_in_executor(None, one_client, index, spec)
+                    for index, spec in enumerate(specs)
+                )
+            )
+            # A streaming append must commit cluster-wide and give
+            # read-your-writes through the min_epoch fence.
+            epoch_before = coordinator.committed_epoch
+            nodes = list(network.nodes)[:2]
+            tau = network.t_max
+
+            def do_append():
+                with ServiceClient(host, port, timeout=600.0) as client:
+                    return client.append([(nodes[0], nodes[1], tau, 1.0)])
+
+            ack = await loop.run_in_executor(None, do_append)
+            assert ack.epoch > epoch_before, "append did not bump the epoch"
+            assert ack.epoch == coordinator.committed_epoch
+
+            def fenced_query():
+                source, sink, query_delta = specs[0]
+                with ServiceClient(host, port, timeout=600.0) as client:
+                    return client.query(
+                        source, sink, query_delta, min_epoch=ack.epoch
+                    )
+
+            fenced = await loop.run_in_executor(None, fenced_query)
+            assert fenced.epoch >= ack.epoch, "fenced query served stale"
+            return served, await coordinator.snapshot()
+        finally:
+            await coordinator.stop()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        log_path = Path(scratch) / "cluster.log"
+        log = AppendLog(log_path)
+        try:
+            seed_log(log, network_edges(network))
+        finally:
+            log.close()
+        served, snapshot = asyncio.run(scenario(log_path))
+
+    failures = []
+    for index, (source, sink, query_delta) in enumerate(specs):
+        fresh = find_bursting_flow(
+            network, BurstingFlowQuery(source, sink, query_delta)
+        )
+        expected = (fresh.density, fresh.interval, fresh.flow_value)
+        if served[index] != expected:
+            failures.append(
+                {"query": [source, sink, query_delta],
+                 "served": list(served[index]), "expected": list(expected)}
+            )
+    if failures:
+        raise AssertionError(
+            f"cluster diverged from sequential: {failures[:3]}"
+        )
+    coordinator_view = snapshot["coordinator"]
+    assert coordinator_view["counters"]["queries"] >= len(specs)
+    assert coordinator_view["counters"]["appends"] == 1
+    assert all(
+        replica["live"]
+        for replica in coordinator_view["replicas"].values()
+    )
+    assert snapshot["aggregate"]["requests"]["query"] >= len(specs)
+    return snapshot
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--snapshot",
+        type=Path,
+        default=Path("cluster_metrics.json"),
+        help="where to write the metrics snapshot artifact",
+    )
+    parser.add_argument("--dataset", default="ctu13")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--queries", type=int, default=6)
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument(
+        "--replica-mode", default="process", choices=["process", "inline"]
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = run_smoke(
+        dataset=args.dataset,
+        scale=args.scale,
+        query_count=args.queries,
+        replicas=args.replicas,
+        replica_mode=args.replica_mode,
+    )
+    args.snapshot.write_text(json.dumps(snapshot, indent=2) + "\n")
+    coordinator_view = snapshot["coordinator"]
+    print(
+        f"cluster smoke OK: {coordinator_view['counters']['queries']} "
+        f"concurrent queries == sequential across "
+        f"{len(coordinator_view['replicas'])} replicas; committed epoch "
+        f"{coordinator_view['committed_epoch']}, snapshot -> {args.snapshot}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

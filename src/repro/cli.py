@@ -10,6 +10,7 @@ The subcommands mirror the library's main entry points::
     repro-bfq hunt       edges.csv --delta 10
     repro-bfq fuzz       --trials 200 --seed 0
     repro-bfq serve      edges.csv --port 7461 --processes 4
+    repro-bfq cluster    edges.csv --replicas 2 --log edges.cluster.log
     repro-bfq self-check
 
 Edge lists are CSV/TSV (``u,v,tau,capacity``, header optional) or JSON
@@ -168,7 +169,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "comma-separated backend subset of "
-            "bfq,bfq+,bfq*,naive,networkx,service"
+            "bfq,bfq-skel,bfq+,bfq*,naive,networkx,service,cluster "
+            "(cluster boots a live 2-replica cluster per trial and is "
+            "excluded from the default set)"
         ),
     )
     fuzz.add_argument(
@@ -257,6 +260,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline in seconds",
     )
     serve.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=None,
+        help="stop after this many seconds (smoke tests; default: forever)",
+    )
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="boot a replicated delta-BFlow cluster (coordinator + N replicas)",
+    )
+    add_input_arguments(cluster)
+    cluster.add_argument("--host", default="127.0.0.1", help="bind address")
+    cluster.add_argument(
+        "--port", type=int, default=7461, help="bind port (0 = ephemeral)"
+    )
+    cluster.add_argument(
+        "--replicas", type=int, default=2, help="replica count (default: 2)"
+    )
+    cluster.add_argument(
+        "--log",
+        type=Path,
+        default=None,
+        help=(
+            "shared append log path (default: <edges>.cluster.log); an "
+            "empty or absent log is seeded from the edge list, an "
+            "existing one is replayed as-is"
+        ),
+    )
+    cluster.add_argument(
+        "--replica-mode",
+        default="process",
+        choices=["process", "inline"],
+        help="replicas as child processes (default) or in-process services",
+    )
+    cluster.add_argument(
+        "--algorithm",
+        default="bfq*",
+        choices=["bfq", "bfq+", "bfq*"],
+        help="default solution for requests that name none",
+    )
+    cluster.add_argument(
+        "--kernel",
+        default=None,
+        choices=["persistent", "object"],
+        help="default maxflow kernel for bfq+/bfq*",
+    )
+    cluster.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=4096,
+        help="result-cache entries per replica",
+    )
+    cluster.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="per-replica admission bound on in-flight requests",
+    )
+    cluster.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync the append log on every append (durable to media)",
+    )
+    cluster.add_argument(
         "--serve-seconds",
         type=float,
         default=None,
@@ -521,6 +588,89 @@ def _run_serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def _run_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.cluster import (
+        ClusterCoordinator,
+        InlineReplica,
+        ProcessReplica,
+        network_edges,
+        seed_log,
+    )
+    from repro.store.log import AppendLog
+
+    if args.replicas < 1:
+        raise ReproError("--replicas must be at least 1")
+    log_path = args.log or args.edges.with_suffix(args.edges.suffix + ".cluster.log")
+
+    # Seed an empty/absent log from the edge list; an existing log is the
+    # durable truth and replays as-is (the edge list is ignored then).
+    if not log_path.exists() or log_path.stat().st_size == 0:
+        network, _codec = _load(args.edges, args.compact_timestamps)
+        seed = AppendLog(log_path, fsync=args.fsync)
+        try:
+            seed_log(seed, network_edges(network))
+        finally:
+            seed.close()
+
+    async def _serve() -> int:
+        replicas = []
+        for index in range(args.replicas):
+            replica_id = f"r{index}"
+            if args.replica_mode == "process":
+                replicas.append(
+                    ProcessReplica(
+                        replica_id,
+                        log_path,
+                        cache_capacity=args.cache_capacity,
+                        max_pending=args.max_pending,
+                        algorithm=args.algorithm,
+                        kernel=args.kernel,
+                    )
+                )
+            else:
+                replicas.append(
+                    InlineReplica(
+                        replica_id,
+                        log_path,
+                        cache_capacity=args.cache_capacity,
+                        max_pending=args.max_pending,
+                        algorithm=args.algorithm,
+                        kernel=args.kernel,
+                    )
+                )
+        coordinator = ClusterCoordinator(log_path, replicas, fsync=args.fsync)
+        host, port = await coordinator.start(args.host, args.port)
+        print(
+            f"cluster coordinator on {host}:{port} "
+            f"({args.replicas} {args.replica_mode} replicas, "
+            f"log {log_path}, committed epoch {coordinator.committed_epoch})"
+        )
+        print("endpoints: NDJSON-TCP, GET /metrics, GET /healthz, POST /drain")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        try:
+            if args.serve_seconds is not None:
+                await asyncio.wait_for(stop.wait(), timeout=args.serve_seconds)
+            else:
+                await stop.wait()
+        except asyncio.TimeoutError:
+            pass
+        finally:
+            await coordinator.drain(timeout=10.0)
+            await coordinator.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
+
+
 def _run_self_check(args: argparse.Namespace) -> int:
     from repro.verify import self_check
 
@@ -538,6 +688,7 @@ _HANDLERS = {
     "hunt": _run_hunt,
     "fuzz": _run_fuzz,
     "serve": _run_serve,
+    "cluster": _run_cluster,
     "self-check": _run_self_check,
 }
 

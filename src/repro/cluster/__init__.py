@@ -1,0 +1,65 @@
+"""repro.cluster — a replicated delta-BFlow serving tier.
+
+A :class:`ClusterCoordinator` fronts N replica
+:class:`~repro.service.BurstingFlowService` instances behind one
+client-facing port, speaking the same NDJSON-over-TCP + HTTP/1.1
+protocol as a single service — existing clients work unchanged.  The
+tier adds:
+
+* **durable append replication** — appends hit a write-ahead
+  :class:`~repro.store.AppendLog` (fsync-able) before fanning out to
+  every replica; per-replica epoch acks give read-your-writes;
+* **affinity routing** — consistent hash on ``(source, sink)`` with
+  least-in-flight failover (at most once per surviving replica), so
+  per-replica result caches shard the hot set instead of copying it;
+* **self-healing** — jittered health probes, typed failover, and
+  crash re-join by replaying the shared log under the append lock (a
+  ``kill -9``-ed replica loses no acked appends by construction);
+* **cluster-wide metrics** — per-replica snapshots plus the
+  :func:`~repro.service.metrics.aggregate_snapshots` fold on
+  ``GET /metrics``.
+
+Quickstart::
+
+    from repro.cluster import ClusterCoordinator, InlineReplica
+
+    replicas = [InlineReplica(f"r{i}", "cluster.log") for i in range(2)]
+    coordinator = ClusterCoordinator("cluster.log", replicas)
+    host, port = await coordinator.start("127.0.0.1", 0)
+
+or from a shell: ``repro-bfq cluster edges.csv --replicas 2``.
+"""
+
+from repro.cluster.backend import ClusterBackendError, cluster_bfq
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ReplicaUnavailableError,
+)
+from repro.cluster.health import HealthMonitor
+from repro.cluster.replica import InlineReplica, ProcessReplica, ReplicaError
+from repro.cluster.replication import (
+    append_record,
+    apply_record,
+    network_edges,
+    replay_network,
+    seed_log,
+)
+from repro.cluster.router import ConsistentHashRouter, shard_key
+
+__all__ = [
+    "ClusterBackendError",
+    "ClusterCoordinator",
+    "ConsistentHashRouter",
+    "HealthMonitor",
+    "InlineReplica",
+    "ProcessReplica",
+    "ReplicaError",
+    "ReplicaUnavailableError",
+    "append_record",
+    "apply_record",
+    "cluster_bfq",
+    "network_edges",
+    "replay_network",
+    "seed_log",
+    "shard_key",
+]

@@ -1,0 +1,14 @@
+"""Child-process entry point for one cluster replica.
+
+``python -m repro.cluster._replica_main`` rather than ``-m
+repro.cluster.replica``: this module is *not* imported by the package
+``__init__``, so runpy never finds it pre-imported (which would raise
+the "found in sys.modules" RuntimeWarning on every replica boot).
+"""
+
+import sys
+
+from repro.cluster.replica import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,725 @@
+"""The cluster coordinator: one client-facing port, N replicas behind it.
+
+:class:`ClusterCoordinator` speaks exactly the protocol a single
+:class:`~repro.service.BurstingFlowService` speaks — NDJSON over TCP and
+HTTP/1.1 sniffed on one port — so every existing client, the oracle
+backend and ``netcat`` work against a cluster unchanged.  Behind the
+port it adds the replicated serving tier:
+
+* **Durable appends.**  An append is written to the shared
+  :class:`~repro.store.AppendLog` and flushed *before* it is fanned out
+  to the replicas.  Every replica applies it through the same
+  ``add_edge`` path, so the ``AppendReply.epoch`` values double as
+  replication acks — deterministic, comparable across replicas.
+* **Committed epoch / read-your-writes.**  The cluster's *committed
+  epoch* is the epoch every live replica has acked.  Every routed query
+  is stamped with ``min_epoch = committed``, so a replica that somehow
+  lags answers with a typed ``stale`` error and the router fails over —
+  a client can never read a state older than the last acked append.
+* **Affinity routing with typed failover.**  Queries route by
+  consistent hash on ``(source, sink)`` (per-replica caches become
+  additive shards), falling back least-in-flight-first, trying each
+  surviving replica **at most once** per round; ``overloaded`` rounds
+  back off under the shared :class:`~repro.service.RetryPolicy`.
+* **Self-healing.**  A replica that fails a probe or drops a forwarded
+  request is taken out of rotation and re-joined by replaying the log
+  — under the append lock, so its replayed state provably equals the
+  committed state (epoch comparison) before it serves again.  A
+  ``kill -9``-ed replica therefore loses no acked appends and can never
+  serve a stale answer: both properties hold by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.cluster.health import HealthMonitor
+from repro.cluster.replica import InlineReplica, ProcessReplica, ReplicaError
+from repro.cluster.replication import append_record
+from repro.cluster.router import ConsistentHashRouter
+from repro.exceptions import ReproError
+from repro.service.client import RetryPolicy
+from repro.service.metrics import aggregate_snapshots
+from repro.service.protocol import (
+    ERROR_INTERNAL,
+    ERROR_OVERLOADED,
+    ERROR_STALE,
+    AppendReply,
+    AppendRequest,
+    DrainReply,
+    DrainRequest,
+    ErrorReply,
+    MetricsReply,
+    MetricsRequest,
+    PingRequest,
+    PongReply,
+    ProtocolError,
+    QueryRequest,
+    Reply,
+    Request,
+    encode,
+    parse_reply,
+    parse_request,
+    reply_payload,
+    request_payload,
+)
+from repro.service.server import _http_respond, _http_status
+from repro.store.log import AppendLog
+
+ReplicaHandle = InlineReplica | ProcessReplica
+
+
+class ReplicaUnavailableError(ReproError):
+    """The replica's connection dropped or could not be established."""
+
+
+class _ReplicaChannel:
+    """A pool of persistent NDJSON connections to one replica.
+
+    The replica serves one request at a time per connection, so the
+    coordinator keeps up to ``size`` of them and borrows one per
+    forwarded request.  Connections open lazily and broken ones are
+    dropped (the next borrow redials).
+    """
+
+    def __init__(
+        self, host: str, port: int, *, size: int = 8, timeout: float = 600.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._free: asyncio.Queue = asyncio.Queue()
+        for _ in range(size):
+            self._free.put_nowait(None)  # lazy-connect slots
+        self._closed = False
+
+    async def request(self, payload: Mapping[str, Any]) -> Reply:
+        """Forward one message; returns the parsed (typed) reply.
+
+        Raises:
+            ReplicaUnavailableError: connect/read/write failure — the
+                caller treats the replica as down.
+        """
+        if self._closed:
+            raise ReplicaUnavailableError("channel is closed")
+        connection = await self._free.get()
+        broken = True
+        try:
+            if connection is None:
+                try:
+                    connection = await asyncio.open_connection(self.host, self.port)
+                except OSError as exc:
+                    raise ReplicaUnavailableError(
+                        f"connect to {self.host}:{self.port} failed: {exc}"
+                    ) from exc
+            reader, writer = connection
+            try:
+                writer.write(encode(payload))
+                await writer.drain()
+                # asyncio.timeout, not wait_for: on 3.11 wait_for can
+                # swallow an outside cancellation that races the reply's
+                # arrival, leaving the cancelled caller (health monitor,
+                # rejoin task) looping forever after stop().
+                async with asyncio.timeout(self.timeout):
+                    line = await reader.readline()
+            except (OSError, asyncio.TimeoutError) as exc:
+                raise ReplicaUnavailableError(
+                    f"request to {self.host}:{self.port} failed: {exc}"
+                ) from exc
+            if not line:
+                raise ReplicaUnavailableError(
+                    f"{self.host}:{self.port} closed the connection"
+                )
+            broken = False
+            return parse_reply(line)
+        finally:
+            if broken:
+                if connection is not None:
+                    connection[1].close()
+                self._free.put_nowait(None)
+            else:
+                self._free.put_nowait(connection)
+
+    async def close(self) -> None:
+        """Close every pooled connection (waiting out the transports,
+        so replica-side handlers see EOF before any loop teardown)."""
+        self._closed = True
+        while not self._free.empty():
+            connection = self._free.get_nowait()
+            if connection is not None:
+                connection[1].close()
+                try:
+                    async with asyncio.timeout(1.0):
+                        await connection[1].wait_closed()
+                except (OSError, asyncio.TimeoutError):
+                    pass
+
+
+@dataclass
+class _ReplicaState:
+    """Everything the coordinator tracks about one replica."""
+
+    handle: ReplicaHandle
+    channel: _ReplicaChannel | None = None
+    live: bool = False
+    acked_epoch: int = -1
+    inflight: int = 0
+    rejoining: bool = False
+    failures: int = 0
+    restarts: int = 0
+
+
+@dataclass
+class _Counters:
+    """Coordinator-level counters (replica metrics aggregate separately)."""
+
+    queries: int = 0
+    appends: int = 0
+    failovers: int = 0
+    restarts: int = 0
+    rejoin_failures: int = 0
+    shed: int = 0
+    stale_retries: int = 0
+    requests: dict[str, int] = field(default_factory=dict)
+
+
+class ClusterCoordinator:
+    """A replicated delta-BFlow serving tier behind one port.
+
+    Args:
+        log_path: the shared append log (created if absent).  The
+            coordinator is the log's only writer; replicas replay it.
+        replicas: replica handles to supervise (see
+            :mod:`repro.cluster.replica`); booted by :meth:`start`.
+        retry: backoff policy for ``overloaded`` replica replies and
+            re-join attempts (defaults to a small jittered budget).
+        fsync: fsync the log on every append (durable to media, not
+            just to the OS page cache).
+        health_interval: seconds between liveness sweeps.
+        request_timeout: per-forwarded-request ceiling, seconds.
+    """
+
+    def __init__(
+        self,
+        log_path: str | Path,
+        replicas: Sequence[ReplicaHandle],
+        *,
+        retry: RetryPolicy | None = None,
+        fsync: bool = False,
+        health_interval: float = 0.5,
+        request_timeout: float = 600.0,
+    ) -> None:
+        if not replicas:
+            raise ReproError("a cluster needs at least one replica")
+        ids = [replica.replica_id for replica in replicas]
+        if len(set(ids)) != len(ids):
+            raise ReproError(f"duplicate replica ids: {ids!r}")
+        self.log = AppendLog(log_path, fsync=fsync)
+        self._replicas: dict[str, _ReplicaState] = {
+            replica.replica_id: _ReplicaState(handle=replica)
+            for replica in replicas
+        }
+        self.router = ConsistentHashRouter(ids)
+        self.retry = retry or RetryPolicy(
+            max_attempts=3, base_delay=0.05, max_delay=1.0
+        )
+        self.request_timeout = request_timeout
+        self.counters = _Counters()
+        self.committed_epoch = 0
+        self._append_lock = asyncio.Lock()
+        self._draining = False
+        self._inflight = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._rejoin_tasks: set[asyncio.Task] = set()
+        self.health = HealthMonitor(
+            targets=self._live_ids,
+            probe=self._probe,
+            on_failure=self._on_probe_failure,
+            interval=health_interval,
+            policy=self.retry,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Boot every replica, verify epoch agreement, bind the port."""
+        epochs = {}
+        for replica_id, state in self._replicas.items():
+            address = await state.handle.start()
+            state.channel = _ReplicaChannel(
+                *address, timeout=self.request_timeout
+            )
+            pong = await state.channel.request(
+                request_payload(PingRequest(id="boot"))
+            )
+            assert isinstance(pong, PongReply), pong
+            epochs[replica_id] = pong.epoch
+            state.live = True
+            state.acked_epoch = pong.epoch
+        if len(set(epochs.values())) > 1:
+            raise ReproError(
+                f"replicas replayed the same log to different epochs: {epochs!r}"
+            )
+        self.committed_epoch = next(iter(epochs.values()))
+        self.health.start()
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``start`` must have been called)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Stop admitting work; wait for in-flight requests to finish."""
+        self._draining = True
+        deadline = time.monotonic() + timeout
+        while self._inflight and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        return self._inflight == 0
+
+    async def stop(self) -> None:
+        """Drainless shutdown: close the port, replicas and the log."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.health.stop()
+        for task in list(self._rejoin_tasks):
+            task.cancel()
+        if self._rejoin_tasks:
+            await asyncio.gather(*self._rejoin_tasks, return_exceptions=True)
+        self._rejoin_tasks.clear()
+        for state in self._replicas.values():
+            if state.channel is not None:
+                await state.channel.close()
+            state.live = False
+        # One tick so replica-side connection handlers drain their EOFs
+        # before the replicas (and possibly the loop) shut down.
+        await asyncio.sleep(0.01)
+        for state in self._replicas.values():
+            await state.handle.terminate()
+        self.log.close()
+
+    async def __aenter__(self) -> "ClusterCoordinator":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Health / membership
+    # ------------------------------------------------------------------
+    def _live_ids(self) -> list[str]:
+        return [rid for rid, state in self._replicas.items() if state.live]
+
+    async def _probe(self, replica_id: str) -> int:
+        state = self._replicas[replica_id]
+        if state.channel is None:
+            raise ReplicaUnavailableError(f"{replica_id} has no channel")
+        pong = await state.channel.request(
+            request_payload(PingRequest(id="health"))
+        )
+        if not isinstance(pong, PongReply):
+            raise ReplicaUnavailableError(f"{replica_id} ping answered {pong!r}")
+        return pong.epoch
+
+    async def _on_probe_failure(self, replica_id: str) -> None:
+        self._mark_dead(replica_id)
+
+    def _mark_dead(self, replica_id: str) -> None:
+        """Take a replica out of rotation and schedule its re-join."""
+        state = self._replicas[replica_id]
+        if not state.live:
+            return
+        state.live = False
+        state.failures += 1
+        if not state.rejoining:
+            state.rejoining = True
+            task = asyncio.ensure_future(self._rejoin(replica_id))
+            self._rejoin_tasks.add(task)
+            task.add_done_callback(self._rejoin_tasks.discard)
+
+    async def _rejoin(self, replica_id: str) -> None:
+        """Restart a dead replica from the log and re-admit it.
+
+        Runs under the append lock, so the replica replays a *stable*
+        log: its post-replay epoch must equal the committed epoch, which
+        is the proof it holds every acked append.  Appends stall for the
+        duration of one replica boot — the documented trade-off for
+        making "re-joined" mean "provably caught up".
+        """
+        state = self._replicas[replica_id]
+        try:
+            for attempt in range(self.retry.max_attempts):
+                try:
+                    async with self._append_lock:
+                        if state.channel is not None:
+                            await state.channel.close()
+                        address = await state.handle.restart()
+                        state.channel = _ReplicaChannel(
+                            *address, timeout=self.request_timeout
+                        )
+                        epoch = await self._probe(replica_id)
+                        if epoch != self.committed_epoch:
+                            raise ReplicaError(
+                                f"{replica_id} replayed to epoch {epoch}, "
+                                f"committed is {self.committed_epoch}"
+                            )
+                        state.acked_epoch = epoch
+                        state.live = True
+                        state.restarts += 1
+                        self.counters.restarts += 1
+                        return
+                except asyncio.CancelledError:
+                    raise
+                except Exception:  # noqa: BLE001 - retry, then give up
+                    if attempt + 1 >= self.retry.max_attempts:
+                        self.counters.rejoin_failures += 1
+                        return
+                    await asyncio.sleep(self.retry.delay_for(attempt))
+        finally:
+            state.rejoining = False
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    async def handle_request(self, request: Request) -> Reply:
+        """Dispatch one parsed request (programmatic entry point)."""
+        op = request.op
+        self.counters.requests[op] = self.counters.requests.get(op, 0) + 1
+        if isinstance(request, (QueryRequest, AppendRequest)) and self._draining:
+            self.counters.shed += 1
+            return ErrorReply(
+                request.id,
+                ERROR_OVERLOADED,
+                "coordinator is draining",
+                retry_after_ms=1000,
+            )
+        self._inflight += 1
+        try:
+            if isinstance(request, QueryRequest):
+                self.counters.queries += 1
+                return await self._route_query(request)
+            if isinstance(request, AppendRequest):
+                self.counters.appends += 1
+                return await self._replicate_append(request)
+            if isinstance(request, MetricsRequest):
+                return MetricsReply(id=request.id, snapshot=await self.snapshot())
+            if isinstance(request, PingRequest):
+                return PongReply(id=request.id, epoch=self.committed_epoch)
+            if isinstance(request, DrainRequest):
+                self._draining = True
+                return DrainReply(
+                    id=request.id, draining=True, inflight=self._inflight - 1
+                )
+            return ErrorReply(  # pragma: no cover - parse_request is exhaustive
+                request.id, ERROR_INTERNAL, "unknown request type"
+            )
+        finally:
+            self._inflight -= 1
+
+    async def handle_raw(self, line: bytes | str) -> bytes:
+        """Full serve path for one wire message: parse → handle → encode."""
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            return encode(reply_payload(ErrorReply("", exc.kind, str(exc))))
+        reply = await self.handle_request(request)
+        return encode(reply_payload(reply))
+
+    # ------------------------------------------------------------------
+    # Queries: affinity route, failover at most once per replica
+    # ------------------------------------------------------------------
+    async def _route_query(self, request: QueryRequest) -> Reply:
+        fence = max(self.committed_epoch, request.min_epoch or 0)
+        if fence > self.committed_epoch:
+            # The client demands a state no replica has acked yet.
+            return ErrorReply(
+                request.id,
+                ERROR_STALE,
+                f"cluster committed epoch {self.committed_epoch} is behind "
+                f"required min_epoch {fence}",
+                retry_after_ms=25,
+                epoch=self.committed_epoch,
+            )
+        forwarded = replace(request, min_epoch=fence)
+        payload = request_payload(forwarded)
+        last_error: ErrorReply | None = None
+        for round_index in range(self.retry.max_attempts):
+            eligible = [
+                rid
+                for rid, state in self._replicas.items()
+                if state.live and state.acked_epoch >= fence
+            ]
+            order = self.router.order(
+                request.source,
+                request.sink,
+                eligible,
+                {rid: self._replicas[rid].inflight for rid in eligible},
+            )
+            for position, replica_id in enumerate(order):
+                state = self._replicas[replica_id]
+                state.inflight += 1
+                try:
+                    reply = await state.channel.request(payload)
+                except ReplicaUnavailableError:
+                    self.counters.failovers += 1
+                    self._mark_dead(replica_id)
+                    continue
+                finally:
+                    state.inflight -= 1
+                if not isinstance(reply, ErrorReply):
+                    if position > 0:
+                        self.counters.failovers += 1
+                    return reply
+                if reply.kind == ERROR_STALE:
+                    # Paranoia path: the eligibility filter said this
+                    # replica was caught up.  Resync our view, fail over.
+                    state.acked_epoch = reply.epoch if reply.epoch is not None else -1
+                    self.counters.stale_retries += 1
+                    last_error = reply
+                    continue
+                if reply.kind == ERROR_OVERLOADED:
+                    # Every replica gets one chance this round; if all
+                    # are saturated we back off below and try again.
+                    last_error = reply
+                    continue
+                # invalid / timeout / internal are not failover-able:
+                # every replica would answer the same way.
+                return reply
+            if round_index + 1 < self.retry.max_attempts:
+                hint = (
+                    last_error.retry_after_ms
+                    if last_error is not None
+                    else None
+                )
+                await asyncio.sleep(self.retry.delay_for(round_index, hint))
+        if last_error is not None:
+            return replace(last_error, id=request.id)
+        self.counters.shed += 1
+        return ErrorReply(
+            request.id,
+            ERROR_OVERLOADED,
+            "no live replica available",
+            retry_after_ms=200,
+        )
+
+    # ------------------------------------------------------------------
+    # Appends: log first (durability), then fan out (replication)
+    # ------------------------------------------------------------------
+    async def _replicate_append(self, request: AppendRequest) -> Reply:
+        async with self._append_lock:
+            # Write-ahead: the append is durable before any replica
+            # sees it, so a replica crash mid-fan-out can never lose it
+            # (the re-join replay picks it up from the log).
+            self.log.append(append_record(request.edges))
+            self.log.flush()
+            payload = request_payload(request)
+            live = self._live_ids()
+            outcomes = await asyncio.gather(
+                *(self._append_to(rid, payload) for rid in live)
+            )
+            acked: dict[str, int] = {}
+            success: AppendReply | None = None
+            failure: ErrorReply | None = None
+            for replica_id, reply in zip(live, outcomes):
+                if reply is None:
+                    self._mark_dead(replica_id)
+                    continue
+                if isinstance(reply, AppendReply):
+                    acked[replica_id] = reply.epoch
+                    success = reply
+                elif isinstance(reply, ErrorReply):
+                    # Deterministically-invalid edges: every replica
+                    # rejected at the same edge and bumped the same
+                    # epochs for the valid prefix; ping for the epoch.
+                    failure = reply
+                    try:
+                        acked[replica_id] = await self._probe(replica_id)
+                    except ReplicaUnavailableError:
+                        self._mark_dead(replica_id)
+            if not acked:
+                return ErrorReply(
+                    request.id,
+                    ERROR_OVERLOADED,
+                    "append logged but no live replica acked; "
+                    "it will replicate on re-join",
+                    retry_after_ms=200,
+                )
+            committed = max(acked.values())
+            for replica_id, epoch in acked.items():
+                if epoch != committed:
+                    # A diverged replica (should be impossible): drop it
+                    # and let the log replay restore determinism.
+                    self._mark_dead(replica_id)
+                else:
+                    self._replicas[replica_id].acked_epoch = epoch
+            self.committed_epoch = committed
+        if failure is not None:
+            return replace(failure, id=request.id, epoch=committed)
+        assert success is not None
+        return AppendReply(
+            id=request.id,
+            appended=success.appended,
+            epoch=committed,
+            invalidated=success.invalidated,
+        )
+
+    async def _append_to(
+        self, replica_id: str, payload: Mapping[str, Any]
+    ) -> Reply | None:
+        state = self._replicas[replica_id]
+        try:
+            return await state.channel.request(payload)
+        except ReplicaUnavailableError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    async def snapshot(self) -> dict[str, Any]:
+        """Cluster-wide metrics: per-replica snapshots + the aggregate."""
+        per_replica: dict[str, Any] = {}
+        for replica_id in self._live_ids():
+            state = self._replicas[replica_id]
+            try:
+                reply = await state.channel.request(
+                    request_payload(MetricsRequest(id="agg"))
+                )
+            except ReplicaUnavailableError:
+                self._mark_dead(replica_id)
+                continue
+            if isinstance(reply, MetricsReply):
+                per_replica[replica_id] = dict(reply.snapshot)
+        return {
+            "coordinator": {
+                "committed_epoch": self.committed_epoch,
+                "draining": self._draining,
+                "inflight": self._inflight,
+                "counters": {
+                    "queries": self.counters.queries,
+                    "appends": self.counters.appends,
+                    "failovers": self.counters.failovers,
+                    "restarts": self.counters.restarts,
+                    "rejoin_failures": self.counters.rejoin_failures,
+                    "stale_retries": self.counters.stale_retries,
+                    "shed": self.counters.shed,
+                    "requests": dict(sorted(self.counters.requests.items())),
+                },
+                "replicas": {
+                    replica_id: {
+                        "live": state.live,
+                        "acked_epoch": state.acked_epoch,
+                        "inflight": state.inflight,
+                        "failures": state.failures,
+                        "restarts": state.restarts,
+                        "mode": state.handle.mode,
+                    }
+                    for replica_id, state in sorted(self._replicas.items())
+                },
+            },
+            "replicas": per_replica,
+            "aggregate": aggregate_snapshots(per_replica),
+        }
+
+    def health_payload(self) -> dict[str, Any]:
+        """The ``/healthz`` body: live set, committed epoch, drain state."""
+        live = self._live_ids()
+        return {
+            "ok": bool(live) and not self._draining,
+            "committed_epoch": self.committed_epoch,
+            "draining": self._draining,
+            "replicas": {
+                replica_id: state.live
+                for replica_id, state in sorted(self._replicas.items())
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # TCP / HTTP front end (same sniffing as the single service)
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            head = first.split(b" ", 1)[0]
+            if head in (b"GET", b"POST", b"HEAD", b"PUT", b"DELETE"):
+                await self._serve_http(first, reader, writer)
+                return
+            line = first
+            while line:
+                if line.strip():
+                    writer.write(await self.handle_raw(line))
+                    await writer.drain()
+                line = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            except asyncio.CancelledError:
+                pass
+
+    async def _serve_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            method, target, _ = request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            _http_respond(writer, 400, {"error": "malformed request line"})
+            await writer.drain()
+            return
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    _http_respond(writer, 400, {"error": "bad Content-Length"})
+                    await writer.drain()
+                    return
+        body = await reader.readexactly(content_length) if content_length else b""
+
+        if method == "GET" and target in ("/metrics", "/metrics/"):
+            _http_respond(writer, 200, await self.snapshot())
+        elif method == "GET" and target in ("/healthz", "/healthz/"):
+            health = self.health_payload()
+            _http_respond(writer, 200 if health["ok"] else 503, health)
+        elif method == "POST" and target in ("/drain", "/drain/"):
+            self._draining = True
+            _http_respond(
+                writer, 200, {"draining": True, "inflight": self._inflight}
+            )
+        elif method == "POST" and target in (
+            "/query", "/append", "/query/", "/append/",
+        ):
+            payload = json.loads(await self.handle_raw(body))
+            status = 200 if payload.get("ok") else _http_status(payload)
+            _http_respond(writer, status, payload)
+        else:
+            _http_respond(writer, 404, {"error": f"no route {method} {target}"})
+        await writer.drain()

@@ -1,0 +1,117 @@
+"""Replica liveness probing with jittered-backoff retry.
+
+The :class:`HealthMonitor` is deliberately decoupled from the
+coordinator: it is given three callables — who to probe, how to probe,
+and what to do on failure — so the unit tests can drive it with fakes
+and a fake clock.  Probing reuses the client's
+:class:`~repro.service.client.RetryPolicy` arithmetic: one transient
+ping failure does not down a replica; only exhausting the policy's
+jittered-backoff budget does, at which point ``on_failure`` fires
+exactly once per incident and the replica leaves the routing set until
+the supervisor re-joins it.
+
+Probe *sweeps* are jittered too (±25% of the interval) so a fleet of
+monitors never synchronises into ping storms.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Awaitable, Callable, Iterable
+
+from repro.service.client import RetryPolicy
+
+ProbeFn = Callable[[str], Awaitable[int]]
+FailureFn = Callable[[str], Awaitable[None]]
+TargetsFn = Callable[[], Iterable[str]]
+
+
+class HealthMonitor:
+    """Periodic ping sweeps over the live replica set.
+
+    Args:
+        targets: returns the replica ids currently worth probing.
+        probe: pings one replica (returns its epoch; raises on failure).
+        on_failure: invoked once when a replica exhausts its retries.
+        interval: seconds between sweeps (jittered ±25%).
+        policy: per-replica retry budget within one sweep.
+        rng: injectable randomness (tests pin it).
+        sleep: injectable async sleep (tests use a fake clock).
+    """
+
+    def __init__(
+        self,
+        targets: TargetsFn,
+        probe: ProbeFn,
+        on_failure: FailureFn,
+        *,
+        interval: float = 0.5,
+        policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+    ) -> None:
+        self._targets = targets
+        self._probe = probe
+        self._on_failure = on_failure
+        self.interval = interval
+        self.policy = policy or RetryPolicy(
+            max_attempts=3, base_delay=0.05, max_delay=0.5
+        )
+        self._rng = rng or random.Random()
+        self._sleep = sleep
+        self._task: asyncio.Task | None = None
+        self._stopping = False
+        self.sweeps = 0
+        self.failures_detected = 0
+
+    def start(self) -> None:
+        """Begin sweeping in a background task (idempotent)."""
+        if self._task is None or self._task.done():
+            self._stopping = False
+            self._task = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        """Cancel the background sweeps.
+
+        The flag backs up the cancellation: should a probe's timeout
+        scope ever absorb the CancelledError, the loop still exits at
+        its next iteration instead of leaving ``stop`` waiting forever.
+        """
+        if self._task is not None:
+            self._stopping = True
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def _run(self) -> None:
+        while not self._stopping:
+            await self.sweep()
+            jitter = 1.0 + 0.25 * (2.0 * self._rng.random() - 1.0)
+            await self._sleep(self.interval * jitter)
+
+    async def sweep(self) -> list[str]:
+        """Probe every current target once; returns the ids downed."""
+        self.sweeps += 1
+        downed = []
+        for replica_id in list(self._targets()):
+            if not await self.check(replica_id):
+                downed.append(replica_id)
+        return downed
+
+    async def check(self, replica_id: str) -> bool:
+        """Probe one replica through the retry budget; False = downed."""
+        for attempt in range(self.policy.max_attempts):
+            try:
+                await self._probe(replica_id)
+                return True
+            except Exception:  # noqa: BLE001 - any probe failure counts
+                if attempt + 1 >= self.policy.max_attempts:
+                    break
+                await self._sleep(self.policy.delay_for(attempt))
+        self.failures_detected += 1
+        await self._on_failure(replica_id)
+        return False

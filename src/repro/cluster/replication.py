@@ -1,0 +1,105 @@
+"""Replication log glue: the one record schema every replica replays.
+
+The cluster's durability story is a single shared
+:class:`repro.store.AppendLog`, written by exactly one process — the
+coordinator — and replayed by every replica at boot.  One record per
+client append::
+
+    {"op": "append", "edges": [[u, v, tau, capacity], ...]}
+
+**Epoch determinism** is the invariant everything above this module
+leans on: a replica's network epoch is a pure function of the log
+prefix it has applied, because :func:`apply_record` feeds edges through
+the same :meth:`~repro.temporal.network.TemporalFlowNetwork.add_edge`
+path the live service's append handler uses (one epoch bump per edge,
+capacity merges included).  Two replicas that have applied the same
+records therefore report byte-identical epochs, which is what lets the
+coordinator use the epoch itself as the replication ack.
+
+Partially-invalid appends stay deterministic too: like the service
+handler, :func:`apply_record` applies edges in order and stops at the
+first invalid one, so every replica keeps exactly the same prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import ReproError
+from repro.store.log import AppendLog
+from repro.temporal.edge import NodeId, TemporalEdge, Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+#: The single record op the cluster log carries.
+RECORD_APPEND = "append"
+
+EdgeTuple = tuple[NodeId, NodeId, Timestamp, float]
+
+
+def append_record(edges: Sequence[EdgeTuple]) -> dict:
+    """The log record for one client append of ``edges``."""
+    return {
+        "op": RECORD_APPEND,
+        "edges": [[u, v, tau, capacity] for u, v, tau, capacity in edges],
+    }
+
+
+def seed_log(log: AppendLog, edges: Iterable[EdgeTuple]) -> int:
+    """Write the base edge set as the log's first record; returns count.
+
+    Called once, before any replica boots, so the seed network is part
+    of the same replayable history as every later append.  An empty
+    edge set writes nothing (an empty log is a valid genesis).
+    """
+    edges = list(edges)
+    if edges:
+        log.append(append_record(edges))
+    log.flush()
+    return len(edges)
+
+
+def apply_record(network: TemporalFlowNetwork, record: dict) -> int:
+    """Apply one log record to ``network``; returns edges applied.
+
+    Mirrors the service append handler exactly: edges apply in order
+    and application stops at the first invalid edge (the valid prefix
+    stays in, epochs bumped per edge) — deterministic across replicas.
+
+    Raises:
+        ReproError: on a record with an unknown ``op``.
+    """
+    op = record.get("op")
+    if op != RECORD_APPEND:
+        raise ReproError(f"unknown cluster log record op {op!r}")
+    applied = 0
+    for u, v, tau, capacity in record.get("edges", ()):
+        try:
+            network.add_edge(TemporalEdge(u, v, tau, capacity))
+        except ReproError:
+            break
+        applied += 1
+    return applied
+
+
+def replay_network(log: AppendLog) -> TemporalFlowNetwork:
+    """Rebuild the served network from the log, oldest record first.
+
+    This is the replica bootstrap path: the returned network's epoch
+    equals the epoch of any live replica that has applied the same
+    records, so a freshly restarted replica can prove it caught up by
+    comparing epochs alone.
+    """
+    network = TemporalFlowNetwork()
+    for record in log.replay():
+        apply_record(network, record)
+    if network.num_edges:
+        _ = network.timestamps  # build the lazy indexes before serving
+    return network
+
+
+def network_edges(network: TemporalFlowNetwork) -> list[EdgeTuple]:
+    """The (merged) edge tuples of ``network``, ready for :func:`seed_log`."""
+    return [
+        (edge.u, edge.v, edge.tau, edge.capacity)
+        for edge in network.edges()
+    ]

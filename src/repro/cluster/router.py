@@ -1,0 +1,104 @@
+"""Query routing: consistent-hash affinity with least-in-flight fallback.
+
+Every query carries a natural shard key — its ``(source, sink)`` pair —
+and routing the same pair to the same replica is what makes the
+replicas' epoch-keyed result caches *additive*: N replicas hold N
+disjoint hot sets instead of N copies of one.  The router therefore
+places replicas on a consistent-hash ring (many virtual points per
+replica, so load stays balanced and a dead replica's keys spread over
+the survivors instead of dog-piling one), and answers two questions:
+
+* :meth:`ConsistentHashRouter.affinity` — which eligible replica owns
+  this key right now;
+* :meth:`ConsistentHashRouter.order` — the full failover order for a
+  query: the affinity owner first, every other eligible replica after
+  it sorted by in-flight load (ties broken by id for determinism).
+
+The coordinator walks that order **at most once per replica** when
+forwarding a query, which bounds failover work per request by the
+cluster size.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Mapping, Sequence
+
+from repro.temporal.edge import NodeId
+
+#: Virtual ring points per replica (smooths the hash distribution).
+VNODES = 64
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(
+        hashlib.sha1(data.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def shard_key(source: NodeId, sink: NodeId) -> str:
+    """The routing key of a query — its ``(source, sink)`` pair."""
+    return f"{source!r}\x00{sink!r}"
+
+
+class ConsistentHashRouter:
+    """A consistent-hash ring over a fixed replica id set.
+
+    The ring is built once per cluster membership; *eligibility* (live,
+    caught up to the epoch fence) is passed per call, so a dead replica
+    needs no ring rebuild — lookups simply walk past its points.
+    """
+
+    def __init__(
+        self, replica_ids: Iterable[str], *, vnodes: int = VNODES
+    ) -> None:
+        self.replica_ids = sorted(set(replica_ids))
+        if not self.replica_ids:
+            raise ValueError("a router needs at least one replica id")
+        ring = []
+        for replica_id in self.replica_ids:
+            for vnode in range(vnodes):
+                ring.append((_point(f"{replica_id}#{vnode}"), replica_id))
+        ring.sort()
+        self._points = [point for point, _ in ring]
+        self._owners = [owner for _, owner in ring]
+
+    def affinity(
+        self, source: NodeId, sink: NodeId, eligible: Iterable[str]
+    ) -> str | None:
+        """The eligible replica owning ``(source, sink)``, or None.
+
+        Walks the ring clockwise from the key's hash to the first point
+        owned by an eligible replica — so when the true owner is out,
+        ownership falls to the next replica on the ring, deterministic
+        for as long as the outage lasts.
+        """
+        allowed = set(eligible)
+        if not allowed:
+            return None
+        start = bisect.bisect_left(self._points, _point(shard_key(source, sink)))
+        for offset in range(len(self._owners)):
+            owner = self._owners[(start + offset) % len(self._owners)]
+            if owner in allowed:
+                return owner
+        return None
+
+    def order(
+        self,
+        source: NodeId,
+        sink: NodeId,
+        eligible: Iterable[str],
+        inflight: Mapping[str, int] | None = None,
+    ) -> Sequence[str]:
+        """Failover order: affinity owner, then least-in-flight first."""
+        allowed = sorted(set(eligible))
+        owner = self.affinity(source, sink, allowed)
+        if owner is None:
+            return []
+        inflight = inflight or {}
+        rest = sorted(
+            (replica_id for replica_id in allowed if replica_id != owner),
+            key=lambda replica_id: (inflight.get(replica_id, 0), replica_id),
+        )
+        return [owner, *rest]

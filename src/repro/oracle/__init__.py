@@ -6,8 +6,9 @@ The correctness substrate every performance PR regresses against:
   (parallel temporal multi-edges, hold-chain-heavy timelines, dense sink
   fan-in, fractional capacities, disconnected phases);
 * :mod:`repro.oracle.runner` — the differential runner: BFQ / BFQ+ / BFQ*
-  / naive / NetworkX / the full :mod:`repro.service` serve path on the
-  same query, diffing density, flow value and interval (after tie-break
+  / naive / NetworkX / the full :mod:`repro.service` serve path (and,
+  opt-in, the replicated :mod:`repro.cluster` path) on the same query,
+  diffing density, flow value and interval (after tie-break
   normalization), with pruning on and off;
 * :mod:`repro.oracle.certificate` — flow-certificate checking: re-derive
   the Maxflow, re-validate the temporal flow axioms, confirm maximality
@@ -30,6 +31,7 @@ from repro.oracle.generators import GENERATORS, resolve_generators
 from repro.oracle.runner import (
     AGREEMENT_EPSILON,
     BACKENDS,
+    DEFAULT_BACKENDS,
     PLAN_BACKENDS,
     BackendRecord,
     DifferentialOutcome,
@@ -52,6 +54,7 @@ __all__ = [
     "GENERATORS",
     "resolve_generators",
     "BACKENDS",
+    "DEFAULT_BACKENDS",
     "PLAN_BACKENDS",
     "AGREEMENT_EPSILON",
     "BackendRecord",

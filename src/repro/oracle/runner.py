@@ -43,6 +43,7 @@ from repro.core.query import BurstingFlowResult
 from repro.oracle.cases import CaseLibrary, FuzzCase
 from repro.oracle.certificate import check_certificate
 from repro.oracle.generators import CaseGenerator, resolve_generators
+from repro.cluster.backend import cluster_bfq
 from repro.service.backend import service_bfq
 from repro.temporal.edge import Timestamp
 
@@ -77,11 +78,23 @@ BACKENDS: Mapping[str, Callable[..., BurstingFlowResult]] = {
     # worker -> protocol decode), run twice so the replay also proves the
     # result cache returns byte-identical answers.
     "service": service_bfq,
+    # The full cluster path: the case is seeded into a durable log, two
+    # replicas replay it, and the query routes through the coordinator
+    # (affinity + epoch fence) cold and warm.
+    "cluster": cluster_bfq,
 }
 
+#: The backends a default (``backends=None``) run executes.  ``cluster``
+#: is opted into explicitly (CI's cluster-smoke job does) because every
+#: trial boots a live two-replica cluster — correct but far heavier than
+#: the in-process backends.
+DEFAULT_BACKENDS: tuple[str, ...] = tuple(
+    name for name in BACKENDS if name != "cluster"
+)
+
 #: Backends that enumerate exactly the Lemma-2 candidate plan and must
-#: therefore agree on the interval byte-for-byte.  The service backend
-#: wraps BFQ*, so its interval is canonical too.
+#: therefore agree on the interval byte-for-byte.  The service and
+#: cluster backends wrap BFQ*, so their intervals are canonical too.
 PLAN_BACKENDS: tuple[str, ...] = (
     "bfq",
     "bfq-skel",
@@ -89,6 +102,7 @@ PLAN_BACKENDS: tuple[str, ...] = (
     "bfq*",
     "networkx",
     "service",
+    "cluster",
 )
 
 #: Backends supporting ``use_pruning`` (checked on *and* off).
@@ -182,7 +196,7 @@ def run_differential(
         eps: relative tolerance for density/value agreement.
     """
     outcome = DifferentialOutcome(case=case)
-    names = tuple(backends) if backends is not None else tuple(BACKENDS)
+    names = tuple(backends) if backends is not None else DEFAULT_BACKENDS
     network = case.network()
     query = case.query()
 
@@ -423,7 +437,7 @@ def fuzz(
     report = FuzzReport(
         trials=trials,
         seed=seed,
-        backends=tuple(backends) if backends is not None else tuple(BACKENDS),
+        backends=tuple(backends) if backends is not None else DEFAULT_BACKENDS,
     )
     for trial in range(trials):
         generator_name = names[trial % len(names)]

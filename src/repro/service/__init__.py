@@ -26,13 +26,19 @@ or from a shell: ``repro-bfq serve edges.csv --port 7461``.
 from repro.service.admission import AdmissionController
 from repro.service.backend import ServiceBackendError, service_bfq
 from repro.service.cache import ResultCache
-from repro.service.client import ServiceClient
-from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.metrics import (
+    LatencyHistogram,
+    ServiceMetrics,
+    aggregate_snapshots,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     AppendReply,
     AppendRequest,
     DeadlineExceededError,
+    DrainReply,
+    DrainRequest,
     ErrorReply,
     MetricsReply,
     MetricsRequest,
@@ -43,6 +49,7 @@ from repro.service.protocol import (
     QueryReply,
     QueryRequest,
     RemoteServiceError,
+    StaleEpochError,
     parse_reply,
     parse_request,
 )
@@ -56,6 +63,8 @@ __all__ = [
     "AppendRequest",
     "BurstingFlowService",
     "DeadlineExceededError",
+    "DrainReply",
+    "DrainRequest",
     "ErrorReply",
     "InlineEngine",
     "LatencyHistogram",
@@ -70,9 +79,12 @@ __all__ = [
     "QueryRequest",
     "RemoteServiceError",
     "ResultCache",
+    "RetryPolicy",
     "ServiceBackendError",
     "ServiceClient",
     "ServiceMetrics",
+    "StaleEpochError",
+    "aggregate_snapshots",
     "parse_reply",
     "parse_request",
     "service_bfq",

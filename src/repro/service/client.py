@@ -9,18 +9,29 @@ included) interoperates.
     with ServiceClient(host, port) as client:
         reply = client.query("alice", "mallory", delta=5)
         print(reply.density, reply.interval, reply.cached)
+
+Opt-in retry: pass a :class:`RetryPolicy` and typed ``overloaded``
+errors are retried with jittered exponential backoff, never sleeping
+less than the server's ``retry_after_ms`` hint.  The cluster
+coordinator's router and health monitor reuse the same policy for their
+own backoff arithmetic.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import socket
-from typing import Any, Iterable
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
 
 from repro.service.protocol import (
     AppendReply,
     AppendRequest,
+    DrainRequest,
     MetricsRequest,
+    OverloadedError,
     PingRequest,
     ProtocolError,
     QueryReply,
@@ -35,28 +46,110 @@ from repro.service.protocol import (
 from repro.temporal.edge import NodeId, Timestamp
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for retryable (``overloaded``) errors.
+
+    The delay before retry attempt ``attempt`` (0-based) is::
+
+        max(base_delay * multiplier**attempt  (capped at max_delay),
+            retry_after_ms / 1000)            * (1 ± jitter)
+
+    so the server's ``retry_after_ms`` congestion hint is always
+    honoured as a floor, the exponential curve dominates once the hint
+    is stale, and the jitter decorrelates clients that were shed by the
+    same overload spike.
+
+    Args:
+        max_attempts: total tries (the first attempt included); at least 1.
+        base_delay: first backoff step in seconds.
+        multiplier: exponential growth factor per attempt.
+        max_delay: cap on the exponential term (the ``retry_after_ms``
+            floor may still exceed it).
+        jitter: symmetric relative jitter (0.2 = ±20%).
+        rng: injectable randomness source (tests pin it).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.2
+    rng: random.Random = field(
+        default_factory=random.Random, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay <= 0 or self.max_delay <= 0:
+            raise ValueError("delays must be positive seconds")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay_for(self, attempt: int, retry_after_ms: int | None = None) -> float:
+        """Seconds to sleep before retry ``attempt`` (0-based)."""
+        backoff = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if retry_after_ms is not None:
+            backoff = max(backoff, retry_after_ms / 1000.0)
+        swing = self.jitter * (2.0 * self.rng.random() - 1.0)
+        return backoff * (1.0 + swing)
+
+
 class ServiceClient:
     """A blocking client for one service connection.
 
     Args:
         host / port: the service address.
         timeout: socket timeout (seconds) for connect and replies.
+        retry: opt-in :class:`RetryPolicy` for typed ``overloaded``
+            errors (``None`` — the default — surfaces them immediately).
+        sleep: injectable sleep function (tests use a fake clock).
 
     Raises (from the request methods):
-        OverloadedError: the server shed the request.
+        OverloadedError: the server shed the request (after the retry
+            budget, when a policy is configured).
         DeadlineExceededError: the server timed the request out.
+        StaleEpochError: the server is behind the query's ``min_epoch``.
         ProtocolError: the request was rejected as invalid.
         RemoteServiceError: the server reported an internal failure.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._ids = itertools.count(1)
+        self._retry = retry
+        self._sleep = sleep
 
     # ------------------------------------------------------------------
     def request(self, request: Request) -> Reply:
-        """Send one request and block for its reply (errors raised typed)."""
+        """Send one request and block for its reply (errors raised typed).
+
+        With a :class:`RetryPolicy` configured, ``overloaded`` replies are
+        retried (same request, same id) with jittered backoff; any other
+        error raises immediately.
+        """
+        attempts = self._retry.max_attempts if self._retry is not None else 1
+        for attempt in range(attempts):
+            try:
+                return self._request_once(request)
+            except OverloadedError as exc:
+                if attempt + 1 >= attempts:
+                    raise
+                assert self._retry is not None
+                self._sleep(self._retry.delay_for(attempt, exc.retry_after_ms))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(self, request: Request) -> Reply:
         self._file.write(encode(request_payload(request)))
         self._file.flush()
         line = self._file.readline()
@@ -73,6 +166,7 @@ class ServiceClient:
         algorithm: str | None = None,
         kernel: str | None = None,
         timeout: float | None = None,
+        min_epoch: int | None = None,
     ) -> QueryReply:
         """Answer one delta-BFlow query."""
         reply = self.request(
@@ -84,6 +178,7 @@ class ServiceClient:
                 algorithm=algorithm,
                 kernel=kernel,
                 timeout=timeout,
+                min_epoch=min_epoch,
             )
         )
         assert isinstance(reply, QueryReply)
@@ -108,6 +203,11 @@ class ServiceClient:
         """Liveness probe; returns the current network epoch."""
         reply = self.request(PingRequest(id=f"p{next(self._ids)}"))
         return reply.epoch  # type: ignore[union-attr]
+
+    def drain(self) -> int:
+        """Ask the server to drain; returns its in-flight request count."""
+        reply = self.request(DrainRequest(id=f"d{next(self._ids)}"))
+        return reply.inflight  # type: ignore[union-attr]
 
     def close(self) -> None:
         """Close the connection."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 #: Sliding-window size per latency histogram.
 WINDOW = 4096
@@ -252,6 +252,76 @@ class ServiceMetrics:
                     for algorithm, slot in sorted(self.phase_seconds.items())
                 },
             }
+
+
+def aggregate_snapshots(snapshots: Mapping[str, Mapping[str, Any]]) -> dict[str, Any]:
+    """Fold per-replica :meth:`ServiceMetrics.snapshot` dicts into one.
+
+    Counters sum, the queue gauge sums current depths and takes the max
+    high-water mark, latency histograms combine counts and weighted
+    means (window order statistics are per-replica artifacts, so the
+    aggregate reports count/mean only), and per-algorithm phase seconds
+    add up.  The cluster coordinator serves this as the ``aggregate``
+    section of its ``/metrics`` reply.
+    """
+    aggregate: dict[str, Any] = {
+        "replicas": sorted(snapshots),
+        "requests": {},
+        "errors": {},
+        "cache": {"hits": 0, "misses": 0, "hit_rate": None, "invalidated": 0},
+        "queue": {"depth": 0, "high_water": 0, "shed": 0},
+        "timeouts": 0,
+        "worker_restarts": 0,
+        "appended_edges": 0,
+        "latency": {"cache_hit": {"count": 0, "mean_ms": None},
+                    "solve": {}},
+        "phases": {},
+    }
+
+    def _fold_histogram(slot: dict[str, Any], histogram: Mapping[str, Any]) -> None:
+        count = histogram.get("count", 0) or 0
+        mean = histogram.get("mean_ms")
+        if count and mean is not None:
+            total = (slot["mean_ms"] or 0.0) * slot["count"] + mean * count
+            slot["count"] += count
+            slot["mean_ms"] = round(total / slot["count"], 6)
+        else:
+            slot["count"] += count
+
+    for snapshot in snapshots.values():
+        for op, value in snapshot.get("requests", {}).items():
+            aggregate["requests"][op] = aggregate["requests"].get(op, 0) + value
+        for kind, value in snapshot.get("errors", {}).items():
+            aggregate["errors"][kind] = aggregate["errors"].get(kind, 0) + value
+        cache = snapshot.get("cache", {})
+        for key in ("hits", "misses", "invalidated"):
+            aggregate["cache"][key] += cache.get(key, 0) or 0
+        queue = snapshot.get("queue", {})
+        aggregate["queue"]["depth"] += queue.get("depth", 0) or 0
+        aggregate["queue"]["high_water"] = max(
+            aggregate["queue"]["high_water"], queue.get("high_water", 0) or 0
+        )
+        aggregate["queue"]["shed"] += queue.get("shed", 0) or 0
+        for key in ("timeouts", "worker_restarts", "appended_edges"):
+            aggregate[key] += snapshot.get(key, 0) or 0
+        latency = snapshot.get("latency", {})
+        _fold_histogram(
+            aggregate["latency"]["cache_hit"], latency.get("cache_hit", {})
+        )
+        for algorithm, histogram in latency.get("solve", {}).items():
+            slot = aggregate["latency"]["solve"].setdefault(
+                algorithm, {"count": 0, "mean_ms": None}
+            )
+            _fold_histogram(slot, histogram)
+        for algorithm, phases in snapshot.get("phases", {}).items():
+            slot = aggregate["phases"].setdefault(algorithm, {})
+            for phase, seconds in phases.items():
+                slot[phase] = round(slot.get(phase, 0.0) + seconds, 6)
+
+    lookups = aggregate["cache"]["hits"] + aggregate["cache"]["misses"]
+    if lookups:
+        aggregate["cache"]["hit_rate"] = aggregate["cache"]["hits"] / lookups
+    return aggregate
 
 
 def merge_latencies(histograms: Iterable[LatencyHistogram]) -> LatencyHistogram:

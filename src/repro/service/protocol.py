@@ -16,6 +16,14 @@ Requests (``op`` selects the type)::
      "edges": [["s", "t", 7, 2.5], ...]}
     {"v": 1, "id": "m1", "op": "metrics"}
     {"v": 1, "id": "p1", "op": "ping"}
+    {"v": 1, "id": "d1", "op": "drain"}
+
+A query may carry ``min_epoch``, the read-your-writes fence: a server
+whose epoch is behind it answers with a typed ``stale`` error (carrying
+its current ``epoch``) instead of a possibly stale result.  The cluster
+coordinator (:mod:`repro.cluster`) stamps every routed query with the
+cluster's committed epoch, and per-replica ``AppendReply.epoch`` values
+double as the replication acknowledgements.
 
 Replies are either ``{"ok": true, ...}`` payloads or typed errors
 ``{"ok": false, "error": {"kind": ..., "message": ...}}``.  The error
@@ -46,6 +54,10 @@ ERROR_TIMEOUT = "timeout"
 ERROR_INVALID = "invalid"
 ERROR_UNSUPPORTED_VERSION = "unsupported_version"
 ERROR_INTERNAL = "internal"
+#: The server's network epoch is behind the ``min_epoch`` the query
+#: demanded (read-your-writes).  Retryable: the cluster coordinator
+#: re-routes, a direct client waits for replication to catch up.
+ERROR_STALE = "stale"
 ERROR_KINDS = frozenset(
     {
         ERROR_OVERLOADED,
@@ -53,6 +65,7 @@ ERROR_KINDS = frozenset(
         ERROR_INVALID,
         ERROR_UNSUPPORTED_VERSION,
         ERROR_INTERNAL,
+        ERROR_STALE,
     }
 )
 
@@ -86,12 +99,30 @@ class RemoteServiceError(ReproError):
     """Client-side surfacing of a server-reported ``internal`` error."""
 
 
+class StaleEpochError(ReproError):
+    """The replica's epoch is behind the query's ``min_epoch``.
+
+    Attributes:
+        epoch: the replica's current epoch (``-1`` when unknown).
+    """
+
+    def __init__(self, message: str, *, epoch: int = -1) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+
+
 # ----------------------------------------------------------------------
 # Requests
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
 class QueryRequest:
-    """One delta-BFlow query: ``op: "query"``."""
+    """One delta-BFlow query: ``op: "query"``.
+
+    ``min_epoch`` is the read-your-writes fence: a server whose network
+    epoch is below it answers with a typed ``stale`` error instead of a
+    potentially stale result.  The cluster coordinator stamps it with the
+    cluster's committed epoch before routing to a replica.
+    """
 
     id: str
     source: NodeId
@@ -100,6 +131,7 @@ class QueryRequest:
     algorithm: str | None = None
     kernel: str | None = None
     timeout: float | None = None
+    min_epoch: int | None = None
 
     op = "query"
 
@@ -132,7 +164,24 @@ class PingRequest:
     op = "ping"
 
 
-Request = QueryRequest | AppendRequest | MetricsRequest | PingRequest
+@dataclass(frozen=True, slots=True)
+class DrainRequest:
+    """Begin a graceful drain: ``op: "drain"``.
+
+    The server stops admitting new queries/appends (they get typed
+    ``overloaded`` errors) while in-flight work finishes; ``/healthz``
+    reports ``draining`` so load balancers take the instance out of
+    rotation.  The cluster supervisor sends this before SIGTERM.
+    """
+
+    id: str
+
+    op = "drain"
+
+
+Request = (
+    QueryRequest | AppendRequest | MetricsRequest | PingRequest | DrainRequest
+)
 
 
 # ----------------------------------------------------------------------
@@ -191,6 +240,17 @@ class PongReply:
 
 
 @dataclass(frozen=True, slots=True)
+class DrainReply:
+    """Acknowledgement that the server entered (or is in) drain mode."""
+
+    id: str
+    draining: bool
+    inflight: int
+
+    ok = True
+
+
+@dataclass(frozen=True, slots=True)
 class ErrorReply:
     """A typed failure (:data:`ERROR_KINDS`)."""
 
@@ -198,11 +258,14 @@ class ErrorReply:
     kind: str
     message: str
     retry_after_ms: int | None = None
+    epoch: int | None = None
 
     ok = False
 
 
-Reply = QueryReply | AppendReply | MetricsReply | PongReply | ErrorReply
+Reply = (
+    QueryReply | AppendReply | MetricsReply | PongReply | DrainReply | ErrorReply
+)
 
 
 # ----------------------------------------------------------------------
@@ -269,6 +332,15 @@ def parse_request(raw: bytes | str | Mapping[str, Any]) -> Request:
                     f"timeout must be a positive number of seconds, got {timeout!r}"
                 )
             timeout = float(timeout)
+        min_epoch = payload.get("min_epoch")
+        if min_epoch is not None and (
+            not isinstance(min_epoch, int)
+            or isinstance(min_epoch, bool)
+            or min_epoch < 0
+        ):
+            raise ProtocolError(
+                f"min_epoch must be a non-negative int, got {min_epoch!r}"
+            )
         return QueryRequest(
             id=request_id,
             source=_check_node(_require(payload, "source"), "source"),
@@ -277,6 +349,7 @@ def parse_request(raw: bytes | str | Mapping[str, Any]) -> Request:
             algorithm=algorithm,
             kernel=kernel,
             timeout=timeout,
+            min_epoch=min_epoch,
         )
     if op == "append":
         raw_edges = _require(payload, "edges")
@@ -310,6 +383,8 @@ def parse_request(raw: bytes | str | Mapping[str, Any]) -> Request:
         return MetricsRequest(id=request_id)
     if op == "ping":
         return PingRequest(id=request_id)
+    if op == "drain":
+        return DrainRequest(id=request_id)
     raise ProtocolError(f"unknown op {op!r}")
 
 
@@ -327,6 +402,8 @@ def request_payload(request: Request) -> dict[str, Any]:
             payload["kernel"] = request.kernel
         if request.timeout is not None:
             payload["timeout"] = request.timeout
+        if request.min_epoch is not None:
+            payload["min_epoch"] = request.min_epoch
     elif isinstance(request, AppendRequest):
         payload["edges"] = [list(edge) for edge in request.edges]
     return payload
@@ -354,10 +431,17 @@ def reply_payload(reply: Reply) -> dict[str, Any]:
         payload["result"] = dict(reply.snapshot)
     elif isinstance(reply, PongReply):
         payload["result"] = {"epoch": reply.epoch}
+    elif isinstance(reply, DrainReply):
+        payload["result"] = {
+            "draining": reply.draining,
+            "inflight": reply.inflight,
+        }
     elif isinstance(reply, ErrorReply):
         error: dict[str, Any] = {"kind": reply.kind, "message": reply.message}
         if reply.retry_after_ms is not None:
             error["retry_after_ms"] = reply.retry_after_ms
+        if reply.epoch is not None:
+            error["epoch"] = reply.epoch
         payload["error"] = error
     return payload
 
@@ -408,6 +492,12 @@ def parse_reply(raw: bytes | str | Mapping[str, Any]) -> Reply:
             )
         if tuple(result) == ("epoch",):
             return PongReply(id=reply_id, epoch=int(result["epoch"]))
+        if set(result) == {"draining", "inflight"}:
+            return DrainReply(
+                id=reply_id,
+                draining=bool(result["draining"]),
+                inflight=int(result.get("inflight", 0)),
+            )
         return MetricsReply(id=reply_id, snapshot=dict(result))
     error = payload.get("error")
     if not isinstance(error, Mapping) or "kind" not in error:
@@ -417,6 +507,7 @@ def parse_reply(raw: bytes | str | Mapping[str, Any]) -> Reply:
         kind=str(error["kind"]),
         message=str(error.get("message", "")),
         retry_after_ms=error.get("retry_after_ms"),
+        epoch=error.get("epoch"),
     )
 
 
@@ -434,6 +525,10 @@ def raise_for_error(reply: Reply) -> Reply:
         )
     if reply.kind == ERROR_TIMEOUT:
         raise DeadlineExceededError(reply.message)
+    if reply.kind == ERROR_STALE:
+        raise StaleEpochError(
+            reply.message, epoch=reply.epoch if reply.epoch is not None else -1
+        )
     if reply.kind in (ERROR_INVALID, ERROR_UNSUPPORTED_VERSION):
         raise ProtocolError(reply.message, kind=reply.kind)
     raise RemoteServiceError(f"[{reply.kind}] {reply.message}")

@@ -49,10 +49,13 @@ from repro.service.protocol import (
     ERROR_INTERNAL,
     ERROR_INVALID,
     ERROR_OVERLOADED,
+    ERROR_STALE,
     ERROR_TIMEOUT,
     AppendReply,
     AppendRequest,
     DeadlineExceededError,
+    DrainReply,
+    DrainRequest,
     ErrorReply,
     MetricsReply,
     MetricsRequest,
@@ -135,6 +138,9 @@ class BurstingFlowService:
             epoch keying already invalidates on append).
         max_pending: admission bound on in-flight requests.
         default_timeout / max_timeout: per-request deadline budget.
+        replica_id: name this instance carries when serving as a cluster
+            replica (surfaced in ``/healthz`` and the metrics snapshot);
+            ``None`` for a standalone service.
     """
 
     def __init__(
@@ -150,6 +156,7 @@ class BurstingFlowService:
         max_pending: int = 64,
         default_timeout: float = 30.0,
         max_timeout: float = 300.0,
+        replica_id: str | None = None,
     ) -> None:
         get_algorithm(algorithm)  # fail fast on unknown defaults
         if kernel is not None and kernel not in KNOWN_KERNELS:
@@ -178,10 +185,17 @@ class BurstingFlowService:
                 mp_context=mp_context,
                 on_restart=self.metrics.observe_restart,
             )
+        self.replica_id = replica_id
+        self._draining = False
         # Build the lazy indexes before the first concurrent read.
         if network.num_edges:
             _ = network.timestamps
         self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful drain is in progress."""
+        return self._draining
 
     # ------------------------------------------------------------------
     # Programmatic entry points (the oracle backend and tests use these)
@@ -189,7 +203,14 @@ class BurstingFlowService:
     async def handle_request(self, request: Request) -> Reply:
         """Dispatch one parsed request to its handler."""
         self.metrics.count_request(request.op)
-        if isinstance(request, QueryRequest):
+        if isinstance(request, (QueryRequest, AppendRequest)) and self._draining:
+            reply: Reply = ErrorReply(
+                request.id,
+                ERROR_OVERLOADED,
+                "server is draining",
+                retry_after_ms=1000,
+            )
+        elif isinstance(request, QueryRequest):
             reply = await self._handle_query(request)
         elif isinstance(request, AppendRequest):
             reply = await self._handle_append(request)
@@ -197,6 +218,11 @@ class BurstingFlowService:
             reply = MetricsReply(id=request.id, snapshot=self.snapshot())
         elif isinstance(request, PingRequest):
             reply = PongReply(id=request.id, epoch=self.network.epoch)
+        elif isinstance(request, DrainRequest):
+            self._draining = True
+            reply = DrainReply(
+                id=request.id, draining=True, inflight=self.admission.inflight
+            )
         else:  # pragma: no cover - parse_request is exhaustive
             reply = ErrorReply(request.id, ERROR_INVALID, "unknown request type")
         if isinstance(reply, ErrorReply):
@@ -230,6 +256,9 @@ class BurstingFlowService:
             "admitted_total": self.admission.admitted_total,
             "shed_total": self.admission.shed_total,
         }
+        if self.replica_id is not None:
+            snapshot["replica"] = self.replica_id
+        snapshot["draining"] = self._draining
         return snapshot
 
     # ------------------------------------------------------------------
@@ -267,6 +296,17 @@ class BurstingFlowService:
             deadline = self.admission.deadline_for(request.timeout)
             async with self._lock.read():
                 epoch = self.network.epoch
+                if request.min_epoch is not None and epoch < request.min_epoch:
+                    # Read-your-writes fence: this instance has not yet
+                    # applied every append the client observed.
+                    return ErrorReply(
+                        request.id,
+                        ERROR_STALE,
+                        f"epoch {epoch} is behind required "
+                        f"min_epoch {request.min_epoch}",
+                        retry_after_ms=25,
+                        epoch=epoch,
+                    )
                 key = (
                     epoch,
                     request.source,
@@ -380,6 +420,17 @@ class BurstingFlowService:
         async with self._server:
             await self._server.serve_forever()
 
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Stop admitting work and wait for in-flight requests to finish.
+
+        Returns True when the server drained fully within ``timeout``.
+        """
+        self._draining = True
+        deadline = time.monotonic() + timeout
+        while self.admission.inflight and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        return self.admission.inflight == 0
+
     async def stop(self) -> None:
         """Close the listener and the engine backend."""
         if self._server is not None:
@@ -456,7 +507,22 @@ class BurstingFlowService:
             self.metrics.count_request("metrics")
             _http_respond(writer, 200, self.snapshot())
         elif method == "GET" and target in ("/healthz", "/healthz/"):
-            _http_respond(writer, 200, {"ok": True, "epoch": self.network.epoch})
+            health = {
+                "ok": not self._draining,
+                "epoch": self.network.epoch,
+                "draining": self._draining,
+            }
+            if self.replica_id is not None:
+                health["replica"] = self.replica_id
+            _http_respond(writer, 200 if health["ok"] else 503, health)
+        elif method == "POST" and target in ("/drain", "/drain/"):
+            self.metrics.count_request("drain")
+            self._draining = True
+            _http_respond(
+                writer,
+                200,
+                {"draining": True, "inflight": self.admission.inflight},
+            )
         elif method == "POST" and target in ("/query", "/append", "/query/", "/append/"):
             payload = json.loads(await self.handle_raw(body))
             status = 200 if payload.get("ok") else _http_status(payload)
@@ -477,6 +543,7 @@ _HTTP_REASONS = {
     408: "Request Timeout",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -488,6 +555,8 @@ def _http_status(payload: dict[str, Any]) -> int:
         return 408
     if kind == ERROR_INTERNAL:
         return 500
+    if kind == ERROR_STALE:
+        return 503
     return 400
 
 

@@ -68,10 +68,14 @@ class AppendLog:
     def replay(self) -> Iterator[dict]:
         """Yield every record currently on disk, oldest first.
 
+        Crash-safe: a *trailing* partial line — the signature of a crash
+        (or ``kill -9``) mid-write — is tolerated and **truncated away**,
+        so the next :meth:`append` starts a fresh record instead of
+        concatenating onto the torn bytes and corrupting the log.
+
         Raises:
-            DatasetError: on a corrupt (non-JSON) line, reporting its
-                number.  A *trailing* partial line — the signature of a
-                crash mid-write — is tolerated and skipped.
+            DatasetError: on a corrupt (non-JSON) interior line,
+                reporting its number.
         """
         self.flush()
         with self.path.open(encoding="utf-8") as handle:
@@ -84,10 +88,22 @@ class AppendLog:
                 yield json.loads(stripped)
             except json.JSONDecodeError as exc:
                 if number == len(lines) and not line.endswith("\n"):
-                    return  # torn trailing write: ignore
+                    self._truncate_torn_tail()
+                    return
                 raise DatasetError(
                     f"{self.path}:{number}: corrupt log record: {exc}"
                 ) from exc
+
+    def _truncate_torn_tail(self) -> None:
+        """Cut the file back to the last complete (newline-ended) record."""
+        self._handle.close()
+        data = self.path.read_bytes()
+        keep = data.rfind(b"\n") + 1  # 0 when no complete record survives
+        with self.path.open("r+b") as handle:
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle = self.path.open("a", encoding="utf-8")
 
     def compact(self, records: Iterator[dict] | list[dict]) -> None:
         """Atomically replace the log's contents with ``records``."""

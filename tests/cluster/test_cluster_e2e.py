@@ -1,0 +1,189 @@
+"""Cluster end-to-end: interleaved appends and queries across replicas.
+
+The PR-3 interleave criterion, lifted one tier up: every answer served
+through the :class:`~repro.cluster.ClusterCoordinator` — whatever
+replica it routed to, whatever appends raced it — equals a fresh
+sequential solve of the edge set its acked epochs pin down.  Replicas
+are inline (in-process services on real TCP ports) so hypothesis can
+afford to boot a cluster per example.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterCoordinator, InlineReplica, seed_log
+from repro.service.protocol import AppendRequest, QueryRequest
+from repro.store.log import AppendLog
+
+from tests.service.test_interleave import (
+    NODES,
+    SEED_EDGES,
+    append_op,
+    fresh_triple,
+    query_op,
+)
+
+
+def boot_log(tmp_path):
+    path = tmp_path / "cluster.log"
+    log = AppendLog(path)
+    try:
+        seed_log(log, SEED_EDGES)
+    finally:
+        log.close()
+    return path
+
+
+async def boot_cluster(tmp_path, replicas=2):
+    path = boot_log(tmp_path)
+    handles = [InlineReplica(f"r{i}", path) for i in range(replicas)]
+    coordinator = ClusterCoordinator(path, handles)
+    await coordinator.start("127.0.0.1", 0)
+    return coordinator
+
+
+@given(ops=st.lists(st.one_of(query_op, append_op), max_size=8))
+@settings(max_examples=15, deadline=None)
+def test_interleaved_ops_through_the_coordinator_serve_fresh_answers(
+    ops, tmp_path_factory
+):
+    tmp_path = tmp_path_factory.mktemp("cluster")
+
+    async def scenario():
+        coordinator = await boot_cluster(tmp_path)
+        shadow = list(SEED_EDGES)
+        try:
+            last_epoch = coordinator.committed_epoch
+            for position, op in enumerate(ops):
+                if op[0] == "append":
+                    edges = op[1]
+                    reply = await coordinator.handle_request(
+                        AppendRequest(id=f"a{position}", edges=tuple(edges))
+                    )
+                    assert reply.ok, reply
+                    assert reply.epoch > last_epoch
+                    assert reply.epoch == coordinator.committed_epoch
+                    last_epoch = reply.epoch
+                    shadow.extend(edges)
+                else:
+                    _, source, sink, delta = op
+                    # min_epoch = the last acked append: read-your-writes.
+                    reply = await coordinator.handle_request(
+                        QueryRequest(
+                            id=f"q{position}", source=source, sink=sink,
+                            delta=delta, min_epoch=last_epoch,
+                        )
+                    )
+                    assert reply.ok, reply
+                    served = (reply.density, reply.interval, reply.flow_value)
+                    assert served == fresh_triple(shadow, source, sink, delta)
+        finally:
+            await coordinator.stop()
+
+    asyncio.run(scenario())
+
+
+def test_concurrent_queries_and_appends_each_pin_one_epoch(tmp_path):
+    """Truly overlapping traffic through the coordinator: each query
+    reply matches the edge set that its epoch identifies (the seed plus
+    every append acked at or before it)."""
+
+    append_edges = [
+        ("s", "a", 5 + i, float(2 + i)) for i in range(4)
+    ] + [("a", "b", 6, 3.0), ("b", "t", 9, 4.0)]
+    query_specs = [("s", "t", d) for d in (1, 2, 3, 4, 5, 2, 3)]
+
+    async def scenario():
+        coordinator = await boot_cluster(tmp_path)
+        try:
+
+            async def one_append(index, edge):
+                await asyncio.sleep(0.001 * index)
+                reply = await coordinator.handle_request(
+                    AppendRequest(id=f"a{index}", edges=(edge,))
+                )
+                assert reply.ok, reply
+                return reply.epoch, edge
+
+            async def one_query(index, spec):
+                await asyncio.sleep(0.0005 * index)
+                source, sink, delta = spec
+                reply = await coordinator.handle_request(
+                    QueryRequest(
+                        id=f"q{index}", source=source, sink=sink, delta=delta
+                    )
+                )
+                assert reply.ok, reply
+                return reply.epoch, spec, (
+                    reply.density, reply.interval, reply.flow_value
+                )
+
+            appends = [
+                one_append(i, edge) for i, edge in enumerate(append_edges)
+            ]
+            queries = [
+                one_query(i, spec) for i, spec in enumerate(query_specs)
+            ]
+            results = await asyncio.gather(*appends, *queries)
+            return (
+                results[: len(append_edges)],
+                results[len(append_edges):],
+            )
+        finally:
+            await coordinator.stop()
+
+    append_records, query_records = asyncio.run(scenario())
+
+    # Appends serialize under the coordinator's log lock, so acked epochs
+    # are unique and order the edge sets exactly.
+    epochs = [epoch for epoch, _ in append_records]
+    assert len(set(epochs)) == len(epochs)
+
+    for query_epoch, (source, sink, delta), served in query_records:
+        visible = list(SEED_EDGES) + [
+            edge
+            for append_epoch, edge in sorted(append_records)
+            if append_epoch <= query_epoch
+        ]
+        assert served == fresh_triple(visible, source, sink, delta), (
+            f"query ({source}->{sink}, delta={delta}) at epoch "
+            f"{query_epoch} diverged from the state its epoch pins"
+        )
+
+
+def test_queries_spread_across_replicas_by_affinity(tmp_path):
+    """With every replica healthy each (source, sink) pair lands on its
+    hash owner, so per-replica query counts match the router exactly."""
+
+    pairs = [(u, v) for u in NODES for v in NODES if u != v]
+
+    async def scenario():
+        coordinator = await boot_cluster(tmp_path)
+        try:
+            for index, (source, sink) in enumerate(pairs):
+                reply = await coordinator.handle_request(
+                    QueryRequest(
+                        id=f"q{index}", source=source, sink=sink, delta=2
+                    )
+                )
+                assert reply.ok, reply
+            expected = {"r0": 0, "r1": 0}
+            for source, sink in pairs:
+                expected[
+                    coordinator.router.affinity(source, sink, ["r0", "r1"])
+                ] += 1
+            snapshot = await coordinator.snapshot()
+            return expected, snapshot
+        finally:
+            await coordinator.stop()
+
+    expected, snapshot = asyncio.run(scenario())
+    served = {
+        name: replica["requests"].get("query", 0)
+        for name, replica in snapshot["replicas"].items()
+    }
+    assert served == expected
+    assert all(count > 0 for count in served.values()), served
+    assert snapshot["aggregate"]["requests"]["query"] == len(pairs)

@@ -1,0 +1,118 @@
+"""Replication-log records: round-trips and epoch determinism.
+
+The cluster leans on one invariant: a replica's epoch is a pure
+function of the log prefix it has applied.  These tests pin it — same
+log, same epoch, same edge multiset, even when a record carries a
+deterministically-invalid suffix.
+"""
+
+import pytest
+
+from repro.temporal.edge import TemporalEdge
+
+from repro.cluster.replication import (
+    append_record,
+    apply_record,
+    network_edges,
+    replay_network,
+    seed_log,
+)
+from repro.exceptions import ReproError
+from repro.store.log import AppendLog
+from repro.temporal import TemporalFlowNetwork
+
+SEED = [
+    ("s", "a", 1, 4.0),
+    ("a", "t", 2, 3.0),
+    ("s", "b", 3, 5.0),
+    ("b", "t", 4, 2.0),
+]
+
+
+def make_log(tmp_path, name="cluster.log"):
+    return AppendLog(tmp_path / name)
+
+
+class TestRecords:
+    def test_append_record_shape(self):
+        record = append_record([("u", "v", 3, 2.5)])
+        assert record == {"op": "append", "edges": [["u", "v", 3, 2.5]]}
+
+    def test_unknown_op_is_rejected(self):
+        network = TemporalFlowNetwork()
+        with pytest.raises(ReproError):
+            apply_record(network, {"op": "compact", "edges": []})
+
+    def test_seed_log_skips_empty_edge_sets(self, tmp_path):
+        log = make_log(tmp_path)
+        try:
+            seed_log(log, [])
+            assert list(log.replay()) == []
+        finally:
+            log.close()
+
+
+class TestEpochDeterminism:
+    def test_replay_reproduces_seeded_network(self, tmp_path):
+        source = TemporalFlowNetwork.from_tuples(SEED)
+        log = make_log(tmp_path)
+        try:
+            seed_log(log, network_edges(source))
+            replayed = replay_network(log)
+        finally:
+            log.close()
+        assert replayed.epoch == source.epoch
+        assert sorted(network_edges(replayed)) == sorted(network_edges(source))
+
+    def test_two_replays_agree_exactly(self, tmp_path):
+        log = make_log(tmp_path)
+        try:
+            seed_log(log, SEED)
+            log.append(append_record([("a", "b", 5, 1.0), ("b", "t", 6, 2.0)]))
+            log.flush()
+            first = replay_network(log)
+            second = replay_network(log)
+        finally:
+            log.close()
+        assert first.epoch == second.epoch
+        assert sorted(network_edges(first)) == sorted(network_edges(second))
+
+    def test_capacity_merge_bumps_epoch_on_replay(self, tmp_path):
+        log = make_log(tmp_path)
+        try:
+            seed_log(log, SEED)
+            # Same (u, v, tau) twice: the network merges capacities but
+            # still bumps the epoch per add, and replay must agree.
+            log.append(append_record([("s", "a", 1, 2.0)]))
+            log.flush()
+            replayed = replay_network(log)
+        finally:
+            log.close()
+        live = TemporalFlowNetwork.from_tuples(SEED)
+        live.add_edge(TemporalEdge("s", "a", 1, 2.0))
+        assert replayed.epoch == live.epoch
+        assert sorted(network_edges(replayed)) == sorted(network_edges(live))
+
+    def test_partially_invalid_record_applies_prefix_deterministically(
+        self, tmp_path
+    ):
+        # A record whose third edge is invalid (negative capacity):
+        # every replayer applies exactly the two valid edges before it
+        # and stops, so epochs still agree across replicas.
+        record = append_record(
+            [("s", "a", 7, 1.0), ("a", "t", 8, 2.0), ("a", "a", 9, -1.0)]
+        )
+        log = make_log(tmp_path)
+        try:
+            seed_log(log, SEED)
+            log.append(record)
+            log.flush()
+            first = replay_network(log)
+            second = replay_network(log)
+        finally:
+            log.close()
+        expected = TemporalFlowNetwork.from_tuples(SEED)
+        expected.add_edge(TemporalEdge("s", "a", 7, 1.0))
+        expected.add_edge(TemporalEdge("a", "t", 8, 2.0))
+        assert first.epoch == second.epoch == expected.epoch
+        assert sorted(network_edges(first)) == sorted(network_edges(expected))

@@ -1,0 +1,76 @@
+"""Consistent-hash routing: stability, spread and failover ordering."""
+
+from collections import Counter
+
+from repro.cluster.router import ConsistentHashRouter, shard_key
+
+
+REPLICAS = ["r0", "r1", "r2", "r3"]
+
+
+def pairs(count):
+    return [(f"s{i}", f"t{i % 17}") for i in range(count)]
+
+
+class TestAffinity:
+    def test_affinity_is_deterministic(self):
+        router = ConsistentHashRouter(REPLICAS)
+        again = ConsistentHashRouter(REPLICAS)
+        for source, sink in pairs(200):
+            owner = router.affinity(source, sink, REPLICAS)
+            assert owner == again.affinity(source, sink, REPLICAS)
+
+    def test_affinity_is_independent_of_replica_list_order(self):
+        forward = ConsistentHashRouter(REPLICAS)
+        backward = ConsistentHashRouter(list(reversed(REPLICAS)))
+        for source, sink in pairs(200):
+            assert forward.affinity(source, sink, REPLICAS) == (
+                backward.affinity(source, sink, REPLICAS)
+            )
+
+    def test_every_replica_owns_a_fair_share(self):
+        router = ConsistentHashRouter(REPLICAS)
+        owners = Counter(
+            router.affinity(source, sink, REPLICAS)
+            for source, sink in pairs(2000)
+        )
+        assert set(owners) == set(REPLICAS)
+        # 64 vnodes per replica keeps the spread within a loose 3x band.
+        assert max(owners.values()) < 3 * min(owners.values())
+
+    def test_losing_a_replica_only_moves_its_own_keys(self):
+        router = ConsistentHashRouter(REPLICAS)
+        survivors = [rid for rid in REPLICAS if rid != "r2"]
+        for source, sink in pairs(500):
+            before = router.affinity(source, sink, REPLICAS)
+            after = router.affinity(source, sink, survivors)
+            if before != "r2":
+                assert after == before
+
+    def test_shard_key_separates_source_and_sink(self):
+        # ("ab", "c") and ("a", "bc") must not collapse to one shard key.
+        assert shard_key("ab", "c") != shard_key("a", "bc")
+
+
+class TestOrder:
+    def test_order_puts_the_affinity_owner_first(self):
+        router = ConsistentHashRouter(REPLICAS)
+        for source, sink in pairs(100):
+            order = router.order(source, sink, REPLICAS)
+            assert order[0] == router.affinity(source, sink, REPLICAS)
+            assert sorted(order) == sorted(REPLICAS)
+
+    def test_order_breaks_ties_by_least_in_flight(self):
+        router = ConsistentHashRouter(REPLICAS)
+        inflight = {"r0": 9, "r1": 0, "r2": 5, "r3": 2}
+        order = router.order("s", "t", REPLICAS, inflight)
+        owner, rest = order[0], order[1:]
+        expected = sorted(
+            (rid for rid in REPLICAS if rid != owner),
+            key=lambda rid: (inflight[rid], rid),
+        )
+        assert rest == expected
+
+    def test_order_with_no_eligible_replicas_is_empty(self):
+        router = ConsistentHashRouter(REPLICAS)
+        assert router.order("s", "t", []) == []

@@ -8,7 +8,13 @@ from hypothesis import strategies as st
 from repro.oracle import cases as cases_mod
 from repro.oracle import runner as runner_mod
 from repro.oracle.cases import FuzzCase
-from repro.oracle.runner import BACKENDS, FuzzReport, fuzz, run_differential
+from repro.oracle.runner import (
+    BACKENDS,
+    DEFAULT_BACKENDS,
+    FuzzReport,
+    fuzz,
+    run_differential,
+)
 
 
 def _simple_case() -> FuzzCase:
@@ -30,9 +36,23 @@ class TestRunDifferential:
     def test_agreement_on_simple_case(self):
         outcome = run_differential(_simple_case())
         assert outcome.ok, outcome.describe()
-        assert set(outcome.records) == set(BACKENDS)
+        # The default run covers every backend except the opt-in ones
+        # (cluster boots a live replicated cluster per trial).
+        assert set(outcome.records) == set(DEFAULT_BACKENDS)
+        assert set(DEFAULT_BACKENDS) == set(BACKENDS) - {"cluster"}
         records = {r.record for r in outcome.records.values()}
         assert len(records) == 1  # identical (density, interval) everywhere
+
+    def test_cluster_backend_agrees_when_opted_in(self):
+        outcome = run_differential(
+            _simple_case(), backends=("bfq*", "cluster")
+        )
+        assert outcome.ok, outcome.describe()
+        assert set(outcome.records) == {"bfq*", "cluster"}
+        assert (
+            outcome.records["cluster"].record
+            == outcome.records["bfq*"].record
+        )
 
     def test_agreement_on_no_flow_case(self):
         case = FuzzCase(

@@ -1,0 +1,168 @@
+"""RetryPolicy unit tests (fake clock — no real sleeping) and the
+client retry loop against a live server that sheds then recovers."""
+
+import asyncio
+import random
+import threading
+
+import pytest
+
+from repro.service import (
+    BurstingFlowService,
+    OverloadedError,
+    RetryPolicy,
+    ServiceClient,
+)
+from repro.temporal import TemporalFlowNetwork
+
+SEED_EDGES = [
+    ("s", "a", 1, 4.0),
+    ("a", "t", 2, 3.0),
+    ("s", "b", 3, 5.0),
+    ("b", "t", 4, 2.0),
+]
+
+
+class _PinnedRng:
+    """random.Random stand-in returning a fixed stream of floats."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def random(self):
+        return self._values.pop(0) if self._values else 0.5
+
+
+class TestRetryPolicyDelays:
+    def test_exponential_growth_without_hint(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0
+        )
+        delays = [policy.delay_for(attempt) for attempt in range(4)]
+        assert delays == [0.1, 0.2, 0.4, 0.8]
+
+    def test_max_delay_caps_the_curve(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=3.0, jitter=0.0)
+        assert policy.delay_for(5) == 3.0
+
+    def test_retry_after_ms_is_a_floor(self):
+        policy = RetryPolicy(base_delay=0.01, jitter=0.0)
+        # Hint above the exponential term: the hint wins.
+        assert policy.delay_for(0, retry_after_ms=500) == 0.5
+        # Hint below it: the exponential term wins.
+        policy_big = RetryPolicy(base_delay=2.0, jitter=0.0)
+        assert policy_big.delay_for(0, retry_after_ms=100) == 2.0
+
+    def test_hint_floor_may_exceed_max_delay(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.05, jitter=0.0)
+        assert policy.delay_for(9, retry_after_ms=2000) == 2.0
+
+    def test_jitter_is_symmetric_and_bounded(self):
+        # rng.random() = 1.0 -> +jitter, 0.0 -> -jitter.
+        high = RetryPolicy(
+            base_delay=1.0, jitter=0.25, rng=_PinnedRng([1.0])
+        )
+        low = RetryPolicy(
+            base_delay=1.0, jitter=0.25, rng=_PinnedRng([0.0])
+        )
+        assert high.delay_for(0) == pytest.approx(1.25)
+        assert low.delay_for(0) == pytest.approx(0.75)
+
+    def test_jittered_delays_stay_within_band(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.2, rng=random.Random(7))
+        for attempt in range(6):
+            base = min(0.1 * 2.0**attempt, 2.0)
+            assert base * 0.8 <= policy.delay_for(attempt) <= base * 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+
+class _ServerThread:
+    """A BurstingFlowService on a daemon thread (blocking-client tests)."""
+
+    def __init__(self, **service_kwargs):
+        self.network = TemporalFlowNetwork.from_tuples(SEED_EDGES)
+        self.service_kwargs = service_kwargs
+        self._ready = threading.Event()
+        self._stop = None
+        self.address = None
+
+    def __enter__(self):
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10.0), "server failed to start"
+        return self
+
+    def __exit__(self, *exc_info):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10.0)
+
+    def _run(self):
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.service = BurstingFlowService(self.network, **self.service_kwargs)
+            self.address = await self.service.start("127.0.0.1", 0)
+            self._ready.set()
+            await self._stop.wait()
+            await self.service.stop()
+
+        asyncio.run(main())
+
+
+class TestClientRetryLoop:
+    def test_overloaded_retries_until_capacity_frees_up(self):
+        """Fake clock: the sleeps the client takes are recorded, never
+        slept, and capacity 'frees up' after two shed attempts."""
+        with _ServerThread(max_pending=1) as server:
+            host, port = server.address
+            slept = []
+            # Hold the single admission slot so queries are shed...
+            server.service.admission.admit()
+
+            def fake_sleep(seconds):
+                slept.append(seconds)
+                if len(slept) == 2:  # ...until the second backoff.
+                    server.service.admission.release()
+
+            policy = RetryPolicy(
+                max_attempts=4, base_delay=0.001, jitter=0.0
+            )
+            with ServiceClient(
+                host, port, retry=policy, sleep=fake_sleep
+            ) as client:
+                reply = client.query("s", "t", 2)
+            assert reply.density > 0
+            assert len(slept) == 2
+            # Each sleep honoured the server's retry_after_ms hint
+            # (25ms * (1 + inflight) with one slot held = 50ms floor).
+            assert all(s >= 0.050 for s in slept)
+
+    def test_budget_exhaustion_raises_the_typed_error(self):
+        with _ServerThread(max_pending=1) as server:
+            host, port = server.address
+            server.service.admission.admit()  # never released
+            slept = []
+            policy = RetryPolicy(max_attempts=3, base_delay=0.001, jitter=0.0)
+            with ServiceClient(
+                host, port, retry=policy, sleep=slept.append
+            ) as client:
+                with pytest.raises(OverloadedError):
+                    client.query("s", "t", 2)
+            assert len(slept) == 2  # max_attempts - 1 backoffs
+            server.service.admission.release()
+
+    def test_no_policy_means_no_retry(self):
+        with _ServerThread(max_pending=1) as server:
+            host, port = server.address
+            server.service.admission.admit()
+            with ServiceClient(host, port) as client:
+                with pytest.raises(OverloadedError):
+                    client.query("s", "t", 2)
+            server.service.admission.release()

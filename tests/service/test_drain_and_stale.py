@@ -1,0 +1,165 @@
+"""Replica-mode protocol surface: min_epoch fencing and graceful drain."""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    BurstingFlowService,
+    DrainReply,
+    DrainRequest,
+    ErrorReply,
+    QueryRequest,
+    StaleEpochError,
+    parse_reply,
+    parse_request,
+)
+from repro.service.protocol import (
+    ERROR_OVERLOADED,
+    ERROR_STALE,
+    raise_for_error,
+    reply_payload,
+    request_payload,
+)
+from repro.temporal import TemporalFlowNetwork
+
+SEED_EDGES = [
+    ("s", "a", 1, 4.0),
+    ("a", "t", 2, 3.0),
+    ("s", "b", 3, 5.0),
+    ("b", "t", 4, 2.0),
+]
+
+
+def _service(**kwargs):
+    return BurstingFlowService(
+        TemporalFlowNetwork.from_tuples(SEED_EDGES), **kwargs
+    )
+
+
+class TestProtocolRoundTrips:
+    def test_min_epoch_round_trips(self):
+        request = QueryRequest(
+            id="q1", source="s", sink="t", delta=2, min_epoch=7
+        )
+        parsed = parse_request(request_payload(request))
+        assert parsed.min_epoch == 7
+
+    def test_min_epoch_omitted_by_default(self):
+        payload = request_payload(
+            QueryRequest(id="q1", source="s", sink="t", delta=2)
+        )
+        assert "min_epoch" not in payload
+        assert parse_request(payload).min_epoch is None
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, "7"])
+    def test_min_epoch_validation(self, bad):
+        from repro.service.protocol import ProtocolError
+
+        payload = request_payload(
+            QueryRequest(id="q1", source="s", sink="t", delta=2)
+        )
+        payload["min_epoch"] = bad
+        with pytest.raises(ProtocolError):
+            parse_request(payload)
+
+    def test_drain_request_and_reply_round_trip(self):
+        parsed = parse_request({"v": 1, "id": "d1", "op": "drain"})
+        assert isinstance(parsed, DrainRequest)
+        reply = parse_reply(
+            reply_payload(DrainReply(id="d1", draining=True, inflight=3))
+        )
+        assert isinstance(reply, DrainReply)
+        assert reply.draining and reply.inflight == 3
+
+    def test_stale_error_round_trips_epoch_and_raises_typed(self):
+        wire = reply_payload(
+            ErrorReply("q1", ERROR_STALE, "behind", retry_after_ms=25, epoch=4)
+        )
+        reply = parse_reply(wire)
+        assert reply.kind == ERROR_STALE and reply.epoch == 4
+        with pytest.raises(StaleEpochError) as excinfo:
+            raise_for_error(reply)
+        assert excinfo.value.epoch == 4
+
+
+class TestServerBehaviour:
+    def test_min_epoch_behind_gets_stale_error(self):
+        async def scenario():
+            service = _service()
+            async with service:
+                current = service.network.epoch
+                reply = await service.handle_request(
+                    QueryRequest(
+                        id="q1", source="s", sink="t", delta=2,
+                        min_epoch=current + 5,
+                    )
+                )
+                assert isinstance(reply, ErrorReply)
+                assert reply.kind == ERROR_STALE
+                assert reply.epoch == current
+                # At or below the current epoch the query is served.
+                served = await service.handle_request(
+                    QueryRequest(
+                        id="q2", source="s", sink="t", delta=2,
+                        min_epoch=current,
+                    )
+                )
+                assert served.ok
+
+        asyncio.run(scenario())
+
+    def test_drain_rejects_new_work_and_flags_health(self):
+        async def scenario():
+            service = _service(replica_id="r0")
+            async with service:
+                assert not service.draining
+                ack = await service.handle_request(DrainRequest(id="d1"))
+                assert isinstance(ack, DrainReply) and ack.draining
+                assert service.draining
+                shed = await service.handle_request(
+                    QueryRequest(id="q1", source="s", sink="t", delta=2)
+                )
+                assert isinstance(shed, ErrorReply)
+                assert shed.kind == ERROR_OVERLOADED
+                snapshot = service.snapshot()
+                assert snapshot["draining"] is True
+                assert snapshot["replica"] == "r0"
+                assert await service.drain(timeout=1.0)
+
+        asyncio.run(scenario())
+
+    def test_http_drain_and_healthz(self):
+        async def scenario():
+            service = _service(replica_id="r1")
+            host, port = await service.start("127.0.0.1", 0)
+            try:
+                import json
+
+                async def http(method, path):
+                    reader, writer = await asyncio.open_connection(host, port)
+                    writer.write(
+                        f"{method} {path} HTTP/1.1\r\n"
+                        f"Host: x\r\nContent-Length: 0\r\n\r\n".encode()
+                    )
+                    await writer.drain()
+                    raw = await reader.read()
+                    writer.close()
+                    head, _, body = raw.partition(b"\r\n\r\n")
+                    status = int(head.split(b" ", 2)[1])
+                    return status, json.loads(body)
+
+                status, health = await http("GET", "/healthz")
+                assert status == 200
+                assert health == {
+                    "ok": True, "epoch": service.network.epoch,
+                    "draining": False, "replica": "r1",
+                }
+                status, ack = await http("POST", "/drain")
+                assert status == 200 and ack["draining"] is True
+                status, health = await http("GET", "/healthz")
+                assert status == 503 and health["ok"] is False
+            finally:
+                await service.stop()
+
+        asyncio.run(scenario())

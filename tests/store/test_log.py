@@ -42,6 +42,30 @@ class TestAppendAndReplay:
         with AppendLog(path) as log:
             assert [r["op"] for r in log.replay()] == ["a"]
 
+    def test_torn_trailing_write_truncated_away(self, tmp_path):
+        """Replay repairs the file: appends after a torn write must not
+        concatenate onto the partial record and corrupt the log."""
+        path = tmp_path / "l.log"
+        path.write_text('{"op":"a"}\n{"op":"b","x":')  # kill -9 mid-write
+        with AppendLog(path) as log:
+            assert [r["op"] for r in log.replay()] == ["a"]
+            # The torn bytes are gone from disk...
+            assert path.read_text() == '{"op":"a"}\n'
+            # ...so a post-crash append lands on a clean boundary.
+            log.append({"op": "c"})
+            assert [r["op"] for r in log.replay()] == ["a", "c"]
+        with AppendLog(path) as reopened:
+            assert [r["op"] for r in reopened.replay()] == ["a", "c"]
+
+    def test_torn_first_line_truncates_to_empty(self, tmp_path):
+        path = tmp_path / "l.log"
+        path.write_text('{"op":"a"')  # crash during the very first record
+        with AppendLog(path) as log:
+            assert list(log.replay()) == []
+            assert path.read_text() == ""
+            log.append({"op": "b"})
+            assert [r["op"] for r in log.replay()] == ["b"]
+
     def test_parent_directory_created(self, tmp_path):
         path = tmp_path / "nested" / "deep" / "l.log"
         with AppendLog(path) as log:
