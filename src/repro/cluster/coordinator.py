@@ -10,7 +10,11 @@ port it adds the replicated serving tier:
   :class:`~repro.store.AppendLog` and flushed *before* it is fanned out
   to the replicas.  Every replica applies it through the same
   ``add_edge`` path, so the ``AppendReply.epoch`` values double as
-  replication acks — deterministic, comparable across replicas.
+  replication acks — deterministic, comparable across replicas.  An
+  append is committed once *any* replica acks it (laggards are dropped
+  and catch up from the log); one that **no** replica applied is rolled
+  back out of the log before the typed retryable error is returned, so
+  a client retry can never duplicate it.
 * **Committed epoch / read-your-writes.**  The cluster's *committed
   epoch* is the epoch every live replica has acked.  Every routed query
   is stamped with ``min_epoch = committed``, so a replica that somehow
@@ -23,8 +27,10 @@ port it adds the replicated serving tier:
   back off under the shared :class:`~repro.service.RetryPolicy`.
 * **Self-healing.**  A replica that fails a probe or drops a forwarded
   request is taken out of rotation and re-joined by replaying the log
-  — under the append lock, so its replayed state provably equals the
-  committed state (epoch comparison) before it serves again.  A
+  — under the append lock, so its replayed state provably covers the
+  committed state (epoch comparison; the log is the source of truth,
+  so a replay *ahead* of the acked view advances the committed epoch
+  rather than blocking the re-join) before it serves again.  A
   ``kill -9``-ed replica therefore loses no acked appends and can never
   serve a stale answer: both properties hold by construction.
 """
@@ -47,8 +53,10 @@ from repro.service.client import RetryPolicy
 from repro.service.metrics import aggregate_snapshots
 from repro.service.protocol import (
     ERROR_INTERNAL,
+    ERROR_INVALID,
     ERROR_OVERLOADED,
     ERROR_STALE,
+    ERROR_UNSUPPORTED_VERSION,
     AppendReply,
     AppendRequest,
     DrainReply,
@@ -183,6 +191,7 @@ class _Counters:
     failovers: int = 0
     restarts: int = 0
     rejoin_failures: int = 0
+    rollbacks: int = 0
     shed: int = 0
     stale_retries: int = 0
     requests: dict[str, int] = field(default_factory=dict)
@@ -354,10 +363,13 @@ class ClusterCoordinator:
         """Restart a dead replica from the log and re-admit it.
 
         Runs under the append lock, so the replica replays a *stable*
-        log: its post-replay epoch must equal the committed epoch, which
-        is the proof it holds every acked append.  Appends stall for the
-        duration of one replica boot — the documented trade-off for
-        making "re-joined" mean "provably caught up".
+        log: its post-replay epoch must be at least the committed epoch,
+        which is the proof it holds every acked append (an epoch *above*
+        the committed one means the log carries records no replica ever
+        acked — the log is the source of truth, so the committed epoch
+        advances to match).  Appends stall for the duration of one
+        replica boot — the documented trade-off for making "re-joined"
+        mean "provably caught up".
         """
         state = self._replicas[replica_id]
         try:
@@ -371,11 +383,21 @@ class ClusterCoordinator:
                             *address, timeout=self.request_timeout
                         )
                         epoch = await self._probe(replica_id)
-                        if epoch != self.committed_epoch:
+                        if epoch < self.committed_epoch:
+                            # The replay lost acked appends — the log is
+                            # behind the committed state.  Never admit.
                             raise ReplicaError(
                                 f"{replica_id} replayed to epoch {epoch}, "
                                 f"committed is {self.committed_epoch}"
                             )
+                        if epoch > self.committed_epoch:
+                            # The durable log is *ahead* of every ack we
+                            # ever saw (e.g. an append was logged, then
+                            # all replicas dropped before acking).  The
+                            # log is the source of truth and the replay
+                            # is the catch-up: adopt its epoch.  We hold
+                            # the append lock, so no fan-out races this.
+                            self.committed_epoch = epoch
                         state.acked_epoch = epoch
                         state.live = True
                         state.restarts += 1
@@ -521,8 +543,12 @@ class ClusterCoordinator:
     async def _replicate_append(self, request: AppendRequest) -> Reply:
         async with self._append_lock:
             # Write-ahead: the append is durable before any replica
-            # sees it, so a replica crash mid-fan-out can never lose it
-            # (the re-join replay picks it up from the log).
+            # sees it, so a replica crash mid-fan-out can never lose an
+            # *acked* append (the re-join replay picks it up from the
+            # log).  If no replica ends up applying any of it, the
+            # record is rolled back below, so a client retry of the
+            # failed append cannot duplicate its edges.
+            rollback_offset = self.log.tail_offset()
             self.log.append(append_record(request.edges))
             self.log.flush()
             payload = request_payload(request)
@@ -532,49 +558,84 @@ class ClusterCoordinator:
             )
             acked: dict[str, int] = {}
             success: AppendReply | None = None
-            failure: ErrorReply | None = None
+            rejected: ErrorReply | None = None
+            transient: ErrorReply | None = None
+            errored: list[str] = []
             for replica_id, reply in zip(live, outcomes):
                 if reply is None:
                     self._mark_dead(replica_id)
-                    continue
-                if isinstance(reply, AppendReply):
+                elif isinstance(reply, AppendReply):
                     acked[replica_id] = reply.epoch
                     success = reply
                 elif isinstance(reply, ErrorReply):
-                    # Deterministically-invalid edges: every replica
-                    # rejected at the same edge and bumped the same
-                    # epochs for the valid prefix; ping for the epoch.
-                    failure = reply
+                    errored.append(replica_id)
+                    if reply.kind in (ERROR_INVALID, ERROR_UNSUPPORTED_VERSION):
+                        # Deterministic rejection: the replica applied
+                        # the valid prefix and stopped at the bad edge.
+                        rejected = reply
+                    else:
+                        # overloaded / internal — non-deterministic and
+                        # per-replica; this replica applied nothing.
+                        transient = reply
+            if success is not None:
+                # Committed: at least one replica applied the append,
+                # and the record is durable — the client must see
+                # success even if other replicas errored.  A replica
+                # that answered a typed error instead of an ack missed
+                # a committed append: out of rotation until the log
+                # replay catches it up.
+                for replica_id in errored:
+                    self._mark_dead(replica_id)
+                committed = self._commit(acked)
+                return AppendReply(
+                    id=request.id,
+                    appended=success.appended,
+                    epoch=committed,
+                    invalidated=success.invalidated,
+                )
+            if rejected is not None:
+                # Every answering replica rejected deterministically
+                # and kept the same valid prefix (epochs bumped per
+                # applied edge), so the record stays — replay re-applies
+                # exactly that prefix.  Ping for the post-prefix epoch.
+                for replica_id in errored:
                     try:
                         acked[replica_id] = await self._probe(replica_id)
                     except ReplicaUnavailableError:
                         self._mark_dead(replica_id)
-            if not acked:
-                return ErrorReply(
-                    request.id,
-                    ERROR_OVERLOADED,
-                    "append logged but no live replica acked; "
-                    "it will replicate on re-join",
-                    retry_after_ms=200,
-                )
-            committed = max(acked.values())
-            for replica_id, epoch in acked.items():
-                if epoch != committed:
-                    # A diverged replica (should be impossible): drop it
-                    # and let the log replay restore determinism.
-                    self._mark_dead(replica_id)
-                else:
-                    self._replicas[replica_id].acked_epoch = epoch
-            self.committed_epoch = committed
-        if failure is not None:
-            return replace(failure, id=request.id, epoch=committed)
-        assert success is not None
-        return AppendReply(
-            id=request.id,
-            appended=success.appended,
-            epoch=committed,
-            invalidated=success.invalidated,
-        )
+                if acked:
+                    committed = self._commit(acked)
+                    return replace(rejected, id=request.id, epoch=committed)
+            # No replica applied any of it (every fan-out dropped, or
+            # every replica shed it).  Take the record back out of the
+            # log: an append that was never acked must not replicate
+            # later via replay, or the client's retry would double it.
+            self.log.truncate_to(rollback_offset)
+            self.counters.rollbacks += 1
+            if transient is not None:
+                return replace(transient, id=request.id)
+            return ErrorReply(
+                request.id,
+                ERROR_OVERLOADED,
+                "append applied by no live replica; rolled back — "
+                "safe to retry",
+                retry_after_ms=200,
+            )
+
+    def _commit(self, acked: Mapping[str, int]) -> int:
+        """Advance the committed epoch to the acked consensus; a replica
+        whose ack diverges from it (should be impossible — epochs are a
+        pure function of the applied log prefix) is dropped so the log
+        replay restores determinism.  Returns the new committed epoch.
+        """
+        committed = max(acked.values())
+        for replica_id, epoch in acked.items():
+            if epoch != committed:
+                self._mark_dead(replica_id)
+            else:
+                self._replicas[replica_id].acked_epoch = epoch
+        self.committed_epoch = committed
+        return committed
 
     async def _append_to(
         self, replica_id: str, payload: Mapping[str, Any]
@@ -613,6 +674,7 @@ class ClusterCoordinator:
                     "failovers": self.counters.failovers,
                     "restarts": self.counters.restarts,
                     "rejoin_failures": self.counters.rejoin_failures,
+                    "rollbacks": self.counters.rollbacks,
                     "stale_retries": self.counters.stale_retries,
                     "shed": self.counters.shed,
                     "requests": dict(sorted(self.counters.requests.items())),

@@ -10,11 +10,13 @@ included) interoperates.
         reply = client.query("alice", "mallory", delta=5)
         print(reply.density, reply.interval, reply.cached)
 
-Opt-in retry: pass a :class:`RetryPolicy` and typed ``overloaded``
-errors are retried with jittered exponential backoff, never sleeping
-less than the server's ``retry_after_ms`` hint.  The cluster
-coordinator's router and health monitor reuse the same policy for their
-own backoff arithmetic.
+Opt-in retry: pass a :class:`RetryPolicy` and the retryable typed
+errors — ``overloaded`` (the server shed the request) and ``stale``
+(the server has not yet replicated up to the query's ``min_epoch``) —
+are retried with jittered exponential backoff, never sleeping less than
+the server's ``retry_after_ms`` hint.  The cluster coordinator's router
+and health monitor reuse the same policy for their own backoff
+arithmetic.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ from repro.service.protocol import (
     QueryRequest,
     Reply,
     Request,
+    StaleEpochError,
     encode,
     parse_reply,
     raise_for_error,
@@ -48,7 +51,8 @@ from repro.temporal.edge import NodeId, Timestamp
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Jittered exponential backoff for retryable (``overloaded``) errors.
+    """Jittered exponential backoff for retryable errors
+    (``overloaded`` and ``stale``).
 
     The delay before retry attempt ``attempt`` (0-based) is::
 
@@ -102,15 +106,17 @@ class ServiceClient:
     Args:
         host / port: the service address.
         timeout: socket timeout (seconds) for connect and replies.
-        retry: opt-in :class:`RetryPolicy` for typed ``overloaded``
-            errors (``None`` — the default — surfaces them immediately).
+        retry: opt-in :class:`RetryPolicy` for typed ``overloaded`` and
+            ``stale`` errors (``None`` — the default — surfaces them
+            immediately).
         sleep: injectable sleep function (tests use a fake clock).
 
     Raises (from the request methods):
         OverloadedError: the server shed the request (after the retry
             budget, when a policy is configured).
         DeadlineExceededError: the server timed the request out.
-        StaleEpochError: the server is behind the query's ``min_epoch``.
+        StaleEpochError: the server is behind the query's ``min_epoch``
+            (after the retry budget, when a policy is configured).
         ProtocolError: the request was rejected as invalid.
         RemoteServiceError: the server reported an internal failure.
     """
@@ -134,15 +140,16 @@ class ServiceClient:
     def request(self, request: Request) -> Reply:
         """Send one request and block for its reply (errors raised typed).
 
-        With a :class:`RetryPolicy` configured, ``overloaded`` replies are
-        retried (same request, same id) with jittered backoff; any other
-        error raises immediately.
+        With a :class:`RetryPolicy` configured, ``overloaded`` and
+        ``stale`` replies are retried (same request, same id) with
+        jittered backoff honouring the server's ``retry_after_ms``
+        hint; any other error raises immediately.
         """
         attempts = self._retry.max_attempts if self._retry is not None else 1
         for attempt in range(attempts):
             try:
                 return self._request_once(request)
-            except OverloadedError as exc:
+            except (OverloadedError, StaleEpochError) as exc:
                 if attempt + 1 >= attempts:
                     raise
                 assert self._retry is not None

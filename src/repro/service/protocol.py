@@ -104,11 +104,20 @@ class StaleEpochError(ReproError):
 
     Attributes:
         epoch: the replica's current epoch (``-1`` when unknown).
+        retry_after_ms: the server's suggested wait before retrying
+            (``None`` when the reply carried no hint).
     """
 
-    def __init__(self, message: str, *, epoch: int = -1) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        epoch: int = -1,
+        retry_after_ms: int | None = None,
+    ) -> None:
         super().__init__(message)
         self.epoch = epoch
+        self.retry_after_ms = retry_after_ms
 
 
 # ----------------------------------------------------------------------
@@ -527,7 +536,9 @@ def raise_for_error(reply: Reply) -> Reply:
         raise DeadlineExceededError(reply.message)
     if reply.kind == ERROR_STALE:
         raise StaleEpochError(
-            reply.message, epoch=reply.epoch if reply.epoch is not None else -1
+            reply.message,
+            epoch=reply.epoch if reply.epoch is not None else -1,
+            retry_after_ms=reply.retry_after_ms,
         )
     if reply.kind in (ERROR_INVALID, ERROR_UNSUPPORTED_VERSION):
         raise ProtocolError(reply.message, kind=reply.kind)

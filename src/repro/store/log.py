@@ -51,6 +51,30 @@ class AppendLog:
         self.flush()
         self._handle.close()
 
+    def tail_offset(self) -> int:
+        """The end-of-log byte offset (flushes buffered writes first).
+
+        Pass the value to :meth:`truncate_to` to roll back everything
+        appended after this point.
+        """
+        self._handle.flush()
+        return self.path.stat().st_size
+
+    def truncate_to(self, offset: int) -> None:
+        """Roll the log back to ``offset`` (a prior :meth:`tail_offset`).
+
+        The cluster coordinator uses this to take back a write-ahead
+        record that no replica applied: the record must not replicate
+        later via replay, or a client retry of the failed append would
+        duplicate it.
+        """
+        self._handle.close()
+        with self.path.open("r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle = self.path.open("a", encoding="utf-8")
+
     def __enter__(self) -> "AppendLog":
         return self
 
@@ -71,7 +95,10 @@ class AppendLog:
         Crash-safe: a *trailing* partial line — the signature of a crash
         (or ``kill -9``) mid-write — is tolerated and **truncated away**,
         so the next :meth:`append` starts a fresh record instead of
-        concatenating onto the torn bytes and corrupting the log.
+        concatenating onto the torn bytes and corrupting the log.  A
+        final line that is complete JSON but lost only its newline to
+        the crash is kept, and the newline is **rewritten** before the
+        record is yielded, for the same reason.
 
         Raises:
             DatasetError: on a corrupt (non-JSON) interior line,
@@ -85,7 +112,7 @@ class AppendLog:
             if not stripped:
                 continue
             try:
-                yield json.loads(stripped)
+                record = json.loads(stripped)
             except json.JSONDecodeError as exc:
                 if number == len(lines) and not line.endswith("\n"):
                     self._truncate_torn_tail()
@@ -93,6 +120,17 @@ class AppendLog:
                 raise DatasetError(
                     f"{self.path}:{number}: corrupt log record: {exc}"
                 ) from exc
+            if number == len(lines) and not line.endswith("\n"):
+                self._restore_tail_newline()
+            yield record
+
+    def _restore_tail_newline(self) -> None:
+        """Re-terminate a complete final record whose trailing newline
+        was lost to a crash, so the next :meth:`append` starts a fresh
+        line instead of concatenating onto it."""
+        self._handle.write("\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
 
     def _truncate_torn_tail(self) -> None:
         """Cut the file back to the last complete (newline-ended) record."""

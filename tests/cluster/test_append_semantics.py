@@ -1,0 +1,159 @@
+"""Append commit/rollback semantics under partial and total fan-out loss.
+
+Three REVIEW-driven invariants:
+
+* an append that **any** replica applied is committed — the client sees
+  success even when other replicas errored (no retry can duplicate a
+  committed append);
+* an append that **no** replica applied is rolled back out of the log
+  before the retryable error is returned (a retry is safe, the log
+  cannot replay an un-acked record into a duplicate);
+* a log that got *ahead* of the acked view (a record durably logged in
+  a crash window no replica ever acked) does not wedge the re-join
+  loop: the log is the source of truth, so the rejoined replica's
+  higher replayed epoch becomes the committed epoch.
+"""
+
+import asyncio
+
+from repro.cluster.replication import append_record
+from repro.service.protocol import (
+    ERROR_OVERLOADED,
+    AppendRequest,
+    QueryRequest,
+)
+
+from tests.cluster.test_cluster_e2e import boot_cluster
+from tests.cluster.test_failover import wait_for
+from tests.service.test_interleave import SEED_EDGES, fresh_triple
+
+
+def test_zero_ack_append_rolls_back_and_the_cluster_self_heals(tmp_path):
+    """The 1-replica worst case: the only replica dies mid-fan-out.
+    The logged record must be rolled back (retry-safe) and the replica
+    must rejoin — the cluster may not wedge on 'no live replica'."""
+
+    async def scenario():
+        coordinator = await boot_cluster(tmp_path, replicas=1)
+        try:
+            log_size = coordinator.log.tail_offset()
+            before = coordinator.committed_epoch
+            # Kill the service underneath the coordinator: the fan-out
+            # sees a dropped connection, zero replicas ack.
+            await coordinator._replicas["r0"].handle.kill()
+            edges = (("s", "a", 9, 1.0),)
+            reply = await coordinator.handle_request(
+                AppendRequest(id="a0", edges=edges)
+            )
+            assert not reply.ok
+            assert reply.kind == ERROR_OVERLOADED
+            assert reply.retry_after_ms is not None
+            # The un-acked record is out of the log again: a client
+            # retry cannot duplicate it via replay.
+            assert coordinator.log.tail_offset() == log_size
+            assert coordinator.counters.rollbacks == 1
+            # The replica rejoins at the committed epoch instead of
+            # failing the epoch check forever.
+            assert await wait_for(
+                lambda: coordinator._replicas["r0"].live
+            ), "replica never rejoined after the zero-ack append"
+            assert coordinator.committed_epoch == before
+            assert coordinator.counters.rejoin_failures == 0
+            # The retry lands cleanly, exactly once.
+            retry = await coordinator.handle_request(
+                AppendRequest(id="a0", edges=edges)
+            )
+            assert retry.ok, retry
+            query = await coordinator.handle_request(
+                QueryRequest(
+                    id="q0", source="s", sink="t", delta=3,
+                    min_epoch=retry.epoch,
+                )
+            )
+            assert query.ok, query
+            served = (query.density, query.interval, query.flow_value)
+            assert served == fresh_triple(
+                list(SEED_EDGES) + list(edges), "s", "t", 3
+            )
+        finally:
+            await coordinator.stop()
+
+    asyncio.run(scenario())
+
+
+def test_append_commits_when_any_replica_acks(tmp_path):
+    """A per-replica transient error (here: one replica draining) must
+    not turn a committed, durably-logged append into a client-visible
+    failure — that failure would invite a duplicating retry."""
+
+    async def scenario():
+        coordinator = await boot_cluster(tmp_path, replicas=2)
+        try:
+            victim = coordinator._replicas["r1"]
+            victim.handle.service._draining = True
+            edges = (("a", "b", 7, 2.0),)
+            reply = await coordinator.handle_request(
+                AppendRequest(id="a0", edges=edges)
+            )
+            assert reply.ok, reply  # committed on r0's ack
+            assert reply.epoch == coordinator.committed_epoch
+            assert coordinator.counters.rollbacks == 0
+            # The replica that shed the committed append is out of
+            # rotation until the log replay catches it up.
+            assert await wait_for(
+                lambda: victim.live
+                and victim.acked_epoch == coordinator.committed_epoch
+            ), "errored replica never caught up via log replay"
+            query = await coordinator.handle_request(
+                QueryRequest(
+                    id="q0", source="s", sink="t", delta=3,
+                    min_epoch=reply.epoch,
+                )
+            )
+            assert query.ok, query
+            served = (query.density, query.interval, query.flow_value)
+            assert served == fresh_triple(
+                list(SEED_EDGES) + list(edges), "s", "t", 3
+            )
+        finally:
+            await coordinator.stop()
+
+    asyncio.run(scenario())
+
+
+def test_rejoin_adopts_a_log_ahead_of_the_acked_view(tmp_path):
+    """A record that reached the durable log but was never acked (a
+    coordinator crash window) must not wedge the re-join: the replayed
+    epoch is ahead of the committed one, and the log wins."""
+
+    async def scenario():
+        coordinator = await boot_cluster(tmp_path, replicas=1)
+        try:
+            before = coordinator.committed_epoch
+            edges = [("s", "b", 8, 1.5)]
+            # Plant the crash-window state directly: durably logged,
+            # acked by nobody.
+            coordinator.log.append(append_record(edges))
+            coordinator.log.flush()
+            await coordinator._replicas["r0"].handle.kill()
+            coordinator._mark_dead("r0")
+            assert await wait_for(
+                lambda: coordinator._replicas["r0"].live
+            ), "replica never rejoined from the log-ahead state"
+            assert coordinator.committed_epoch == before + len(edges)
+            assert coordinator.counters.rejoin_failures == 0
+            query = await coordinator.handle_request(
+                QueryRequest(
+                    id="q0", source="s", sink="t", delta=3,
+                    min_epoch=coordinator.committed_epoch,
+                )
+            )
+            assert query.ok, query
+            served = (query.density, query.interval, query.flow_value)
+            assert served == fresh_triple(
+                list(SEED_EDGES) + edges, "s", "t", 3
+            )
+        finally:
+            await coordinator.stop()
+
+    asyncio.run(scenario())

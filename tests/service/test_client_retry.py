@@ -12,6 +12,7 @@ from repro.service import (
     OverloadedError,
     RetryPolicy,
     ServiceClient,
+    StaleEpochError,
 )
 from repro.temporal import TemporalFlowNetwork
 
@@ -157,6 +158,43 @@ class TestClientRetryLoop:
                     client.query("s", "t", 2)
             assert len(slept) == 2  # max_attempts - 1 backoffs
             server.service.admission.release()
+
+    def test_stale_retries_until_replication_catches_up(self):
+        """A direct client using ``min_epoch`` for read-your-writes
+        waits out replication instead of hard-failing: typed ``stale``
+        replies retry under the same policy as ``overloaded`` ones."""
+        with _ServerThread() as server:
+            host, port = server.address
+            slept = []
+
+            def fake_sleep(seconds):
+                slept.append(seconds)
+                # "Replication catches up" between the attempts.
+                with ServiceClient(host, port) as writer:
+                    writer.append([("b", "t", 9, 1.0)])
+
+            policy = RetryPolicy(max_attempts=3, base_delay=0.001, jitter=0.0)
+            with ServiceClient(
+                host, port, retry=policy, sleep=fake_sleep
+            ) as client:
+                fence = client.ping() + 1
+                reply = client.query("s", "t", 2, min_epoch=fence)
+            assert reply.epoch >= fence
+            assert len(slept) == 1
+            # The backoff honoured the server's 25ms stale hint.
+            assert slept[0] >= 0.025
+
+    def test_stale_budget_exhaustion_raises_the_typed_error(self):
+        with _ServerThread() as server:
+            host, port = server.address
+            slept = []
+            policy = RetryPolicy(max_attempts=3, base_delay=0.001, jitter=0.0)
+            with ServiceClient(
+                host, port, retry=policy, sleep=slept.append
+            ) as client:
+                with pytest.raises(StaleEpochError):
+                    client.query("s", "t", 2, min_epoch=10**9)
+            assert len(slept) == 2  # max_attempts - 1 backoffs
 
     def test_no_policy_means_no_retry(self):
         with _ServerThread(max_pending=1) as server:

@@ -57,6 +57,23 @@ class TestAppendAndReplay:
         with AppendLog(path) as reopened:
             assert [r["op"] for r in reopened.replay()] == ["a", "c"]
 
+    def test_missing_trailing_newline_repaired(self, tmp_path):
+        """A crash that truncates exactly the trailing newline leaves a
+        complete final record: replay keeps it and rewrites the
+        terminator, so the next append cannot concatenate onto the line
+        and corrupt the log."""
+        path = tmp_path / "l.log"
+        path.write_text('{"op":"a"}\n{"op":"b"}')  # newline lost to a crash
+        with AppendLog(path) as log:
+            assert [r["op"] for r in log.replay()] == ["a", "b"]
+            # The terminator is back on disk...
+            assert path.read_text() == '{"op":"a"}\n{"op":"b"}\n'
+            # ...so a post-crash append lands on a clean boundary.
+            log.append({"op": "c"})
+            assert [r["op"] for r in log.replay()] == ["a", "b", "c"]
+        with AppendLog(path) as reopened:
+            assert [r["op"] for r in reopened.replay()] == ["a", "b", "c"]
+
     def test_torn_first_line_truncates_to_empty(self, tmp_path):
         path = tmp_path / "l.log"
         path.write_text('{"op":"a"')  # crash during the very first record
@@ -71,6 +88,25 @@ class TestAppendAndReplay:
         with AppendLog(path) as log:
             log.append({"op": "a"})
         assert path.exists()
+
+
+class TestRollback:
+    def test_truncate_to_rolls_back_appends(self, tmp_path):
+        with AppendLog(tmp_path / "l.log") as log:
+            log.append({"op": "a"})
+            offset = log.tail_offset()
+            log.append({"op": "b"})
+            log.append({"op": "c"})
+            log.truncate_to(offset)
+            assert [r["op"] for r in log.replay()] == ["a"]
+            log.append({"op": "d"})
+            assert [r["op"] for r in log.replay()] == ["a", "d"]
+
+    def test_tail_offset_flushes_buffered_writes(self, tmp_path):
+        path = tmp_path / "l.log"
+        with AppendLog(path) as log:
+            log.append({"op": "a"})
+            assert log.tail_offset() == path.stat().st_size > 0
 
 
 class TestCompaction:
