@@ -324,6 +324,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="fsync the append log on every append (durable to media)",
     )
     cluster.add_argument(
+        "--snapshots",
+        type=Path,
+        default=None,
+        help="snapshot directory for bounded recovery "
+        "(default: <log>.snapshots)",
+    )
+    cluster.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=512,
+        help="checkpoint (snapshot + log compaction) after this many "
+        "committed appends; 0 disables automatic checkpoints "
+        "(default: 512)",
+    )
+    cluster.add_argument(
         "--serve-seconds",
         type=float,
         default=None,
@@ -624,6 +639,7 @@ def _run_cluster(args: argparse.Namespace) -> int:
                     ProcessReplica(
                         replica_id,
                         log_path,
+                        snapshots=args.snapshots,
                         cache_capacity=args.cache_capacity,
                         max_pending=args.max_pending,
                         algorithm=args.algorithm,
@@ -635,13 +651,20 @@ def _run_cluster(args: argparse.Namespace) -> int:
                     InlineReplica(
                         replica_id,
                         log_path,
+                        snapshots=args.snapshots,
                         cache_capacity=args.cache_capacity,
                         max_pending=args.max_pending,
                         algorithm=args.algorithm,
                         kernel=args.kernel,
                     )
                 )
-        coordinator = ClusterCoordinator(log_path, replicas, fsync=args.fsync)
+        coordinator = ClusterCoordinator(
+            log_path,
+            replicas,
+            fsync=args.fsync,
+            snapshot_dir=args.snapshots,
+            snapshot_every=args.snapshot_every or None,
+        )
         host, port = await coordinator.start(args.host, args.port)
         print(
             f"cluster coordinator on {host}:{port} "

@@ -13,8 +13,13 @@ tier adds:
   least-in-flight failover (at most once per surviving replica), so
   per-replica result caches shard the hot set instead of copying it;
 * **self-healing** — jittered health probes, typed failover, and
-  crash re-join by replaying the shared log under the append lock (a
-  ``kill -9``-ed replica loses no acked appends by construction);
+  crash re-join by snapshot restore + log-suffix replay under the
+  append lock (a ``kill -9``-ed replica loses no acked appends by
+  construction, and rejoin cost is bounded by the suffix, not history);
+* **bounded recovery** — periodic checkpoints write a crash-atomic
+  snapshot of the replayed state (:class:`~repro.store.SnapshotStore`)
+  and compact the covered log prefix away, and a restarted coordinator
+  rebuilds its committed epoch from those durable artifacts alone;
 * **cluster-wide metrics** — per-replica snapshots plus the
   :func:`~repro.service.metrics.aggregate_snapshots` fold on
   ``GET /metrics``.
@@ -38,15 +43,21 @@ from repro.cluster.coordinator import (
 from repro.cluster.health import HealthMonitor
 from repro.cluster.replica import InlineReplica, ProcessReplica, ReplicaError
 from repro.cluster.replication import (
+    BootstrapResult,
     append_record,
     apply_record,
+    bootstrap_network,
+    default_snapshot_dir,
     network_edges,
+    network_state_record,
     replay_network,
+    restore_network,
     seed_log,
 )
 from repro.cluster.router import ConsistentHashRouter, shard_key
 
 __all__ = [
+    "BootstrapResult",
     "ClusterBackendError",
     "ClusterCoordinator",
     "ConsistentHashRouter",
@@ -57,9 +68,13 @@ __all__ = [
     "ReplicaUnavailableError",
     "append_record",
     "apply_record",
+    "bootstrap_network",
     "cluster_bfq",
+    "default_snapshot_dir",
     "network_edges",
+    "network_state_record",
     "replay_network",
+    "restore_network",
     "seed_log",
     "shard_key",
 ]

@@ -26,13 +26,24 @@ port it adds the replicated serving tier:
   surviving replica **at most once** per round; ``overloaded`` rounds
   back off under the shared :class:`~repro.service.RetryPolicy`.
 * **Self-healing.**  A replica that fails a probe or drops a forwarded
-  request is taken out of rotation and re-joined by replaying the log
-  — under the append lock, so its replayed state provably covers the
-  committed state (epoch comparison; the log is the source of truth,
-  so a replay *ahead* of the acked view advances the committed epoch
-  rather than blocking the re-join) before it serves again.  A
-  ``kill -9``-ed replica therefore loses no acked appends and can never
-  serve a stale answer: both properties hold by construction.
+  request is taken out of rotation and re-joined by restoring the
+  latest snapshot and replaying the log suffix behind it — under the
+  append lock, so its recovered state provably covers the committed
+  state (epoch comparison; the log is the source of truth, so a replay
+  *ahead* of the acked view advances the committed epoch rather than
+  blocking the re-join) before it serves again.  A ``kill -9``-ed
+  replica therefore loses no acked appends and can never serve a stale
+  answer: both properties hold by construction.
+* **Bounded recovery.**  The coordinator maintains a *mirror* of the
+  replayed network (applied through the same code path as the
+  replicas), and after every ``snapshot_every`` committed appends it
+  checkpoints: write a crash-atomic snapshot of the mirror
+  (:class:`~repro.store.SnapshotStore`), then compact the covered log
+  prefix away (:meth:`~repro.store.AppendLog.truncate_prefix`).
+  Replica rejoin and coordinator restart both become *snapshot load +
+  suffix replay* — bounded by the records since the last checkpoint,
+  not by total history — and a ``kill -9``-ed coordinator rebuilds its
+  committed epoch from the durable artifacts alone at construction.
 """
 
 from __future__ import annotations
@@ -46,7 +57,13 @@ from typing import Any, Mapping, Sequence
 
 from repro.cluster.health import HealthMonitor
 from repro.cluster.replica import InlineReplica, ProcessReplica, ReplicaError
-from repro.cluster.replication import append_record
+from repro.cluster.replication import (
+    append_record,
+    apply_record,
+    bootstrap_network,
+    default_snapshot_dir,
+    network_state_record,
+)
 from repro.cluster.router import ConsistentHashRouter
 from repro.exceptions import ReproError
 from repro.service.client import RetryPolicy
@@ -78,6 +95,7 @@ from repro.service.protocol import (
 )
 from repro.service.server import _http_respond, _http_status
 from repro.store.log import AppendLog
+from repro.store.snapshot import SnapshotStore
 
 ReplicaHandle = InlineReplica | ProcessReplica
 
@@ -194,6 +212,10 @@ class _Counters:
     rollbacks: int = 0
     shed: int = 0
     stale_retries: int = 0
+    snapshots: int = 0
+    compactions: int = 0
+    records_compacted: int = 0
+    checkpoint_failures: int = 0
     requests: dict[str, int] = field(default_factory=dict)
 
 
@@ -211,6 +233,20 @@ class ClusterCoordinator:
             just to the OS page cache).
         health_interval: seconds between liveness sweeps.
         request_timeout: per-forwarded-request ceiling, seconds.
+        snapshot_dir: where durable snapshots of the replayed state
+            live (default: the shared ``<log>.snapshots`` convention
+            replicas derive too).
+        snapshot_every: checkpoint — snapshot + log prefix compaction —
+            automatically after this many committed append records
+            (``None`` disables automatic checkpoints; :meth:`checkpoint`
+            stays available).
+
+    Construction *recovers*: the coordinator rebuilds its committed
+    state — a mirror of the replayed network, the committed epoch and
+    the durable record count — from the snapshot manifest plus the log
+    suffix, before any replica boots.  A ``kill -9``-ed coordinator
+    therefore restarts with zero lost committed appends and without
+    replaying the compacted history.
     """
 
     def __init__(
@@ -222,13 +258,40 @@ class ClusterCoordinator:
         fsync: bool = False,
         health_interval: float = 0.5,
         request_timeout: float = 600.0,
+        snapshot_dir: str | Path | None = None,
+        snapshot_every: int | None = None,
     ) -> None:
         if not replicas:
             raise ReproError("a cluster needs at least one replica")
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ReproError(f"snapshot_every must be >= 1, got {snapshot_every}")
         ids = [replica.replica_id for replica in replicas]
         if len(set(ids)) != len(ids):
             raise ReproError(f"duplicate replica ids: {ids!r}")
         self.log = AppendLog(log_path, fsync=fsync)
+        self.snapshots = SnapshotStore(
+            snapshot_dir if snapshot_dir is not None
+            else default_snapshot_dir(log_path)
+        )
+        self.snapshot_every = snapshot_every
+        # Cold-start recovery: committed epoch and state come from the
+        # durable artifacts alone (snapshot manifest + log suffix), not
+        # from the replicas — the log is the source of truth.
+        boot = bootstrap_network(self.log, self.snapshots)
+        self._mirror = boot.network
+        self._records_total = boot.total_records
+        self._records_since_snapshot = boot.replayed_records
+        self.recovery = {
+            "from_snapshot": boot.from_snapshot,
+            "replayed_records": boot.replayed_records,
+            "total_records": boot.total_records,
+        }
+        # Finish a compaction a crash interrupted after the manifest
+        # became durable (idempotent; a no-op when none is pending).
+        if boot.manifest is not None and boot.manifest.log_offset > self.log.base_offset:
+            dropped = self.log.truncate_prefix(boot.manifest.log_offset)
+            if dropped:
+                self.recovery["resumed_compaction"] = dropped
         self._replicas: dict[str, _ReplicaState] = {
             replica.replica_id: _ReplicaState(handle=replica)
             for replica in replicas
@@ -239,7 +302,7 @@ class ClusterCoordinator:
         )
         self.request_timeout = request_timeout
         self.counters = _Counters()
-        self.committed_epoch = 0
+        self.committed_epoch = self._mirror.epoch
         self._append_lock = asyncio.Lock()
         self._draining = False
         self._inflight = 0
@@ -259,7 +322,14 @@ class ClusterCoordinator:
     async def start(
         self, host: str = "127.0.0.1", port: int = 0
     ) -> tuple[str, int]:
-        """Boot every replica, verify epoch agreement, bind the port."""
+        """Boot every replica, verify epoch agreement, bind the port.
+
+        The committed epoch was already recovered from the durable
+        snapshot + log suffix at construction; every replica boots from
+        the same artifacts and must report exactly that epoch — a
+        mismatch means the shared state diverged and serving would be
+        unsafe.
+        """
         epochs = {}
         for replica_id, state in self._replicas.items():
             address = await state.handle.start()
@@ -273,11 +343,16 @@ class ClusterCoordinator:
             epochs[replica_id] = pong.epoch
             state.live = True
             state.acked_epoch = pong.epoch
-        if len(set(epochs.values())) > 1:
+        diverged = {
+            rid: epoch for rid, epoch in epochs.items()
+            if epoch != self.committed_epoch
+        }
+        if diverged:
             raise ReproError(
-                f"replicas replayed the same log to different epochs: {epochs!r}"
+                f"replicas replayed the shared snapshot + log to epochs "
+                f"{epochs!r}, but the recovered committed epoch is "
+                f"{self.committed_epoch}"
             )
-        self.committed_epoch = next(iter(epochs.values()))
         self.health.start()
         self._server = await asyncio.start_server(self._on_connection, host, port)
         bound = self._server.sockets[0].getsockname()
@@ -549,7 +624,8 @@ class ClusterCoordinator:
             # record is rolled back below, so a client retry of the
             # failed append cannot duplicate its edges.
             rollback_offset = self.log.tail_offset()
-            self.log.append(append_record(request.edges))
+            record = append_record(request.edges)
+            self.log.append(record)
             self.log.flush()
             payload = request_payload(request)
             live = self._live_ids()
@@ -586,7 +662,7 @@ class ClusterCoordinator:
                 # replay catches it up.
                 for replica_id in errored:
                     self._mark_dead(replica_id)
-                committed = self._commit(acked)
+                committed = self._apply_committed(record, acked)
                 return AppendReply(
                     id=request.id,
                     appended=success.appended,
@@ -604,7 +680,7 @@ class ClusterCoordinator:
                     except ReplicaUnavailableError:
                         self._mark_dead(replica_id)
                 if acked:
-                    committed = self._commit(acked)
+                    committed = self._apply_committed(record, acked)
                     return replace(rejected, id=request.id, epoch=committed)
             # No replica applied any of it (every fan-out dropped, or
             # every replica shed it).  Take the record back out of the
@@ -622,20 +698,72 @@ class ClusterCoordinator:
                 retry_after_ms=200,
             )
 
-    def _commit(self, acked: Mapping[str, int]) -> int:
-        """Advance the committed epoch to the acked consensus; a replica
-        whose ack diverges from it (should be impossible — epochs are a
-        pure function of the applied log prefix) is dropped so the log
-        replay restores determinism.  Returns the new committed epoch.
+    def _apply_committed(self, record: Mapping[str, Any], acked: dict[str, int]) -> int:
+        """A logged append record is staying: fold it into the mirror,
+        advance the committed epoch, and checkpoint when due.
+
+        The mirror applies the record through the exact replica code
+        path (:func:`apply_record`), so its post-apply epoch *is* the
+        committed epoch — a replica whose ack diverges from it (should
+        be impossible — epochs are a pure function of the applied log
+        prefix) is dropped so the log replay restores determinism.
+        Runs under the append lock.  Returns the new committed epoch.
         """
-        committed = max(acked.values())
+        apply_record(self._mirror, record)
+        self._records_total += 1
+        self._records_since_snapshot += 1
+        committed = self._mirror.epoch
         for replica_id, epoch in acked.items():
             if epoch != committed:
                 self._mark_dead(replica_id)
             else:
                 self._replicas[replica_id].acked_epoch = epoch
         self.committed_epoch = committed
+        if (
+            self.snapshot_every is not None
+            and self._records_since_snapshot >= self.snapshot_every
+        ):
+            try:
+                self._checkpoint_locked()
+            except Exception:  # noqa: BLE001 - the append itself committed;
+                # a failed checkpoint must not turn it into an error reply.
+                self.counters.checkpoint_failures += 1
         return committed
+
+    async def checkpoint(self) -> dict[str, Any]:
+        """Snapshot the committed state and compact the covered log prefix.
+
+        Runs under the append lock, so the snapshot is a consistent
+        point-in-time view.  Returns ``{"records", "epoch",
+        "log_offset", "compacted_records"}`` describing the checkpoint.
+        """
+        async with self._append_lock:
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> dict[str, Any]:
+        """The checkpoint sequence — every step crash-atomic, ordered so
+        any interleaving recovers (see :mod:`repro.store.snapshot`):
+        durable snapshot payload, durable manifest, then log prefix
+        compaction.  A crash between manifest and compaction is finished
+        at the next coordinator construction."""
+        offset = self.log.tail_offset()
+        manifest = self.snapshots.save(
+            network_state_record(self._mirror),
+            log_offset=offset,
+            records=self._records_total,
+            epoch=self._mirror.epoch,
+        )
+        self.counters.snapshots += 1
+        dropped = self.log.truncate_prefix(offset)
+        self.counters.compactions += 1
+        self.counters.records_compacted += dropped
+        self._records_since_snapshot = 0
+        return {
+            "records": manifest.records,
+            "epoch": manifest.epoch,
+            "log_offset": manifest.log_offset,
+            "compacted_records": dropped,
+        }
 
     async def _append_to(
         self, replica_id: str, payload: Mapping[str, Any]
@@ -677,7 +805,19 @@ class ClusterCoordinator:
                     "rollbacks": self.counters.rollbacks,
                     "stale_retries": self.counters.stale_retries,
                     "shed": self.counters.shed,
+                    "snapshots": self.counters.snapshots,
+                    "compactions": self.counters.compactions,
+                    "records_compacted": self.counters.records_compacted,
+                    "checkpoint_failures": self.counters.checkpoint_failures,
                     "requests": dict(sorted(self.counters.requests.items())),
+                },
+                "recovery": dict(self.recovery),
+                "durability": {
+                    "records_total": self._records_total,
+                    "records_since_snapshot": self._records_since_snapshot,
+                    "log_base_offset": self.log.base_offset,
+                    "log_base_records": self.log.base_records,
+                    "snapshot_every": self.snapshot_every,
                 },
                 "replicas": {
                     replica_id: {

@@ -15,11 +15,14 @@ interface (``start`` / ``restart`` / ``terminate`` / ``kill``):
       {"event": "listening", "host": ..., "port": ..., "replica": ...,
        "epoch": ...}
 
-Either way a replica boots the same way: replay the shared cluster log
-(:func:`repro.cluster.replication.replay_network`) into a fresh network
-and serve it.  A restarted replica therefore *cannot* lose acked
-appends — they are all in the log it replays — and its post-boot epoch
-proves to the coordinator that it caught up.
+Either way a replica boots the same way: restore the latest durable
+snapshot (when one exists) and stream-replay only the log suffix behind
+it (:func:`repro.cluster.replication.bootstrap_network`) into a fresh
+network, then serve it.  A restarted replica therefore *cannot* lose
+acked appends — they are in the snapshot or the suffix it replays — its
+post-boot epoch proves to the coordinator that it caught up, and the
+work it does to rejoin is bounded by the suffix length, not by total
+history.
 """
 
 from __future__ import annotations
@@ -47,6 +50,9 @@ class InlineReplica:
     Args:
         replica_id: stable name (routing hashes it; metrics report it).
         log_path: the shared cluster log to replay at every (re)start.
+        snapshots: snapshot directory for bounded rejoin (default: the
+            shared :func:`~repro.cluster.replication.default_snapshot_dir`
+            convention next to the log).
         service_kwargs: forwarded to :class:`BurstingFlowService`
             (cache sizing, admission bounds, default algorithm, ...).
     """
@@ -54,25 +60,41 @@ class InlineReplica:
     mode = "inline"
 
     def __init__(
-        self, replica_id: str, log_path: str | Path, **service_kwargs: Any
+        self,
+        replica_id: str,
+        log_path: str | Path,
+        *,
+        snapshots: str | Path | None = None,
+        **service_kwargs: Any,
     ) -> None:
+        from repro.cluster.replication import default_snapshot_dir
+
         self.replica_id = replica_id
         self.log_path = Path(log_path)
+        self.snapshot_dir = (
+            Path(snapshots) if snapshots is not None
+            else default_snapshot_dir(log_path)
+        )
         self.service_kwargs = service_kwargs
         self.service: BurstingFlowService | None = None
         self.address: tuple[str, int] | None = None
 
     async def start(self) -> tuple[str, int]:
-        """Replay the log, boot the service; returns the bound address."""
-        from repro.cluster.replication import replay_network
+        """Snapshot + suffix bootstrap, boot the service; returns the address."""
+        from repro.cluster.replication import bootstrap_network
+
+        from repro.store.snapshot import SnapshotStore
 
         log = AppendLog(self.log_path)
         try:
-            network = replay_network(log)
+            boot = bootstrap_network(log, SnapshotStore(self.snapshot_dir))
         finally:
             log.close()
         self.service = BurstingFlowService(
-            network, replica_id=self.replica_id, **self.service_kwargs
+            boot.network, replica_id=self.replica_id, **self.service_kwargs
+        )
+        self.service.metrics.observe_recovery(
+            boot.replayed_records, from_snapshot=boot.from_snapshot
         )
         self.address = await self.service.start("127.0.0.1", 0)
         return self.address
@@ -102,7 +124,7 @@ class ProcessReplica:
     """A replica as a ``python -m repro.cluster.replica`` child process.
 
     Args:
-        replica_id / log_path: as for :class:`InlineReplica`.
+        replica_id / log_path / snapshots: as for :class:`InlineReplica`.
         cache_capacity / max_pending / algorithm / kernel: forwarded to
             the child's service via command-line flags.
         boot_timeout: seconds to wait for the listening announcement.
@@ -115,14 +137,21 @@ class ProcessReplica:
         replica_id: str,
         log_path: str | Path,
         *,
+        snapshots: str | Path | None = None,
         cache_capacity: int = 4096,
         max_pending: int = 64,
         algorithm: str = "bfq*",
         kernel: str | None = None,
         boot_timeout: float = 30.0,
     ) -> None:
+        from repro.cluster.replication import default_snapshot_dir
+
         self.replica_id = replica_id
         self.log_path = Path(log_path)
+        self.snapshot_dir = (
+            Path(snapshots) if snapshots is not None
+            else default_snapshot_dir(log_path)
+        )
         self.cache_capacity = cache_capacity
         self.max_pending = max_pending
         self.algorithm = algorithm
@@ -138,6 +167,8 @@ class ProcessReplica:
             "repro.cluster._replica_main",
             "--log",
             str(self.log_path),
+            "--snapshots",
+            str(self.snapshot_dir),
             "--replica-id",
             self.replica_id,
             "--port",
@@ -235,6 +266,12 @@ def _build_parser():
         description="one delta-BFlow cluster replica (boots from the log)",
     )
     parser.add_argument("--log", required=True, type=Path)
+    parser.add_argument(
+        "--snapshots",
+        type=Path,
+        default=None,
+        help="snapshot directory (default: <log>.snapshots)",
+    )
     parser.add_argument("--replica-id", required=True)
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0)
@@ -246,20 +283,26 @@ def _build_parser():
 
 
 async def _serve(args) -> int:
-    from repro.cluster.replication import replay_network
+    from repro.cluster.replication import bootstrap_network, default_snapshot_dir
 
+    from repro.store.snapshot import SnapshotStore
+
+    snapshot_dir = args.snapshots or default_snapshot_dir(args.log)
     log = AppendLog(args.log)
     try:
-        network = replay_network(log)
+        boot = bootstrap_network(log, SnapshotStore(snapshot_dir))
     finally:
         log.close()
     service = BurstingFlowService(
-        network,
+        boot.network,
         replica_id=args.replica_id,
         cache_capacity=args.cache_capacity,
         max_pending=args.max_pending,
         algorithm=args.algorithm,
         kernel=args.kernel,
+    )
+    service.metrics.observe_recovery(
+        boot.replayed_records, from_snapshot=boot.from_snapshot
     )
     host, port = await service.start(args.host, args.port)
     print(
@@ -269,7 +312,9 @@ async def _serve(args) -> int:
                 "host": host,
                 "port": port,
                 "replica": args.replica_id,
-                "epoch": network.epoch,
+                "epoch": boot.network.epoch,
+                "replayed_records": boot.replayed_records,
+                "from_snapshot": boot.from_snapshot,
             }
         ),
         flush=True,

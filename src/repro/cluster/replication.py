@@ -23,10 +23,13 @@ first invalid one, so every replica keeps exactly the same prefix.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
 
-from repro.exceptions import ReproError
+from repro.exceptions import DatasetError, ReproError
 from repro.store.log import AppendLog
+from repro.store.snapshot import SnapshotManifest, SnapshotStore
 from repro.temporal.edge import NodeId, TemporalEdge, Timestamp
 from repro.temporal.network import TemporalFlowNetwork
 
@@ -82,19 +85,116 @@ def apply_record(network: TemporalFlowNetwork, record: dict) -> int:
 
 
 def replay_network(log: AppendLog) -> TemporalFlowNetwork:
-    """Rebuild the served network from the log, oldest record first.
+    """Rebuild the served network by replaying the *whole* log.
 
-    This is the replica bootstrap path: the returned network's epoch
-    equals the epoch of any live replica that has applied the same
-    records, so a freshly restarted replica can prove it caught up by
-    comparing epochs alone.
+    Kept for callers that hold a never-compacted log; the bounded path —
+    snapshot restore + suffix replay — is :func:`bootstrap_network`.
     """
+    return bootstrap_network(log, None).network
+
+
+def default_snapshot_dir(log_path: str | Path) -> Path:
+    """The snapshot directory convention every cluster member shares.
+
+    Derived from the log path alone, so a coordinator and its replicas
+    agree on where snapshots live without any extra coordination.
+    """
+    path = Path(log_path)
+    return path.with_name(path.name + ".snapshots")
+
+
+def network_state_record(network: TemporalFlowNetwork) -> dict:
+    """The JSON snapshot payload of a fully-replayed network state.
+
+    Carries the *merged* edge tuples plus the network's epoch: merges
+    collapse the append history, so the epoch cannot be recomputed from
+    the edges and must ride along (restored via
+    :meth:`~repro.temporal.network.TemporalFlowNetwork.adopt_epoch`).
+    """
+    return {
+        "edges": [[u, v, tau, capacity] for u, v, tau, capacity in network_edges(network)],
+        "epoch": network.epoch,
+    }
+
+
+def restore_network(payload: Mapping) -> TemporalFlowNetwork:
+    """Rebuild a network from a snapshot payload, epoch included."""
     network = TemporalFlowNetwork()
-    for record in log.replay():
+    for u, v, tau, capacity in payload.get("edges", ()):
+        network.add_edge(TemporalEdge(u, v, tau, capacity))
+    network.adopt_epoch(int(payload.get("epoch", network.epoch)))
+    return network
+
+
+@dataclass(frozen=True, slots=True)
+class BootstrapResult:
+    """What :func:`bootstrap_network` recovered, and how.
+
+    Attributes:
+        network: the recovered state, lazy indexes built, ready to serve.
+        replayed_records: log records applied on top of the snapshot
+            (the whole log when no snapshot was used) — the quantity
+            bounded recovery keeps small.
+        total_records: absolute record count of the covered history
+            (snapshot-covered records + replayed suffix).
+        from_snapshot: whether a snapshot seeded the state.
+        manifest: the manifest of the snapshot used, or ``None``.
+    """
+
+    network: TemporalFlowNetwork
+    replayed_records: int
+    total_records: int
+    from_snapshot: bool
+    manifest: SnapshotManifest | None
+
+
+def bootstrap_network(
+    log: AppendLog, snapshots: SnapshotStore | None
+) -> BootstrapResult:
+    """Recover the served network: snapshot restore + streaming suffix replay.
+
+    With a usable snapshot, only the log records *after* the manifest's
+    ``log_offset`` are replayed — recovery cost is bounded by the suffix
+    length, not total history.  Without one, the whole log streams
+    through (never materialized in memory).  Either way the resulting
+    epoch equals what a genesis replay of the full history would have
+    produced, so epoch comparison remains the catch-up proof.
+
+    Raises:
+        DatasetError: the log was prefix-compacted but no snapshot
+            covers the dropped records (unrecoverable without the
+            snapshot that drove the compaction).
+    """
+    manifest: SnapshotManifest | None = None
+    loaded = snapshots.load() if snapshots is not None else None
+    if loaded is not None:
+        payload, manifest = loaded
+        network = restore_network(payload)
+        from_offset: int | None = manifest.log_offset
+        covered = manifest.records
+    else:
+        if log.base_offset:
+            raise DatasetError(
+                f"{log.path}: log was compacted to logical offset "
+                f"{log.base_offset} but no snapshot covers the dropped "
+                f"prefix — recovery needs the snapshot directory"
+            )
+        network = TemporalFlowNetwork()
+        from_offset = None
+        covered = 0
+    replayed = 0
+    for record in log.replay(from_offset=from_offset):
         apply_record(network, record)
+        replayed += 1
     if network.num_edges:
         _ = network.timestamps  # build the lazy indexes before serving
-    return network
+    return BootstrapResult(
+        network=network,
+        replayed_records=replayed,
+        total_records=covered + replayed,
+        from_snapshot=manifest is not None,
+        manifest=manifest,
+    )
 
 
 def network_edges(network: TemporalFlowNetwork) -> list[EdgeTuple]:

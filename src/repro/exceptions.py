@@ -70,3 +70,12 @@ class SolverError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset could not be generated, parsed, or found in the registry."""
+
+
+class TruncatedHistoryError(DatasetError):
+    """A log read asked for records that compaction already truncated away.
+
+    Raised by :meth:`repro.store.AppendLog.replay` when ``from_offset``
+    falls before the log's base offset — the caller must restore from the
+    snapshot that drove the compaction instead of replaying the log.
+    """

@@ -117,6 +117,10 @@ class ServiceMetrics:
         self.timeouts = Counter()
         self.worker_restarts = Counter()
         self.appended_edges = Counter()
+        #: Boot-time recovery: log records replayed (suffix-only when a
+        #: snapshot seeded the state) and snapshot restores performed.
+        self.replayed_records = Counter()
+        self.snapshot_restores = Counter()
         self.queue_depth = Gauge()
         #: Per-algorithm solve latency (cache misses; full engine runs).
         self.solve_latency: dict[str, LatencyHistogram] = {}
@@ -183,6 +187,14 @@ class ServiceMetrics:
         with self._lock:
             self.worker_restarts.inc()
 
+    def observe_recovery(self, records: int, *, from_snapshot: bool) -> None:
+        """One boot-time recovery replayed ``records`` log records
+        (on top of a snapshot restore when ``from_snapshot``)."""
+        with self._lock:
+            self.replayed_records.inc(records)
+            if from_snapshot:
+                self.snapshot_restores.inc()
+
     def set_queue_depth(self, depth: int) -> None:
         """Record the number of admitted in-flight requests."""
         with self._lock:
@@ -209,6 +221,8 @@ class ServiceMetrics:
                        "invalidated": ..},
              "queue": {"depth": .., "high_water": .., "shed": ..},
              "timeouts": .., "worker_restarts": .., "appended_edges": ..,
+             "recovery": {"replayed_records": ..,
+                          "snapshot_restores": ..},
              "latency": {"cache_hit": {histogram},
                          "solve": {algorithm: {histogram}}},
              "phases": {algorithm: {"transform": s, "maxflow": s,
@@ -235,6 +249,10 @@ class ServiceMetrics:
                 "timeouts": self.timeouts.value,
                 "worker_restarts": self.worker_restarts.value,
                 "appended_edges": self.appended_edges.value,
+                "recovery": {
+                    "replayed_records": self.replayed_records.value,
+                    "snapshot_restores": self.snapshot_restores.value,
+                },
                 "latency": {
                     "cache_hit": self.hit_latency.snapshot(),
                     "solve": {
@@ -273,6 +291,7 @@ def aggregate_snapshots(snapshots: Mapping[str, Mapping[str, Any]]) -> dict[str,
         "timeouts": 0,
         "worker_restarts": 0,
         "appended_edges": 0,
+        "recovery": {"replayed_records": 0, "snapshot_restores": 0},
         "latency": {"cache_hit": {"count": 0, "mean_ms": None},
                     "solve": {}},
         "phases": {},
@@ -304,6 +323,9 @@ def aggregate_snapshots(snapshots: Mapping[str, Mapping[str, Any]]) -> dict[str,
         aggregate["queue"]["shed"] += queue.get("shed", 0) or 0
         for key in ("timeouts", "worker_restarts", "appended_edges"):
             aggregate[key] += snapshot.get(key, 0) or 0
+        recovery = snapshot.get("recovery", {})
+        for key in ("replayed_records", "snapshot_restores"):
+            aggregate["recovery"][key] += recovery.get(key, 0) or 0
         latency = snapshot.get("latency", {})
         _fold_histogram(
             aggregate["latency"]["cache_hit"], latency.get("cache_hit", {})

@@ -7,5 +7,12 @@ answers delta-BFlow queries memory-resident.
 
 from repro.store.graph_store import GraphStore, StoredRelationship
 from repro.store.log import AppendLog
+from repro.store.snapshot import SnapshotManifest, SnapshotStore
 
-__all__ = ["GraphStore", "StoredRelationship", "AppendLog"]
+__all__ = [
+    "GraphStore",
+    "StoredRelationship",
+    "AppendLog",
+    "SnapshotManifest",
+    "SnapshotStore",
+]

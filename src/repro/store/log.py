@@ -8,6 +8,21 @@ replayable, and cheap to tail.
 
 Records are dicts with an ``op`` field; the log itself is schema-agnostic
 (the :class:`~repro.store.graph_store.GraphStore` defines the op set).
+
+**Logical offsets and compaction.**  Snapshot-driven compaction
+(:meth:`AppendLog.truncate_prefix`) drops a durable prefix of the log
+without invalidating the byte offsets callers recorded earlier: the log
+addresses its contents by *logical* offset — the byte position a record
+would have had if nothing had ever been compacted away.  A compacted
+file carries a single meta header line::
+
+    {"op": "__log_meta__", "base_offset": B, "base_records": K}
+
+meaning logical bytes ``[0, B)`` (``K`` records) were truncated after a
+snapshot made them redundant.  :meth:`replay` never yields the header;
+:meth:`tail_offset`, :meth:`truncate_to` and ``replay(from_offset=...)``
+all speak logical offsets, so a snapshot manifest recorded before a
+compaction stays valid after it.
 """
 
 from __future__ import annotations
@@ -17,16 +32,36 @@ import os
 from pathlib import Path
 from typing import Iterator
 
-from repro.exceptions import DatasetError
+from repro.exceptions import DatasetError, TruncatedHistoryError
+
+#: The reserved op of the compaction meta header (never yielded by replay).
+META_OP = "__log_meta__"
+
+#: Block size for the backwards tail scan on open (no full-file reads).
+_TAIL_BLOCK = 64 * 1024
 
 
 class AppendLog:
-    """A JSON-lines append-only log with replay and compaction support."""
+    """A JSON-lines append-only log with replay and compaction support.
+
+    Opening the log *repairs* it: a trailing partial line — the signature
+    of a crash (or ``kill -9``) mid-write — is truncated away, and a final
+    line that is complete JSON but lost only its newline to the crash gets
+    its terminator back.  Either way the first post-crash :meth:`append`
+    lands on a clean record boundary instead of concatenating onto torn
+    bytes and corrupting the record (the repair runs *before* the append
+    handle opens, so it holds even when :meth:`replay` is never called).
+    """
 
     def __init__(self, path: str | Path, *, fsync: bool = False) -> None:
         self.path = Path(path)
         self.fsync = fsync
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._base_offset = 0
+        self._base_records = 0
+        self._header_len = 0
+        self._repair_tail()
+        self._read_meta()
         self._handle = self.path.open("a", encoding="utf-8")
         self._records_appended = 0
 
@@ -52,13 +87,15 @@ class AppendLog:
         self._handle.close()
 
     def tail_offset(self) -> int:
-        """The end-of-log byte offset (flushes buffered writes first).
+        """The end-of-log *logical* byte offset (flushes buffered writes).
 
         Pass the value to :meth:`truncate_to` to roll back everything
-        appended after this point.
+        appended after this point, or record it in a snapshot manifest as
+        the point the snapshot covers — it stays valid across
+        :meth:`truncate_prefix` compactions.
         """
         self._handle.flush()
-        return self.path.stat().st_size
+        return self._base_offset + (self.path.stat().st_size - self._header_len)
 
     def truncate_to(self, offset: int) -> None:
         """Roll the log back to ``offset`` (a prior :meth:`tail_offset`).
@@ -66,13 +103,19 @@ class AppendLog:
         The cluster coordinator uses this to take back a write-ahead
         record that no replica applied: the record must not replicate
         later via replay, or a client retry of the failed append would
-        duplicate it.
+        duplicate it.  :attr:`records_appended` drops by the number of
+        records rolled back.
         """
+        physical = self._physical(offset)
+        self._handle.flush()
         self._handle.close()
         with self.path.open("r+b") as handle:
-            handle.truncate(offset)
+            handle.seek(physical)
+            dropped = handle.read().count(b"\n")
+            handle.truncate(physical)
             handle.flush()
             os.fsync(handle.fileno())
+        self._records_appended = max(0, self._records_appended - dropped)
         self._handle = self.path.open("a", encoding="utf-8")
 
     def __enter__(self) -> "AppendLog":
@@ -83,45 +126,105 @@ class AppendLog:
 
     @property
     def records_appended(self) -> int:
-        """Records appended through *this* handle (not total on disk)."""
+        """Records appended through *this* handle, net of rollbacks.
+
+        :meth:`truncate_to` subtracts the records it rolls back and
+        :meth:`compact` resets the counter to zero (the rewritten
+        contents are a new baseline, not appends of this handle), so the
+        value never over-reports what this handle actually contributed
+        to the file's current contents.  It does **not** count records
+        already on disk when the handle opened.
+        """
         return self._records_appended
+
+    @property
+    def base_offset(self) -> int:
+        """Logical offset of the first byte still physically present.
+
+        Zero for a never-compacted log; after :meth:`truncate_prefix`
+        it equals the compaction point.
+        """
+        return self._base_offset
+
+    @property
+    def base_records(self) -> int:
+        """Records dropped by prefix compaction (before the base offset)."""
+        return self._base_records
 
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
-    def replay(self) -> Iterator[dict]:
-        """Yield every record currently on disk, oldest first.
+    def replay(self, from_offset: int | None = None) -> Iterator[dict]:
+        """Stream records from ``from_offset`` (default: the base), oldest
+        first, without ever materializing the log in memory.
 
-        Crash-safe: a *trailing* partial line — the signature of a crash
-        (or ``kill -9``) mid-write — is tolerated and **truncated away**,
-        so the next :meth:`append` starts a fresh record instead of
-        concatenating onto the torn bytes and corrupting the log.  A
-        final line that is complete JSON but lost only its newline to
-        the crash is kept, and the newline is **rewritten** before the
-        record is yielded, for the same reason.
+        Crash-safe: a *trailing* partial line is tolerated and
+        **truncated away**, so the next :meth:`append` starts a fresh
+        record instead of concatenating onto the torn bytes; a final
+        line that is complete JSON but lost only its newline is kept and
+        the newline is **rewritten** before the record is yielded.
+        (Open-time repair normally handles both — the replay-time path
+        covers files torn after open.)
+
+        Args:
+            from_offset: logical byte offset to start at — a prior
+                :meth:`tail_offset`, or a snapshot manifest's
+                ``log_offset``.  ``None`` replays everything physically
+                present.
 
         Raises:
+            TruncatedHistoryError: ``from_offset`` falls before the
+                base offset — those records were compacted away and must
+                come from the covering snapshot instead.
             DatasetError: on a corrupt (non-JSON) interior line,
                 reporting its number.
         """
         self.flush()
+        if from_offset is None:
+            start = self._header_len
+        else:
+            start = self._physical(from_offset)
+        return self._stream(start)
+
+    def _physical(self, offset: int) -> int:
+        """Map a logical offset to a physical file position."""
+        if offset < self._base_offset:
+            raise TruncatedHistoryError(
+                f"{self.path}: logical offset {offset} was compacted away "
+                f"(base offset is {self._base_offset}); restore from the "
+                f"covering snapshot instead of replaying the log"
+            )
+        return self._header_len + (offset - self._base_offset)
+
+    def _stream(self, start: int) -> Iterator[dict]:
         with self.path.open(encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for number, line in enumerate(lines, start=1):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                record = json.loads(stripped)
-            except json.JSONDecodeError as exc:
-                if number == len(lines) and not line.endswith("\n"):
-                    self._truncate_torn_tail()
+            handle.seek(start)
+            number = 0
+            pending: str | None = None
+            while True:
+                line = handle.readline()
+                if pending is not None:
+                    yield from self._emit(pending, number, last=not line)
+                    if not line:
+                        return
+                if not line:
                     return
-                raise DatasetError(
-                    f"{self.path}:{number}: corrupt log record: {exc}"
-                ) from exc
-            if number == len(lines) and not line.endswith("\n"):
-                self._restore_tail_newline()
+                number += 1
+                pending = line if line.strip() else None
+
+    def _emit(self, line: str, number: int, *, last: bool) -> Iterator[dict]:
+        try:
+            record = json.loads(line.strip())
+        except json.JSONDecodeError as exc:
+            if last and not line.endswith("\n"):
+                self._truncate_torn_tail()
+                return
+            raise DatasetError(
+                f"{self.path}:{number}: corrupt log record: {exc}"
+            ) from exc
+        if last and not line.endswith("\n"):
+            self._restore_tail_newline()
+        if record.get("op") != META_OP:
             yield record
 
     def _restore_tail_newline(self) -> None:
@@ -135,16 +238,156 @@ class AppendLog:
     def _truncate_torn_tail(self) -> None:
         """Cut the file back to the last complete (newline-ended) record."""
         self._handle.close()
-        data = self.path.read_bytes()
-        keep = data.rfind(b"\n") + 1  # 0 when no complete record survives
+        keep = self._scan_last_newline()
         with self.path.open("r+b") as handle:
             handle.truncate(keep)
             handle.flush()
             os.fsync(handle.fileno())
         self._handle = self.path.open("a", encoding="utf-8")
 
+    def _scan_last_newline(self) -> int:
+        """Offset just past the file's last newline (0 when there is none),
+        found by scanning backwards in blocks — never a full read."""
+        with self.path.open("rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            position = handle.tell()
+            while position > 0:
+                step = min(_TAIL_BLOCK, position)
+                position -= step
+                handle.seek(position)
+                block = handle.read(step)
+                found = block.rfind(b"\n")
+                if found != -1:
+                    return position + found + 1
+        return 0
+
+    def _repair_tail(self) -> None:
+        """Open-time crash repair: truncate a torn trailing line, or
+        re-terminate a complete final record that lost its newline.
+
+        Runs before the append handle opens, so an ``append()`` issued
+        before any ``replay()`` still lands on a clean record boundary.
+        Reads only the tail, never the whole file.
+        """
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return
+        if size == 0:
+            return
+        with self.path.open("rb") as handle:
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            keep = self._scan_last_newline()
+            handle.seek(keep)
+            tail = handle.read()
+        try:
+            json.loads(tail)
+        except json.JSONDecodeError:
+            with self.path.open("r+b") as handle:
+                handle.truncate(keep)
+                handle.flush()
+                os.fsync(handle.fileno())
+        else:
+            with self.path.open("ab") as handle:
+                handle.write(b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def _read_meta(self) -> None:
+        """Load the compaction meta header, if the file carries one."""
+        try:
+            with self.path.open("rb") as handle:
+                first = handle.readline()
+        except FileNotFoundError:
+            return
+        if META_OP.encode() not in first:
+            return
+        try:
+            record = json.loads(first)
+        except json.JSONDecodeError:
+            return
+        if isinstance(record, dict) and record.get("op") == META_OP:
+            self._base_offset = int(record.get("base_offset", 0))
+            self._base_records = int(record.get("base_records", 0))
+            self._header_len = len(first)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def truncate_prefix(self, upto_offset: int) -> int:
+        """Atomically drop logical bytes ``[base_offset, upto_offset)``.
+
+        The snapshot-driven compaction: once a durable snapshot covers
+        the log up to ``upto_offset`` (a prior :meth:`tail_offset`), the
+        covered prefix is redundant and recovery becomes *snapshot load
+        + suffix replay*.  The surviving suffix is written to a temp
+        file behind a ``{"op": "__log_meta__", ...}`` header recording
+        the new base, fsynced, and swapped in with ``os.replace`` — a
+        crash at any point leaves either the old file or the new one,
+        never a mix.  Logical offsets recorded earlier stay valid.
+
+        Returns the number of records dropped (0 when ``upto_offset``
+        does not advance the base).
+        """
+        self.flush()
+        if upto_offset <= self._base_offset:
+            return 0
+        cut = self._physical(upto_offset)
+        size = self.path.stat().st_size
+        if cut > size:
+            raise DatasetError(
+                f"{self.path}: cannot compact to logical offset {upto_offset} "
+                f"past the end of the log (tail is {self.tail_offset()})"
+            )
+        tmp_path = self.path.with_suffix(self.path.suffix + ".compact")
+        dropped = 0
+        with self.path.open("rb") as source:
+            source.seek(self._header_len)
+            remaining = cut - self._header_len
+            while remaining > 0:
+                block = source.read(min(_TAIL_BLOCK, remaining))
+                if not block:
+                    break
+                dropped += block.count(b"\n")
+                remaining -= len(block)
+            header = json.dumps(
+                {
+                    "op": META_OP,
+                    "base_offset": upto_offset,
+                    "base_records": self._base_records + dropped,
+                },
+                separators=(",", ":"),
+                sort_keys=True,
+            ).encode("utf-8") + b"\n"
+            with tmp_path.open("wb") as target:
+                target.write(header)
+                while True:
+                    block = source.read(_TAIL_BLOCK)
+                    if not block:
+                        break
+                    target.write(block)
+                target.flush()
+                os.fsync(target.fileno())
+        self._handle.close()
+        os.replace(tmp_path, self.path)
+        self._fsync_directory()
+        self._base_records += dropped
+        self._base_offset = upto_offset
+        self._header_len = len(header)
+        self._handle = self.path.open("a", encoding="utf-8")
+        return dropped
+
     def compact(self, records: Iterator[dict] | list[dict]) -> None:
-        """Atomically replace the log's contents with ``records``."""
+        """Atomically replace the log's contents with ``records``.
+
+        This is *full* rewrite compaction (the :class:`GraphStore` uses
+        it to shrink to the canonical record set): it resets the logical
+        offset space — the base returns to zero and previously recorded
+        offsets become meaningless.  Snapshot-driven callers that need
+        stable offsets use :meth:`truncate_prefix` instead.
+        """
         self.flush()
         tmp_path = self.path.with_suffix(self.path.suffix + ".compact")
         with tmp_path.open("w", encoding="utf-8") as handle:
@@ -155,4 +398,20 @@ class AppendLog:
             os.fsync(handle.fileno())
         self._handle.close()
         os.replace(tmp_path, self.path)
+        self._fsync_directory()
+        self._base_offset = 0
+        self._base_records = 0
+        self._header_len = 0
+        self._records_appended = 0
         self._handle = self.path.open("a", encoding="utf-8")
+
+    def _fsync_directory(self) -> None:
+        """Make an ``os.replace`` in the log's directory durable."""
+        try:
+            fd = os.open(self.path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

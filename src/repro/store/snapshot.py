@@ -1,0 +1,205 @@
+"""Atomic point-in-time snapshots of replayed graph state.
+
+The write-ahead :class:`~repro.store.AppendLog` makes every mutation
+durable, but replaying it from genesis makes recovery cost grow with
+*history*, not with *state* — exactly backwards for the append-dominated
+temporal-interaction streams the paper targets.  A
+:class:`SnapshotStore` bounds recovery: it persists a JSON payload of
+the fully-replayed state together with a manifest recording the log
+position the payload covers, so recovery becomes *snapshot load + log
+suffix replay* and the covered log prefix can be compacted away
+(:meth:`AppendLog.truncate_prefix`).
+
+Every write is crash-atomic — temp file, ``fsync``, ``os.replace``,
+directory ``fsync`` — and the manifest is replaced strictly *after* the
+snapshot payload it points at, so a crash at any interleaving leaves a
+directory that loads either the previous snapshot or the new one, never
+a torn mix:
+
+1. crash before the payload's ``os.replace`` — the manifest still names
+   the old payload; the orphaned temp file is pruned on the next save;
+2. crash between payload and manifest replace — same: the new payload
+   file is unreferenced and harmless;
+3. crash after the manifest replace but before the log compaction — the
+   manifest names the new payload and its ``log_offset`` still falls
+   inside the (uncompacted) log, so suffix replay simply starts there.
+
+The payload checksum (sha256) in the manifest turns silent corruption
+into a loud :class:`~repro.exceptions.DatasetError` at load time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import DatasetError
+
+#: File name of the manifest inside a snapshot directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotManifest:
+    """What the durable manifest records about the current snapshot.
+
+    Attributes:
+        snapshot: payload file name, relative to the snapshot directory.
+        log_offset: the *logical* :meth:`AppendLog.tail_offset` the
+            payload covers — replay resumes from here.
+        records: absolute count of log records (since genesis) the
+            payload covers; rejoin asserts it replays fewer than this.
+        epoch: the replayed network's mutation epoch at the snapshot
+            point (restored verbatim, keeping epoch a pure function of
+            the applied history).
+        checksum: sha256 hex digest of the payload file's bytes.
+    """
+
+    snapshot: str
+    log_offset: int
+    records: int
+    epoch: int
+    checksum: str
+
+
+class SnapshotStore:
+    """Crash-atomic snapshot persistence for one log's replayed state.
+
+    A store is a directory holding at most one *referenced* payload file
+    plus ``MANIFEST.json``; older payloads and temp files are pruned
+    opportunistically.  Creating the object touches nothing on disk —
+    the directory appears on the first :meth:`save`.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        payload: Mapping[str, Any],
+        *,
+        log_offset: int,
+        records: int,
+        epoch: int,
+    ) -> SnapshotManifest:
+        """Persist ``payload`` atomically; returns the durable manifest.
+
+        The payload lands first (temp + fsync + ``os.replace`` + dir
+        fsync), the manifest second with the same discipline — the
+        ordering that makes every crash interleaving recoverable.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        data = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode(
+            "utf-8"
+        )
+        name = f"snapshot-{records:012d}.json"
+        self._write_atomic(name, data)
+        manifest = SnapshotManifest(
+            snapshot=name,
+            log_offset=int(log_offset),
+            records=int(records),
+            epoch=int(epoch),
+            checksum=hashlib.sha256(data).hexdigest(),
+        )
+        self._write_atomic(
+            MANIFEST_NAME,
+            json.dumps(asdict(manifest), separators=(",", ":"), sort_keys=True).encode(
+                "utf-8"
+            ),
+        )
+        self._prune(keep=name)
+        return manifest
+
+    def _write_atomic(self, name: str, data: bytes) -> None:
+        final = self.directory / name
+        tmp = self.directory / (name + ".tmp")
+        with tmp.open("wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir fds
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _prune(self, keep: str) -> None:
+        """Drop unreferenced payloads and stale temp files (best-effort)."""
+        for path in self.directory.glob("snapshot-*.json"):
+            if path.name != keep:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+        for path in self.directory.glob("*.tmp"):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def manifest(self) -> SnapshotManifest | None:
+        """The durable manifest, or ``None`` when no snapshot exists.
+
+        Raises:
+            DatasetError: the manifest file exists but does not parse —
+                ``os.replace`` makes a torn manifest impossible, so this
+                signals real external damage, never a crash artifact.
+        """
+        path = self.directory / MANIFEST_NAME
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            record = json.loads(raw)
+            return SnapshotManifest(
+                snapshot=str(record["snapshot"]),
+                log_offset=int(record["log_offset"]),
+                records=int(record["records"]),
+                epoch=int(record["epoch"]),
+                checksum=str(record["checksum"]),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(f"{path}: corrupt snapshot manifest: {exc}") from exc
+
+    def load(self) -> tuple[dict, SnapshotManifest] | None:
+        """The payload + manifest pair, or ``None`` when no snapshot exists.
+
+        Raises:
+            DatasetError: the manifest names a missing payload, or the
+                payload's bytes fail the manifest checksum.
+        """
+        manifest = self.manifest()
+        if manifest is None:
+            return None
+        path = self.directory / manifest.snapshot
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise DatasetError(
+                f"{path}: manifest names a missing snapshot payload"
+            ) from None
+        digest = hashlib.sha256(data).hexdigest()
+        if digest != manifest.checksum:
+            raise DatasetError(
+                f"{path}: snapshot payload fails its checksum "
+                f"(manifest {manifest.checksum[:12]}…, file {digest[:12]}…)"
+            )
+        return json.loads(data), manifest

@@ -27,7 +27,7 @@ import bisect
 from collections import defaultdict
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from repro.exceptions import InvalidTimestampError, UnknownNodeError
+from repro.exceptions import InvalidTimestampError, ReproError, UnknownNodeError
 from repro.temporal.edge import NodeId, TemporalEdge, Timestamp, validate_capacity
 
 
@@ -117,6 +117,26 @@ class TemporalFlowNetwork:
         miss.
         """
         return self._epoch
+
+    def adopt_epoch(self, epoch: int) -> None:
+        """Fast-forward the mutation counter to ``epoch`` (snapshot restore).
+
+        A network rebuilt from a snapshot's *merged* edges performs fewer
+        :meth:`add_edge` calls than the append history the snapshot
+        summarizes (capacity merges collapse), so its raw counter would
+        undercount.  Adopting the snapshot's recorded epoch keeps the
+        cluster invariant — "the epoch is a pure function of the applied
+        history" — across restore + log-suffix replay.
+
+        Raises:
+            ReproError: when ``epoch`` would move the counter backwards
+                (that would let a cached answer outlive a mutation).
+        """
+        if epoch < self._epoch:
+            raise ReproError(
+                f"cannot move the epoch backwards ({self._epoch} -> {epoch})"
+            )
+        self._epoch = int(epoch)
 
     def _refresh_indexes(self) -> None:
         if not self._stamps_dirty:

@@ -1,0 +1,251 @@
+"""A coordinator that dies — gracefully or by ``kill -9`` — must restart
+with zero lost committed appends, and recovery must be *bounded*: a
+snapshot restore plus a replay of only the log suffix behind it.
+
+Three angles:
+
+* in-process stop/new-coordinator: committed epoch, answers and the
+  recovery accounting all survive the restart;
+* replica rejoin replays only the post-checkpoint suffix (the rejoin
+  cost bound the checkpointing exists to provide);
+* the real thing: ``python -m repro.cluster._coordinator_main`` gets
+  ``SIGKILL``-ed after acking appends over the wire, and a fresh
+  coordinator on the same artifacts recovers exactly the acked state.
+"""
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cluster import ClusterCoordinator, InlineReplica, seed_log
+from repro.service.protocol import (
+    AppendRequest,
+    QueryRequest,
+    encode,
+    parse_reply,
+    request_payload,
+)
+from repro.store import AppendLog
+
+from tests.cluster.test_failover import wait_for
+from tests.service.test_interleave import SEED_EDGES, fresh_triple
+
+
+def seeded_log(tmp_path):
+    log_path = tmp_path / "cluster.log"
+    log = AppendLog(log_path)
+    try:
+        seed_log(log, SEED_EDGES)
+    finally:
+        log.close()
+    return log_path
+
+
+def replicas_for(log_path, count=2):
+    return [InlineReplica(f"r{i}", log_path) for i in range(count)]
+
+
+def test_restarted_coordinator_recovers_committed_state(tmp_path):
+    log_path = seeded_log(tmp_path)
+
+    async def scenario():
+        shadow = list(SEED_EDGES)
+        first = ClusterCoordinator(
+            log_path, replicas_for(log_path), snapshot_every=3
+        )
+        await first.start("127.0.0.1", 0)
+        try:
+            for i in range(7):
+                edges = [(f"n{i}", f"m{i}", 10 + i, 1.0)]
+                reply = await first.handle_request(
+                    AppendRequest(id=f"a{i}", edges=tuple(edges))
+                )
+                assert reply.ok, reply
+                shadow.extend(edges)
+            committed = first.committed_epoch
+            snap = await first.snapshot()
+            counters = snap["coordinator"]["counters"]
+            assert counters["snapshots"] >= 2
+            assert counters["compactions"] >= 2
+            assert counters["records_compacted"] > 0
+        finally:
+            await first.stop()
+
+        # A brand-new coordinator object on the same durable artifacts:
+        # construction alone must rebuild the committed state.
+        second = ClusterCoordinator(
+            log_path, replicas_for(log_path), snapshot_every=3
+        )
+        assert second.committed_epoch == committed
+        assert second.recovery["from_snapshot"]
+        assert (
+            second.recovery["replayed_records"]
+            < second.recovery["total_records"]
+        )
+        await second.start("127.0.0.1", 0)
+        try:
+            reply = await second.handle_request(
+                QueryRequest(
+                    id="q", source="s", sink="t", delta=4, min_epoch=committed
+                )
+            )
+            assert reply.ok, reply
+            served = (reply.density, reply.interval, reply.flow_value)
+            assert served == fresh_triple(shadow, "s", "t", 4)
+        finally:
+            await second.stop()
+
+    asyncio.run(scenario())
+
+
+def test_rejoin_replays_only_the_post_checkpoint_suffix(tmp_path):
+    log_path = seeded_log(tmp_path)
+
+    async def scenario():
+        coordinator = ClusterCoordinator(
+            log_path, replicas_for(log_path), health_interval=0.1
+        )
+        await coordinator.start("127.0.0.1", 0)
+        try:
+            for i in range(5):
+                reply = await coordinator.handle_request(
+                    AppendRequest(
+                        id=f"a{i}",
+                        edges=((f"n{i}", f"m{i}", 10 + i, 1.0),),
+                    )
+                )
+                assert reply.ok, reply
+            checkpoint = await coordinator.checkpoint()
+            assert checkpoint["compacted_records"] == 6  # seed + 5 appends
+            for i in range(5, 7):
+                reply = await coordinator.handle_request(
+                    AppendRequest(
+                        id=f"a{i}",
+                        edges=((f"n{i}", f"m{i}", 10 + i, 1.0),),
+                    )
+                )
+                assert reply.ok, reply
+
+            coordinator._mark_dead("r0")
+
+            def rejoined():
+                state = coordinator._replicas["r0"]
+                return (
+                    state.live
+                    and state.acked_epoch == coordinator.committed_epoch
+                )
+
+            assert await wait_for(rejoined), "victim never rejoined"
+            snap = await coordinator.snapshot()
+            recovery = snap["replicas"]["r0"]["recovery"]
+            total = snap["coordinator"]["durability"]["records_total"]
+            # The rejoin cost bound: only the 2 post-checkpoint records
+            # were replayed, not the 8-record history.
+            assert recovery["snapshot_restores"] == 1
+            assert recovery["replayed_records"] == 2
+            assert recovery["replayed_records"] < total == 8
+        finally:
+            await coordinator.stop()
+
+    asyncio.run(scenario())
+
+
+def test_kill_nine_coordinator_restarts_with_zero_lost_appends(tmp_path):
+    log_path = seeded_log(tmp_path)
+    package_root = str(Path(__file__).resolve().parents[2] / "src")
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{package_root}{os.pathsep}{existing}" if existing else package_root
+    )
+    # Its own session/process group, so one killpg takes the coordinator
+    # and everything it spawned — no orderly teardown anywhere.
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cluster._coordinator_main",
+            "--log",
+            str(log_path),
+            "--replicas",
+            "2",
+            "--replica-mode",
+            "inline",
+            "--snapshot-every",
+            "3",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+        start_new_session=True,
+    )
+    shadow = list(SEED_EDGES)
+    acked = []
+    try:
+        announcement = json.loads(process.stdout.readline())
+        assert announcement["event"] == "listening"
+        host, port = announcement["host"], announcement["port"]
+
+        async def drive():
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                for i in range(8):
+                    edges = [(f"x{i}", f"y{i}", 20 + i, 1.0)]
+                    writer.write(
+                        encode(
+                            request_payload(
+                                AppendRequest(id=f"a{i}", edges=tuple(edges))
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    reply = parse_reply(await reader.readline())
+                    assert reply.ok, reply
+                    shadow.extend(edges)
+                    acked.append(reply.epoch)
+            finally:
+                writer.close()
+
+        asyncio.run(drive())
+        os.killpg(process.pid, signal.SIGKILL)
+        process.wait(timeout=10.0)
+    finally:
+        with contextlib.suppress(ProcessLookupError):
+            os.killpg(process.pid, signal.SIGKILL)
+        process.stdout.close()
+        with contextlib.suppress(Exception):
+            process.wait(timeout=10.0)
+
+    async def restart():
+        coordinator = ClusterCoordinator(
+            log_path, replicas_for(log_path), snapshot_every=3
+        )
+        try:
+            # Zero lost committed appends: the recovered epoch is exactly
+            # the last epoch the dead coordinator acked over the wire.
+            assert coordinator.committed_epoch == acked[-1]
+            assert acked == sorted(set(acked))
+            # And recovery was bounded: snapshot + suffix, not history.
+            assert coordinator.recovery["from_snapshot"]
+            assert (
+                coordinator.recovery["replayed_records"]
+                < coordinator.recovery["total_records"]
+            )
+            await coordinator.start("127.0.0.1", 0)
+            reply = await coordinator.handle_request(
+                QueryRequest(
+                    id="q", source="s", sink="t", delta=4, min_epoch=acked[-1]
+                )
+            )
+            assert reply.ok, reply
+            served = (reply.density, reply.interval, reply.flow_value)
+            assert served == fresh_triple(shadow, "s", "t", 4)
+        finally:
+            await coordinator.stop()
+
+    asyncio.run(restart())

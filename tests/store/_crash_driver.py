@@ -1,0 +1,58 @@
+"""Child process for the real kill -9 durability test.
+
+Appends deterministic records forever — record *i* is
+``{"op": "append", "edges": [["u{i}", "v{i}", i + 1, 1.0]]}`` — flushing
+each one and printing its index to stdout, and checkpoints (snapshot +
+prefix compaction) every tenth record.  The parent test kills this
+process with ``SIGKILL`` at an arbitrary moment and then asserts that a
+fresh bootstrap recovers at least every record whose index it saw acked
+on stdout.
+
+Run as ``python tests/store/_crash_driver.py LOG_PATH SNAP_DIR``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.cluster.replication import (  # noqa: E402
+    append_record,
+    apply_record,
+    network_state_record,
+)
+from repro.store import AppendLog, SnapshotStore  # noqa: E402
+from repro.temporal.network import TemporalFlowNetwork  # noqa: E402
+
+CHECKPOINT_EVERY = 10
+
+
+def record_for(index: int) -> dict:
+    return append_record([(f"u{index}", f"v{index}", index + 1, 1.0)])
+
+
+def main() -> None:
+    log = AppendLog(sys.argv[1])
+    snapshots = SnapshotStore(sys.argv[2])
+    mirror = TemporalFlowNetwork()
+    index = 0
+    while True:
+        record = record_for(index)
+        log.append(record)
+        log.flush()
+        apply_record(mirror, record)
+        print(index, flush=True)
+        index += 1
+        if index % CHECKPOINT_EVERY == 0:
+            offset = log.tail_offset()
+            snapshots.save(
+                network_state_record(mirror),
+                log_offset=offset,
+                records=index,
+                epoch=mirror.epoch,
+            )
+            log.truncate_prefix(offset)
+
+
+if __name__ == "__main__":
+    main()

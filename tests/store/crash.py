@@ -1,0 +1,98 @@
+"""Reusable crash-injection harness for durability tests.
+
+Real crash coverage means dying at *chosen* points inside the durability
+machinery, not just at test-author-convenient seams.  This module gives
+tests two tools:
+
+* :class:`SimulatedCrash` — the "power went out here" signal.  It derives
+  from ``BaseException`` so production ``except Exception`` guards can
+  never swallow it and quietly keep running past the crash point.
+* :func:`crash_on` — a context manager that patches one of the durability
+  syscall wrappers (``os.replace`` / ``os.fsync``) to raise
+  :class:`SimulatedCrash` on its *n*-th call, leaving the filesystem in
+  exactly the state a kill at that instant would.
+
+Typical use — parametrize over every syscall the scripted workload makes
+and assert recovery from each resulting disk state::
+
+    with pytest.raises(SimulatedCrash):
+        with crash_on("replace", call_index):
+            run_workload()
+    recover_and_assert()
+
+The patch is process-global (it swaps the attribute on the ``os``
+module), so it is only safe in single-threaded test code — which is all
+pytest workloads here are.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Patchable syscall wrappers, by short name.
+_TARGETS = {
+    "replace": "replace",
+    "fsync": "fsync",
+}
+
+
+class SimulatedCrash(BaseException):
+    """Raised at the injected crash point.
+
+    A ``BaseException`` on purpose: code under test that catches
+    ``Exception`` (retry loops, best-effort cleanup) must not be able to
+    absorb the crash and continue — a real ``kill -9`` would not ask.
+    """
+
+
+def count_calls(func_name: str, workload) -> int:
+    """Run ``workload()`` and return how many times it calls the syscall.
+
+    Lets a test discover the injection-point space instead of hard-coding
+    it: ``for i in range(1, count_calls("replace", run) + 1): ...``.
+    """
+    attr = _TARGETS[func_name]
+    original = getattr(os, attr)
+    calls = 0
+
+    def counting(*args, **kwargs):
+        nonlocal calls
+        calls += 1
+        return original(*args, **kwargs)
+
+    setattr(os, attr, counting)
+    try:
+        workload()
+    finally:
+        setattr(os, attr, original)
+    return calls
+
+
+@contextmanager
+def crash_on(func_name: str, call_index: int) -> Iterator[None]:
+    """Crash (raise :class:`SimulatedCrash`) on the n-th matching syscall.
+
+    Args:
+        func_name: ``"replace"`` or ``"fsync"``.
+        call_index: 1-based index of the call that dies.  Calls before it
+            run normally; the dying call raises *before* performing the
+            operation, like a kill between the intent and the effect.
+    """
+    attr = _TARGETS[func_name]
+    original = getattr(os, attr)
+    calls = 0
+
+    def crashing(*args, **kwargs):
+        nonlocal calls
+        calls += 1
+        if calls == call_index:
+            raise SimulatedCrash(f"os.{attr} call #{call_index}")
+        return original(*args, **kwargs)
+
+    setattr(os, attr, crashing)
+    try:
+        yield
+    finally:
+        setattr(os, attr, original)

@@ -1,0 +1,188 @@
+"""Crash-injection durability tests: die anywhere, recover everything.
+
+The scripted workload below mimics a coordinator's life: append + flush
+records, and checkpoint (snapshot save + log prefix compaction) after
+every round.  The harness in :mod:`tests.store.crash` kills it at
+*every* ``os.replace`` and ``os.fsync`` the checkpoint machinery makes;
+after each simulated crash a fresh bootstrap must reproduce exactly the
+state of every record appended before the crash — no lost records, no
+resurrected ones, epoch intact.
+
+A final test does it for real: a child process (``_crash_driver.py``)
+appending and checkpointing in a loop gets ``SIGKILL``-ed mid-stream,
+and recovery must cover every record the child acked on stdout.
+"""
+
+import contextlib
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.replication import (
+    append_record,
+    apply_record,
+    bootstrap_network,
+    network_edges,
+    network_state_record,
+)
+from repro.store import AppendLog, SnapshotStore
+from repro.temporal.network import TemporalFlowNetwork
+from tests.store.crash import SimulatedCrash, count_calls, crash_on
+
+ROUNDS = 3
+PER_ROUND = 4
+
+
+def record_for(index):
+    """Record *i* adds one unique edge, so epoch == number of records."""
+    return append_record([(f"u{index}", f"v{index}", index + 1, 1.0)])
+
+
+def expected_edges(indices):
+    return sorted((f"u{i}", f"v{i}", i + 1, 1.0) for i in indices)
+
+
+def run_workload(log_path, snap_dir, appended):
+    """Append/flush records round by round, checkpointing between rounds.
+
+    Mutates ``appended`` (the ground-truth list of durable record
+    indices) *before* any checkpoint syscalls run, so a crash injected
+    into the checkpoint machinery still leaves the truth observable.
+    """
+    log = AppendLog(log_path)
+    snapshots = SnapshotStore(snap_dir)
+    mirror = TemporalFlowNetwork()
+    try:
+        index = 0
+        for _ in range(ROUNDS):
+            for _ in range(PER_ROUND):
+                record = record_for(index)
+                log.append(record)
+                log.flush()
+                apply_record(mirror, record)
+                appended.append(index)
+                index += 1
+            offset = log.tail_offset()
+            snapshots.save(
+                network_state_record(mirror),
+                log_offset=offset,
+                records=index,
+                epoch=mirror.epoch,
+            )
+            log.truncate_prefix(offset)
+    finally:
+        with contextlib.suppress(Exception):
+            log.close()
+
+
+def recover(log_path, snap_dir):
+    log = AppendLog(log_path)
+    try:
+        return bootstrap_network(log, SnapshotStore(snap_dir))
+    finally:
+        log.close()
+
+
+def assert_recovers_ground_truth(log_path, snap_dir, appended):
+    boot = recover(log_path, snap_dir)
+    assert sorted(network_edges(boot.network)) == expected_edges(appended)
+    assert boot.network.epoch == len(appended)
+    assert boot.total_records == len(appended)
+
+
+class TestInjectedCrashes:
+    """Die on the n-th durability syscall, for every n the workload makes."""
+
+    @pytest.mark.parametrize("func_name", ["replace", "fsync"])
+    def test_recovery_from_every_syscall_crash_point(self, tmp_path, func_name):
+        baseline = tmp_path / "baseline"
+        total = count_calls(
+            func_name,
+            lambda: run_workload(
+                baseline / "l.log", baseline / "snaps", []
+            ),
+        )
+        assert total >= ROUNDS, f"workload makes no os.{func_name} calls?"
+        for call_index in range(1, total + 1):
+            base = tmp_path / f"{func_name}-{call_index}"
+            appended = []
+            with pytest.raises(SimulatedCrash):
+                with crash_on(func_name, call_index):
+                    run_workload(base / "l.log", base / "snaps", appended)
+            assert appended, "crashed before any record became durable"
+            assert_recovers_ground_truth(base / "l.log", base / "snaps", appended)
+
+    def test_crash_free_run_recovers_from_snapshot_only(self, tmp_path):
+        appended = []
+        run_workload(tmp_path / "l.log", tmp_path / "snaps", appended)
+        boot = recover(tmp_path / "l.log", tmp_path / "snaps")
+        assert boot.from_snapshot
+        assert boot.replayed_records == 0
+        assert boot.total_records == ROUNDS * PER_ROUND
+        assert sorted(network_edges(boot.network)) == expected_edges(appended)
+
+    def test_crash_during_recovery_is_harmless(self, tmp_path):
+        """Recovery itself is read-only: abandoning a bootstrap's replay
+        at any depth leaves the artifacts able to serve a full one."""
+        appended = []
+        run_workload(tmp_path / "l.log", tmp_path / "snaps", appended)
+        with AppendLog(tmp_path / "l.log") as log:
+            log.append(record_for(len(appended)))
+            log.append(record_for(len(appended) + 1))
+            appended.extend([len(appended), len(appended) + 1])
+        for consumed in (0, 1):
+            log = AppendLog(tmp_path / "l.log")
+            manifest = SnapshotStore(tmp_path / "snaps").manifest()
+            replay = log.replay(from_offset=manifest.log_offset)
+            for _ in range(consumed):
+                next(replay)
+            replay.close()  # the recovering process dies mid-replay
+            log.close()
+        assert_recovers_ground_truth(tmp_path / "l.log", tmp_path / "snaps", appended)
+
+
+class TestRealKill:
+    """SIGKILL a live append-and-checkpoint process; recover its acks."""
+
+    def test_kill_nine_loses_no_acked_records(self, tmp_path):
+        driver = Path(__file__).with_name("_crash_driver.py")
+        log_path = tmp_path / "l.log"
+        snap_dir = tmp_path / "snaps"
+        process = subprocess.Popen(
+            [sys.executable, str(driver), str(log_path), str(snap_dir)],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            acked = -1
+            deadline = time.monotonic() + 30.0
+            # Let it live through at least two checkpoints (compactions).
+            while acked < 25:
+                line = process.stdout.readline()
+                assert line, "driver exited prematurely"
+                acked = int(line)
+                assert time.monotonic() < deadline
+            os.kill(process.pid, signal.SIGKILL)
+            process.wait(timeout=10.0)
+        finally:
+            with contextlib.suppress(ProcessLookupError):
+                process.kill()
+            process.stdout.close()
+            process.wait(timeout=10.0)
+
+        boot = recover(log_path, snap_dir)
+        recovered = sorted(network_edges(boot.network))
+        # Every acked record must be there; records appended after the
+        # last ack we read (but before the kill landed) may also be.
+        assert len(recovered) >= acked + 1
+        assert recovered == expected_edges(range(len(recovered)))
+        assert boot.network.epoch == len(recovered)
+        # Compaction ran, so recovery replayed a suffix, not history.
+        assert boot.from_snapshot
+        assert boot.replayed_records < boot.total_records
+        assert boot.replayed_records <= 10  # CHECKPOINT_EVERY in the driver

@@ -1,8 +1,11 @@
 """Tests for the append-only log."""
 
+import json
+import tracemalloc
+
 import pytest
 
-from repro.exceptions import DatasetError
+from repro.exceptions import DatasetError, TruncatedHistoryError
 from repro.store import AppendLog
 
 
@@ -88,6 +91,238 @@ class TestAppendAndReplay:
         with AppendLog(path) as log:
             log.append({"op": "a"})
         assert path.exists()
+
+
+class TestOpenRepair:
+    """Crash repair must run on *open*, not first replay: an append issued
+    before any replay must land on a clean record boundary."""
+
+    def test_append_before_replay_does_not_corrupt_torn_tail(self, tmp_path):
+        path = tmp_path / "l.log"
+        path.write_text('{"op":"a"}\n{"op":"b","x":')  # kill -9 mid-write
+        with AppendLog(path) as log:
+            log.append({"op": "c"})  # no replay() first — the PR 5 hole
+        with AppendLog(path) as reopened:
+            assert [r["op"] for r in reopened.replay()] == ["a", "c"]
+
+    def test_append_before_replay_does_not_concatenate_onto_lost_newline(
+        self, tmp_path
+    ):
+        path = tmp_path / "l.log"
+        path.write_text('{"op":"a"}\n{"op":"b"}')  # newline lost to a crash
+        with AppendLog(path) as log:
+            log.append({"op": "c"})
+        with AppendLog(path) as reopened:
+            assert [r["op"] for r in reopened.replay()] == ["a", "b", "c"]
+
+    def test_open_repairs_the_file_on_disk(self, tmp_path):
+        path = tmp_path / "l.log"
+        path.write_text('{"op":"a"}\n{"op":"b","x":')
+        log = AppendLog(path)
+        log.close()
+        assert path.read_text() == '{"op":"a"}\n'
+
+    def test_open_repair_handles_torn_tail_longer_than_a_block(self, tmp_path):
+        """The backwards tail scan must cross block boundaries."""
+        path = tmp_path / "l.log"
+        torn = '{"op":"b","x":"' + "y" * (200 * 1024)
+        path.write_text('{"op":"a"}\n' + torn)
+        with AppendLog(path) as log:
+            assert [r["op"] for r in log.replay()] == ["a"]
+        assert path.read_text() == '{"op":"a"}\n'
+
+
+class TestStreamingReplay:
+    def test_replay_from_offset_yields_only_the_suffix(self, tmp_path):
+        with AppendLog(tmp_path / "l.log") as log:
+            log.append({"op": "a"})
+            log.append({"op": "b"})
+            offset = log.tail_offset()
+            log.append({"op": "c"})
+            log.append({"op": "d"})
+            assert [r["op"] for r in log.replay(from_offset=offset)] == ["c", "d"]
+            assert [r["op"] for r in log.replay(from_offset=0)] == [
+                "a", "b", "c", "d",
+            ]
+
+    def test_replay_is_an_iterator_not_a_list(self, tmp_path):
+        with AppendLog(tmp_path / "l.log") as log:
+            log.append({"op": "a"})
+            replay = log.replay()
+            assert iter(replay) is iter(replay)  # a lazy generator
+
+    def test_replay_memory_is_bounded_not_proportional_to_log_size(
+        self, tmp_path
+    ):
+        """The whole point of streaming replay: a multi-megabyte log must
+        not be materialized in memory (the old readlines() slurp was)."""
+        path = tmp_path / "l.log"
+        with AppendLog(path) as log:
+            for i in range(20_000):
+                log.append({"op": "x", "i": i, "pad": "p" * 40})
+            log.flush()
+            assert path.stat().st_size > 1_000_000
+            tracemalloc.start()
+            count = 0
+            for record in log.replay():
+                count += 1
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            assert count == 20_000
+            assert peak < 256 * 1024, f"replay materialized {peak} bytes"
+
+    def test_partial_replay_has_no_destructive_side_effects(self, tmp_path):
+        """A consumer crash mid-replay (suffix replay included) leaves the
+        log intact: the next bootstrap sees every record."""
+        path = tmp_path / "l.log"
+        with AppendLog(path) as log:
+            for i in range(10):
+                log.append({"op": "x", "i": i})
+        for consumed in (0, 1, 5, 9):
+            log = AppendLog(path)
+            replay = log.replay()
+            for _ in range(consumed):
+                next(replay)
+            replay.close()  # simulated crash: the iterator is abandoned
+            log.close()
+            with AppendLog(path) as fresh:
+                assert [r["i"] for r in fresh.replay()] == list(range(10))
+
+
+class TestPrefixCompaction:
+    def seeded(self, tmp_path, n=6):
+        log = AppendLog(tmp_path / "l.log")
+        offsets = []
+        for i in range(n):
+            offsets.append(log.tail_offset())
+            log.append({"op": "x", "i": i})
+        return log, offsets
+
+    def test_truncate_prefix_drops_covered_records(self, tmp_path):
+        log, offsets = self.seeded(tmp_path)
+        try:
+            dropped = log.truncate_prefix(offsets[4])
+            assert dropped == 4
+            assert log.base_offset == offsets[4]
+            assert log.base_records == 4
+            assert [r["i"] for r in log.replay()] == [4, 5]
+        finally:
+            log.close()
+
+    def test_logical_offsets_survive_compaction(self, tmp_path):
+        """A tail_offset recorded before the compaction must stay valid
+        after it — that is what keeps snapshot manifests meaningful."""
+        log, offsets = self.seeded(tmp_path)
+        try:
+            tail_before = log.tail_offset()
+            log.truncate_prefix(offsets[3])
+            assert log.tail_offset() == tail_before
+            assert [r["i"] for r in log.replay(from_offset=offsets[5])] == [5]
+            log.append({"op": "x", "i": 6})
+            assert [r["i"] for r in log.replay(from_offset=tail_before)] == [6]
+        finally:
+            log.close()
+
+    def test_replay_below_base_raises_truncated_history(self, tmp_path):
+        log, offsets = self.seeded(tmp_path)
+        try:
+            log.truncate_prefix(offsets[3])
+            with pytest.raises(TruncatedHistoryError):
+                log.replay(from_offset=offsets[2])
+        finally:
+            log.close()
+
+    def test_meta_header_survives_reopen_and_is_never_yielded(self, tmp_path):
+        log, offsets = self.seeded(tmp_path)
+        log.truncate_prefix(offsets[2])
+        log.close()
+        assert '"__log_meta__"' in (tmp_path / "l.log").read_text()
+        with AppendLog(tmp_path / "l.log") as reopened:
+            assert reopened.base_offset == offsets[2]
+            assert reopened.base_records == 2
+            assert [r["i"] for r in reopened.replay()] == [2, 3, 4, 5]
+
+    def test_repeated_compaction_accumulates_base_records(self, tmp_path):
+        log, offsets = self.seeded(tmp_path)
+        try:
+            log.truncate_prefix(offsets[2])
+            log.truncate_prefix(offsets[5])
+            assert log.base_records == 5
+            assert [r["i"] for r in log.replay()] == [5]
+            log.append({"op": "x", "i": 6})
+            assert [r["i"] for r in log.replay()] == [5, 6]
+        finally:
+            log.close()
+
+    def test_truncate_prefix_to_current_base_is_a_noop(self, tmp_path):
+        log, offsets = self.seeded(tmp_path)
+        try:
+            assert log.truncate_prefix(0) == 0
+            log.truncate_prefix(offsets[3])
+            assert log.truncate_prefix(offsets[3]) == 0
+            assert log.truncate_prefix(offsets[1]) == 0
+        finally:
+            log.close()
+
+    def test_truncate_to_works_after_prefix_compaction(self, tmp_path):
+        log, offsets = self.seeded(tmp_path)
+        try:
+            log.truncate_prefix(offsets[2])
+            rollback = log.tail_offset()
+            log.append({"op": "y"})
+            log.truncate_to(rollback)
+            assert [r["i"] for r in log.replay()] == [2, 3, 4, 5]
+        finally:
+            log.close()
+
+
+class TestRecordsAppendedAccounting:
+    """records_appended must not over-report after rollbacks or rewrites:
+    it counts this handle's appends net of truncate_to rollbacks, and
+    compact() resets it (the rewrite is a new baseline, not appends)."""
+
+    def test_truncate_to_subtracts_rolled_back_records(self, tmp_path):
+        with AppendLog(tmp_path / "l.log") as log:
+            log.append({"op": "a"})
+            offset = log.tail_offset()
+            log.append({"op": "b"})
+            log.append({"op": "c"})
+            assert log.records_appended == 3
+            log.truncate_to(offset)
+            assert log.records_appended == 1
+            log.append({"op": "d"})
+            assert log.records_appended == 2
+
+    def test_compact_resets_the_counter(self, tmp_path):
+        with AppendLog(tmp_path / "l.log") as log:
+            for i in range(5):
+                log.append({"op": "x", "i": i})
+            log.compact([{"op": "x", "i": 4}])
+            assert log.records_appended == 0
+            log.append({"op": "y"})
+            assert log.records_appended == 1
+
+    def test_truncate_prefix_keeps_the_counter(self, tmp_path):
+        """Prefix compaction drops records a snapshot already covers;
+        the handle really did append them, so the net count stands."""
+        log = AppendLog(tmp_path / "l.log")
+        try:
+            offsets = []
+            for i in range(4):
+                offsets.append(log.tail_offset())
+                log.append({"op": "x", "i": i})
+            log.truncate_prefix(offsets[2])
+            assert log.records_appended == 4
+        finally:
+            log.close()
+
+    def test_counter_never_goes_negative(self, tmp_path):
+        path = tmp_path / "l.log"
+        with AppendLog(path) as log:
+            log.append({"op": "a"})
+        with AppendLog(path) as log:  # fresh handle: counter is 0
+            log.truncate_to(0)  # rolls back a record the handle never wrote
+            assert log.records_appended == 0
 
 
 class TestRollback:

@@ -1,0 +1,108 @@
+"""Tests for the crash-atomic snapshot store."""
+
+import json
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.store import SnapshotManifest, SnapshotStore
+
+
+class TestSaveAndLoad:
+    def test_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snaps")
+        payload = {"edges": [["a", "b", 1, 2.0]], "epoch": 7}
+        manifest = store.save(payload, log_offset=120, records=9, epoch=7)
+        assert manifest.log_offset == 120
+        assert manifest.records == 9
+        assert manifest.epoch == 7
+        loaded, loaded_manifest = store.load()
+        assert loaded == payload
+        assert loaded_manifest == manifest
+
+    def test_directory_created_lazily(self, tmp_path):
+        directory = tmp_path / "deep" / "snaps"
+        store = SnapshotStore(directory)
+        assert not directory.exists()
+        store.save({"x": 1}, log_offset=0, records=0, epoch=0)
+        assert directory.is_dir()
+
+    def test_manifest_survives_a_fresh_store_object(self, tmp_path):
+        SnapshotStore(tmp_path).save({"x": 1}, log_offset=5, records=2, epoch=2)
+        manifest = SnapshotStore(tmp_path).manifest()
+        assert isinstance(manifest, SnapshotManifest)
+        assert manifest.records == 2
+
+    def test_newer_save_wins(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save({"v": "old"}, log_offset=10, records=1, epoch=1)
+        store.save({"v": "new"}, log_offset=20, records=2, epoch=2)
+        payload, manifest = store.load()
+        assert payload == {"v": "new"}
+        assert manifest.log_offset == 20
+
+
+class TestMissingAndCorrupt:
+    def test_empty_store_reads_as_none(self, tmp_path):
+        store = SnapshotStore(tmp_path / "never-created")
+        assert store.manifest() is None
+        assert store.load() is None
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save({"x": 1}, log_offset=0, records=1, epoch=1)
+        (tmp_path / "MANIFEST.json").write_text("{not json")
+        with pytest.raises(DatasetError, match="corrupt snapshot manifest"):
+            store.manifest()
+
+    def test_manifest_missing_field_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save({"x": 1}, log_offset=0, records=1, epoch=1)
+        record = json.loads((tmp_path / "MANIFEST.json").read_text())
+        del record["checksum"]
+        (tmp_path / "MANIFEST.json").write_text(json.dumps(record))
+        with pytest.raises(DatasetError, match="corrupt snapshot manifest"):
+            store.manifest()
+
+    def test_missing_payload_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        manifest = store.save({"x": 1}, log_offset=0, records=1, epoch=1)
+        (tmp_path / manifest.snapshot).unlink()
+        with pytest.raises(DatasetError, match="missing snapshot payload"):
+            store.load()
+
+    def test_checksum_mismatch_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        manifest = store.save({"x": 1}, log_offset=0, records=1, epoch=1)
+        (tmp_path / manifest.snapshot).write_text('{"x":2}')
+        with pytest.raises(DatasetError, match="fails its checksum"):
+            store.load()
+
+
+class TestPruning:
+    def test_old_payloads_are_pruned_on_save(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        first = store.save({"v": 1}, log_offset=1, records=1, epoch=1)
+        second = store.save({"v": 2}, log_offset=2, records=2, epoch=2)
+        names = {p.name for p in tmp_path.glob("snapshot-*.json")}
+        assert names == {second.snapshot}
+        assert first.snapshot not in names
+
+    def test_stale_tmp_files_are_pruned_on_save(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save({"v": 1}, log_offset=1, records=1, epoch=1)
+        orphan = tmp_path / "snapshot-000000000099.json.tmp"
+        orphan.write_text("torn")
+        store.save({"v": 2}, log_offset=2, records=2, epoch=2)
+        assert not orphan.exists()
+
+    def test_orphaned_payload_from_a_crash_is_harmless(self, tmp_path):
+        """A crash between payload and manifest replace leaves a newer
+        payload the manifest never references — loads must still serve
+        the manifest's payload."""
+        store = SnapshotStore(tmp_path)
+        store.save({"v": "committed"}, log_offset=10, records=3, epoch=3)
+        (tmp_path / "snapshot-000000000009.json").write_text('{"v":"orphan"}')
+        payload, manifest = store.load()
+        assert payload == {"v": "committed"}
+        assert manifest.records == 3
