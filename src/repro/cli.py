@@ -8,6 +8,7 @@ The subcommands mirror the library's main entry points::
     repro-bfq trail      edges.csv --source alice --sink dave --delta 3
     repro-bfq profile    edges.csv --source alice --sink dave
     repro-bfq hunt       edges.csv --delta 10
+    repro-bfq topk       edges.csv --pairs a:x,b:y --delta 10 --k 5
     repro-bfq fuzz       --trials 200 --seed 0
     repro-bfq serve      edges.csv --port 7461 --processes 4
     repro-bfq cluster    edges.csv --replicas 2 --log edges.cluster.log
@@ -153,6 +154,35 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--top-sinks", type=int, default=5)
     hunt.add_argument("--min-volume", type=float, default=0.0)
 
+    topk = subparsers.add_parser(
+        "topk",
+        help="k densest bursts over candidate (source, sink) pairs "
+        "(planner-amortised: one skeleton + shared window memo per pair)",
+    )
+    add_input_arguments(topk)
+    topk.add_argument(
+        "--pairs",
+        default=None,
+        help="comma-separated source:sink pairs (e.g. alice:dave,bob:eve)",
+    )
+    topk.add_argument(
+        "--sources",
+        default=None,
+        help="comma-separated node ids (crossed with --sinks when --pairs "
+        "is not given)",
+    )
+    topk.add_argument(
+        "--sinks", default=None, help="comma-separated node ids"
+    )
+    topk.add_argument("--delta", type=int, required=True)
+    topk.add_argument("--k", type=int, default=10, help="entries to return")
+    topk.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="shard (source, sink) groups over N processes (0 = all cores)",
+    )
+
     fuzz = subparsers.add_parser(
         "fuzz",
         help="differential fuzzing: all backends + flow certificates",
@@ -169,9 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "comma-separated backend subset of "
-            "bfq,bfq-skel,bfq+,bfq*,naive,networkx,service,cluster "
+            "bfq,bfq-skel,bfq+,bfq*,planner,naive,networkx,service,cluster "
             "(cluster boots a live 2-replica cluster per trial and is "
-            "excluded from the default set)"
+            "excluded from the default set; planner answers through a "
+            "shared-skeleton batch with duplicate + overlapping-delta "
+            "companions)"
         ),
     )
     fuzz.add_argument(
@@ -509,6 +541,46 @@ def _run_hunt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_topk(args: argparse.Namespace) -> int:
+    from repro.core import top_k_bursts
+
+    network, codec = _load(args.edges, args.compact_timestamps)
+    if args.pairs:
+        pairs = []
+        for chunk in args.pairs.split(","):
+            source, sep, sink = chunk.partition(":")
+            if not sep or not source or not sink:
+                raise ReproError(
+                    f"--pairs entries must look like source:sink, got {chunk!r}"
+                )
+            pairs.append((source, sink))
+    elif args.sources and args.sinks:
+        sources = [s for s in args.sources.split(",") if s]
+        sinks = [t for t in args.sinks.split(",") if t]
+        pairs = [(s, t) for s in sources for t in sinks if s != t]
+    else:
+        raise ReproError("give either --pairs or both --sources and --sinks")
+    started = time.perf_counter()
+    entries = top_k_bursts(
+        network, pairs, args.delta, k=args.k, processes=args.processes
+    )
+    elapsed = time.perf_counter() - started
+    if not entries:
+        print(f"no positive bursts among {len(pairs)} pairs (delta={args.delta})")
+        return 1
+    header = f"{'#':>3} {'source':<16} {'sink':<16} {'density':>14}  interval"
+    print(header)
+    print("-" * len(header))
+    for rank, entry in enumerate(entries, start=1):
+        shown = codec.decode_interval(entry.interval) if codec else entry.interval
+        print(
+            f"{rank:>3} {str(entry.source):<16} {str(entry.sink):<16} "
+            f"{entry.density:>14,.2f}  [{shown[0]}, {shown[1]}]"
+        )
+    print(f"({len(pairs)} pairs, k={args.k}, {elapsed:.3f}s)")
+    return 0
+
+
 def _run_fuzz(args: argparse.Namespace) -> int:
     from repro.oracle import fuzz
 
@@ -709,6 +781,7 @@ _HANDLERS = {
     "trail": _run_trail,
     "profile": _run_profile,
     "hunt": _run_hunt,
+    "topk": _run_topk,
     "fuzz": _run_fuzz,
     "serve": _run_serve,
     "cluster": _run_cluster,

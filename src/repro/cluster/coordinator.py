@@ -76,6 +76,9 @@ from repro.service.protocol import (
     ERROR_UNSUPPORTED_VERSION,
     AppendReply,
     AppendRequest,
+    BatchAnswer,
+    BatchReply,
+    BatchRequest,
     DrainReply,
     DrainRequest,
     ErrorReply,
@@ -87,6 +90,9 @@ from repro.service.protocol import (
     QueryRequest,
     Reply,
     Request,
+    TopKBurst,
+    TopKReply,
+    TopKRequest,
     encode,
     parse_reply,
     parse_request,
@@ -205,6 +211,8 @@ class _Counters:
     """Coordinator-level counters (replica metrics aggregate separately)."""
 
     queries: int = 0
+    batches: int = 0
+    topks: int = 0
     appends: int = 0
     failovers: int = 0
     restarts: int = 0
@@ -495,7 +503,12 @@ class ClusterCoordinator:
         """Dispatch one parsed request (programmatic entry point)."""
         op = request.op
         self.counters.requests[op] = self.counters.requests.get(op, 0) + 1
-        if isinstance(request, (QueryRequest, AppendRequest)) and self._draining:
+        if (
+            isinstance(
+                request, (QueryRequest, BatchRequest, TopKRequest, AppendRequest)
+            )
+            and self._draining
+        ):
             self.counters.shed += 1
             return ErrorReply(
                 request.id,
@@ -508,6 +521,12 @@ class ClusterCoordinator:
             if isinstance(request, QueryRequest):
                 self.counters.queries += 1
                 return await self._route_query(request)
+            if isinstance(request, BatchRequest):
+                self.counters.batches += 1
+                return await self._route_batch(request)
+            if isinstance(request, TopKRequest):
+                self.counters.topks += 1
+                return await self._route_topk(request)
             if isinstance(request, AppendRequest):
                 self.counters.appends += 1
                 return await self._replicate_append(request)
@@ -538,20 +557,29 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------
     # Queries: affinity route, failover at most once per replica
     # ------------------------------------------------------------------
-    async def _route_query(self, request: QueryRequest) -> Reply:
-        fence = max(self.committed_epoch, request.min_epoch or 0)
-        if fence > self.committed_epoch:
-            # The client demands a state no replica has acked yet.
-            return ErrorReply(
-                request.id,
-                ERROR_STALE,
-                f"cluster committed epoch {self.committed_epoch} is behind "
-                f"required min_epoch {fence}",
-                retry_after_ms=25,
-                epoch=self.committed_epoch,
-            )
-        forwarded = replace(request, min_epoch=fence)
-        payload = request_payload(forwarded)
+    def _stale_fence_reply(self, request_id: str, fence: int) -> ErrorReply:
+        return ErrorReply(
+            request_id,
+            ERROR_STALE,
+            f"cluster committed epoch {self.committed_epoch} is behind "
+            f"required min_epoch {fence}",
+            retry_after_ms=25,
+            epoch=self.committed_epoch,
+        )
+
+    async def _forward_keyed(
+        self, payload: Mapping[str, Any], source: Any, sink: Any, fence: int
+    ) -> Reply | None:
+        """Route one encoded request to the ``(source, sink)`` shard.
+
+        Walks the affinity/failover order, trying each surviving replica
+        at most once per round; ``overloaded``/``stale`` rounds back off
+        under the retry policy.  Returns the reply — possibly a typed
+        error that is not failover-able (invalid / timeout / internal:
+        every replica would answer the same way) or the last retryable
+        error after the budget — or ``None`` when no replica was
+        available at all (the caller sheds).
+        """
         last_error: ErrorReply | None = None
         for round_index in range(self.retry.max_attempts):
             eligible = [
@@ -560,8 +588,8 @@ class ClusterCoordinator:
                 if state.live and state.acked_epoch >= fence
             ]
             order = self.router.order(
-                request.source,
-                request.sink,
+                source,
+                sink,
                 eligible,
                 {rid: self._replicas[rid].inflight for rid in eligible},
             )
@@ -602,14 +630,185 @@ class ClusterCoordinator:
                     else None
                 )
                 await asyncio.sleep(self.retry.delay_for(round_index, hint))
-        if last_error is not None:
-            return replace(last_error, id=request.id)
-        self.counters.shed += 1
-        return ErrorReply(
-            request.id,
-            ERROR_OVERLOADED,
-            "no live replica available",
-            retry_after_ms=200,
+        return last_error
+
+    async def _route_query(self, request: QueryRequest) -> Reply:
+        fence = max(self.committed_epoch, request.min_epoch or 0)
+        if fence > self.committed_epoch:
+            # The client demands a state no replica has acked yet.
+            return self._stale_fence_reply(request.id, fence)
+        forwarded = replace(request, min_epoch=fence)
+        reply = await self._forward_keyed(
+            request_payload(forwarded), request.source, request.sink, fence
+        )
+        if reply is None:
+            self.counters.shed += 1
+            return ErrorReply(
+                request.id,
+                ERROR_OVERLOADED,
+                "no live replica available",
+                retry_after_ms=200,
+            )
+        if isinstance(reply, ErrorReply):
+            return replace(reply, id=request.id)
+        return reply
+
+    # ------------------------------------------------------------------
+    # Batches / top-k: whole (source, sink) groups go to the shard owner
+    # ------------------------------------------------------------------
+    async def _route_batch(self, request: BatchRequest) -> Reply:
+        """Split a batch by ``(source, sink)`` and route each group whole.
+
+        The replica owning a pair's shard holds (or will compile and
+        cache) that pair's :class:`~repro.core.skeleton.WindowSkeleton`
+        and its planner cache entries, so sending the *entire* group
+        there — instead of scattering its queries — is what keeps the
+        planner's amortization intact across the cluster: one skeleton
+        per (pair, replica), never one per query.  Groups solve
+        concurrently on their distinct owners.
+        """
+        started = time.perf_counter()
+        fence = max(self.committed_epoch, request.min_epoch or 0)
+        if fence > self.committed_epoch:
+            return self._stale_fence_reply(request.id, fence)
+        groups: dict[tuple[Any, Any], list[int]] = {}
+        for index, (source, sink, _delta) in enumerate(request.queries):
+            groups.setdefault((source, sink), []).append(index)
+
+        async def solve_group(key: tuple[Any, Any], indices: list[int]) -> Reply | None:
+            source, sink = key
+            sub = BatchRequest(
+                id=f"{request.id}.g{indices[0]}",
+                queries=tuple(request.queries[i] for i in indices),
+                plan=request.plan,
+                timeout=request.timeout,
+                min_epoch=fence,
+            )
+            return await self._forward_keyed(
+                request_payload(sub), source, sink, fence
+            )
+
+        replies = await asyncio.gather(
+            *(solve_group(key, indices) for key, indices in groups.items())
+        )
+        results: list[BatchAnswer | None] = [None] * len(request.queries)
+        planner: dict[str, Any] = {}
+        epoch: int | None = None
+        for (key, indices), reply in zip(groups.items(), replies):
+            if reply is None:
+                self.counters.shed += 1
+                return ErrorReply(
+                    request.id,
+                    ERROR_OVERLOADED,
+                    f"no live replica available for group {key!r}",
+                    retry_after_ms=200,
+                )
+            if isinstance(reply, ErrorReply):
+                return replace(reply, id=request.id)
+            assert isinstance(reply, BatchReply), reply
+            epoch = reply.epoch if epoch is None else min(epoch, reply.epoch)
+            for position, index in enumerate(indices):
+                results[index] = reply.results[position]
+            for name, value in reply.planner.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    planner[name] = planner.get(name, 0) + value
+        if "windows_total" in planner:
+            planner["amortization"] = planner["windows_total"] / max(
+                1, planner.get("windows_solved", 0)
+            )
+        planner["groups_routed"] = len(groups)
+        return BatchReply(
+            id=request.id,
+            results=tuple(results),  # type: ignore[arg-type]
+            epoch=epoch if epoch is not None else self.committed_epoch,
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+            planner=planner,
+        )
+
+    async def _route_topk(self, request: TopKRequest) -> Reply:
+        """Scatter a top-k request by shard owner; merge at the coordinator.
+
+        Pairs are grouped by the replica whose shard owns them, each
+        owner ranks its own pairs (its local top-k), and the coordinator
+        merges with the planner's exact canonical order — density
+        descending, then earlier start, shorter interval, and first
+        appearance in the request's pair list — so the routed answer is
+        byte-identical to a single node ranking every pair.
+        """
+        started = time.perf_counter()
+        fence = max(self.committed_epoch, request.min_epoch or 0)
+        if fence > self.committed_epoch:
+            return self._stale_fence_reply(request.id, fence)
+        positions: dict[tuple[Any, Any], int] = {}
+        for pair in request.pairs:
+            positions.setdefault(tuple(pair), len(positions))
+        eligible = [
+            rid
+            for rid, state in self._replicas.items()
+            if state.live and state.acked_epoch >= fence
+        ]
+        by_owner: dict[str | None, list[tuple[Any, Any]]] = {}
+        for pair in positions:
+            owner = self.router.affinity(pair[0], pair[1], eligible)
+            by_owner.setdefault(owner, []).append(pair)
+        if None in by_owner:
+            self.counters.shed += 1
+            return ErrorReply(
+                request.id,
+                ERROR_OVERLOADED,
+                "no live replica available",
+                retry_after_ms=200,
+            )
+
+        async def solve_shard(pairs: list[tuple[Any, Any]]) -> Reply | None:
+            sub = TopKRequest(
+                id=f"{request.id}.s{positions[pairs[0]]}",
+                pairs=tuple(pairs),
+                delta=request.delta,
+                k=request.k,
+                timeout=request.timeout,
+                min_epoch=fence,
+            )
+            # Keyed by the shard's first pair: its affinity IS this
+            # owner, and failover falls through the same ring walk.
+            return await self._forward_keyed(
+                request_payload(sub), pairs[0][0], pairs[0][1], fence
+            )
+
+        shards = list(by_owner.values())
+        replies = await asyncio.gather(*(solve_shard(pairs) for pairs in shards))
+        merged: list[TopKBurst] = []
+        cached = True
+        epoch: int | None = None
+        for pairs, reply in zip(shards, replies):
+            if reply is None:
+                self.counters.shed += 1
+                return ErrorReply(
+                    request.id,
+                    ERROR_OVERLOADED,
+                    f"no live replica available for pairs {pairs!r}",
+                    retry_after_ms=200,
+                )
+            if isinstance(reply, ErrorReply):
+                return replace(reply, id=request.id)
+            assert isinstance(reply, TopKReply), reply
+            merged.extend(reply.entries)
+            cached = cached and reply.cached
+            epoch = reply.epoch if epoch is None else min(epoch, reply.epoch)
+        merged.sort(
+            key=lambda entry: (
+                -entry.density,
+                entry.interval[0],
+                entry.interval[1] - entry.interval[0],
+                positions[(entry.source, entry.sink)],
+            )
+        )
+        return TopKReply(
+            id=request.id,
+            entries=tuple(merged[: request.k]),
+            epoch=epoch if epoch is not None else self.committed_epoch,
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+            cached=cached,
         )
 
     # ------------------------------------------------------------------
@@ -798,6 +997,8 @@ class ClusterCoordinator:
                 "inflight": self._inflight,
                 "counters": {
                     "queries": self.counters.queries,
+                    "batches": self.counters.batches,
+                    "topks": self.counters.topks,
                     "appends": self.counters.appends,
                     "failovers": self.counters.failovers,
                     "restarts": self.counters.restarts,
@@ -917,7 +1118,8 @@ class ClusterCoordinator:
                 writer, 200, {"draining": True, "inflight": self._inflight}
             )
         elif method == "POST" and target in (
-            "/query", "/append", "/query/", "/append/",
+            "/query", "/append", "/batch", "/topk",
+            "/query/", "/append/", "/batch/", "/topk/",
         ):
             payload = json.loads(await self.handle_raw(body))
             status = 200 if payload.get("ok") else _http_status(payload)

@@ -1,6 +1,6 @@
 """The paper's core contribution: delta-BFlow queries and their solutions."""
 
-from repro.core.batch import answer_many, bfq_parallel
+from repro.core.batch import KNOWN_PLANS, answer_many, bfq_parallel
 from repro.core.bfq import bfq
 from repro.core.bfq_plus import bfq_plus
 from repro.core.bfq_star import bfq_star
@@ -25,11 +25,22 @@ from repro.core.skeleton import (
     validate_transform,
 )
 from repro.core.intervals import CandidatePlan, enumerate_candidates, is_core_interval
+from repro.core.planner import (
+    BurstEntry,
+    PlannerReport,
+    QueryGroup,
+    WindowMemo,
+    answer_planned,
+    group_queries,
+    planner_bfq,
+    top_k_bursts,
+)
 from repro.core.query import (
     BurstingFlowQuery,
     BurstingFlowResult,
     IntervalSample,
     QueryStats,
+    merge_query_stats,
 )
 from repro.core.record import (
     DENSITY_EPSILON,
@@ -54,6 +65,16 @@ __all__ = [
     "bfq",
     "answer_many",
     "bfq_parallel",
+    "KNOWN_PLANS",
+    "answer_planned",
+    "group_queries",
+    "planner_bfq",
+    "top_k_bursts",
+    "BurstEntry",
+    "PlannerReport",
+    "QueryGroup",
+    "WindowMemo",
+    "merge_query_stats",
     "density_profile",
     "suggest_delta",
     "PhaseBreakdown",

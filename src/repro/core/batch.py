@@ -8,7 +8,16 @@ network (the S x T sweep).  :func:`answer_many` evaluates a batch with:
 * shared validation and a single algorithm resolution;
 * worker-death recovery: a :class:`BrokenProcessPool` (OOM-killed or
   crashed worker) rebuilds the pool once and resubmits only the queries
-  that had not finished, instead of losing the whole batch.
+  that had not finished, instead of losing the whole batch;
+* fail-fast batch semantics: an ordinary exception from one query cancels
+  the outstanding siblings and raises a
+  :class:`~repro.exceptions.BatchQueryError` naming the failing query
+  (index + repr), instead of letting the rest of the batch burn CPU on
+  answers that will be discarded;
+* ``plan="shared"`` routes the batch through
+  :mod:`repro.core.planner` — queries grouped by ``(source, sink)`` share
+  one :class:`~repro.core.skeleton.WindowSkeleton` and a per-epoch
+  candidate-window Maxflow memo, amortising overlapping delta sweeps.
 
 Worker processes receive the network and the algorithm name through the
 pool's ``initializer``/``initargs`` rather than fork-inherited module
@@ -21,13 +30,21 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import Future, ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Sequence
 
+from repro.core._pool import run_pool
 from repro.core.engine import DEFAULT_ALGORITHM, find_bursting_flow, get_algorithm
-from repro.core.query import BurstingFlowQuery, BurstingFlowResult, QueryStats
+from repro.core.query import (
+    BurstingFlowQuery,
+    BurstingFlowResult,
+    QueryStats,
+    merge_query_stats,
+)
+from repro.exceptions import InvalidQueryError
 from repro.temporal.network import TemporalFlowNetwork
+
+#: ``plan=`` choices for :func:`answer_many`.
+KNOWN_PLANS = ("independent", "shared")
 
 # Per-worker state, set by _init_worker in each pool process.  The parent
 # process never assigns these: state travels through initargs (pickled for
@@ -58,19 +75,48 @@ def answer_many(
     algorithm: str = DEFAULT_ALGORITHM,
     processes: int | None = None,
     mp_context: str | None = None,
+    plan: str = "independent",
 ) -> list[BurstingFlowResult]:
     """Answer a batch of queries; results align with the input order.
 
     Args:
         network: the shared temporal flow network.
         queries: the batch (materialised internally).
-        algorithm: delta-BFlow solution for every query.
+        algorithm: delta-BFlow solution for every query (``plan=
+            "independent"`` only — the planner owns its evaluation
+            strategy and produces the same canonical answers).
         processes: worker processes; ``None`` or ``1`` runs sequentially;
-            ``0`` means ``os.cpu_count()``.
+            ``0`` means ``os.cpu_count()``.  Under ``plan="shared"`` the
+            pool shards *(source, sink) groups*, not single queries.
         mp_context: multiprocessing start method for the worker pool
             (``"fork"``, ``"forkserver"`` or ``"spawn"``); ``None`` uses
             the platform default.  Ignored for sequential runs.
+        plan: ``"independent"`` (default — every query solved on its own)
+            or ``"shared"`` (route through :func:`repro.core.planner.
+            answer_planned`: one skeleton per (s, t) group, overlapping
+            delta sweeps solve each candidate window once).
+
+    Raises:
+        BatchQueryError: one query (or one planner group) failed; the
+            outstanding siblings were cancelled.
     """
+    if plan not in KNOWN_PLANS:
+        raise InvalidQueryError(
+            f"unknown plan {plan!r}; known: {', '.join(KNOWN_PLANS)}"
+        )
+    if plan == "shared":
+        if algorithm != DEFAULT_ALGORITHM:
+            raise InvalidQueryError(
+                "plan='shared' routes through the planner, which owns its "
+                "evaluation strategy (answers are canonical either way); "
+                "leave algorithm at the default"
+            )
+        from repro.core.planner import answer_planned  # local: avoid cycle
+
+        results, _report = answer_planned(
+            network, queries, processes=processes, mp_context=mp_context
+        )
+        return results
     get_algorithm(algorithm)  # fail fast on unknown names
     batch: Sequence[BurstingFlowQuery] = list(queries)
     for query in batch:
@@ -86,43 +132,25 @@ def answer_many(
         ]
 
     context = multiprocessing.get_context(mp_context)
-    results: list[BurstingFlowResult | None] = [None] * len(batch)
-    pending = list(range(len(batch)))
-    rebuilt = False
     try:
-        while pending:
-            futures: dict[int, Future] = {}
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(processes, len(pending)),
-                    mp_context=context,
-                    initializer=_init_worker,
-                    initargs=(network, algorithm),
-                ) as pool:
-                    for index in pending:
-                        futures[index] = pool.submit(_answer_one, batch[index])
-                    for index, future in futures.items():
-                        results[index] = future.result()
-                pending = []
-            except BrokenProcessPool:
-                # A worker died (OOM-killed, segfaulted C extension, ...).
-                # Harvest everything that finished before the crash and
-                # rebuild the pool once for the remainder; a second crash
-                # is systemic and propagates to the caller.
-                if rebuilt:
-                    raise
-                rebuilt = True
-                for index, future in futures.items():
-                    if future.done() and future.exception() is None:
-                        results[index] = future.result()
-                pending = [i for i in pending if results[i] is None]
+        # run_pool carries the shared fan-out discipline: BrokenProcessPool
+        # rebuild-once recovery, and fail-fast cancellation that names the
+        # failing query (index + repr) instead of letting siblings run on.
+        return run_pool(
+            batch,
+            _answer_one,
+            max_workers=processes,
+            context=context,
+            initializer=_init_worker,
+            initargs=(network, algorithm),
+            describe=lambda index: batch[index],
+        )
     finally:
         # With fork, workers inherit whatever the parent's module state
         # happens to be at submit time; keeping the parent's copy pristine
         # guarantees a concurrent or subsequent batch can't leak its
         # algorithm (or network) into this one.
         _reset_worker_state()
-    return results  # type: ignore[return-value]  # every slot is filled
 
 
 def _answer_one(query: BurstingFlowQuery) -> BurstingFlowResult:
@@ -252,52 +280,28 @@ def bfq_parallel(
     chunks = [intervals[lo:hi] for lo, hi in chunk_bounds if hi > lo]
 
     context = multiprocessing.get_context(mp_context)
-    chunk_stats: list[QueryStats | None] = [None] * len(chunks)
-    pending = list(range(len(chunks)))
-    rebuilt = False
     try:
-        while pending:
-            futures: dict[int, Future] = {}
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(pending)),
-                    mp_context=context,
-                    initializer=_init_window_worker,
-                    initargs=(network, query, solver, transform),
-                ) as pool:
-                    for index in pending:
-                        futures[index] = pool.submit(
-                            _evaluate_window_chunk, chunks[index]
-                        )
-                    for index, future in futures.items():
-                        chunk_stats[index] = future.result()
-                pending = []
-            except BrokenProcessPool:
-                if rebuilt:
-                    raise
-                rebuilt = True
-                for index, future in futures.items():
-                    if future.done() and future.exception() is None:
-                        chunk_stats[index] = future.result()
-                pending = [i for i in pending if chunk_stats[i] is None]
+        chunk_stats: list[QueryStats] = run_pool(
+            chunks,
+            _evaluate_window_chunk,
+            max_workers=workers,
+            context=context,
+            initializer=_init_window_worker,
+            initargs=(network, query, solver, transform),
+            describe=lambda index: f"window chunk {index} of {query!r}",
+        )
     finally:
         _reset_window_worker_state()
 
-    # Merge: fold every per-window flow value through one BestRecord (the
-    # canonical tie-break makes the fold order irrelevant) and concatenate
-    # stats in chunk order, which is plan order.
+    # Merge: concatenate stats in chunk order (which is plan order) —
+    # field-derived, so a counter added to QueryStats later can never be
+    # silently dropped from parallel results — and fold every per-window
+    # flow value through one BestRecord (the canonical tie-break makes the
+    # fold order irrelevant).
+    stats = merge_query_stats(chunk_stats)
     best = BestRecord()
-    stats = QueryStats()
-    for part in chunk_stats:
-        assert part is not None  # every chunk resolved or we raised
-        stats.candidates_enumerated += part.candidates_enumerated
-        stats.maxflow_runs += part.maxflow_runs
-        stats.augmenting_paths += part.augmenting_paths
-        stats.pruned_intervals += part.pruned_intervals
-        stats.prune_seconds += part.prune_seconds
-        for sample in part.samples:
-            stats.record_sample(sample)
-            best.offer(sample.flow_value, *sample.interval)
+    for sample in stats.samples:
+        best.offer(sample.flow_value, *sample.interval)
     return BurstingFlowResult(
         density=best.density,
         interval=best.interval,

@@ -1,0 +1,458 @@
+"""Multi-query planner: amortise delta-BFlow work across a batch.
+
+The paper's target workload is fleet scale — millions of overlapping
+``(s, t, delta)`` queries, most of which share endpoints (the Grab case
+study sweeps a fixed suspect set at several deltas).  Answering each query
+independently recompiles a :class:`~repro.core.skeleton.WindowSkeleton`
+per query and re-solves every candidate-window Maxflow, even when two
+queries in the same batch enumerate the *same* window.
+
+The planner amortises both:
+
+1. **Grouping** — the batch is partitioned by ``(source, sink)``
+   (:func:`group_queries`); each group compiles **one** skeleton reused
+   across all of its queries and delta values.
+2. **Window memoisation** — Lemma-2 candidate windows of different deltas
+   overlap heavily (every window longer than both deltas is shared), so
+   each group keeps a per-epoch :class:`WindowMemo` keyed on
+   ``(tau_s, tau_e)``: the first query that needs a window solves its
+   Maxflow; every later query — same delta repeated, or an overlapping
+   sweep — reuses the value for free.
+3. **Top-k densest bursts** (:func:`top_k_bursts`) — a first-class query
+   over a candidate ``(s, t)`` list, ranked by the canonical tie-break.
+
+Correctness: a window's Maxflow *value* is a pure function of the window
+(the kernel is deterministic), and
+:class:`~repro.core.record.BestRecord`'s canonical tie-break is
+order-independent — so folding memoised values through each query's own
+candidate plan reproduces the independent
+:func:`~repro.core.engine.find_bursting_flow` answer exactly (interval,
+flow value, tie-breaks).  The ``planner`` oracle backend differential-
+checks this on every fuzz trial.
+
+Epoch safety: the memo snapshots the network epoch at construction and
+refuses to serve after a mutation (matching the skeleton's own guard), so
+a streaming append can never leak a stale window value into an answer —
+the same invariant that makes the service's epoch-keyed result cache
+sound.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, fields
+from typing import Iterable, Sequence
+
+from repro.core._pool import run_pool
+from repro.core.intervals import enumerate_candidates
+from repro.core.query import (
+    BurstingFlowQuery,
+    BurstingFlowResult,
+    IntervalSample,
+    QueryStats,
+)
+from repro.core.record import BestRecord
+from repro.core.skeleton import WindowSkeleton
+from repro.exceptions import GraphError, InvalidQueryError, ReproError
+from repro.temporal.edge import NodeId, Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class QueryGroup:
+    """One ``(source, sink)`` group of a batch.
+
+    Attributes:
+        source / sink: the shared endpoints.
+        indices: batch positions of the group's queries, in input order.
+    """
+
+    source: NodeId
+    sink: NodeId
+    indices: tuple[int, ...]
+
+
+def group_queries(queries: Sequence[BurstingFlowQuery]) -> list[QueryGroup]:
+    """Partition a batch by ``(source, sink)``, first-appearance order."""
+    order: dict[tuple[NodeId, NodeId], list[int]] = {}
+    for index, query in enumerate(queries):
+        order.setdefault((query.source, query.sink), []).append(index)
+    return [
+        QueryGroup(source=source, sink=sink, indices=tuple(indices))
+        for (source, sink), indices in order.items()
+    ]
+
+
+@dataclass(slots=True)
+class PlannerReport:
+    """What the planner amortised while answering one batch.
+
+    ``windows_total`` counts every candidate window folded into an answer;
+    ``windows_solved`` of them paid a Maxflow, ``windows_reused`` came out
+    of a group's :class:`WindowMemo`.  The merge (:meth:`absorb`) is
+    field-derived, like :func:`~repro.core.query.merge_query_stats`.
+    """
+
+    queries: int = 0
+    groups: int = 0
+    skeletons_compiled: int = 0
+    windows_total: int = 0
+    windows_solved: int = 0
+    windows_reused: int = 0
+    solve_seconds: float = 0.0
+
+    def absorb(self, other: "PlannerReport") -> None:
+        """Accumulate another report (e.g. one group's) into this one."""
+        for spec in fields(PlannerReport):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+
+    @property
+    def amortization(self) -> float:
+        """Windows folded per Maxflow actually run (>= 1.0)."""
+        return self.windows_total / max(1, self.windows_solved)
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form (feeds the service ``/metrics`` snapshot)."""
+        payload: dict[str, float] = {
+            spec.name: getattr(self, spec.name) for spec in fields(PlannerReport)
+        }
+        payload["amortization"] = self.amortization
+        return payload
+
+
+class WindowMemo:
+    """Per-epoch memo of candidate-window Maxflow values for one group.
+
+    Keys are ``(tau_s, tau_e)``; values are ``(flow_value, network_size)``.
+    The memo is sound because a window's Maxflow value is fully determined
+    by the window at a fixed network epoch; it pins the epoch at
+    construction and raises (like the skeleton it rides with) if the
+    network mutates, so a hit can never serve a stale value.
+    """
+
+    __slots__ = ("network", "epoch", "values")
+
+    def __init__(self, network: TemporalFlowNetwork) -> None:
+        self.network = network
+        self.epoch = network.epoch
+        self.values: dict[tuple[Timestamp, Timestamp], tuple[float, int]] = {}
+
+    def get(
+        self, key: tuple[Timestamp, Timestamp]
+    ) -> tuple[float, int] | None:
+        if self.network.epoch != self.epoch:
+            raise GraphError(
+                "temporal network mutated under the planner's window memo; "
+                "re-plan the batch at the new epoch"
+            )
+        return self.values.get(key)
+
+    def put(self, key: tuple[Timestamp, Timestamp], value: float, size: int) -> None:
+        self.values[key] = (value, size)
+
+
+def _solve_group(
+    network: TemporalFlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    deltas: Sequence[int],
+) -> tuple[list[BurstingFlowResult], PlannerReport]:
+    """Answer one group: one skeleton, one window memo, many deltas.
+
+    Results align with ``deltas``.  Each query folds only *its own*
+    candidate plan through a fresh :class:`BestRecord`, so its answer is
+    independent of its siblings; only the window Maxflows are shared.
+    """
+    report = PlannerReport(queries=len(deltas), groups=1)
+    t_start = time.perf_counter()
+    skeleton: WindowSkeleton | None = None
+    memo = WindowMemo(network)
+    results: list[BurstingFlowResult] = []
+    for delta in deltas:
+        plan = enumerate_candidates(network, source, sink, delta)
+        best = BestRecord()
+        stats = QueryStats()
+        for tau_s, tau_e in plan.intervals():
+            stats.candidates_enumerated += 1
+            hit = memo.get((tau_s, tau_e))
+            if hit is None:
+                t0 = time.perf_counter()
+                if skeleton is None:
+                    # Lazy compile, once per group — this is amortisation
+                    # point 1 (vs once per query independently).
+                    skeleton = WindowSkeleton(network, source, sink)
+                    report.skeletons_compiled += 1
+                window = skeleton.materialize(tau_s, tau_e)
+                t1 = time.perf_counter()
+                run = window.maxflow()
+                t2 = time.perf_counter()
+                value = run.value
+                memo.put((tau_s, tau_e), value, window.num_nodes)
+                stats.maxflow_runs += 1
+                stats.augmenting_paths += run.augmenting_paths
+                stats.record_sample(
+                    IntervalSample(
+                        interval=(tau_s, tau_e),
+                        network_size=window.num_nodes,
+                        mode="dinic",
+                        maxflow_seconds=t2 - t1,
+                        transform_seconds=t1 - t0,
+                        flow_value=value,
+                    )
+                )
+                report.windows_solved += 1
+            else:
+                value, size = hit
+                stats.record_sample(
+                    IntervalSample(
+                        interval=(tau_s, tau_e),
+                        network_size=size,
+                        mode="memo",
+                        maxflow_seconds=0.0,
+                        transform_seconds=0.0,
+                        flow_value=value,
+                    )
+                )
+                report.windows_reused += 1
+            best.offer(value, tau_s, tau_e)
+        report.windows_total += stats.candidates_enumerated
+        results.append(
+            BurstingFlowResult(
+                density=best.density,
+                interval=best.interval,
+                flow_value=best.value,
+                stats=stats,
+            )
+        )
+    report.solve_seconds = time.perf_counter() - t_start
+    return results, report
+
+
+# ----------------------------------------------------------------------
+# Process-pool fan-out: groups are independent, so they shard cleanly.
+# Same initializer/initargs discipline as repro.core.batch.
+# ----------------------------------------------------------------------
+_PLAN_NETWORK: TemporalFlowNetwork | None = None
+
+
+def _init_plan_worker(network: TemporalFlowNetwork) -> None:
+    """Pool initializer: install the batch's network in this worker."""
+    global _PLAN_NETWORK
+    _PLAN_NETWORK = network
+
+
+def _reset_plan_worker_state() -> None:
+    """Restore module defaults (also runs in the parent after the batch)."""
+    global _PLAN_NETWORK
+    _PLAN_NETWORK = None
+
+
+def _solve_group_remote(
+    payload: tuple[NodeId, NodeId, tuple[int, ...]]
+) -> tuple[list[BurstingFlowResult], PlannerReport]:
+    assert _PLAN_NETWORK is not None, "worker started outside answer_planned"
+    source, sink, deltas = payload
+    return _solve_group(_PLAN_NETWORK, source, sink, deltas)
+
+
+def answer_planned(
+    network: TemporalFlowNetwork,
+    queries: Iterable[BurstingFlowQuery],
+    *,
+    processes: int | None = None,
+    mp_context: str | None = None,
+) -> tuple[list[BurstingFlowResult], PlannerReport]:
+    """Answer a batch through the planner; results align with input order.
+
+    Args:
+        network: the shared temporal flow network.
+        queries: the batch (materialised internally).
+        processes: worker processes sharding the *(s, t) groups*;
+            ``None`` or ``1`` runs sequentially; ``0`` means
+            ``os.cpu_count()``.  Grouping keeps a group's memo inside one
+            process, so the pooled answers (and their stats) are identical
+            to the sequential ones.
+        mp_context: multiprocessing start method (as in ``answer_many``).
+
+    Returns:
+        ``(results, report)`` — one result per query, plus the
+        :class:`PlannerReport` of what the batch amortised.
+
+    Raises:
+        BatchQueryError: one group failed; the rest were cancelled.
+    """
+    batch: Sequence[BurstingFlowQuery] = list(queries)
+    for query in batch:
+        query.validate_against(network)
+    report = PlannerReport()
+    results: list[BurstingFlowResult | None] = [None] * len(batch)
+    if not batch:
+        return [], report
+    groups = group_queries(batch)
+    if processes == 0:
+        processes = os.cpu_count() or 1
+    if processes is None or processes <= 1 or len(groups) == 1:
+        for group in groups:
+            group_results, group_report = _solve_group(
+                network,
+                group.source,
+                group.sink,
+                [batch[i].delta for i in group.indices],
+            )
+            report.absorb(group_report)
+            for index, result in zip(group.indices, group_results):
+                results[index] = result
+        return results, report  # type: ignore[return-value]
+
+    context = multiprocessing.get_context(mp_context)
+    payloads = [
+        (
+            group.source,
+            group.sink,
+            tuple(batch[i].delta for i in group.indices),
+        )
+        for group in groups
+    ]
+    try:
+        outcomes = run_pool(
+            payloads,
+            _solve_group_remote,
+            max_workers=min(processes, len(groups)),
+            context=context,
+            initializer=_init_plan_worker,
+            initargs=(network,),
+            describe=lambda gi: (
+                f"group ({groups[gi].source!r} -> {groups[gi].sink!r}) "
+                f"x{len(groups[gi].indices)} queries"
+            ),
+        )
+    finally:
+        _reset_plan_worker_state()
+    for group, (group_results, group_report) in zip(groups, outcomes):
+        report.absorb(group_report)
+        for index, result in zip(group.indices, group_results):
+            results[index] = result
+    return results, report  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Top-k densest bursts
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class BurstEntry:
+    """One ranked answer of a :func:`top_k_bursts` query."""
+
+    source: NodeId
+    sink: NodeId
+    delta: int
+    density: float
+    interval: tuple[Timestamp, Timestamp]
+    flow_value: float
+
+
+def top_k_bursts(
+    network: TemporalFlowNetwork,
+    pairs: Iterable[tuple[NodeId, NodeId]],
+    delta: int,
+    *,
+    k: int = 10,
+    processes: int | None = None,
+    mp_context: str | None = None,
+) -> list[BurstEntry]:
+    """The ``k`` densest bursts over a candidate ``(s, t)`` list.
+
+    Each pair contributes its delta-BFlow answer (solved through the
+    planner, so duplicate pairs cost one solve); pairs with no positive
+    burst are dropped.  Ranking is deterministic and mirrors the
+    canonical per-query tie-break: higher density first, ties broken by
+    earlier ``tau_s``, then shorter interval, then the pair's first
+    appearance in the input list.
+
+    Args:
+        pairs: candidate ``(source, sink)`` pairs (e.g. from a mining
+            pre-filter); duplicates are deduplicated, first wins.
+        delta: minimum bursting-interval length, shared by all pairs.
+        k: how many entries to return (at least 1).
+        processes / mp_context: forwarded to :func:`answer_planned`.
+    """
+    if k < 1:
+        raise InvalidQueryError(f"k must be >= 1, got {k}")
+    unique: list[tuple[NodeId, NodeId]] = []
+    seen: set[tuple[NodeId, NodeId]] = set()
+    for pair in pairs:
+        key = (pair[0], pair[1])
+        if key not in seen:
+            seen.add(key)
+            unique.append(key)
+    queries = [
+        BurstingFlowQuery(source, sink, delta) for source, sink in unique
+    ]
+    results, _report = answer_planned(
+        network, queries, processes=processes, mp_context=mp_context
+    )
+    ranked: list[tuple[tuple, BurstEntry]] = []
+    for position, ((source, sink), result) in enumerate(zip(unique, results)):
+        if not result.found:
+            continue
+        assert result.interval is not None
+        tau_s, tau_e = result.interval
+        sort_key = (-result.density, tau_s, tau_e - tau_s, position)
+        ranked.append(
+            (
+                sort_key,
+                BurstEntry(
+                    source=source,
+                    sink=sink,
+                    delta=delta,
+                    density=result.density,
+                    interval=result.interval,
+                    flow_value=result.flow_value,
+                ),
+            )
+        )
+    ranked.sort(key=lambda item: item[0])
+    return [entry for _key, entry in ranked[:k]]
+
+
+# ----------------------------------------------------------------------
+# Differential-oracle backend
+# ----------------------------------------------------------------------
+def planner_bfq(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    **_kwargs: object,
+) -> BurstingFlowResult:
+    """Oracle backend: one query answered through a planner batch.
+
+    The query is surrounded with the companions that force every
+    amortisation path onto *it* — an exact duplicate (whose windows must
+    all come out of the memo) and overlapping delta sweeps above and
+    below (whose plans share windows with the query's) — so the fuzz
+    runner's cross-backend diff checks the memoised answer, not a
+    degenerate single-query batch.  The duplicate's answer is asserted
+    byte-identical before the original's is returned.
+    """
+    deltas = [query.delta]  # the duplicate
+    if query.delta > 1:
+        deltas.append(query.delta - 1)
+    deltas.append(query.delta + 1)
+    batch = [query] + [
+        BurstingFlowQuery(query.source, query.sink, delta) for delta in deltas
+    ]
+    results, _report = answer_planned(network, batch)
+    original, duplicate = results[0], results[1]
+    if (
+        duplicate.density != original.density
+        or duplicate.interval != original.interval
+        or duplicate.flow_value != original.flow_value
+    ):
+        raise ReproError(
+            f"planner memo broke duplicate-query determinism: "
+            f"{original.binary_record()!r} vs {duplicate.binary_record()!r} "
+            f"for {query!r}"
+        )
+    return original

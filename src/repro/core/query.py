@@ -9,7 +9,8 @@ benchmark harness uses to regenerate the paper's figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Iterable
 
 from repro.exceptions import InvalidQueryError
 from repro.temporal.edge import NodeId, Timestamp
@@ -109,6 +110,32 @@ class QueryStats:
         self.samples.append(sample)
         self.transform_seconds += sample.transform_seconds
         self.maxflow_seconds += sample.maxflow_seconds
+
+
+def merge_query_stats(parts: Iterable[QueryStats]) -> QueryStats:
+    """Merge per-chunk :class:`QueryStats` into one, field-derived.
+
+    Every counter and timing field declared on the dataclass is summed and
+    ``samples`` are concatenated in chunk order — the merge is driven by
+    ``dataclasses.fields`` so a field added later can never be silently
+    dropped from merged results (the bug the old hand-copied field list in
+    ``bfq_parallel`` had).  Samples are extended directly, *not* replayed
+    through :meth:`QueryStats.record_sample`, because the parts'
+    ``transform_seconds`` / ``maxflow_seconds`` already include their
+    samples' timings; replaying would double-count them.
+    """
+    merged = QueryStats()
+    for part in parts:
+        for spec in fields(QueryStats):
+            if spec.name == "samples":
+                merged.samples.extend(part.samples)
+            else:
+                setattr(
+                    merged,
+                    spec.name,
+                    getattr(merged, spec.name) + getattr(part, spec.name),
+                )
+    return merged
 
 
 @dataclass(slots=True)

@@ -52,6 +52,28 @@ class InvalidQueryError(ReproError):
     """A delta-BFlow query is malformed (e.g. s == t or delta < 1)."""
 
 
+class BatchQueryError(ReproError):
+    """One item of a batch failed and the rest of the batch was abandoned.
+
+    Raised by the batch layers (:func:`repro.core.batch.answer_many`,
+    :func:`repro.core.batch.bfq_parallel`, the planner) when a worker
+    raises an ordinary exception: outstanding futures are cancelled and
+    this error identifies exactly which item failed.
+
+    Attributes:
+        index: position of the failing item in the submitted batch.
+        item: the failing item itself (e.g. the ``BurstingFlowQuery``).
+    """
+
+    def __init__(self, index: int, item: object, cause: BaseException) -> None:
+        super().__init__(
+            f"batch item {index} ({item!r}) failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.index = index
+        self.item = item
+
+
 class InvalidIntervalError(ReproError):
     """A time interval [tau_s, tau_e] is malformed or outside the horizon."""
 

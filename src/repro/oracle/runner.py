@@ -1,13 +1,15 @@
-"""The differential runner: seven backends, one query, zero tolerance.
+"""The differential runner: every backend, one query, zero tolerance.
 
 For each :class:`~repro.oracle.cases.FuzzCase` the runner executes every
 registered backend (``bfq`` pinned to the object-graph transform,
 ``bfq-skel`` — BFQ pinned to the compiled-skeleton transform, so every
-trial also cross-checks the transform compiler — BFQ+, BFQ*, the naive
-``O(|T|^2)`` oracle, the NetworkX-backed baseline, and the ``service``
-backend that round-trips the query through the full serialize → cache →
-worker → deserialize serving path of :mod:`repro.service`) on the same
-query and diffs the answers:
+trial also cross-checks the transform compiler — BFQ+, BFQ*, the
+``planner`` backend that answers through a shared-skeleton batch with
+duplicate and overlapping-delta companions, the naive ``O(|T|^2)``
+oracle, the NetworkX-backed baseline, and the ``service`` backend that
+round-trips the query through the full serialize → cache → worker →
+deserialize serving path of :mod:`repro.service`) on the same query and
+diffs the answers:
 
 * **density** — all backends must agree within a relative epsilon;
 * **flow value** — must match the density on the reported interval;
@@ -39,6 +41,7 @@ from repro.baselines.networkx_backend import networkx_bfq
 from repro.core.bfq import bfq
 from repro.core.bfq_plus import bfq_plus
 from repro.core.bfq_star import bfq_star
+from repro.core.planner import planner_bfq
 from repro.core.query import BurstingFlowResult
 from repro.oracle.cases import CaseLibrary, FuzzCase
 from repro.oracle.certificate import check_certificate
@@ -72,6 +75,11 @@ BACKENDS: Mapping[str, Callable[..., BurstingFlowResult]] = {
     "bfq-skel": _bfq_skeleton,
     "bfq+": bfq_plus,
     "bfq*": bfq_star,
+    # The multi-query planner, exercised with a duplicate of the query and
+    # overlapping-delta companions in the same batch — every amortised
+    # (memoised) answer is differential-checked against the independent
+    # backends above.
+    "planner": planner_bfq,
     "naive": naive_bfq,
     "networkx": networkx_bfq,
     # The full serve path (protocol encode -> admission -> cache -> engine
@@ -100,6 +108,7 @@ PLAN_BACKENDS: tuple[str, ...] = (
     "bfq-skel",
     "bfq+",
     "bfq*",
+    "planner",
     "networkx",
     "service",
     "cluster",

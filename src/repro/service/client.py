@@ -31,6 +31,8 @@ from typing import Any, Callable, Iterable
 from repro.service.protocol import (
     AppendReply,
     AppendRequest,
+    BatchReply,
+    BatchRequest,
     DrainRequest,
     MetricsRequest,
     OverloadedError,
@@ -41,6 +43,8 @@ from repro.service.protocol import (
     Reply,
     Request,
     StaleEpochError,
+    TopKReply,
+    TopKRequest,
     encode,
     parse_reply,
     raise_for_error,
@@ -172,6 +176,7 @@ class ServiceClient:
         *,
         algorithm: str | None = None,
         kernel: str | None = None,
+        transform: str | None = None,
         timeout: float | None = None,
         min_epoch: int | None = None,
     ) -> QueryReply:
@@ -184,11 +189,58 @@ class ServiceClient:
                 delta=delta,
                 algorithm=algorithm,
                 kernel=kernel,
+                transform=transform,
                 timeout=timeout,
                 min_epoch=min_epoch,
             )
         )
         assert isinstance(reply, QueryReply)
+        return reply
+
+    def batch(
+        self,
+        queries: Iterable[tuple[NodeId, NodeId, int]],
+        *,
+        plan: str = "shared",
+        timeout: float | None = None,
+        min_epoch: int | None = None,
+    ) -> BatchReply:
+        """Answer a batch of ``(source, sink, delta)`` queries in one
+        round trip; ``plan="shared"`` lets the server's planner share one
+        window skeleton and the Maxflow memo per (source, sink) group."""
+        reply = self.request(
+            BatchRequest(
+                id=f"b{next(self._ids)}",
+                queries=tuple(tuple(query) for query in queries),
+                plan=plan,
+                timeout=timeout,
+                min_epoch=min_epoch,
+            )
+        )
+        assert isinstance(reply, BatchReply)
+        return reply
+
+    def topk(
+        self,
+        pairs: Iterable[tuple[NodeId, NodeId]],
+        delta: int,
+        *,
+        k: int = 10,
+        timeout: float | None = None,
+        min_epoch: int | None = None,
+    ) -> TopKReply:
+        """Rank the k densest bursts among candidate (source, sink) pairs."""
+        reply = self.request(
+            TopKRequest(
+                id=f"t{next(self._ids)}",
+                pairs=tuple(tuple(pair) for pair in pairs),
+                delta=delta,
+                k=k,
+                timeout=timeout,
+                min_epoch=min_epoch,
+            )
+        )
+        assert isinstance(reply, TopKReply)
         return reply
 
     def append(

@@ -11,12 +11,24 @@ Requests (``op`` selects the type)::
 
     {"v": 1, "id": "q1", "op": "query", "source": "s", "sink": "t",
      "delta": 3, "algorithm": "bfq*", "kernel": "persistent",
-     "timeout": 5.0}
+     "transform": "skeleton", "timeout": 5.0}
+    {"v": 1, "id": "b1", "op": "batch", "plan": "shared",
+     "queries": [["s", "t", 3], ["s", "t", 4], ...]}
+    {"v": 1, "id": "k1", "op": "topk", "delta": 3, "k": 10,
+     "pairs": [["s", "t"], ["s", "u"], ...]}
     {"v": 1, "id": "a1", "op": "append",
      "edges": [["s", "t", 7, 2.5], ...]}
     {"v": 1, "id": "m1", "op": "metrics"}
     {"v": 1, "id": "p1", "op": "ping"}
     {"v": 1, "id": "d1", "op": "drain"}
+
+``op: "batch"`` answers many delta-BFlow queries in one round trip;
+``plan: "shared"`` (the default) routes the batch through the multi-query
+planner — queries grouped by (source, sink) share one window skeleton and
+a per-epoch candidate-window Maxflow memo — while ``"independent"``
+solves each entry on its own.  ``op: "topk"`` is the first-class top-k
+densest-bursts query over a candidate (source, sink) list.  Both carry
+the same ``min_epoch`` fence as single queries.
 
 A query may carry ``min_epoch``, the read-your-writes fence: a server
 whose epoch is behind it answers with a typed ``stale`` error (carrying
@@ -139,10 +151,53 @@ class QueryRequest:
     delta: int
     algorithm: str | None = None
     kernel: str | None = None
+    transform: str | None = None
     timeout: float | None = None
     min_epoch: int | None = None
 
     op = "query"
+
+
+#: Wire-level ``plan`` choices for ``op: "batch"``.
+BATCH_PLANS = ("shared", "independent")
+
+
+@dataclass(frozen=True, slots=True)
+class BatchRequest:
+    """Many delta-BFlow queries in one round trip: ``op: "batch"``.
+
+    ``queries`` are ``(source, sink, delta)`` triples; the reply's
+    ``results`` align with them.  ``plan="shared"`` (default) amortises
+    the batch through the planner; ``"independent"`` solves each entry on
+    its own.  ``min_epoch`` fences the whole batch at one epoch.
+    """
+
+    id: str
+    queries: tuple[tuple[NodeId, NodeId, int], ...]
+    plan: str = "shared"
+    timeout: float | None = None
+    min_epoch: int | None = None
+
+    op = "batch"
+
+
+@dataclass(frozen=True, slots=True)
+class TopKRequest:
+    """Top-k densest bursts over candidate pairs: ``op: "topk"``.
+
+    Each ``(source, sink)`` pair contributes its delta-BFlow answer;
+    entries are ranked by the canonical tie-break (density desc, earlier
+    ``tau_s``, shorter interval, input order) and the best ``k`` return.
+    """
+
+    id: str
+    pairs: tuple[tuple[NodeId, NodeId], ...]
+    delta: int
+    k: int = 10
+    timeout: float | None = None
+    min_epoch: int | None = None
+
+    op = "topk"
 
 
 @dataclass(frozen=True, slots=True)
@@ -189,7 +244,13 @@ class DrainRequest:
 
 
 Request = (
-    QueryRequest | AppendRequest | MetricsRequest | PingRequest | DrainRequest
+    QueryRequest
+    | BatchRequest
+    | TopKRequest
+    | AppendRequest
+    | MetricsRequest
+    | PingRequest
+    | DrainRequest
 )
 
 
@@ -214,6 +275,54 @@ class QueryReply:
     def found(self) -> bool:
         """Whether a positive-density bursting flow exists."""
         return self.interval is not None and self.density > 0
+
+
+@dataclass(frozen=True, slots=True)
+class BatchAnswer:
+    """One entry of a :class:`BatchReply` (aligned with the request)."""
+
+    density: float
+    interval: tuple[Timestamp, Timestamp] | None
+    flow_value: float
+    cached: bool
+
+
+@dataclass(frozen=True, slots=True)
+class BatchReply:
+    """Served answers for one batch, plus what the planner amortised."""
+
+    id: str
+    results: tuple[BatchAnswer, ...]
+    epoch: int
+    elapsed_ms: float
+    planner: Mapping[str, Any]
+
+    ok = True
+
+
+@dataclass(frozen=True, slots=True)
+class TopKBurst:
+    """One ranked entry of a :class:`TopKReply`."""
+
+    source: NodeId
+    sink: NodeId
+    delta: int
+    density: float
+    interval: tuple[Timestamp, Timestamp]
+    flow_value: float
+
+
+@dataclass(frozen=True, slots=True)
+class TopKReply:
+    """The k densest bursts over the requested candidate pairs."""
+
+    id: str
+    entries: tuple[TopKBurst, ...]
+    epoch: int
+    elapsed_ms: float
+    cached: bool
+
+    ok = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -273,7 +382,14 @@ class ErrorReply:
 
 
 Reply = (
-    QueryReply | AppendReply | MetricsReply | PongReply | DrainReply | ErrorReply
+    QueryReply
+    | BatchReply
+    | TopKReply
+    | AppendReply
+    | MetricsReply
+    | PongReply
+    | DrainReply
+    | ErrorReply
 )
 
 
@@ -293,6 +409,36 @@ def _check_node(value: Any, key: str) -> NodeId:
             f"{key} must be a string or integer node id, got {value!r}"
         )
     return value
+
+
+def _check_delta(value: Any, key: str = "delta") -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ProtocolError(f"{key} must be a positive int, got {value!r}")
+    return value
+
+
+def _parse_timeout(payload: Mapping[str, Any]) -> float | None:
+    timeout = payload.get("timeout")
+    if timeout is None:
+        return None
+    if not isinstance(timeout, (int, float)) or isinstance(timeout, bool) or timeout <= 0:
+        raise ProtocolError(
+            f"timeout must be a positive number of seconds, got {timeout!r}"
+        )
+    return float(timeout)
+
+
+def _parse_min_epoch(payload: Mapping[str, Any]) -> int | None:
+    min_epoch = payload.get("min_epoch")
+    if min_epoch is not None and (
+        not isinstance(min_epoch, int)
+        or isinstance(min_epoch, bool)
+        or min_epoch < 0
+    ):
+        raise ProtocolError(
+            f"min_epoch must be a non-negative int, got {min_epoch!r}"
+        )
+    return min_epoch
 
 
 def parse_request(raw: bytes | str | Mapping[str, Any]) -> Request:
@@ -325,31 +471,16 @@ def parse_request(raw: bytes | str | Mapping[str, Any]) -> Request:
     op = _require(payload, "op")
 
     if op == "query":
-        delta = _require(payload, "delta")
-        if not isinstance(delta, int) or isinstance(delta, bool) or delta < 1:
-            raise ProtocolError(f"delta must be a positive int, got {delta!r}")
+        delta = _check_delta(_require(payload, "delta"))
         algorithm = payload.get("algorithm")
         if algorithm is not None and not isinstance(algorithm, str):
             raise ProtocolError(f"algorithm must be a string, got {algorithm!r}")
         kernel = payload.get("kernel")
         if kernel is not None and not isinstance(kernel, str):
             raise ProtocolError(f"kernel must be a string, got {kernel!r}")
-        timeout = payload.get("timeout")
-        if timeout is not None:
-            if not isinstance(timeout, (int, float)) or isinstance(timeout, bool) or timeout <= 0:
-                raise ProtocolError(
-                    f"timeout must be a positive number of seconds, got {timeout!r}"
-                )
-            timeout = float(timeout)
-        min_epoch = payload.get("min_epoch")
-        if min_epoch is not None and (
-            not isinstance(min_epoch, int)
-            or isinstance(min_epoch, bool)
-            or min_epoch < 0
-        ):
-            raise ProtocolError(
-                f"min_epoch must be a non-negative int, got {min_epoch!r}"
-            )
+        transform = payload.get("transform")
+        if transform is not None and not isinstance(transform, str):
+            raise ProtocolError(f"transform must be a string, got {transform!r}")
         return QueryRequest(
             id=request_id,
             source=_check_node(_require(payload, "source"), "source"),
@@ -357,8 +488,76 @@ def parse_request(raw: bytes | str | Mapping[str, Any]) -> Request:
             delta=delta,
             algorithm=algorithm,
             kernel=kernel,
-            timeout=timeout,
-            min_epoch=min_epoch,
+            transform=transform,
+            timeout=_parse_timeout(payload),
+            min_epoch=_parse_min_epoch(payload),
+        )
+    if op == "batch":
+        raw_queries = _require(payload, "queries")
+        if not isinstance(raw_queries, Sequence) or isinstance(
+            raw_queries, (str, bytes)
+        ):
+            raise ProtocolError(f"queries must be an array, got {raw_queries!r}")
+        if not raw_queries:
+            raise ProtocolError("queries must not be empty")
+        triples = []
+        for position, item in enumerate(raw_queries):
+            if not isinstance(item, Sequence) or len(item) != 3:
+                raise ProtocolError(
+                    f"queries[{position}] must be [source, sink, delta], "
+                    f"got {item!r}"
+                )
+            source, sink, delta = item
+            triples.append(
+                (
+                    _check_node(source, f"queries[{position}].source"),
+                    _check_node(sink, f"queries[{position}].sink"),
+                    _check_delta(delta, f"queries[{position}].delta"),
+                )
+            )
+        plan = payload.get("plan", "shared")
+        if plan not in BATCH_PLANS:
+            raise ProtocolError(
+                f"plan must be one of {', '.join(BATCH_PLANS)}, got {plan!r}"
+            )
+        return BatchRequest(
+            id=request_id,
+            queries=tuple(triples),
+            plan=plan,
+            timeout=_parse_timeout(payload),
+            min_epoch=_parse_min_epoch(payload),
+        )
+    if op == "topk":
+        raw_pairs = _require(payload, "pairs")
+        if not isinstance(raw_pairs, Sequence) or isinstance(
+            raw_pairs, (str, bytes)
+        ):
+            raise ProtocolError(f"pairs must be an array, got {raw_pairs!r}")
+        if not raw_pairs:
+            raise ProtocolError("pairs must not be empty")
+        pairs = []
+        for position, item in enumerate(raw_pairs):
+            if not isinstance(item, Sequence) or len(item) != 2:
+                raise ProtocolError(
+                    f"pairs[{position}] must be [source, sink], got {item!r}"
+                )
+            source, sink = item
+            pairs.append(
+                (
+                    _check_node(source, f"pairs[{position}].source"),
+                    _check_node(sink, f"pairs[{position}].sink"),
+                )
+            )
+        k = payload.get("k", 10)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ProtocolError(f"k must be a positive int, got {k!r}")
+        return TopKRequest(
+            id=request_id,
+            pairs=tuple(pairs),
+            delta=_check_delta(_require(payload, "delta")),
+            k=k,
+            timeout=_parse_timeout(payload),
+            min_epoch=_parse_min_epoch(payload),
         )
     if op == "append":
         raw_edges = _require(payload, "edges")
@@ -409,6 +608,23 @@ def request_payload(request: Request) -> dict[str, Any]:
             payload["algorithm"] = request.algorithm
         if request.kernel is not None:
             payload["kernel"] = request.kernel
+        if request.transform is not None:
+            payload["transform"] = request.transform
+        if request.timeout is not None:
+            payload["timeout"] = request.timeout
+        if request.min_epoch is not None:
+            payload["min_epoch"] = request.min_epoch
+    elif isinstance(request, BatchRequest):
+        payload["queries"] = [list(triple) for triple in request.queries]
+        payload["plan"] = request.plan
+        if request.timeout is not None:
+            payload["timeout"] = request.timeout
+        if request.min_epoch is not None:
+            payload["min_epoch"] = request.min_epoch
+    elif isinstance(request, TopKRequest):
+        payload["pairs"] = [list(pair) for pair in request.pairs]
+        payload["delta"] = request.delta
+        payload["k"] = request.k
         if request.timeout is not None:
             payload["timeout"] = request.timeout
         if request.min_epoch is not None:
@@ -429,6 +645,40 @@ def reply_payload(reply: Reply) -> dict[str, Any]:
             "cached": reply.cached,
             "epoch": reply.epoch,
             "elapsed_ms": reply.elapsed_ms,
+        }
+    elif isinstance(reply, BatchReply):
+        payload["result"] = {
+            "results": [
+                {
+                    "density": entry.density,
+                    "interval": (
+                        list(entry.interval) if entry.interval is not None else None
+                    ),
+                    "flow_value": entry.flow_value,
+                    "cached": entry.cached,
+                }
+                for entry in reply.results
+            ],
+            "epoch": reply.epoch,
+            "elapsed_ms": reply.elapsed_ms,
+            "planner": dict(reply.planner),
+        }
+    elif isinstance(reply, TopKReply):
+        payload["result"] = {
+            "entries": [
+                {
+                    "source": entry.source,
+                    "sink": entry.sink,
+                    "delta": entry.delta,
+                    "density": entry.density,
+                    "interval": list(entry.interval),
+                    "flow_value": entry.flow_value,
+                }
+                for entry in reply.entries
+            ],
+            "epoch": reply.epoch,
+            "elapsed_ms": reply.elapsed_ms,
+            "cached": reply.cached,
         }
     elif isinstance(reply, AppendReply):
         payload["result"] = {
@@ -481,6 +731,56 @@ def parse_reply(raw: bytes | str | Mapping[str, Any]) -> Reply:
         result = payload.get("result")
         if not isinstance(result, Mapping):
             raise ProtocolError(f"ok reply without result object: {payload!r}")
+        if "results" in result:
+            entries = result["results"]
+            if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+                raise ProtocolError(f"batch reply results must be an array: {payload!r}")
+            answers = []
+            for entry in entries:
+                if not isinstance(entry, Mapping) or "density" not in entry:
+                    raise ProtocolError(f"malformed batch answer: {entry!r}")
+                interval = entry.get("interval")
+                answers.append(
+                    BatchAnswer(
+                        density=float(entry["density"]),
+                        interval=tuple(interval) if interval is not None else None,
+                        flow_value=float(entry["flow_value"]),
+                        cached=bool(entry.get("cached", False)),
+                    )
+                )
+            planner = result.get("planner")
+            return BatchReply(
+                id=reply_id,
+                results=tuple(answers),
+                epoch=int(result.get("epoch", 0)),
+                elapsed_ms=float(result.get("elapsed_ms", 0.0)),
+                planner=dict(planner) if isinstance(planner, Mapping) else {},
+            )
+        if "entries" in result:
+            entries = result["entries"]
+            if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+                raise ProtocolError(f"topk reply entries must be an array: {payload!r}")
+            bursts = []
+            for entry in entries:
+                if not isinstance(entry, Mapping) or "density" not in entry:
+                    raise ProtocolError(f"malformed topk entry: {entry!r}")
+                bursts.append(
+                    TopKBurst(
+                        source=entry["source"],
+                        sink=entry["sink"],
+                        delta=int(entry["delta"]),
+                        density=float(entry["density"]),
+                        interval=tuple(entry["interval"]),
+                        flow_value=float(entry["flow_value"]),
+                    )
+                )
+            return TopKReply(
+                id=reply_id,
+                entries=tuple(bursts),
+                epoch=int(result.get("epoch", 0)),
+                elapsed_ms=float(result.get("elapsed_ms", 0.0)),
+                cached=bool(result.get("cached", False)),
+            )
         if "density" in result:
             interval = result.get("interval")
             return QueryReply(

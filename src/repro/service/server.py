@@ -8,9 +8,10 @@ over two transports on the *same* listening port:
 * **NDJSON over TCP** — one JSON object per line, pipelined replies in
   request order (the primary, lowest-overhead transport;
   :class:`repro.service.client.ServiceClient` speaks it);
-* **HTTP/1.1** — ``POST /query``, ``POST /append`` (JSON request body),
-  ``GET /metrics`` (snapshot), ``GET /healthz``.  The transport is
-  sniffed from the first bytes of the connection.
+* **HTTP/1.1** — ``POST /query``, ``POST /batch``, ``POST /topk``,
+  ``POST /append`` (JSON request body), ``GET /metrics`` (snapshot),
+  ``GET /healthz``.  The transport is sniffed from the first bytes of
+  the connection.
 
 The request path layers the three production concerns of this module's
 package: the epoch-keyed :class:`~repro.service.cache.ResultCache`
@@ -38,14 +39,17 @@ from typing import Any, AsyncIterator
 from repro.core.engine import (
     DEFAULT_ALGORITHM,
     KERNEL_ALGORITHMS,
+    TRANSFORM_ALGORITHMS,
     get_algorithm,
 )
 from repro.core.query import BurstingFlowQuery
+from repro.core.skeleton import DEFAULT_TRANSFORM, KNOWN_TRANSFORMS
 from repro.exceptions import ReproError
 from repro.service.admission import AdmissionController
 from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
+    BATCH_PLANS,
     ERROR_INTERNAL,
     ERROR_INVALID,
     ERROR_OVERLOADED,
@@ -53,6 +57,9 @@ from repro.service.protocol import (
     ERROR_TIMEOUT,
     AppendReply,
     AppendRequest,
+    BatchAnswer,
+    BatchReply,
+    BatchRequest,
     DeadlineExceededError,
     DrainReply,
     DrainRequest,
@@ -67,6 +74,9 @@ from repro.service.protocol import (
     QueryRequest,
     Reply,
     Request,
+    TopKBurst,
+    TopKReply,
+    TopKRequest,
     encode,
     parse_request,
     reply_payload,
@@ -203,7 +213,12 @@ class BurstingFlowService:
     async def handle_request(self, request: Request) -> Reply:
         """Dispatch one parsed request to its handler."""
         self.metrics.count_request(request.op)
-        if isinstance(request, (QueryRequest, AppendRequest)) and self._draining:
+        if (
+            isinstance(
+                request, (QueryRequest, BatchRequest, TopKRequest, AppendRequest)
+            )
+            and self._draining
+        ):
             reply: Reply = ErrorReply(
                 request.id,
                 ERROR_OVERLOADED,
@@ -212,6 +227,10 @@ class BurstingFlowService:
             )
         elif isinstance(request, QueryRequest):
             reply = await self._handle_query(request)
+        elif isinstance(request, BatchRequest):
+            reply = await self._handle_batch(request)
+        elif isinstance(request, TopKRequest):
+            reply = await self._handle_topk(request)
         elif isinstance(request, AppendRequest):
             reply = await self._handle_append(request)
         elif isinstance(request, MetricsRequest):
@@ -268,6 +287,7 @@ class BurstingFlowService:
         started = time.perf_counter()
         algorithm = (request.algorithm or self.algorithm).lower()
         kernel = request.kernel if request.kernel is not None else self.kernel
+        transform = request.transform
         try:
             get_algorithm(algorithm)
             if kernel is not None:
@@ -278,6 +298,20 @@ class BurstingFlowService:
                     )
                 if algorithm not in KERNEL_ALGORITHMS:
                     kernel = None  # baselines have no incremental state
+            if transform is not None:
+                transform = transform.lower()
+                if transform not in KNOWN_TRANSFORMS:
+                    raise ReproError(
+                        f"unknown transform {transform!r}; "
+                        f"known: {', '.join(KNOWN_TRANSFORMS)}"
+                    )
+                if algorithm not in TRANSFORM_ALGORITHMS:
+                    transform = None  # baselines have no window transform
+            elif algorithm in TRANSFORM_ALGORITHMS:
+                # Resolve the default explicitly so the cache key always
+                # carries the transform that actually ran — "bfq* with
+                # skeleton" and "bfq* with object" must never collide.
+                transform = DEFAULT_TRANSFORM
             query = BurstingFlowQuery(request.source, request.sink, request.delta)
         except ReproError as exc:
             return ErrorReply(request.id, ERROR_INVALID, str(exc))
@@ -314,6 +348,7 @@ class BurstingFlowService:
                     request.delta,
                     algorithm,
                     kernel,
+                    transform,
                 )
                 answer = self.cache.get(key)
                 if answer is not None:
@@ -340,6 +375,7 @@ class BurstingFlowService:
                             request.delta,
                             algorithm,
                             kernel,
+                            transform,
                         ),
                         timeout=remaining,
                     )
@@ -373,6 +409,221 @@ class BurstingFlowService:
                     cached=False,
                     epoch=epoch,
                     elapsed_ms=solve_elapsed * 1000.0,
+                )
+        finally:
+            self.admission.release()
+            self.metrics.set_queue_depth(self.admission.inflight)
+
+    def _batch_key(
+        self, epoch: int, source: Any, sink: Any, delta: int, plan: str
+    ) -> tuple:
+        """Per-entry cache key for batch answers.
+
+        Planner answers are cached under the algorithm label ``"planner"``
+        (kernel ``None``, transform ``"skeleton"`` — the planner always
+        evaluates through compiled skeletons), so they can never collide
+        with single-query engine entries; ``plan="independent"`` entries
+        share the engine's default-algorithm key shape and therefore *do*
+        interoperate with single-query caching.
+        """
+        if plan == "shared":
+            return (epoch, source, sink, delta, "planner", None, "skeleton")
+        algorithm = self.algorithm.lower()
+        kernel = self.kernel if algorithm in KERNEL_ALGORITHMS else None
+        transform = DEFAULT_TRANSFORM if algorithm in TRANSFORM_ALGORITHMS else None
+        return (epoch, source, sink, delta, algorithm, kernel, transform)
+
+    async def _handle_batch(self, request: BatchRequest) -> Reply:
+        started = time.perf_counter()
+        try:
+            queries = [
+                BurstingFlowQuery(source, sink, delta)
+                for source, sink, delta in request.queries
+            ]
+        except ReproError as exc:
+            return ErrorReply(request.id, ERROR_INVALID, str(exc))
+        if request.plan not in BATCH_PLANS:
+            # The wire parser rejects this too; guard the in-process path
+            # so an unknown plan can never silently fall through to one of
+            # the known evaluation strategies.
+            return ErrorReply(
+                request.id,
+                ERROR_INVALID,
+                f"plan must be one of {', '.join(BATCH_PLANS)}, "
+                f"got {request.plan!r}",
+            )
+
+        try:
+            self.admission.admit()
+        except OverloadedError as exc:
+            return ErrorReply(
+                request.id,
+                ERROR_OVERLOADED,
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
+            )
+        self.metrics.set_queue_depth(self.admission.inflight)
+        try:
+            deadline = self.admission.deadline_for(request.timeout)
+            async with self._lock.read():
+                epoch = self.network.epoch
+                if request.min_epoch is not None and epoch < request.min_epoch:
+                    return ErrorReply(
+                        request.id,
+                        ERROR_STALE,
+                        f"epoch {epoch} is behind required "
+                        f"min_epoch {request.min_epoch}",
+                        retry_after_ms=25,
+                        epoch=epoch,
+                    )
+                keys = [
+                    self._batch_key(epoch, q.source, q.sink, q.delta, request.plan)
+                    for q in queries
+                ]
+                answers: list[tuple | None] = [self.cache.get(key) for key in keys]
+                cached_flags = [answer is not None for answer in answers]
+                misses = [i for i, hit in enumerate(cached_flags) if not hit]
+                planner: dict[str, Any] = {}
+                if misses:
+                    self.metrics.observe_miss()
+                    try:
+                        for index in misses:
+                            queries[index].validate_against(self.network)
+                        remaining = self.admission.remaining(deadline)
+                        # Solving only the cache misses through the planner
+                        # is sound: every answer is canonical per query, so
+                        # a partial batch agrees with the full one.
+                        raw, planner = await asyncio.wait_for(
+                            self.engine.answer_batch(
+                                tuple(
+                                    (
+                                        queries[i].source,
+                                        queries[i].sink,
+                                        queries[i].delta,
+                                    )
+                                    for i in misses
+                                ),
+                                request.plan,
+                            ),
+                            timeout=remaining,
+                        )
+                    except (asyncio.TimeoutError, DeadlineExceededError):
+                        return ErrorReply(
+                            request.id, ERROR_TIMEOUT, "request deadline exceeded"
+                        )
+                    except ReproError as exc:
+                        return ErrorReply(request.id, ERROR_INVALID, str(exc))
+                    except Exception as exc:  # noqa: BLE001 - report, don't crash
+                        return ErrorReply(
+                            request.id,
+                            ERROR_INTERNAL,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    for position, index in enumerate(misses):
+                        answers[index] = raw[position]
+                        self.cache.put(keys[index], raw[position])
+                    elapsed = time.perf_counter() - started
+                    label = "planner" if request.plan == "shared" else self.algorithm
+                    self.metrics.observe_solve(label, elapsed)
+                else:
+                    elapsed = time.perf_counter() - started
+                    self.metrics.observe_hit(elapsed)
+                planner = dict(planner)
+                planner["cache_hits"] = len(queries) - len(misses)
+                planner["cache_misses"] = len(misses)
+                return BatchReply(
+                    id=request.id,
+                    results=tuple(
+                        BatchAnswer(
+                            density=answer[0],
+                            interval=answer[1],
+                            flow_value=answer[2],
+                            cached=hit,
+                        )
+                        for answer, hit in zip(answers, cached_flags)
+                    ),
+                    epoch=epoch,
+                    elapsed_ms=(time.perf_counter() - started) * 1000.0,
+                    planner=planner,
+                )
+        finally:
+            self.admission.release()
+            self.metrics.set_queue_depth(self.admission.inflight)
+
+    async def _handle_topk(self, request: TopKRequest) -> Reply:
+        started = time.perf_counter()
+        try:
+            self.admission.admit()
+        except OverloadedError as exc:
+            return ErrorReply(
+                request.id,
+                ERROR_OVERLOADED,
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
+            )
+        self.metrics.set_queue_depth(self.admission.inflight)
+        try:
+            deadline = self.admission.deadline_for(request.timeout)
+            async with self._lock.read():
+                epoch = self.network.epoch
+                if request.min_epoch is not None and epoch < request.min_epoch:
+                    return ErrorReply(
+                        request.id,
+                        ERROR_STALE,
+                        f"epoch {epoch} is behind required "
+                        f"min_epoch {request.min_epoch}",
+                        retry_after_ms=25,
+                        epoch=epoch,
+                    )
+                # The ranking depends on the whole pair list (dedup order
+                # included), so the reply is cached as one unit.
+                key = (epoch, "topk", request.pairs, request.delta, request.k)
+                raw = self.cache.get(key)
+                cached = raw is not None
+                if cached:
+                    self.metrics.observe_hit(time.perf_counter() - started)
+                else:
+                    self.metrics.observe_miss()
+                    try:
+                        remaining = self.admission.remaining(deadline)
+                        raw = await asyncio.wait_for(
+                            self.engine.answer_topk(
+                                request.pairs, request.delta, request.k
+                            ),
+                            timeout=remaining,
+                        )
+                    except (asyncio.TimeoutError, DeadlineExceededError):
+                        return ErrorReply(
+                            request.id, ERROR_TIMEOUT, "request deadline exceeded"
+                        )
+                    except ReproError as exc:
+                        return ErrorReply(request.id, ERROR_INVALID, str(exc))
+                    except Exception as exc:  # noqa: BLE001 - report, don't crash
+                        return ErrorReply(
+                            request.id,
+                            ERROR_INTERNAL,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    self.cache.put(key, raw)
+                    self.metrics.observe_solve(
+                        "planner", time.perf_counter() - started
+                    )
+                return TopKReply(
+                    id=request.id,
+                    entries=tuple(
+                        TopKBurst(
+                            source=entry[0],
+                            sink=entry[1],
+                            delta=entry[2],
+                            density=entry[3],
+                            interval=tuple(entry[4]),
+                            flow_value=entry[5],
+                        )
+                        for entry in raw
+                    ),
+                    epoch=epoch,
+                    elapsed_ms=(time.perf_counter() - started) * 1000.0,
+                    cached=cached,
                 )
         finally:
             self.admission.release()
@@ -523,7 +774,16 @@ class BurstingFlowService:
                 200,
                 {"draining": True, "inflight": self.admission.inflight},
             )
-        elif method == "POST" and target in ("/query", "/append", "/query/", "/append/"):
+        elif method == "POST" and target in (
+            "/query",
+            "/append",
+            "/batch",
+            "/topk",
+            "/query/",
+            "/append/",
+            "/batch/",
+            "/topk/",
+        ):
             payload = json.loads(await self.handle_raw(body))
             status = 200 if payload.get("ok") else _http_status(payload)
             _http_respond(writer, status, payload)

@@ -30,7 +30,9 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable
 
+from repro.core.batch import answer_many
 from repro.core.engine import find_bursting_flow
+from repro.core.planner import answer_planned, top_k_bursts
 from repro.core.query import BurstingFlowQuery
 from repro.temporal.edge import NodeId, Timestamp
 from repro.temporal.network import TemporalFlowNetwork
@@ -42,6 +44,55 @@ from repro.temporal.network import TemporalFlowNetwork
 RawAnswer = tuple[
     float, "tuple[Timestamp, Timestamp] | None", float, dict[str, float]
 ]
+
+#: A raw batch answer: per-query (density, interval, flow_value) triples in
+#: input order, plus the planner report dict ({} under plan="independent").
+RawBatch = tuple[
+    "list[tuple[float, tuple[Timestamp, Timestamp] | None, float]]",
+    dict[str, object],
+]
+
+#: A raw top-k answer: (source, sink, delta, density, interval, flow_value)
+#: per surviving burst, densest first.
+RawTopK = "list[tuple[NodeId, NodeId, int, float, tuple[Timestamp, Timestamp], float]]"
+
+
+def _solve_batch_on(
+    network: TemporalFlowNetwork,
+    queries: tuple[tuple[NodeId, NodeId, int], ...],
+    plan: str,
+) -> RawBatch:
+    """Answer a batch on ``network``; shared work stays in this process.
+
+    The planner's own process fan-out is deliberately not used here: the
+    process backend already runs this inside a pool worker (which cannot
+    spawn children), and the inline backend's thread pool provides the
+    concurrency across independent requests instead.
+    """
+    batch = [BurstingFlowQuery(s, t, d) for (s, t, d) in queries]
+    if plan == "shared":
+        results, report = answer_planned(network, batch)
+        planner: dict[str, object] = report.as_dict()
+    else:
+        results = answer_many(network, batch)
+        planner = {}
+    return (
+        [(r.density, r.interval, r.flow_value) for r in results],
+        planner,
+    )
+
+
+def _solve_topk_on(
+    network: TemporalFlowNetwork,
+    pairs: tuple[tuple[NodeId, NodeId], ...],
+    delta: int,
+    k: int,
+) -> RawTopK:
+    entries = top_k_bursts(network, pairs, delta, k=k)
+    return [
+        (e.source, e.sink, e.delta, e.density, e.interval, e.flow_value)
+        for e in entries
+    ]
 
 # Per-worker state, installed by _init_service_worker in each pool
 # process (initargs travel pickled for spawn/forkserver).
@@ -63,6 +114,7 @@ def _solve_one(
     delta: int,
     algorithm: str,
     kernel: str | None,
+    transform: str | None,
 ) -> RawAnswer:
     """Worker task: one full engine solve on the installed network."""
     assert _WORKER_NETWORK is not None, "worker started outside the service"
@@ -71,6 +123,7 @@ def _solve_one(
         BurstingFlowQuery(source, sink, delta),
         algorithm=algorithm,
         kernel=kernel,
+        transform=transform,
     )
     return (
         result.density,
@@ -78,6 +131,22 @@ def _solve_one(
         result.flow_value,
         result.stats.phase_seconds(),
     )
+
+
+def _solve_batch(
+    queries: tuple[tuple[NodeId, NodeId, int], ...], plan: str
+) -> RawBatch:
+    """Worker task: one whole batch (plan-aware) on the installed network."""
+    assert _WORKER_NETWORK is not None, "worker started outside the service"
+    return _solve_batch_on(_WORKER_NETWORK, queries, plan)
+
+
+def _solve_topk(
+    pairs: tuple[tuple[NodeId, NodeId], ...], delta: int, k: int
+) -> RawTopK:
+    """Worker task: one top-k burst ranking on the installed network."""
+    assert _WORKER_NETWORK is not None, "worker started outside the service"
+    return _solve_topk_on(_WORKER_NETWORK, pairs, delta, k)
 
 
 class ProcessEnginePool:
@@ -137,22 +206,14 @@ class ProcessEnginePool:
                     old.shutdown(wait=False, cancel_futures=True)
         return self._pool
 
-    async def answer(
-        self,
-        source: NodeId,
-        sink: NodeId,
-        delta: int,
-        algorithm: str,
-        kernel: str | None,
-    ) -> RawAnswer:
-        """Solve one query on a worker; survives one pool crash."""
+    async def _run(self, fn: Callable, *task: object):
+        """Submit one task to a worker; survives one pool crash."""
         pool = await self._ensure_fresh()
-        task = (source, sink, delta, algorithm, kernel)
         try:
-            return await asyncio.wrap_future(pool.submit(_solve_one, *task))
+            return await asyncio.wrap_future(pool.submit(fn, *task))
         except BrokenProcessPool:
             # A worker died mid-solve.  Rebuild once and resubmit; a
-            # second crash on the same query is systemic and propagates.
+            # second crash on the same task is systemic and propagates.
             async with self._rebuild_lock:
                 if self._pool is pool:
                     self._pool = self._build_pool()
@@ -162,7 +223,39 @@ class ProcessEnginePool:
                     if self._on_restart is not None:
                         self._on_restart()
                 fresh = self._pool
-            return await asyncio.wrap_future(fresh.submit(_solve_one, *task))
+            return await asyncio.wrap_future(fresh.submit(fn, *task))
+
+    async def answer(
+        self,
+        source: NodeId,
+        sink: NodeId,
+        delta: int,
+        algorithm: str,
+        kernel: str | None,
+        transform: str | None = None,
+    ) -> RawAnswer:
+        """Solve one query on a worker; survives one pool crash."""
+        return await self._run(
+            _solve_one, source, sink, delta, algorithm, kernel, transform
+        )
+
+    async def answer_batch(
+        self,
+        queries: tuple[tuple[NodeId, NodeId, int], ...],
+        plan: str,
+    ) -> RawBatch:
+        """Solve one whole batch on a worker (the planner shares skeletons
+        and the window memo within the worker process)."""
+        return await self._run(_solve_batch, tuple(queries), plan)
+
+    async def answer_topk(
+        self,
+        pairs: tuple[tuple[NodeId, NodeId], ...],
+        delta: int,
+        k: int,
+    ) -> RawTopK:
+        """Rank top-k densest bursts on a worker."""
+        return await self._run(_solve_topk, tuple(pairs), delta, k)
 
     def mark_stale(self) -> None:
         """Force a rebuild before the next answer (appends call this)."""
@@ -205,14 +298,40 @@ class InlineEngine:
         delta: int,
         algorithm: str,
         kernel: str | None,
+        transform: str | None = None,
     ) -> RawAnswer:
         """Solve one query on a worker thread."""
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             self._pool,
             lambda: _solve_inline(
-                self._network, source, sink, delta, algorithm, kernel
+                self._network, source, sink, delta, algorithm, kernel, transform
             ),
+        )
+
+    async def answer_batch(
+        self,
+        queries: tuple[tuple[NodeId, NodeId, int], ...],
+        plan: str,
+    ) -> RawBatch:
+        """Solve one whole batch on a worker thread."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool,
+            lambda: _solve_batch_on(self._network, tuple(queries), plan),
+        )
+
+    async def answer_topk(
+        self,
+        pairs: tuple[tuple[NodeId, NodeId], ...],
+        delta: int,
+        k: int,
+    ) -> RawTopK:
+        """Rank top-k densest bursts on a worker thread."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool,
+            lambda: _solve_topk_on(self._network, tuple(pairs), delta, k),
         )
 
     def mark_stale(self) -> None:
@@ -230,12 +349,14 @@ def _solve_inline(
     delta: int,
     algorithm: str,
     kernel: str | None,
+    transform: str | None,
 ) -> RawAnswer:
     result = find_bursting_flow(
         network,
         BurstingFlowQuery(source, sink, delta),
         algorithm=algorithm,
         kernel=kernel,
+        transform=transform,
     )
     return (
         result.density,
