@@ -24,9 +24,23 @@ from typing import Iterable, Sequence
 from repro.core.engine import find_bursting_flow
 from repro.core.profile import PhaseBreakdown
 from repro.core.query import BurstingFlowQuery
-from repro.exceptions import InvalidQueryError
+from repro.exceptions import InvalidQueryError, ScanQueryError
+from repro.mining.stats import modified_z_score as _modified_z_score
 from repro.temporal.edge import NodeId, Timestamp
 from repro.temporal.network import TemporalFlowNetwork
+
+#: ``on_error=`` choices for :meth:`BurstDetector.scan`.
+SCAN_ERROR_MODES = ("raise", "record")
+
+
+@dataclass(frozen=True, slots=True)
+class ScanError:
+    """One failed (source, sink, delta) combination of a sweep."""
+
+    source: NodeId
+    sink: NodeId
+    delta: int
+    error: str
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +71,9 @@ class ScanReport:
     #: Where the sweep's engine time went (transform vs maxflow vs prune),
     #: accumulated over every answered query.
     phases: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    #: Per-query failures, populated only under ``scan(on_error="record")``
+    #: (the default fail-fast mode raises :class:`ScanQueryError` instead).
+    errors: list[ScanError] = field(default_factory=list)
 
     def top(self, count: int = 10) -> list[ScanFinding]:
         """The ``count`` highest-density findings."""
@@ -121,14 +138,28 @@ class BurstDetector:
         sources: Iterable[NodeId],
         sinks: Iterable[NodeId],
         deltas: Sequence[int],
+        *,
+        on_error: str = "raise",
     ) -> ScanReport:
         """Run all (s, t, delta) combinations and flag outliers.
 
         Pairs with ``s == t`` or with endpoints missing from the network
         are skipped silently (the paper's random normal accounts are drawn
         from the network, but user-provided suspect lists may be stale).
+
+        A *failing* combination — the engine raising mid-sweep — follows
+        ``on_error``, matching the batch-layer semantics: ``"raise"``
+        (default) aborts the sweep with a :class:`ScanQueryError` naming
+        the (source, sink, delta) that failed; ``"record"`` appends a
+        :class:`ScanError` to :attr:`ScanReport.errors` and keeps
+        sweeping, so one poisoned query cannot void hours of results.
         """
+        if on_error not in SCAN_ERROR_MODES:
+            raise InvalidQueryError(
+                f"on_error must be one of {SCAN_ERROR_MODES}, got {on_error!r}"
+            )
         findings: list[ScanFinding] = []
+        errors: list[ScanError] = []
         phases = PhaseBreakdown()
         for source in sources:
             for sink in sinks:
@@ -137,13 +168,28 @@ class BurstDetector:
                 if source not in self.network or sink not in self.network:
                     continue
                 for delta in deltas:
-                    result = find_bursting_flow(
-                        self.network,
-                        BurstingFlowQuery(source, sink, delta),
-                        algorithm=self.algorithm,
-                        kernel=self.kernel,
-                        transform=self.transform,
-                    )
+                    try:
+                        result = find_bursting_flow(
+                            self.network,
+                            BurstingFlowQuery(source, sink, delta),
+                            algorithm=self.algorithm,
+                            kernel=self.kernel,
+                            transform=self.transform,
+                        )
+                    except Exception as exc:
+                        if on_error == "raise":
+                            raise ScanQueryError(
+                                source, sink, delta, exc
+                            ) from exc
+                        errors.append(
+                            ScanError(
+                                source=source,
+                                sink=sink,
+                                delta=delta,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        continue
                     phases.add(result.stats)
                     findings.append(
                         ScanFinding(
@@ -156,7 +202,10 @@ class BurstDetector:
                         )
                     )
         return ScanReport(
-            findings=findings, flagged=self._flag(findings), phases=phases
+            findings=findings,
+            flagged=self._flag(findings),
+            phases=phases,
+            errors=errors,
         )
 
     def _flag(self, findings: list[ScanFinding]) -> list[ScanFinding]:
@@ -180,12 +229,3 @@ class BurstDetector:
                 flagged.append(finding)
         flagged.sort(key=lambda f: f.density, reverse=True)
         return flagged
-
-
-def _modified_z_score(value: float, mid: float, mad: float) -> float:
-    """Robust outlier score; degenerate MAD falls back to mean-free ratio."""
-    if mad > 0:
-        return 0.6745 * (value - mid) / mad
-    if mid > 0:
-        return value / mid - 1.0
-    return float("inf") if value > 0 else 0.0

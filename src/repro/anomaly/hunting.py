@@ -15,6 +15,13 @@ two-stage funnel:
    (:class:`repro.anomaly.detector.BurstDetector`) only over the
    top-scoring emitters x collectors.
 
+The screening stage is the *same implementation* the mining subsystem
+uses: :class:`NodeBurstScore` and :func:`score_nodes` are re-exported
+from :mod:`repro.mining.prefilter`, which extends them with robust
+z-scores and Kleinberg burst states for the continuous pipeline
+(:class:`repro.mining.MiningPipeline`).  Hunting remains the one-shot,
+in-memory flavour of that funnel.
+
 The funnel is a heuristic (screening can miss multi-hop-only bursts whose
 endpoints look individually calm), which the docstrings state plainly;
 the tests exercise both the hit and the miss case.
@@ -22,79 +29,15 @@ the tests exercise both the hit and the miss case.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.anomaly.detector import BurstDetector, ScanReport
-from repro.exceptions import InvalidQueryError
-from repro.temporal.edge import NodeId, Timestamp
+from repro.mining.prefilter import (  # noqa: F401 - canonical home; re-exported
+    NodeBurstScore,
+    _peak_window,
+    score_nodes,
+)
 from repro.temporal.network import TemporalFlowNetwork
 
-
-@dataclass(frozen=True, slots=True)
-class NodeBurstScore:
-    """Temporal-concentration score of one node's ledger side."""
-
-    node: NodeId
-    total_volume: float
-    peak_volume: float
-    peak_window: tuple[Timestamp, Timestamp]
-
-    @property
-    def concentration(self) -> float:
-        """Share of total volume inside the busiest window (0..1)."""
-        if self.total_volume <= 0:
-            return 0.0
-        return self.peak_volume / self.total_volume
-
-    @property
-    def score(self) -> float:
-        """Ranking score: concentrated *and* heavy beats either alone."""
-        return self.concentration * self.peak_volume
-
-
-def score_nodes(
-    network: TemporalFlowNetwork,
-    *,
-    window: int,
-    direction: str = "out",
-    min_volume: float = 0.0,
-) -> list[NodeBurstScore]:
-    """Score every node's emission (or absorption) concentration.
-
-    Args:
-        window: length of the sliding window used for the peak.
-        direction: ``"out"`` scores emitters, ``"in"`` scores collectors.
-        min_volume: nodes whose total volume is below this are skipped.
-
-    Returns scores sorted by :attr:`NodeBurstScore.score`, best first.
-    """
-    if window < 1:
-        raise InvalidQueryError(f"window must be >= 1, got {window}")
-    if direction not in ("out", "in"):
-        raise InvalidQueryError(f"direction must be 'out' or 'in', got {direction!r}")
-    # Gather each node's (tau, amount) ledger for the chosen direction.
-    ledgers: dict[NodeId, list[tuple[Timestamp, float]]] = {}
-    for edge in network.edges():
-        key = edge.u if direction == "out" else edge.v
-        ledgers.setdefault(key, []).append((edge.tau, edge.capacity))
-
-    scores = []
-    for node, entries in ledgers.items():
-        entries.sort()
-        total = sum(amount for _, amount in entries)
-        if total < min_volume:
-            continue
-        peak, peak_window = _peak_window(entries, window)
-        scores.append(
-            NodeBurstScore(
-                node=node,
-                total_volume=total,
-                peak_volume=peak,
-                peak_window=peak_window,
-            )
-        )
-    scores.sort(key=lambda s: s.score, reverse=True)
-    return scores
+__all__ = ["NodeBurstScore", "hunt_bursts", "score_nodes"]
 
 
 def hunt_bursts(
@@ -124,22 +67,3 @@ def hunt_bursts(
     sinks = [score.node for score in collectors[:top_sinks]]
     detector = BurstDetector(network, algorithm=algorithm)
     return detector.scan(sources, sinks, [delta])
-
-
-def _peak_window(
-    entries: list[tuple[Timestamp, float]], window: int
-) -> tuple[float, tuple[Timestamp, Timestamp]]:
-    """Max volume inside any window of the given length (two pointers)."""
-    best = 0.0
-    best_window = (entries[0][0], entries[0][0] + window)
-    running = 0.0
-    left = 0
-    for right in range(len(entries)):
-        running += entries[right][1]
-        while entries[right][0] - entries[left][0] > window:
-            running -= entries[left][1]
-            left += 1
-        if running > best:
-            best = running
-            best_window = (entries[left][0], entries[left][0] + window)
-    return best, best_window

@@ -9,6 +9,7 @@ The subcommands mirror the library's main entry points::
     repro-bfq profile    edges.csv --source alice --sink dave
     repro-bfq hunt       edges.csv --delta 10
     repro-bfq topk       edges.csv --pairs a:x,b:y --delta 10 --k 5
+    repro-bfq mine       edges.csv --store patterns/ --delta 10
     repro-bfq fuzz       --trials 200 --seed 0
     repro-bfq serve      edges.csv --port 7461 --processes 4
     repro-bfq cluster    edges.csv --replicas 2 --log edges.cluster.log
@@ -183,6 +184,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard (source, sink) groups over N processes (0 = all cores)",
     )
 
+    mine = subparsers.add_parser(
+        "mine",
+        help="mining funnel: pre-filter candidates, confirm with "
+        "delta-BFlow, persist flagged patterns to a durable store",
+    )
+    add_input_arguments(mine)
+    mine.add_argument(
+        "--store",
+        type=Path,
+        required=True,
+        help="pattern store directory (created if absent; re-scans dedupe "
+        "against what is already stored)",
+    )
+    mine.add_argument(
+        "--delta",
+        type=int,
+        default=None,
+        help="burst duration bound (required unless --no-scan)",
+    )
+    mine.add_argument(
+        "--top",
+        type=int,
+        default=8,
+        help="top emitters/collectors entering confirmation (default: 8)",
+    )
+    mine.add_argument(
+        "--min-volume",
+        type=float,
+        default=0.0,
+        help="pre-filter: ignore nodes below this total volume",
+    )
+    mine.add_argument(
+        "--min-density",
+        type=float,
+        default=0.0,
+        help="never persist confirmed bursts below this density",
+    )
+    mine.add_argument(
+        "--persist",
+        default="flagged",
+        choices=["flagged", "all"],
+        help="store only flagged outliers (default) or every positive burst",
+    )
+    mine.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="shard confirmation solves over N processes (0 = all cores)",
+    )
+    mine.add_argument(
+        "--list",
+        action="store_true",
+        help="list stored patterns (after the scan; with --no-scan, only list)",
+    )
+    mine.add_argument(
+        "--no-scan",
+        action="store_true",
+        help="skip scanning; query the store only (implies --list)",
+    )
+    mine.add_argument("--pattern-source", default=None, help="list filter")
+    mine.add_argument("--pattern-sink", default=None, help="list filter")
+    mine.add_argument(
+        "--limit", type=int, default=20, help="patterns to list (default: 20)"
+    )
+
     fuzz = subparsers.add_parser(
         "fuzz",
         help="differential fuzzing: all backends + flow certificates",
@@ -199,11 +265,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "comma-separated backend subset of "
-            "bfq,bfq-skel,bfq+,bfq*,planner,naive,networkx,service,cluster "
-            "(cluster boots a live 2-replica cluster per trial and is "
-            "excluded from the default set; planner answers through a "
-            "shared-skeleton batch with duplicate + overlapping-delta "
-            "companions)"
+            "bfq,bfq-skel,bfq+,bfq*,planner,naive,networkx,service,"
+            "cluster,mining (cluster boots a live 2-replica cluster per "
+            "trial and mining persists + replays a pattern store per "
+            "trial; both are excluded from the default set; planner "
+            "answers through a shared-skeleton batch with duplicate + "
+            "overlapping-delta companions)"
         ),
     )
     fuzz.add_argument(
@@ -292,6 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline in seconds",
     )
     serve.add_argument(
+        "--patterns",
+        type=Path,
+        default=None,
+        help="pattern store directory: enables the scan/patterns wire ops "
+        "(burst mining against the served network)",
+    )
+    serve.add_argument(
         "--serve-seconds",
         type=float,
         default=None,
@@ -369,6 +443,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint (snapshot + log compaction) after this many "
         "committed appends; 0 disables automatic checkpoints "
         "(default: 512)",
+    )
+    cluster.add_argument(
+        "--patterns",
+        type=Path,
+        default=None,
+        help="pattern store directory on the coordinator: enables the "
+        "cluster-wide scan/patterns ops (confirmation scatters across "
+        "replicas by pair affinity)",
     )
     cluster.add_argument(
         "--serve-seconds",
@@ -581,6 +663,81 @@ def _run_topk(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_mine(args: argparse.Namespace) -> int:
+    from repro.mining import MiningConfig, MiningPipeline, PatternStore
+
+    if not args.no_scan and args.delta is None:
+        print("error: --delta is required unless --no-scan", file=sys.stderr)
+        return 2
+
+    network, codec = _load(args.edges, args.compact_timestamps)
+    store = PatternStore(args.store)
+    try:
+        if not args.no_scan:
+            config = MiningConfig(
+                top_sources=args.top,
+                top_sinks=args.top,
+                min_volume=args.min_volume,
+                min_density=args.min_density,
+            )
+            pipeline = MiningPipeline(
+                network, store, config=config, processes=args.processes
+            )
+            started = time.perf_counter()
+            outcome = pipeline.scan(args.delta, persist=args.persist)
+            elapsed = time.perf_counter() - started
+            funnel = outcome.funnel
+            print(
+                f"funnel: {funnel.nodes_scored} nodes scored, "
+                f"{funnel.candidates} candidates "
+                f"(exhaustive sweep: {funnel.exhaustive_pairs} pairs, "
+                f"{funnel.amortization:.1f}x fewer solves), "
+                f"{funnel.confirmed} confirmed, {funnel.flagged} flagged"
+            )
+            print(
+                f"persisted: {len(outcome.new_ids)} new, "
+                f"{outcome.deduped} already stored "
+                f"(epoch {outcome.epoch}, {elapsed:.3f}s)"
+            )
+            for record in outcome.records:
+                shown = (
+                    codec.decode_interval(record.interval)
+                    if codec
+                    else record.interval
+                )
+                marker = "+" if record.pattern_id in outcome.new_ids else "="
+                print(
+                    f"  {marker} {record.pattern_id} "
+                    f"{record.source} -> {record.sink} "
+                    f"density {record.density:,.2f} "
+                    f"interval [{shown[0]}, {shown[1]}] "
+                    f"z {record.z_score:.1f}"
+                )
+        if args.list or args.no_scan:
+            records = store.query(
+                source=args.pattern_source,
+                sink=args.pattern_sink,
+                min_density=args.min_density or None,
+                limit=args.limit,
+            )
+            print(f"stored patterns ({len(records)} shown, {len(store)} total):")
+            for record in records:
+                shown = (
+                    codec.decode_interval(record.interval)
+                    if codec
+                    else record.interval
+                )
+                print(
+                    f"  {record.pattern_id} {record.source} -> {record.sink} "
+                    f"delta {record.delta} density {record.density:,.2f} "
+                    f"interval [{shown[0]}, {shown[1]}] "
+                    f"evidence {record.evidence_count} edges"
+                )
+    finally:
+        store.close()
+    return 0
+
+
 def _run_fuzz(args: argparse.Namespace) -> int:
     from repro.oracle import fuzz
 
@@ -636,6 +793,13 @@ def _run_serve(args: argparse.Namespace) -> int:
     network, _codec = _load(args.edges, args.compact_timestamps)
 
     async def _serve() -> int:
+        mining = None
+        store = None
+        if args.patterns is not None:
+            from repro.mining import MiningPipeline, PatternStore
+
+            store = PatternStore(args.patterns)
+            mining = MiningPipeline(network, store)
         service = BurstingFlowService(
             network,
             algorithm=args.algorithm,
@@ -646,6 +810,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             cache_ttl=args.cache_ttl,
             max_pending=args.max_pending,
             default_timeout=args.timeout,
+            mining=mining,
         )
         host, port = await service.start(args.host, args.port)
         workers = (
@@ -657,7 +822,11 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"serving delta-BFlow queries on {host}:{port} "
             f"(algorithm {args.algorithm}, {workers}, epoch {network.epoch})"
         )
-        print("endpoints: NDJSON-TCP, GET /metrics, GET /healthz, POST /query")
+        endpoints = "endpoints: NDJSON-TCP, GET /metrics, GET /healthz, POST /query"
+        if mining is not None:
+            endpoints += ", POST /scan, GET /patterns"
+            print(f"pattern store: {args.patterns} ({len(store)} patterns)")
+        print(endpoints)
         try:
             if args.serve_seconds is not None:
                 await asyncio.sleep(args.serve_seconds)
@@ -667,6 +836,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             pass
         finally:
             await service.stop()
+            if store is not None:
+                store.close()
         return 0
 
     try:
@@ -736,6 +907,7 @@ def _run_cluster(args: argparse.Namespace) -> int:
             fsync=args.fsync,
             snapshot_dir=args.snapshots,
             snapshot_every=args.snapshot_every or None,
+            patterns_dir=args.patterns,
         )
         host, port = await coordinator.start(args.host, args.port)
         print(
@@ -782,6 +954,7 @@ _HANDLERS = {
     "profile": _run_profile,
     "hunt": _run_hunt,
     "topk": _run_topk,
+    "mine": _run_mine,
     "fuzz": _run_fuzz,
     "serve": _run_serve,
     "cluster": _run_cluster,

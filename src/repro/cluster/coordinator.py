@@ -53,6 +53,7 @@ import json
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from statistics import median
 from typing import Any, Mapping, Sequence
 
 from repro.cluster.health import HealthMonitor
@@ -84,12 +85,16 @@ from repro.service.protocol import (
     ErrorReply,
     MetricsReply,
     MetricsRequest,
+    PatternsReply,
+    PatternsRequest,
     PingRequest,
     PongReply,
     ProtocolError,
     QueryRequest,
     Reply,
     Request,
+    ScanReply,
+    ScanRequest,
     TopKBurst,
     TopKReply,
     TopKRequest,
@@ -99,7 +104,15 @@ from repro.service.protocol import (
     reply_payload,
     request_payload,
 )
-from repro.service.server import _http_respond, _http_status
+from repro.mining.pipeline import flag_entries, persist_entries
+from repro.mining.prefilter import NodeIntensity, rank_candidates_for_network
+from repro.mining.stats import modified_z_score
+from repro.mining.store import PatternStore
+from repro.service.server import (
+    _http_respond,
+    _http_status,
+    _patterns_message_from_target,
+)
 from repro.store.log import AppendLog
 from repro.store.snapshot import SnapshotStore
 
@@ -213,6 +226,7 @@ class _Counters:
     queries: int = 0
     batches: int = 0
     topks: int = 0
+    scans: int = 0
     appends: int = 0
     failovers: int = 0
     restarts: int = 0
@@ -248,6 +262,13 @@ class ClusterCoordinator:
             automatically after this many committed append records
             (``None`` disables automatic checkpoints; :meth:`checkpoint`
             stays available).
+        patterns_dir: directory of the cluster's durable pattern store,
+            enabling the ``scan``/``patterns`` ops: the coordinator
+            pre-filters candidates on its committed mirror, scatters the
+            δ-BFlow confirmation across the replicas by pair affinity
+            (the top-k shard machinery), and persists flagged patterns
+            here.  ``None`` (default) answers those ops with a typed
+            ``invalid`` error.
 
     Construction *recovers*: the coordinator rebuilds its committed
     state — a mirror of the replayed network, the committed epoch and
@@ -268,6 +289,7 @@ class ClusterCoordinator:
         request_timeout: float = 600.0,
         snapshot_dir: str | Path | None = None,
         snapshot_every: int | None = None,
+        patterns_dir: str | Path | None = None,
     ) -> None:
         if not replicas:
             raise ReproError("a cluster needs at least one replica")
@@ -304,6 +326,11 @@ class ClusterCoordinator:
             replica.replica_id: _ReplicaState(handle=replica)
             for replica in replicas
         }
+        self.patterns: PatternStore | None = (
+            PatternStore(patterns_dir, fsync=fsync)
+            if patterns_dir is not None
+            else None
+        )
         self.router = ConsistentHashRouter(ids)
         self.retry = retry or RetryPolicy(
             max_attempts=3, base_delay=0.05, max_delay=1.0
@@ -401,6 +428,8 @@ class ClusterCoordinator:
         await asyncio.sleep(0.01)
         for state in self._replicas.values():
             await state.handle.terminate()
+        if self.patterns is not None:
+            self.patterns.close()
         self.log.close()
 
     async def __aenter__(self) -> "ClusterCoordinator":
@@ -505,7 +534,14 @@ class ClusterCoordinator:
         self.counters.requests[op] = self.counters.requests.get(op, 0) + 1
         if (
             isinstance(
-                request, (QueryRequest, BatchRequest, TopKRequest, AppendRequest)
+                request,
+                (
+                    QueryRequest,
+                    BatchRequest,
+                    TopKRequest,
+                    AppendRequest,
+                    ScanRequest,
+                ),
             )
             and self._draining
         ):
@@ -527,6 +563,11 @@ class ClusterCoordinator:
             if isinstance(request, TopKRequest):
                 self.counters.topks += 1
                 return await self._route_topk(request)
+            if isinstance(request, ScanRequest):
+                self.counters.scans += 1
+                return await self._route_scan(request)
+            if isinstance(request, PatternsRequest):
+                return self._handle_patterns(request)
             if isinstance(request, AppendRequest):
                 self.counters.appends += 1
                 return await self._replicate_append(request)
@@ -812,6 +853,163 @@ class ClusterCoordinator:
         )
 
     # ------------------------------------------------------------------
+    # Mining: pre-filter on the mirror, confirm across shards, persist
+    # ------------------------------------------------------------------
+    async def _route_scan(self, request: ScanRequest) -> Reply:
+        """One cluster-wide funnel pass over the committed network.
+
+        Candidates are ranked on the coordinator's committed mirror
+        (the same streaming statistics a standalone pipeline keeps), the
+        δ-BFlow confirmation is scattered across the replicas grouped by
+        the shard that owns each pair — exactly the top-k routing, so
+        per-replica caches and failover apply — and flagged patterns are
+        persisted to the coordinator's durable pattern store.
+        """
+        started = time.perf_counter()
+        if self.patterns is None:
+            return ErrorReply(
+                request.id,
+                ERROR_INVALID,
+                "mining is not enabled on this coordinator "
+                "(start it with patterns_dir)",
+            )
+        fence = max(self.committed_epoch, request.min_epoch or 0)
+        if fence > self.committed_epoch:
+            return self._stale_fence_reply(request.id, fence)
+        top = request.top if request.top is not None else 8
+        min_volume = request.min_volume or 0.0
+        intensity_index: dict[Any, NodeIntensity] = {}
+        funnel: dict[str, Any]
+        if request.pairs is not None:
+            pairs = [
+                (source, sink)
+                for source, sink in request.pairs
+                if source != sink
+                and source in self._mirror
+                and sink in self._mirror
+            ]
+            nodes_scored = 0
+            exhaustive = len(pairs)
+        else:
+            try:
+                candidates = rank_candidates_for_network(
+                    self._mirror,
+                    window=request.delta,
+                    top_sources=top,
+                    top_sinks=top,
+                    min_volume=min_volume,
+                )
+            except ReproError as exc:
+                return ErrorReply(request.id, ERROR_INVALID, str(exc))
+            pairs = [candidate.pair for candidate in candidates]
+            for candidate in candidates:
+                intensity_index.setdefault(
+                    candidate.source, candidate.source_intensity
+                )
+                intensity_index.setdefault(
+                    candidate.sink, candidate.sink_intensity
+                )
+            nodes_scored = self._mirror.num_nodes
+            exhaustive = max(
+                self._mirror.num_nodes * (self._mirror.num_nodes - 1), 0
+            )
+        funnel = {
+            "nodes_scored": nodes_scored,
+            "exhaustive_pairs": exhaustive,
+            "candidates": len(pairs),
+            "solves": len(pairs),
+            "confirmed": 0,
+            "flagged": 0,
+            "amortization": (exhaustive / len(pairs)) if pairs else 1.0,
+        }
+        if not pairs:
+            return ScanReply(
+                id=request.id,
+                new_ids=(),
+                deduped=0,
+                funnel=funnel,
+                epoch=self.committed_epoch,
+                elapsed_ms=(time.perf_counter() - started) * 1000.0,
+            )
+        # Confirm by scattering a k=len(pairs) top-k through the shard
+        # owners — the routed entries are byte-identical to a single
+        # node solving every pair (the _route_topk contract).
+        confirm = await self._route_topk(
+            TopKRequest(
+                id=f"{request.id}.confirm",
+                pairs=tuple(pairs),
+                delta=request.delta,
+                k=len(pairs),
+                timeout=request.timeout,
+                min_epoch=fence,
+            )
+        )
+        if isinstance(confirm, ErrorReply):
+            return replace(confirm, id=request.id)
+        assert isinstance(confirm, TopKReply), confirm
+        entries = list(confirm.entries)
+        funnel["confirmed"] = len(entries)
+        horizon = (
+            self._mirror.t_max - self._mirror.t_min
+            if self._mirror.num_edges
+            else 0
+        )
+        if request.persist == "flagged":
+            selected = flag_entries(entries, horizon=horizon)
+        else:
+            positives = [e for e in entries if e.density > 0]
+            densities = [e.density for e in positives]
+            mid = median(densities) if densities else 0.0
+            mad = (
+                median(abs(d - mid) for d in densities) if densities else 0.0
+            )
+            selected = [
+                (entry, modified_z_score(entry.density, mid, mad))
+                for entry in positives
+            ]
+        funnel["flagged"] = len(selected)
+        records, new_ids, deduped = persist_entries(
+            self.patterns,
+            self._mirror,
+            selected,
+            epoch=self.committed_epoch,
+            intensities=intensity_index,
+        )
+        del records  # dict replies carry ids; full rows serve via patterns
+        return ScanReply(
+            id=request.id,
+            new_ids=tuple(new_ids),
+            deduped=deduped,
+            funnel=funnel,
+            epoch=self.committed_epoch,
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    def _handle_patterns(self, request: PatternsRequest) -> Reply:
+        if self.patterns is None:
+            return ErrorReply(
+                request.id,
+                ERROR_INVALID,
+                "mining is not enabled on this coordinator "
+                "(start it with patterns_dir)",
+            )
+        try:
+            records = self.patterns.query(
+                source=request.source,
+                sink=request.sink,
+                since=request.since,
+                until=request.until,
+                min_density=request.min_density,
+                limit=request.limit,
+            )
+        except ReproError as exc:
+            return ErrorReply(request.id, ERROR_INVALID, str(exc))
+        return PatternsReply(
+            id=request.id,
+            patterns=tuple(record.as_dict() for record in records),
+        )
+
+    # ------------------------------------------------------------------
     # Appends: log first (durability), then fan out (replication)
     # ------------------------------------------------------------------
     async def _replicate_append(self, request: AppendRequest) -> Reply:
@@ -999,6 +1197,7 @@ class ClusterCoordinator:
                     "queries": self.counters.queries,
                     "batches": self.counters.batches,
                     "topks": self.counters.topks,
+                    "scans": self.counters.scans,
                     "appends": self.counters.appends,
                     "failovers": self.counters.failovers,
                     "restarts": self.counters.restarts,
@@ -1013,6 +1212,11 @@ class ClusterCoordinator:
                     "requests": dict(sorted(self.counters.requests.items())),
                 },
                 "recovery": dict(self.recovery),
+                "mining": (
+                    {"patterns": len(self.patterns)}
+                    if self.patterns is not None
+                    else None
+                ),
                 "durability": {
                     "records_total": self._records_total,
                     "records_since_snapshot": self._records_since_snapshot,
@@ -1117,9 +1321,17 @@ class ClusterCoordinator:
             _http_respond(
                 writer, 200, {"draining": True, "inflight": self._inflight}
             )
+        elif method == "GET" and (
+            target in ("/patterns", "/patterns/")
+            or target.startswith("/patterns?")
+        ):
+            message = _patterns_message_from_target(target)
+            payload = json.loads(await self.handle_raw(encode(message)))
+            status = 200 if payload.get("ok") else _http_status(payload)
+            _http_respond(writer, status, payload)
         elif method == "POST" and target in (
-            "/query", "/append", "/batch", "/topk",
-            "/query/", "/append/", "/batch/", "/topk/",
+            "/query", "/append", "/batch", "/topk", "/scan", "/patterns",
+            "/query/", "/append/", "/batch/", "/topk/", "/scan/", "/patterns/",
         ):
             payload = json.loads(await self.handle_raw(body))
             status = 200 if payload.get("ok") else _http_status(payload)

@@ -74,6 +74,35 @@ class BatchQueryError(ReproError):
         self.item = item
 
 
+class ScanQueryError(ReproError):
+    """One (source, sink, delta) combination of a detector sweep failed.
+
+    Raised by :meth:`repro.anomaly.detector.BurstDetector.scan` (in its
+    default fail-fast mode) so a failing combination names itself
+    instead of aborting the sweep with a bare engine exception; the
+    PR 7 :class:`BatchQueryError` semantics, applied to the case-study
+    sweep.
+
+    Attributes:
+        source / sink / delta: the failing combination.
+    """
+
+    def __init__(
+        self,
+        source: object,
+        sink: object,
+        delta: int,
+        cause: BaseException,
+    ) -> None:
+        super().__init__(
+            f"scan query ({source!r} -> {sink!r}, delta={delta}) failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.source = source
+        self.sink = sink
+        self.delta = delta
+
+
 class InvalidIntervalError(ReproError):
     """A time interval [tau_s, tau_e] is malformed or outside the horizon."""
 

@@ -1,0 +1,77 @@
+"""The differential-oracle backend for the mining pipeline.
+
+:func:`mining_bfq` answers a query by driving the *entire* mining
+vertical for exactly that pair: the candidate is pinned into the
+confirmation stage (which routes through the planner), the detection is
+persisted to a throwaway :class:`~repro.mining.store.PatternStore`, the
+store is closed and **reopened from disk**, and the answer is
+reconstructed from the replayed record.  Registered as the ``"mining"``
+backend in :mod:`repro.oracle.runner` (opt-in, like ``cluster``), it
+proves on every fuzz case that a persisted pattern is byte-identical —
+interval, flow value, density — to a direct ``find_bursting_flow``
+solve, and that the durable round trip (serialize → fsync → replay →
+deserialize) changes nothing.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.core.query import BurstingFlowQuery, BurstingFlowResult
+from repro.exceptions import ReproError
+from repro.mining.pipeline import MiningPipeline
+from repro.mining.store import PatternStore
+from repro.temporal.network import TemporalFlowNetwork
+
+
+class MiningBackendError(ReproError):
+    """The mining round trip produced duplicates or inconsistent records."""
+
+
+def mining_bfq(
+    network: TemporalFlowNetwork,
+    query: BurstingFlowQuery,
+    **_kwargs: object,
+) -> BurstingFlowResult:
+    """Answer one query through confirm → persist → restart → replay."""
+    with tempfile.TemporaryDirectory(prefix="repro-mining-") as tmp:
+        store = PatternStore(tmp, fsync=False)
+        try:
+            pipeline = MiningPipeline(network, store)
+            pipeline.scan(
+                query.delta,
+                pairs=[(query.source, query.sink)],
+                persist="all",
+            )
+            # Scan twice: the second pass must dedupe, not duplicate.
+            pipeline.scan(
+                query.delta,
+                pairs=[(query.source, query.sink)],
+                persist="all",
+            )
+        finally:
+            store.close()
+        reopened = PatternStore(tmp, fsync=False)
+        try:
+            records = [
+                record
+                for record in reopened.query(
+                    source=query.source, sink=query.sink
+                )
+                if record.delta == query.delta
+            ]
+        finally:
+            reopened.close()
+    if not records:
+        return BurstingFlowResult(density=0.0, interval=None, flow_value=0.0)
+    if len(records) > 1:
+        raise MiningBackendError(
+            f"re-scan duplicated the pattern for {query!r}: "
+            f"{[record.pattern_id for record in records]!r}"
+        )
+    record = records[0]
+    return BurstingFlowResult(
+        density=record.density,
+        interval=record.interval,
+        flow_value=record.flow_value,
+    )

@@ -1,0 +1,458 @@
+"""The continuous burst-mining pipeline: ingest → pre-filter → confirm → persist.
+
+:class:`MiningPipeline` is the paper's Grab case study run as a
+*workload* instead of a one-shot script:
+
+1. **ingest** — :class:`~repro.mining.stats.StreamStats` consumes
+   appended edges incrementally (epoch-aware, so it composes with the
+   service/cluster append path: appends made by anyone on the shared
+   network are picked up by the next ``sync``).
+2. **pre-filter** — :func:`~repro.mining.prefilter.rank_candidates`
+   crosses the top burst-intense emitters with the top collectors; the
+   survivors are a tiny fraction of the exhaustive S×T sweep
+   (:attr:`FunnelStats.amortization` reports the measured ratio).
+3. **confirm** — the survivors feed
+   :func:`repro.core.planner.top_k_bursts`, so overlapping candidates
+   share skeleton compiles and window memos, and every answer carries
+   the engine's canonical tie-break.
+4. **persist** — confirmed outliers become content-addressed
+   :class:`~repro.mining.store.PatternRecord` rows in the durable
+   :class:`~repro.mining.store.PatternStore`; a re-scan over unchanged
+   history dedupes to the same ``pattern_id`` set.
+
+Flagging uses the same robust modified-z-score + short-interval rule as
+:class:`repro.anomaly.detector.BurstDetector` (density outlier against
+the confirmed batch median, interval shorter than a fraction of the
+horizon), so a mining hit means exactly what a case-study hit means.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from statistics import median
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.planner import BurstEntry, top_k_bursts
+from repro.exceptions import InvalidQueryError
+from repro.mining.prefilter import (
+    NodeIntensity,
+    node_intensities,
+    rank_candidates,
+)
+from repro.mining.stats import StreamStats, modified_z_score
+from repro.mining.store import (
+    PatternRecord,
+    PatternStore,
+    canonical_evidence,
+    pattern_hash,
+    pattern_id_for,
+)
+from repro.temporal.edge import NodeId, TemporalEdge
+from repro.temporal.network import TemporalFlowNetwork
+
+#: ``persist=`` choices for :meth:`MiningPipeline.scan`.
+PERSIST_MODES = ("flagged", "all")
+
+
+@dataclass(frozen=True, slots=True)
+class MiningConfig:
+    """Knobs of the funnel (defaults follow the case-study detector)."""
+
+    top_sources: int = 8
+    top_sinks: int = 8
+    min_volume: float = 0.0
+    #: Modified z-score above which a confirmed burst is flagged.
+    outlier_score: float = 3.5
+    #: A flagged burst must be shorter than this fraction of the horizon.
+    max_interval_fraction: float = 0.2
+    #: Confirmed bursts below this density are never persisted.
+    min_density: float = 0.0
+    #: Hard cap on candidates entering confirmation (None = top product).
+    max_candidates: int | None = None
+    #: Pre-filter window length; None uses the scan's delta.
+    window: int | None = None
+
+
+@dataclass(slots=True)
+class FunnelStats:
+    """What the pre-filter saved (the measured amortization figure)."""
+
+    nodes_scored: int = 0
+    #: Size of the exhaustive S×T sweep the funnel avoided.
+    exhaustive_pairs: int = 0
+    candidates: int = 0
+    #: δ-BFlow solves actually run (== candidates after filtering).
+    solves: int = 0
+    confirmed: int = 0
+    flagged: int = 0
+
+    @property
+    def amortization(self) -> float:
+        """Exhaustive solves avoided per solve run (≥ 1.0)."""
+        if self.solves <= 0:
+            return float(self.exhaustive_pairs) if self.exhaustive_pairs else 1.0
+        return self.exhaustive_pairs / self.solves
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "nodes_scored": self.nodes_scored,
+            "exhaustive_pairs": self.exhaustive_pairs,
+            "candidates": self.candidates,
+            "solves": self.solves,
+            "confirmed": self.confirmed,
+            "flagged": self.flagged,
+            "amortization": self.amortization,
+        }
+
+
+@dataclass(slots=True)
+class ScanOutcome:
+    """One scan's result: what was persisted and what the funnel did."""
+
+    records: list[PatternRecord] = field(default_factory=list)
+    new_ids: list[str] = field(default_factory=list)
+    deduped: int = 0
+    funnel: FunnelStats = field(default_factory=FunnelStats)
+    epoch: int = 0
+    elapsed_ms: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "patterns": [record.as_dict() for record in self.records],
+            "new": len(self.new_ids),
+            "new_ids": list(self.new_ids),
+            "deduped": self.deduped,
+            "funnel": self.funnel.as_dict(),
+            "epoch": self.epoch,
+            "elapsed_ms": self.elapsed_ms,
+        }
+
+
+def flag_entries(
+    entries: Sequence[BurstEntry],
+    *,
+    horizon: int,
+    outlier_score: float = 3.5,
+    max_interval_fraction: float = 0.2,
+    min_density: float = 0.0,
+) -> list[tuple[BurstEntry, float]]:
+    """The detector's outlier rule over confirmed entries, with scores.
+
+    Returns ``(entry, z)`` pairs for entries whose density is a robust
+    outlier against the batch median *and* whose interval is short.
+    Mirrors :meth:`repro.anomaly.detector.BurstDetector._flag` —
+    including its "fewer than 3 positives is not a distribution" guard —
+    so mining and case-study scans agree on what counts as anomalous.
+    """
+    positives = [e for e in entries if e.density > 0]
+    if len(positives) < 3:
+        return []
+    densities = [e.density for e in positives]
+    mid = median(densities)
+    mad = median(abs(d - mid) for d in densities)
+    max_length = max(1, int(horizon * max_interval_fraction))
+    flagged = []
+    for entry in positives:
+        if entry.density < min_density:
+            continue
+        z = modified_z_score(entry.density, mid, mad)
+        length = entry.interval[1] - entry.interval[0]
+        if z >= outlier_score and length <= max_length:
+            flagged.append((entry, z))
+    flagged.sort(key=lambda item: -item[0].density)
+    return flagged
+
+
+def build_record(
+    network: TemporalFlowNetwork,
+    entry: BurstEntry,
+    *,
+    epoch: int,
+    z_score: float = 0.0,
+    detection_method: str = "mining_funnel",
+    intensities: Mapping[NodeId, NodeIntensity] | None = None,
+) -> PatternRecord:
+    """Materialise one confirmed burst as a content-addressed record."""
+    evidence = canonical_evidence(
+        network, entry.source, entry.sink, entry.interval
+    )
+    hash_hex = pattern_hash(entry.source, entry.sink, entry.interval, evidence)
+    profile = intensities or {}
+    source_profile = profile.get(entry.source)
+    sink_profile = profile.get(entry.sink)
+    return PatternRecord(
+        pattern_id=pattern_id_for(hash_hex),
+        pattern_hash=hash_hex,
+        pattern_type="bursting_flow",
+        source=entry.source,
+        sink=entry.sink,
+        delta=entry.delta,
+        interval=entry.interval,
+        density=entry.density,
+        flow_value=entry.flow_value,
+        epoch=epoch,
+        detection_method=detection_method,
+        z_score=z_score,
+        source_concentration=(
+            source_profile.concentration if source_profile else 0.0
+        ),
+        sink_concentration=(
+            sink_profile.concentration if sink_profile else 0.0
+        ),
+        evidence=evidence,
+    )
+
+
+def persist_entries(
+    store: PatternStore,
+    network: TemporalFlowNetwork,
+    scored_entries: Sequence[tuple[BurstEntry, float]],
+    *,
+    epoch: int,
+    detection_method: str = "mining_funnel",
+    intensities: Mapping[NodeId, NodeIntensity] | None = None,
+) -> tuple[list[PatternRecord], list[str], int]:
+    """Persist flagged entries; returns (records, new ids, dedupe count).
+
+    ``records`` are the *stored* rows for every flagged entry — for a
+    deduped entry that is the original record, proving the re-scan
+    derived the same id.
+    """
+    records: list[PatternRecord] = []
+    new_ids: list[str] = []
+    deduped = 0
+    for entry, z in scored_entries:
+        record = build_record(
+            network,
+            entry,
+            epoch=epoch,
+            z_score=z,
+            detection_method=detection_method,
+            intensities=intensities,
+        )
+        if store.add(record):
+            new_ids.append(record.pattern_id)
+            records.append(record)
+        else:
+            deduped += 1
+            stored = store.get(record.pattern_id)
+            assert stored is not None
+            records.append(stored)
+    return records, new_ids, deduped
+
+
+class MiningPipeline:
+    """Continuous burst mining over one live network.
+
+    Args:
+        network: the temporal flow network to mine (shared with the
+            service/cluster append path; ``scan`` syncs before ranking).
+        store: the durable pattern store detections persist to.
+        config: funnel knobs (:class:`MiningConfig`).
+        processes / mp_context: forwarded to the planner's confirmation
+            solves (``top_k_bursts``).
+    """
+
+    def __init__(
+        self,
+        network: TemporalFlowNetwork,
+        store: PatternStore,
+        *,
+        config: MiningConfig | None = None,
+        processes: int | None = None,
+        mp_context: str | None = None,
+    ) -> None:
+        self.network = network
+        self.store = store
+        self.config = config or MiningConfig()
+        self.processes = processes
+        self.mp_context = mp_context
+        self.stats = StreamStats()
+        self.stats.sync(network)
+        self.scans = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def append(self, edges: Iterable[TemporalEdge]) -> int:
+        """Append edges to the network and ingest them; returns count."""
+        count = 0
+        for edge in edges:
+            self.network.add_edge(edge)
+            count += 1
+        self.sync()
+        return count
+
+    def sync(self) -> int:
+        """Consume edges appended by anyone since the last sync."""
+        return self.stats.sync(self.network)
+
+    # ------------------------------------------------------------------
+    # The scan: pre-filter → confirm → flag → persist
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        delta: int,
+        *,
+        pairs: Sequence[tuple[NodeId, NodeId]] | None = None,
+        persist: str = "flagged",
+        top: int | None = None,
+        min_volume: float | None = None,
+    ) -> ScanOutcome:
+        """One full funnel pass; persists detections, returns the outcome.
+
+        Args:
+            delta: minimum bursting-interval length for confirmation.
+            pairs: explicit candidate pairs (skips the pre-filter; the
+                cluster coordinator and the oracle backend pin
+                candidates this way).  Pairs with identical endpoints or
+                endpoints missing from the network are skipped.
+            persist: ``"flagged"`` stores only robust density outliers
+                (the default, mirroring the case-study detector);
+                ``"all"`` stores every confirmed positive burst above
+                ``config.min_density`` (the oracle's differential mode).
+            top: per-scan override of ``config.top_sources`` and
+                ``config.top_sinks`` (wire requests carry this).
+            min_volume: per-scan override of ``config.min_volume``.
+        """
+        if delta < 1:
+            raise InvalidQueryError(f"delta must be >= 1, got {delta}")
+        if persist not in PERSIST_MODES:
+            raise InvalidQueryError(
+                f"persist must be one of {', '.join(PERSIST_MODES)}, "
+                f"got {persist!r}"
+            )
+        started = time.perf_counter()
+        self.sync()
+        epoch = self.network.epoch
+        config = self.config
+        if top is not None or min_volume is not None:
+            config = replace(
+                config,
+                top_sources=top if top is not None else config.top_sources,
+                top_sinks=top if top is not None else config.top_sinks,
+                min_volume=(
+                    min_volume if min_volume is not None else config.min_volume
+                ),
+            )
+        window = config.window or delta
+        outcome = ScanOutcome(epoch=epoch)
+        funnel = outcome.funnel
+
+        emit_volumes = {
+            node for node, entries in self.stats.out_ledgers.items()
+            if sum(amount for _, amount in entries) >= config.min_volume
+        }
+        sink_volumes = {
+            node for node, entries in self.stats.in_ledgers.items()
+            if sum(amount for _, amount in entries) >= config.min_volume
+        }
+        funnel.nodes_scored = len(
+            set(self.stats.out_ledgers) | set(self.stats.in_ledgers)
+        )
+        funnel.exhaustive_pairs = len(emit_volumes) * len(sink_volumes) - len(
+            emit_volumes & sink_volumes
+        )
+
+        intensity_index: dict[NodeId, NodeIntensity] = {}
+        if pairs is None:
+            candidates = rank_candidates(
+                self.stats,
+                window=window,
+                top_sources=config.top_sources,
+                top_sinks=config.top_sinks,
+                min_volume=config.min_volume,
+            )
+            if config.max_candidates is not None:
+                candidates = candidates[: config.max_candidates]
+            candidate_pairs = [candidate.pair for candidate in candidates]
+            for candidate in candidates:
+                intensity_index.setdefault(
+                    candidate.source, candidate.source_intensity
+                )
+                intensity_index.setdefault(
+                    candidate.sink, candidate.sink_intensity
+                )
+        else:
+            candidate_pairs = [
+                (source, sink)
+                for source, sink in pairs
+                if source != sink
+                and source in self.network
+                and sink in self.network
+            ]
+        funnel.candidates = len(candidate_pairs)
+
+        if not candidate_pairs:
+            outcome.elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self.scans += 1
+            return outcome
+
+        entries = top_k_bursts(
+            self.network,
+            candidate_pairs,
+            delta,
+            k=len(candidate_pairs),
+            processes=self.processes,
+            mp_context=self.mp_context,
+        )
+        funnel.solves = len(candidate_pairs)
+        funnel.confirmed = len(entries)
+
+        horizon = (
+            self.network.t_max - self.network.t_min
+            if self.network.num_edges
+            else 0
+        )
+        if persist == "flagged":
+            selected = flag_entries(
+                entries,
+                horizon=horizon,
+                outlier_score=config.outlier_score,
+                max_interval_fraction=config.max_interval_fraction,
+                min_density=config.min_density,
+            )
+        else:
+            positives = [e for e in entries if e.density > 0]
+            densities = [e.density for e in positives]
+            mid = median(densities) if densities else 0.0
+            mad = (
+                median(abs(d - mid) for d in densities) if densities else 0.0
+            )
+            selected = [
+                (entry, modified_z_score(entry.density, mid, mad))
+                for entry in positives
+                if entry.density >= config.min_density
+            ]
+        funnel.flagged = len(selected)
+
+        records, new_ids, deduped = persist_entries(
+            self.store,
+            self.network,
+            selected,
+            epoch=epoch,
+            intensities=intensity_index,
+        )
+        outcome.records = records
+        outcome.new_ids = new_ids
+        outcome.deduped = deduped
+        outcome.elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.scans += 1
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def patterns(self, **filters: Any) -> list[PatternRecord]:
+        """Query the durable store (passthrough to ``PatternStore.query``)."""
+        return self.store.query(**filters)
+
+    def intensity_profile(
+        self, *, window: int, direction: str = "out", min_volume: float = 0.0
+    ) -> list[NodeIntensity]:
+        """The current per-node intensity ranking (diagnostics/CLI)."""
+        ledgers = (
+            self.stats.out_ledgers if direction == "out" else self.stats.in_ledgers
+        )
+        return node_intensities(ledgers, window=window, min_volume=min_volume)

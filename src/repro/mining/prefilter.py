@@ -1,0 +1,324 @@
+"""The mining pre-filter: cheap statistical screening before δ-BFlow.
+
+Scanning all ``|V|²`` (source, sink) pairs with the exact engine is
+hopeless at fleet scale; this module ranks candidates with statistics
+that cost one pass over the ledgers:
+
+1. **temporal concentration** (:class:`NodeBurstScore`) — the share of a
+   node's transfer volume inside its busiest window.  This is the
+   screening :mod:`repro.anomaly.hunting` prototyped; it now lives here
+   and ``hunting`` delegates to it, so there is exactly one
+   implementation.
+2. **robust z-score** — the peak window's volume scored against the
+   node's own per-window median/MAD (:func:`~repro.mining.stats
+   .modified_z_score`); steady-but-heavy nodes (merchants, corporates)
+   stay near zero while spike-and-silence shells score high.
+3. **Kleinberg burst states** — a two-state automaton over binned
+   arrival *counts* (:func:`~repro.mining.stats.kleinberg_states`),
+   which rewards sustained elevated activity rather than a single big
+   transfer.
+
+:func:`rank_candidates` combines the three into per-node
+:class:`NodeIntensity` scores, crosses the top emitters with the top
+collectors, and boosts pairs whose peak windows coincide.  The output
+order feeds straight into :func:`repro.core.planner.top_k_bursts`.
+
+The funnel is a heuristic, and its known miss is inherited from the
+hunting prototype: a multi-hop-only burst whose endpoints look
+individually calm (volume trickling out of the source over a long
+horizon, reassembled at the sink far later) never ranks — the tests
+exercise both the hit and the miss case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import Mapping
+
+from repro.exceptions import InvalidQueryError
+from repro.mining.stats import (
+    StreamStats,
+    burstiness,
+    kleinberg_states,
+    modified_z_score,
+)
+from repro.temporal.edge import NodeId, Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+Ledger = list[tuple[Timestamp, float]]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeBurstScore:
+    """Temporal-concentration score of one node's ledger side."""
+
+    node: NodeId
+    total_volume: float
+    peak_volume: float
+    peak_window: tuple[Timestamp, Timestamp]
+
+    @property
+    def concentration(self) -> float:
+        """Share of total volume inside the busiest window (0..1)."""
+        if self.total_volume <= 0:
+            return 0.0
+        return self.peak_volume / self.total_volume
+
+    @property
+    def score(self) -> float:
+        """Ranking score: concentrated *and* heavy beats either alone."""
+        return self.concentration * self.peak_volume
+
+
+@dataclass(frozen=True, slots=True)
+class NodeIntensity:
+    """One node's full pre-filter intensity profile."""
+
+    base: NodeBurstScore
+    #: Share of the node's arrivals inside Kleinberg burst bins (0..1).
+    burstiness: float
+    #: Peak-window volume vs the node's own window distribution.
+    z_score: float
+
+    @property
+    def node(self) -> NodeId:
+        return self.base.node
+
+    @property
+    def peak_window(self) -> tuple[Timestamp, Timestamp]:
+        return self.base.peak_window
+
+    @property
+    def concentration(self) -> float:
+        return self.base.concentration
+
+    @property
+    def intensity(self) -> float:
+        """The ranking key: concentration-weighted peak volume, boosted
+        when the burst automaton confirms the activity pattern."""
+        return self.base.score * (1.0 + self.burstiness)
+
+
+@dataclass(frozen=True, slots=True)
+class PairCandidate:
+    """A ranked (source, sink) candidate for δ-BFlow confirmation."""
+
+    source: NodeId
+    sink: NodeId
+    rank_score: float
+    source_intensity: NodeIntensity
+    sink_intensity: NodeIntensity
+
+    @property
+    def pair(self) -> tuple[NodeId, NodeId]:
+        return (self.source, self.sink)
+
+    @property
+    def windows_overlap(self) -> bool:
+        """Whether the emitter's and collector's peak windows intersect."""
+        (a_lo, a_hi) = self.source_intensity.peak_window
+        (b_lo, b_hi) = self.sink_intensity.peak_window
+        return a_lo <= b_hi and b_lo <= a_hi
+
+
+def _peak_window(
+    entries: Ledger, window: int
+) -> tuple[float, tuple[Timestamp, Timestamp]]:
+    """Max volume inside any window of the given length (two pointers)."""
+    best = 0.0
+    best_window = (entries[0][0], entries[0][0] + window)
+    running = 0.0
+    left = 0
+    for right in range(len(entries)):
+        running += entries[right][1]
+        while entries[right][0] - entries[left][0] > window:
+            running -= entries[left][1]
+            left += 1
+        if running > best:
+            best = running
+            best_window = (entries[left][0], entries[left][0] + window)
+    return best, best_window
+
+
+def score_ledgers(
+    ledgers: Mapping[NodeId, Ledger],
+    *,
+    window: int,
+    min_volume: float = 0.0,
+) -> list[NodeBurstScore]:
+    """Concentration-score every ledger; sorted best first.
+
+    Ledger entry lists are sorted in place by timestamp (idempotent).
+    """
+    if window < 1:
+        raise InvalidQueryError(f"window must be >= 1, got {window}")
+    scores = []
+    for node, entries in ledgers.items():
+        if not entries:
+            continue
+        entries.sort()
+        total = sum(amount for _, amount in entries)
+        if total < min_volume:
+            continue
+        peak, peak_window = _peak_window(entries, window)
+        scores.append(
+            NodeBurstScore(
+                node=node,
+                total_volume=total,
+                peak_volume=peak,
+                peak_window=peak_window,
+            )
+        )
+    scores.sort(key=lambda s: (-s.score, str(s.node)))
+    return scores
+
+
+def score_nodes(
+    network: TemporalFlowNetwork,
+    *,
+    window: int,
+    direction: str = "out",
+    min_volume: float = 0.0,
+) -> list[NodeBurstScore]:
+    """Score every node's emission (or absorption) concentration.
+
+    Args:
+        window: length of the sliding window used for the peak.
+        direction: ``"out"`` scores emitters, ``"in"`` scores collectors.
+        min_volume: nodes whose total volume is below this are skipped.
+
+    Returns scores sorted by :attr:`NodeBurstScore.score`, best first.
+    (This is the screening primitive ``repro.anomaly.hunting`` ships —
+    its implementation lives here so the hunting funnel and the mining
+    pre-filter can never drift apart.)
+    """
+    if direction not in ("out", "in"):
+        raise InvalidQueryError(
+            f"direction must be 'out' or 'in', got {direction!r}"
+        )
+    ledgers: dict[NodeId, Ledger] = {}
+    for edge in network.edges():
+        key = edge.u if direction == "out" else edge.v
+        ledgers.setdefault(key, []).append((edge.tau, edge.capacity))
+    return score_ledgers(ledgers, window=window, min_volume=min_volume)
+
+
+def node_intensities(
+    ledgers: Mapping[NodeId, Ledger],
+    *,
+    window: int,
+    min_volume: float = 0.0,
+) -> list[NodeIntensity]:
+    """The full intensity profile per node, sorted by intensity desc."""
+    profiles = []
+    for base in score_ledgers(ledgers, window=window, min_volume=min_volume):
+        entries = ledgers[base.node]
+        volumes, counts = _bin_ledger(entries, window)
+        z = _peak_z(base.peak_volume, volumes)
+        states = kleinberg_states(counts)
+        profiles.append(
+            NodeIntensity(
+                base=base,
+                burstiness=burstiness(counts, states),
+                z_score=z,
+            )
+        )
+    profiles.sort(key=lambda p: (-p.intensity, str(p.node)))
+    return profiles
+
+
+def _bin_ledger(
+    entries: Ledger, window: int
+) -> tuple[list[float], list[int]]:
+    """Per-window (volume, arrival-count) bins over the node's own span."""
+    t0 = entries[0][0]
+    span = max(entries[-1][0] - t0, 0)
+    bins = span // window + 1
+    volumes = [0.0] * bins
+    counts = [0] * bins
+    for tau, amount in entries:
+        index = (tau - t0) // window
+        volumes[index] += amount
+        counts[index] += 1
+    return volumes, counts
+
+
+def _peak_z(peak_volume: float, volumes: list[float]) -> float:
+    mid = median(volumes)
+    mad = median(abs(v - mid) for v in volumes)
+    return modified_z_score(peak_volume, mid, mad)
+
+
+def rank_candidates(
+    stats: StreamStats,
+    *,
+    window: int,
+    top_sources: int = 8,
+    top_sinks: int = 8,
+    min_volume: float = 0.0,
+) -> list[PairCandidate]:
+    """Cross the top emitters with the top collectors, ranked.
+
+    The rank score is the product of the endpoint intensities, doubled
+    when the peak windows overlap (money leaving the source while it is
+    arriving at the sink is the laundering signature; independent bursts
+    at unrelated times are usually coincidence).  Deterministic: ties
+    break on the stringified node ids.
+    """
+    if top_sources < 1 or top_sinks < 1:
+        raise InvalidQueryError(
+            f"top_sources/top_sinks must be >= 1, "
+            f"got {top_sources}/{top_sinks}"
+        )
+    emitters = node_intensities(
+        stats.out_ledgers, window=window, min_volume=min_volume
+    )[:top_sources]
+    collectors = node_intensities(
+        stats.in_ledgers, window=window, min_volume=min_volume
+    )[:top_sinks]
+    candidates = []
+    for emitter in emitters:
+        for collector in collectors:
+            if emitter.node == collector.node:
+                continue
+            (a_lo, a_hi) = emitter.peak_window
+            (b_lo, b_hi) = collector.peak_window
+            boost = 2.0 if (a_lo <= b_hi and b_lo <= a_hi) else 1.0
+            candidates.append(
+                PairCandidate(
+                    source=emitter.node,
+                    sink=collector.node,
+                    rank_score=emitter.intensity * collector.intensity * boost,
+                    source_intensity=emitter,
+                    sink_intensity=collector,
+                )
+            )
+    candidates.sort(
+        key=lambda c: (-c.rank_score, str(c.source), str(c.sink))
+    )
+    return candidates
+
+
+def rank_candidates_for_network(
+    network: TemporalFlowNetwork,
+    *,
+    window: int,
+    top_sources: int = 8,
+    top_sinks: int = 8,
+    min_volume: float = 0.0,
+) -> list[PairCandidate]:
+    """One-shot ranking without a maintained :class:`StreamStats`.
+
+    Used where only a network is at hand (the cluster coordinator ranks
+    on its recovered mirror); a fresh stats object is built and dropped.
+    """
+    stats = StreamStats()
+    stats.sync(network)
+    return rank_candidates(
+        stats,
+        window=window,
+        top_sources=top_sources,
+        top_sinks=top_sinks,
+        min_volume=min_volume,
+    )

@@ -1,0 +1,196 @@
+"""Streaming statistics for the burst-mining pipeline.
+
+The ingestion stage of :class:`repro.mining.MiningPipeline` keeps one
+:class:`StreamStats` per served network: per-node emission/absorption
+ledgers and per-pair direct-flow tallies, maintained *incrementally* as
+edges are appended.  The epoch contract mirrors the rest of the system:
+
+* The network's monotone ``epoch`` counts every mutation.  When the
+  epoch advanced by exactly the number of new distinct edges, the new
+  edges are the dict-ordered suffix of ``network.edges()`` and
+  :meth:`StreamStats.sync` consumes only that suffix (the streaming
+  fast path).
+* Any other advance (capacity merges onto existing edges, bare
+  ``add_node`` calls, snapshot ``adopt_epoch`` fast-forwards) cannot be
+  attributed to a suffix, so ``sync`` falls back to a full rebuild —
+  never a silently stale ledger.
+
+The module also hosts the two intensity primitives the pre-filter (and,
+via delegation, :mod:`repro.anomaly.detector`) scores with:
+
+* :func:`modified_z_score` — the robust ``0.6745 * (x - median) / MAD``
+  outlier score (SNIPPETS.md snippet 1's ``z_score_threshold`` screen);
+* :func:`kleinberg_states` — a two-state burst automaton over binned
+  arrival counts (snippet 2's ``kleinberg_burst_detection``): a Viterbi
+  decode between a base-rate state and an elevated-rate state, with a
+  transition cost that makes isolated noisy bins stay "normal" while
+  sustained elevated activity flips to "burst".
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import islice
+from typing import Iterable, Sequence
+
+from repro.temporal.edge import NodeId, TemporalEdge, Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+
+def modified_z_score(value: float, mid: float, mad: float) -> float:
+    """Robust outlier score; degenerate MAD falls back to mean-free ratio."""
+    if mad > 0:
+        return 0.6745 * (value - mid) / mad
+    if mid > 0:
+        return value / mid - 1.0
+    return float("inf") if value > 0 else 0.0
+
+
+def kleinberg_states(
+    counts: Sequence[int | float],
+    *,
+    scale: float = 2.0,
+    gamma: float = 1.0,
+) -> list[int]:
+    """Two-state Kleinberg burst decode over binned arrival counts.
+
+    State 0 emits at the sequence's base rate (its mean), state 1 at
+    ``scale`` times that; emissions are scored with the Poisson
+    log-likelihood and entering the burst state costs
+    ``gamma * ln(n + 1)``.  Returns the optimal (Viterbi) state per bin:
+    ``1`` marks bins inside a burst.
+
+    A flat or empty sequence decodes to all zeros — the automaton only
+    flags *sustained deviations* from the node's own baseline, which is
+    what separates a smurfing shell (quiet, then a dense spike) from a
+    merchant that is simply busy all day.
+    """
+    if scale <= 1.0:
+        raise ValueError(f"scale must be > 1, got {scale}")
+    n = len(counts)
+    if n == 0:
+        return []
+    total = float(sum(counts))
+    if total <= 0:
+        return [0] * n
+    base = max(total / n, 1e-12)
+    high = base * scale
+    enter_cost = gamma * math.log(n + 1)
+
+    def emit(rate: float, count: float) -> float:
+        # Negative Poisson log-likelihood (lgamma generalises count!).
+        return rate - count * math.log(rate) + math.lgamma(count + 1.0)
+
+    cost0 = emit(base, float(counts[0]))
+    cost1 = enter_cost + emit(high, float(counts[0]))
+    back: list[tuple[int, int]] = []
+    for raw in counts[1:]:
+        count = float(raw)
+        stay0, from1 = cost0, cost1
+        best_to_0 = min(stay0, from1)
+        best_to_1 = min(stay0 + enter_cost, from1)
+        back.append(
+            (0 if stay0 <= from1 else 1, 0 if stay0 + enter_cost < from1 else 1)
+        )
+        cost0 = best_to_0 + emit(base, count)
+        cost1 = best_to_1 + emit(high, count)
+    state = 0 if cost0 <= cost1 else 1
+    states = [state]
+    for choices in reversed(back):
+        state = choices[state]
+        states.append(state)
+    states.reverse()
+    return states
+
+
+def burstiness(counts: Sequence[int | float], states: Sequence[int]) -> float:
+    """Share of total arrivals that fall in Kleinberg burst bins (0..1)."""
+    total = float(sum(counts))
+    if total <= 0:
+        return 0.0
+    in_burst = sum(
+        float(count) for count, state in zip(counts, states) if state == 1
+    )
+    return in_burst / total
+
+
+class StreamStats:
+    """Incrementally maintained per-node / per-pair flow statistics.
+
+    Attributes:
+        out_ledgers: per-node list of ``(tau, amount)`` emissions.
+        in_ledgers: per-node list of ``(tau, amount)`` absorptions.
+        pair_volume / pair_count: direct ``(u, v)`` edge tallies.
+        observed_epoch: the network epoch the stats are current for.
+        edges_seen: distinct edges consumed so far.
+        rebuilds: how many times ``sync`` had to fall back to a full
+            rebuild (capacity merges / adopted epochs); the streaming
+            fast path keeps this at zero for pure-append workloads.
+    """
+
+    def __init__(self) -> None:
+        self.out_ledgers: dict[NodeId, list[tuple[Timestamp, float]]] = {}
+        self.in_ledgers: dict[NodeId, list[tuple[Timestamp, float]]] = {}
+        self.pair_volume: dict[tuple[NodeId, NodeId], float] = {}
+        self.pair_count: dict[tuple[NodeId, NodeId], int] = {}
+        self.observed_epoch = 0
+        self.edges_seen = 0
+        self.rebuilds = 0
+
+    def observe(self, edge: TemporalEdge) -> None:
+        """Fold one edge into the ledgers (does not move the epoch)."""
+        entry = (edge.tau, edge.capacity)
+        self.out_ledgers.setdefault(edge.u, []).append(entry)
+        self.in_ledgers.setdefault(edge.v, []).append(entry)
+        pair = (edge.u, edge.v)
+        self.pair_volume[pair] = self.pair_volume.get(pair, 0.0) + edge.capacity
+        self.pair_count[pair] = self.pair_count.get(pair, 0) + 1
+
+    def observe_many(self, edges: Iterable[TemporalEdge]) -> int:
+        count = 0
+        for edge in edges:
+            self.observe(edge)
+            count += 1
+        return count
+
+    def sync(self, network: TemporalFlowNetwork) -> int:
+        """Bring the stats up to ``network.epoch``; returns edges consumed.
+
+        Pure appends of fresh distinct edges stream in as the insertion
+        -ordered suffix of ``network.edges()``; any epoch advance the
+        suffix cannot explain (capacity merges, added nodes, adopted
+        snapshot epochs) triggers a full rebuild instead.
+        """
+        epoch = network.epoch
+        if epoch == self.observed_epoch:
+            return 0
+        new_edges = network.num_edges - self.edges_seen
+        if (
+            epoch - self.observed_epoch == new_edges
+            and new_edges >= 0
+            and self.edges_seen <= network.num_edges
+        ):
+            consumed = self.observe_many(
+                islice(network.edges(), self.edges_seen, None)
+            )
+            self.edges_seen = network.num_edges
+            self.observed_epoch = epoch
+            return consumed
+        self.rebuild(network)
+        return network.num_edges
+
+    def rebuild(self, network: TemporalFlowNetwork) -> None:
+        """Recompute every ledger from scratch (the merge/restore path)."""
+        self.out_ledgers = {}
+        self.in_ledgers = {}
+        self.pair_volume = {}
+        self.pair_count = {}
+        self.observe_many(network.edges())
+        self.edges_seen = network.num_edges
+        self.observed_epoch = network.epoch
+        self.rebuilds += 1
+
+    def node_volume(self, node: NodeId, direction: str = "out") -> float:
+        """Total emitted (``"out"``) or absorbed (``"in"``) volume."""
+        ledgers = self.out_ledgers if direction == "out" else self.in_ledgers
+        return sum(amount for _, amount in ledgers.get(node, ()))

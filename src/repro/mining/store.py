@@ -1,0 +1,344 @@
+"""The durable, queryable pattern store.
+
+Detected bursting-flow patterns outlive the process that found them:
+:class:`PatternStore` persists each :class:`PatternRecord` to an
+append-only log built on :class:`repro.store.AppendLog` (the same
+crash-atomic primitive the cluster's write-ahead log uses — every
+append is flushed, optionally fsynced, and an interrupted write is
+repaired as a torn tail at reopen; :meth:`PatternStore.compact`
+rewrites the log through the temp-file → fsync → ``os.replace`` →
+directory-fsync discipline).
+
+**Identity is content-addressed.**  ``pattern_hash`` is the SHA-256 of
+the canonical JSON of ``(pattern_type, source, sink, interval,
+evidence)`` and ``pattern_id`` is its short prefix.  Two scans that
+detect the same flow — at any later epoch, after a process restart,
+with a different ``delta`` that lands on the same interval — derive the
+same id, so re-scans *dedupe instead of duplicating*: ``add`` is a
+no-op (first record wins) when the id is already stored.  The mutable
+context a detection carries (epoch, z-score, delta, intensity stats)
+is deliberately **outside** the hash: it describes the scan, not the
+pattern.
+
+The record schema is modeled on chainswarm's
+``analyzers_patterns_burst`` table (SNIPPETS.md snippet 3): stable id +
+hash, the burst interval, intensity statistics, a detection-method tag
+and the evidence edges that substantiate the claim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.exceptions import ReproError
+from repro.store.log import AppendLog
+from repro.temporal.edge import NodeId, Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+#: The log record tag for one persisted pattern.
+PATTERN_OP = "pattern"
+
+#: One evidence edge: ``(u, v, tau, capacity)``.
+EvidenceEdge = tuple[NodeId, NodeId, Timestamp, float]
+
+
+@dataclass(frozen=True, slots=True)
+class PatternRecord:
+    """One detected bursting-flow pattern (the durable unit).
+
+    ``pattern_id``/``pattern_hash`` are derived from the *content* —
+    endpoints, interval and canonical evidence edges — via
+    :func:`pattern_hash`; everything else is scan context.
+    """
+
+    pattern_id: str
+    pattern_hash: str
+    pattern_type: str
+    source: NodeId
+    sink: NodeId
+    delta: int
+    interval: tuple[Timestamp, Timestamp]
+    density: float
+    flow_value: float
+    epoch: int
+    detection_method: str
+    z_score: float
+    source_concentration: float
+    sink_concentration: float
+    evidence: tuple[EvidenceEdge, ...]
+
+    @property
+    def interval_length(self) -> int:
+        return self.interval[1] - self.interval[0]
+
+    @property
+    def evidence_count(self) -> int:
+        return len(self.evidence)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "pattern_id": self.pattern_id,
+            "pattern_hash": self.pattern_hash,
+            "pattern_type": self.pattern_type,
+            "source": self.source,
+            "sink": self.sink,
+            "delta": self.delta,
+            "interval": list(self.interval),
+            "density": self.density,
+            "flow_value": self.flow_value,
+            "epoch": self.epoch,
+            "detection_method": self.detection_method,
+            "z_score": self.z_score,
+            "source_concentration": self.source_concentration,
+            "sink_concentration": self.sink_concentration,
+            "evidence_count": self.evidence_count,
+            "evidence": [list(edge) for edge in self.evidence],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PatternRecord":
+        interval = payload["interval"]
+        return cls(
+            pattern_id=str(payload["pattern_id"]),
+            pattern_hash=str(payload["pattern_hash"]),
+            pattern_type=str(payload["pattern_type"]),
+            source=payload["source"],
+            sink=payload["sink"],
+            delta=int(payload["delta"]),
+            interval=(interval[0], interval[1]),
+            density=float(payload["density"]),
+            flow_value=float(payload["flow_value"]),
+            epoch=int(payload["epoch"]),
+            detection_method=str(payload["detection_method"]),
+            z_score=float(payload["z_score"]),
+            source_concentration=float(payload["source_concentration"]),
+            sink_concentration=float(payload["sink_concentration"]),
+            evidence=tuple(
+                (edge[0], edge[1], edge[2], float(edge[3]))
+                for edge in payload.get("evidence", ())
+            ),
+        )
+
+
+def pattern_hash(
+    source: NodeId,
+    sink: NodeId,
+    interval: tuple[Timestamp, Timestamp],
+    evidence: tuple[EvidenceEdge, ...],
+    *,
+    pattern_type: str = "bursting_flow",
+) -> str:
+    """SHA-256 over the canonical content of a pattern.
+
+    Canonical JSON (sorted keys, no whitespace) of the type, endpoints,
+    interval and the evidence list — the evidence must already be in
+    canonical order (:func:`canonical_evidence` guarantees it).
+    """
+    blob = json.dumps(
+        {
+            "type": pattern_type,
+            "source": source,
+            "sink": sink,
+            "interval": list(interval),
+            "evidence": [list(edge) for edge in evidence],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def pattern_id_for(hash_hex: str) -> str:
+    """The short content-addressed id for one pattern hash."""
+    return f"bf_{hash_hex[:16]}"
+
+
+def canonical_evidence(
+    network: TemporalFlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    interval: tuple[Timestamp, Timestamp],
+) -> tuple[EvidenceEdge, ...]:
+    """The deterministic evidence-edge set for one detected burst.
+
+    Evidence = the window's edges that lie on some source → sink path
+    (forward-reachable from the source and co-reachable to the sink in
+    the static graph induced by the window), sorted by
+    ``(tau, str(u), str(v))``.  This is a pure function of the network
+    restricted to the interval, so re-scans over unchanged history
+    derive byte-identical evidence — the foundation of the id/hash
+    stability contract.
+    """
+    window_edges = list(network.edges_in_window(interval[0], interval[1]))
+    forward = {source}
+    backward = {sink}
+    changed = True
+    while changed:
+        changed = False
+        for edge in window_edges:
+            if edge.u in forward and edge.v not in forward:
+                forward.add(edge.v)
+                changed = True
+            if edge.v in backward and edge.u not in backward:
+                backward.add(edge.u)
+                changed = True
+    relevant = [
+        (edge.u, edge.v, edge.tau, edge.capacity)
+        for edge in window_edges
+        if edge.u in forward and edge.v in backward
+    ]
+    relevant.sort(key=lambda e: (e[2], str(e[0]), str(e[1])))
+    return tuple(relevant)
+
+
+class PatternStore:
+    """Crash-safe pattern persistence with content-addressed dedupe.
+
+    Args:
+        directory: where ``patterns.log`` lives (created if absent).
+        fsync: fsync every append (durable to media before ``add``
+            returns).  Defaults to True — a pattern the store claimed to
+            persist must survive ``kill -9``.
+
+    Thread-safe: the service runs scans on executor threads while
+    ``GET /patterns`` reads from the event loop.
+    """
+
+    def __init__(self, directory: str | Path, *, fsync: bool = True) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._log = AppendLog(self.directory / "patterns.log", fsync=fsync)
+        self._records: dict[str, PatternRecord] = {}
+        self._lock = threading.Lock()
+        for raw in self._log.replay():
+            if raw.get("op") != PATTERN_OP:
+                continue
+            record = PatternRecord.from_dict(raw["record"])
+            # First record wins — identical content by construction; a
+            # duplicate in the log (pre-compaction) is simply skipped.
+            self._records.setdefault(record.pattern_id, record)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def add(self, record: PatternRecord) -> bool:
+        """Persist one pattern; returns False when it deduped.
+
+        The append is flushed (and fsynced when enabled) before the
+        in-memory index admits the record, so a crash can lose at most
+        the pattern whose ``add`` had not returned yet — never one the
+        caller was told about.
+        """
+        expected = pattern_hash(
+            record.source,
+            record.sink,
+            record.interval,
+            record.evidence,
+            pattern_type=record.pattern_type,
+        )
+        if record.pattern_hash != expected:
+            raise ReproError(
+                f"pattern {record.pattern_id} carries hash "
+                f"{record.pattern_hash[:16]}… but its content hashes to "
+                f"{expected[:16]}… — refusing to persist a forgeable id"
+            )
+        with self._lock:
+            if record.pattern_id in self._records:
+                return False
+            self._log.append({"op": PATTERN_OP, "record": record.as_dict()})
+            self._log.flush()
+            self._records[record.pattern_id] = record
+            return True
+
+    def compact(self) -> None:
+        """Rewrite the log to exactly the live record set (atomic swap)."""
+        with self._lock:
+            self._log.compact(
+                [
+                    {"op": PATTERN_OP, "record": record.as_dict()}
+                    for _, record in sorted(self._records.items())
+                ]
+            )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, pattern_id: str) -> PatternRecord | None:
+        with self._lock:
+            return self._records.get(pattern_id)
+
+    def ids(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __contains__(self, pattern_id: object) -> bool:
+        with self._lock:
+            return pattern_id in self._records
+
+    def query(
+        self,
+        *,
+        source: NodeId | None = None,
+        sink: NodeId | None = None,
+        since: Timestamp | None = None,
+        until: Timestamp | None = None,
+        min_density: float | None = None,
+        pattern_type: str | None = None,
+        limit: int | None = None,
+    ) -> list[PatternRecord]:
+        """Filter the stored patterns; canonical order, densest first.
+
+        ``since``/``until`` select patterns whose burst interval
+        intersects ``[since, until]``.  Ordering mirrors the planner's
+        tie-break: density desc, earlier start, shorter interval, then
+        ``pattern_id`` for full determinism.
+        """
+        with self._lock:
+            records = list(self._records.values())
+        matched = []
+        for record in records:
+            if source is not None and record.source != source:
+                continue
+            if sink is not None and record.sink != sink:
+                continue
+            if min_density is not None and record.density < min_density:
+                continue
+            if pattern_type is not None and record.pattern_type != pattern_type:
+                continue
+            if since is not None and record.interval[1] < since:
+                continue
+            if until is not None and record.interval[0] > until:
+                continue
+            matched.append(record)
+        matched.sort(
+            key=lambda r: (
+                -r.density,
+                r.interval[0],
+                r.interval_length,
+                r.pattern_id,
+            )
+        )
+        if limit is not None:
+            matched = matched[: max(limit, 0)]
+        return matched
+
+    def __iter__(self) -> Iterator[PatternRecord]:
+        return iter(self.query())
+
+    def close(self) -> None:
+        self._log.close()
+
+    def __enter__(self) -> "PatternStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -8,8 +8,10 @@ trial also cross-checks the transform compiler — BFQ+, BFQ*, the
 duplicate and overlapping-delta companions, the naive ``O(|T|^2)``
 oracle, the NetworkX-backed baseline, and the ``service`` backend that
 round-trips the query through the full serialize → cache → worker →
-deserialize serving path of :mod:`repro.service`) on the same query and
-diffs the answers:
+deserialize serving path of :mod:`repro.service`, and the opt-in
+``cluster`` and ``mining`` backends that route through a live replica
+set and the persisted-pattern replay path respectively) on the same
+query and diffs the answers:
 
 * **density** — all backends must agree within a relative epsilon;
 * **flow value** — must match the density on the reported interval;
@@ -47,6 +49,7 @@ from repro.oracle.cases import CaseLibrary, FuzzCase
 from repro.oracle.certificate import check_certificate
 from repro.oracle.generators import CaseGenerator, resolve_generators
 from repro.cluster.backend import cluster_bfq
+from repro.mining.backend import mining_bfq
 from repro.service.backend import service_bfq
 from repro.temporal.edge import Timestamp
 
@@ -90,19 +93,29 @@ BACKENDS: Mapping[str, Callable[..., BurstingFlowResult]] = {
     # replicas replay it, and the query routes through the coordinator
     # (affinity + epoch fence) cold and warm.
     "cluster": cluster_bfq,
+    # The full mining vertical: the pair is pinned into the confirmation
+    # stage, persisted to a throwaway pattern store, and the answer is
+    # reconstructed from a *replayed* record after close/reopen — so the
+    # durable round trip must be byte-identical to a direct solve.  The
+    # double scan inside also proves re-scans dedupe instead of duplicate.
+    "mining": mining_bfq,
 }
 
-#: The backends a default (``backends=None``) run executes.  ``cluster``
-#: is opted into explicitly (CI's cluster-smoke job does) because every
-#: trial boots a live two-replica cluster — correct but far heavier than
-#: the in-process backends.
+#: Backends a default (``backends=None``) run skips.  ``cluster`` boots a
+#: live two-replica cluster per trial and ``mining`` persists + replays a
+#: pattern store per trial — correct but far heavier than the in-process
+#: backends, so both are opted into explicitly (CI's smoke jobs do).
+OPT_IN_BACKENDS: frozenset[str] = frozenset({"cluster", "mining"})
+
+#: The backends a default (``backends=None``) run executes.
 DEFAULT_BACKENDS: tuple[str, ...] = tuple(
-    name for name in BACKENDS if name != "cluster"
+    name for name in BACKENDS if name not in OPT_IN_BACKENDS
 )
 
 #: Backends that enumerate exactly the Lemma-2 candidate plan and must
 #: therefore agree on the interval byte-for-byte.  The service and
-#: cluster backends wrap BFQ*, so their intervals are canonical too.
+#: cluster backends wrap BFQ*, and the mining backend replays a record
+#: confirmed through the planner, so their intervals are canonical too.
 PLAN_BACKENDS: tuple[str, ...] = (
     "bfq",
     "bfq-skel",
@@ -112,6 +125,7 @@ PLAN_BACKENDS: tuple[str, ...] = (
     "networkx",
     "service",
     "cluster",
+    "mining",
 )
 
 #: Backends supporting ``use_pruning`` (checked on *and* off).

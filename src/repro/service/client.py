@@ -36,12 +36,16 @@ from repro.service.protocol import (
     DrainRequest,
     MetricsRequest,
     OverloadedError,
+    PatternsReply,
+    PatternsRequest,
     PingRequest,
     ProtocolError,
     QueryReply,
     QueryRequest,
     Reply,
     Request,
+    ScanReply,
+    ScanRequest,
     StaleEpochError,
     TopKReply,
     TopKRequest,
@@ -252,6 +256,62 @@ class ServiceClient:
         )
         assert isinstance(reply, AppendReply)
         return reply
+
+    def scan(
+        self,
+        delta: int,
+        *,
+        pairs: Iterable[tuple[NodeId, NodeId]] | None = None,
+        top: int | None = None,
+        min_volume: float | None = None,
+        persist: str = "flagged",
+        timeout: float | None = None,
+        min_epoch: int | None = None,
+    ) -> ScanReply:
+        """Run one mining-funnel scan on the server's pattern store."""
+        reply = self.request(
+            ScanRequest(
+                id=f"s{next(self._ids)}",
+                delta=delta,
+                pairs=(
+                    tuple(tuple(pair) for pair in pairs)
+                    if pairs is not None
+                    else None
+                ),
+                top=top,
+                min_volume=min_volume,
+                persist=persist,
+                timeout=timeout,
+                min_epoch=min_epoch,
+            )
+        )
+        assert isinstance(reply, ScanReply)
+        return reply
+
+    def patterns(
+        self,
+        *,
+        source: NodeId | None = None,
+        sink: NodeId | None = None,
+        since: Timestamp | None = None,
+        until: Timestamp | None = None,
+        min_density: float | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Query the server's durable pattern store (dict records)."""
+        reply = self.request(
+            PatternsRequest(
+                id=f"g{next(self._ids)}",
+                source=source,
+                sink=sink,
+                since=since,
+                until=until,
+                min_density=min_density,
+                limit=limit,
+            )
+        )
+        assert isinstance(reply, PatternsReply)
+        return [dict(record) for record in reply.patterns]
 
     def metrics(self) -> dict[str, Any]:
         """The server's metrics snapshot."""

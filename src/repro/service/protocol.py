@@ -18,6 +18,10 @@ Requests (``op`` selects the type)::
      "pairs": [["s", "t"], ["s", "u"], ...]}
     {"v": 1, "id": "a1", "op": "append",
      "edges": [["s", "t", 7, 2.5], ...]}
+    {"v": 1, "id": "s1", "op": "scan", "delta": 3, "top": 8,
+     "persist": "flagged"}
+    {"v": 1, "id": "g1", "op": "patterns", "source": "s",
+     "min_density": 1.0, "limit": 50}
     {"v": 1, "id": "m1", "op": "metrics"}
     {"v": 1, "id": "p1", "op": "ping"}
     {"v": 1, "id": "d1", "op": "drain"}
@@ -210,6 +214,54 @@ class AppendRequest:
     op = "append"
 
 
+#: Wire-level ``persist`` choices for ``op: "scan"`` (mirrors
+#: :data:`repro.mining.PERSIST_MODES`).
+SCAN_PERSIST_MODES = ("flagged", "all")
+
+
+@dataclass(frozen=True, slots=True)
+class ScanRequest:
+    """One mining-funnel scan: ``op: "scan"``.
+
+    Runs the server's :class:`repro.mining.MiningPipeline` — pre-filter,
+    confirm through the planner, persist flagged patterns to the durable
+    store.  ``pairs`` pins the candidate set explicitly; omitted, the
+    pre-filter ranks candidates itself (``top`` emitters x ``top``
+    collectors above ``min_volume``).  ``persist="all"`` keeps every
+    positive-density confirmation instead of only the flagged outliers.
+    """
+
+    id: str
+    delta: int
+    pairs: tuple[tuple[NodeId, NodeId], ...] | None = None
+    top: int | None = None
+    min_volume: float | None = None
+    persist: str = "flagged"
+    timeout: float | None = None
+    min_epoch: int | None = None
+
+    op = "scan"
+
+
+@dataclass(frozen=True, slots=True)
+class PatternsRequest:
+    """A pattern-store query: ``op: "patterns"``.
+
+    All filters are optional and conjunctive; ``since``/``until`` select
+    patterns whose bursting interval intersects ``[since, until]``.
+    """
+
+    id: str
+    source: NodeId | None = None
+    sink: NodeId | None = None
+    since: Timestamp | None = None
+    until: Timestamp | None = None
+    min_density: float | None = None
+    limit: int | None = None
+
+    op = "patterns"
+
+
 @dataclass(frozen=True, slots=True)
 class MetricsRequest:
     """A metrics-snapshot request: ``op: "metrics"``."""
@@ -248,6 +300,8 @@ Request = (
     | BatchRequest
     | TopKRequest
     | AppendRequest
+    | ScanRequest
+    | PatternsRequest
     | MetricsRequest
     | PingRequest
     | DrainRequest
@@ -338,6 +392,35 @@ class AppendReply:
 
 
 @dataclass(frozen=True, slots=True)
+class ScanReply:
+    """The outcome of one mining-funnel scan."""
+
+    id: str
+    new_ids: tuple[str, ...]
+    deduped: int
+    funnel: Mapping[str, Any]
+    epoch: int
+    elapsed_ms: float
+
+    ok = True
+
+    @property
+    def new(self) -> int:
+        """How many previously-unseen patterns this scan persisted."""
+        return len(self.new_ids)
+
+
+@dataclass(frozen=True, slots=True)
+class PatternsReply:
+    """Matching pattern records (dict form, density-descending)."""
+
+    id: str
+    patterns: tuple[Mapping[str, Any], ...]
+
+    ok = True
+
+
+@dataclass(frozen=True, slots=True)
 class MetricsReply:
     """A point-in-time metrics snapshot."""
 
@@ -386,6 +469,8 @@ Reply = (
     | BatchReply
     | TopKReply
     | AppendReply
+    | ScanReply
+    | PatternsReply
     | MetricsReply
     | PongReply
     | DrainReply
@@ -587,6 +672,100 @@ def parse_request(raw: bytes | str | Mapping[str, Any]) -> Request:
                 )
             )
         return AppendRequest(id=request_id, edges=tuple(edges))
+    if op == "scan":
+        raw_pairs = payload.get("pairs")
+        pairs: tuple[tuple[NodeId, NodeId], ...] | None = None
+        if raw_pairs is not None:
+            if not isinstance(raw_pairs, Sequence) or isinstance(
+                raw_pairs, (str, bytes)
+            ):
+                raise ProtocolError(f"pairs must be an array, got {raw_pairs!r}")
+            if not raw_pairs:
+                raise ProtocolError("pairs must not be empty when given")
+            parsed = []
+            for position, item in enumerate(raw_pairs):
+                if not isinstance(item, Sequence) or len(item) != 2:
+                    raise ProtocolError(
+                        f"pairs[{position}] must be [source, sink], got {item!r}"
+                    )
+                source, sink = item
+                parsed.append(
+                    (
+                        _check_node(source, f"pairs[{position}].source"),
+                        _check_node(sink, f"pairs[{position}].sink"),
+                    )
+                )
+            pairs = tuple(parsed)
+        top = payload.get("top")
+        if top is not None and (
+            not isinstance(top, int) or isinstance(top, bool) or top < 1
+        ):
+            raise ProtocolError(f"top must be a positive int, got {top!r}")
+        min_volume = payload.get("min_volume")
+        if min_volume is not None:
+            if not isinstance(min_volume, (int, float)) or isinstance(
+                min_volume, bool
+            ) or min_volume < 0:
+                raise ProtocolError(
+                    f"min_volume must be a non-negative number, got {min_volume!r}"
+                )
+            min_volume = float(min_volume)
+        persist = payload.get("persist", "flagged")
+        if persist not in SCAN_PERSIST_MODES:
+            raise ProtocolError(
+                f"persist must be one of {', '.join(SCAN_PERSIST_MODES)}, "
+                f"got {persist!r}"
+            )
+        return ScanRequest(
+            id=request_id,
+            delta=_check_delta(_require(payload, "delta")),
+            pairs=pairs,
+            top=top,
+            min_volume=min_volume,
+            persist=persist,
+            timeout=_parse_timeout(payload),
+            min_epoch=_parse_min_epoch(payload),
+        )
+    if op == "patterns":
+        source = payload.get("source")
+        if source is not None:
+            source = _check_node(source, "source")
+        sink = payload.get("sink")
+        if sink is not None:
+            sink = _check_node(sink, "sink")
+        since = payload.get("since")
+        if since is not None and (
+            not isinstance(since, int) or isinstance(since, bool)
+        ):
+            raise ProtocolError(f"since must be an int timestamp, got {since!r}")
+        until = payload.get("until")
+        if until is not None and (
+            not isinstance(until, int) or isinstance(until, bool)
+        ):
+            raise ProtocolError(f"until must be an int timestamp, got {until!r}")
+        min_density = payload.get("min_density")
+        if min_density is not None:
+            if not isinstance(min_density, (int, float)) or isinstance(
+                min_density, bool
+            ):
+                raise ProtocolError(
+                    f"min_density must be a number, got {min_density!r}"
+                )
+            min_density = float(min_density)
+        limit = payload.get("limit")
+        if limit is not None and (
+            not isinstance(limit, int) or isinstance(limit, bool) or limit < 1
+        ):
+            raise ProtocolError(f"limit must be a positive int, got {limit!r}")
+        return PatternsRequest(
+            id=request_id,
+            source=source,
+            sink=sink,
+            since=since,
+            until=until,
+            min_density=min_density,
+            limit=limit,
+        )
     if op == "metrics":
         return MetricsRequest(id=request_id)
     if op == "ping":
@@ -631,6 +810,24 @@ def request_payload(request: Request) -> dict[str, Any]:
             payload["min_epoch"] = request.min_epoch
     elif isinstance(request, AppendRequest):
         payload["edges"] = [list(edge) for edge in request.edges]
+    elif isinstance(request, ScanRequest):
+        payload["delta"] = request.delta
+        if request.pairs is not None:
+            payload["pairs"] = [list(pair) for pair in request.pairs]
+        if request.top is not None:
+            payload["top"] = request.top
+        if request.min_volume is not None:
+            payload["min_volume"] = request.min_volume
+        payload["persist"] = request.persist
+        if request.timeout is not None:
+            payload["timeout"] = request.timeout
+        if request.min_epoch is not None:
+            payload["min_epoch"] = request.min_epoch
+    elif isinstance(request, PatternsRequest):
+        for key in ("source", "sink", "since", "until", "min_density", "limit"):
+            value = getattr(request, key)
+            if value is not None:
+                payload[key] = value
     return payload
 
 
@@ -685,6 +882,18 @@ def reply_payload(reply: Reply) -> dict[str, Any]:
             "appended": reply.appended,
             "epoch": reply.epoch,
             "invalidated": reply.invalidated,
+        }
+    elif isinstance(reply, ScanReply):
+        payload["result"] = {
+            "new_ids": list(reply.new_ids),
+            "deduped": reply.deduped,
+            "funnel": dict(reply.funnel),
+            "epoch": reply.epoch,
+            "elapsed_ms": reply.elapsed_ms,
+        }
+    elif isinstance(reply, PatternsReply):
+        payload["result"] = {
+            "patterns": [dict(record) for record in reply.patterns],
         }
     elif isinstance(reply, MetricsReply):
         payload["result"] = dict(reply.snapshot)
@@ -798,6 +1007,32 @@ def parse_reply(raw: bytes | str | Mapping[str, Any]) -> Reply:
                 appended=int(result["appended"]),
                 epoch=int(result["epoch"]),
                 invalidated=int(result.get("invalidated", 0)),
+            )
+        if "funnel" in result:
+            new_ids = result.get("new_ids", [])
+            if not isinstance(new_ids, Sequence) or isinstance(new_ids, (str, bytes)):
+                raise ProtocolError(f"scan reply new_ids must be an array: {payload!r}")
+            funnel = result.get("funnel")
+            return ScanReply(
+                id=reply_id,
+                new_ids=tuple(str(pattern_id) for pattern_id in new_ids),
+                deduped=int(result.get("deduped", 0)),
+                funnel=dict(funnel) if isinstance(funnel, Mapping) else {},
+                epoch=int(result.get("epoch", 0)),
+                elapsed_ms=float(result.get("elapsed_ms", 0.0)),
+            )
+        if "patterns" in result:
+            records = result["patterns"]
+            if not isinstance(records, Sequence) or isinstance(records, (str, bytes)):
+                raise ProtocolError(
+                    f"patterns reply must carry an array: {payload!r}"
+                )
+            for record in records:
+                if not isinstance(record, Mapping) or "pattern_id" not in record:
+                    raise ProtocolError(f"malformed pattern record: {record!r}")
+            return PatternsReply(
+                id=reply_id,
+                patterns=tuple(dict(record) for record in records),
             )
         if tuple(result) == ("epoch",):
             return PongReply(id=reply_id, epoch=int(result["epoch"]))

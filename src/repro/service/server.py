@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+import urllib.parse
 from contextlib import asynccontextmanager
 from typing import Any, AsyncIterator
 
@@ -67,6 +68,8 @@ from repro.service.protocol import (
     MetricsReply,
     MetricsRequest,
     OverloadedError,
+    PatternsReply,
+    PatternsRequest,
     PingRequest,
     PongReply,
     ProtocolError,
@@ -74,6 +77,8 @@ from repro.service.protocol import (
     QueryRequest,
     Reply,
     Request,
+    ScanReply,
+    ScanRequest,
     TopKBurst,
     TopKReply,
     TopKRequest,
@@ -81,6 +86,7 @@ from repro.service.protocol import (
     parse_request,
     reply_payload,
 )
+from repro.mining.pipeline import MiningPipeline
 from repro.service.workers import InlineEngine, ProcessEnginePool
 from repro.temporal.edge import TemporalEdge
 from repro.temporal.network import TemporalFlowNetwork
@@ -151,6 +157,10 @@ class BurstingFlowService:
         replica_id: name this instance carries when serving as a cluster
             replica (surfaced in ``/healthz`` and the metrics snapshot);
             ``None`` for a standalone service.
+        mining: a :class:`repro.mining.MiningPipeline` over the *same*
+            network, enabling the ``scan``/``patterns`` wire ops (with a
+            durable pattern store).  ``None`` (default) answers those
+            ops with a typed ``invalid`` error.
     """
 
     def __init__(
@@ -167,6 +177,7 @@ class BurstingFlowService:
         default_timeout: float = 30.0,
         max_timeout: float = 300.0,
         replica_id: str | None = None,
+        mining: MiningPipeline | None = None,
     ) -> None:
         get_algorithm(algorithm)  # fail fast on unknown defaults
         if kernel is not None and kernel not in KNOWN_KERNELS:
@@ -195,6 +206,13 @@ class BurstingFlowService:
                 mp_context=mp_context,
                 on_restart=self.metrics.observe_restart,
             )
+        if mining is not None and mining.network is not network:
+            raise ReproError(
+                "the mining pipeline must mine the same network the "
+                "service serves (appends would diverge otherwise)"
+            )
+        self.mining = mining
+        self._scan_lock = asyncio.Lock()
         self.replica_id = replica_id
         self._draining = False
         # Build the lazy indexes before the first concurrent read.
@@ -215,7 +233,14 @@ class BurstingFlowService:
         self.metrics.count_request(request.op)
         if (
             isinstance(
-                request, (QueryRequest, BatchRequest, TopKRequest, AppendRequest)
+                request,
+                (
+                    QueryRequest,
+                    BatchRequest,
+                    TopKRequest,
+                    AppendRequest,
+                    ScanRequest,
+                ),
             )
             and self._draining
         ):
@@ -233,6 +258,10 @@ class BurstingFlowService:
             reply = await self._handle_topk(request)
         elif isinstance(request, AppendRequest):
             reply = await self._handle_append(request)
+        elif isinstance(request, ScanRequest):
+            reply = await self._handle_scan(request)
+        elif isinstance(request, PatternsRequest):
+            reply = await self._handle_patterns(request)
         elif isinstance(request, MetricsRequest):
             reply = MetricsReply(id=request.id, snapshot=self.snapshot())
         elif isinstance(request, PingRequest):
@@ -277,6 +306,12 @@ class BurstingFlowService:
         }
         if self.replica_id is not None:
             snapshot["replica"] = self.replica_id
+        if self.mining is not None:
+            snapshot["mining"] = {
+                "scans": self.mining.scans,
+                "patterns": len(self.mining.store),
+                "stats_rebuilds": self.mining.stats.rebuilds,
+            }
         snapshot["draining"] = self._draining
         return snapshot
 
@@ -645,6 +680,10 @@ class BurstingFlowService:
                     # lock so concurrent readers never mutate them.
                     _ = self.network.timestamps
                 self.engine.mark_stale()
+                if self.mining is not None:
+                    # Ingest the appended edges into the streaming stats
+                    # while the writer lock guarantees a quiet network.
+                    self.mining.sync()
             epoch = self.network.epoch
             invalidated = self.cache.purge_epochs_below(epoch)
         self.metrics.observe_append(len(request.edges))
@@ -654,6 +693,113 @@ class BurstingFlowService:
             appended=len(request.edges),
             epoch=epoch,
             invalidated=invalidated,
+        )
+
+    async def _handle_scan(self, request: ScanRequest) -> Reply:
+        started = time.perf_counter()
+        if self.mining is None:
+            return ErrorReply(
+                request.id,
+                ERROR_INVALID,
+                "mining is not enabled on this server "
+                "(start it with a pattern store)",
+            )
+        try:
+            self.admission.admit()
+        except OverloadedError as exc:
+            return ErrorReply(
+                request.id,
+                ERROR_OVERLOADED,
+                str(exc),
+                retry_after_ms=exc.retry_after_ms,
+            )
+        self.metrics.set_queue_depth(self.admission.inflight)
+        try:
+            deadline = self.admission.deadline_for(request.timeout)
+            async with self._lock.read():
+                epoch = self.network.epoch
+                if request.min_epoch is not None and epoch < request.min_epoch:
+                    return ErrorReply(
+                        request.id,
+                        ERROR_STALE,
+                        f"epoch {epoch} is behind required "
+                        f"min_epoch {request.min_epoch}",
+                        retry_after_ms=25,
+                        epoch=epoch,
+                    )
+                # A scan has durable side effects (it persists patterns),
+                # so it is never cached and scans are serialized among
+                # themselves: concurrent scans would race on the shared
+                # streaming statistics.
+                mining = self.mining
+                loop = asyncio.get_running_loop()
+                async with self._scan_lock:
+                    try:
+                        remaining = self.admission.remaining(deadline)
+                        outcome = await asyncio.wait_for(
+                            loop.run_in_executor(
+                                None,
+                                lambda: mining.scan(
+                                    request.delta,
+                                    pairs=request.pairs,
+                                    persist=request.persist,
+                                    top=request.top,
+                                    min_volume=request.min_volume,
+                                ),
+                            ),
+                            timeout=remaining,
+                        )
+                    except (asyncio.TimeoutError, DeadlineExceededError):
+                        return ErrorReply(
+                            request.id, ERROR_TIMEOUT, "request deadline exceeded"
+                        )
+                    except ReproError as exc:
+                        return ErrorReply(request.id, ERROR_INVALID, str(exc))
+                    except Exception as exc:  # noqa: BLE001 - report, don't crash
+                        return ErrorReply(
+                            request.id,
+                            ERROR_INTERNAL,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                self.metrics.observe_solve(
+                    "mining", time.perf_counter() - started
+                )
+                return ScanReply(
+                    id=request.id,
+                    new_ids=tuple(outcome.new_ids),
+                    deduped=outcome.deduped,
+                    funnel=outcome.funnel.as_dict(),
+                    epoch=outcome.epoch,
+                    elapsed_ms=(time.perf_counter() - started) * 1000.0,
+                )
+        finally:
+            self.admission.release()
+            self.metrics.set_queue_depth(self.admission.inflight)
+
+    async def _handle_patterns(self, request: PatternsRequest) -> Reply:
+        if self.mining is None:
+            return ErrorReply(
+                request.id,
+                ERROR_INVALID,
+                "mining is not enabled on this server "
+                "(start it with a pattern store)",
+            )
+        # The pattern store is internally locked and the query is pure
+        # read — no admission ticket or network lock needed.
+        try:
+            records = self.mining.patterns(
+                source=request.source,
+                sink=request.sink,
+                since=request.since,
+                until=request.until,
+                min_density=request.min_density,
+                limit=request.limit,
+            )
+        except ReproError as exc:
+            return ErrorReply(request.id, ERROR_INVALID, str(exc))
+        return PatternsReply(
+            id=request.id,
+            patterns=tuple(record.as_dict() for record in records),
         )
 
     # ------------------------------------------------------------------
@@ -774,15 +920,27 @@ class BurstingFlowService:
                 200,
                 {"draining": True, "inflight": self.admission.inflight},
             )
+        elif method == "GET" and (
+            target in ("/patterns", "/patterns/")
+            or target.startswith("/patterns?")
+        ):
+            message = _patterns_message_from_target(target)
+            payload = json.loads(await self.handle_raw(encode(message)))
+            status = 200 if payload.get("ok") else _http_status(payload)
+            _http_respond(writer, status, payload)
         elif method == "POST" and target in (
             "/query",
             "/append",
             "/batch",
             "/topk",
+            "/scan",
+            "/patterns",
             "/query/",
             "/append/",
             "/batch/",
             "/topk/",
+            "/scan/",
+            "/patterns/",
         ):
             payload = json.loads(await self.handle_raw(body))
             status = 200 if payload.get("ok") else _http_status(payload)
@@ -794,6 +952,32 @@ class BurstingFlowService:
                 {"error": f"no route {method} {target}"},
             )
         await writer.drain()
+
+
+def _patterns_message_from_target(target: str) -> dict[str, Any]:
+    """Translate ``GET /patterns?...`` into a protocol ``patterns`` message.
+
+    Query-string values arrive as strings; numeric filters are coerced
+    (``since``/``until``/``limit`` to int, ``min_density`` to float) and
+    left as-is otherwise so :func:`parse_request` reports the type error
+    through the ordinary typed-reply path.
+    """
+    message: dict[str, Any] = {"v": 1, "id": "http", "op": "patterns"}
+    query = urllib.parse.urlsplit(target).query
+    for key, values in urllib.parse.parse_qs(query).items():
+        value: Any = values[-1]
+        if key in ("since", "until", "limit"):
+            try:
+                value = int(value)
+            except ValueError:
+                pass
+        elif key == "min_density":
+            try:
+                value = float(value)
+            except ValueError:
+                pass
+        message[key] = value
+    return message
 
 
 _HTTP_REASONS = {

@@ -1,0 +1,210 @@
+"""Pattern-store durability tests: stable ids, dedupe, crash injection.
+
+The store's contract is the acceptance criterion of the mining PR: a
+pattern's id is a pure function of its content (endpoints, interval,
+canonical evidence), so re-scans and restarts derive the *same* id set
+with zero duplicates — and the crash-injection harness proves every
+``os.fsync`` / ``os.replace`` the write path makes is a safe place to
+die.
+"""
+
+import contextlib
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.mining.store import (
+    PatternRecord,
+    PatternStore,
+    canonical_evidence,
+    pattern_hash,
+    pattern_id_for,
+)
+from repro.temporal import TemporalFlowNetwork
+from tests.mining.conftest import planted_edges
+from tests.store.crash import SimulatedCrash, count_calls, crash_on
+
+
+def record_for(index, *, delta=4, epoch=0, z=0.0):
+    """A synthetic record; content (and so the id) depends only on index."""
+    evidence = ((f"s{index}", f"t{index}", index, 1.0),)
+    hash_hex = pattern_hash(
+        f"s{index}", f"t{index}", (index, index + 4), evidence
+    )
+    return PatternRecord(
+        pattern_id=pattern_id_for(hash_hex),
+        pattern_hash=hash_hex,
+        pattern_type="bursting_flow",
+        source=f"s{index}",
+        sink=f"t{index}",
+        delta=delta,
+        interval=(index, index + 4),
+        density=float(index + 1),
+        flow_value=float(index + 1),
+        epoch=epoch,
+        detection_method="test",
+        z_score=z,
+        source_concentration=0.0,
+        sink_concentration=0.0,
+        evidence=evidence,
+    )
+
+
+class TestContentAddressing:
+    def test_scan_context_is_outside_the_hash(self):
+        a = record_for(1, delta=4, epoch=0, z=0.0)
+        b = record_for(1, delta=9, epoch=77, z=12.5)
+        assert a.pattern_id == b.pattern_id
+        assert a.pattern_hash == b.pattern_hash
+
+    def test_content_changes_the_id(self):
+        assert record_for(1).pattern_id != record_for(2).pattern_id
+
+    def test_forged_hash_is_refused(self, tmp_path):
+        real = record_for(1)
+        forged = PatternRecord(
+            **{
+                **{f: getattr(real, f) for f in real.__dataclass_fields__},
+                "pattern_hash": record_for(2).pattern_hash,
+            }
+        )
+        with PatternStore(tmp_path) as store:
+            with pytest.raises(ReproError, match="forgeable"):
+                store.add(forged)
+
+    def test_canonical_evidence_is_order_independent(self):
+        edges = planted_edges()
+        network = TemporalFlowNetwork.from_tuples(edges)
+        shuffled = TemporalFlowNetwork.from_tuples(
+            list(reversed(edges))
+        )
+        a = canonical_evidence(network, "s_star", "t_star", (20, 24))
+        b = canonical_evidence(shuffled, "s_star", "t_star", (20, 24))
+        assert a == b
+        assert a  # the planted chain has evidence
+        # Only path edges qualify: background chains never appear.
+        assert all(u in ("s_star", "mid") for u, _, _, _ in a)
+
+
+class TestDedupeAndReplay:
+    def test_add_dedupes_second_insert(self, tmp_path):
+        with PatternStore(tmp_path) as store:
+            assert store.add(record_for(1)) is True
+            assert store.add(record_for(1, epoch=5)) is False
+            assert len(store) == 1
+
+    def test_reopen_replays_the_same_ids(self, tmp_path):
+        with PatternStore(tmp_path) as store:
+            for i in range(5):
+                store.add(record_for(i))
+            before = store.ids()
+        with PatternStore(tmp_path) as reopened:
+            assert reopened.ids() == before
+            assert reopened.add(record_for(2)) is False  # still dedupes
+
+    def test_compact_preserves_every_record(self, tmp_path):
+        with PatternStore(tmp_path) as store:
+            for i in range(4):
+                store.add(record_for(i))
+            store.compact()
+            before = store.ids()
+        with PatternStore(tmp_path) as reopened:
+            assert reopened.ids() == before
+            assert reopened.get(record_for(3).pattern_id) == record_for(3)
+
+
+class TestQuery:
+    def fill(self, store):
+        for i in range(6):
+            store.add(record_for(i))
+
+    def test_filters(self, tmp_path):
+        with PatternStore(tmp_path) as store:
+            self.fill(store)
+            assert [r.source for r in store.query(source="s2")] == ["s2"]
+            assert [r.sink for r in store.query(sink="t4")] == ["t4"]
+            dense = store.query(min_density=4.0)
+            assert all(r.density >= 4.0 for r in dense)
+            assert len(dense) == 3
+            # Interval intersection: record i spans [i, i+4].
+            overlapping = store.query(since=4, until=5)
+            assert {r.interval[0] for r in overlapping} == {0, 1, 2, 3, 4, 5}
+            assert store.query(until=0)[0].interval[0] == 0
+
+    def test_order_is_density_desc_and_limit_applies(self, tmp_path):
+        with PatternStore(tmp_path) as store:
+            self.fill(store)
+            densities = [r.density for r in store.query()]
+            assert densities == sorted(densities, reverse=True)
+            assert len(store.query(limit=2)) == 2
+            assert store.query(limit=0) == []
+
+
+class TestCrashInjection:
+    """Die on every durability syscall the scripted workload makes."""
+
+    PATTERNS = 6
+
+    def run_workload(self, directory, acked):
+        """Add six patterns, compacting midway; ``acked`` records the ids
+        the store *acknowledged* (add returned) before any crash."""
+        store = PatternStore(directory, fsync=True)
+        try:
+            for i in range(self.PATTERNS):
+                record = record_for(i)
+                store.add(record)
+                acked.append(record.pattern_id)
+                if i == 2:
+                    store.compact()
+        finally:
+            with contextlib.suppress(Exception):
+                store.close()
+
+    @pytest.mark.parametrize("func_name", ["fsync", "replace"])
+    def test_acked_patterns_survive_every_crash_point(
+        self, tmp_path, func_name
+    ):
+        baseline = tmp_path / "baseline"
+        total = count_calls(
+            func_name, lambda: self.run_workload(baseline, [])
+        )
+        assert total >= 1, f"workload makes no os.{func_name} calls?"
+        for call_index in range(1, total + 1):
+            directory = tmp_path / f"{func_name}-{call_index}"
+            acked = []
+            with pytest.raises(SimulatedCrash):
+                with crash_on(func_name, call_index):
+                    self.run_workload(directory, acked)
+            with PatternStore(directory) as recovered:
+                ids = recovered.ids()
+                # Every acknowledged pattern survived...
+                assert ids >= set(acked), (
+                    f"crash at os.{func_name} #{call_index} lost acked "
+                    f"patterns: {set(acked) - ids}"
+                )
+                # ...nothing was resurrected from thin air...
+                written = {
+                    record_for(i).pattern_id for i in range(self.PATTERNS)
+                }
+                assert ids <= written
+                # ...and replay produced zero duplicates (ids is a set by
+                # construction; verify the records themselves round-trip).
+                for pattern_id in ids:
+                    index = int(recovered.get(pattern_id).source[1:])
+                    assert recovered.get(pattern_id) == record_for(index)
+
+    def test_kill_between_scans_never_duplicates(self, tmp_path):
+        """Crash mid-run, recover, re-add everything: same id set."""
+        acked = []
+        fsyncs = count_calls(
+            "fsync", lambda: self.run_workload(tmp_path / "probe", [])
+        )
+        with pytest.raises(SimulatedCrash):
+            with crash_on("fsync", max(fsyncs // 2, 1)):
+                self.run_workload(tmp_path / "store", acked)
+        with PatternStore(tmp_path / "store") as recovered:
+            for i in range(self.PATTERNS):  # the "re-scan after restart"
+                recovered.add(record_for(i))
+            assert recovered.ids() == {
+                record_for(i).pattern_id for i in range(self.PATTERNS)
+            }

@@ -37,9 +37,10 @@ class TestRunDifferential:
         outcome = run_differential(_simple_case())
         assert outcome.ok, outcome.describe()
         # The default run covers every backend except the opt-in ones
-        # (cluster boots a live replicated cluster per trial).
+        # (cluster boots a live replicated cluster per trial; mining
+        # persists and replays a pattern store per trial).
         assert set(outcome.records) == set(DEFAULT_BACKENDS)
-        assert set(DEFAULT_BACKENDS) == set(BACKENDS) - {"cluster"}
+        assert set(DEFAULT_BACKENDS) == set(BACKENDS) - {"cluster", "mining"}
         records = {r.record for r in outcome.records.values()}
         assert len(records) == 1  # identical (density, interval) everywhere
 

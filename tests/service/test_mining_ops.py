@@ -1,0 +1,240 @@
+"""Service-tier mining ops: ``scan`` / ``patterns`` over every transport.
+
+The service exposes the mining pipeline end-to-end: POST /scan runs the
+funnel against the *served* network (appends made over the wire are
+picked up by the scan's sync), GET /patterns reads the durable store,
+and a server started without a pattern store answers both with a typed
+``invalid`` error instead of a crash.
+"""
+
+import asyncio
+import json
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.mining import MiningPipeline, PatternStore
+from repro.service import BurstingFlowService, ServiceClient
+from repro.service.protocol import (
+    AppendRequest,
+    ErrorReply,
+    PatternsReply,
+    PatternsRequest,
+    ScanReply,
+    ScanRequest,
+)
+from repro.temporal import TemporalFlowNetwork
+
+from tests.mining.conftest import PLANTED_PAIRS, planted_edges
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def mining_service(tmp_path, network=None):
+    network = network or TemporalFlowNetwork.from_tuples(planted_edges())
+    store = PatternStore(tmp_path / "patterns")
+    mining = MiningPipeline(network, store)
+    return BurstingFlowService(network, mining=mining), store
+
+
+class TestHandleScan:
+    def test_scan_persists_and_rescan_dedupes(self, tmp_path):
+        async def scenario():
+            service, store = mining_service(tmp_path)
+            try:
+                async with service:
+                    first = await service.handle_request(
+                        ScanRequest(id="s1", delta=4)
+                    )
+                    second = await service.handle_request(
+                        ScanRequest(id="s2", delta=4)
+                    )
+                    return first, second, store.ids()
+            finally:
+                store.close()
+
+        first, second, ids = run(scenario())
+        assert isinstance(first, ScanReply) and first.ok
+        assert first.new == len(PLANTED_PAIRS) and first.deduped == 0
+        assert second.new == 0 and second.deduped == len(PLANTED_PAIRS)
+        assert set(first.new_ids) == ids
+        assert first.funnel["amortization"] > 1.0
+
+    def test_wire_append_is_visible_to_the_next_scan(self, tmp_path):
+        async def scenario():
+            service, store = mining_service(tmp_path)
+            try:
+                async with service:
+                    await service.handle_request(
+                        ScanRequest(id="s1", delta=4)
+                    )
+                    # A hot burst arrives over the wire (not via mining).
+                    edges = tuple(
+                        ("fresh_s", "fresh_t", 50 + t, 60.0)
+                        for t in range(5)
+                    )
+                    ack = await service.handle_request(
+                        AppendRequest(id="a1", edges=edges)
+                    )
+                    assert ack.ok, ack
+                    reply = await service.handle_request(
+                        ScanRequest(id="s2", delta=4)
+                    )
+                    return reply, store.query(source="fresh_s")
+            finally:
+                store.close()
+
+        reply, fresh = run(scenario())
+        assert reply.ok
+        assert [r.sink for r in fresh] == ["fresh_t"]
+        assert set(reply.new_ids) == {r.pattern_id for r in fresh}
+
+    def test_explicit_pairs_and_persist_all(self, tmp_path):
+        async def scenario():
+            service, store = mining_service(tmp_path)
+            try:
+                async with service:
+                    reply = await service.handle_request(
+                        ScanRequest(
+                            id="s1",
+                            delta=4,
+                            pairs=(("s_star", "t_star"),),
+                            persist="all",
+                        )
+                    )
+                    return reply
+            finally:
+                store.close()
+
+        reply = run(scenario())
+        assert reply.ok and reply.new == 1
+        assert reply.funnel["candidates"] == 1
+
+    def test_scan_without_mining_is_a_typed_invalid_error(self):
+        async def scenario():
+            network = TemporalFlowNetwork.from_tuples(planted_edges())
+            async with BurstingFlowService(network) as service:
+                scan = await service.handle_request(
+                    ScanRequest(id="s1", delta=4)
+                )
+                patterns = await service.handle_request(
+                    PatternsRequest(id="g1")
+                )
+                return scan, patterns
+
+        scan, patterns = run(scenario())
+        assert isinstance(scan, ErrorReply) and scan.kind == "invalid"
+        assert "mining is not enabled" in scan.message
+        assert isinstance(patterns, ErrorReply) and patterns.kind == "invalid"
+
+    def test_mining_over_a_different_network_is_refused(self, tmp_path):
+        ours = TemporalFlowNetwork.from_tuples(planted_edges())
+        theirs = TemporalFlowNetwork.from_tuples(planted_edges())
+        with PatternStore(tmp_path / "patterns") as store:
+            mining = MiningPipeline(theirs, store)
+            with pytest.raises(ReproError, match="same network"):
+                BurstingFlowService(ours, mining=mining)
+
+
+class TestHandlePatterns:
+    def test_filters_pass_through(self, tmp_path):
+        async def scenario():
+            service, store = mining_service(tmp_path)
+            try:
+                async with service:
+                    await service.handle_request(ScanRequest(id="s1", delta=4))
+                    reply = await service.handle_request(
+                        PatternsRequest(id="g1", source="s_star", limit=1)
+                    )
+                    metrics = service.snapshot()
+                    return reply, metrics
+            finally:
+                store.close()
+
+        reply, metrics = run(scenario())
+        assert isinstance(reply, PatternsReply) and reply.ok
+        assert len(reply.patterns) == 1
+        assert reply.patterns[0]["source"] == "s_star"
+        assert reply.patterns[0]["pattern_id"].startswith("bf_")
+        assert metrics["mining"]["scans"] == 1
+        assert metrics["mining"]["patterns"] == len(PLANTED_PAIRS)
+
+
+class TestWireTransports:
+    def test_client_scan_and_patterns_round_trip(self, tmp_path):
+        async def scenario():
+            service, store = mining_service(tmp_path)
+            try:
+                async with service:
+                    host, port = await service.start()
+                    loop = asyncio.get_running_loop()
+
+                    def session():
+                        with ServiceClient(host, port) as client:
+                            scan = client.scan(4)
+                            dense = client.patterns(min_density=1.0, limit=2)
+                            return scan, dense
+
+                    return await loop.run_in_executor(None, session)
+            finally:
+                store.close()
+
+        scan, dense = run(scenario())
+        assert isinstance(scan, ScanReply) and scan.new == len(PLANTED_PAIRS)
+        assert len(dense) == 2
+        assert all(record["density"] >= 1.0 for record in dense)
+
+    def test_http_scan_and_patterns(self, tmp_path):
+        async def scenario():
+            service, store = mining_service(tmp_path)
+            try:
+                async with service:
+                    host, port = await service.start()
+                    loop = asyncio.get_running_loop()
+                    base = f"http://{host}:{port}"
+
+                    def session():
+                        body = json.dumps(
+                            {"v": 1, "id": "s1", "op": "scan", "delta": 4}
+                        ).encode()
+                        request = urllib.request.Request(
+                            f"{base}/scan", data=body,
+                            headers={"Content-Type": "application/json"},
+                        )
+                        with urllib.request.urlopen(request) as response:
+                            scan = json.loads(response.read())
+                        query = urllib.parse.urlencode(
+                            {"min_density": 1.0, "limit": 2}
+                        )
+                        with urllib.request.urlopen(
+                            f"{base}/patterns?{query}"
+                        ) as response:
+                            patterns = json.loads(response.read())
+                        return scan, patterns
+
+                    return await loop.run_in_executor(None, session)
+            finally:
+                store.close()
+
+        scan, patterns = run(scenario())
+        assert len(scan["result"]["new_ids"]) == len(PLANTED_PAIRS)
+        assert len(patterns["result"]["patterns"]) == 2
+
+    def test_protocol_rejects_malformed_scan(self):
+        from repro.service.protocol import ProtocolError, parse_request
+
+        with pytest.raises(ProtocolError):
+            parse_request(
+                json.dumps(
+                    {"v": 1, "id": "s", "op": "scan", "delta": 4,
+                     "persist": "sometimes"}
+                ).encode()
+            )
+        with pytest.raises(ProtocolError):
+            parse_request(
+                json.dumps({"v": 1, "id": "s", "op": "scan"}).encode()
+            )
