@@ -1,6 +1,6 @@
 """Perf-regression harness for the engine's kernel and transform choices.
 
-Two experiments, selected with ``--experiment``:
+Three experiments, selected with ``--experiment``:
 
 * ``kernel`` (EXP-3 regression, writes ``BENCH_PR2.json`` by default) —
   reruns the incremental-maxflow workload (the per-candidate-interval
@@ -18,6 +18,15 @@ Two experiments, selected with ``--experiment``:
   transform dominates); BFQ+/BFQ* are included to show the skeleton is
   never a regression for the incremental solutions.
 
+* ``kernels`` (writes ``BENCH_PR9.json`` by default) — the
+  specialised-kernel matrix, in three sections: **sweep** (full BFQ*
+  query sweeps under every arena kernel, with ``adaptive``'s ratio
+  against the best fixed kernel per dataset), **large_window** (cold
+  solves on each dataset's widest candidate windows — the regime the
+  ``vectorized``/``push_relabel`` kernels were built for), and **shm**
+  (an append-heavy service microbench comparing the shared-memory edge
+  log against per-epoch pool rebuilds).
+
 Configurations are interleaved within each repetition and the
 per-configuration minimum across repetitions is kept, which cancels
 machine drift without favouring either side.  The JSON written to
@@ -28,7 +37,7 @@ script and uploads the artifact.
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_regression.py \
-        [--experiment kernel|transform] [--output FILE.json] \
+        [--experiment kernel|transform|kernels] [--output FILE.json] \
         [--scale 1.0] [--queries 6] [--reps 3]
 """
 
@@ -239,25 +248,286 @@ def run_transform_benchmark(
     }
 
 
+# ----------------------------------------------------------------------
+# --experiment kernels: the specialised-kernel matrix (BENCH_PR9)
+# ----------------------------------------------------------------------
+#: Every kernel that runs on the persistent arena (order = report order).
+ARENA_KERNEL_MATRIX = ("persistent", "vectorized", "push_relabel", "adaptive")
+#: Specialised kernels count as "in regime" on windows at least this big
+#: (matches repro.flownet.algorithms.selector.VECTORIZED_ARCS).
+FAVORABLE_ARCS = 24_000
+#: Windows ranked by span; this many of the widest are timed cold.
+LARGE_WINDOWS_PER_DATASET = 4
+
+
+def _sweep_section(datasets, scale, query_count, reps):
+    """Full BFQ* sweeps per kernel; adaptive vs the best fixed kernel."""
+    configs = []
+    for name in datasets:
+        network = make_dataset(name, scale=scale)
+        workload = generate_queries(network, count=query_count, seed=QUERY_SEED)
+        delta = workload.delta_for(DELTA_FRACTION)
+        queries = [
+            BurstingFlowQuery(source=s, sink=t, delta=delta)
+            for s, t in workload.pairs
+        ]
+        best: dict = {k: None for k in ARENA_KERNEL_MATRIX}
+        for query in queries:  # unmeasured warmup: first-touch costs
+            bfq_star(network, query, kernel="persistent")
+        for _ in range(reps):
+            for kernel in ARENA_KERNEL_MATRIX:  # interleaved
+                start = time.perf_counter()
+                for query in queries:
+                    bfq_star(network, query, kernel=kernel)
+                wall = time.perf_counter() - start
+                if best[kernel] is None or wall < best[kernel]:
+                    best[kernel] = wall
+        fixed = {k: best[k] for k in ARENA_KERNEL_MATRIX if k != "adaptive"}
+        best_fixed = min(fixed, key=fixed.get)
+        configs.append(
+            {
+                "dataset": name,
+                "delta": delta,
+                "num_queries": len(queries),
+                "wall_s": best,
+                "best_fixed": best_fixed,
+                "adaptive_vs_best_fixed": fixed[best_fixed]
+                / max(best["adaptive"], 1e-12),
+            }
+        )
+    return configs
+
+
+def _large_window_section(datasets, scale, query_count, reps):
+    """Cold per-kernel solves on each dataset's widest candidate windows."""
+    from repro.core.incremental import IncrementalTransformedNetwork
+    from repro.core.intervals import enumerate_candidates
+
+    fixed_kernels = [k for k in ARENA_KERNEL_MATRIX if k != "adaptive"]
+    windows = []
+    for name in datasets:
+        network = make_dataset(name, scale=scale)
+        workload = generate_queries(network, count=query_count, seed=QUERY_SEED)
+        delta = workload.delta_for(DELTA_FRACTION)
+        candidates = []
+        for s, t in workload.pairs:
+            plan = enumerate_candidates(network, s, t, delta)
+            candidates.extend(
+                (te - ts, s, t, ts, te) for (ts, te) in plan.intervals()
+            )
+        candidates.sort(reverse=True)  # widest span first (arc-count proxy)
+        for _, s, t, ts, te in candidates[:LARGE_WINDOWS_PER_DATASET]:
+            timings: dict = {k: None for k in fixed_kernels}
+            arcs = 0
+            for _ in range(reps):
+                for kernel in fixed_kernels:  # interleaved
+                    state = IncrementalTransformedNetwork(
+                        network, s, t, ts, te, kernel=kernel
+                    )
+                    start = time.perf_counter()
+                    state.run_maxflow()
+                    wall = time.perf_counter() - start
+                    if timings[kernel] is None or wall < timings[kernel]:
+                        timings[kernel] = wall
+                    if state.network.arena is not None:
+                        arcs = len(state.network.arena.heads)
+            windows.append(
+                {
+                    "dataset": name,
+                    "interval": [ts, te],
+                    "arcs": arcs,
+                    "wall_s": timings,
+                    "speedup_vs_persistent": {
+                        k: timings["persistent"] / max(timings[k], 1e-12)
+                        for k in fixed_kernels
+                        if k != "persistent"
+                    },
+                }
+            )
+    return windows
+
+
+def _shm_section(shm_cycles: int, shm_scale: float):
+    """Append-heavy refresh cost: shared-memory publish vs pool rebuild.
+
+    Each cycle appends a few edges and immediately queries; the per-cycle
+    state-refresh overhead is the cycle time minus the warm solve time.
+    The shared log should eliminate nearly all of it (no pool teardown,
+    no network re-pickle — workers replay only the appended records).
+    """
+    import asyncio
+
+    from repro.service.workers import ProcessEnginePool
+    from repro.temporal.edge import TemporalEdge
+
+    async def measure(shared: bool) -> dict:
+        network = make_dataset("ctu13", scale=shm_scale)
+        workload = generate_queries(network, count=2, seed=QUERY_SEED)
+        source, sink = workload.pairs[0]
+        delta = workload.delta_for(DELTA_FRACTION)
+        pool = ProcessEnginePool(
+            network, processes=2, mp_context="fork", shared=shared
+        )
+        try:
+            await pool.answer(source, sink, delta, "bfq*", None)  # warm
+            warm_start = time.perf_counter()
+            warm_solves = 3
+            for _ in range(warm_solves):
+                await pool.answer(source, sink, delta, "bfq*", None)
+            warm_s = (time.perf_counter() - warm_start) / warm_solves
+            tau = network.t_max
+            cycle_start = time.perf_counter()
+            for cycle in range(shm_cycles):
+                fresh = [
+                    TemporalEdge(source, f"shmb{cycle}_{i}", tau + cycle + 1, 1.0)
+                    for i in range(4)
+                ]
+                for edge in fresh:
+                    network.add_edge(edge)
+                pool.mark_stale(fresh if shared else None)
+                await pool.answer(source, sink, delta, "bfq*", None)
+            cycles_s = time.perf_counter() - cycle_start
+            refresh_s = max(cycles_s - shm_cycles * warm_s, 0.0) / shm_cycles
+            return {
+                "warm_solve_s": warm_s,
+                "cycle_total_s": cycles_s,
+                "refresh_per_append_s": refresh_s,
+            }
+        finally:
+            pool.close()
+
+    rebuild = asyncio.run(measure(False))
+    shm = asyncio.run(measure(True))
+    eliminated = 1.0 - (
+        shm["refresh_per_append_s"]
+        / max(rebuild["refresh_per_append_s"], 1e-12)
+    )
+    return {
+        "dataset": "ctu13",
+        "cycles": shm_cycles,
+        "rebuild": rebuild,
+        "shared": shm,
+        "refresh_eliminated": eliminated,
+    }
+
+
+def run_kernels_benchmark(
+    *,
+    datasets=DATASETS,
+    scale: float = 1.0,
+    large_scale: float = 3.0,
+    query_count: int = 6,
+    reps: int = 3,
+    shm_cycles: int = 8,
+    shm_scale: float = 1.0,
+) -> dict:
+    """The specialised-kernel matrix (BENCH_PR9); returns the report.
+
+    ``scale`` sizes the sweep section (the standard EXP-3 workload);
+    ``large_scale`` sizes the large-window section separately, because
+    the specialised kernels only enter their regime on windows of
+    roughly ``FAVORABLE_ARCS`` arcs and the standard datasets never get
+    there at scale 1.
+    """
+    return {
+        "benchmark": "pr9-specialised-kernel-matrix",
+        "metric": (
+            "sweep: end-to-end BFQ* wall seconds per kernel (min over "
+            "interleaved reps); large_window: cold run_maxflow wall seconds "
+            "on the widest candidate windows; shm: per-append worker "
+            "state-refresh seconds, shared-memory log vs pool rebuild"
+        ),
+        "baseline": "persistent (flat-array Dinic) / pool rebuild per epoch",
+        "candidate": (
+            "vectorized + push_relabel + adaptive kernels / shared-memory "
+            "edge log"
+        ),
+        "config": {
+            "datasets": list(datasets),
+            "scale": scale,
+            "large_scale": large_scale,
+            "queries_per_dataset": query_count,
+            "query_seed": QUERY_SEED,
+            "delta_fraction": DELTA_FRACTION,
+            "reps": reps,
+            "favorable_arcs": FAVORABLE_ARCS,
+            "shm_cycles": shm_cycles,
+            "shm_scale": shm_scale,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "timestamp_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+        },
+        "sweep": _sweep_section(datasets, scale, query_count, reps),
+        "large_window": _large_window_section(
+            datasets, large_scale, query_count, reps
+        ),
+        "shm": _shm_section(shm_cycles, shm_scale),
+    }
+
+
+def summarise_kernels_report(report: dict) -> dict:
+    """Roll the headline numbers out of a kernels report (used by CI too)."""
+    favorable = [
+        window
+        for window in report["large_window"]
+        if window["arcs"] >= report["config"]["favorable_arcs"]
+    ]
+    best_specialised = max(
+        (
+            max(window["speedup_vs_persistent"].values())
+            for window in favorable
+        ),
+        default=None,
+    )
+    return {
+        "adaptive_vs_best_fixed_min": min(
+            config["adaptive_vs_best_fixed"] for config in report["sweep"]
+        ),
+        "favorable_windows": len(favorable),
+        "best_specialised_speedup": best_specialised,
+        "shm_refresh_eliminated": report["shm"]["refresh_eliminated"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--experiment",
         default="kernel",
-        choices=["kernel", "transform"],
+        choices=["kernel", "transform", "kernels"],
         help="kernel: EXP-3 object-vs-persistent; transform: EXP-4 "
-        "object-vs-skeleton (default: kernel)",
+        "object-vs-skeleton; kernels: PR-9 specialised-kernel matrix "
+        "(default: kernel)",
     )
     parser.add_argument(
         "--output",
         type=Path,
         default=None,
         help="where to write the JSON report (default: ./BENCH_PR2.json "
-        "for kernel, ./BENCH_PR4.json for transform)",
+        "for kernel, ./BENCH_PR4.json for transform, ./BENCH_PR9.json "
+        "for kernels)",
     )
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--large-scale",
+        type=float,
+        default=3.0,
+        help="dataset scale for the kernels experiment's large-window "
+        "section (the specialised kernels' regime; default: 3.0)",
+    )
     parser.add_argument("--queries", type=int, default=6)
     parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--shm-cycles",
+        type=int,
+        default=8,
+        help="append+query cycles per side in the kernels experiment's "
+        "shared-memory section (default: 8)",
+    )
     parser.add_argument(
         "--datasets",
         nargs="+",
@@ -267,8 +537,52 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.output is None:
         args.output = Path(
-            "BENCH_PR2.json" if args.experiment == "kernel" else "BENCH_PR4.json"
+            {
+                "kernel": "BENCH_PR2.json",
+                "transform": "BENCH_PR4.json",
+                "kernels": "BENCH_PR9.json",
+            }[args.experiment]
         )
+
+    if args.experiment == "kernels":
+        report = run_kernels_benchmark(
+            datasets=tuple(args.datasets),
+            scale=args.scale,
+            large_scale=args.large_scale,
+            query_count=args.queries,
+            reps=args.reps,
+            shm_cycles=args.shm_cycles,
+            shm_scale=args.scale,
+        )
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        for config in report["sweep"]:
+            cells = " ".join(
+                f"{kernel} {config['wall_s'][kernel] * 1e3:8.1f}ms"
+                for kernel in ARENA_KERNEL_MATRIX
+            )
+            print(
+                f"{config['dataset']:>8} sweep {cells}"
+                f"  adaptive/best-fixed {config['adaptive_vs_best_fixed']:.2f}x"
+            )
+        for window in report["large_window"]:
+            ups = " ".join(
+                f"{kernel} {speedup:.2f}x"
+                for kernel, speedup in window["speedup_vs_persistent"].items()
+            )
+            print(
+                f"{window['dataset']:>8} window {window['interval']}"
+                f" arcs {window['arcs']:>6} {ups}"
+            )
+        shm = report["shm"]
+        print(
+            f"     shm refresh/append: rebuild"
+            f" {shm['rebuild']['refresh_per_append_s'] * 1e3:.1f}ms ->"
+            f" shared {shm['shared']['refresh_per_append_s'] * 1e3:.1f}ms"
+            f" ({shm['refresh_eliminated'] * 100:.0f}% eliminated)"
+        )
+        headline = summarise_kernels_report(report)
+        print(f"headline: {json.dumps(headline)} ({args.output})")
+        return 0
 
     if args.experiment == "transform":
         report = run_transform_benchmark(

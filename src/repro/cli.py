@@ -33,6 +33,7 @@ from pathlib import Path
 from repro.anomaly import BurstDetector, format_finding_interval
 from repro.core import BurstingFlowQuery, find_bursting_flow
 from repro.exceptions import ReproError
+from repro.flownet.algorithms.registry import ENGINE_KERNELS
 from repro.temporal import (
     format_stats_table,
     load_edge_list,
@@ -74,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--kernel",
         default=None,
-        choices=["persistent", "object"],
+        choices=list(ENGINE_KERNELS),
         help="maxflow kernel for bfq+/bfq* (default: persistent)",
     )
     query.add_argument(
@@ -111,7 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument(
         "--kernel",
         default=None,
-        choices=["persistent", "object"],
+        choices=list(ENGINE_KERNELS),
         help="maxflow kernel for the bfq* sweep (default: persistent)",
     )
     scan.add_argument(
@@ -265,8 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "comma-separated backend subset of "
-            "bfq,bfq-skel,bfq+,bfq*,planner,naive,networkx,service,"
-            "cluster,mining (cluster boots a live 2-replica cluster per "
+            "bfq,bfq-skel,bfq+,bfq*,vectorized,push_relabel,adaptive,"
+            "planner,naive,networkx,service,"
+            "cluster,mining (vectorized/push_relabel/adaptive are bfq* "
+            "pinned to the specialised maxflow kernels; cluster boots a "
+            "live 2-replica cluster per "
             "trial and mining persists + replays a pattern store per "
             "trial; both are excluded from the default set; planner "
             "answers through a shared-skeleton batch with duplicate + "
@@ -319,7 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--kernel",
         default=None,
-        choices=["persistent", "object"],
+        choices=list(ENGINE_KERNELS),
         help="default maxflow kernel for bfq+/bfq*",
     )
     serve.add_argument(
@@ -409,7 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--kernel",
         default=None,
-        choices=["persistent", "object"],
+        choices=list(ENGINE_KERNELS),
         help="default maxflow kernel for bfq+/bfq*",
     )
     cluster.add_argument(

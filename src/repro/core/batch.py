@@ -42,6 +42,7 @@ from repro.core.query import (
 )
 from repro.exceptions import InvalidQueryError
 from repro.temporal.network import TemporalFlowNetwork
+from repro.temporal.shared import SharedNetworkStore, pool_initargs
 
 #: ``plan=`` choices for :func:`answer_many`.
 KNOWN_PLANS = ("independent", "shared")
@@ -76,6 +77,7 @@ def answer_many(
     processes: int | None = None,
     mp_context: str | None = None,
     plan: str = "independent",
+    shared: bool = False,
 ) -> list[BurstingFlowResult]:
     """Answer a batch of queries; results align with the input order.
 
@@ -95,6 +97,13 @@ def answer_many(
             or ``"shared"`` (route through :func:`repro.core.planner.
             answer_planned`: one skeleton per (s, t) group, overlapping
             delta sweeps solve each candidate window once).
+        shared: ship the network to pool workers through a
+            :class:`~repro.temporal.shared.SharedNetworkStore` (workers
+            attach to one shared-memory edge log instead of each
+            unpickling the network — worth it for large networks under
+            ``spawn``/``forkserver``).  Falls back silently to pickled
+            ``initargs`` when shared memory is unavailable; no effect on
+            sequential runs.
 
     Raises:
         BatchQueryError: one query (or one planner group) failed; the
@@ -132,6 +141,12 @@ def answer_many(
         ]
 
     context = multiprocessing.get_context(mp_context)
+    store = _open_store(network) if shared else None
+    initializer, initargs = (
+        pool_initargs(store, _init_worker, algorithm)
+        if store is not None
+        else (_init_worker, (network, algorithm))
+    )
     try:
         # run_pool carries the shared fan-out discipline: BrokenProcessPool
         # rebuild-once recovery, and fail-fast cancellation that names the
@@ -141,11 +156,13 @@ def answer_many(
             _answer_one,
             max_workers=processes,
             context=context,
-            initializer=_init_worker,
-            initargs=(network, algorithm),
+            initializer=initializer,
+            initargs=initargs,
             describe=lambda index: batch[index],
         )
     finally:
+        if store is not None:
+            store.close()
         # With fork, workers inherit whatever the parent's module state
         # happens to be at submit time; keeping the parent's copy pristine
         # guarantees a concurrent or subsequent batch can't leak its
@@ -158,6 +175,14 @@ def _answer_one(query: BurstingFlowQuery) -> BurstingFlowResult:
     return find_bursting_flow(
         _WORKER_NETWORK, query, algorithm=_WORKER_ALGORITHM
     )
+
+
+def _open_store(network: TemporalFlowNetwork) -> "SharedNetworkStore | None":
+    """A shared-memory store for ``network``, or ``None`` if unavailable."""
+    try:
+        return SharedNetworkStore(network)
+    except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+        return None
 
 
 # ----------------------------------------------------------------------
@@ -240,6 +265,7 @@ def bfq_parallel(
     solver: str = "dinic",
     transform: str | None = None,
     mp_context: str | None = None,
+    shared: bool = False,
 ) -> BurstingFlowResult:
     """BFQ with candidate windows sharded across worker processes.
 
@@ -254,6 +280,8 @@ def bfq_parallel(
             ``<= 1`` falls back to sequential :func:`~repro.core.bfq.bfq`.
         solver / transform: forwarded to the per-window evaluation.
         mp_context: multiprocessing start method (as in
+            :func:`answer_many`).
+        shared: ship the network through shared memory (as in
             :func:`answer_many`).
     """
     from repro.core.bfq import bfq
@@ -280,17 +308,25 @@ def bfq_parallel(
     chunks = [intervals[lo:hi] for lo, hi in chunk_bounds if hi > lo]
 
     context = multiprocessing.get_context(mp_context)
+    store = _open_store(network) if shared else None
+    initializer, initargs = (
+        pool_initargs(store, _init_window_worker, query, solver, transform)
+        if store is not None
+        else (_init_window_worker, (network, query, solver, transform))
+    )
     try:
         chunk_stats: list[QueryStats] = run_pool(
             chunks,
             _evaluate_window_chunk,
             max_workers=workers,
             context=context,
-            initializer=_init_window_worker,
-            initargs=(network, query, solver, transform),
+            initializer=initializer,
+            initargs=initargs,
             describe=lambda index: f"window chunk {index} of {query!r}",
         )
     finally:
+        if store is not None:
+            store.close()
         _reset_window_worker_state()
 
     # Merge: concatenate stats in chunk order (which is plan order) —

@@ -36,7 +36,7 @@ from repro.core.query import (
 from repro.core.record import BestRecord, should_prune
 from repro.core.skeleton import DEFAULT_TRANSFORM, WindowSkeleton, validate_transform
 from repro.core.transform import build_transformed_network
-from repro.flownet.algorithms.dinic import dinic
+from repro.flownet.algorithms.selector import network_maxflow
 from repro.temporal.edge import Timestamp
 from repro.temporal.network import TemporalFlowNetwork
 
@@ -60,9 +60,13 @@ def bfq_plus(
         query: the delta-BFlow query.
         use_pruning: apply Observation 2 (on by default; EXP-2 disables it
             to isolate the incremental speedup).
-        kernel: maxflow kernel for the incremental state (``"persistent"``
-            runs the flat-array Dinic on a maintained CSR residual arena;
-            ``"object"`` is the Arc-walking engine).
+        kernel: maxflow kernel for the incremental state — any name in
+            :data:`repro.flownet.algorithms.registry.ENGINE_KERNELS`:
+            ``"persistent"`` (flat-array Dinic on a maintained CSR residual
+            arena), ``"vectorized"`` (numpy frontier BFS), ``"push_relabel"``
+            (FIFO preflow for dense windows), ``"adaptive"`` (per-window
+            choice from observed timings), or ``"object"`` (the Arc-walking
+            engine).
         transform: edge-inclusion backend — ``"skeleton"`` (one compiled
             per-query index, default) or ``"object"`` (per-extension
             reachability sweeps).
@@ -94,7 +98,14 @@ def bfq_plus(
             skeleton=skeleton,
         )
     _evaluate_corner(
-        network, query, plan, best, stats, transform=transform, skeleton=skeleton
+        network,
+        query,
+        plan,
+        best,
+        stats,
+        kernel=kernel,
+        transform=transform,
+        skeleton=skeleton,
     )
 
     return BurstingFlowResult(
@@ -136,6 +147,7 @@ def _sweep_endings(
     run = state.run_maxflow()
     t2 = time.perf_counter()
     stats.maxflow_runs += 1
+    stats.note_kernel(run.kernel, t2 - t1)
     stats.augmenting_paths += run.augmenting_paths
     flow_value = state.flow_value()
     stats.record_sample(
@@ -183,6 +195,7 @@ def _sweep_endings(
         run = state.run_maxflow(value_bound=pending_sink_capacity)
         t2 = time.perf_counter()
         stats.maxflow_runs += 1
+        stats.note_kernel(run.kernel, t2 - t1)
         stats.augmenting_paths += run.augmenting_paths
         flow_value = state.flow_value()
         pending_sink_capacity = 0.0
@@ -206,6 +219,7 @@ def _evaluate_corner(
     best: BestRecord,
     stats: QueryStats,
     *,
+    kernel: str = DEFAULT_KERNEL,
     transform: str = DEFAULT_TRANSFORM,
     skeleton: WindowSkeleton | None = None,
 ) -> None:
@@ -220,7 +234,7 @@ def _evaluate_corner(
             skeleton = WindowSkeleton(network, query.source, query.sink)
         window = skeleton.materialize(tau_s, tau_e)
         t1 = time.perf_counter()
-        run = window.maxflow()
+        run = window.maxflow(kernel=kernel)
         t2 = time.perf_counter()
         size = window.num_nodes
     else:
@@ -229,14 +243,16 @@ def _evaluate_corner(
             network, query.source, query.sink, tau_s, tau_e
         )
         t1 = time.perf_counter()
-        run = dinic(
+        run = network_maxflow(
             transformed.flow_network,
             transformed.source_index,
             transformed.sink_index,
+            kernel=kernel,
         )
         t2 = time.perf_counter()
         size = transformed.num_nodes
     stats.maxflow_runs += 1
+    stats.note_kernel(run.kernel, t2 - t1)
     stats.augmenting_paths += run.augmenting_paths
     stats.record_sample(
         IntervalSample(

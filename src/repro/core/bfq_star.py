@@ -56,8 +56,9 @@ def bfq_star(
         network: the temporal flow network.
         query: the delta-BFlow query.
         use_pruning: apply Observation 2 during the insertion sweeps.
-        kernel: maxflow kernel for the incremental states (``"persistent"``
-            or ``"object"``; see :mod:`repro.core.incremental`).
+        kernel: maxflow kernel for the incremental states (any name in
+            :data:`repro.flownet.algorithms.registry.ENGINE_KERNELS`; see
+            :mod:`repro.core.incremental`).
         transform: edge-inclusion backend — ``"skeleton"`` (one compiled
             per-query index, default) or ``"object"``.
     """
@@ -87,7 +88,14 @@ def bfq_star(
             skeleton=skeleton,
         )
     _evaluate_corner(
-        network, query, plan, best, stats, transform=transform, skeleton=skeleton
+        network,
+        query,
+        plan,
+        best,
+        stats,
+        kernel=kernel,
+        transform=transform,
+        skeleton=skeleton,
     )
 
     return BurstingFlowResult(
@@ -172,6 +180,7 @@ def _zigzag(
             run = state.run_maxflow(value_bound=pending_sink_capacity)
             t2 = time.perf_counter()
             stats.maxflow_runs += 1
+            stats.note_kernel(run.kernel, t2 - t1)
             stats.augmenting_paths += run.augmenting_paths
             flow_value = state.flow_value()
             pending_sink_capacity = 0.0
@@ -225,6 +234,7 @@ def _fresh_minimal_state(
     run = state.run_maxflow()
     t2 = time.perf_counter()
     stats.maxflow_runs += 1
+    stats.note_kernel(run.kernel, t2 - t1)
     stats.augmenting_paths += run.augmenting_paths
     flow_value = state.flow_value()
     stats.record_sample(
@@ -269,6 +279,7 @@ def _branch_for_next_start(
     run = successor.run_maxflow()
     t2 = time.perf_counter()
     stats.maxflow_runs += 1
+    stats.note_kernel(run.kernel, t2 - t1)
     stats.augmenting_paths += run.augmenting_paths
     flow_value = successor.flow_value()
     stats.record_sample(

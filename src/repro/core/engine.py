@@ -108,8 +108,11 @@ def find_bursting_flow(
         algorithm: ``"bfq"``, ``"bfq+"``, ``"bfq*"`` (default), or a
             reference baseline — ``"naive"`` (brute-force window
             enumeration) or ``"networkx"`` (BFQ with NetworkX Maxflow).
-        kernel: maxflow kernel for the incremental solutions —
-            ``"persistent"`` (flat-array, default) or ``"object"``; only
+        kernel: maxflow kernel for the incremental solutions — any name
+            in :data:`repro.flownet.algorithms.registry.ENGINE_KERNELS`:
+            ``"persistent"`` (flat-array, default), ``"vectorized"``
+            (numpy BFS phases), ``"push_relabel"`` (dense-window preflow),
+            ``"adaptive"`` (per-window selection) or ``"object"``; only
             valid with ``algorithm`` in ``"bfq+"``/``"bfq*"``.
         transform: window-transform strategy — ``"skeleton"`` (compile the
             query's window skeleton once and slice candidates into

@@ -34,8 +34,8 @@ import math
 
 from repro.exceptions import GraphError, InvalidIntervalError
 from repro.flownet.algorithms.base import MaxflowRun
-from repro.flownet.algorithms.dinic import dinic
-from repro.flownet.algorithms.dinic_flat_persistent import dinic_flat_persistent
+from repro.flownet.algorithms.registry import DEFAULT_ENGINE_KERNEL, validate_kernel
+from repro.flownet.algorithms.selector import network_maxflow
 from repro.flownet.network import EdgeKind, EdgeRef, FlowNetwork
 from repro.core.skeleton import DEFAULT_TRANSFORM, WindowSkeleton, validate_transform
 from repro.core.transform import TransformedNetwork, reachable_edges
@@ -48,10 +48,12 @@ _WITHDRAW_TOLERANCE = 1e-6
 #: Maxflow kernel driving the incremental moves.  ``"persistent"`` runs the
 #: array-only resumable Dinic on the attached CSR residual arena (built
 #: lazily on the first run, maintained incrementally afterwards);
-#: ``"object"`` is the pre-arena engine walking ``Arc`` objects.
-DEFAULT_KERNEL = "persistent"
-
-_KNOWN_KERNELS = ("persistent", "object")
+#: ``"vectorized"`` swaps the phase BFS for numpy frontier gathers;
+#: ``"push_relabel"`` floods dense short windows with a FIFO preflow;
+#: ``"adaptive"`` picks among them per run from observed timings; and
+#: ``"object"`` is the pre-arena engine walking ``Arc`` objects.  The full
+#: list lives in :data:`repro.flownet.algorithms.registry.ENGINE_KERNELS`.
+DEFAULT_KERNEL = DEFAULT_ENGINE_KERNEL
 
 
 class IncrementalTransformedNetwork:
@@ -71,11 +73,7 @@ class IncrementalTransformedNetwork:
     ) -> None:
         if tau_e <= tau_s:
             raise InvalidIntervalError(f"window [{tau_s}, {tau_e}] is degenerate")
-        if kernel not in _KNOWN_KERNELS:
-            raise ValueError(
-                f"unknown maxflow kernel {kernel!r}; known: {', '.join(_KNOWN_KERNELS)}"
-            )
-        self.kernel = kernel
+        self.kernel = validate_kernel(kernel)
         self.transform = validate_transform(transform)
         # Edge-inclusion backend.  ``"skeleton"`` answers every
         # _include_window from the compiled per-start reachability index
@@ -165,12 +163,11 @@ class IncrementalTransformedNetwork:
     def _run_kernel(
         self, source: int, sink: int, *, value_bound: float | None = None
     ) -> MaxflowRun:
-        """Dispatch a resumable Dinic run to the configured kernel."""
-        if self.kernel == "persistent":
-            return dinic_flat_persistent(
-                self.network, source, sink, value_bound=value_bound
-            )
-        return dinic(self.network, source, sink)
+        """Dispatch a resumable maxflow run to the configured kernel."""
+        return network_maxflow(
+            self.network, source, sink, kernel=self.kernel,
+            value_bound=value_bound,
+        )
 
     def clone(self) -> "IncrementalTransformedNetwork":
         """Deep copy of the state (BFQ*'s mid-sweep snapshot).

@@ -16,7 +16,7 @@ intensity, which is exactly the filter role the paper assigns to delta.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.engine import find_bursting_flow
@@ -55,6 +55,11 @@ class PhaseBreakdown:
     maxflow_seconds: float = 0.0
     prune_seconds: float = 0.0
     queries: int = 0
+    #: Per-kernel split of the maxflow phase: run counts and seconds per
+    #: engine kernel that actually executed (under ``adaptive`` the keys
+    #: are the concrete kernels the selector chose).
+    kernel_runs: dict[str, int] = field(default_factory=dict)
+    kernel_seconds: dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_stats(cls, stats: QueryStats) -> "PhaseBreakdown":
@@ -69,6 +74,12 @@ class PhaseBreakdown:
         self.transform_seconds += phases["transform"]
         self.maxflow_seconds += phases["maxflow"]
         self.prune_seconds += phases["prune"]
+        for name, runs in stats.kernel_runs.items():
+            self.kernel_runs[name] = self.kernel_runs.get(name, 0) + runs
+        for name, seconds in stats.kernel_seconds.items():
+            self.kernel_seconds[name] = (
+                self.kernel_seconds.get(name, 0.0) + seconds
+            )
         self.queries += 1
 
     @property
@@ -76,18 +87,38 @@ class PhaseBreakdown:
         """Measured time across all phases."""
         return self.transform_seconds + self.maxflow_seconds + self.prune_seconds
 
-    def as_dict(self) -> dict[str, float]:
-        """JSON-able phase totals (seconds), plus the query count."""
-        return {
+    def as_dict(self) -> dict[str, object]:
+        """JSON-able phase totals (seconds), plus the query count.
+
+        The per-kernel split rides along under ``"kernels"`` when any run
+        was attributed to a kernel: ``{name: {"runs": int, "seconds":
+        float}}``.
+        """
+        payload: dict[str, object] = {
             "transform_seconds": self.transform_seconds,
             "maxflow_seconds": self.maxflow_seconds,
             "prune_seconds": self.prune_seconds,
             "total_seconds": self.total_seconds,
             "queries": self.queries,
         }
+        if self.kernel_runs or self.kernel_seconds:
+            payload["kernels"] = {
+                name: {
+                    "runs": self.kernel_runs.get(name, 0),
+                    "seconds": self.kernel_seconds.get(name, 0.0),
+                }
+                for name in sorted(
+                    set(self.kernel_runs) | set(self.kernel_seconds)
+                )
+            }
+        return payload
 
     def format(self) -> str:
-        """One human line: ``transform 12.3ms (40%) | maxflow ... | ...``."""
+        """One human line: ``transform 12.3ms (40%) | maxflow ... | ...``.
+
+        When per-kernel accounting recorded anything, a second line breaks
+        the maxflow phase down by executed kernel.
+        """
         total = self.total_seconds
         parts = []
         for name, seconds in (
@@ -97,7 +128,15 @@ class PhaseBreakdown:
         ):
             share = f" ({seconds / total:.0%})" if total > 0 else ""
             parts.append(f"{name} {seconds * 1000.0:,.1f}ms{share}")
-        return " | ".join(parts)
+        line = " | ".join(parts)
+        if self.kernel_runs or self.kernel_seconds:
+            kernels = " | ".join(
+                f"{name} {self.kernel_seconds.get(name, 0.0) * 1000.0:,.1f}ms"
+                f"/{self.kernel_runs.get(name, 0)} runs"
+                for name in sorted(set(self.kernel_runs) | set(self.kernel_seconds))
+            )
+            line = f"{line}\nkernels: {kernels}"
+        return line
 
 
 def density_profile(

@@ -89,6 +89,14 @@ class QueryStats:
     #: the phase breakdown attributes each second to the work that caused
     #: it.
     prune_seconds: float = 0.0
+    #: Per-kernel accounting: how many maxflow runs each engine kernel
+    #: executed and how much wall time they took.  Under
+    #: ``kernel="adaptive"`` the keys are the *concrete* kernels chosen
+    #: (the :class:`~repro.flownet.algorithms.base.MaxflowRun` is stamped
+    #: by the arena dispatch), so adaptive decisions are visible in every
+    #: ``--profile`` output and ``/metrics`` snapshot.
+    kernel_runs: dict[str, int] = field(default_factory=dict)
+    kernel_seconds: dict[str, float] = field(default_factory=dict)
     samples: list[IntervalSample] = field(default_factory=list)
 
     @property
@@ -96,14 +104,28 @@ class QueryStats:
         """Transform plus Maxflow plus pruning time."""
         return self.transform_seconds + self.maxflow_seconds + self.prune_seconds
 
-    def phase_seconds(self) -> dict[str, float]:
+    def phase_seconds(self) -> dict[str, float | dict[str, float]]:
         """The phase breakdown as a plain dict (feeds ``--profile`` and
-        the service ``/metrics`` snapshot)."""
-        return {
+        the service ``/metrics`` snapshot).  All entries are flat floats
+        except ``"kernels"``, a nested per-kernel seconds dict present
+        only when per-kernel accounting recorded anything."""
+        phases: dict[str, float | dict[str, float]] = {
             "transform": self.transform_seconds,
             "maxflow": self.maxflow_seconds,
             "prune": self.prune_seconds,
         }
+        if self.kernel_seconds:
+            phases["kernels"] = dict(self.kernel_seconds)
+        return phases
+
+    def note_kernel(self, kernel: str | None, seconds: float) -> None:
+        """Attribute one maxflow run to the kernel that executed it."""
+        if kernel is None:
+            return
+        self.kernel_runs[kernel] = self.kernel_runs.get(kernel, 0) + 1
+        self.kernel_seconds[kernel] = (
+            self.kernel_seconds.get(kernel, 0.0) + seconds
+        )
 
     def record_sample(self, sample: IntervalSample) -> None:
         """Append a per-interval sample, accumulating its timings."""
@@ -129,12 +151,16 @@ def merge_query_stats(parts: Iterable[QueryStats]) -> QueryStats:
         for spec in fields(QueryStats):
             if spec.name == "samples":
                 merged.samples.extend(part.samples)
-            else:
-                setattr(
-                    merged,
-                    spec.name,
-                    getattr(merged, spec.name) + getattr(part, spec.name),
-                )
+                continue
+            value = getattr(part, spec.name)
+            if isinstance(value, dict):
+                # Per-kernel dicts merge key-wise (counts and seconds both
+                # add), not by ``+``.
+                target = getattr(merged, spec.name)
+                for key, amount in value.items():
+                    target[key] = target.get(key, type(amount)()) + amount
+                continue
+            setattr(merged, spec.name, getattr(merged, spec.name) + value)
     return merged
 
 

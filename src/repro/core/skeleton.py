@@ -405,14 +405,26 @@ class SkeletonWindow:
         self.num_edges = num_edges
         self.source_arc_slots = source_arc_slots
 
-    def maxflow(self, *, value_bound: float | None = None) -> MaxflowRun:
-        """Run the flat Dinic kernel on this window's arena."""
-        from repro.flownet.algorithms.dinic_flat_persistent import arena_maxflow
+    def maxflow(
+        self,
+        *,
+        value_bound: float | None = None,
+        kernel: str = "persistent",
+    ) -> MaxflowRun:
+        """Run an arena kernel on this window's arena.
 
-        return arena_maxflow(
+        ``kernel`` names any arena kernel (``"persistent"``,
+        ``"vectorized"``, ``"push_relabel"``, ``"adaptive"``); the engine's
+        ``"object"`` kernel never reaches here — skeleton windows are
+        detached arenas with no object graph to walk.
+        """
+        from repro.flownet.algorithms.selector import arena_solve
+
+        return arena_solve(
             self.arena,
             self.source_index,
             self.sink_index,
+            kernel=kernel if kernel != "object" else "persistent",
             value_bound=value_bound,
         )
 

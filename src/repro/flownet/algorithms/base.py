@@ -32,12 +32,17 @@ class MaxflowRun:
         phases: number of BFS phases / relabel sweeps, solver specific.
         paths: optional recorded augmenting paths, each a list of node
             indices from source to sink (populated only when requested).
+        kernel: engine-kernel name that executed this run, stamped by the
+            arena dispatch (:func:`repro.flownet.algorithms.selector.
+            arena_solve`) — under ``adaptive`` this is the concrete kernel
+            chosen.  ``None`` for solver-registry runs outside the engine.
     """
 
     value: float
     augmenting_paths: int = 0
     phases: int = 0
     paths: list[list[int]] = field(default_factory=list)
+    kernel: str | None = None
 
 
 class MaxflowSolver(Protocol):

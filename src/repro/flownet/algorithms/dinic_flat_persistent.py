@@ -44,6 +44,17 @@ workload (BENCH_PR4.json: same datasets, BFQ end-to-end) removes that too
 transform by 4.1x aggregate (per-dataset 2.8-4.2x), with BFQ+/BFQ* no
 slower on any dataset (1.05-1.87x).
 
+This kernel is no longer alone on the arena: BENCH_PR9.json (the
+``kernels`` experiment) races it against the ``vectorized`` numpy Dinic
+and the ``push_relabel`` flat preflow on the same residual state.  On
+the standard EXP-3 workload every candidate window is small and this
+kernel remains the fastest fixed choice — which is why it stays the
+default and why the ``adaptive`` selector routes small windows here.
+The specialised kernels only pay off on large windows (roughly >= 24k
+transformed arcs, e.g. prosper at --large-scale 3), where they reach
+1.3-2x over this kernel on cold solves.  See
+:mod:`repro.flownet.algorithms.selector` and docs/algorithms.md.
+
 The computed flow *value*, the certified min cut, and the arena/object
 byte-equivalence all match :func:`~repro.flownet.algorithms.dinic.dinic`
 exactly; the residual flow *assignment* may differ (both are maximum
@@ -130,8 +141,6 @@ def arena_maxflow(
     # Hot-loop locals: global/attribute lookups cost a dict probe per use on
     # CPython, and the loops below execute millions of steps per workload.
     eps = FLOW_EPSILON
-    caps_item = caps.__getitem__
-    rev_item = rev.__getitem__
     stale_append = stale.append
 
     if level[source] == ARENA_RETIRED or level[sink] == ARENA_RETIRED:
@@ -199,84 +208,13 @@ def arena_maxflow(
         for i in stale:
             iters[i] = 0
 
-        # ------------------------------------------------------------------
-        # Blocking flow: iterative advance/retreat DFS over slot ids.
-        #
-        # Unlike the object walker, the stack survives an augmentation: the
-        # walk retreats only to the first *saturated* arc of the path, not
-        # to the source.  Equivalent by the current-arc argument — a
-        # restart from the source re-follows ``iters`` over still-positive
-        # arcs and reproduces exactly the retained prefix — but it skips
-        # the O(path length) re-walk per path, which dominates on temporal
-        # transformed networks (hold chains make paths hundreds of nodes
-        # long).
-        # ------------------------------------------------------------------
-        path_nodes = [source]
-        path_slots: list[int] = []
-        while True:
-            node = path_nodes[-1]
-            if node == sink:
-                # Pre-push capacities via C-level map(); paths run hundreds
-                # of arcs long on transformed networks, so every per-arc
-                # interpreter step in this section is paid dearly.
-                path_caps = list(map(caps_item, path_slots))
-                bottleneck = min(path_caps)
-                if math.isinf(bottleneck):
-                    raise ArithmeticError(
-                        "augmenting path with infinite bottleneck"
-                    )
-                for k in path_slots:
-                    caps[k] -= bottleneck  # inf - finite stays inf
-                reverse_slots = list(map(rev_item, path_slots))
-                for k in reverse_slots:
-                    caps[k] += bottleneck
-                touched += path_slots
-                touched += reverse_slots
-                total += bottleneck
-                n_paths += 1
-                if bounded and total >= value_bound - eps:
-                    # The gain hit the caller's capacity bound: the flow is
-                    # maximal, so skip the rest of this phase *and* the
-                    # final failed BFS.
-                    maximal_by_bound = True
-                    break
-                # Retreat to the first saturated arc (pre-push capacity
-                # within eps of the bottleneck); the prefix before it is
-                # exactly what a source restart would re-walk.
-                cut = 0
-                limit = bottleneck + eps
-                while path_caps[cut] > limit:
-                    cut += 1
-                del path_slots[cut:]
-                del path_nodes[cut + 1 :]
-                continue
-            slot_row = slots[node]
-            position = iters[node]
-            end = len(slot_row)
-            next_level = level[node] - 1
-            advanced = False
-            while position < end:
-                k = slot_row[position]
-                if caps[k] > eps and level[heads[k]] == next_level:
-                    iters[node] = position
-                    path_slots.append(k)
-                    path_nodes.append(heads[k])
-                    advanced = True
-                    break
-                position += 1
-            if advanced:
-                continue
-            iters[node] = end
-            level[node] = ARENA_UNREACHED
-            if node == source:
-                break  # level graph exhausted; phase over
-            path_nodes.pop()
-            last = path_slots.pop()
-            parent = path_nodes[-1]
-            # Force the parent to move past the dead arc.
-            parent_position = iters[parent]
-            if slots[parent][parent_position] == last:
-                iters[parent] = parent_position + 1
+        remaining = (value_bound - total) if bounded else math.inf
+        gained, phase_paths, maximal_by_bound = run_blocking_flow(
+            heads, caps, rev, slots, level, iters, source, sink, touched,
+            remaining,
+        )
+        total += gained
+        n_paths += phase_paths
         if maximal_by_bound:
             break
 
@@ -302,3 +240,108 @@ def arena_maxflow(
         for k in touched:
             arcs[k].cap = caps[k]
     return MaxflowRun(value=total, augmenting_paths=n_paths, phases=phases)
+
+
+def run_blocking_flow(
+    heads: list[int],
+    caps: list[float],
+    rev: list[int],
+    slots: list[list[int]],
+    level: list[int],
+    iters: list[int],
+    source: int,
+    sink: int,
+    touched: list[int],
+    remaining_bound: float,
+) -> tuple[float, int, bool]:
+    """One blocking-flow phase over an admissible (sink-rooted) level graph.
+
+    Shared by the persistent kernel and the vectorized kernel — the levels
+    may come from the scalar early-stopping BFS or from the numpy
+    frontier-at-a-time BFS; the DFS below only needs ``level[head] ==
+    level[node] - 1`` admissibility.  Mutates ``caps`` / ``iters`` /
+    ``level`` in place, appends every modified slot to ``touched`` and
+    returns ``(gained, paths, hit_bound)`` where ``hit_bound`` reports
+    that the accumulated gain reached ``remaining_bound`` (pass
+    ``math.inf`` for unbounded runs) and the caller may skip the final
+    certifying BFS.
+
+    Iterative advance/retreat DFS over slot ids.  Unlike the object
+    walker, the stack survives an augmentation: the walk retreats only to
+    the first *saturated* arc of the path, not to the source.  Equivalent
+    by the current-arc argument — a restart from the source re-follows
+    ``iters`` over still-positive arcs and reproduces exactly the retained
+    prefix — but it skips the O(path length) re-walk per path, which
+    dominates on temporal transformed networks (hold chains make paths
+    hundreds of nodes long).
+    """
+    eps = FLOW_EPSILON
+    # Pre-push capacities via C-level map(); paths run hundreds of arcs
+    # long on transformed networks, so every per-arc interpreter step in
+    # this section is paid dearly.
+    caps_item = caps.__getitem__
+    rev_item = rev.__getitem__
+    total = 0.0
+    n_paths = 0
+    path_nodes = [source]
+    path_slots: list[int] = []
+    while True:
+        node = path_nodes[-1]
+        if node == sink:
+            path_caps = list(map(caps_item, path_slots))
+            bottleneck = min(path_caps)
+            if math.isinf(bottleneck):
+                raise ArithmeticError(
+                    "augmenting path with infinite bottleneck"
+                )
+            for k in path_slots:
+                caps[k] -= bottleneck  # inf - finite stays inf
+            reverse_slots = list(map(rev_item, path_slots))
+            for k in reverse_slots:
+                caps[k] += bottleneck
+            touched += path_slots
+            touched += reverse_slots
+            total += bottleneck
+            n_paths += 1
+            if total >= remaining_bound - eps:
+                # The gain hit the caller's capacity bound: the flow is
+                # maximal, so skip the rest of this phase *and* the
+                # final failed BFS.
+                return total, n_paths, True
+            # Retreat to the first saturated arc (pre-push capacity
+            # within eps of the bottleneck); the prefix before it is
+            # exactly what a source restart would re-walk.
+            cut = 0
+            limit = bottleneck + eps
+            while path_caps[cut] > limit:
+                cut += 1
+            del path_slots[cut:]
+            del path_nodes[cut + 1 :]
+            continue
+        slot_row = slots[node]
+        position = iters[node]
+        end = len(slot_row)
+        next_level = level[node] - 1
+        advanced = False
+        while position < end:
+            k = slot_row[position]
+            if caps[k] > eps and level[heads[k]] == next_level:
+                iters[node] = position
+                path_slots.append(k)
+                path_nodes.append(heads[k])
+                advanced = True
+                break
+            position += 1
+        if advanced:
+            continue
+        iters[node] = end
+        level[node] = ARENA_UNREACHED
+        if node == source:
+            return total, n_paths, False  # level graph exhausted
+        path_nodes.pop()
+        last = path_slots.pop()
+        parent = path_nodes[-1]
+        # Force the parent to move past the dead arc.
+        parent_position = iters[parent]
+        if slots[parent][parent_position] == last:
+            iters[parent] = parent_position + 1

@@ -1,0 +1,255 @@
+"""Flat FIFO push-relabel over the residual arena, for dense windows.
+
+Dinic's phase structure pays off on long sparse level graphs; the dense
+short-window candidate arenas Lemma 2 generates (many parallel timeline
+arcs, short residual distances) are push-relabel's home turf — excess
+floods the short window in one wave instead of one augmenting path at a
+time.  This kernel runs FIFO push-relabel with exact BFS-distance initial
+heights and the gap heuristic, directly on the arena's flat arrays.
+
+Two design points keep it provably interchangeable with the Dinic
+kernels:
+
+* **Finite surrogate capacities.**  Transformed temporal networks carry
+  ``inf`` hold-arc capacities, which break the height-function maximality
+  argument.  The run therefore works on a *local* capacity copy where
+  every ``inf`` is replaced by ``sum(finite caps) + 1`` — an upper bound
+  on any finite s-t flow, so the maxflow value is unchanged and interior
+  surrogate arcs can never saturate.  At exit the per-arc deltas are
+  folded back into the real ``caps`` (``inf`` minus a finite push stays
+  ``inf``), so the arena state is exactly as if an augmenting-path kernel
+  had routed the same flow.
+
+* **Dinic finish.**  After the preflow converges, the kernel hands the
+  arena to :func:`~repro.flownet.algorithms.dinic_flat_persistent.
+  arena_maxflow`.  In the normal case that run's first backward BFS fails
+  immediately — it *is* the min-cut certificate sweep every arena kernel
+  must leave behind (``level``/``stale_labels``/``cut_closed``), at the
+  price Dinic itself pays.  If float-epsilon effects ever left an
+  augmenting path behind, the finish routes it instead of certifying a
+  non-maximal flow — correctness never rests on push-relabel alone.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.flownet.algorithms.base import MaxflowRun
+from repro.flownet.algorithms.dinic_flat_persistent import arena_maxflow
+from repro.flownet.network import FLOW_EPSILON
+from repro.flownet.residual import ARENA_RETIRED, ResidualArena
+
+
+def arena_push_relabel(
+    arena: ResidualArena,
+    source: int,
+    sink: int,
+    *,
+    value_bound: float | None = None,
+) -> MaxflowRun:
+    """FIFO push-relabel on the arena; drop-in for ``arena_maxflow``.
+
+    Same contract as the other arena kernels: resumable (computes the
+    *increment* over whatever flow the arena already carries), mutates the
+    arena in place, leaves the shared scratch/certificate state behind,
+    and writes touched arcs back to attached object graphs.
+    ``value_bound`` is honoured only as the O(1) zero-bound fast path —
+    a preflow cannot stop early at a value bound without unwinding its
+    internal excess, so positive bounds are ignored (they are an
+    optimisation, never a semantic).
+    """
+    if source == sink:
+        return MaxflowRun(value=0.0)
+    level = arena.level
+    if level[source] == ARENA_RETIRED or level[sink] == ARENA_RETIRED:
+        return MaxflowRun(value=0.0)
+    if arena.cut_closed and arena.cut_sink == sink and level[source] < 0:
+        return MaxflowRun(value=0.0)
+    eps = FLOW_EPSILON
+    if value_bound is not None and value_bound <= eps:
+        return MaxflowRun(value=0.0)
+
+    # This run is about to reroute flow; whatever cut an earlier run
+    # certified may be pierced by the reverse arcs it opens.
+    arena.cut_closed = False
+
+    gained, relabels, touched = _preflow(arena, source, sink)
+
+    # Certify (and, defensively, complete) with the shared Dinic loop: its
+    # first backward BFS doubles as the min-cut sweep.
+    finish = arena_maxflow(arena, source, sink)
+
+    arcs = arena.arcs
+    if arcs is not None:
+        caps = arena.caps
+        for k in touched:
+            arcs[k].cap = caps[k]
+    return MaxflowRun(
+        value=gained + finish.value,
+        augmenting_paths=finish.augmenting_paths,
+        phases=relabels + finish.phases,
+    )
+
+
+def _preflow(
+    arena: ResidualArena, source: int, sink: int
+) -> tuple[float, int, list[int]]:
+    """The preflow core; returns (flow gained at sink, relabels, touched).
+
+    Runs on a surrogate-finite local capacity copy (see the module
+    docstring) and folds the deltas back into ``arena.caps`` before
+    returning.  On exit every internal node's excess is zero, so the
+    arena carries a valid (maximum, up to float eps) flow.
+    """
+    heads = arena.heads
+    rev = arena.rev
+    slots = arena.slots
+    real_caps = arena.caps
+    level = arena.level
+    n = len(slots)
+    eps = FLOW_EPSILON
+
+    finite_total = 0.0
+    for c in real_caps:
+        if c != math.inf:
+            finite_total += c
+    surrogate = finite_total + 1.0
+    local = [surrogate if c == math.inf else c for c in real_caps]
+
+    # Exact initial heights: residual distance to the sink; unreachable
+    # (and retired) nodes sit at n + 1, the source is pinned at n.
+    unreached = n + 1
+    height = [unreached] * n
+    height[sink] = 0
+    bfs = [sink]
+    head_ptr = 0
+    while head_ptr < len(bfs):
+        node = bfs[head_ptr]
+        head_ptr += 1
+        depth = height[node] + 1
+        for k in slots[node]:
+            other = heads[k]
+            if (
+                height[other] == unreached
+                and level[other] != ARENA_RETIRED
+                and local[rev[k]] > eps
+            ):
+                height[other] = depth
+                bfs.append(other)
+    if height[source] == unreached:
+        return 0.0, 0, []  # no augmenting path; the finish run certifies
+    height[source] = n
+
+    # Height occupancy for the gap heuristic (source/sink excluded — they
+    # never relabel and must not be swept into a gap lift).
+    count = [0] * (2 * n + 2)
+    for i in range(n):
+        if i != source and i != sink and level[i] != ARENA_RETIRED:
+            count[height[i]] += 1
+
+    excess = [0.0] * n
+    cur = [0] * n
+    touched: list[int] = []
+    queue: list[int] = []
+    queue_head = 0
+    gained = 0.0
+    relabels = 0
+
+    def push(k: int, amount: float) -> None:
+        local[k] -= amount
+        local[rev[k]] += amount
+        touched.append(k)
+        touched.append(rev[k])
+
+    # Saturate every source out-arc (surrogate-finite, so truly saturated).
+    for k in slots[source]:
+        c = local[k]
+        if c <= eps:
+            continue
+        v = heads[k]
+        if v == source or level[v] == ARENA_RETIRED:
+            continue
+        push(k, c)
+        if v == sink:
+            gained += c
+            continue
+        if excess[v] <= eps:
+            queue.append(v)
+        excess[v] += c
+
+    while queue_head < len(queue):
+        u = queue[queue_head]
+        queue_head += 1
+        # Discharge u completely: push over admissible arcs, relabel when
+        # the current-arc scan exhausts, until the excess is gone.
+        while excess[u] > eps:
+            row = slots[u]
+            end = len(row)
+            position = cur[u]
+            h_target = height[u] - 1
+            while position < end and excess[u] > eps:
+                k = row[position]
+                c = local[k]
+                if c > eps:
+                    v = heads[k]
+                    if height[v] == h_target and level[v] != ARENA_RETIRED:
+                        amount = excess[u] if excess[u] < c else c
+                        push(k, amount)
+                        excess[u] -= amount
+                        if v == sink:
+                            gained += amount
+                        elif v != source:
+                            if excess[v] <= eps:
+                                queue.append(v)
+                            excess[v] += amount
+                        continue  # retry the same arc (may still admit)
+                position += 1
+            cur[u] = position
+            if excess[u] <= eps:
+                break
+            # Relabel: lowest neighbouring height over residual arcs.
+            relabels += 1
+            old = height[u]
+            best = 2 * n + 1
+            for k in row:
+                if local[k] > eps:
+                    v = heads[k]
+                    if level[v] != ARENA_RETIRED:
+                        hv = height[v]
+                        if hv < best:
+                            best = hv
+            new = best + 1
+            count[old] -= 1
+            if count[old] == 0 and old < n:
+                # Gap: nothing occupies height ``old`` any more, so every
+                # node strictly above it can no longer reach the sink —
+                # lift them (and u) straight past n.
+                lift = n + 1
+                for v in range(n):
+                    if v == source or v == sink or level[v] == ARENA_RETIRED:
+                        continue
+                    hv = height[v]
+                    if old < hv <= n:
+                        count[hv] -= 1
+                        count[lift] += 1
+                        height[v] = lift
+                        cur[v] = 0
+                if new < lift:
+                    new = lift
+            count[new] += 1
+            height[u] = new
+            cur[u] = 0
+
+    if gained > finite_total + eps:
+        raise ArithmeticError("augmenting path with infinite bottleneck")
+
+    # Fold the local state back into the real capacities: for finite arcs
+    # the local value *is* the new residual; infinite arcs stay infinite
+    # (their routed amount lives on the finite reverse arc).
+    touched = list(set(touched))
+    for k in touched:
+        real = real_caps[k]
+        if real == math.inf:
+            continue  # inf minus any finite routed amount stays inf
+        real_caps[k] = local[k]
+    return gained, relabels, touched

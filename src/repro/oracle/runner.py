@@ -68,6 +68,21 @@ def _bfq_skeleton(network, query, **kwargs) -> BurstingFlowResult:
     return bfq(network, query, transform="skeleton", **kwargs)
 
 
+def _bfq_star_vectorized(network, query, **kwargs) -> BurstingFlowResult:
+    """BFQ* pinned to the numpy-BFS vectorized Dinic kernel."""
+    return bfq_star(network, query, kernel="vectorized", **kwargs)
+
+
+def _bfq_star_push_relabel(network, query, **kwargs) -> BurstingFlowResult:
+    """BFQ* pinned to the flat FIFO push-relabel kernel."""
+    return bfq_star(network, query, kernel="push_relabel", **kwargs)
+
+
+def _bfq_star_adaptive(network, query, **kwargs) -> BurstingFlowResult:
+    """BFQ* under the adaptive kernel selector (any concrete kernel mix)."""
+    return bfq_star(network, query, kernel="adaptive", **kwargs)
+
+
 #: All differential backends, in execution order.  ``bfq`` is pinned to
 #: the object transform and ``bfq-skel`` to the skeleton transform, so
 #: every fuzz case cross-checks the compiled window skeleton against the
@@ -78,6 +93,12 @@ BACKENDS: Mapping[str, Callable[..., BurstingFlowResult]] = {
     "bfq-skel": _bfq_skeleton,
     "bfq+": bfq_plus,
     "bfq*": bfq_star,
+    # BFQ* pinned to each specialised maxflow kernel, so every fuzz case
+    # differential-checks the vectorized Dinic, the flat push-relabel and
+    # the adaptive selector against the persistent-kernel answers above.
+    "vectorized": _bfq_star_vectorized,
+    "push_relabel": _bfq_star_push_relabel,
+    "adaptive": _bfq_star_adaptive,
     # The multi-query planner, exercised with a duplicate of the query and
     # overlapping-delta companions in the same batch — every amortised
     # (memoised) answer is differential-checked against the independent
@@ -121,6 +142,9 @@ PLAN_BACKENDS: tuple[str, ...] = (
     "bfq-skel",
     "bfq+",
     "bfq*",
+    "vectorized",
+    "push_relabel",
+    "adaptive",
     "planner",
     "networkx",
     "service",

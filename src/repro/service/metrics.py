@@ -127,8 +127,10 @@ class ServiceMetrics:
         #: End-to-end latency of cache hits (lookup + serialization).
         self.hit_latency = LatencyHistogram()
         #: Per-algorithm cumulative engine phase seconds
-        #: ({algorithm: {"transform": .., "maxflow": .., "prune": ..}}).
-        self.phase_seconds: dict[str, dict[str, float]] = {}
+        #: ({algorithm: {"transform": .., "maxflow": .., "prune": ..,
+        #: "kernels": {kernel: ..}}}) — every entry is a flat float except
+        #: the optional nested per-kernel split of the maxflow phase.
+        self.phase_seconds: dict[str, dict[str, float | dict[str, float]]] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -154,12 +156,23 @@ class ServiceMetrics:
                 seconds
             )
 
-    def observe_phases(self, algorithm: str, phases: dict[str, float]) -> None:
-        """Fold one solve's engine phase breakdown into the totals."""
+    def observe_phases(
+        self, algorithm: str, phases: dict[str, float | dict[str, float]]
+    ) -> None:
+        """Fold one solve's engine phase breakdown into the totals.
+
+        Flat entries add; the nested ``"kernels"`` per-kernel dict merges
+        key-wise (see :meth:`repro.core.query.QueryStats.phase_seconds`).
+        """
         with self._lock:
             slot = self.phase_seconds.setdefault(algorithm, {})
             for phase, seconds in phases.items():
-                slot[phase] = slot.get(phase, 0.0) + seconds
+                if isinstance(seconds, dict):
+                    nested = slot.setdefault(phase, {})
+                    for name, amount in seconds.items():
+                        nested[name] = nested.get(name, 0.0) + amount
+                else:
+                    slot[phase] = slot.get(phase, 0.0) + seconds
 
     def observe_hit(self, seconds: float) -> None:
         """One request was served from the result cache."""
@@ -226,7 +239,8 @@ class ServiceMetrics:
              "latency": {"cache_hit": {histogram},
                          "solve": {algorithm: {histogram}}},
              "phases": {algorithm: {"transform": s, "maxflow": s,
-                                    "prune": s}}}
+                                    "prune": s,
+                                    "kernels": {kernel: s}}}}
 
         where ``{histogram}`` is ``{"count", "mean_ms", "p50_ms",
         "p95_ms", "p99_ms"}``.
@@ -264,7 +278,14 @@ class ServiceMetrics:
                 },
                 "phases": {
                     algorithm: {
-                        phase: round(seconds, 6)
+                        phase: (
+                            {
+                                name: round(amount, 6)
+                                for name, amount in sorted(seconds.items())
+                            }
+                            if isinstance(seconds, dict)
+                            else round(seconds, 6)
+                        )
                         for phase, seconds in sorted(slot.items())
                     }
                     for algorithm, slot in sorted(self.phase_seconds.items())
@@ -338,7 +359,12 @@ def aggregate_snapshots(snapshots: Mapping[str, Mapping[str, Any]]) -> dict[str,
         for algorithm, phases in snapshot.get("phases", {}).items():
             slot = aggregate["phases"].setdefault(algorithm, {})
             for phase, seconds in phases.items():
-                slot[phase] = round(slot.get(phase, 0.0) + seconds, 6)
+                if isinstance(seconds, dict):
+                    nested = slot.setdefault(phase, {})
+                    for name, amount in seconds.items():
+                        nested[name] = round(nested.get(name, 0.0) + amount, 6)
+                else:
+                    slot[phase] = round(slot.get(phase, 0.0) + seconds, 6)
 
     lookups = aggregate["cache"]["hits"] + aggregate["cache"]["misses"]
     if lookups:

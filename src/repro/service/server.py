@@ -46,6 +46,7 @@ from repro.core.engine import (
 from repro.core.query import BurstingFlowQuery
 from repro.core.skeleton import DEFAULT_TRANSFORM, KNOWN_TRANSFORMS
 from repro.exceptions import ReproError
+from repro.flownet.algorithms.registry import ENGINE_KERNELS
 from repro.service.admission import AdmissionController
 from repro.service.cache import ResultCache
 from repro.service.metrics import ServiceMetrics
@@ -91,8 +92,16 @@ from repro.service.workers import InlineEngine, ProcessEnginePool
 from repro.temporal.edge import TemporalEdge
 from repro.temporal.network import TemporalFlowNetwork
 
-#: Kernels the service accepts on the wire.
-KNOWN_KERNELS = frozenset({"persistent", "object"})
+#: Kernels the service accepts on the wire — derived from the solver
+#: registry, the single source of truth for ``kernel=`` values.
+KNOWN_KERNELS = frozenset(ENGINE_KERNELS)
+
+
+def _reject_unknown_kernel(kernel: str) -> None:
+    """Raise the typed ``invalid`` error listing the registry's kernels."""
+    raise ReproError(
+        f"unknown kernel {kernel!r}; known: {', '.join(ENGINE_KERNELS)}"
+    )
 
 
 class _ReadWriteLock:
@@ -181,9 +190,7 @@ class BurstingFlowService:
     ) -> None:
         get_algorithm(algorithm)  # fail fast on unknown defaults
         if kernel is not None and kernel not in KNOWN_KERNELS:
-            raise ReproError(
-                f"unknown kernel {kernel!r}; known: {', '.join(sorted(KNOWN_KERNELS))}"
-            )
+            _reject_unknown_kernel(kernel)
         self.network = network
         self.algorithm = algorithm
         self.kernel = kernel
@@ -327,10 +334,7 @@ class BurstingFlowService:
             get_algorithm(algorithm)
             if kernel is not None:
                 if kernel not in KNOWN_KERNELS:
-                    raise ReproError(
-                        f"unknown kernel {kernel!r}; "
-                        f"known: {', '.join(sorted(KNOWN_KERNELS))}"
-                    )
+                    _reject_unknown_kernel(kernel)
                 if algorithm not in KERNEL_ALGORITHMS:
                     kernel = None  # baselines have no incremental state
             if transform is not None:
@@ -665,10 +669,13 @@ class BurstingFlowService:
             self.metrics.set_queue_depth(self.admission.inflight)
 
     async def _handle_append(self, request: AppendRequest) -> Reply:
+        applied: list[TemporalEdge] = []
         async with self._lock.write():
             try:
                 for u, v, tau, capacity in request.edges:
-                    self.network.add_edge(TemporalEdge(u, v, tau, capacity))
+                    edge = TemporalEdge(u, v, tau, capacity)
+                    self.network.add_edge(edge)
+                    applied.append(edge)
             except ReproError as exc:
                 # Edges before the failing one are already in; surface the
                 # new epoch so the client can resynchronise.
@@ -679,7 +686,10 @@ class BurstingFlowService:
                     # Rebuild the lazy indexes while we hold the writer
                     # lock so concurrent readers never mutate them.
                     _ = self.network.timestamps
-                self.engine.mark_stale()
+                # A shared-memory engine publishes exactly the edges that
+                # made it in (commit order) instead of rebuilding its
+                # pool; other engines ignore the argument.
+                self.engine.mark_stale(applied)
                 if self.mining is not None:
                     # Ingest the appended edges into the streaming stats
                     # while the writer lock guarantees a quiet network.

@@ -5,12 +5,17 @@ server; both expose the same ``await answer(...)`` coroutine returning
 the raw ``(density, interval, flow_value)`` triple:
 
 * :class:`ProcessEnginePool` — a :class:`~concurrent.futures.
-  ProcessPoolExecutor` whose workers receive the shared network through
-  ``initializer``/``initargs`` with an explicit ``mp_context``, the exact
-  pattern :func:`repro.core.batch.answer_many` uses (every start method
-  produces identical results).  The pool is **epoch-aware**: streaming
-  appends bump the network epoch, and the next query transparently
-  rebuilds the pool so workers never answer from a stale snapshot.  A
+  ProcessPoolExecutor` with an explicit ``mp_context``.  By default the
+  workers attach to a :class:`~repro.temporal.shared.SharedNetworkStore`
+  (an append-only edge log in ``multiprocessing.shared_memory``): the
+  pool is built **once**, streaming appends publish only the new edges
+  into the log, and each worker replays the suffix at its next task —
+  no per-epoch pool teardown, no re-pickling the whole network.  When
+  shared memory is unavailable (or ``shared=False``) the pool falls back
+  to the classic epoch-aware mode: the network travels through
+  ``initializer``/``initargs`` (the exact pattern
+  :func:`repro.core.batch.answer_many` uses) and the next query after an
+  append transparently rebuilds the pool.  Either way a
   :class:`BrokenProcessPool` (crashed/OOM-killed worker) is survived by
   rebuilding the pool once and resubmitting.
 
@@ -28,14 +33,15 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.core.batch import answer_many
 from repro.core.engine import find_bursting_flow
 from repro.core.planner import answer_planned, top_k_bursts
 from repro.core.query import BurstingFlowQuery
-from repro.temporal.edge import NodeId, Timestamp
+from repro.temporal.edge import NodeId, TemporalEdge, Timestamp
 from repro.temporal.network import TemporalFlowNetwork
+from repro.temporal.shared import SharedNetworkReader, SharedNetworkStore
 
 #: A raw engine answer: (density, interval, flow_value, phase_seconds).
 #: The trailing phase dict ({"transform": .., "maxflow": .., "prune": ..})
@@ -94,9 +100,11 @@ def _solve_topk_on(
         for e in entries
     ]
 
-# Per-worker state, installed by _init_service_worker in each pool
-# process (initargs travel pickled for spawn/forkserver).
+# Per-worker state, installed by _init_service_worker (classic mode) or
+# _init_shared_worker (shared-memory mode) in each pool process
+# (initargs travel pickled for spawn/forkserver).
 _WORKER_NETWORK: TemporalFlowNetwork | None = None
+_WORKER_READER: SharedNetworkReader | None = None
 
 
 def _init_service_worker(network: TemporalFlowNetwork) -> None:
@@ -106,6 +114,32 @@ def _init_service_worker(network: TemporalFlowNetwork) -> None:
     # Build the lazy timestamp indexes once per worker instead of on the
     # first query it happens to receive.
     _ = network.timestamps
+
+
+def _init_shared_worker(store_name: str) -> None:
+    """Pool initializer: attach to the service's shared edge log.
+
+    Only the short store *name* travels through initargs; the edge
+    records themselves are read straight out of shared memory.
+    """
+    global _WORKER_NETWORK, _WORKER_READER
+    _WORKER_READER = SharedNetworkReader(store_name)
+    _WORKER_NETWORK = _WORKER_READER.network
+    if _WORKER_NETWORK.num_edges:
+        _ = _WORKER_NETWORK.timestamps
+
+
+def _catch_up() -> None:
+    """Replay any log suffix published since this worker's last task.
+
+    A no-op in classic mode (no reader) and when nothing was appended
+    (two header reads).  Runs at task start, so by the server's
+    reader/writer lock the owner is never publishing concurrently.
+    """
+    if _WORKER_READER is not None and _WORKER_READER.catch_up():
+        # Appends invalidated the lazy timestamp indexes; rebuild them
+        # here rather than mid-solve.
+        _ = _WORKER_READER.network.timestamps
 
 
 def _solve_one(
@@ -118,6 +152,7 @@ def _solve_one(
 ) -> RawAnswer:
     """Worker task: one full engine solve on the installed network."""
     assert _WORKER_NETWORK is not None, "worker started outside the service"
+    _catch_up()
     result = find_bursting_flow(
         _WORKER_NETWORK,
         BurstingFlowQuery(source, sink, delta),
@@ -138,6 +173,7 @@ def _solve_batch(
 ) -> RawBatch:
     """Worker task: one whole batch (plan-aware) on the installed network."""
     assert _WORKER_NETWORK is not None, "worker started outside the service"
+    _catch_up()
     return _solve_batch_on(_WORKER_NETWORK, queries, plan)
 
 
@@ -146,21 +182,32 @@ def _solve_topk(
 ) -> RawTopK:
     """Worker task: one top-k burst ranking on the installed network."""
     assert _WORKER_NETWORK is not None, "worker started outside the service"
+    _catch_up()
     return _solve_topk_on(_WORKER_NETWORK, pairs, delta, k)
 
 
 class ProcessEnginePool:
-    """Epoch-aware process-pool engine backend with crash recovery.
+    """Process-pool engine backend with crash recovery.
+
+    In the default shared-memory mode the network reaches workers as a
+    :class:`~repro.temporal.shared.SharedNetworkStore` edge log: the pool
+    is built once, :meth:`mark_stale` *publishes* appended edges instead
+    of forcing a rebuild, and workers replay the log suffix at their next
+    task.  When shared memory cannot be created (or ``shared=False``)
+    the pool degrades to the classic epoch-aware mode that re-ships the
+    pickled network by rebuilding the pool whenever the epoch moves.
 
     Args:
-        network: the live network; re-shipped to workers whenever its
-            epoch moves (the server guarantees the epoch is stable while
-            answers are in flight via its reader/writer lock).
+        network: the live network (the server guarantees the epoch is
+            stable while answers are in flight via its reader/writer
+            lock).
         processes: worker process count; ``0`` means ``os.cpu_count()``.
         mp_context: multiprocessing start method (``"fork"``,
             ``"forkserver"``, ``"spawn"``) or ``None`` for the platform
             default.
         on_restart: callback invoked whenever a broken pool is rebuilt.
+        shared: ship the network through shared memory (default); pass
+            ``False`` to force the classic rebuild-on-epoch mode.
     """
 
     def __init__(
@@ -170,6 +217,7 @@ class ProcessEnginePool:
         processes: int = 2,
         mp_context: str | None = None,
         on_restart: Callable[[], None] | None = None,
+        shared: bool = True,
     ) -> None:
         if processes == 0:
             processes = os.cpu_count() or 1
@@ -183,22 +231,55 @@ class ProcessEnginePool:
         self._pool_epoch = -1
         self._rebuild_lock = asyncio.Lock()
         self.restarts = 0
+        self._store: SharedNetworkStore | None = None
+        if shared:
+            try:
+                self._store = SharedNetworkStore(network)
+            except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+                self._store = None
 
     # ------------------------------------------------------------------
+    @property
+    def shared(self) -> bool:
+        """Whether workers attach to the shared-memory edge log."""
+        return self._store is not None
+
     def _build_pool(self) -> ProcessPoolExecutor:
+        if self._store is not None:
+            initializer: Callable[..., None] = _init_shared_worker
+            initargs: tuple = (self._store.name,)
+        else:
+            initializer = _init_service_worker
+            initargs = (self._network,)
         return ProcessPoolExecutor(
             max_workers=self._processes,
             mp_context=self._context,
-            initializer=_init_service_worker,
-            initargs=(self._network,),
+            initializer=initializer,
+            initargs=initargs,
         )
 
     async def _ensure_fresh(self) -> ProcessPoolExecutor:
-        """The current pool, rebuilt if the network epoch moved."""
+        """The current pool, rebuilt if the network epoch moved.
+
+        In shared mode :meth:`mark_stale` keeps ``_pool_epoch`` current
+        on publish, so this almost never rebuilds — only an unpublished
+        mutation (epoch moved behind the store's back) forces a full
+        re-snapshot of the log plus a pool rebuild.
+        """
         if self._pool is not None and self._pool_epoch == self._network.epoch:
             return self._pool
         async with self._rebuild_lock:
             if self._pool is None or self._pool_epoch != self._network.epoch:
+                if (
+                    self._store is not None
+                    and self._store.epoch != self._network.epoch
+                ):
+                    # The network changed in a way nobody published
+                    # (mark_stale(None) or a direct mutation): the log
+                    # no longer describes it, so re-snapshot from
+                    # scratch under a fresh store name.
+                    self._store.close()
+                    self._store = SharedNetworkStore(self._network)
                 old = self._pool
                 self._pool = self._build_pool()
                 self._pool_epoch = self._network.epoch
@@ -257,15 +338,30 @@ class ProcessEnginePool:
         """Rank top-k densest bursts on a worker."""
         return await self._run(_solve_topk, tuple(pairs), delta, k)
 
-    def mark_stale(self) -> None:
-        """Force a rebuild before the next answer (appends call this)."""
+    def mark_stale(self, edges: "Sequence[TemporalEdge] | None" = None) -> None:
+        """Tell the pool the network changed (appends call this).
+
+        With ``edges`` (the appended records, in commit order) in shared
+        mode, the edges are published into the shared log and the pool
+        keeps running — workers catch up at their next task.  Without
+        ``edges`` (or in classic mode) the next answer rebuilds the
+        pool.  Must run while the network is quiescent (the server's
+        writer lock).
+        """
+        if self._store is not None and edges is not None:
+            self._store.publish(edges, epoch=self._network.epoch)
+            self._pool_epoch = self._network.epoch
+            return
         self._pool_epoch = -1
 
     def close(self) -> None:
-        """Shut the pool down."""
+        """Shut the pool down and unlink the shared segments."""
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
 
 class InlineEngine:
@@ -334,7 +430,7 @@ class InlineEngine:
             lambda: _solve_topk_on(self._network, tuple(pairs), delta, k),
         )
 
-    def mark_stale(self) -> None:
+    def mark_stale(self, edges: "Sequence[TemporalEdge] | None" = None) -> None:
         """No-op: inline solves always see the live network."""
 
     def close(self) -> None:

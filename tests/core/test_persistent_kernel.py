@@ -19,6 +19,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.incremental import IncrementalTransformedNetwork
+from repro.exceptions import SolverError
 from repro.temporal import TemporalEdge, TemporalFlowNetwork
 
 TOLERANCE = 1e-7
@@ -137,7 +138,7 @@ def test_value_bound_run_matches_unbounded_twin(network):
 
 
 def test_unknown_kernel_rejected(burst_network):
-    with pytest.raises(ValueError, match="kernel"):
+    with pytest.raises(SolverError, match="kernel"):
         IncrementalTransformedNetwork(
             burst_network, "s", "t", 0, 2, kernel="quantum"
         )

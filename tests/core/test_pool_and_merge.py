@@ -131,8 +131,10 @@ def sample(tau_s: int, tau_e: int, value: float) -> IntervalSample:
 
 class TestMergeQueryStats:
     def test_every_declared_field_is_merged(self):
-        # Build parts whose field values are all distinct primes so a
-        # dropped field shows up as a wrong sum, whatever its position.
+        # Build parts whose field values are all distinct so a dropped
+        # field shows up as a wrong sum, whatever its position.  Dict
+        # fields (the per-kernel tallies) merge key-wise, so they get a
+        # one-key dict carrying the same distinct value.
         parts = []
         for offset in (0, 100):
             stats = QueryStats()
@@ -142,14 +144,33 @@ class TestMergeQueryStats:
                 value = offset + 2 * index + 1
                 if spec.type == "float":
                     value = float(value)
+                elif spec.type.startswith("dict"):
+                    value = {"k": value}
                 setattr(stats, spec.name, value)
             parts.append(stats)
         merged = merge_query_stats(parts)
         for spec in dataclasses.fields(QueryStats):
             if spec.name == "samples":
                 continue
-            expected = sum(getattr(part, spec.name) for part in parts)
+            values = [getattr(part, spec.name) for part in parts]
+            if isinstance(values[0], dict):
+                expected = {"k": sum(v["k"] for v in values)}
+            else:
+                expected = sum(values)
             assert getattr(merged, spec.name) == expected, spec.name
+
+    def test_kernel_tallies_merge_key_wise(self):
+        first = QueryStats()
+        first.note_kernel("persistent", 0.25)
+        first.note_kernel("vectorized", 0.5)
+        second = QueryStats()
+        second.note_kernel("vectorized", 0.125)
+        merged = merge_query_stats([first, second])
+        assert merged.kernel_runs == {"persistent": 1, "vectorized": 2}
+        assert merged.kernel_seconds == {
+            "persistent": 0.25,
+            "vectorized": 0.625,
+        }
 
     def test_samples_concatenate_in_chunk_order(self):
         first = QueryStats(samples=[sample(1, 3, 4.0), sample(2, 4, 5.0)])

@@ -1,0 +1,142 @@
+"""Unit tests for the shared-memory edge log (store + reader)."""
+
+import glob
+import random
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.temporal.edge import TemporalEdge
+from repro.temporal.network import TemporalFlowNetwork
+from repro.temporal.shared import (
+    INITIAL_CAPACITY,
+    SharedNetworkReader,
+    SharedNetworkStore,
+)
+
+
+def _edge_set(network):
+    return sorted((e.u, e.v, e.tau, e.capacity) for e in network.edges())
+
+
+def _random_network(seed: int, edges: int) -> TemporalFlowNetwork:
+    rng = random.Random(seed)
+    network = TemporalFlowNetwork()
+    added = 0
+    while added < edges:
+        u, v = rng.sample(range(25), 2)
+        network.add_edge(
+            TemporalEdge(
+                f"n{u}", f"n{v}", rng.randrange(60), float(rng.randint(1, 9))
+            )
+        )
+        added += 1
+    return network
+
+
+def _assert_no_segments(name: str) -> None:
+    assert not glob.glob(f"/dev/shm/{name}*")
+
+
+class TestRoundTrip:
+    def test_initial_snapshot_reconstructs_network(self):
+        network = _random_network(0, 120)
+        with SharedNetworkStore(network) as store:
+            with SharedNetworkReader(store.name) as reader:
+                assert _edge_set(reader.network) == _edge_set(network)
+                assert reader.network.epoch == network.epoch
+
+    def test_suffix_replay_after_epoch_bumps(self):
+        network = _random_network(1, 50)
+        with SharedNetworkStore(network) as store:
+            with SharedNetworkReader(store.name) as reader:
+                for round_no in range(3):
+                    fresh = []
+                    for i in range(10):
+                        edge = TemporalEdge(
+                            f"x{round_no}", f"y{i}", 100 + round_no * 10 + i, 2.0
+                        )
+                        network.add_edge(edge)
+                        fresh.append(edge)
+                    store.publish(fresh, epoch=network.epoch)
+                    assert reader.catch_up() == 10
+                    assert _edge_set(reader.network) == _edge_set(network)
+                    assert reader.network.epoch == network.epoch
+                # A no-change poll replays nothing.
+                assert reader.catch_up() == 0
+
+    def test_duplicate_edges_merge_identically(self):
+        # add_edge merges duplicate (u, v, tau) capacities; replay runs
+        # through add_edge, so the merge happens in the reader too.
+        network = TemporalFlowNetwork()
+        network.add_edge(TemporalEdge("a", "b", 1, 2.0))
+        with SharedNetworkStore(network) as store:
+            with SharedNetworkReader(store.name) as reader:
+                dup = TemporalEdge("a", "b", 1, 3.0)
+                network.add_edge(dup)
+                store.publish([dup], epoch=network.epoch)
+                reader.catch_up()
+                assert _edge_set(reader.network) == _edge_set(network)
+                assert reader.network.num_edges == 1
+
+    def test_growth_across_generations(self):
+        # Force several capacity doublings and make sure an attached
+        # reader follows the data segment across generations.
+        network = _random_network(2, 10)
+        with SharedNetworkStore(network, capacity=2048) as store:
+            with SharedNetworkReader(store.name) as reader:
+                total = 10
+                for burst in range(4):
+                    fresh = []
+                    for i in range(500):
+                        edge = TemporalEdge(
+                            f"g{burst}", f"h{i}", 1000 + burst * 500 + i, 1.0
+                        )
+                        network.add_edge(edge)
+                        fresh.append(edge)
+                    store.publish(fresh, epoch=network.epoch)
+                    total += 500
+                    assert reader.catch_up() == 500
+                    assert reader.network.num_edges == network.num_edges
+                assert store.records == total
+
+
+class TestLifecycle:
+    def test_close_unlinks_all_segments(self):
+        network = _random_network(3, 30)
+        store = SharedNetworkStore(network)
+        name = store.name
+        assert glob.glob(f"/dev/shm/{name}*")
+        store.close()
+        _assert_no_segments(name)
+
+    def test_close_is_idempotent_and_rejects_publish(self):
+        network = _random_network(4, 5)
+        store = SharedNetworkStore(network)
+        store.close()
+        store.close()
+        with pytest.raises(ReproError, match="closed"):
+            store.publish([], epoch=network.epoch)
+
+    def test_growth_unlinks_old_generations(self):
+        network = _random_network(5, 5)
+        store = SharedNetworkStore(network, capacity=2048)
+        fresh = []
+        for i in range(2000):
+            edge = TemporalEdge("p", f"q{i}", 10 + i, 1.0)
+            network.add_edge(edge)
+            fresh.append(edge)
+        store.publish(fresh, epoch=network.epoch)
+        segments = glob.glob(f"/dev/shm/{store.name}*")
+        # Exactly the header and the *current* data generation remain.
+        assert len(segments) == 2, segments
+        store.close()
+        _assert_no_segments(store.name)
+
+    def test_initial_capacity_floor(self):
+        network = TemporalFlowNetwork()
+        network.add_edge(TemporalEdge("a", "b", 1, 1.0))
+        with SharedNetworkStore(network, capacity=1) as store:
+            with SharedNetworkReader(store.name) as reader:
+                assert reader.network.num_edges == 1
+        assert INITIAL_CAPACITY >= 1024
