@@ -285,6 +285,10 @@ def run_benchmark(
 
     return {
         "benchmark": "cluster-throughput-scaling",
+        # Closed loop: clients wait for each reply before sending the
+        # next request, so these numbers coordinate-omit queueing under
+        # saturation.  Open-loop numbers live in BENCH_PR10.json.
+        "loop": "closed",
         "metric": (
             "saturated closed-loop QPS through the cluster coordinator at "
             "1/2/4 replicas vs a single-process service, identical "

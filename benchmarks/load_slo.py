@@ -1,0 +1,182 @@
+"""The open-loop SLO gate: run the scenario matrix, assert the bounds.
+
+Produces ``BENCH_PR10.json`` — the first *open-loop* BENCH file: every
+scenario reports offered vs achieved rate, per-op latency from the
+scheduled time (coordinated omission measured, not hidden), the
+scheduled-vs-sent lag distribution, and — for the chaos scenario — the
+zero-lost-acked-appends proof with measured recovery time.
+
+    PYTHONPATH=src python benchmarks/load_slo.py                  # full scale
+    PYTHONPATH=src python benchmarks/load_slo.py --smoke          # CI scale
+    PYTHONPATH=src python benchmarks/load_slo.py --check BENCH_PR10.json
+
+``--check`` re-gates a committed report offline (no load is run): the
+SLO bounds read only fields the report already carries.  Exit status is
+0 only when every scenario passes its gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.loadgen import (  # noqa: E402
+    FULL_SCALE,
+    FULL_SLOS,
+    SCENARIOS,
+    SMOKE_SCALE,
+    SMOKE_SLOS,
+    ScenarioReport,
+    Slo,
+    evaluate_matrix,
+    run_scenario,
+)
+
+
+def _print_result(name: str, result) -> None:
+    marker = "PASS" if result.passed else "FAIL"
+    print(f"  [{marker}] {name}")
+    for check in result.checks:
+        status = "ok" if check.passed else "VIOLATED"
+        print(
+            f"      {check.name}: {check.observed!r} "
+            f"(bound {check.bound!r}) {status}"
+        )
+
+
+def _gate(reports, slos):
+    results = evaluate_matrix(reports, slos)
+    print("SLO gate:")
+    for name, result in results.items():
+        _print_result(name, result)
+    return all(result.passed for result in results.values()), results
+
+
+def check_existing(path: Path) -> int:
+    payload = json.loads(path.read_text())
+    slos = {
+        name: Slo.from_dict(entry) for name, entry in payload["slos"].items()
+    }
+    reports = {
+        name: ScenarioReport.from_dict(entry)
+        for name, entry in payload["scenarios"].items()
+    }
+    passed, _ = _gate(reports, slos)
+    print(f"re-gated {path}: {'PASS' if passed else 'FAIL'}")
+    return 0 if passed else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_PR10.json"),
+        help="where to write the JSON report (default: ./BENCH_PR10.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced scale with relaxed-but-asserted bounds (CI)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=None,
+        help=f"comma-separated subset of: {', '.join(SCENARIOS)}",
+    )
+    parser.add_argument(
+        "--report-dir",
+        type=Path,
+        default=None,
+        help="also write one <scenario>.json per report (CI artifacts)",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        help="re-gate an existing report file; no load is run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        return check_existing(args.check)
+
+    scale = SMOKE_SCALE if args.smoke else FULL_SCALE
+    slos = SMOKE_SLOS if args.smoke else FULL_SLOS
+    names = (
+        [name.strip() for name in args.scenarios.split(",") if name.strip()]
+        if args.scenarios
+        else list(SCENARIOS)
+    )
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        parser.error(f"unknown scenario(s): {', '.join(unknown)}")
+
+    reports: dict[str, ScenarioReport] = {}
+    for name in names:
+        print(f"scenario {name} ({'smoke' if args.smoke else 'full'} scale)…")
+        report = run_scenario(name, scale=scale)
+        reports[name] = report
+        rate = report.achieved_rate
+        print(
+            f"  offered {report.offered_rate:.1f}/s, achieved "
+            f"{0.0 if rate is None else rate:.1f}/s, "
+            f"errors {report.error_rate:.3%}, "
+            f"lag p99 {report.lag_ms.get('p99_ms')}ms"
+        )
+
+    passed, results = _gate(reports, {name: slos[name] for name in names})
+
+    payload = {
+        "benchmark": "open-loop-load-slo-matrix",
+        "loop": "open",
+        "metric": (
+            "open-loop scenario matrix driven by deterministic bursty "
+            "traces; latency measured from the scheduled arrival time "
+            "(coordinated omission measured via scheduled-vs-sent lag, "
+            "never hidden)"
+        ),
+        "passed": passed,
+        "scale": {"profile": "smoke" if args.smoke else "full", **scale.as_dict()},
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "timestamp_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+        },
+        "scenarios": {name: reports[name].as_dict() for name in names},
+        "slos": {name: slos[name].as_dict() for name in names},
+        "gate": {name: results[name].as_dict() for name in names},
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.report_dir is not None:
+        args.report_dir.mkdir(parents=True, exist_ok=True)
+        for name in names:
+            out = args.report_dir / f"{name}.json"
+            out.write_text(
+                json.dumps(
+                    {
+                        "report": reports[name].as_dict(),
+                        "slo": slos[name].as_dict(),
+                        "gate": results[name].as_dict(),
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+        print(f"wrote per-scenario reports to {args.report_dir}/")
+
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

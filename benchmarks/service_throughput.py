@@ -180,6 +180,10 @@ def run_benchmark(
 
     return {
         "benchmark": "service-throughput-cold-vs-warm",
+        # Closed loop: clients wait for each reply before sending the
+        # next request, so these numbers coordinate-omit queueing under
+        # saturation.  Open-loop numbers live in BENCH_PR10.json.
+        "loop": "closed",
         "metric": (
             "closed-loop client latency and QPS against a live "
             "BurstingFlowService; cold = empty cache, warm = identical "

@@ -13,6 +13,7 @@ The subcommands mirror the library's main entry points::
     repro-bfq fuzz       --trials 200 --seed 0
     repro-bfq serve      edges.csv --port 7461 --processes 4
     repro-bfq cluster    edges.csv --replicas 2 --log edges.cluster.log
+    repro-bfq loadgen    --scenario query_heavy,failover_chaos --profile smoke
     repro-bfq self-check
 
 Edge lists are CSV/TSV (``u,v,tau,capacity``, header optional) or JSON
@@ -249,6 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--limit", type=int, default=20, help="patterns to list (default: 20)"
     )
+    mine.add_argument(
+        "--prune",
+        action="store_true",
+        help="apply the retention policy (after the scan, before --list); "
+        "requires --max-age-epochs and/or --max-patterns",
+    )
+    mine.add_argument(
+        "--max-age-epochs",
+        type=int,
+        default=None,
+        help="prune: drop patterns detected more than N epochs before "
+        "the newest stored record",
+    )
+    mine.add_argument(
+        "--max-patterns",
+        type=int,
+        default=None,
+        help="prune: keep at most N patterns (newest first)",
+    )
 
     fuzz = subparsers.add_parser(
         "fuzz",
@@ -461,6 +481,56 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="stop after this many seconds (smoke tests; default: forever)",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="open-loop load scenarios with SLO gating (see docs/loadtest.md)",
+    )
+    loadgen.add_argument(
+        "--scenario",
+        default=None,
+        help="comma-separated scenario subset (default: the full matrix: "
+        "query_heavy,append_heavy,mixed,cache_cold_restart,failover_chaos)",
+    )
+    loadgen.add_argument(
+        "--profile",
+        default="smoke",
+        choices=["smoke", "full"],
+        help="scale + SLO profile: smoke (seconds, CI) or full "
+        "(the committed BENCH_PR10.json scale); default: smoke",
+    )
+    loadgen.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the JSON report (scenario reports + SLO results) there",
+    )
+    loadgen.add_argument(
+        "--dataset", default=None, help="override the scenario dataset"
+    )
+    loadgen.add_argument(
+        "--dataset-scale", type=float, default=None, help="dataset size factor"
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=None, help="seconds of offered load"
+    )
+    loadgen.add_argument(
+        "--base-rate", type=float, default=None, help="quiet-state ops/s"
+    )
+    loadgen.add_argument(
+        "--burst-rate", type=float, default=None, help="burst-state ops/s"
+    )
+    loadgen.add_argument(
+        "--connections", type=int, default=None, help="driver client pool size"
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=None, help="trace seed (reproducible runs)"
+    )
+    loadgen.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report only; skip the SLO assertions (exit 0 regardless)",
     )
 
     subparsers.add_parser(
@@ -717,6 +787,22 @@ def _run_mine(args: argparse.Namespace) -> int:
                     f"interval [{shown[0]}, {shown[1]}] "
                     f"z {record.z_score:.1f}"
                 )
+        if args.prune:
+            if args.max_age_epochs is None and args.max_patterns is None:
+                print(
+                    "error: --prune requires --max-age-epochs and/or "
+                    "--max-patterns",
+                    file=sys.stderr,
+                )
+                return 2
+            dropped = store.prune(
+                max_age_epochs=args.max_age_epochs,
+                max_patterns=args.max_patterns,
+            )
+            print(
+                f"pruned: {dropped} pattern(s) dropped, "
+                f"{len(store)} retained (log compacted)"
+            )
         if args.list or args.no_scan:
             records = store.query(
                 source=args.pattern_source,
@@ -942,6 +1028,100 @@ def _run_cluster(args: argparse.Namespace) -> int:
         return 0
 
 
+def _run_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.loadgen import (
+        FULL_SCALE,
+        FULL_SLOS,
+        SCENARIOS,
+        SMOKE_SCALE,
+        SMOKE_SLOS,
+        evaluate_matrix,
+        run_scenario,
+        scale_from_overrides,
+    )
+
+    names = (
+        [name.strip() for name in args.scenario.split(",") if name.strip()]
+        if args.scenario
+        else list(SCENARIOS)
+    )
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise ReproError(
+            f"unknown scenario(s) {unknown!r}; known: {', '.join(SCENARIOS)}"
+        )
+
+    base = SMOKE_SCALE if args.profile == "smoke" else FULL_SCALE
+    slos = SMOKE_SLOS if args.profile == "smoke" else FULL_SLOS
+    overrides = {
+        key: value
+        for key, value in (
+            ("dataset", args.dataset),
+            ("dataset_scale", args.dataset_scale),
+            ("duration_s", args.duration),
+            ("base_rate", args.base_rate),
+            ("burst_rate", args.burst_rate),
+            ("connections", args.connections),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    scale = scale_from_overrides(base, overrides)
+
+    reports = {}
+    for name in names:
+        print(f"scenario {name} ({args.profile} profile)...")
+        report = run_scenario(name, scale=scale)
+        reports[name] = report
+        achieved = report.achieved_rate or 0.0
+        line = (
+            f"  offered {report.offered_rate:,.1f}/s  "
+            f"achieved {achieved:,.1f}/s  "
+            f"errors {report.error_rate:.2%}  "
+            f"lag p99 {report.lag_ms.get('p99_ms')}ms"
+        )
+        if report.recovery_s is not None:
+            line += f"  recovery {report.recovery_s:.2f}s"
+        if report.lost_acked_appends is not None:
+            line += f"  lost acked {report.lost_acked_appends}"
+        print(line)
+
+    results = None
+    passed = True
+    if not args.no_gate:
+        results = evaluate_matrix(reports, {name: slos[name] for name in names})
+        print("SLO gate:")
+        for name, result in results.items():
+            print(f"  [{'PASS' if result.passed else 'FAIL'}] {name}")
+            for check in result.failures:
+                print(
+                    f"      {check.name}: observed {check.observed!r}, "
+                    f"bound {check.bound!r}"
+                )
+        passed = all(result.passed for result in results.values())
+
+    if args.output is not None:
+        payload = {
+            "profile": args.profile,
+            "scale": scale.as_dict(),
+            "passed": passed,
+            "scenarios": {
+                name: report.as_dict() for name, report in reports.items()
+            },
+            "slos": {name: slos[name].as_dict() for name in names},
+        }
+        if results is not None:
+            payload["gate"] = {
+                name: result.as_dict() for name, result in results.items()
+            }
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    return 0 if passed else 1
+
+
 def _run_self_check(args: argparse.Namespace) -> int:
     from repro.verify import self_check
 
@@ -962,6 +1142,7 @@ _HANDLERS = {
     "fuzz": _run_fuzz,
     "serve": _run_serve,
     "cluster": _run_cluster,
+    "loadgen": _run_loadgen,
     "self-check": _run_self_check,
 }
 

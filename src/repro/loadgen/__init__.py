@@ -1,0 +1,86 @@
+"""`repro.loadgen` — open-loop load generation against the serving tier.
+
+The measurement backbone for the serving claims: deterministic bursty
+arrival traces (:mod:`~repro.loadgen.trace`), an asyncio open-loop
+driver that measures coordinated omission instead of hiding it
+(:mod:`~repro.loadgen.driver`), a five-scenario matrix including
+kill-9 failover chaos (:mod:`~repro.loadgen.scenarios`), and a
+declarative SLO gate (:mod:`~repro.loadgen.slo`).
+
+    from repro.loadgen import SMOKE_SCALE, SMOKE_SLOS, run_matrix, evaluate_matrix
+
+    reports = run_matrix(["query_heavy", "failover_chaos"], scale=SMOKE_SCALE)
+    results = evaluate_matrix(reports, SMOKE_SLOS)
+    assert all(result.passed for result in results.values())
+
+See ``docs/loadtest.md`` for the trace format, scenario matrix and SLO
+schema.
+"""
+
+from repro.loadgen.driver import (
+    ERROR_KINDS,
+    LoadResult,
+    OpenLoopDriver,
+    OpStats,
+    classify_error,
+)
+from repro.loadgen.scenarios import (
+    FULL_SCALE,
+    FULL_SLOS,
+    SCENARIOS,
+    SMOKE_SCALE,
+    SMOKE_SLOS,
+    ScenarioScale,
+    run_matrix,
+    run_scenario,
+    scale_from_overrides,
+)
+from repro.loadgen.slo import (
+    ScenarioReport,
+    Slo,
+    SloCheck,
+    SloResult,
+    evaluate_matrix,
+    quantiles_ms,
+    report_from_result,
+)
+from repro.loadgen.trace import (
+    TRACE_OPS,
+    ArrivalEvent,
+    OpMix,
+    Trace,
+    TraceConfig,
+    build_trace,
+    derive_pairs,
+)
+
+__all__ = [
+    "ERROR_KINDS",
+    "FULL_SCALE",
+    "FULL_SLOS",
+    "SCENARIOS",
+    "SMOKE_SCALE",
+    "SMOKE_SLOS",
+    "TRACE_OPS",
+    "ArrivalEvent",
+    "LoadResult",
+    "OpMix",
+    "OpStats",
+    "OpenLoopDriver",
+    "ScenarioReport",
+    "ScenarioScale",
+    "Slo",
+    "SloCheck",
+    "SloResult",
+    "Trace",
+    "TraceConfig",
+    "build_trace",
+    "classify_error",
+    "derive_pairs",
+    "evaluate_matrix",
+    "quantiles_ms",
+    "report_from_result",
+    "run_matrix",
+    "run_scenario",
+    "scale_from_overrides",
+]

@@ -1,0 +1,368 @@
+"""The open-loop driver: fire at scheduled times, measure honestly.
+
+A closed-loop client measures a server that is allowed to pace it.  An
+open-loop driver does not grant that favour: every
+:class:`~repro.loadgen.trace.ArrivalEvent` fires at its scheduled
+wall-clock offset whether or not earlier requests completed.  When the
+server (or the driver's own connection pool) falls behind, the schedule
+does not slip — instead the gap shows up as **send lag** (``sent_at -
+scheduled_at``), recorded per request.  Coordinated omission is thereby
+*measured*, never hidden: total latency is reported from the scheduled
+time (what a user arriving then would experience), service latency from
+the send time (what the server alone took), and the lag distribution is
+first-class output.
+
+Mechanics: the asyncio loop walks the schedule and spawns one task per
+event; each task borrows a blocking :class:`~repro.service.client
+.ServiceClient` from a bounded pool (each client runs on its own
+executor thread — the NDJSON protocol is one-request-per-connection)
+and classifies the outcome by typed error kind.  Acked appends are
+remembered (epoch + edges) so chaos scenarios can prove zero loss
+afterwards.  Retries, when a :class:`~repro.service.client.RetryPolicy`
+is supplied, are counted by intercepting the policy's sleep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ReproError
+from repro.loadgen.trace import Trace
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.metrics import EXACT_WINDOW_LIMIT, LatencyHistogram
+from repro.service.protocol import (
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+    RemoteServiceError,
+    StaleEpochError,
+)
+
+#: Histogram sizing for load runs: million-observation windows select
+#: the bounded-memory coarse path automatically.
+_LOAD_WINDOW = max(EXACT_WINDOW_LIMIT + 1, 1_000_000)
+
+#: Error-kind vocabulary the driver classifies into.
+ERROR_KINDS = (
+    "overloaded", "stale", "timeout", "invalid", "internal", "connection",
+)
+
+
+@dataclass(slots=True)
+class OpStats:
+    """Aggregated outcomes for one op kind."""
+
+    scheduled: int = 0
+    sent: int = 0
+    ok: int = 0
+    errors: dict[str, int] = field(default_factory=dict)
+    #: completed_at - scheduled_at (the user's view; includes send lag).
+    total_latency: LatencyHistogram = field(
+        default_factory=lambda: LatencyHistogram(window=_LOAD_WINDOW)
+    )
+    #: completed_at - sent_at (the server's view).
+    service_latency: LatencyHistogram = field(
+        default_factory=lambda: LatencyHistogram(window=_LOAD_WINDOW)
+    )
+
+    @property
+    def error_count(self) -> int:
+        return sum(self.errors.values())
+
+
+@dataclass(slots=True)
+class LoadResult:
+    """Everything one driver run measured.
+
+    ``lag`` is the scheduled-vs-sent distribution across *all* ops —
+    the open-loop honesty metric: a driver that cannot keep up with its
+    own schedule must say so here rather than by silently slowing the
+    offered rate.
+    """
+
+    per_op: dict[str, OpStats]
+    lag: LatencyHistogram
+    wall_s: float
+    offered: int
+    completed: int
+    retries: int
+    #: Acked appends in completion order: (epoch, edges).
+    acked_appends: list[tuple[int, tuple]]
+    #: Wall-clock (monotonic offsets from run start) of the first and
+    #: last successful reply — scenario phases use these.
+    first_ok_at: float | None
+    last_ok_at: float | None
+
+    @property
+    def ok(self) -> int:
+        return sum(stats.ok for stats in self.per_op.values())
+
+    @property
+    def error_count(self) -> int:
+        return sum(stats.error_count for stats in self.per_op.values())
+
+    @property
+    def errors(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for stats in self.per_op.values():
+            for kind, count in stats.errors.items():
+                merged[kind] = merged.get(kind, 0) + count
+        return merged
+
+    @property
+    def achieved_rate(self) -> float | None:
+        if self.wall_s <= 0:
+            return None
+        return self.ok / self.wall_s
+
+    @property
+    def error_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return 1.0 - self.ok / self.offered
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map a client exception to the driver's error-kind vocabulary."""
+    if isinstance(exc, OverloadedError):
+        return "overloaded"
+    if isinstance(exc, StaleEpochError):
+        return "stale"
+    if isinstance(exc, DeadlineExceededError):
+        return "timeout"
+    if isinstance(exc, ProtocolError):
+        return "invalid"
+    if isinstance(exc, RemoteServiceError):
+        return "internal"
+    return "connection"
+
+
+class _ClientPool:
+    """A bounded pool of blocking clients, one per executor thread.
+
+    Clients connect lazily on first borrow (so a driver pointed at a
+    server that boots later still works) and a client that saw a
+    connection-level failure is discarded — the next borrow redials.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        size: int,
+        timeout: float,
+        retry: RetryPolicy | None,
+        sleep: Callable[[float], None],
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = retry
+        self._sleep = sleep
+        self._slots: asyncio.Queue = asyncio.Queue()
+        for _ in range(size):
+            self._slots.put_nowait(None)  # lazy-connect slots
+
+    async def borrow(self) -> ServiceClient | None:
+        return await self._slots.get()
+
+    def give_back(self, client: ServiceClient | None) -> None:
+        self._slots.put_nowait(client)
+
+    def connect(self) -> ServiceClient:
+        """Blocking: dial a fresh client (runs on an executor thread)."""
+        return ServiceClient(
+            self._host,
+            self._port,
+            timeout=self._timeout,
+            retry=self._retry,
+            sleep=self._sleep,
+        )
+
+    def retarget(self, host: str, port: int) -> None:
+        """Point future (re)connects at a new address; live clients are
+        drained naturally as connection errors discard them.  Used by
+        the cold-restart scenario when the reborn server binds a fresh
+        ephemeral port."""
+        self._host = host
+        self._port = port
+
+    async def close(self) -> None:
+        while not self._slots.empty():
+            client = self._slots.get_nowait()
+            if client is not None:
+                try:
+                    client.close()
+                except OSError:  # pragma: no cover - best-effort
+                    pass
+
+
+def _issue(client: ServiceClient, event) -> Any:
+    """Blocking: perform one event's request on a borrowed client."""
+    if event.op == "query":
+        return client.query(event.source, event.sink, event.delta)
+    if event.op == "append":
+        return client.append(event.edges)
+    if event.op == "batch":
+        return client.batch(event.queries)
+    if event.op == "topk":
+        return client.topk(event.pairs, event.delta, k=event.k)
+    if event.op == "scan":
+        return client.scan(event.delta, top=event.top)
+    raise ReproError(f"unknown trace op {event.op!r}")
+
+
+class OpenLoopDriver:
+    """Replay a :class:`~repro.loadgen.trace.Trace` against one target.
+
+    Args:
+        host / port: the service or cluster-coordinator address.
+        connections: client-pool size — the driver's own concurrency
+            ceiling.  When all connections are busy at an event's fire
+            time the event still fires on schedule and the wait is
+            recorded as send lag.
+        timeout: per-request socket timeout (seconds).
+        retry: optional shared retry policy (overloaded/stale replies);
+            retries are counted per run.
+        time_source: injectable monotonic clock (tests pin it).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connections: int = 32,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        time_source: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if connections < 1:
+            raise ReproError(f"connections must be >= 1, got {connections}")
+        self._retries = 0
+        self._retry_lock = threading.Lock()
+
+        def counting_sleep(seconds: float) -> None:
+            with self._retry_lock:
+                self._retries += 1
+            time.sleep(seconds)
+
+        self._pool = _ClientPool(
+            host,
+            port,
+            size=connections,
+            timeout=timeout,
+            retry=retry,
+            sleep=counting_sleep,
+        )
+        self._connections = connections
+        self._clock = time_source
+        self._executor: ThreadPoolExecutor | None = None
+
+    def retarget(self, host: str, port: int) -> None:
+        """Redirect future connections (cold-restart scenarios)."""
+        self._pool.retarget(host, port)
+
+    async def run(self, trace: Trace) -> LoadResult:
+        """Fire the whole schedule; returns once every request resolved.
+
+        The schedule is absolute: event ``i`` fires at ``start +
+        trace.events[i].at`` even when earlier requests are still in
+        flight or erroring.
+        """
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._connections,
+            thread_name_prefix="loadgen",
+        )
+        self._retries = 0
+        per_op: dict[str, OpStats] = {}
+        lag = LatencyHistogram(window=_LOAD_WINDOW)
+        acked: list[tuple[int, tuple]] = []
+        first_ok: list[float | None] = [None]
+        last_ok: list[float | None] = [None]
+        record_lock = threading.Lock()
+        loop = asyncio.get_running_loop()
+        start = self._clock()
+
+        async def fire(event) -> None:
+            stats = per_op.setdefault(event.op, OpStats())
+            stats.scheduled += 1
+            scheduled_at = start + event.at
+            client = await self._pool.borrow()
+            sent_at = self._clock()
+            ok = True
+            error_kind = None
+            try:
+                if client is None:
+                    client = await loop.run_in_executor(
+                        self._executor, self._pool.connect
+                    )
+                reply = await loop.run_in_executor(
+                    self._executor, _issue, client, event
+                )
+            except Exception as exc:  # typed kinds + connection failures
+                ok = False
+                error_kind = classify_error(exc)
+                if error_kind == "connection":
+                    if client is not None:
+                        try:
+                            client.close()
+                        except OSError:
+                            pass
+                    client = None
+            completed_at = self._clock()
+            self._pool.give_back(client)
+            with record_lock:
+                stats.sent += 1
+                lag.observe(max(0.0, sent_at - scheduled_at))
+                if ok:
+                    stats.ok += 1
+                    stats.total_latency.observe(completed_at - scheduled_at)
+                    stats.service_latency.observe(completed_at - sent_at)
+                    offset = completed_at - start
+                    if first_ok[0] is None:
+                        first_ok[0] = offset
+                    last_ok[0] = offset
+                    if event.op == "append":
+                        acked.append((reply.epoch, event.edges))
+                else:
+                    stats.errors[error_kind] = (
+                        stats.errors.get(error_kind, 0) + 1
+                    )
+
+        tasks = []
+        try:
+            for event in trace.events:
+                delay = (start + event.at) - self._clock()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(asyncio.create_task(fire(event)))
+            if tasks:
+                await asyncio.gather(*tasks)
+        finally:
+            wall = self._clock() - start
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        return LoadResult(
+            per_op=per_op,
+            lag=lag,
+            wall_s=wall,
+            offered=len(trace.events),
+            completed=sum(stats.sent for stats in per_op.values()),
+            retries=self._retries,
+            acked_appends=acked,
+            first_ok_at=first_ok[0],
+            last_ok_at=last_ok[0],
+        )
+
+    async def close(self) -> None:
+        await self._pool.close()
+        # Give a co-located server's event loop a beat to observe the
+        # FINs before a scenario stops it, so shutdown stays quiet.
+        await asyncio.sleep(0.05)

@@ -1,0 +1,542 @@
+"""The scenario matrix: five load shapes, one report schema.
+
+Each scenario boots its own target (a :class:`~repro.service.server
+.BurstingFlowService` or a :class:`~repro.cluster.ClusterCoordinator`),
+replays a deterministic open-loop trace against it, and folds the
+result into a :class:`~repro.loadgen.slo.ScenarioReport`:
+
+* ``query_heavy`` — read-dominated mix against a single service; the
+  cache and solver under bursty read pressure.
+* ``append_heavy`` — write-dominated mix; epoch bumps and cache
+  invalidation under load.
+* ``mixed`` — full op mix against a 2-replica inline cluster through
+  the coordinator (routing, fences, replication on the hot path).
+* ``cache_cold_restart`` — warm a service, stop it, boot a cold one
+  and replay the second phase against it; ``recovery_s`` measures
+  restart-to-first-successful-reply and the report shows the cold-cache
+  latency cliff honestly.
+* ``failover_chaos`` — 2 process replicas behind a coordinator,
+  ``kill -9`` one mid-burst while appends are in flight; afterwards the
+  victim must rejoin at the committed epoch, a fenced query at the
+  highest acked epoch must succeed, and (when no append outcome was
+  ambiguous) the fenced answer must equal a fresh sequential solve over
+  seed + acked edges — zero lost acked appends, proven not asserted.
+
+Scenarios come in two scales: :data:`SMOKE_SCALE` (seconds, tiny
+dataset replica — CI and tests) and :data:`FULL_SCALE` (the committed
+``BENCH_PR10.json``).  SLO bounds are declared next to each scale.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro import BurstingFlowQuery, find_bursting_flow
+from repro.cluster import (
+    ClusterCoordinator,
+    InlineReplica,
+    ProcessReplica,
+    seed_log,
+)
+from repro.cluster.replication import network_edges
+from repro.datasets.registry import make_dataset
+from repro.exceptions import ReproError
+from repro.loadgen.driver import OpenLoopDriver
+from repro.loadgen.slo import ScenarioReport, Slo, report_from_result
+from repro.loadgen.trace import OpMix, Trace, TraceConfig, build_trace
+from repro.mining.pipeline import MiningPipeline
+from repro.mining.store import PatternStore
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.server import BurstingFlowService
+from repro.store.log import AppendLog
+from repro.temporal.network import TemporalFlowNetwork
+
+#: Matrix order; also the order reports appear in BENCH_PR10.json.
+SCENARIOS = (
+    "query_heavy",
+    "append_heavy",
+    "mixed",
+    "cache_cold_restart",
+    "failover_chaos",
+)
+
+_MIXES = {
+    "query_heavy": OpMix(query=0.85, batch=0.06, topk=0.05, scan=0.04),
+    "append_heavy": OpMix(query=0.35, append=0.60, scan=0.05),
+    "mixed": OpMix(query=0.50, append=0.20, batch=0.15, topk=0.10, scan=0.05),
+    "cache_cold_restart": OpMix(query=0.90, batch=0.10),
+    "failover_chaos": OpMix(query=0.50, append=0.40, batch=0.10),
+}
+
+#: Per-scenario multiplier on the scale's offered rates.  Appends
+#: serialize through the epoch bump and invalidate the result cache, so
+#: a write-dominated mix saturates well below the read rate; the
+#: append-heavy scenario offers at half the read-path rate (the usual
+#: read/write capacity asymmetry), and the gate then holds it to the
+#: same achieved-fraction and latency bounds as the read scenarios.
+_RATE_FACTORS = {
+    "append_heavy": 0.5,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioScale:
+    """Everything that sizes a matrix run (dataset, rates, budgets)."""
+
+    dataset: str = "bayc"
+    dataset_scale: float = 0.25
+    duration_s: float = 8.0
+    base_rate: float = 40.0
+    burst_rate: float = 160.0
+    connections: int = 16
+    pairs: int = 12
+    seed: int = 7
+    timeout_s: float = 30.0
+    max_pending: int = 256
+    kill_at_fraction: float = 0.4
+    rejoin_timeout_s: float = 30.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            name: getattr(self, name)
+            for name in (
+                "dataset", "dataset_scale", "duration_s", "base_rate",
+                "burst_rate", "connections", "pairs", "seed", "timeout_s",
+                "max_pending", "kill_at_fraction", "rejoin_timeout_s",
+            )
+        }
+
+
+#: CI / test scale: small dataset replica, short horizon, modest rates.
+SMOKE_SCALE = ScenarioScale(
+    dataset_scale=0.05,
+    duration_s=2.5,
+    base_rate=12.0,
+    burst_rate=48.0,
+    connections=8,
+    pairs=6,
+    max_pending=64,
+)
+
+#: The committed-benchmark scale.
+FULL_SCALE = ScenarioScale()
+
+#: Relaxed-but-asserted bounds for CI smoke runs: generous latency
+#: ceilings (shared runners), but the structural guarantees — lag
+#: reported, zero lost acked appends, bounded recovery — stay strict.
+SMOKE_SLOS: dict[str, Slo] = {
+    "query_heavy": Slo(
+        min_achieved_fraction=0.70, max_error_rate=0.30,
+        max_p99_ms=10_000.0, max_lag_p99_ms=10_000.0,
+    ),
+    "append_heavy": Slo(
+        min_achieved_fraction=0.70, max_error_rate=0.30,
+        max_p99_ms=10_000.0, max_lag_p99_ms=10_000.0,
+    ),
+    "mixed": Slo(
+        min_achieved_fraction=0.70, max_error_rate=0.30,
+        max_p99_ms=15_000.0, max_lag_p99_ms=15_000.0,
+    ),
+    "cache_cold_restart": Slo(
+        min_achieved_fraction=0.70, max_error_rate=0.30,
+        max_p99_ms=15_000.0, max_recovery_s=30.0,
+    ),
+    "failover_chaos": Slo(
+        max_error_rate=0.40, max_recovery_s=60.0,
+        require_zero_lost_acked=True,
+    ),
+}
+
+#: Full-scale gates for the committed BENCH_PR10.json.
+FULL_SLOS: dict[str, Slo] = {
+    "query_heavy": Slo(
+        min_achieved_fraction=0.95, max_error_rate=0.02,
+        max_p99_ms=2_000.0, max_p999_ms=5_000.0, max_lag_p99_ms=1_000.0,
+    ),
+    "append_heavy": Slo(
+        min_achieved_fraction=0.95, max_error_rate=0.02,
+        max_p99_ms=2_000.0, max_p999_ms=5_000.0, max_lag_p99_ms=1_000.0,
+    ),
+    "mixed": Slo(
+        min_achieved_fraction=0.90, max_error_rate=0.05,
+        max_p99_ms=5_000.0, max_lag_p99_ms=2_000.0,
+    ),
+    "cache_cold_restart": Slo(
+        min_achieved_fraction=0.90, max_error_rate=0.05,
+        max_p99_ms=5_000.0, max_recovery_s=10.0,
+    ),
+    "failover_chaos": Slo(
+        max_error_rate=0.20, max_recovery_s=30.0,
+        require_zero_lost_acked=True,
+    ),
+}
+
+
+def _trace_for(
+    network: TemporalFlowNetwork,
+    scale: ScenarioScale,
+    scenario: str,
+    *,
+    seed_offset: int = 0,
+    duration_s: float | None = None,
+) -> Trace:
+    factor = _RATE_FACTORS.get(scenario, 1.0)
+    config = TraceConfig(
+        seed=scale.seed + seed_offset,
+        duration_s=duration_s if duration_s is not None else scale.duration_s,
+        base_rate=scale.base_rate * factor,
+        burst_rate=scale.burst_rate * factor,
+        pairs=scale.pairs,
+        mix=_MIXES[scenario],
+    )
+    return build_trace(network, config)
+
+
+def _driver(host: str, port: int, scale: ScenarioScale) -> OpenLoopDriver:
+    return OpenLoopDriver(
+        host,
+        port,
+        connections=scale.connections,
+        timeout=scale.timeout_s,
+        retry=RetryPolicy(),
+    )
+
+
+async def _wait_for(
+    predicate: Callable[[], bool], timeout: float, interval: float = 0.05
+) -> bool:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return predicate()
+
+
+def _service_for(
+    network: TemporalFlowNetwork, scale: ScenarioScale, patterns_dir: Path
+) -> BurstingFlowService:
+    # Mining rides along so the trace's `scan` ops land on a real
+    # pipeline instead of an unsupported-op error.
+    mining = MiningPipeline(network, PatternStore(patterns_dir))
+    return BurstingFlowService(
+        network, max_pending=scale.max_pending, mining=mining
+    )
+
+
+async def _service_scenario(
+    scenario: str,
+    network: TemporalFlowNetwork,
+    scale: ScenarioScale,
+    workdir: Path,
+) -> ScenarioReport:
+    service = _service_for(network, scale, workdir / f"{scenario}-patterns")
+    host, port = await service.start("127.0.0.1", 0)
+    driver = _driver(host, port, scale)
+    try:
+        trace = _trace_for(network, scale, scenario)
+        result = await driver.run(trace)
+        return report_from_result(scenario, "service", trace, result)
+    finally:
+        await driver.close()
+        await service.stop()
+
+
+async def _query_heavy(network, scale, workdir):
+    return await _service_scenario("query_heavy", network, scale, workdir)
+
+
+async def _append_heavy(network, scale, workdir):
+    return await _service_scenario("append_heavy", network, scale, workdir)
+
+
+async def _mixed(
+    network: TemporalFlowNetwork, scale: ScenarioScale, workdir: Path
+) -> ScenarioReport:
+    log_path = workdir / "mixed-cluster.log"
+    log = AppendLog(log_path)
+    try:
+        seed_log(log, network_edges(network))
+    finally:
+        log.close()
+    replicas = [
+        InlineReplica(f"r{i}", log_path, max_pending=scale.max_pending)
+        for i in range(2)
+    ]
+    coordinator = ClusterCoordinator(
+        log_path,
+        replicas,
+        health_interval=0.2,
+        patterns_dir=workdir / "mixed-patterns",
+    )
+    host, port = await coordinator.start("127.0.0.1", 0)
+    driver = _driver(host, port, scale)
+    try:
+        trace = _trace_for(network, scale, "mixed")
+        result = await driver.run(trace)
+        return report_from_result("mixed", "cluster", trace, result)
+    finally:
+        await driver.close()
+        await coordinator.stop()
+
+
+async def _cache_cold_restart(
+    network: TemporalFlowNetwork, scale: ScenarioScale, workdir: Path
+) -> ScenarioReport:
+    """Warm phase → hard stop → cold boot → cold phase.
+
+    ``recovery_s`` spans from initiating the restart to the first
+    successful reply out of the cold server, as a user would see it.
+    """
+    half = scale.duration_s / 2.0
+    warm_service = _service_for(network, scale, workdir / "warm-patterns")
+    host, port = await warm_service.start("127.0.0.1", 0)
+    warm_driver = _driver(host, port, scale)
+    warm_trace = _trace_for(
+        network, scale, "cache_cold_restart", duration_s=half
+    )
+    try:
+        warm_result = await warm_driver.run(warm_trace)
+    finally:
+        await warm_driver.close()
+
+    restart_begin = time.perf_counter()
+    await warm_service.stop()
+    cold_service = _service_for(network, scale, workdir / "cold-patterns")
+    cold_host, cold_port = await cold_service.start("127.0.0.1", 0)
+    boot_elapsed = time.perf_counter() - restart_begin
+
+    cold_driver = _driver(cold_host, cold_port, scale)
+    # Same popularity structure, fresh arrival draw: the cold server
+    # faces the hot pairs again with an empty cache.
+    cold_trace = _trace_for(
+        network, scale, "cache_cold_restart", seed_offset=1, duration_s=half
+    )
+    try:
+        cold_result = await cold_driver.run(cold_trace)
+    finally:
+        await cold_driver.close()
+        await cold_service.stop()
+
+    recovery = (
+        None
+        if cold_result.first_ok_at is None
+        else boot_elapsed + cold_result.first_ok_at
+    )
+    warm_report = report_from_result(
+        "cache_cold_restart", "service", warm_trace, warm_result
+    )
+    return report_from_result(
+        "cache_cold_restart",
+        "service",
+        cold_trace,
+        cold_result,
+        recovery_s=recovery,
+        extra={
+            "boot_elapsed_s": round(boot_elapsed, 4),
+            "warm_phase": {
+                "achieved_rate": warm_report.achieved_rate,
+                "error_rate": warm_report.error_rate,
+                "p99_ms": warm_report.worst("p99_ms"),
+            },
+        },
+    )
+
+
+async def _failover_chaos(
+    network: TemporalFlowNetwork, scale: ScenarioScale, workdir: Path
+) -> ScenarioReport:
+    log_path = workdir / "chaos-cluster.log"
+    log = AppendLog(log_path)
+    try:
+        seed_edges = network_edges(network)
+        seed_log(log, seed_edges)
+    finally:
+        log.close()
+    handles = [ProcessReplica(f"r{i}", log_path) for i in range(2)]
+    coordinator = ClusterCoordinator(log_path, handles, health_interval=0.1)
+    host, port = await coordinator.start("127.0.0.1", 0)
+    driver = _driver(host, port, scale)
+    trace = _trace_for(network, scale, "failover_chaos")
+
+    killed_at: float | None = None
+    rejoined_at: float | None = None
+    victim_state = coordinator._replicas["r0"]
+    restarts_before = victim_state.restarts
+
+    def rejoined() -> bool:
+        # A genuine rejoin, not the pre-crash steady state: the
+        # coordinator must have restarted the victim at least once and
+        # readmitted it at exactly the committed epoch.
+        return (
+            victim_state.restarts > restarts_before
+            and victim_state.live
+            and victim_state.acked_epoch == coordinator.committed_epoch
+        )
+
+    async def chaos_monkey() -> None:
+        nonlocal killed_at, rejoined_at
+        await asyncio.sleep(scale.kill_at_fraction * trace.config.duration_s)
+        victim = handles[0]
+        if victim.process is None:  # pragma: no cover - defensive
+            return
+        killed_at = time.perf_counter()
+        os.kill(victim.process.pid, signal.SIGKILL)
+        if await _wait_for(rejoined, timeout=scale.rejoin_timeout_s):
+            rejoined_at = time.perf_counter()
+
+    try:
+        monkey = asyncio.create_task(chaos_monkey())
+        result = await driver.run(trace)
+        await monkey
+
+        acked = sorted(result.acked_appends)
+        append_errors = (
+            result.per_op["append"].errors if "append" in result.per_op else {}
+        )
+        # Outcomes the client could not determine: the request may or
+        # may not have committed server-side.  Exact answer verification
+        # is only claimed when there are none.
+        ambiguous = append_errors.get("timeout", 0) + append_errors.get(
+            "connection", 0
+        )
+        committed = coordinator.committed_epoch
+        lost = sum(1 for epoch, _ in acked if epoch > committed)
+        monotone = [epoch for epoch, _ in acked] == sorted(
+            {epoch for epoch, _ in acked}
+        )
+
+        verified: bool | None = None
+        if acked and lost == 0:
+            # Zero-lost proof, part 2: a fenced query at the highest
+            # acked epoch must succeed, and (unambiguous runs) its
+            # answer must equal a fresh sequential solve over
+            # seed + every acked edge.
+            max_epoch = acked[-1][0]
+            source, sink = trace.pair_universe[0]
+            loop = asyncio.get_running_loop()
+
+            def fenced_query():
+                client = ServiceClient(
+                    host, port, timeout=scale.timeout_s, retry=RetryPolicy()
+                )
+                try:
+                    return client.query(
+                        source, sink, trace.delta, min_epoch=max_epoch
+                    )
+                finally:
+                    client.close()
+
+            reply = await loop.run_in_executor(None, fenced_query)
+            if ambiguous == 0:
+                shadow = list(seed_edges)
+                for _, edges in acked:
+                    shadow.extend(edges)
+                expected = find_bursting_flow(
+                    TemporalFlowNetwork.from_tuples(shadow),
+                    BurstingFlowQuery(source, sink, trace.delta),
+                )
+                served_interval = (
+                    None if reply.interval is None else tuple(reply.interval)
+                )
+                verified = (
+                    reply.density,
+                    served_interval,
+                    reply.flow_value,
+                ) == (
+                    expected.density,
+                    expected.interval,
+                    expected.flow_value,
+                )
+                if not verified:
+                    lost = -1  # wrong answer ⇒ fail the zero-lost gate
+
+        recovery = (
+            rejoined_at - killed_at
+            if killed_at is not None and rejoined_at is not None
+            else None
+        )
+        return report_from_result(
+            "failover_chaos",
+            "cluster",
+            trace,
+            result,
+            recovery_s=None if recovery is None else round(recovery, 4),
+            lost_acked_appends=lost,
+            acked_appends=len(acked),
+            ambiguous_appends=ambiguous,
+            answers_verified=verified,
+            extra={
+                "committed_epoch": committed,
+                "acked_epochs_monotone": monotone,
+                "victim": "r0",
+                "killed": killed_at is not None,
+            },
+        )
+    finally:
+        await driver.close()
+        await coordinator.stop()
+
+
+_SCENARIO_FNS: dict[str, Callable[..., Any]] = {
+    "query_heavy": _query_heavy,
+    "append_heavy": _append_heavy,
+    "mixed": _mixed,
+    "cache_cold_restart": _cache_cold_restart,
+    "failover_chaos": _failover_chaos,
+}
+
+
+def run_scenario(
+    name: str,
+    *,
+    scale: ScenarioScale = SMOKE_SCALE,
+    network: TemporalFlowNetwork | None = None,
+    workdir: str | Path | None = None,
+) -> ScenarioReport:
+    """Run one scenario end to end (boots its own target)."""
+    if name not in _SCENARIO_FNS:
+        raise ReproError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
+        )
+    if network is None:
+        network = make_dataset(scale.dataset, scale=scale.dataset_scale)
+    if workdir is None:
+        with tempfile.TemporaryDirectory(prefix="loadgen-") as tmp:
+            return asyncio.run(
+                _SCENARIO_FNS[name](network, scale, Path(tmp))
+            )
+    return asyncio.run(_SCENARIO_FNS[name](network, scale, Path(workdir)))
+
+
+def run_matrix(
+    names: Sequence[str] = SCENARIOS,
+    *,
+    scale: ScenarioScale = SMOKE_SCALE,
+    network: TemporalFlowNetwork | None = None,
+    workdir: str | Path | None = None,
+) -> dict[str, ScenarioReport]:
+    """Run several scenarios against one shared dataset replica."""
+    if network is None:
+        network = make_dataset(scale.dataset, scale=scale.dataset_scale)
+    return {
+        name: run_scenario(
+            name, scale=scale, network=network, workdir=workdir
+        )
+        for name in names
+    }
+
+
+def scale_from_overrides(
+    base: ScenarioScale, overrides: Mapping[str, Any]
+) -> ScenarioScale:
+    """A copy of ``base`` with any :class:`ScenarioScale` field replaced."""
+    return replace(base, **dict(overrides))

@@ -1,0 +1,334 @@
+"""Scenario reports and the declarative SLO gate.
+
+A :class:`ScenarioReport` is the JSON-able record of one load scenario:
+offered vs achieved rate, per-op latency quantiles from both the user's
+view (scheduled→completed) and the server's view (sent→completed), the
+scheduled-vs-sent lag distribution (the open-loop honesty metric),
+error/retry budgets, and — for the chaos and restart scenarios —
+recovery time and lost-acked-append accounting.
+
+An :class:`Slo` is a set of declarative bounds over one report.  The
+gate never computes anything new: every bound reads a field the report
+already carries, so a committed ``BENCH_PR10.json`` can be re-gated
+offline (``benchmarks/load_slo.py --check``) without re-running load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import ReproError
+from repro.service.metrics import LatencyHistogram
+
+#: Quantiles every latency block reports.  p999 is the reason the
+#: coarse-histogram metrics path exists: exact windows clip it.
+QUANTILES = ((0.50, "p50_ms"), (0.95, "p95_ms"), (0.99, "p99_ms"), (0.999, "p999_ms"))
+
+
+def quantiles_ms(histogram: LatencyHistogram) -> dict[str, Any]:
+    """The standard quantile block for one histogram."""
+    block: dict[str, Any] = {"count": histogram.count}
+    for q, name in QUANTILES:
+        value = histogram.quantile(q)
+        block[name] = None if value is None else round(value * 1000.0, 4)
+    block["max_ms"] = round(histogram.max_seconds * 1000.0, 4)
+    return block
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioReport:
+    """One scenario's measured outcome, fully JSON-able."""
+
+    scenario: str
+    target: str  # "service" | "cluster"
+    offered_rate: float
+    achieved_rate: float | None
+    duration_s: float
+    offered: int
+    ok: int
+    error_rate: float
+    errors: dict[str, int]
+    retries: int
+    #: op -> {scheduled, ok, errors, total_ms: {...}, service_ms: {...}}
+    per_op: dict[str, dict[str, Any]]
+    #: scheduled-vs-sent lag quantiles (coordinated-omission honesty).
+    lag_ms: dict[str, Any]
+    #: burst intervals the arrival process scheduled (provenance).
+    bursts: tuple[tuple[float, float], ...] = ()
+    #: restart / failover scenarios only.
+    recovery_s: float | None = None
+    lost_acked_appends: int | None = None
+    acked_appends: int | None = None
+    #: appends whose outcome the client could not determine (timeout or
+    #: connection cut after send) — exact answer verification is only
+    #: claimed when this is zero.
+    ambiguous_appends: int | None = None
+    answers_verified: bool | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "scenario": self.scenario,
+            "target": self.target,
+            "loop": "open",  # self-describing, next to the closed-loop BENCH_* files
+            "offered_rate": round(self.offered_rate, 3),
+            "achieved_rate": (
+                None if self.achieved_rate is None
+                else round(self.achieved_rate, 3)
+            ),
+            "duration_s": round(self.duration_s, 3),
+            "offered": self.offered,
+            "ok": self.ok,
+            "error_rate": round(self.error_rate, 6),
+            "errors": dict(self.errors),
+            "retries": self.retries,
+            "per_op": self.per_op,
+            "lag_ms": self.lag_ms,
+            "bursts": [list(interval) for interval in self.bursts],
+        }
+        for name in (
+            "recovery_s", "lost_acked_appends", "acked_appends",
+            "ambiguous_appends", "answers_verified",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.extra:
+            payload["extra"] = self.extra
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioReport":
+        return cls(
+            scenario=payload["scenario"],
+            target=payload["target"],
+            offered_rate=payload["offered_rate"],
+            achieved_rate=payload.get("achieved_rate"),
+            duration_s=payload["duration_s"],
+            offered=payload["offered"],
+            ok=payload["ok"],
+            error_rate=payload["error_rate"],
+            errors=dict(payload.get("errors", {})),
+            retries=payload.get("retries", 0),
+            per_op=dict(payload.get("per_op", {})),
+            lag_ms=dict(payload.get("lag_ms", {})),
+            bursts=tuple(
+                (lo, hi) for lo, hi in payload.get("bursts", ())
+            ),
+            recovery_s=payload.get("recovery_s"),
+            lost_acked_appends=payload.get("lost_acked_appends"),
+            acked_appends=payload.get("acked_appends"),
+            ambiguous_appends=payload.get("ambiguous_appends"),
+            answers_verified=payload.get("answers_verified"),
+            extra=dict(payload.get("extra", {})),
+        )
+
+    def worst(self, field_name: str, view: str = "total_ms") -> float | None:
+        """The worst per-op value of one quantile field (e.g. p99_ms)."""
+        values = [
+            block[view][field_name]
+            for block in self.per_op.values()
+            if block.get(view, {}).get(field_name) is not None
+        ]
+        return max(values) if values else None
+
+
+def report_from_result(
+    scenario: str,
+    target: str,
+    trace,
+    result,
+    **overrides: Any,
+) -> ScenarioReport:
+    """Fold an :class:`~repro.loadgen.driver.LoadResult` into a report."""
+    per_op = {}
+    for op, stats in sorted(result.per_op.items()):
+        per_op[op] = {
+            "scheduled": stats.scheduled,
+            "ok": stats.ok,
+            "errors": dict(stats.errors),
+            "total_ms": quantiles_ms(stats.total_latency),
+            "service_ms": quantiles_ms(stats.service_latency),
+        }
+    return ScenarioReport(
+        scenario=scenario,
+        target=target,
+        offered_rate=trace.offered_rate,
+        achieved_rate=result.achieved_rate,
+        duration_s=result.wall_s,
+        offered=result.offered,
+        ok=result.ok,
+        error_rate=result.error_rate,
+        errors=result.errors,
+        retries=result.retries,
+        per_op=per_op,
+        lag_ms=quantiles_ms(result.lag),
+        bursts=trace.bursts,
+        **overrides,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SloCheck:
+    """One evaluated assertion."""
+
+    name: str
+    passed: bool
+    observed: Any
+    bound: Any
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "observed": self.observed,
+            "bound": self.bound,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Slo:
+    """Declarative bounds over one scenario report.
+
+    ``None`` disables a bound.  ``max_p99_ms`` / ``max_p999_ms`` bound
+    the *worst per-op total latency* — the user's view, including send
+    lag, so a driver that falls behind its own schedule fails the gate
+    instead of hiding it.
+    """
+
+    min_achieved_fraction: float | None = None  # achieved / offered rate
+    max_error_rate: float | None = None
+    max_p99_ms: float | None = None
+    max_p999_ms: float | None = None
+    max_lag_p99_ms: float | None = None
+    max_recovery_s: float | None = None
+    require_zero_lost_acked: bool = False
+    require_lag_reported: bool = True
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            name: getattr(self, name)
+            for name in (
+                "min_achieved_fraction", "max_error_rate", "max_p99_ms",
+                "max_p999_ms", "max_lag_p99_ms", "max_recovery_s",
+                "require_zero_lost_acked", "require_lag_reported",
+            )
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Slo":
+        return cls(**dict(payload))
+
+    def evaluate(self, report: ScenarioReport) -> "SloResult":
+        checks: list[SloCheck] = []
+
+        def check(name: str, passed: bool, observed: Any, bound: Any) -> None:
+            checks.append(SloCheck(name, bool(passed), observed, bound))
+
+        if self.min_achieved_fraction is not None:
+            fraction = (
+                (report.achieved_rate or 0.0) / report.offered_rate
+                if report.offered_rate else 0.0
+            )
+            check(
+                "achieved_fraction",
+                fraction >= self.min_achieved_fraction,
+                round(fraction, 4),
+                self.min_achieved_fraction,
+            )
+        if self.max_error_rate is not None:
+            check(
+                "error_rate",
+                report.error_rate <= self.max_error_rate,
+                report.error_rate,
+                self.max_error_rate,
+            )
+        if self.max_p99_ms is not None:
+            worst = report.worst("p99_ms")
+            check(
+                "p99_ms",
+                worst is not None and worst <= self.max_p99_ms,
+                worst,
+                self.max_p99_ms,
+            )
+        if self.max_p999_ms is not None:
+            worst = report.worst("p999_ms")
+            check(
+                "p999_ms",
+                worst is not None and worst <= self.max_p999_ms,
+                worst,
+                self.max_p999_ms,
+            )
+        if self.max_lag_p99_ms is not None:
+            lag = report.lag_ms.get("p99_ms")
+            check(
+                "lag_p99_ms",
+                lag is not None and lag <= self.max_lag_p99_ms,
+                lag,
+                self.max_lag_p99_ms,
+            )
+        if self.max_recovery_s is not None:
+            check(
+                "recovery_s",
+                report.recovery_s is not None
+                and report.recovery_s <= self.max_recovery_s,
+                report.recovery_s,
+                self.max_recovery_s,
+            )
+        if self.require_zero_lost_acked:
+            check(
+                "lost_acked_appends",
+                report.lost_acked_appends == 0,
+                report.lost_acked_appends,
+                0,
+            )
+        if self.require_lag_reported:
+            check(
+                "lag_reported",
+                report.lag_ms.get("count", 0) > 0
+                and report.lag_ms.get("p99_ms") is not None,
+                report.lag_ms.get("count", 0),
+                ">0 observations",
+            )
+        return SloResult(scenario=report.scenario, checks=tuple(checks))
+
+
+@dataclass(frozen=True, slots=True)
+class SloResult:
+    """All checks for one scenario."""
+
+    scenario: str
+    checks: tuple[SloCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> tuple[SloCheck, ...]:
+        return tuple(check for check in self.checks if not check.passed)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "passed": self.passed,
+            "checks": [check.as_dict() for check in self.checks],
+        }
+
+
+def evaluate_matrix(
+    reports: Mapping[str, ScenarioReport],
+    slos: Mapping[str, Slo],
+) -> dict[str, SloResult]:
+    """Gate every scenario; a missing SLO entry is an error, not a skip."""
+    missing = set(reports) - set(slos)
+    if missing:
+        raise ReproError(
+            f"no SLO declared for scenario(s) {sorted(missing)} — every "
+            f"scenario in the matrix must be gated"
+        )
+    return {
+        name: slos[name].evaluate(report)
+        for name, report in sorted(reports.items())
+    }

@@ -1,0 +1,472 @@
+"""Deterministic open-loop arrival traces derived from the datasets.
+
+The serving benches so far are *closed-loop*: four clients issue the
+next request when the previous one returns, which means a slow server
+quietly slows the workload down and the latency numbers flatter it
+(coordinated omission).  Real traffic does not wait.  This module builds
+the other kind of workload: a schedule of :class:`ArrivalEvent`\\ s at
+absolute offsets from the run start, fired by the open-loop driver
+regardless of completions.
+
+Three properties are load-bearing:
+
+* **Bursty arrivals.**  Inter-arrival times come from a two-state
+  process in the spirit of Kleinberg's burst automaton (the same model
+  :func:`repro.mining.stats.kleinberg_states` *decodes*; here we run it
+  generatively): a quiet state emitting at ``base_rate`` and a burst
+  state emitting at ``burst_rate``, with exponentially distributed
+  sojourn times.  The decoded burst intervals are recorded on the trace
+  so reports can segment by regime.
+* **Zipfian popularity.**  (source, sink) pairs are drawn from the
+  dataset's own query workload (:func:`repro.datasets.queries
+  .generate_queries`) with Zipf(``zipf_s``) popularity — a handful of
+  hot pairs dominates, the tail keeps caches honest.
+* **Reproducibility.**  Everything derives from ``TraceConfig.seed``
+  through one ``random.Random``; the same (network, config) builds a
+  byte-identical trace, and traces round-trip through JSONL so a run
+  can be replayed elsewhere.
+
+The op mix covers the whole wire surface: ``query``, ``append`` (fresh
+edges between workload nodes at fresh timestamps), ``batch``, ``topk``
+and ``scan``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.datasets.queries import generate_queries
+from repro.exceptions import DatasetError, InvalidQueryError
+from repro.temporal.edge import NodeId, Timestamp
+from repro.temporal.network import TemporalFlowNetwork
+
+#: The ops a trace can schedule, in wire-protocol vocabulary.
+TRACE_OPS = ("query", "append", "batch", "topk", "scan")
+
+
+@dataclass(frozen=True, slots=True)
+class OpMix:
+    """Relative weights of the request kinds in a trace (>= 0 each).
+
+    Weights are normalised at build time; at least one must be positive.
+    """
+
+    query: float = 1.0
+    append: float = 0.0
+    batch: float = 0.0
+    topk: float = 0.0
+    scan: float = 0.0
+
+    def __post_init__(self) -> None:
+        weights = self.as_dict()
+        if any(weight < 0 for weight in weights.values()):
+            raise InvalidQueryError(f"op-mix weights must be >= 0, got {weights}")
+        if sum(weights.values()) <= 0:
+            raise InvalidQueryError("op mix needs at least one positive weight")
+
+    def as_dict(self) -> dict[str, float]:
+        return {op: float(getattr(self, op)) for op in TRACE_OPS}
+
+
+@dataclass(frozen=True, slots=True)
+class TraceConfig:
+    """Everything that determines a trace, hashable and JSON-able.
+
+    Args:
+        seed: master seed; the only randomness source.
+        duration_s: schedule horizon in seconds.
+        base_rate: arrivals/second in the quiet state.
+        burst_rate: arrivals/second inside a burst (>= base_rate).
+        mean_quiet_s / mean_burst_s: expected sojourn per state
+            (exponentially distributed, like the Kleinberg automaton's
+            memoryless transitions).
+        zipf_s: pair-popularity exponent (1.0 = classic Zipf; higher
+            concentrates more mass on the hot pairs).
+        pairs: distinct (source, sink) pairs drawn from the workload.
+        delta_fraction: delta as a fraction of the network horizon.
+        mix: relative op weights.
+        append_edges: edges per append request.
+        batch_size: queries per batch request.
+        topk_pairs / topk_k: candidate pairs and k per topk request.
+        scan_top: pre-filter width per scan request.
+    """
+
+    seed: int = 0
+    duration_s: float = 10.0
+    base_rate: float = 50.0
+    burst_rate: float = 250.0
+    mean_quiet_s: float = 2.0
+    mean_burst_s: float = 0.5
+    zipf_s: float = 1.1
+    pairs: int = 12
+    delta_fraction: float = 0.03
+    mix: OpMix = field(default_factory=OpMix)
+    append_edges: int = 1
+    batch_size: int = 4
+    topk_pairs: int = 4
+    topk_k: int = 5
+    scan_top: int = 4
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise InvalidQueryError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.base_rate <= 0:
+            raise InvalidQueryError(f"base_rate must be > 0, got {self.base_rate}")
+        if self.burst_rate < self.base_rate:
+            raise InvalidQueryError(
+                f"burst_rate {self.burst_rate} must be >= base_rate "
+                f"{self.base_rate}"
+            )
+        if self.mean_quiet_s <= 0 or self.mean_burst_s <= 0:
+            raise InvalidQueryError("state sojourn means must be > 0 seconds")
+        if self.pairs < 1:
+            raise InvalidQueryError(f"pairs must be >= 1, got {self.pairs}")
+        if min(self.append_edges, self.batch_size, self.topk_pairs,
+               self.topk_k, self.scan_top) < 1:
+            raise InvalidQueryError("per-op sizing knobs must be >= 1")
+
+    def as_dict(self) -> dict[str, Any]:
+        payload = {
+            name: getattr(self, name)
+            for name in (
+                "seed", "duration_s", "base_rate", "burst_rate",
+                "mean_quiet_s", "mean_burst_s", "zipf_s", "pairs",
+                "delta_fraction", "append_edges", "batch_size",
+                "topk_pairs", "topk_k", "scan_top",
+            )
+        }
+        payload["mix"] = self.mix.as_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceConfig":
+        data = dict(payload)
+        mix = data.pop("mix", None)
+        return cls(
+            mix=OpMix(**mix) if mix is not None else OpMix(), **data
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalEvent:
+    """One scheduled request: fire ``op`` at ``at`` seconds from start.
+
+    Exactly the fields the op needs are set; the rest stay ``None``.
+    """
+
+    at: float
+    op: str
+    source: NodeId | None = None
+    sink: NodeId | None = None
+    delta: int | None = None
+    edges: tuple[tuple[NodeId, NodeId, Timestamp, float], ...] | None = None
+    queries: tuple[tuple[NodeId, NodeId, int], ...] | None = None
+    pairs: tuple[tuple[NodeId, NodeId], ...] | None = None
+    k: int | None = None
+    top: int | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"at": self.at, "op": self.op}
+        for name in ("source", "sink", "delta", "k", "top"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        if self.edges is not None:
+            payload["edges"] = [list(edge) for edge in self.edges]
+        if self.queries is not None:
+            payload["queries"] = [list(query) for query in self.queries]
+        if self.pairs is not None:
+            payload["pairs"] = [list(pair) for pair in self.pairs]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ArrivalEvent":
+        return cls(
+            at=float(payload["at"]),
+            op=str(payload["op"]),
+            source=payload.get("source"),
+            sink=payload.get("sink"),
+            delta=payload.get("delta"),
+            edges=(
+                tuple((e[0], e[1], e[2], float(e[3])) for e in payload["edges"])
+                if "edges" in payload else None
+            ),
+            queries=(
+                tuple((q[0], q[1], int(q[2])) for q in payload["queries"])
+                if "queries" in payload else None
+            ),
+            pairs=(
+                tuple((p[0], p[1]) for p in payload["pairs"])
+                if "pairs" in payload else None
+            ),
+            k=payload.get("k"),
+            top=payload.get("top"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Trace:
+    """A built schedule plus the provenance needed to reason about it."""
+
+    config: TraceConfig
+    events: tuple[ArrivalEvent, ...]
+    #: (start_s, end_s) intervals the arrival process spent in the burst
+    #: state — reports segment achieved rate / latency by these.
+    bursts: tuple[tuple[float, float], ...]
+    #: The Zipf-ranked (source, sink) universe the events draw from
+    #: (rank 0 is the hottest pair).
+    pair_universe: tuple[tuple[NodeId, NodeId], ...]
+    delta: int
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ArrivalEvent]:
+        return iter(self.events)
+
+    @property
+    def offered_rate(self) -> float:
+        """Scheduled arrivals per second over the whole horizon."""
+        return len(self.events) / self.config.duration_s
+
+    @property
+    def op_counts(self) -> dict[str, int]:
+        counts = {op: 0 for op in TRACE_OPS}
+        for event in self.events:
+            counts[event.op] += 1
+        return {op: count for op, count in counts.items() if count}
+
+    def scaled(self, rate_scale: float) -> "Trace":
+        """The same trace with all arrival times stretched by
+        ``1 / rate_scale`` (0.5 = half the offered rate, double the
+        duration). Burst segmentation stretches with it."""
+        if rate_scale <= 0:
+            raise InvalidQueryError(f"rate_scale must be > 0, got {rate_scale}")
+        if rate_scale == 1.0:
+            return self
+        stretch = 1.0 / rate_scale
+        return Trace(
+            config=self.config,
+            events=tuple(
+                ArrivalEvent(**{**_event_kwargs(e), "at": e.at * stretch})
+                for e in self.events
+            ),
+            bursts=tuple((lo * stretch, hi * stretch) for lo, hi in self.bursts),
+            pair_universe=self.pair_universe,
+            delta=self.delta,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (one JSON line per event; header line carries the
+    # config/provenance — documented in docs/loadtest.md)
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: str | Path) -> None:
+        with Path(path).open("w", encoding="utf-8") as handle:
+            header = {
+                "trace_version": 1,
+                "config": self.config.as_dict(),
+                "bursts": [list(interval) for interval in self.bursts],
+                "pair_universe": [list(pair) for pair in self.pair_universe],
+                "delta": self.delta,
+            }
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for event in self.events:
+                handle.write(
+                    json.dumps(event.as_dict(), sort_keys=True) + "\n"
+                )
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "Trace":
+        with Path(path).open("r", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+            if header.get("trace_version") != 1:
+                raise DatasetError(
+                    f"unsupported trace version {header.get('trace_version')!r}"
+                )
+            events = tuple(
+                ArrivalEvent.from_dict(json.loads(line))
+                for line in handle
+                if line.strip()
+            )
+        return cls(
+            config=TraceConfig.from_dict(header["config"]),
+            events=events,
+            bursts=tuple((lo, hi) for lo, hi in header["bursts"]),
+            pair_universe=tuple((p[0], p[1]) for p in header["pair_universe"]),
+            delta=int(header["delta"]),
+        )
+
+
+def _event_kwargs(event: ArrivalEvent) -> dict[str, Any]:
+    return {
+        name: getattr(event, name)
+        for name in (
+            "at", "op", "source", "sink", "delta", "edges", "queries",
+            "pairs", "k", "top",
+        )
+    }
+
+
+def derive_pairs(
+    network: TemporalFlowNetwork, *, count: int, seed: int
+) -> tuple[tuple[NodeId, NodeId], ...]:
+    """The trace's (source, sink) universe, from the dataset itself.
+
+    Uses the paper's own workload selector (time-respecting path of >= 3
+    hops) and degrades gracefully on small networks: relax the hop bound
+    before giving up, so the harness also runs against test fixtures.
+    """
+    for min_hops in (3, 2, 1):
+        try:
+            workload = generate_queries(
+                network, count=count, seed=seed, min_hops=min_hops
+            )
+            return workload.pairs
+        except DatasetError:
+            continue
+    raise DatasetError(
+        f"could not derive {count} (source, sink) pairs from the network "
+        f"even at min_hops=1 — too small or too disconnected"
+    )
+
+
+def _arrival_times(
+    rng: random.Random, config: TraceConfig
+) -> tuple[list[float], list[tuple[float, float]]]:
+    """Two-state bursty arrivals: (times, burst intervals)."""
+    times: list[float] = []
+    bursts: list[tuple[float, float]] = []
+    now = 0.0
+    bursting = False
+    while now < config.duration_s:
+        mean = config.mean_burst_s if bursting else config.mean_quiet_s
+        rate = config.burst_rate if bursting else config.base_rate
+        sojourn = rng.expovariate(1.0 / mean)
+        end = min(now + sojourn, config.duration_s)
+        if bursting and end > now:
+            bursts.append((now, end))
+        t = now
+        while True:
+            t += rng.expovariate(rate)
+            if t >= end:
+                break
+            times.append(t)
+        now = end
+        bursting = not bursting
+    return times, bursts
+
+
+def _zipf_weights(count: int, s: float) -> list[float]:
+    return [1.0 / (rank + 1) ** s for rank in range(count)]
+
+
+class _AppendFactory:
+    """Fresh, valid edges for append events.
+
+    Edges connect nodes drawn from the pair universe (so appends
+    actually perturb the hot queries' networks) at strictly increasing
+    timestamps beyond the dataset horizon — each generated edge is new,
+    never a capacity merge, which keeps replicated epoch accounting
+    byte-deterministic.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        pairs: Sequence[tuple[NodeId, NodeId]],
+        horizon: int,
+    ) -> None:
+        self._rng = rng
+        nodes = sorted({str(node) for pair in pairs for node in pair})
+        self._nodes = nodes
+        self._next_tau = horizon + 1
+
+    def make(self, count: int) -> tuple[tuple[NodeId, NodeId, Timestamp, float], ...]:
+        edges = []
+        for _ in range(count):
+            u = self._rng.choice(self._nodes)
+            v = self._rng.choice(self._nodes)
+            while v == u and len(self._nodes) > 1:
+                v = self._rng.choice(self._nodes)
+            tau = self._next_tau
+            self._next_tau += 1
+            capacity = round(self._rng.uniform(0.5, 5.0), 3)
+            edges.append((u, v, tau, capacity))
+        return tuple(edges)
+
+
+def build_trace(
+    network: TemporalFlowNetwork,
+    config: TraceConfig,
+    *,
+    pairs: Sequence[tuple[NodeId, NodeId]] | None = None,
+) -> Trace:
+    """Build the full deterministic schedule for one network + config.
+
+    Args:
+        pairs: override the derived pair universe (tests and tiny
+            fixtures); defaults to :func:`derive_pairs`.
+    """
+    rng = random.Random(config.seed)
+    if pairs is None:
+        universe = derive_pairs(network, count=config.pairs, seed=config.seed)
+    else:
+        universe = tuple((s, t) for s, t in pairs)[: config.pairs]
+        if not universe:
+            raise InvalidQueryError("explicit pair universe is empty")
+    delta = max(1, int(round(network.num_timestamps * config.delta_fraction)))
+    times, bursts = _arrival_times(rng, config)
+
+    weights = _zipf_weights(len(universe), config.zipf_s)
+    mix = config.mix.as_dict()
+    ops = [op for op in TRACE_OPS if mix[op] > 0]
+    op_weights = [mix[op] for op in ops]
+    appends = _AppendFactory(rng, universe, network.num_timestamps)
+
+    def pick_pair() -> tuple[NodeId, NodeId]:
+        return rng.choices(universe, weights=weights, k=1)[0]
+
+    events = []
+    for at in times:
+        op = rng.choices(ops, weights=op_weights, k=1)[0]
+        if op == "query":
+            source, sink = pick_pair()
+            events.append(
+                ArrivalEvent(at=at, op=op, source=source, sink=sink, delta=delta)
+            )
+        elif op == "append":
+            events.append(
+                ArrivalEvent(at=at, op=op, edges=appends.make(config.append_edges))
+            )
+        elif op == "batch":
+            queries = tuple(
+                (*pick_pair(), delta) for _ in range(config.batch_size)
+            )
+            events.append(ArrivalEvent(at=at, op=op, queries=queries))
+        elif op == "topk":
+            # Sample distinct pairs, hot-biased, preserving rank order.
+            chosen = {pick_pair() for _ in range(config.topk_pairs)}
+            pairs_tuple = tuple(
+                pair for pair in universe if pair in chosen
+            )
+            events.append(
+                ArrivalEvent(
+                    at=at, op=op, pairs=pairs_tuple, delta=delta,
+                    k=config.topk_k,
+                )
+            )
+        else:  # scan
+            events.append(
+                ArrivalEvent(at=at, op=op, delta=delta, top=config.scan_top)
+            )
+    return Trace(
+        config=config,
+        events=tuple(events),
+        bursts=tuple(bursts),
+        pair_universe=universe,
+        delta=delta,
+    )

@@ -265,6 +265,84 @@ class PatternStore:
                 ]
             )
 
+    def prune(
+        self,
+        *,
+        max_age_epochs: int | None = None,
+        max_patterns: int | None = None,
+        now_epoch: int | None = None,
+    ) -> int:
+        """Retention: drop old/excess patterns and compact atomically.
+
+        Args:
+            max_age_epochs: drop records whose ``epoch`` is more than
+                this many epochs behind ``now_epoch`` (default: the
+                newest stored record's epoch).
+            max_patterns: keep at most this many records, preferring
+                the newest (epoch desc), then the canonical query
+                tie-break (density desc, earlier start, shorter
+                interval, ``pattern_id``).
+            now_epoch: the reference epoch for the age cut; pass the
+                live network's epoch when pruning a running store.
+
+        Returns the number of records dropped.  The survivors are
+        rewritten through :meth:`AppendLog.compact`'s temp-file →
+        fsync → ``os.replace`` → directory-fsync discipline, so a crash
+        at any point leaves either the old complete log or the new one
+        — never a store missing records it did not mean to drop.
+        """
+        if max_age_epochs is None and max_patterns is None:
+            raise ReproError(
+                "prune needs max_age_epochs and/or max_patterns — "
+                "a bound-less prune would be a no-op by accident"
+            )
+        if max_age_epochs is not None and max_age_epochs < 0:
+            raise ReproError(
+                f"max_age_epochs must be >= 0, got {max_age_epochs}"
+            )
+        if max_patterns is not None and max_patterns < 0:
+            raise ReproError(
+                f"max_patterns must be >= 0, got {max_patterns}"
+            )
+        with self._lock:
+            records = list(self._records.values())
+            if not records:
+                return 0
+            horizon = (
+                now_epoch
+                if now_epoch is not None
+                else max(record.epoch for record in records)
+            )
+            survivors = records
+            if max_age_epochs is not None:
+                floor = horizon - max_age_epochs
+                survivors = [r for r in survivors if r.epoch >= floor]
+            if max_patterns is not None and len(survivors) > max_patterns:
+                survivors = sorted(
+                    survivors,
+                    key=lambda r: (
+                        -r.epoch,
+                        -r.density,
+                        r.interval[0],
+                        r.interval_length,
+                        r.pattern_id,
+                    ),
+                )[:max_patterns]
+            dropped = len(records) - len(survivors)
+            if dropped == 0:
+                return 0
+            by_id = {record.pattern_id: record for record in survivors}
+            self._log.compact(
+                [
+                    {"op": PATTERN_OP, "record": record.as_dict()}
+                    for _, record in sorted(by_id.items())
+                ]
+            )
+            # Only after the atomic swap succeeded does the index drop
+            # the pruned records — a crash above leaves both intact.
+            self._records = by_id
+            return dropped
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------

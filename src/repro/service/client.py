@@ -100,12 +100,19 @@ class RetryPolicy:
             raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
 
     def delay_for(self, attempt: int, retry_after_ms: int | None = None) -> float:
-        """Seconds to sleep before retry ``attempt`` (0-based)."""
+        """Seconds to sleep before retry ``attempt`` (0-based).
+
+        Jitter swings the exponential term symmetrically; the server's
+        ``retry_after_ms`` hint is then applied as a *hard floor*, so a
+        jittered delay can never undercut what the server asked for —
+        a shedding server is never hammered earlier than it allowed.
+        """
         backoff = min(self.base_delay * self.multiplier**attempt, self.max_delay)
-        if retry_after_ms is not None:
-            backoff = max(backoff, retry_after_ms / 1000.0)
         swing = self.jitter * (2.0 * self.rng.random() - 1.0)
-        return backoff * (1.0 + swing)
+        delay = backoff * (1.0 + swing)
+        if retry_after_ms is not None:
+            delay = max(delay, retry_after_ms / 1000.0)
+        return delay
 
 
 class ServiceClient:

@@ -14,16 +14,40 @@ Latency quantiles are computed over a sliding window of the most recent
 :data:`WINDOW` observations per histogram (exact order statistics, not
 bucketed sketches — at service request rates the sort is negligible and
 the numbers are honest).
+
+Histograms sized *above* :data:`EXACT_WINDOW_LIMIT` (the open-loop load
+harness records millions of observations per run) switch automatically
+to a bounded-memory coarse path: a fixed array of logarithmic buckets
+(~:data:`_BUCKET_GROWTH` relative width) accumulated over the whole
+stream.  Quantiles then cost one O(buckets) walk instead of an
+O(n log n) sort per snapshot, so ``/metrics`` never becomes its own
+hotspot under load; the price is that quantiles are since-boot rather
+than windowed and carry the bucket's relative error.  The two paths are
+regression-tested to agree within that error on identical data.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import deque
 from typing import Any, Iterable, Mapping
 
 #: Sliding-window size per latency histogram.
 WINDOW = 4096
+
+#: Windows larger than this switch to the coarse bounded-memory path.
+EXACT_WINDOW_LIMIT = 8192
+
+#: Coarse-path bucket geometry: bucket edges grow by this factor, so any
+#: reported quantile is within ~4% of the exact order statistic.
+_BUCKET_GROWTH = 1.04
+#: Smallest representable latency (seconds); below it everything lands
+#: in bucket 0.
+_BUCKET_FLOOR = 1e-6
+#: Bucket count: covers [1 microsecond, ~1000 seconds] at 4% steps.
+_BUCKET_COUNT = int(math.log(1e9) / math.log(_BUCKET_GROWTH)) + 2
+_LOG_GROWTH = math.log(_BUCKET_GROWTH)
 
 
 class Counter:
@@ -55,24 +79,84 @@ class Gauge:
             self.high_water = value
 
 
-class LatencyHistogram:
-    """Exact sliding-window latency quantiles plus lifetime totals."""
+def _bucket_index(seconds: float) -> int:
+    """The coarse-path bucket for one observation (clamped to range)."""
+    if seconds <= _BUCKET_FLOOR:
+        return 0
+    index = int(math.log(seconds / _BUCKET_FLOOR) / _LOG_GROWTH) + 1
+    return min(index, _BUCKET_COUNT - 1)
 
-    __slots__ = ("count", "total_seconds", "_window")
+
+def _bucket_value(index: int) -> float:
+    """A representative latency for one bucket (geometric midpoint)."""
+    if index == 0:
+        return _BUCKET_FLOOR
+    return _BUCKET_FLOOR * _BUCKET_GROWTH ** (index - 0.5)
+
+
+class LatencyHistogram:
+    """Sliding-window latency quantiles plus lifetime totals.
+
+    Windows up to :data:`EXACT_WINDOW_LIMIT` use exact order statistics
+    over a deque of the most recent observations.  Larger windows (the
+    load harness asks for millions) automatically switch to a fixed-size
+    array of logarithmic buckets — bounded memory, O(buckets) quantiles,
+    ~4% relative error, since-boot rather than windowed.  The
+    :attr:`exact` flag reports which path is active.
+    """
+
+    __slots__ = ("count", "total_seconds", "max_seconds", "_window", "_buckets")
 
     def __init__(self, window: int = WINDOW) -> None:
         self.count = 0
         self.total_seconds = 0.0
-        self._window: deque[float] = deque(maxlen=window)
+        self.max_seconds = 0.0
+        if window <= EXACT_WINDOW_LIMIT:
+            self._window: deque[float] | None = deque(maxlen=window)
+            self._buckets: list[int] | None = None
+        else:
+            self._window = None
+            self._buckets = [0] * _BUCKET_COUNT
+
+    @property
+    def exact(self) -> bool:
+        """True on the exact sliding-window path, False on the coarse one."""
+        return self._buckets is None
 
     def observe(self, seconds: float) -> None:
         """Record one latency observation."""
         self.count += 1
         self.total_seconds += seconds
-        self._window.append(seconds)
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        if self._buckets is not None:
+            self._buckets[_bucket_index(seconds)] += 1
+        else:
+            assert self._window is not None
+            self._window.append(seconds)
 
     def quantile(self, q: float) -> float | None:
-        """The ``q``-quantile (0..1) over the sliding window, or None."""
+        """The ``q``-quantile (0..1), or None before any observation.
+
+        Exact path: the order statistic over the sliding window.
+        Coarse path: the geometric midpoint of the bucket holding the
+        q-th observation (within ~4% of exact, never windowed).
+        """
+        if self._buckets is not None:
+            # Use the bucketed total, not the lifetime count: after a
+            # mixed merge the buckets may hold only another histogram's
+            # window, and the walk must rank within what it actually has.
+            total = sum(self._buckets)
+            if total == 0:
+                return None
+            target = min(total - 1, max(0, round(q * (total - 1))))
+            running = 0
+            for index, bucket_count in enumerate(self._buckets):
+                running += bucket_count
+                if running > target:
+                    return _bucket_value(index)
+            return _bucket_value(_BUCKET_COUNT - 1)  # pragma: no cover
+        assert self._window is not None
         if not self._window:
             return None
         ordered = sorted(self._window)
@@ -81,13 +165,22 @@ class LatencyHistogram:
 
     def snapshot(self) -> dict[str, Any]:
         """count / mean / p50 / p95 / p99, milliseconds."""
-        ordered = sorted(self._window)
+        if self._buckets is not None:
 
-        def pick(q: float) -> float | None:
-            if not ordered:
-                return None
-            index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-            return round(ordered[index] * 1000.0, 6)
+            def pick(q: float) -> float | None:
+                value = self.quantile(q)
+                return round(value * 1000.0, 6) if value is not None else None
+
+        else:
+            ordered = sorted(self._window or ())
+
+            def pick(q: float) -> float | None:
+                if not ordered:
+                    return None
+                index = min(
+                    len(ordered) - 1, max(0, round(q * (len(ordered) - 1)))
+                )
+                return round(ordered[index] * 1000.0, 6)
 
         mean = self.total_seconds / self.count if self.count else None
         return {
@@ -373,11 +466,29 @@ def aggregate_snapshots(snapshots: Mapping[str, Mapping[str, Any]]) -> dict[str,
 
 
 def merge_latencies(histograms: Iterable[LatencyHistogram]) -> LatencyHistogram:
-    """Pool several histograms into one (used by the benchmark harness)."""
-    merged = LatencyHistogram()
+    """Pool several histograms into one (used by the benchmark harness).
+
+    Pooling exact histograms yields an exact histogram; pooling any
+    coarse (bounded-memory) histogram yields a coarse one — bucket
+    counts add, so the merged quantiles keep the same error bound.
+    """
+    histograms = list(histograms)
+    exact = all(h.exact for h in histograms)
+    merged = LatencyHistogram(WINDOW if exact else EXACT_WINDOW_LIMIT + 1)
     for histogram in histograms:
         merged.count += histogram.count
         merged.total_seconds += histogram.total_seconds
-        for value in histogram._window:  # noqa: SLF001 - same module family
-            merged._window.append(value)
+        merged.max_seconds = max(merged.max_seconds, histogram.max_seconds)
+        if exact:
+            assert merged._window is not None and histogram._window is not None
+            for value in histogram._window:  # noqa: SLF001 - same module
+                merged._window.append(value)
+        elif histogram._buckets is not None:
+            assert merged._buckets is not None
+            for index, bucket_count in enumerate(histogram._buckets):
+                merged._buckets[index] += bucket_count
+        else:
+            assert merged._buckets is not None and histogram._window is not None
+            for value in histogram._window:  # noqa: SLF001 - same module
+                merged._buckets[_bucket_index(value)] += 1
     return merged

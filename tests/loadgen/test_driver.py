@@ -1,0 +1,115 @@
+"""Open-loop driver against a real service: honesty under pressure."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.loadgen import OpMix, OpenLoopDriver, build_trace, classify_error
+from repro.loadgen.trace import TraceConfig
+from repro.service import BurstingFlowService
+from repro.service.protocol import (
+    DeadlineExceededError,
+    OverloadedError,
+    ProtocolError,
+    RemoteServiceError,
+    StaleEpochError,
+)
+from repro.temporal import TemporalFlowNetwork
+
+EDGES = [
+    ("s", "a", 1, 4.0),
+    ("a", "t", 2, 3.0),
+    ("s", "b", 3, 5.0),
+    ("b", "t", 4, 2.0),
+    ("a", "b", 5, 1.0),
+]
+
+PAIRS = [("s", "t"), ("a", "t")]
+
+
+def run_trace(mix, *, duration_s=1.5, rate=30.0, connections=4, **config):
+    async def scenario():
+        network = TemporalFlowNetwork.from_tuples(EDGES)
+        service = BurstingFlowService(network, max_pending=64)
+        host, port = await service.start("127.0.0.1", 0)
+        driver = OpenLoopDriver(host, port, connections=connections)
+        try:
+            trace = build_trace(
+                network,
+                TraceConfig(
+                    seed=11, duration_s=duration_s, base_rate=rate,
+                    burst_rate=rate * 2, pairs=2, mix=mix, **config,
+                ),
+                pairs=PAIRS,
+            )
+            result = await driver.run(trace)
+            return trace, result
+        finally:
+            await driver.close()
+            await service.stop()
+
+    return asyncio.run(scenario())
+
+
+class TestOpenLoopDriver:
+    def test_fires_full_schedule_and_reports_lag(self):
+        trace, result = run_trace(OpMix(query=1.0))
+        assert result.offered == len(trace.events)
+        assert result.completed == result.offered
+        assert result.ok == result.offered
+        assert result.error_count == 0
+        # Open-loop honesty: one lag observation per request, always.
+        assert result.lag.count == result.offered
+        assert result.lag.quantile(0.99) is not None
+        assert result.wall_s >= trace.events[-1].at
+
+    def test_latency_views_are_distinct(self):
+        _, result = run_trace(OpMix(query=1.0))
+        stats = result.per_op["query"]
+        assert stats.total_latency.count == stats.ok
+        assert stats.service_latency.count == stats.ok
+        # total includes queueing from the scheduled time, so it can
+        # never undercut the service view.
+        assert (
+            stats.total_latency.total_seconds
+            >= stats.service_latency.total_seconds
+        )
+
+    def test_records_acked_appends_with_epochs(self):
+        _, result = run_trace(OpMix(query=0.5, append=0.5), duration_s=2.0)
+        assert result.acked_appends, "no appends in the draw"
+        epochs = [epoch for epoch, _ in result.acked_appends]
+        assert len(set(epochs)) == len(epochs)
+        assert all(edges for _, edges in result.acked_appends)
+        assert result.per_op["append"].ok == len(result.acked_appends)
+
+    def test_starved_pool_shows_up_as_lag_not_slowdown(self):
+        # One connection, arrivals far faster than the round trip:
+        # a closed-loop harness would silently stretch the run; the
+        # open-loop driver must keep the schedule and report the queue
+        # as scheduled-vs-sent lag.
+        trace, result = run_trace(
+            OpMix(query=1.0), duration_s=0.8, rate=200.0, connections=1
+        )
+        assert result.ok == result.offered
+        assert result.lag.max_seconds > 0.0
+        p50_lag = result.lag.quantile(0.5)
+        assert p50_lag is not None and p50_lag > 0.0
+
+    def test_rejects_bad_connections(self):
+        with pytest.raises(ReproError):
+            OpenLoopDriver("127.0.0.1", 1, connections=0)
+
+
+class TestClassifyError:
+    def test_typed_kinds(self):
+        assert classify_error(OverloadedError("busy")) == "overloaded"
+        assert classify_error(StaleEpochError("old")) == "stale"
+        assert classify_error(DeadlineExceededError("late")) == "timeout"
+        assert classify_error(ProtocolError("bad")) == "invalid"
+        assert classify_error(RemoteServiceError("boom")) == "internal"
+
+    def test_everything_else_is_connection(self):
+        assert classify_error(ConnectionResetError()) == "connection"
+        assert classify_error(OSError("down")) == "connection"

@@ -1,0 +1,187 @@
+"""Scenario matrix + SLO gate: reports carry proof, bounds bite."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.loadgen import (
+    SMOKE_SCALE,
+    SMOKE_SLOS,
+    ScenarioReport,
+    Slo,
+    evaluate_matrix,
+    run_scenario,
+)
+from repro.loadgen.scenarios import SCENARIOS, scale_from_overrides
+from repro.temporal import TemporalFlowNetwork
+
+EDGES = [
+    ("s", "a", 1, 4.0),
+    ("a", "t", 2, 3.0),
+    ("s", "b", 3, 5.0),
+    ("b", "t", 4, 2.0),
+    ("a", "b", 5, 1.0),
+    ("b", "a", 6, 1.0),
+]
+
+TEST_SCALE = scale_from_overrides(
+    SMOKE_SCALE,
+    {
+        "duration_s": 1.5,
+        "base_rate": 10.0,
+        "burst_rate": 40.0,
+        "connections": 4,
+        "pairs": 3,
+    },
+)
+
+
+def tiny_network():
+    return TemporalFlowNetwork.from_tuples(EDGES)
+
+
+def sample_report(**overrides):
+    payload = dict(
+        scenario="query_heavy",
+        target="service",
+        offered_rate=100.0,
+        achieved_rate=98.0,
+        duration_s=10.0,
+        offered=1000,
+        ok=980,
+        error_rate=0.02,
+        errors={"overloaded": 20},
+        retries=7,
+        per_op={
+            "query": {
+                "scheduled": 1000,
+                "ok": 980,
+                "errors": {"overloaded": 20},
+                "total_ms": {
+                    "count": 980, "p50_ms": 5.0, "p95_ms": 20.0,
+                    "p99_ms": 45.0, "p999_ms": 80.0, "max_ms": 95.0,
+                },
+                "service_ms": {
+                    "count": 980, "p50_ms": 4.0, "p95_ms": 15.0,
+                    "p99_ms": 30.0, "p999_ms": 60.0, "max_ms": 70.0,
+                },
+            }
+        },
+        lag_ms={
+            "count": 1000, "p50_ms": 0.1, "p95_ms": 1.0,
+            "p99_ms": 3.0, "p999_ms": 8.0, "max_ms": 10.0,
+        },
+    )
+    payload.update(overrides)
+    return ScenarioReport(**payload)
+
+
+class TestSloGate:
+    def test_all_bounds_pass(self):
+        slo = Slo(
+            min_achieved_fraction=0.95, max_error_rate=0.05,
+            max_p99_ms=50.0, max_p999_ms=100.0, max_lag_p99_ms=5.0,
+        )
+        result = slo.evaluate(sample_report())
+        assert result.passed
+        assert {check.name for check in result.checks} == {
+            "achieved_fraction", "error_rate", "p99_ms", "p999_ms",
+            "lag_p99_ms", "lag_reported",
+        }
+
+    def test_each_bound_can_fail(self):
+        report = sample_report()
+        for slo, expected in (
+            (Slo(min_achieved_fraction=0.999), "achieved_fraction"),
+            (Slo(max_error_rate=0.001), "error_rate"),
+            (Slo(max_p99_ms=1.0), "p99_ms"),
+            (Slo(max_p999_ms=1.0), "p999_ms"),
+            (Slo(max_lag_p99_ms=0.5), "lag_p99_ms"),
+        ):
+            result = slo.evaluate(report)
+            assert not result.passed
+            assert [check.name for check in result.failures] == [expected]
+
+    def test_zero_lost_acked_gate(self):
+        strict = Slo(require_zero_lost_acked=True)
+        assert strict.evaluate(
+            sample_report(lost_acked_appends=0)
+        ).passed
+        assert not strict.evaluate(
+            sample_report(lost_acked_appends=1)
+        ).passed
+        # A scenario that never measured loss cannot pass the gate.
+        assert not strict.evaluate(sample_report()).passed
+
+    def test_lag_must_be_reported(self):
+        silent = sample_report(lag_ms={"count": 0, "p99_ms": None})
+        assert not Slo().evaluate(silent).passed
+
+    def test_recovery_bound(self):
+        slo = Slo(max_recovery_s=5.0)
+        assert slo.evaluate(sample_report(recovery_s=3.0)).passed
+        assert not slo.evaluate(sample_report(recovery_s=9.0)).passed
+        assert not slo.evaluate(sample_report()).passed
+
+    def test_evaluate_matrix_requires_full_coverage(self):
+        reports = {"query_heavy": sample_report()}
+        with pytest.raises(ReproError):
+            evaluate_matrix(reports, {})
+        results = evaluate_matrix(reports, {"query_heavy": Slo()})
+        assert results["query_heavy"].passed
+
+    def test_report_round_trips_through_dict(self):
+        report = sample_report(
+            recovery_s=1.5, lost_acked_appends=0, acked_appends=12,
+            ambiguous_appends=0, answers_verified=True,
+            bursts=((0.5, 1.0),), extra={"victim": "r0"},
+        )
+        loaded = ScenarioReport.from_dict(report.as_dict())
+        assert loaded == report
+        assert report.as_dict()["loop"] == "open"
+
+
+class TestScenarioRuns:
+    def test_matrix_names_are_gated(self):
+        assert set(SCENARIOS) == set(SMOKE_SLOS)
+
+    def test_query_heavy_end_to_end(self, tmp_path):
+        report = run_scenario(
+            "query_heavy",
+            scale=TEST_SCALE,
+            network=tiny_network(),
+            workdir=tmp_path,
+        )
+        assert report.target == "service"
+        assert report.offered > 0
+        assert report.lag_ms["count"] == report.offered
+        assert SMOKE_SLOS["query_heavy"].evaluate(report).passed
+
+    def test_cache_cold_restart_measures_recovery(self, tmp_path):
+        report = run_scenario(
+            "cache_cold_restart",
+            scale=TEST_SCALE,
+            network=tiny_network(),
+            workdir=tmp_path,
+        )
+        assert report.recovery_s is not None and report.recovery_s > 0
+        assert "warm_phase" in report.extra
+        assert SMOKE_SLOS["cache_cold_restart"].evaluate(report).passed
+
+    def test_failover_chaos_proves_zero_lost_acked(self, tmp_path):
+        report = run_scenario(
+            "failover_chaos",
+            scale=scale_from_overrides(TEST_SCALE, {"duration_s": 3.0}),
+            network=tiny_network(),
+            workdir=tmp_path,
+        )
+        assert report.extra["killed"]
+        assert report.lost_acked_appends == 0
+        assert report.acked_appends and report.acked_appends > 0
+        assert report.recovery_s is not None and report.recovery_s > 0
+        if report.ambiguous_appends == 0:
+            assert report.answers_verified is True
+        assert SMOKE_SLOS["failover_chaos"].evaluate(report).passed
+
+    def test_unknown_scenario_is_typed_error(self):
+        with pytest.raises(ReproError):
+            run_scenario("warp_speed", network=tiny_network())

@@ -1,0 +1,154 @@
+"""Trace builder: determinism, burstiness, popularity, round-trip."""
+
+import collections
+
+import pytest
+
+from repro.exceptions import InvalidQueryError
+from repro.loadgen import ArrivalEvent, OpMix, Trace, TraceConfig, build_trace
+from repro.loadgen.trace import derive_pairs
+from repro.temporal import TemporalFlowNetwork
+
+EDGES = [
+    ("s", "a", 1, 4.0),
+    ("a", "t", 2, 3.0),
+    ("s", "b", 3, 5.0),
+    ("b", "t", 4, 2.0),
+    ("a", "b", 5, 1.0),
+    ("b", "a", 6, 1.0),
+    ("t", "s", 7, 2.0),
+]
+
+FULL_MIX = OpMix(query=0.4, append=0.2, batch=0.15, topk=0.15, scan=0.1)
+
+
+@pytest.fixture()
+def network():
+    return TemporalFlowNetwork.from_tuples(EDGES)
+
+
+def config(**overrides):
+    defaults = dict(
+        seed=3, duration_s=4.0, base_rate=25.0, burst_rate=100.0,
+        pairs=4, mix=FULL_MIX,
+    )
+    defaults.update(overrides)
+    return TraceConfig(**defaults)
+
+
+class TestBuildTrace:
+    def test_same_seed_same_trace(self, network):
+        a = build_trace(network, config())
+        b = build_trace(network, config())
+        assert [e.as_dict() for e in a.events] == [e.as_dict() for e in b.events]
+        assert a.bursts == b.bursts
+        assert a.pair_universe == b.pair_universe
+
+    def test_different_seed_different_trace(self, network):
+        a = build_trace(network, config())
+        b = build_trace(network, config(seed=4))
+        assert [e.as_dict() for e in a.events] != [e.as_dict() for e in b.events]
+
+    def test_schedule_is_sorted_and_bounded(self, network):
+        trace = build_trace(network, config())
+        times = [event.at for event in trace.events]
+        assert times == sorted(times)
+        assert all(0.0 <= at < trace.config.duration_s for at in times)
+
+    def test_covers_every_requested_op(self, network):
+        trace = build_trace(network, config(duration_s=8.0))
+        assert set(trace.op_counts) == {"query", "append", "batch", "topk", "scan"}
+
+    def test_burst_intervals_are_denser(self, network):
+        trace = build_trace(
+            network, config(duration_s=20.0, base_rate=10.0, burst_rate=200.0)
+        )
+        burst_span = sum(hi - lo for lo, hi in trace.bursts)
+        assert 0 < burst_span < trace.config.duration_s
+        in_burst = sum(
+            1
+            for event in trace.events
+            if any(lo <= event.at < hi for lo, hi in trace.bursts)
+        )
+        out_burst = len(trace.events) - in_burst
+        quiet_span = trace.config.duration_s - burst_span
+        assert in_burst / burst_span > 3 * (out_burst / quiet_span)
+
+    def test_zipf_popularity_prefers_hot_pair(self, network):
+        trace = build_trace(
+            network,
+            config(duration_s=30.0, mix=OpMix(query=1.0), zipf_s=1.3),
+        )
+        counts = collections.Counter(
+            (event.source, event.sink) for event in trace.events
+        )
+        ranked = [counts.get(pair, 0) for pair in trace.pair_universe]
+        assert ranked[0] == max(ranked)
+        assert ranked[0] > ranked[-1]
+
+    def test_append_edges_are_fresh_and_monotone(self, network):
+        trace = build_trace(
+            network, config(duration_s=10.0, mix=OpMix(query=0.0, append=1.0))
+        )
+        taus = [
+            edge[2]
+            for event in trace.events
+            for edge in event.edges
+        ]
+        assert taus == sorted(taus)
+        assert len(set(taus)) == len(taus)  # never a capacity merge
+        assert min(taus) > network.num_timestamps
+
+    def test_scaled_stretches_schedule(self, network):
+        trace = build_trace(network, config())
+        slow = trace.scaled(0.5)
+        assert len(slow) == len(trace)
+        assert slow.events[-1].at == pytest.approx(trace.events[-1].at * 2)
+        assert slow.bursts[0][0] == pytest.approx(trace.bursts[0][0] * 2)
+
+    def test_explicit_pairs_override(self, network):
+        trace = build_trace(
+            network, config(mix=OpMix(query=1.0)), pairs=[("s", "t")]
+        )
+        assert trace.pair_universe == (("s", "t"),)
+        assert all(event.source == "s" for event in trace.events)
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip(self, network, tmp_path):
+        trace = build_trace(network, config())
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        loaded = Trace.from_jsonl(path)
+        assert loaded.config == trace.config
+        assert loaded.bursts == trace.bursts
+        assert loaded.pair_universe == trace.pair_universe
+        assert loaded.delta == trace.delta
+        assert [e.as_dict() for e in loaded.events] == [
+            e.as_dict() for e in trace.events
+        ]
+
+    def test_event_dict_round_trip(self):
+        event = ArrivalEvent(
+            at=1.5, op="append", edges=(("a", "b", 9, 2.5),)
+        )
+        assert ArrivalEvent.from_dict(event.as_dict()) == event
+
+
+class TestValidation:
+    def test_rejects_all_zero_mix(self):
+        with pytest.raises(InvalidQueryError):
+            OpMix(query=0.0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(InvalidQueryError):
+            OpMix(query=1.0, append=-0.1)
+
+    def test_rejects_burst_below_base(self):
+        with pytest.raises(InvalidQueryError):
+            TraceConfig(base_rate=100.0, burst_rate=50.0)
+
+    def test_derive_pairs_relaxes_hop_bound(self, network):
+        pairs = derive_pairs(network, count=3, seed=0)
+        assert len(pairs) >= 1
+        assert all(source != sink for source, sink in pairs)

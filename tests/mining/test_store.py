@@ -140,6 +140,63 @@ class TestQuery:
             assert store.query(limit=0) == []
 
 
+class TestPrune:
+    def fill(self, store, *, count=6):
+        for i in range(count):
+            store.add(record_for(i, epoch=i))
+
+    def test_prune_by_age_drops_only_old_epochs(self, tmp_path):
+        with PatternStore(tmp_path) as store:
+            self.fill(store)  # epochs 0..5
+            dropped = store.prune(max_age_epochs=2)
+            assert dropped == 3
+            assert {r.epoch for r in store} == {3, 4, 5}
+
+    def test_prune_now_epoch_override(self, tmp_path):
+        with PatternStore(tmp_path) as store:
+            self.fill(store)
+            assert store.prune(max_age_epochs=2, now_epoch=10) == 6
+            assert len(store) == 0
+
+    def test_prune_by_count_keeps_newest(self, tmp_path):
+        with PatternStore(tmp_path) as store:
+            self.fill(store)
+            assert store.prune(max_patterns=2) == 4
+            assert {r.epoch for r in store} == {4, 5}
+
+    def test_prune_combines_both_bounds(self, tmp_path):
+        with PatternStore(tmp_path) as store:
+            self.fill(store)
+            assert store.prune(max_age_epochs=3, max_patterns=2) == 4
+            assert {r.epoch for r in store} == {4, 5}
+
+    def test_prune_is_durable_across_reopen(self, tmp_path):
+        with PatternStore(tmp_path) as store:
+            self.fill(store)
+            store.prune(max_patterns=3)
+            survivors = store.ids()
+        with PatternStore(tmp_path) as reopened:
+            assert reopened.ids() == survivors
+            assert len(reopened) == 3
+
+    def test_prune_noop_returns_zero(self, tmp_path):
+        with PatternStore(tmp_path / "filled") as store:
+            self.fill(store, count=2)
+            assert store.prune(max_patterns=10, max_age_epochs=100) == 0
+            assert len(store) == 2
+        with PatternStore(tmp_path / "empty") as empty:
+            assert empty.prune(max_patterns=0) == 0
+
+    def test_prune_requires_a_bound(self, tmp_path):
+        with PatternStore(tmp_path) as store:
+            with pytest.raises(ReproError):
+                store.prune()
+            with pytest.raises(ReproError):
+                store.prune(max_age_epochs=-1)
+            with pytest.raises(ReproError):
+                store.prune(max_patterns=-1)
+
+
 class TestCrashInjection:
     """Die on every durability syscall the scripted workload makes."""
 
@@ -192,6 +249,51 @@ class TestCrashInjection:
                 for pattern_id in ids:
                     index = int(recovered.get(pattern_id).source[1:])
                     assert recovered.get(pattern_id) == record_for(index)
+
+    @pytest.mark.parametrize("func_name", ["fsync", "replace"])
+    def test_prune_crash_never_loses_survivors(self, tmp_path, func_name):
+        """Die on every durability syscall of the prune compaction: the
+        recovered store holds either the pre-prune set or exactly the
+        survivors — never fewer records than the policy retains."""
+
+        def workload(directory):
+            store = PatternStore(directory, fsync=True)
+            try:
+                for i in range(self.PATTERNS):
+                    store.add(record_for(i, epoch=i))
+                store.prune(max_patterns=2)
+            finally:
+                with contextlib.suppress(Exception):
+                    store.close()
+
+        full = {record_for(i).pattern_id for i in range(self.PATTERNS)}
+        survivors = {
+            record_for(i).pattern_id
+            for i in (self.PATTERNS - 2, self.PATTERNS - 1)
+        }
+        total = count_calls(
+            func_name, lambda: workload(tmp_path / "baseline")
+        )
+        assert total >= 1
+        for call_index in range(1, total + 1):
+            directory = tmp_path / f"{func_name}-{call_index}"
+            with pytest.raises(SimulatedCrash):
+                with crash_on(func_name, call_index):
+                    workload(directory)
+            prefixes = [
+                {record_for(i).pattern_id for i in range(k)}
+                for k in range(self.PATTERNS + 1)
+            ]
+            with PatternStore(directory) as recovered:
+                ids = recovered.ids()
+                assert ids <= full
+                # Atomicity: either the crash predates the compaction
+                # (some prefix of the adds is on disk) or the swap
+                # completed and exactly the survivors remain.
+                assert ids == survivors or ids in prefixes, (
+                    f"crash at os.{func_name} #{call_index} left a "
+                    f"torn prune: {sorted(ids)}"
+                )
 
     def test_kill_between_scans_never_duplicates(self, tmp_path):
         """Crash mid-run, recover, re-add everything: same id set."""

@@ -179,6 +179,79 @@ class TestLatencyHistogram:
         assert merged.total_seconds == pytest.approx(0.040)
 
 
+class TestCoarseHistogramPath:
+    """The bounded-memory path selected above EXACT_WINDOW_LIMIT."""
+
+    def test_mode_selection_is_automatic(self):
+        from repro.service.metrics import EXACT_WINDOW_LIMIT
+
+        assert LatencyHistogram().exact
+        assert LatencyHistogram(window=EXACT_WINDOW_LIMIT).exact
+        assert not LatencyHistogram(window=EXACT_WINDOW_LIMIT + 1).exact
+        assert not LatencyHistogram(window=1_000_000).exact
+
+    def test_agrees_with_exact_path_within_bucket_error(self):
+        """Identical data through both paths: every quantile within the
+        coarse path's ~4% relative error (plus the floor bucket)."""
+        import random
+
+        from repro.service.metrics import EXACT_WINDOW_LIMIT
+
+        rng = random.Random(10)
+        exact = LatencyHistogram(window=EXACT_WINDOW_LIMIT)
+        coarse = LatencyHistogram(window=EXACT_WINDOW_LIMIT + 1)
+        for _ in range(5000):
+            value = rng.lognormvariate(-6.0, 1.5)  # ~2.5ms median spread
+            exact.observe(value)
+            coarse.observe(value)
+        assert exact.count == coarse.count == 5000
+        for q in (0.1, 0.5, 0.9, 0.95, 0.99, 0.999):
+            want = exact.quantile(q)
+            got = coarse.quantile(q)
+            assert got == pytest.approx(want, rel=0.05), (q, want, got)
+
+    def test_snapshot_schema_is_identical(self):
+        coarse = LatencyHistogram(window=10**6)
+        coarse.observe(0.004)
+        snapshot = coarse.snapshot()
+        assert set(snapshot) == {"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"}
+        assert snapshot["count"] == 1
+        assert snapshot["p50_ms"] == pytest.approx(4.0, rel=0.05)
+        assert LatencyHistogram(window=10**6).snapshot()["p50_ms"] is None
+
+    def test_memory_is_bounded_by_buckets_not_window(self):
+        from repro.service.metrics import _BUCKET_COUNT
+
+        coarse = LatencyHistogram(window=10**9)
+        for index in range(50_000):
+            coarse.observe((index % 97 + 1) / 1000.0)
+        assert coarse._buckets is not None
+        assert len(coarse._buckets) == _BUCKET_COUNT
+        assert coarse._window is None
+        assert coarse.count == 50_000
+
+    def test_extremes_clamp_to_edge_buckets(self):
+        coarse = LatencyHistogram(window=10**6)
+        coarse.observe(0.0)
+        coarse.observe(1e-9)
+        coarse.observe(1e6)
+        assert coarse.quantile(0.0) > 0.0
+        assert coarse.quantile(1.0) >= 1.0
+
+    def test_merge_mixed_modes_stays_bounded(self):
+        exact = LatencyHistogram()
+        coarse = LatencyHistogram(window=10**6)
+        for value in (0.010, 0.020, 0.030):
+            exact.observe(value)
+            coarse.observe(value)
+        merged = merge_latencies([exact, coarse])
+        assert not merged.exact
+        assert merged.count == 6
+        assert merged.quantile(0.5) == pytest.approx(0.020, rel=0.05)
+        still_exact = merge_latencies([exact, exact])
+        assert still_exact.exact
+
+
 class TestServiceMetrics:
     def test_snapshot_schema(self):
         metrics = ServiceMetrics()

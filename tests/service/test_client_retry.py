@@ -204,3 +204,116 @@ class TestClientRetryLoop:
                 with pytest.raises(OverloadedError):
                     client.query("s", "t", 2)
             server.service.admission.release()
+
+
+class TestSustainedOverload:
+    """The retry loop when the server sheds for a long stretch, not one
+    blip: every backoff honours the live ``retry_after_ms`` hint, the
+    jittered delays stay inside the configured band while never dipping
+    below the hint, the budget bounds total attempts, and exhaustion
+    surfaces the typed error — per client, across many clients at once."""
+
+    ATTEMPTS = 5
+
+    def test_every_backoff_honours_the_live_hint(self):
+        with _ServerThread(max_pending=2) as server:
+            host, port = server.address
+            # Both slots held for the whole test: sustained overload.
+            server.service.admission.admit()
+            server.service.admission.admit()
+            hints = []
+            slept = []
+
+            def fake_sleep(seconds):
+                # Snapshot the hint the server would currently send
+                # (25ms per (1 + inflight)); the sleep must cover it.
+                hints.append(0.025 * (1 + server.service.admission.inflight))
+                slept.append(seconds)
+
+            policy = RetryPolicy(
+                max_attempts=self.ATTEMPTS,
+                base_delay=0.001,
+                jitter=0.2,
+                rng=random.Random(3),
+            )
+            with ServiceClient(
+                host, port, retry=policy, sleep=fake_sleep
+            ) as client:
+                with pytest.raises(OverloadedError):
+                    client.query("s", "t", 2)
+            assert len(slept) == self.ATTEMPTS - 1  # budget-bounded
+            assert all(
+                got >= hint - 1e-9 for got, hint in zip(slept, hints)
+            ), f"a backoff undercut the server hint: {slept} vs {hints}"
+            server.service.admission.release()
+            server.service.admission.release()
+
+    def test_jitter_decorrelates_but_respects_the_floor(self):
+        policy = RetryPolicy(
+            max_attempts=4,
+            base_delay=0.2,
+            multiplier=1.0,
+            jitter=0.25,
+            rng=random.Random(11),
+        )
+        delays = [policy.delay_for(a, retry_after_ms=100) for a in range(20)]
+        # Jittered: constant parameters still give distinct delays...
+        assert len(set(delays)) > 1
+        # ...within the ±25% band around the 0.2s exponential term...
+        assert all(0.15 <= delay <= 0.25 for delay in delays)
+        # ...and the server hint stays a hard floor under the band.
+        floored = [policy.delay_for(0, retry_after_ms=400) for _ in range(20)]
+        assert all(delay >= 0.4 for delay in floored)
+
+    def test_many_clients_exhaust_independently_with_typed_errors(self):
+        with _ServerThread(max_pending=1) as server:
+            host, port = server.address
+            server.service.admission.admit()  # sustained: never released
+            failures = []
+            sleeps_per_client = {}
+
+            def worker(index):
+                slept = []
+                policy = RetryPolicy(
+                    max_attempts=3, base_delay=0.001, jitter=0.0
+                )
+                try:
+                    with ServiceClient(
+                        host, port, retry=policy, sleep=slept.append
+                    ) as client:
+                        client.query("s", "t", 2)
+                except OverloadedError as exc:
+                    failures.append(exc)
+                sleeps_per_client[index] = slept
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+            # Every client got the typed error after its own budget —
+            # no bare socket errors, no unbounded retry storms.
+            assert len(failures) == 6
+            assert all(exc.retry_after_ms > 0 for exc in failures)
+            assert all(
+                len(slept) == 2 for slept in sleeps_per_client.values()
+            )
+            server.service.admission.release()
+
+    def test_recovery_after_sustained_shed(self):
+        """Once the overload clears, the same client+policy succeeds
+        with no residual state from the shed streak."""
+        with _ServerThread(max_pending=1) as server:
+            host, port = server.address
+            server.service.admission.admit()
+            policy = RetryPolicy(max_attempts=2, base_delay=0.001, jitter=0.0)
+            with ServiceClient(
+                host, port, retry=policy, sleep=lambda _s: None
+            ) as client:
+                with pytest.raises(OverloadedError):
+                    client.query("s", "t", 2)
+                server.service.admission.release()
+                reply = client.query("s", "t", 2)
+                assert reply.density > 0
